@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks over the pipeline stages: parsing,
+//! elaboration, bit-blasting, variant conversion, pseudo-STA, path dataset
+//! construction, synthesis, and model training/inference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtl_timer::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
+use rtl_timer::dataset::build_variant_data;
+use rtlt_bog::{blast, BogVariant};
+use rtlt_liberty::Library;
+use rtlt_sta::{Sta, StaConfig};
+use rtlt_synth::{synthesize, SynthOptions};
+
+fn src() -> String {
+    rtlt_designgen::generate("b17").expect("catalog design")
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let source = src();
+    c.bench_function("parse_b17", |b| {
+        b.iter(|| rtlt_verilog::parse(&source).expect("parses"))
+    });
+    c.bench_function("compile_b17", |b| {
+        b.iter(|| rtlt_verilog::compile(&source, "b17").expect("compiles"))
+    });
+}
+
+fn bench_bog(c: &mut Criterion) {
+    let netlist = rtlt_verilog::compile(&src(), "b17").expect("compiles");
+    c.bench_function("blast_b17", |b| b.iter(|| blast(&netlist)));
+    let sog = blast(&netlist);
+    c.bench_function("to_aig_b17", |b| b.iter(|| sog.to_variant(BogVariant::Aig)));
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let netlist = rtlt_verilog::compile(&src(), "b17").expect("compiles");
+    let sog = blast(&netlist);
+    let lib = Library::pseudo_bog();
+    c.bench_function("pseudo_sta_b17", |b| {
+        b.iter(|| Sta::run(&sog, &lib, StaConfig::default()))
+    });
+    c.bench_function("dataset_b17", |b| {
+        b.iter(|| build_variant_data(&sog, &lib, 1.0, 7))
+    });
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let netlist = rtlt_verilog::compile(&rtlt_designgen::generate("b20").unwrap(), "b20")
+        .expect("compiles");
+    let sog = blast(&netlist);
+    let lib = Library::nangate45_like();
+    let mut group = c.benchmark_group("synth");
+    group.sample_size(10);
+    group.bench_function("synthesize_b20", |b| {
+        b.iter(|| synthesize(&sog, &lib, &SynthOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let netlist = rtlt_verilog::compile(&src(), "b17").expect("compiles");
+    let sog = blast(&netlist);
+    let pseudo = Library::pseudo_bog();
+    let data = build_variant_data(&sog, &pseudo, 1.0, 7);
+    let labels: Vec<f64> = data.endpoint_sta_at.iter().map(|a| a * 0.8).collect();
+    let mut group = c.benchmark_group("model");
+    group.sample_size(10);
+    group.bench_function("gbdt_maxloss_fit_b17", |b| {
+        b.iter_batched(
+            || BitwiseCorpus { designs: vec![(&data, labels.as_slice())] },
+            |corpus| BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1),
+            BatchSize::SmallInput,
+        )
+    });
+    let corpus = BitwiseCorpus { designs: vec![(&data, labels.as_slice())] };
+    let model = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1);
+    group.bench_function("gbdt_predict_b17", |b| b.iter(|| model.predict_endpoints(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_bog, bench_sta, bench_synth, bench_model);
+criterion_main!(benches);

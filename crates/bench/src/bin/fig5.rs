@@ -1,0 +1,70 @@
+//! **Figure 5** — the b18_1 case study: (a) raw pseudo-STA of the four
+//! representations vs ground truth, (b) bit-wise prediction accuracy,
+//! (c) signal-wise prediction accuracy, (d) optimized arrival distribution.
+
+use rtl_timer::metrics::pearson;
+use rtl_timer::optimize::optimize_design;
+use rtl_timer::pipeline::RtlTimer;
+use rtlt_bench::{ascii_histogram, config, prepare_suite};
+use rtlt_liberty::Library;
+use rtlt_synth::{synthesize, SynthOptions};
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "b18_1".to_owned());
+    let set = prepare_suite();
+    let cfg = config();
+    let (train, test) = set.split(&[target.as_str()]);
+    eprintln!("[fig5] training on {} designs ...", train.len());
+    let model = RtlTimer::fit(&train, &cfg);
+    let d = test[0];
+    let pred = model.predict(d);
+
+    println!("\nFig. 5 — design {target}\n");
+
+    // (a) Raw pseudo-STA per representation vs ground truth.
+    println!("(a) RTL-STA: raw pseudo-STA arrival vs post-synthesis label (R per variant)");
+    let labels: Vec<f64> = d.labels_at.clone();
+    for (v, name) in ["SOG", "AIG", "AIMG", "XAG"].iter().enumerate() {
+        let at = &d.variant_data[v].endpoint_sta_at;
+        println!("    {name:<5} R = {:+.3}", pearson(at, &labels));
+    }
+
+    // (b) Bit-wise predictions.
+    println!("\n(b) bit-wise prediction (ensemble 'En'): R = {:.3}, MAPE = {:.1}%, COVR = {:.1}%",
+        pred.bit_r(), pred.bit_mape(), pred.bit_covr());
+    for v in 0..4 {
+        println!("    variant {v} R = {:.3}", pred.variant_bit_r(v));
+    }
+
+    // (c) Signal-wise predictions.
+    println!(
+        "\n(c) signal-wise prediction: R = {:.3}, MAPE = {:.1}%, COVR(reg) = {:.1}%, COVR(LTR) = {:.1}%",
+        pred.signal_r(),
+        pred.signal_mape(),
+        pred.signal_covr_regression(),
+        pred.signal_covr_ranking()
+    );
+
+    // (d) Optimized arrival distribution.
+    eprintln!("[fig5] optimization flows ...");
+    let outcome = optimize_design(d, &pred);
+    let lib = Library::nangate45_like();
+    let opt = synthesize(
+        &d.sog,
+        &lib,
+        &SynthOptions {
+            seed: d.synth_seed,
+            clock_period: Some(d.clock),
+            effort: 1.45,
+            path_groups: Some(rtl_timer::optimize::path_groups_from_scores(&pred.bit_pred)),
+            retime_endpoints: rtl_timer::optimize::retime_set_from_scores(&pred.bit_pred),
+        },
+    );
+    println!("\n(d) arrival-time distribution before/after prediction-guided optimization");
+    let base: Vec<f64> = labels.iter().cloned().filter(|a| a.is_finite()).collect();
+    let after: Vec<f64> = opt.endpoint_at.iter().cloned().filter(|a| a.is_finite()).collect();
+    println!("--- default (WNS {:.3}, TNS {:.1}):", outcome.default.wns, outcome.default.tns);
+    println!("{}", ascii_histogram(&base, 12, 46));
+    println!("--- optimized w. pred (WNS {:.3}, TNS {:.1}):", outcome.with_pred.wns, outcome.with_pred.tns);
+    println!("{}", ascii_histogram(&after, 12, 46));
+}

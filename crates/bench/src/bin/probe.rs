@@ -1,0 +1,41 @@
+//! Quick accuracy probe: leave-3-out on the suite, print headline metrics.
+//! Not a paper table — a development aid.
+
+use rtl_timer::pipeline::RtlTimer;
+use rtlt_bench::{config, prepare_suite};
+use std::time::Instant;
+
+fn main() {
+    let set = prepare_suite();
+    let cfg = config();
+    let test_names = ["b18_1", "Vex_3", "conmax"];
+    let (train, test) = set.split(&test_names);
+    eprintln!("[probe] training on {} designs ...", train.len());
+    let t = Instant::now();
+    let model = RtlTimer::fit(&train, &cfg);
+    eprintln!("[probe] fit in {:.1}s", t.elapsed().as_secs_f64());
+    for d in test {
+        let t = Instant::now();
+        let p = model.predict(d);
+        println!(
+            "{:10} bitR={:.3} bitMAPE={:5.1} bitCOVR={:5.1} | sigR={:.3} sigMAPE={:5.1} covr_reg={:5.1} covr_ltr={:5.1} | wns {:.3}/{:.3} tns {:.1}/{:.1} ({}ms)",
+            d.name,
+            p.bit_r(),
+            p.bit_mape(),
+            p.bit_covr(),
+            p.signal_r(),
+            p.signal_mape(),
+            p.signal_covr_regression(),
+            p.signal_covr_ranking(),
+            p.wns_pred,
+            p.wns_label,
+            p.tns_pred,
+            p.tns_label,
+            t.elapsed().as_millis(),
+        );
+        // Per-variant bit R.
+        let vr: Vec<String> =
+            (0..4).map(|v| format!("{:.3}", p.variant_bit_r(v))).collect();
+        println!("           variants SOG/AIG/AIMG/XAG R = {}", vr.join(" / "));
+    }
+}

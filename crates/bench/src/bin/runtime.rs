@@ -1,0 +1,106 @@
+//! **§4.5 runtime analysis** — RTL-Timer's evaluation cost relative to
+//! logic synthesis: BOG construction, register-oriented processing, model
+//! inference; and the optimization flow's synthesis-runtime overhead.
+
+use rtl_timer::dataset::build_variant_data;
+use rtl_timer::optimize::{path_groups_from_scores, retime_set_from_scores};
+use rtl_timer::pipeline::RtlTimer;
+use rtlt_bench::{config, pct, prepare_suite, Table};
+use rtlt_bog::BogVariant;
+use rtlt_liberty::Library;
+use rtlt_synth::{synthesize, SynthOptions};
+use std::time::Instant;
+
+fn main() {
+    let set = prepare_suite();
+    let cfg = config();
+    // Train once on everything but the measured designs.
+    let sample: Vec<&str> = vec!["b17", "b18", "Rocket1", "Vex5", "syscaes"];
+    let (train, test) = set.split(&sample);
+    eprintln!("[runtime] training reference model ...");
+    let model = RtlTimer::fit(&train, &cfg);
+
+    println!("\n§4.5 — runtime analysis (per design, times in ms)\n");
+    let mut t = Table::new(&[
+        "design", "synth", "BOG build", "reg-proc", "infer", "BOG %", "proc %", "infer %", "opt synth %",
+    ]);
+    let lib = Library::nangate45_like();
+    let pseudo = Library::pseudo_bog();
+    let mut bog_pcts = Vec::new();
+    let mut proc_pcts = Vec::new();
+    let mut inf_pcts = Vec::new();
+    let mut opt_pcts = Vec::new();
+    for d in &test {
+        // Synthesis runtime (label flow).
+        let t0 = Instant::now();
+        let synth = synthesize(&d.sog, &lib, &SynthOptions { seed: d.synth_seed, ..Default::default() });
+        let t_synth = t0.elapsed().as_secs_f64() * 1e3;
+
+        // BOG construction: the paper measures the slowest (AIG) build.
+        let t0 = Instant::now();
+        let netlist = rtlt_verilog::compile(&d.source, &d.name).expect("compiles");
+        let sog = rtlt_bog::blast(&netlist);
+        let _aig = sog.to_variant(BogVariant::Aig);
+        let t_bog = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Register-oriented processing (pseudo-STA + path sampling +
+        // features) for one representation.
+        let t0 = Instant::now();
+        let data = build_variant_data(&sog, &pseudo, synth.clock_period, d.synth_seed);
+        let t_proc = t0.elapsed().as_secs_f64() * 1e3;
+        let _ = data;
+
+        // Model inference.
+        let t0 = Instant::now();
+        let pred = model.predict(d);
+        let t_inf = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Optimization synthesis overhead.
+        let t0 = Instant::now();
+        let _ = synthesize(
+            &d.sog,
+            &lib,
+            &SynthOptions {
+                seed: d.synth_seed,
+                clock_period: Some(synth.clock_period),
+                effort: 1.45,
+                path_groups: Some(path_groups_from_scores(&pred.bit_pred)),
+                retime_endpoints: retime_set_from_scores(&pred.bit_pred),
+            },
+        );
+        let t_opt = t0.elapsed().as_secs_f64() * 1e3;
+
+        let pcts = [
+            100.0 * t_bog / t_synth,
+            100.0 * t_proc / t_synth,
+            100.0 * t_inf / t_synth,
+            100.0 * (t_opt - t_synth) / t_synth,
+        ];
+        bog_pcts.push(pcts[0]);
+        proc_pcts.push(pcts[1]);
+        inf_pcts.push(pcts[2]);
+        opt_pcts.push(pcts[3]);
+        t.row(vec![
+            d.name.clone(),
+            format!("{t_synth:.0}"),
+            format!("{t_bog:.1}"),
+            format!("{t_proc:.1}"),
+            format!("{t_inf:.2}"),
+            pct(pcts[0]),
+            pct(pcts[1]),
+            pct(pcts[2]),
+            pct(pcts[3]),
+        ]);
+    }
+    t.print();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\naverages: BOG build {:.1}% of synthesis, register processing {:.1}%, inference {:.2}%,",
+        avg(&bog_pcts),
+        avg(&proc_pcts),
+        avg(&inf_pcts)
+    );
+    println!("optimization synthesis overhead {:+.1}%", avg(&opt_pcts));
+    println!("\npaper: AIG construction ≈3.2%, register processing ≈0.9%, inference <0.1 s,");
+    println!("       optimization flow +45% synthesis runtime.");
+}

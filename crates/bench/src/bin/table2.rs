@@ -1,0 +1,51 @@
+//! **Table 2** — per-feature average correlation R with the endpoint
+//! arrival-time label, over the 21-design suite (SOG representation,
+//! critical-path row per endpoint).
+
+use rtl_timer::features::PATH_FEATURE_NAMES;
+use rtl_timer::metrics::{mean, pearson};
+use rtlt_bench::{f2, prepare_suite, Table};
+
+fn main() {
+    let set = prepare_suite();
+    let nf = PATH_FEATURE_NAMES.len();
+    // Per design, correlation of each feature (critical-path row of each
+    // endpoint) with the ground-truth arrival label.
+    let mut per_feature: Vec<Vec<f64>> = vec![Vec::new(); nf];
+    for d in set.designs() {
+        let sog = &d.variant_data[0];
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); nf];
+        let mut labels = Vec::new();
+        for (e, group) in sog.groups.iter().enumerate() {
+            if !d.labels_at[e].is_finite() || group.is_empty() {
+                continue;
+            }
+            let row = &sog.rows[group[0]].features;
+            for (f, col) in cols.iter_mut().enumerate() {
+                col.push(row[f]);
+            }
+            labels.push(d.labels_at[e]);
+        }
+        for f in 0..nf {
+            per_feature[f].push(pearson(&cols[f], &labels).abs());
+        }
+    }
+
+    println!("\nTable 2 — feature summary (avg |R| with endpoint arrival label)\n");
+    let mut t = Table::new(&["type", "feature", "avg |R|"]);
+    let kind = |f: usize| match f {
+        0..=3 => "design",
+        4..=6 => "cone",
+        _ => "path",
+    };
+    for f in 0..nf {
+        t.row(vec![
+            kind(f).to_owned(),
+            PATH_FEATURE_NAMES[f].to_owned(),
+            f2(mean(&per_feature[f])),
+        ]);
+    }
+    t.print();
+    println!("\nPaper reference (Table 2): cone driving regs R≈0.45; path AT-on-R R≈0.43,");
+    println!("levels R≈0.51, operators R≈0.56, fanout R≈0.40, load R≈0.38, slew R≈0.38.");
+}

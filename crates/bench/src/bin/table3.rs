@@ -1,0 +1,54 @@
+//! **Table 3** — benchmark design information: family, design count, size
+//! range (pseudo-gates and endpoints) and source-HDL label.
+
+use rtlt_bench::{prepare_suite, Table};
+use rtlt_designgen::{catalog, Family};
+
+fn main() {
+    let set = prepare_suite();
+    println!("\nTable 3 — benchmark design information\n");
+    let mut t = Table::new(&["benchmark", "#designs", "gates (pseudo-cells)", "endpoints", "HDL"]);
+    for (fam, label) in [
+        (Family::Itc99, "ITC'99-style"),
+        (Family::OpenCores, "OpenCores-style"),
+        (Family::Chipyard, "Chipyard-style"),
+        (Family::VexRiscv, "VexRiscv-style"),
+    ] {
+        let names: Vec<&str> =
+            catalog().iter().filter(|d| d.family == fam).map(|d| d.name).collect();
+        let mut gates = Vec::new();
+        let mut eps = Vec::new();
+        for n in &names {
+            let d = set.get(n).expect("suite design");
+            let s = d.sog.stats();
+            gates.push(s.total_cells);
+            eps.push(d.labels_at.len());
+        }
+        t.row(vec![
+            label.to_owned(),
+            names.len().to_string(),
+            format!("{} - {}", gates.iter().min().unwrap(), gates.iter().max().unwrap()),
+            format!("{} - {}", eps.iter().min().unwrap(), eps.iter().max().unwrap()),
+            catalog().iter().find(|d| d.family == fam).unwrap().family.hdl().to_owned(),
+        ]);
+    }
+    t.print();
+
+    println!("\nPer-design detail:\n");
+    let mut t = Table::new(&["design", "family", "pseudo-gates", "endpoints", "max level", "clock (ns)"]);
+    for spec in catalog() {
+        let d = set.get(spec.name).expect("suite design");
+        let s = d.sog.stats();
+        t.row(vec![
+            spec.name.to_owned(),
+            format!("{:?}", spec.family),
+            s.total_cells.to_string(),
+            d.labels_at.len().to_string(),
+            s.max_level.to_string(),
+            format!("{:.3}", d.clock),
+        ]);
+    }
+    t.print();
+    println!("\nPaper scales: 6K-510K gates, 0.2K-146K endpoints (ours ~10x smaller,");
+    println!("uniform family mix preserved — see DESIGN.md substitution #2).");
+}

@@ -1,0 +1,65 @@
+//! **Table 5** — the four BOG representation variants vs the ensemble:
+//! bit-wise and signal-wise accuracy (mean and standard deviation across
+//! designs), showing the variance reduction from ensemble learning.
+
+use rtl_timer::metrics::{covr, mean, pearson, std_dev};
+use rtl_timer::pipeline::cross_validate;
+use rtl_timer::signal::signal_labels;
+use rtlt_bench::{config, f2, folds, pct, prepare_suite, Table};
+
+fn main() {
+    let set = prepare_suite();
+    let cfg = config();
+    let k = folds();
+    eprintln!("[table5] {k}-fold cross-validation ...");
+    let preds = cross_validate(&set, k, &cfg);
+
+    let variant_names = ["SOG", "AIG", "AIMG", "XAG"];
+    // Bit-wise per variant + ensemble.
+    let mut bit_r: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    // Signal-wise per variant + ensemble.
+    let mut sig_r: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut sig_covr: Vec<Vec<f64>> = vec![Vec::new(); 5];
+
+    for p in &preds {
+        let d = set.get(&p.design).expect("design");
+        let labels = &p.bit_label;
+        let slabels = signal_labels(labels, d.signals());
+        for v in 0..4 {
+            bit_r[v].push(p.variant_bit_r(v));
+            // Signal-wise from this variant's bit predictions alone.
+            let s_pred = signal_labels(&p.variant_bit_preds[v], d.signals());
+            let pairs: (Vec<f64>, Vec<f64>) = s_pred
+                .iter()
+                .zip(&slabels)
+                .filter(|(a, b)| a.is_finite() && b.is_finite())
+                .map(|(&a, &b)| (a, b))
+                .unzip();
+            sig_r[v].push(pearson(&pairs.0, &pairs.1));
+            sig_covr[v].push(covr(&pairs.0, &pairs.1));
+        }
+        bit_r[4].push(p.bit_r());
+        sig_r[4].push(p.signal_r());
+        sig_covr[4].push(p.signal_covr_ranking());
+    }
+
+    println!("\nTable 5 — representation variants vs ensemble\n");
+    let mut t = Table::new(&["metric", "SOG", "AIG", "AIMG", "XAG", "Ensemble"]);
+    let fmt_row = |name: &str, data: &[Vec<f64>], f: &dyn Fn(&[f64]) -> f64, d2: bool| {
+        let mut row = vec![name.to_owned()];
+        for col in data {
+            row.push(if d2 { f2(f(col)) } else { pct(f(col)) });
+        }
+        row
+    };
+    t.row(fmt_row("bit-wise avg R", &bit_r, &mean, true));
+    t.row(fmt_row("bit-wise std R", &bit_r, &std_dev, true));
+    t.row(fmt_row("signal-wise avg R", &sig_r, &mean, true));
+    t.row(fmt_row("signal-wise std R", &sig_r, &std_dev, true));
+    t.row(fmt_row("signal-wise avg COVR", &sig_covr, &mean, false));
+    t.row(fmt_row("signal-wise std COVR", &sig_covr, &std_dev, false));
+    t.print();
+    let _ = variant_names;
+    println!("\npaper: bit-wise avg R 0.85/0.75/0.76/0.77 → ensemble 0.88 (std 0.18..0.26 → 0.08)");
+    println!("       signal avg R 0.82/0.81/0.84/0.80 → 0.89; COVR 65/71/72/71 → 80");
+}

@@ -1,0 +1,138 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary honors two environment variables:
+//!
+//! * `RTLT_FAST=1` — reduced folds/epochs for smoke runs,
+//! * `RTLT_SEED=<u64>` — override the master seed (default 2024).
+
+use rtl_timer::pipeline::{DesignSet, TimerConfig};
+use std::time::Instant;
+
+/// Whether fast (smoke) mode is requested.
+pub fn fast() -> bool {
+    std::env::var("RTLT_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Cross-validation folds: 10 as in the paper, 3 in fast mode.
+pub fn folds() -> usize {
+    if fast() {
+        3
+    } else {
+        10
+    }
+}
+
+/// Harness configuration (seed overridable via `RTLT_SEED`).
+pub fn config() -> TimerConfig {
+    let seed = std::env::var("RTLT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2024);
+    TimerConfig { seed, ..TimerConfig::default() }
+}
+
+/// Prepares the 21-design suite, printing progress timing.
+pub fn prepare_suite() -> DesignSet {
+    let cfg = config();
+    eprintln!("[harness] preparing 21-design suite (threads={}) ...", cfg.threads);
+    let t = Instant::now();
+    let set = DesignSet::prepare_suite(&cfg);
+    eprintln!("[harness] suite ready in {:.1}s", t.elapsed().as_secs_f64());
+    set
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn print(&self) {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+        for r in &self.rows {
+            line(r);
+        }
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Draws a compact ASCII histogram of values into `bins` buckets.
+pub fn ascii_histogram(values: &[f64], bins: usize, width: usize) -> String {
+    if values.is_empty() {
+        return String::from("(empty)");
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - min) / span) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut s = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + span * i as f64 / bins as f64;
+        let bar = "#".repeat((c * width).div_ceil(peak).min(width));
+        s.push_str(&format!("{lo:8.3} | {bar:<w$} {c}\n", w = width));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_renders_all_bins() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let h = ascii_histogram(&vals, 5, 20);
+        assert_eq!(h.lines().count(), 5);
+        assert!(h.contains('#'));
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

@@ -1,0 +1,319 @@
+//! Bit-blasting: word-level RTL netlist → SOG Boolean operator graph.
+//!
+//! Arithmetic decomposes into textbook bit-level structures (ripple-carry
+//! adders, shift-add multipliers, barrel shifters, ripple comparators,
+//! linear reduction chains). These are deliberately *unoptimized* — logic
+//! restructuring is the synthesis simulator's job, and the structural gap
+//! between this direct translation and the optimized netlist is exactly what
+//! the paper's ML model has to learn.
+
+use crate::graph::{BogBuilder, BogVariant, NodeId};
+use crate::Bog;
+use rtlt_verilog::rtlir::{Netlist, WKind, WUnaryOp, WBinaryOp};
+
+/// Bit-blasts an elaborated netlist into a SOG-variant BOG.
+///
+/// Registers become per-bit DFF endpoints; primary outputs become PO
+/// endpoints. Use [`Bog::to_variant`] for the other three representations.
+pub fn blast(netlist: &Netlist) -> Bog {
+    let mut b = BogBuilder::new(netlist.name.clone(), BogVariant::Sog);
+
+    // Registers first, so RegQ references resolve.
+    let mut reg_bits: Vec<Vec<NodeId>> = Vec::with_capacity(netlist.regs().len());
+    for r in netlist.regs() {
+        let qs = b.signal(r.name.clone(), r.width, r.decl_line, r.top_level);
+        reg_bits.push(qs);
+    }
+
+    // Primary inputs (all of them, referenced or not — ports exist).
+    let mut bits: Vec<Option<Vec<NodeId>>> = vec![None; netlist.nodes().len()];
+    for &iid in netlist.inputs() {
+        let name = netlist.input_name(iid);
+        let w = netlist.node(iid).width;
+        let v: Vec<NodeId> = (0..w).map(|i| b.input(format!("{name}[{i}]"))).collect();
+        bits[iid as usize] = Some(v);
+    }
+
+    // Combinational nodes in topological order.
+    for id in netlist.topo_order() {
+        if bits[id as usize].is_some() {
+            continue;
+        }
+        let node = netlist.node(id);
+        let w = node.width as usize;
+        let v: Vec<NodeId> = match &node.kind {
+            WKind::Input { name } => (0..w).map(|i| b.input(format!("{name}[{i}]"))).collect(),
+            WKind::Const { value } => (0..w).map(|i| b.constant((value >> i) & 1 == 1)).collect(),
+            WKind::RegQ { reg } => reg_bits[*reg as usize].clone(),
+            WKind::Net { name } => panic!("unresolved net {name} reached bit-blasting"),
+            WKind::Unary { op, a } => {
+                let av = bits[*a as usize].as_ref().expect("fanin blasted").clone();
+                match op {
+                    WUnaryOp::Not => av.iter().map(|&x| b.not(x)).collect(),
+                    WUnaryOp::Neg => {
+                        // ~a + 1 via ripple carry-in of 1.
+                        let mut out = Vec::with_capacity(w);
+                        let mut carry = b.const1();
+                        for &x in &av {
+                            let nx = b.not(x);
+                            let s = b.xor2(nx, carry);
+                            carry = b.and2(nx, carry);
+                            out.push(s);
+                        }
+                        out
+                    }
+                    WUnaryOp::RedAnd => vec![chain(&mut b, &av, BogBuilder::and2)],
+                    WUnaryOp::RedOr => vec![chain(&mut b, &av, BogBuilder::or2)],
+                    WUnaryOp::RedXor => vec![chain(&mut b, &av, BogBuilder::xor2)],
+                }
+            }
+            WKind::Binary { op, a, b: bb } => {
+                let av = bits[*a as usize].as_ref().expect("fanin blasted").clone();
+                let bv = bits[*bb as usize].as_ref().expect("fanin blasted").clone();
+                let b_const = match &netlist.node(*bb).kind {
+                    WKind::Const { value } => Some(*value),
+                    _ => None,
+                };
+                blast_binary(&mut b, *op, &av, &bv, w, b_const)
+            }
+            WKind::Mux { cond, t, f } => {
+                let c = bits[*cond as usize].as_ref().expect("fanin blasted")[0];
+                let tv = bits[*t as usize].as_ref().expect("fanin blasted").clone();
+                let fv = bits[*f as usize].as_ref().expect("fanin blasted").clone();
+                (0..w).map(|i| b.mux2(c, tv[i], fv[i])).collect()
+            }
+            WKind::Concat { parts } => {
+                let mut v = Vec::with_capacity(w);
+                for p in parts {
+                    v.extend(bits[*p as usize].as_ref().expect("fanin blasted").iter().copied());
+                }
+                v
+            }
+            WKind::Slice { a, lsb } => {
+                let av = bits[*a as usize].as_ref().expect("fanin blasted");
+                av[*lsb as usize..*lsb as usize + w].to_vec()
+            }
+        };
+        debug_assert_eq!(v.len(), w);
+        bits[id as usize] = Some(v);
+    }
+
+    // Connect register D pins.
+    for (ri, r) in netlist.regs().iter().enumerate() {
+        let next = bits[r.next as usize].as_ref().expect("next blasted");
+        for (bit, &d) in next.iter().enumerate() {
+            // Builder reg order matches signal order (contiguous).
+            let breg = {
+                // signal ri, bit `bit`
+                let base: u32 = netlist.regs()[..ri].iter().map(|x| x.width).sum();
+                (base + bit as u32) as usize
+            };
+            b.set_reg_d(breg, d);
+        }
+    }
+
+    // Primary outputs.
+    for (name, id) in netlist.outputs() {
+        let v = bits[*id as usize].as_ref().expect("output blasted");
+        for (i, &bit) in v.iter().enumerate() {
+            b.output(format!("{name}[{i}]"), bit);
+        }
+    }
+
+    b.finish()
+}
+
+fn chain(b: &mut BogBuilder, v: &[NodeId], f: fn(&mut BogBuilder, NodeId, NodeId) -> NodeId) -> NodeId {
+    let mut acc = v[0];
+    for &x in &v[1..] {
+        acc = f(b, acc, x);
+    }
+    acc
+}
+
+/// Full-adder sum and carry.
+fn full_add(b: &mut BogBuilder, x: NodeId, y: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let xy = b.xor2(x, y);
+    let s = b.xor2(xy, c);
+    let t1 = b.and2(x, y);
+    let t2 = b.and2(c, xy);
+    let co = b.or2(t1, t2);
+    (s, co)
+}
+
+fn blast_binary(
+    b: &mut BogBuilder,
+    op: WBinaryOp,
+    av: &[NodeId],
+    bv: &[NodeId],
+    w: usize,
+    b_const: Option<u64>,
+) -> Vec<NodeId> {
+    match op {
+        WBinaryOp::And => (0..w).map(|i| b.and2(av[i], bv[i])).collect(),
+        WBinaryOp::Or => (0..w).map(|i| b.or2(av[i], bv[i])).collect(),
+        WBinaryOp::Xor => (0..w).map(|i| b.xor2(av[i], bv[i])).collect(),
+        WBinaryOp::Add => {
+            let mut out = Vec::with_capacity(w);
+            let mut carry = b.const0();
+            for i in 0..w {
+                let (s, co) = full_add(b, av[i], bv[i], carry);
+                out.push(s);
+                carry = co;
+            }
+            out
+        }
+        WBinaryOp::Sub => {
+            // a + ~b + 1.
+            let mut out = Vec::with_capacity(w);
+            let mut carry = b.const1();
+            for i in 0..w {
+                let nb = b.not(bv[i]);
+                let (s, co) = full_add(b, av[i], nb, carry);
+                out.push(s);
+                carry = co;
+            }
+            out
+        }
+        WBinaryOp::Mul => {
+            // Shift-add array multiplier over the (already equal) width.
+            let zero = b.const0();
+            let mut acc: Vec<NodeId> = (0..w)
+                .map(|j| b.and2(av[j], bv[0]))
+                .collect();
+            for i in 1..w {
+                let mut carry = zero;
+                // Row i: av[j] & bv[i] added into acc starting at bit i.
+                for j in 0..(w - i) {
+                    let pp = b.and2(av[j], bv[i]);
+                    let (s, co) = full_add(b, acc[i + j], pp, carry);
+                    acc[i + j] = s;
+                    carry = co;
+                }
+            }
+            acc
+        }
+        WBinaryOp::Shl | WBinaryOp::Shr => {
+            let left = op == WBinaryOp::Shl;
+            if let Some(k) = b_const {
+                let zero = b.const0();
+                return shift_const(av, w, k, left, zero);
+            }
+            // Barrel shifter over the shift-amount bits.
+            let zero = b.const0();
+            let mut cur: Vec<NodeId> = av.to_vec();
+            for (k, &sbit) in bv.iter().enumerate() {
+                let amt = 1usize.checked_shl(k as u32).unwrap_or(usize::MAX);
+                let shifted: Vec<NodeId> = if amt >= w {
+                    vec![zero; w]
+                } else if left {
+                    let mut v = vec![zero; amt];
+                    v.extend_from_slice(&cur[..w - amt]);
+                    v
+                } else {
+                    let mut v = cur[amt..].to_vec();
+                    v.extend(std::iter::repeat(zero).take(amt));
+                    v
+                };
+                cur = (0..w).map(|i| b.mux2(sbit, shifted[i], cur[i])).collect();
+            }
+            cur
+        }
+        WBinaryOp::Eq => {
+            let diffs: Vec<NodeId> = (0..av.len()).map(|i| b.xor2(av[i], bv[i])).collect();
+            let any = chain(b, &diffs, BogBuilder::or2);
+            vec![b.not(any)]
+        }
+        WBinaryOp::Lt => {
+            // Ripple comparator from the LSB:
+            // lt_i = (!a_i & b_i) | (a_i ==  b_i) & lt_{i-1}.
+            let mut lt = b.const0();
+            for i in 0..av.len() {
+                let na = b.not(av[i]);
+                let t1 = b.and2(na, bv[i]);
+                let eq = b.xnor2(av[i], bv[i]);
+                let t2 = b.and2(eq, lt);
+                lt = b.or2(t1, t2);
+            }
+            vec![lt]
+        }
+    }
+}
+
+fn shift_const(av: &[NodeId], w: usize, k: u64, left: bool, zero: NodeId) -> Vec<NodeId> {
+    let k = k.min(w as u64) as usize;
+    if left {
+        let mut v = vec![zero; k];
+        v.extend_from_slice(&av[..w - k]);
+        v
+    } else {
+        let mut v = av[k..].to_vec();
+        v.extend(std::iter::repeat(zero).take(k));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlt_verilog::compile;
+
+    fn blast_src(src: &str, top: &str) -> Bog {
+        blast(&compile(src, top).unwrap())
+    }
+
+    #[test]
+    fn counter_has_bit_endpoints() {
+        let g = blast_src(
+            "module c(input clk, input rst, output [3:0] q);
+               reg [3:0] cnt;
+               always @(posedge clk) if (rst) cnt <= 4'd0; else cnt <= cnt + 4'd1;
+               assign q = cnt;
+             endmodule",
+            "c",
+        );
+        assert_eq!(g.regs().len(), 4);
+        assert_eq!(g.signals().len(), 1);
+        assert_eq!(g.outputs().len(), 4);
+        assert!(g.stats().comb_total > 0);
+    }
+
+    #[test]
+    fn adder_structure_is_ripple() {
+        // An N-bit adder's critical level should grow linearly with N
+        // (ripple carry), not logarithmically.
+        let g8 = blast_src(
+            "module a(input [7:0] x, input [7:0] y, output [7:0] s); assign s = x + y; endmodule",
+            "a",
+        );
+        let g16 = blast_src(
+            "module a(input [15:0] x, input [15:0] y, output [15:0] s); assign s = x + y; endmodule",
+            "a",
+        );
+        let max8 = *g8.levels().iter().max().unwrap();
+        let max16 = *g16.levels().iter().max().unwrap();
+        assert!(max16 >= max8 + 6, "ripple growth: {max8} -> {max16}");
+    }
+
+    #[test]
+    fn blasted_const_shift_adds_no_logic() {
+        let g = blast_src(
+            "module s(input [7:0] x, output [7:0] y); assign y = x << 3; endmodule",
+            "s",
+        );
+        assert_eq!(g.stats().comb_total, 0, "constant shift is pure rewiring");
+    }
+
+    #[test]
+    fn self_holding_register_allowed() {
+        let g = blast_src(
+            "module h(input clk, input en, input d, output q);
+               reg r;
+               always @(posedge clk) if (en) r <= d;
+               assign q = r;
+             endmodule",
+            "h",
+        );
+        assert_eq!(g.regs().len(), 1);
+    }
+}

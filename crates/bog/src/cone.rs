@@ -1,0 +1,146 @@
+//! Endpoint input cones.
+//!
+//! The register-oriented processing of the paper (§3.2) backtracks from each
+//! endpoint to all driving registers — the endpoint's *input cone* `C`. The
+//! cone's driving-register count sizes the random path sample `K_i` and is
+//! itself a model feature (Table 2).
+
+use crate::graph::{Bog, BogOp, NodeId};
+
+/// Summary of an endpoint's combinational input cone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConeInfo {
+    /// Distinct register Q pins driving the endpoint.
+    pub driving_regs: usize,
+    /// Distinct primary-input bits driving the endpoint.
+    pub driving_inputs: usize,
+    /// Combinational operator count inside the cone.
+    pub size: usize,
+    /// Logic depth (operator count on the longest path) of the cone.
+    pub depth: u32,
+}
+
+/// Computes the input cone of the node `endpoint` (usually a register D pin
+/// or output driver) by backward traversal.
+pub fn input_cone(bog: &Bog, endpoint: NodeId) -> ConeInfo {
+    let mut info = ConeInfo::default();
+    let mut seen = vec![false; bog.len()];
+    let mut stack = vec![endpoint];
+    let levels = None::<&[u32]>; // depth computed locally below
+    let _ = levels;
+    let mut depth_memo: Vec<Option<u32>> = vec![None; bog.len()];
+    while let Some(id) = stack.pop() {
+        if seen[id as usize] {
+            continue;
+        }
+        seen[id as usize] = true;
+        let node = bog.node(id);
+        match node.op {
+            BogOp::Dff => info.driving_regs += 1,
+            BogOp::Input => info.driving_inputs += 1,
+            BogOp::Const0 | BogOp::Const1 => {}
+            _ => {
+                info.size += 1;
+                for &f in bog.fanins(id) {
+                    if !seen[f as usize] {
+                        stack.push(f);
+                    }
+                }
+            }
+        }
+    }
+    info.depth = cone_depth(bog, endpoint, &mut depth_memo);
+    info
+}
+
+fn cone_depth(bog: &Bog, id: NodeId, memo: &mut Vec<Option<u32>>) -> u32 {
+    // Iterative post-order longest path to a source.
+    let mut stack = vec![(id, false)];
+    while let Some((n, expanded)) = stack.pop() {
+        if memo[n as usize].is_some() {
+            continue;
+        }
+        let node = bog.node(n);
+        if !node.op.is_comb() {
+            memo[n as usize] = Some(0);
+            continue;
+        }
+        if expanded {
+            let m = bog
+                .fanins(n)
+                .iter()
+                .map(|&f| memo[f as usize].expect("child computed"))
+                .max()
+                .unwrap_or(0);
+            memo[n as usize] = Some(m + 1);
+        } else {
+            stack.push((n, true));
+            for &f in bog.fanins(n) {
+                if memo[f as usize].is_none() {
+                    stack.push((f, false));
+                }
+            }
+        }
+    }
+    memo[id as usize].expect("computed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blast::blast;
+    use crate::graph::Endpoint;
+    use rtlt_verilog::compile;
+
+    #[test]
+    fn cone_counts_driving_registers() {
+        let bog = blast(
+            &compile(
+                "module m(input clk, input [3:0] a, output [3:0] q);
+                   reg [3:0] r1;
+                   reg [3:0] r2;
+                   always @(posedge clk) begin
+                     r1 <= a;
+                     r2 <= r1 + a;
+                   end
+                   assign q = r2;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        // Endpoint of r2 bit 3 depends on all lower r1 bits (ripple carry)
+        // and on input bits.
+        let sig_r2 = bog.signals().iter().position(|s| s.name == "r2").unwrap();
+        let top_bit_reg = bog.signals()[sig_r2].regs[3] as usize;
+        let ep = bog.regs()[top_bit_reg].d;
+        let cone = input_cone(&bog, ep);
+        assert!(cone.driving_regs >= 4, "cone regs {}", cone.driving_regs);
+        assert!(cone.driving_inputs >= 4);
+        assert!(cone.size > 0 && cone.depth > 0);
+        // Lower bits have smaller cones.
+        let low_bit_reg = bog.signals()[sig_r2].regs[0] as usize;
+        let low = input_cone(&bog, bog.regs()[low_bit_reg].d);
+        assert!(low.size < cone.size);
+    }
+
+    #[test]
+    fn hold_register_has_empty_cone() {
+        let bog = blast(
+            &compile(
+                "module m(input clk, input d, output q);
+                   reg r;
+                   always @(posedge clk) r <= r;
+                   assign q = r;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let ep = bog.endpoint_node(Endpoint::Reg(0));
+        let cone = input_cone(&bog, ep);
+        assert_eq!(cone.size, 0);
+        assert_eq!(cone.depth, 0);
+        assert_eq!(cone.driving_regs, 1);
+    }
+}

@@ -1,0 +1,752 @@
+//! BOG node/graph types and the strashing builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Node identifier inside a [`Bog`].
+pub type NodeId = u32;
+
+/// Sentinel for unused fanin slots.
+pub const NO_NODE: NodeId = NodeId::MAX;
+
+/// Boolean operator alphabet of the universal BOG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BogOp {
+    /// Primary input bit.
+    Input,
+    /// Constant 0.
+    Const0,
+    /// Constant 1.
+    Const1,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input mux; fanins are (sel, t, f).
+    Mux2,
+    /// D flip-flop (Q output). The D pin lives in [`BogReg::d`].
+    Dff,
+}
+
+impl BogOp {
+    /// Number of used fanin slots.
+    pub fn arity(self) -> usize {
+        match self {
+            BogOp::Input | BogOp::Const0 | BogOp::Const1 | BogOp::Dff => 0,
+            BogOp::Not => 1,
+            BogOp::And2 | BogOp::Or2 | BogOp::Xor2 => 2,
+            BogOp::Mux2 => 3,
+        }
+    }
+
+    /// Whether this is a combinational operator (counted as a pseudo cell).
+    pub fn is_comb(self) -> bool {
+        !matches!(self, BogOp::Input | BogOp::Const0 | BogOp::Const1 | BogOp::Dff)
+    }
+}
+
+impl fmt::Display for BogOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BogOp::Input => "IN",
+            BogOp::Const0 => "C0",
+            BogOp::Const1 => "C1",
+            BogOp::Not => "NOT",
+            BogOp::And2 => "AND",
+            BogOp::Or2 => "OR",
+            BogOp::Xor2 => "XOR",
+            BogOp::Mux2 => "MUX",
+            BogOp::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The four concrete representation variants (paper §3.1 / Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BogVariant {
+    /// Simple-operator graph — full alphabet, closest to the mapped netlist.
+    Sog,
+    /// And-inverter graph.
+    Aig,
+    /// And-inverter-mux graph.
+    Aimg,
+    /// Xor-and graph.
+    Xag,
+}
+
+impl BogVariant {
+    /// All variants in the paper's order.
+    pub const ALL: [BogVariant; 4] = [BogVariant::Sog, BogVariant::Aig, BogVariant::Aimg, BogVariant::Xag];
+
+    /// Whether `op` is allowed in this variant.
+    pub fn allows(self, op: BogOp) -> bool {
+        match op {
+            BogOp::Or2 => self == BogVariant::Sog,
+            BogOp::Xor2 => matches!(self, BogVariant::Sog | BogVariant::Xag),
+            BogOp::Mux2 => matches!(self, BogVariant::Sog | BogVariant::Aimg),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for BogVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BogVariant::Sog => "SOG",
+            BogVariant::Aig => "AIG",
+            BogVariant::Aimg => "AIMG",
+            BogVariant::Xag => "XAG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A BOG node: operator plus up to three fanins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BogNode {
+    /// Operator.
+    pub op: BogOp,
+    /// Fanins; unused slots are [`NO_NODE`].
+    pub fanins: [NodeId; 3],
+}
+
+/// A bit-level register (one D flip-flop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BogReg {
+    /// The `Dff` node (Q pin).
+    pub q: NodeId,
+    /// D input driver — the timing endpoint for this bit.
+    pub d: NodeId,
+    /// Owning RTL signal (index into [`Bog::signals`]).
+    pub signal: u32,
+    /// Bit position within the signal.
+    pub bit: u32,
+}
+
+/// An RTL sequential signal (word register) and its bit endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// Hierarchical RTL name (e.g. `u0.state`).
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Indices into [`Bog::regs`], LSB first.
+    pub regs: Vec<u32>,
+    /// 1-based declaration line in its module source.
+    pub decl_line: u32,
+    /// Declared in the top module (directly annotatable).
+    pub top_level: bool,
+}
+
+/// A timing endpoint: a register D pin or a primary output bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Register endpoint (index into [`Bog::regs`]).
+    Reg(u32),
+    /// Primary-output endpoint (index into [`Bog::outputs`]).
+    Output(u32),
+}
+
+/// A bit-level Boolean operator graph.
+#[derive(Debug, Clone)]
+pub struct Bog {
+    /// Design name.
+    pub name: String,
+    /// Representation variant.
+    pub variant: BogVariant,
+    pub(crate) nodes: Vec<BogNode>,
+    /// Input bit nodes with names like `a[3]`.
+    pub(crate) inputs: Vec<(String, NodeId)>,
+    /// Output bits with names like `q[0]`.
+    pub(crate) outputs: Vec<(String, NodeId)>,
+    pub(crate) regs: Vec<BogReg>,
+    pub(crate) signals: Vec<SignalInfo>,
+}
+
+impl Bog {
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> BogNode {
+        self.nodes[id as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[BogNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Input bits `(name, node)`.
+    pub fn inputs(&self) -> &[(String, NodeId)] {
+        &self.inputs
+    }
+
+    /// Output bits `(name, driver node)`.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Bit-level registers.
+    pub fn regs(&self) -> &[BogReg] {
+        &self.regs
+    }
+
+    /// RTL sequential signals.
+    pub fn signals(&self) -> &[SignalInfo] {
+        &self.signals
+    }
+
+    /// Used fanins of a node.
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        let n = &self.nodes[id as usize];
+        &n.fanins[..n.op.arity()]
+    }
+
+    /// All timing endpoints: register D pins first, then primary outputs.
+    pub fn endpoints(&self) -> Vec<Endpoint> {
+        (0..self.regs.len() as u32)
+            .map(Endpoint::Reg)
+            .chain((0..self.outputs.len() as u32).map(Endpoint::Output))
+            .collect()
+    }
+
+    /// The driver node of an endpoint (register D pin or output bit).
+    pub fn endpoint_node(&self, ep: Endpoint) -> NodeId {
+        match ep {
+            Endpoint::Reg(i) => self.regs[i as usize].d,
+            Endpoint::Output(i) => self.outputs[i as usize].1,
+        }
+    }
+
+    /// Human-readable endpoint name (`signal[bit]` or output bit name).
+    pub fn endpoint_name(&self, ep: Endpoint) -> String {
+        match ep {
+            Endpoint::Reg(i) => {
+                let r = &self.regs[i as usize];
+                let s = &self.signals[r.signal as usize];
+                format!("{}[{}]", s.name, r.bit)
+            }
+            Endpoint::Output(i) => self.outputs[i as usize].0.clone(),
+        }
+    }
+
+    /// Topological order of all nodes (fanins before fanouts); `Dff`,
+    /// `Input` and constants are sources.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0u32; n];
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for id in 0..n as NodeId {
+            for &f in self.fanins(id) {
+                indeg[id as usize] += 1;
+                fanouts[f as usize].push(id);
+            }
+        }
+        let mut queue: Vec<NodeId> = (0..n as NodeId).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &o in &fanouts[id as usize] {
+                indeg[o as usize] -= 1;
+                if indeg[o as usize] == 0 {
+                    queue.push(o);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "BOG contains a combinational cycle");
+        order
+    }
+
+    /// Longest-path logic level of every node (sources = 0, each
+    /// combinational operator adds 1).
+    pub fn levels(&self) -> Vec<u32> {
+        let order = self.topo_order();
+        let mut level = vec![0u32; self.nodes.len()];
+        for &id in &order {
+            let node = &self.nodes[id as usize];
+            if node.op.is_comb() {
+                let m = self.fanins(id).iter().map(|&f| level[f as usize]).max().unwrap_or(0);
+                level[id as usize] = m + 1;
+            }
+        }
+        level
+    }
+
+    /// Fanout counts per node.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for id in 0..self.nodes.len() as NodeId {
+            for &f in self.fanins(id) {
+                counts[f as usize] += 1;
+            }
+        }
+        for r in &self.regs {
+            counts[r.d as usize] += 1;
+        }
+        for (_, o) in &self.outputs {
+            counts[*o as usize] += 1;
+        }
+        counts
+    }
+
+    /// Converts to another representation variant (see
+    /// [`crate::variants`] rewriting rules).
+    pub fn to_variant(&self, variant: BogVariant) -> Bog {
+        crate::variants::convert(self, variant)
+    }
+}
+
+/// Strashing graph builder with local constant folding.
+///
+/// Structural hashing deduplicates identical operator applications and
+/// simple folds (`a & 1 = a`, `x ^ x = 0`, double negation, mux with
+/// constant select, …) are applied on the fly, mirroring what real RTL
+/// frontends do while building netlist-like graphs.
+#[derive(Debug)]
+pub struct BogBuilder {
+    name: String,
+    variant: BogVariant,
+    nodes: Vec<BogNode>,
+    strash: HashMap<(BogOp, NodeId, NodeId, NodeId), NodeId>,
+    inputs: Vec<(String, NodeId)>,
+    outputs: Vec<(String, NodeId)>,
+    regs: Vec<BogReg>,
+    signals: Vec<SignalInfo>,
+    const0: Option<NodeId>,
+    const1: Option<NodeId>,
+}
+
+impl BogBuilder {
+    /// Creates an empty builder for a design.
+    pub fn new(name: impl Into<String>, variant: BogVariant) -> Self {
+        BogBuilder {
+            name: name.into(),
+            variant,
+            nodes: Vec::new(),
+            strash: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            regs: Vec::new(),
+            signals: Vec::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    fn raw(&mut self, op: BogOp, fanins: [NodeId; 3]) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(BogNode { op, fanins });
+        id
+    }
+
+    fn hashed(&mut self, op: BogOp, fanins: [NodeId; 3]) -> NodeId {
+        let key = (op, fanins[0], fanins[1], fanins[2]);
+        if let Some(&id) = self.strash.get(&key) {
+            return id;
+        }
+        let id = self.raw(op, fanins);
+        self.strash.insert(key, id);
+        id
+    }
+
+    fn op_of(&self, id: NodeId) -> BogOp {
+        self.nodes[id as usize].op
+    }
+
+    fn is_not_of(&self, maybe_not: NodeId, a: NodeId) -> bool {
+        let n = self.nodes[maybe_not as usize];
+        n.op == BogOp::Not && n.fanins[0] == a
+    }
+
+    /// Constant 0 node (shared).
+    pub fn const0(&mut self) -> NodeId {
+        match self.const0 {
+            Some(id) => id,
+            None => {
+                let id = self.raw(BogOp::Const0, [NO_NODE; 3]);
+                self.const0 = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Constant 1 node (shared).
+    pub fn const1(&mut self) -> NodeId {
+        match self.const1 {
+            Some(id) => id,
+            None => {
+                let id = self.raw(BogOp::Const1, [NO_NODE; 3]);
+                self.const1 = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Constant of a boolean value.
+    pub fn constant(&mut self, v: bool) -> NodeId {
+        if v {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    /// New primary input bit.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.raw(BogOp::Input, [NO_NODE; 3]);
+        self.inputs.push((name.into(), id));
+        id
+    }
+
+    /// Inverter with folds.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        match self.op_of(a) {
+            BogOp::Const0 => self.const1(),
+            BogOp::Const1 => self.const0(),
+            BogOp::Not => self.nodes[a as usize].fanins[0],
+            _ => self.hashed(BogOp::Not, [a, NO_NODE, NO_NODE]),
+        }
+    }
+
+    /// 2-input AND with folds.
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (a.min(b), a.max(b));
+        if a == b {
+            return a;
+        }
+        match (self.op_of(a), self.op_of(b)) {
+            (BogOp::Const0, _) | (_, BogOp::Const0) => return self.const0(),
+            (BogOp::Const1, _) => return b,
+            (_, BogOp::Const1) => return a,
+            _ => {}
+        }
+        if self.is_not_of(a, b) || self.is_not_of(b, a) {
+            return self.const0();
+        }
+        self.hashed(BogOp::And2, [a, b, NO_NODE])
+    }
+
+    /// 2-input OR with folds.
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if !self.variant.allows(BogOp::Or2) {
+            // Decompose per variant.
+            return match self.variant {
+                BogVariant::Aig => {
+                    let na = self.not(a);
+                    let nb = self.not(b);
+                    let n = self.and2(na, nb);
+                    self.not(n)
+                }
+                BogVariant::Aimg => {
+                    let one = self.const1();
+                    self.mux2(a, one, b)
+                }
+                BogVariant::Xag => {
+                    let x = self.xor2(a, b);
+                    let n = self.and2(a, b);
+                    self.xor2(x, n)
+                }
+                BogVariant::Sog => unreachable!(),
+            };
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        if a == b {
+            return a;
+        }
+        match (self.op_of(a), self.op_of(b)) {
+            (BogOp::Const1, _) | (_, BogOp::Const1) => return self.const1(),
+            (BogOp::Const0, _) => return b,
+            (_, BogOp::Const0) => return a,
+            _ => {}
+        }
+        if self.is_not_of(a, b) || self.is_not_of(b, a) {
+            return self.const1();
+        }
+        self.hashed(BogOp::Or2, [a, b, NO_NODE])
+    }
+
+    /// 2-input XOR with folds.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if !self.variant.allows(BogOp::Xor2) {
+            return match self.variant {
+                BogVariant::Aig => {
+                    // a^b = !( !(a & !b) & !(!a & b) )
+                    let nb = self.not(b);
+                    let t1 = self.and2(a, nb);
+                    let na = self.not(a);
+                    let t2 = self.and2(na, b);
+                    let n1 = self.not(t1);
+                    let n2 = self.not(t2);
+                    let n = self.and2(n1, n2);
+                    self.not(n)
+                }
+                BogVariant::Aimg => {
+                    let nb = self.not(b);
+                    self.mux2(a, nb, b)
+                }
+                _ => unreachable!(),
+            };
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        if a == b {
+            return self.const0();
+        }
+        match (self.op_of(a), self.op_of(b)) {
+            (BogOp::Const0, _) => return b,
+            (_, BogOp::Const0) => return a,
+            (BogOp::Const1, _) => return self.not(b),
+            (_, BogOp::Const1) => return self.not(a),
+            _ => {}
+        }
+        if self.is_not_of(a, b) || self.is_not_of(b, a) {
+            return self.const1();
+        }
+        self.hashed(BogOp::Xor2, [a, b, NO_NODE])
+    }
+
+    /// 2-input XNOR helper.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.xor2(a, b);
+        self.not(x)
+    }
+
+    /// 2:1 mux `s ? t : f` with folds.
+    pub fn mux2(&mut self, s: NodeId, t: NodeId, f: NodeId) -> NodeId {
+        if !self.variant.allows(BogOp::Mux2) {
+            return match self.variant {
+                BogVariant::Aig => {
+                    let a1 = self.and2(s, t);
+                    let ns = self.not(s);
+                    let a2 = self.and2(ns, f);
+                    let n1 = self.not(a1);
+                    let n2 = self.not(a2);
+                    let n = self.and2(n1, n2);
+                    self.not(n)
+                }
+                BogVariant::Xag => {
+                    // s?t:f = f ^ (s & (t ^ f))
+                    let x = self.xor2(t, f);
+                    let g = self.and2(s, x);
+                    self.xor2(f, g)
+                }
+                _ => unreachable!(),
+            };
+        }
+        match self.op_of(s) {
+            BogOp::Const1 => return t,
+            BogOp::Const0 => return f,
+            _ => {}
+        }
+        if t == f {
+            return t;
+        }
+        if self.op_of(t) == BogOp::Const1 && self.op_of(f) == BogOp::Const0 {
+            return s;
+        }
+        if self.op_of(t) == BogOp::Const0 && self.op_of(f) == BogOp::Const1 {
+            return self.not(s);
+        }
+        self.hashed(BogOp::Mux2, [s, t, f])
+    }
+
+    /// Declares an RTL sequential signal of `width` bits, creating one DFF
+    /// per bit. Returns the Q node ids (LSB first). D pins are connected
+    /// later via [`Self::set_reg_d`].
+    pub fn signal(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        decl_line: u32,
+        top_level: bool,
+    ) -> Vec<NodeId> {
+        let name = name.into();
+        let sig_idx = self.signals.len() as u32;
+        let mut qs = Vec::with_capacity(width as usize);
+        let mut reg_indices = Vec::with_capacity(width as usize);
+        for bit in 0..width {
+            let q = self.raw(BogOp::Dff, [NO_NODE; 3]);
+            reg_indices.push(self.regs.len() as u32);
+            self.regs.push(BogReg { q, d: NO_NODE, signal: sig_idx, bit });
+            qs.push(q);
+        }
+        self.signals.push(SignalInfo { name, width, regs: reg_indices, decl_line, top_level });
+        qs
+    }
+
+    /// Connects the D pin of register `reg_index`.
+    pub fn set_reg_d(&mut self, reg_index: usize, d: NodeId) {
+        self.regs[reg_index].d = d;
+    }
+
+    /// Declares a primary output bit.
+    pub fn output(&mut self, name: impl Into<String>, driver: NodeId) {
+        self.outputs.push((name.into(), driver));
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any register D pin was left unconnected.
+    pub fn finish(self) -> Bog {
+        for (i, r) in self.regs.iter().enumerate() {
+            assert!(r.d != NO_NODE, "register {i} has unconnected D pin");
+        }
+        Bog {
+            name: self.name,
+            variant: self.variant,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            regs: self.regs,
+            signals: self.signals,
+        }
+    }
+
+    /// Current number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strash_dedupes_identical_gates() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.and2(y, x); // commutative canonical order
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn constant_folds() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let x = b.input("x");
+        let c1 = b.const1();
+        let c0 = b.const0();
+        assert_eq!(b.and2(x, c1), x);
+        assert_eq!(b.and2(x, c0), c0);
+        assert_eq!(b.or2(x, c0), x);
+        assert_eq!(b.xor2(x, x), c0);
+        let nx = b.not(x);
+        assert_eq!(b.not(nx), x);
+        assert_eq!(b.and2(x, nx), c0);
+        assert_eq!(b.or2(x, nx), b.const1());
+    }
+
+    #[test]
+    fn mux_folds() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let s = b.input("s");
+        let t = b.input("t");
+        let f = b.input("f");
+        let c1 = b.const1();
+        let c0 = b.const0();
+        assert_eq!(b.mux2(c1, t, f), t);
+        assert_eq!(b.mux2(c0, t, f), f);
+        assert_eq!(b.mux2(s, t, t), t);
+        assert_eq!(b.mux2(s, c1, c0), s);
+    }
+
+    #[test]
+    fn variant_gated_construction_avoids_banned_ops() {
+        for v in [BogVariant::Aig, BogVariant::Aimg, BogVariant::Xag] {
+            let mut b = BogBuilder::new("t", v);
+            let x = b.input("x");
+            let y = b.input("y");
+            let s = b.input("s");
+            let o = b.or2(x, y);
+            let xo = b.xor2(x, y);
+            let m = b.mux2(s, x, y);
+            b.output("o", o);
+            b.output("x", xo);
+            b.output("m", m);
+            let g = b.finish();
+            for n in g.nodes() {
+                assert!(v.allows(n.op), "{v} contains {}", n.op);
+            }
+        }
+    }
+
+    #[test]
+    fn signal_creates_bit_endpoints() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let d = b.input("d");
+        let qs = b.signal("r", 3, 10, true);
+        for (i, _) in qs.iter().enumerate() {
+            b.set_reg_d(i, d);
+        }
+        let g = b.finish();
+        assert_eq!(g.regs().len(), 3);
+        assert_eq!(g.signals()[0].name, "r");
+        assert_eq!(g.endpoint_name(Endpoint::Reg(2)), "r[2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected D pin")]
+    fn unconnected_d_pin_panics() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        b.signal("r", 1, 1, true);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn topo_order_parents_after_children() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.and2(x, y);
+        let o = b.or2(a, x);
+        b.output("o", o);
+        let g = b.finish();
+        let order = g.topo_order();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for id in 0..g.len() as NodeId {
+            for &f in g.fanins(id) {
+                assert!(pos[&f] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_count_operator_depth() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.and2(x, y);
+        let c = b.xor2(a, y);
+        b.output("c", c);
+        let g = b.finish();
+        let lv = g.levels();
+        assert_eq!(lv[x as usize], 0);
+        assert_eq!(lv[a as usize], 1);
+        assert_eq!(lv[c as usize], 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Graph statistics — the design-level features of Table 2 (sequential /
+//! combinational / total cell counts) plus per-operator breakdowns.
+
+use crate::graph::{Bog, BogOp};
+
+/// Size statistics of a BOG, treating each node as a pseudo cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BogStats {
+    /// Inverter count.
+    pub not: usize,
+    /// AND2 count.
+    pub and2: usize,
+    /// OR2 count.
+    pub or2: usize,
+    /// XOR2 count.
+    pub xor2: usize,
+    /// MUX2 count.
+    pub mux2: usize,
+    /// DFF count (sequential cells = bit endpoints).
+    pub dff: usize,
+    /// Primary input bits.
+    pub inputs: usize,
+    /// Constant nodes.
+    pub consts: usize,
+    /// Total combinational operators.
+    pub comb_total: usize,
+    /// Total cells (combinational + sequential).
+    pub total_cells: usize,
+    /// Maximum logic level.
+    pub max_level: u32,
+    /// Endpoint count (register bits + primary output bits).
+    pub endpoints: usize,
+}
+
+impl Bog {
+    /// Computes node-count statistics.
+    pub fn stats(&self) -> BogStats {
+        let mut s = BogStats::default();
+        for n in self.nodes() {
+            match n.op {
+                BogOp::Not => s.not += 1,
+                BogOp::And2 => s.and2 += 1,
+                BogOp::Or2 => s.or2 += 1,
+                BogOp::Xor2 => s.xor2 += 1,
+                BogOp::Mux2 => s.mux2 += 1,
+                BogOp::Dff => s.dff += 1,
+                BogOp::Input => s.inputs += 1,
+                BogOp::Const0 | BogOp::Const1 => s.consts += 1,
+            }
+        }
+        s.comb_total = s.not + s.and2 + s.or2 + s.xor2 + s.mux2;
+        s.total_cells = s.comb_total + s.dff;
+        s.max_level = self.levels().into_iter().max().unwrap_or(0);
+        s.endpoints = self.regs().len() + self.outputs().len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::blast::blast;
+    use rtlt_verilog::compile;
+
+    #[test]
+    fn stats_are_consistent() {
+        let bog = blast(
+            &compile(
+                "module m(input clk, input [3:0] a, input [3:0] b, output [3:0] q);
+                   reg [3:0] r;
+                   always @(posedge clk) r <= (a & b) | (a ^ b);
+                   assign q = r;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let s = bog.stats();
+        assert_eq!(s.dff, 4);
+        assert_eq!(s.endpoints, 4 + 4);
+        assert_eq!(s.comb_total, s.not + s.and2 + s.or2 + s.xor2 + s.mux2);
+        assert_eq!(s.total_cells, s.comb_total + s.dff);
+        assert!(s.max_level >= 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Path-level dataset construction (the register-oriented RTL processing of
+//! paper §3.2): for every register endpoint, the slowest path plus `K`
+//! random paths from its input cone, featurized for the bit-wise models.
+
+use crate::features::{op_class, path_features, token_features};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtlt_bog::{input_cone, Bog, BogVariant, Endpoint};
+use rtlt_liberty::Library;
+use rtlt_sta::{Sta, StaConfig};
+
+/// One featurized timing path.
+#[derive(Debug, Clone)]
+pub struct PathRow {
+    /// Table-2 feature vector ([`crate::features::PATH_FEATURE_NAMES`]).
+    pub features: Vec<f64>,
+    /// Operator-class token sequence (source → endpoint).
+    pub ops: Vec<usize>,
+    /// Per-token features.
+    pub tok_feats: Vec<Vec<f64>>,
+    /// Owning register endpoint index.
+    pub endpoint: usize,
+}
+
+/// All sampled paths of one design under one BOG representation.
+#[derive(Debug, Clone)]
+pub struct VariantData {
+    /// Which representation.
+    pub variant: BogVariant,
+    /// Path rows.
+    pub rows: Vec<PathRow>,
+    /// Row indices per register endpoint.
+    pub groups: Vec<Vec<usize>>,
+    /// Pseudo-STA arrival per register endpoint.
+    pub endpoint_sta_at: Vec<f64>,
+    /// Driving-register count per endpoint (cone feature, reused by the
+    /// ensemble).
+    pub driving_regs: Vec<f64>,
+    /// Design-level features of this representation.
+    pub design_feats: Vec<f64>,
+}
+
+/// Maximum random paths sampled per endpoint (on top of the slowest path).
+pub const MAX_RANDOM_PATHS: usize = 5;
+
+/// Builds the path dataset for one representation of a design.
+pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> VariantData {
+    let cfg = StaConfig { clock_period: clock, ..StaConfig::default() };
+    let sta = Sta::run(bog, lib, cfg);
+    let fanout = bog.fanout_counts();
+    let n_eps = bog.regs().len();
+
+    // Endpoint rank percentile by pseudo-STA arrival.
+    let ats: Vec<f64> = (0..n_eps)
+        .map(|i| sta.result().endpoint_at[i])
+        .collect();
+    let mut order: Vec<usize> = (0..n_eps).collect();
+    order.sort_by(|&a, &b| ats[a].partial_cmp(&ats[b]).expect("finite"));
+    let mut rank_pct = vec![0.0f64; n_eps];
+    for (rank, &i) in order.iter().enumerate() {
+        rank_pct[i] = if n_eps > 1 { rank as f64 / (n_eps - 1) as f64 } else { 0.5 };
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(n_eps);
+    let mut driving_regs = Vec::with_capacity(n_eps);
+
+    for e in 0..n_eps {
+        let ep = Endpoint::Reg(e as u32);
+        let cone = input_cone(bog, bog.endpoint_node(ep));
+        driving_regs.push(cone.driving_regs as f64);
+        let mut group = Vec::new();
+
+        // Slowest path (the pseudo-STA critical path S*→i).
+        let crit = sta.critical_path(ep);
+        // K random paths, proportional to the driving-register count
+        // (paper: "the sample number K_i is proportional to the number of
+        // driving registers").
+        let k = (cone.driving_regs / 3).clamp(0, MAX_RANDOM_PATHS);
+        let crit_nodes = crit.nodes.clone();
+        let mut paths = vec![crit];
+        for p in sta.sample_paths(ep, k, &mut rng) {
+            if p.nodes != crit_nodes {
+                paths.push(p);
+            }
+        }
+
+        for p in paths {
+            let features = path_features(&sta, bog, &p, &cone, rank_pct[e], &fanout);
+            let ops = p.nodes.iter().map(|&n| op_class(bog.node(n).op)).collect();
+            let tok_feats = token_features(&sta, &p, &fanout);
+            group.push(rows.len());
+            rows.push(PathRow { features, ops, tok_feats, endpoint: e });
+        }
+        groups.push(group);
+    }
+
+    VariantData {
+        variant: bog.variant,
+        rows,
+        groups,
+        endpoint_sta_at: ats,
+        driving_regs,
+        design_feats: crate::features::design_features(bog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlt_bog::blast;
+    use rtlt_verilog::compile;
+
+    fn bog() -> Bog {
+        blast(
+            &compile(
+                "module m(input clk, input [15:0] a, input [15:0] b, output [15:0] q);
+                   reg [15:0] r;
+                   reg [15:0] s;
+                   always @(posedge clk) begin
+                     r <= a + b;
+                     s <= s + (r ^ a);
+                   end
+                   assign q = s;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn dataset_covers_every_endpoint() {
+        let bog = bog();
+        let lib = Library::pseudo_bog();
+        let data = build_variant_data(&bog, &lib, 1.0, 1);
+        assert_eq!(data.groups.len(), bog.regs().len());
+        assert!(data.groups.iter().all(|g| !g.is_empty()), "each endpoint has >= 1 path");
+        // First row of every group is the slowest path: its arrival equals
+        // the endpoint pseudo-STA arrival.
+        for (e, g) in data.groups.iter().enumerate() {
+            let crit_arrival = data.rows[g[0]].features[7];
+            assert!((crit_arrival - data.endpoint_sta_at[e]).abs() < 1e-9);
+            for &r in g {
+                assert_eq!(data.rows[r].endpoint, e);
+                assert!(data.rows[r].features[7] <= crit_arrival + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_cones_get_more_paths() {
+        let bog = bog();
+        let lib = Library::pseudo_bog();
+        let data = build_variant_data(&bog, &lib, 1.0, 1);
+        // `s` endpoints depend on r+a (wide cones) → sampled extra paths;
+        // at least one endpoint should have multiple paths.
+        assert!(data.groups.iter().any(|g| g.len() > 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bog = bog();
+        let lib = Library::pseudo_bog();
+        let a = build_variant_data(&bog, &lib, 1.0, 9);
+        let b = build_variant_data(&bog, &lib, 1.0, 9);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.features, y.features);
+        }
+    }
+}

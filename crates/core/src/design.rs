@@ -1,0 +1,170 @@
+//! Design-level WNS/TNS modeling (paper §3.4.3): compute direct estimates
+//! from the predicted per-endpoint slacks, then refine with a tree model
+//! that also sees design-scale features.
+
+use rtlt_ml::{Gbdt, GbdtParams, SquaredObjective};
+
+/// Names of the design-level features.
+pub const DESIGN_ROW_NAMES: [&str; 13] = [
+    "direct_wns",
+    "direct_tns_per_ep",
+    "violation_frac",
+    "at_q50",
+    "at_q90",
+    "at_q99",
+    "at_max",
+    "at_mean",
+    "clock",
+    "log_endpoints",
+    "log_seq_cells",
+    "log_comb_cells",
+    "log_total_cells",
+];
+
+/// Direct WNS/TNS computed from predicted endpoint arrivals.
+pub fn direct_wns_tns(pred_at: &[f64], clock: f64, setup: f64) -> (f64, f64) {
+    let mut wns = 0.0f64;
+    let mut tns = 0.0f64;
+    for &at in pred_at {
+        if !at.is_finite() {
+            continue;
+        }
+        let slack = clock - setup - at;
+        if slack < 0.0 {
+            tns += slack;
+            wns = wns.min(slack);
+        }
+    }
+    (wns, tns)
+}
+
+/// Builds the design-level feature row.
+pub fn design_row(pred_at: &[f64], clock: f64, setup: f64, design_feats: &[f64]) -> Vec<f64> {
+    let finite: Vec<f64> = pred_at.iter().cloned().filter(|a| a.is_finite()).collect();
+    let n = finite.len().max(1);
+    let mut sorted = finite.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |f: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[(((sorted.len() - 1) as f64) * f) as usize]
+        }
+    };
+    let (wns, tns) = direct_wns_tns(&finite, clock, setup);
+    let violations = finite.iter().filter(|&&a| clock - setup - a < 0.0).count();
+    let mut row = vec![
+        wns,
+        tns / n as f64,
+        violations as f64 / n as f64,
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        sorted.last().copied().unwrap_or(0.0),
+        finite.iter().sum::<f64>() / n as f64,
+        clock,
+        (n as f64).ln_1p(),
+    ];
+    row.extend(design_feats.iter().take(3).copied());
+    row
+}
+
+/// Fitted WNS + TNS regressors. TNS is modeled per-endpoint then rescaled
+/// (designs differ by orders of magnitude in endpoint count).
+#[derive(Debug)]
+pub struct DesignTimingModel {
+    wns: Gbdt,
+    tns: Gbdt,
+}
+
+impl DesignTimingModel {
+    /// Fits on one row per training design.
+    ///
+    /// `rows` from [`design_row`]; `wns_labels`/`tns_labels` from the
+    /// synthesis ground truth; `ep_counts` = labeled endpoint count per
+    /// design.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        wns_labels: &[f64],
+        tns_labels: &[f64],
+        ep_counts: &[f64],
+        seed: u64,
+    ) -> DesignTimingModel {
+        // Few samples (≈ 20 designs): shallow, strongly-regularized trees.
+        let mut params = GbdtParams::default();
+        params.n_trees = 60;
+        params.learning_rate = 0.12;
+        params.tree.max_depth = 2;
+        params.tree.lambda = 2.0;
+        params.tree.min_child_weight = 2.0;
+        params.subsample = 0.9;
+        params.seed = seed;
+        let wns = Gbdt::fit(rows, &SquaredObjective { targets: wns_labels.to_vec() }, &params);
+        let tns_per_ep: Vec<f64> = tns_labels
+            .iter()
+            .zip(ep_counts)
+            .map(|(t, n)| t / n.max(1.0))
+            .collect();
+        let tns = Gbdt::fit(rows, &SquaredObjective { targets: tns_per_ep }, &params);
+        DesignTimingModel { wns, tns }
+    }
+
+    /// Predicts `(WNS, TNS)` for a design row with `n_endpoints`.
+    pub fn predict(&self, row: &[f64], n_endpoints: f64) -> (f64, f64) {
+        let wns = self.wns.predict(row).min(0.0);
+        let tns = (self.tns.predict(row) * n_endpoints.max(1.0)).min(0.0);
+        (wns, tns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_values_match_manual_sum() {
+        let at = [0.5, 0.9, 1.4];
+        let (wns, tns) = direct_wns_tns(&at, 1.0, 0.035);
+        // slacks: 0.465, 0.065, -0.435.
+        assert!((wns + 0.435).abs() < 1e-9);
+        assert!((tns + 0.435).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_row_shape() {
+        let row = design_row(&[0.1, 0.2, 0.9], 0.5, 0.035, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(row.len(), DESIGN_ROW_NAMES.len());
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn model_recovers_monotone_relation() {
+        // Synthetic designs whose true WNS/TNS are close to the direct
+        // estimates.
+        let mut rows = Vec::new();
+        let mut wns = Vec::new();
+        let mut tns = Vec::new();
+        let mut eps = Vec::new();
+        for d in 0..16 {
+            let n = 50 + d * 10;
+            let at: Vec<f64> = (0..n).map(|i| 0.2 + 0.8 * (i as f64 / n as f64) + d as f64 * 0.01).collect();
+            let clock = 0.8;
+            let row = design_row(&at, clock, 0.035, &[5.0, 8.0, 8.5, 30.0]);
+            let (dw, dt) = direct_wns_tns(&at, clock, 0.035);
+            rows.push(row);
+            wns.push(dw * 1.1 - 0.01);
+            tns.push(dt * 1.2 - 0.1);
+            eps.push(n as f64);
+        }
+        let model = DesignTimingModel::fit(&rows, &wns, &tns, &eps, 3);
+        let mut pred_w = Vec::new();
+        let mut pred_t = Vec::new();
+        for (row, n) in rows.iter().zip(&eps) {
+            let (w, t) = model.predict(row, *n);
+            pred_w.push(w);
+            pred_t.push(t);
+        }
+        assert!(crate::metrics::pearson(&pred_w, &wns) > 0.9);
+        assert!(crate::metrics::pearson(&pred_t, &tns) > 0.9);
+    }
+}

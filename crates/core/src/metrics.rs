@@ -1,0 +1,199 @@
+//! Evaluation metrics (paper §4.2): Pearson R, R², MAPE and the critical
+//! level ranking coverage COVR with the paper's 4 criticality groups
+//! (top 5 %, 5–40 %, 40–70 %, rest).
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let (mut num, mut da, mut db) = (0.0, 0.0, 0.0);
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma).powi(2);
+        db += (y - mb).powi(2);
+    }
+    let d = (da * db).sqrt();
+    if d < 1e-12 {
+        0.0
+    } else {
+        num / d
+    }
+}
+
+/// Coefficient of determination (R²) of predictions vs labels.
+pub fn r_squared(pred: &[f64], label: &[f64]) -> f64 {
+    assert_eq!(pred.len(), label.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mean = label.iter().sum::<f64>() / label.len() as f64;
+    let ss_res: f64 = pred.iter().zip(label).map(|(p, y)| (y - p).powi(2)).sum();
+    let ss_tot: f64 = label.iter().map(|y| (y - mean).powi(2)).sum();
+    if ss_tot < 1e-12 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean absolute percentage error (%), skipping labels within `1e-9` of 0.
+pub fn mape(pred: &[f64], label: &[f64]) -> f64 {
+    assert_eq!(pred.len(), label.len());
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (p, y) in pred.iter().zip(label) {
+        if y.abs() > 1e-9 {
+            acc += ((p - y) / y).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * acc / n as f64
+    }
+}
+
+/// The paper's criticality group boundaries as fractions of the endpoint
+/// count: group 1 = top 5 %, group 2 = 5–40 %, group 3 = 40–70 %,
+/// group 4 = rest.
+pub const GROUP_BOUNDS: [f64; 3] = [0.05, 0.40, 0.70];
+
+/// Assigns each item a criticality group (0 = most critical) from its
+/// score, where **larger scores are more critical** (e.g. arrival times).
+pub fn rank_groups(scores: &[f64]) -> Vec<usize> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let cut = |f: f64| ((n as f64) * f).ceil() as usize;
+    let c1 = cut(GROUP_BOUNDS[0]).max(1);
+    let c2 = cut(GROUP_BOUNDS[1]);
+    let c3 = cut(GROUP_BOUNDS[2]);
+    let mut groups = vec![3usize; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        groups[idx] = if rank < c1 {
+            0
+        } else if rank < c2 {
+            1
+        } else if rank < c3 {
+            2
+        } else {
+            3
+        };
+    }
+    groups
+}
+
+/// Critical-level ranking coverage: mean over groups of
+/// `|pred_group ∩ label_group| / |label_group|` (paper §4.2), in percent.
+pub fn covr(pred_scores: &[f64], label_scores: &[f64]) -> f64 {
+    assert_eq!(pred_scores.len(), label_scores.len());
+    if pred_scores.is_empty() {
+        return 0.0;
+    }
+    let pg = rank_groups(pred_scores);
+    let lg = rank_groups(label_scores);
+    let mut cover = 0.0;
+    let mut counted = 0usize;
+    for g in 0..4 {
+        let label_set: Vec<usize> =
+            (0..lg.len()).filter(|&i| lg[i] == g).collect();
+        if label_set.is_empty() {
+            continue;
+        }
+        let inter = label_set.iter().filter(|&&i| pg[i] == g).count();
+        cover += inter as f64 / label_set.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        100.0 * cover / counted as f64
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_basic() {
+        assert!((mape(&[110.0], &[100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0, "zero labels skipped");
+    }
+
+    #[test]
+    fn groups_match_paper_fractions() {
+        // 100 items with distinct scores.
+        let scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let g = rank_groups(&scores);
+        let count = |k: usize| g.iter().filter(|&&x| x == k).count();
+        assert_eq!(count(0), 5);
+        assert_eq!(count(1), 35);
+        assert_eq!(count(2), 30);
+        assert_eq!(count(3), 30);
+        // Highest score (99) is most critical.
+        assert_eq!(g[99], 0);
+        assert_eq!(g[0], 3);
+    }
+
+    #[test]
+    fn covr_perfect_and_degraded() {
+        let labels: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!((covr(&labels, &labels) - 100.0).abs() < 1e-9);
+        // Reversed prediction: top group never intersects.
+        let rev: Vec<f64> = labels.iter().rev().cloned().collect();
+        assert!(covr(&rev, &labels) < 40.0);
+    }
+
+    #[test]
+    fn covr_tiny_design_has_nonempty_group1() {
+        // 8 endpoints: ceil(0.05·8)=1 → group 1 exists.
+        let labels: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let g = rank_groups(&labels);
+        assert_eq!(g.iter().filter(|&&x| x == 0).count(), 1);
+    }
+}

@@ -1,0 +1,584 @@
+//! End-to-end pipeline: design preparation (compile → blast → label via
+//! synthesis → featurize), model fitting, prediction, cross-validation.
+
+use crate::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
+use crate::dataset::{build_variant_data, VariantData};
+use crate::design::{design_row, direct_wns_tns, DesignTimingModel};
+use crate::ensemble::{meta_rows, EnsembleModel};
+use crate::metrics;
+use crate::signal::{signal_labels, signal_rows, SignalModels};
+use rtlt_bog::{blast, Bog, BogVariant, SignalInfo};
+use rtlt_liberty::{CellFunc, Drive, Library};
+use rtlt_synth::{synthesize, SynthOptions};
+use rtlt_verilog::VerilogError;
+
+/// Global pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct TimerConfig {
+    /// Master seed (per-design seeds derive from it and the design name).
+    pub seed: u64,
+    /// Synthesis effort for label generation.
+    pub synth_effort: f64,
+    /// Worker threads for suite preparation / cross-validation.
+    pub threads: usize,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        TimerConfig {
+            seed: 2024,
+            // Bounded default effort: the label flow leaves realistic
+            // residual violations (Table 6 operates on these).
+            synth_effort: 0.6,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+fn design_seed(master: u64, name: &str) -> u64 {
+    let mut h = master ^ 0x9e3779b97f4a7c15;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A fully prepared design: featurized representations plus ground-truth
+/// labels from the synthesis simulator.
+#[derive(Debug)]
+pub struct DesignData {
+    /// Design name (top module).
+    pub name: String,
+    /// Original Verilog source.
+    pub source: String,
+    /// SOG representation (kept for annotation/optimization/baselines).
+    pub sog: Bog,
+    /// Path datasets for SOG, AIG, AIMG, XAG (in [`BogVariant::ALL`] order).
+    pub variant_data: Vec<VariantData>,
+    /// Ground-truth arrival time per register (bit) endpoint.
+    pub labels_at: Vec<f64>,
+    /// Clock period used by the label flow (ns).
+    pub clock: f64,
+    /// DFF setup time (ns).
+    pub setup: f64,
+    /// Ground-truth design WNS (ns).
+    pub wns: f64,
+    /// Ground-truth design TNS (ns).
+    pub tns: f64,
+    /// Ground-truth area.
+    pub area: f64,
+    /// Ground-truth power.
+    pub power: f64,
+    /// AST features (ICCAD'22-style baseline input).
+    pub ast_feats: Vec<f64>,
+    /// Per-design seed (reused by optimization flows).
+    pub synth_seed: u64,
+    /// Synthesis effort used by the label flow (optimization flows scale
+    /// from this).
+    pub synth_effort: f64,
+}
+
+impl DesignData {
+    /// Compiles, labels and featurizes one design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors (parse/elaborate failures).
+    pub fn prepare(name: &str, source: &str, cfg: &TimerConfig) -> Result<DesignData, VerilogError> {
+        let file = rtlt_verilog::parse(source)?;
+        let ast_feats = rtlt_verilog::astfeat::extract(&file).to_vec();
+        let netlist = rtlt_verilog::elaborate(&file, name)?;
+        let sog = blast(&netlist);
+
+        // Ground truth: default synthesis flow.
+        let lib = Library::nangate45_like();
+        let seed = design_seed(cfg.seed, name);
+        let synth = synthesize(
+            &sog,
+            &lib,
+            &SynthOptions { seed, effort: cfg.synth_effort, ..Default::default() },
+        );
+
+        // Featurize all four representations against the label clock.
+        let pseudo = Library::pseudo_bog();
+        let variant_data: Vec<VariantData> = BogVariant::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let g = sog.to_variant(v);
+                build_variant_data(&g, &pseudo, synth.clock_period, seed ^ (i as u64 + 1))
+            })
+            .collect();
+
+        let setup = lib.cell(CellFunc::Dff, Drive::X1).seq.expect("dff").setup;
+        Ok(DesignData {
+            name: name.to_owned(),
+            source: source.to_owned(),
+            sog,
+            variant_data,
+            labels_at: synth.endpoint_at,
+            clock: synth.clock_period,
+            setup,
+            wns: synth.wns,
+            tns: synth.tns,
+            area: synth.area,
+            power: synth.power,
+            ast_feats,
+            synth_seed: seed,
+            synth_effort: cfg.synth_effort,
+        })
+    }
+
+    /// RTL signals of the design.
+    pub fn signals(&self) -> &[SignalInfo] {
+        self.sog.signals()
+    }
+
+    /// Ground-truth signal-level max arrival per signal.
+    pub fn signal_labels(&self) -> Vec<f64> {
+        signal_labels(&self.labels_at, self.signals())
+    }
+
+    /// Operator histogram (normalized) — the SNS-style baseline input.
+    pub fn op_histogram(&self) -> Vec<f64> {
+        let s = self.sog.stats();
+        let t = (s.comb_total + s.dff).max(1) as f64;
+        vec![
+            s.not as f64 / t,
+            s.and2 as f64 / t,
+            s.or2 as f64 / t,
+            s.xor2 as f64 / t,
+            s.mux2 as f64 / t,
+            s.dff as f64 / t,
+            (s.total_cells as f64).ln_1p(),
+            s.max_level as f64,
+            self.clock,
+        ]
+    }
+}
+
+/// An owned collection of prepared designs.
+#[derive(Debug, Default)]
+pub struct DesignSet {
+    designs: Vec<DesignData>,
+}
+
+impl DesignSet {
+    /// Wraps prepared designs.
+    pub fn new(designs: Vec<DesignData>) -> DesignSet {
+        DesignSet { designs }
+    }
+
+    /// Prepares the full 21-design benchmark suite in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any generated design fails to compile (the generator and
+    /// frontend are tested together, so this indicates a bug).
+    pub fn prepare_suite(cfg: &TimerConfig) -> DesignSet {
+        let sources = rtlt_designgen::generate_all();
+        Self::prepare_named(&sources, cfg)
+    }
+
+    /// Prepares an arbitrary list of `(name, source)` designs in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source fails to compile.
+    pub fn prepare_named(sources: &[(String, String)], cfg: &TimerConfig) -> DesignSet {
+        let n = sources.len();
+        let mut results: Vec<Option<DesignData>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<DesignData>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.threads.max(1).min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (name, src) = &sources[i];
+                    let d = DesignData::prepare(name, src, cfg)
+                        .unwrap_or_else(|e| panic!("{name}: {e}"));
+                    *slots[i].lock().expect("poisoned") = Some(d);
+                });
+            }
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            results[i] = slot.into_inner().expect("poisoned");
+        }
+        DesignSet { designs: results.into_iter().map(|d| d.expect("prepared")).collect() }
+    }
+
+    /// The prepared designs.
+    pub fn designs(&self) -> &[DesignData] {
+        &self.designs
+    }
+
+    /// Finds a design by name.
+    pub fn get(&self, name: &str) -> Option<&DesignData> {
+        self.designs.iter().find(|d| d.name == name)
+    }
+
+    /// Splits into `(train, test)` by test-design names.
+    pub fn split<'a>(&'a self, test_names: &[&str]) -> (Vec<&'a DesignData>, Vec<&'a DesignData>) {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for d in &self.designs {
+            if test_names.contains(&d.name.as_str()) {
+                test.push(d);
+            } else {
+                train.push(d);
+            }
+        }
+        (train, test)
+    }
+
+    /// Deterministic k-fold partition of design names (round-robin after a
+    /// stable ordering).
+    pub fn folds(&self, k: usize) -> Vec<Vec<String>> {
+        let mut names: Vec<String> = self.designs.iter().map(|d| d.name.clone()).collect();
+        names.sort();
+        let mut folds = vec![Vec::new(); k.max(1)];
+        for (i, n) in names.into_iter().enumerate() {
+            folds[i % k.max(1)].push(n);
+        }
+        folds
+    }
+}
+
+/// The fitted RTL-Timer model stack.
+#[derive(Debug)]
+pub struct RtlTimer {
+    bitwise: Vec<BitwiseModel>,
+    ensemble: EnsembleModel,
+    signal: SignalModels,
+    design_timing: DesignTimingModel,
+}
+
+impl RtlTimer {
+    /// Fits the full stack on the given training designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fit(train: &[&DesignData], cfg: &TimerConfig) -> RtlTimer {
+        assert!(!train.is_empty(), "RtlTimer::fit needs at least one design");
+        // 1. Four per-representation bit-wise models (grouped max-loss).
+        let bitwise: Vec<BitwiseModel> = (0..4)
+            .map(|v| {
+                let corpus = BitwiseCorpus {
+                    designs: train
+                        .iter()
+                        .map(|d| (&d.variant_data[v], d.labels_at.as_slice()))
+                        .collect(),
+                };
+                BitwiseModel::fit(BitModelKind::TreeMax, &corpus, cfg.seed ^ (v as u64))
+            })
+            .collect();
+
+        // 2. Ensemble meta-model over the per-variant predictions.
+        let mut meta_feat = Vec::new();
+        let mut meta_label = Vec::new();
+        let mut per_design_bits: Vec<Vec<f64>> = Vec::new();
+        for d in train {
+            let preds: Vec<Vec<f64>> =
+                (0..4).map(|v| bitwise[v].predict_endpoints(&d.variant_data[v])).collect();
+            let rows = meta_rows(&preds, &d.variant_data[0]);
+            for (e, row) in rows.into_iter().enumerate() {
+                if d.labels_at[e].is_finite() {
+                    meta_feat.push(row);
+                    meta_label.push(d.labels_at[e]);
+                }
+            }
+            per_design_bits.push(preds.into_iter().next().expect("sog preds"));
+        }
+        let ensemble = EnsembleModel::fit(&meta_feat, &meta_label, cfg.seed ^ 0xE);
+
+        // 3. Signal-level models on the ensembled bit predictions.
+        let mut per_design_signal = Vec::new();
+        let mut design_rows_v = Vec::new();
+        let mut wns_labels = Vec::new();
+        let mut tns_labels = Vec::new();
+        let mut ep_counts = Vec::new();
+        for d in train {
+            let bits = Self::ensemble_bits(&bitwise, &ensemble, d);
+            let srows = signal_rows(
+                &bits,
+                &d.variant_data[0].endpoint_sta_at,
+                d.signals(),
+                &d.variant_data[0].design_feats,
+            );
+            let slabels = d.signal_labels();
+            per_design_signal.push((srows, slabels));
+
+            design_rows_v.push(design_row(&bits, d.clock, d.setup, &d.variant_data[0].design_feats));
+            wns_labels.push(d.wns);
+            tns_labels.push(d.tns);
+            ep_counts.push(d.labels_at.iter().filter(|l| l.is_finite()).count() as f64);
+        }
+        let signal = SignalModels::fit(&per_design_signal, cfg.seed ^ 0x5);
+        let design_timing =
+            DesignTimingModel::fit(&design_rows_v, &wns_labels, &tns_labels, &ep_counts, cfg.seed ^ 0xD);
+
+        RtlTimer { bitwise, ensemble, signal, design_timing }
+    }
+
+    fn ensemble_bits(bitwise: &[BitwiseModel], ensemble: &EnsembleModel, d: &DesignData) -> Vec<f64> {
+        let preds: Vec<Vec<f64>> =
+            (0..4).map(|v| bitwise[v].predict_endpoints(&d.variant_data[v])).collect();
+        let rows = meta_rows(&preds, &d.variant_data[0]);
+        ensemble.predict(&rows)
+    }
+
+    /// Per-variant bit-wise predictions (diagnostics / Table 5).
+    pub fn variant_bit_predictions(&self, d: &DesignData) -> Vec<Vec<f64>> {
+        (0..4).map(|v| self.bitwise[v].predict_endpoints(&d.variant_data[v])).collect()
+    }
+
+    /// Runs the full prediction stack on one (unseen) design.
+    pub fn predict(&self, d: &DesignData) -> Prediction {
+        let variant_bit_preds = self.variant_bit_predictions(d);
+        let rows = meta_rows(&variant_bit_preds, &d.variant_data[0]);
+        let bit_pred = self.ensemble.predict(&rows);
+
+        let srows = signal_rows(
+            &bit_pred,
+            &d.variant_data[0].endpoint_sta_at,
+            d.signals(),
+            &d.variant_data[0].design_feats,
+        );
+        let (signal_pred, signal_rank_score) = self.signal.predict(&srows);
+
+        let drow = design_row(&bit_pred, d.clock, d.setup, &d.variant_data[0].design_feats);
+        let n_eps = d.labels_at.iter().filter(|l| l.is_finite()).count() as f64;
+        let (wns_pred, tns_pred) = self.design_timing.predict(&drow, n_eps);
+        let (wns_direct, tns_direct) = direct_wns_tns(&bit_pred, d.clock, d.setup);
+
+        Prediction {
+            design: d.name.clone(),
+            bit_pred,
+            bit_label: d.labels_at.clone(),
+            variant_bit_preds,
+            signal_pred,
+            signal_rank_score,
+            signal_label: d.signal_labels(),
+            signal_names: d.signals().iter().map(|s| s.name.clone()).collect(),
+            wns_pred,
+            tns_pred,
+            wns_direct,
+            tns_direct,
+            wns_label: d.wns,
+            tns_label: d.tns,
+            clock: d.clock,
+            setup: d.setup,
+        }
+    }
+}
+
+/// Prediction output for one design, bundled with labels for evaluation.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Design name.
+    pub design: String,
+    /// Ensembled bit-wise arrival predictions.
+    pub bit_pred: Vec<f64>,
+    /// Ground-truth bit-wise arrivals.
+    pub bit_label: Vec<f64>,
+    /// Per-variant bit-wise predictions (SOG, AIG, AIMG, XAG).
+    pub variant_bit_preds: Vec<Vec<f64>>,
+    /// Signal-wise max-arrival regression predictions.
+    pub signal_pred: Vec<f64>,
+    /// Signal-wise LTR criticality scores (higher = more critical).
+    pub signal_rank_score: Vec<f64>,
+    /// Ground-truth signal max arrivals.
+    pub signal_label: Vec<f64>,
+    /// Signal names (aligned with the signal vectors).
+    pub signal_names: Vec<String>,
+    /// Model-predicted WNS.
+    pub wns_pred: f64,
+    /// Model-predicted TNS.
+    pub tns_pred: f64,
+    /// Direct WNS from predicted slacks.
+    pub wns_direct: f64,
+    /// Direct TNS from predicted slacks.
+    pub tns_direct: f64,
+    /// Ground-truth WNS.
+    pub wns_label: f64,
+    /// Ground-truth TNS.
+    pub tns_label: f64,
+    /// Clock period (ns).
+    pub clock: f64,
+    /// DFF setup (ns).
+    pub setup: f64,
+}
+
+impl Prediction {
+    fn finite_pairs(pred: &[f64], label: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut p = Vec::new();
+        let mut l = Vec::new();
+        for (&a, &b) in pred.iter().zip(label) {
+            if a.is_finite() && b.is_finite() {
+                p.push(a);
+                l.push(b);
+            }
+        }
+        (p, l)
+    }
+
+    /// Pearson R of the bit-wise predictions.
+    pub fn bit_r(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.bit_pred, &self.bit_label);
+        metrics::pearson(&p, &l)
+    }
+
+    /// MAPE (%) of the bit-wise predictions.
+    pub fn bit_mape(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.bit_pred, &self.bit_label);
+        metrics::mape(&p, &l)
+    }
+
+    /// COVR (%) of bit-wise criticality groups.
+    pub fn bit_covr(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.bit_pred, &self.bit_label);
+        metrics::covr(&p, &l)
+    }
+
+    /// Pearson R of one representation's bit predictions.
+    pub fn variant_bit_r(&self, v: usize) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.variant_bit_preds[v], &self.bit_label);
+        metrics::pearson(&p, &l)
+    }
+
+    /// Pearson R of the signal-wise regression.
+    pub fn signal_r(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.signal_pred, &self.signal_label);
+        metrics::pearson(&p, &l)
+    }
+
+    /// MAPE (%) of the signal-wise regression.
+    pub fn signal_mape(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.signal_pred, &self.signal_label);
+        metrics::mape(&p, &l)
+    }
+
+    /// COVR (%) using the regression predictions for grouping.
+    pub fn signal_covr_regression(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.signal_pred, &self.signal_label);
+        metrics::covr(&p, &l)
+    }
+
+    /// COVR (%) using the LTR scores for grouping (the paper's headline
+    /// ranking metric).
+    pub fn signal_covr_ranking(&self) -> f64 {
+        let (p, l) = Self::finite_pairs(&self.signal_rank_score, &self.signal_label);
+        metrics::covr(&p, &l)
+    }
+
+    /// Predicted signal slack (ns): `clock − setup − predicted arrival`.
+    pub fn signal_slack(&self) -> Vec<f64> {
+        self.signal_pred.iter().map(|at| self.clock - self.setup - at).collect()
+    }
+}
+
+/// Runs k-fold cross-validation (train/test splits are disjoint by design,
+/// as in the paper) and returns one [`Prediction`] per design.
+pub fn cross_validate(set: &DesignSet, k: usize, cfg: &TimerConfig) -> Vec<Prediction> {
+    let folds = set.folds(k);
+    let mut out: Vec<Prediction> = Vec::new();
+    let results: Vec<Vec<Prediction>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = folds
+            .iter()
+            .map(|fold| {
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
+                    let (train, test) = set.split(&names);
+                    if test.is_empty() {
+                        return Vec::new();
+                    }
+                    let model = RtlTimer::fit(&train, &cfg);
+                    test.iter().map(|d| model.predict(d)).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fold thread")).collect()
+    });
+    for r in results {
+        out.extend(r);
+    }
+    out.sort_by(|a, b| a.design.cmp(&b.design));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sources() -> Vec<(String, String)> {
+        let mk = |name: &str, w: u32, extra: &str| {
+            (
+                name.to_owned(),
+                format!(
+                    "module {name}(input clk, input [{x}:0] a, input [{x}:0] b, output [{x}:0] q);
+                       reg [{x}:0] r;
+                       reg [{x}:0] s;
+                       always @(posedge clk) begin
+                         r <= a + b;
+                         s <= s ^ (r {extra});
+                       end
+                       assign q = s;
+                     endmodule",
+                    x = w - 1,
+                ),
+            )
+        };
+        vec![
+            mk("d0", 8, "+ a"),
+            mk("d1", 10, "- b"),
+            mk("d2", 12, "& a"),
+            mk("d3", 9, "| b"),
+        ]
+    }
+
+    #[test]
+    fn prepare_builds_labels_and_features() {
+        let cfg = TimerConfig { threads: 2, ..Default::default() };
+        let (name, src) = &tiny_sources()[0];
+        let d = DesignData::prepare(name, src, &cfg).unwrap();
+        assert_eq!(d.variant_data.len(), 4);
+        assert_eq!(d.labels_at.len(), d.sog.regs().len());
+        assert!(d.labels_at.iter().all(|l| l.is_finite()));
+        assert!(d.clock > 0.0 && d.area > 0.0);
+    }
+
+    #[test]
+    fn fit_predict_round_trip() {
+        let cfg = TimerConfig { threads: 2, ..Default::default() };
+        let set = DesignSet::prepare_named(&tiny_sources(), &cfg);
+        let (train, test) = set.split(&["d3"]);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        let model = RtlTimer::fit(&train, &cfg);
+        let pred = model.predict(test[0]);
+        assert_eq!(pred.bit_pred.len(), test[0].labels_at.len());
+        assert_eq!(pred.signal_pred.len(), test[0].signals().len());
+        assert!(pred.bit_r().is_finite());
+        // Cross-design generalization on closely-related designs should be
+        // clearly positive.
+        assert!(pred.bit_r() > 0.3, "bit R = {}", pred.bit_r());
+        assert!(pred.wns_pred <= 0.0 && pred.tns_pred <= pred.wns_pred + 1e-12);
+    }
+
+    #[test]
+    fn folds_partition_all_designs() {
+        let cfg = TimerConfig { threads: 2, ..Default::default() };
+        let set = DesignSet::prepare_named(&tiny_sources()[..2], &cfg);
+        let folds = set.folds(2);
+        let total: usize = folds.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-readable prediction reports (PrimeTime-style endpoint tables for
+//! the *predicted* timing — what an IDE plug-in would surface next to the
+//! annotated source).
+
+use crate::metrics::rank_groups;
+use crate::pipeline::Prediction;
+use std::fmt::Write;
+
+/// One-line summary of a design's predicted timing.
+pub fn summary(pred: &Prediction) -> String {
+    format!(
+        "{}: clock {:.3}ns | predicted WNS {:.3}ns TNS {:.2}ns (direct {:.3}/{:.2}) | {} signals, {} bit endpoints",
+        pred.design,
+        pred.clock,
+        pred.wns_pred,
+        pred.tns_pred,
+        pred.wns_direct,
+        pred.tns_direct,
+        pred.signal_pred.len(),
+        pred.bit_pred.len(),
+    )
+}
+
+/// Endpoint table of the `top` most critical signals by predicted slack,
+/// with ranking group and (when available) the ground-truth slack.
+pub fn endpoint_table(pred: &Prediction, top: usize) -> String {
+    let slacks = pred.signal_slack();
+    let groups = rank_groups(&pred.signal_rank_score);
+    let mut order: Vec<usize> = (0..slacks.len()).collect();
+    order.sort_by(|&a, &b| slacks[a].partial_cmp(&slacks[b]).expect("finite"));
+
+    let mut out = String::new();
+    writeln!(out, "{:<28} {:>10} {:>6} {:>12}", "signal", "pred slack", "rank", "true slack").unwrap();
+    writeln!(out, "{}", "-".repeat(60)).unwrap();
+    for &i in order.iter().take(top) {
+        let true_slack = if pred.signal_label[i].is_finite() {
+            format!("{:>12.3}", pred.clock - pred.setup - pred.signal_label[i])
+        } else {
+            format!("{:>12}", "-")
+        };
+        writeln!(
+            out,
+            "{:<28} {:>10.3} {:>6} {}",
+            pred.signal_names[i],
+            slacks[i],
+            format!("g{}", groups[i] + 1),
+            true_slack
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_prediction() -> Prediction {
+        Prediction {
+            design: "t".into(),
+            bit_pred: vec![0.5, 0.9],
+            bit_label: vec![0.55, 0.8],
+            variant_bit_preds: vec![vec![0.5, 0.9]; 4],
+            signal_pred: vec![0.9, 0.3, 0.6],
+            signal_rank_score: vec![2.0, 0.1, 1.0],
+            signal_label: vec![0.85, 0.25, f64::NAN],
+            signal_names: vec!["slow".into(), "fast".into(), "mid".into()],
+            wns_pred: -0.2,
+            tns_pred: -0.4,
+            wns_direct: -0.15,
+            tns_direct: -0.3,
+            wns_label: -0.22,
+            tns_label: -0.5,
+            clock: 0.75,
+            setup: 0.035,
+        }
+    }
+
+    #[test]
+    fn summary_mentions_design_and_wns() {
+        let s = summary(&fake_prediction());
+        assert!(s.contains("t:"));
+        assert!(s.contains("-0.200") || s.contains("-0.2"));
+    }
+
+    #[test]
+    fn table_sorted_by_predicted_slack_and_handles_nan_labels() {
+        let t = endpoint_table(&fake_prediction(), 3);
+        let lines: Vec<&str> = t.lines().collect();
+        // Worst predicted slack first: `slow` (arrival 0.9 → slack ~ -0.185).
+        assert!(lines[2].starts_with("slow"), "{t}");
+        // NaN label renders as '-'.
+        assert!(t.contains(" -"), "{t}");
+        // Only `top` rows plus header/divider.
+        assert_eq!(lines.len(), 2 + 3);
+    }
+}

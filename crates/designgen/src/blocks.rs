@@ -1,0 +1,95 @@
+//! Reusable Verilog text-emission building blocks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Emits `always @(*)`-style S-box: a `case` lookup from `sel` (in_bits
+/// wide) to `out` (out_bits wide), with random but deterministic contents.
+pub fn sbox(out: &str, sel: &str, in_bits: u32, out_bits: u32, rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("  always @(*)\n    case ({sel})\n"));
+    let n = 1u64 << in_bits;
+    for i in 0..n - 1 {
+        let v = rng.gen_range(0..(1u64 << out_bits));
+        s.push_str(&format!("      {in_bits}'d{i}: {out} = {out_bits}'d{v};\n"));
+    }
+    let v = rng.gen_range(0..(1u64 << out_bits));
+    s.push_str(&format!("      default: {out} = {out_bits}'d{v};\n"));
+    s.push_str("    endcase\n");
+    s
+}
+
+/// Left-rotate expression text for a `width`-bit value.
+pub fn rotl(x: &str, width: u32, by: u32) -> String {
+    let by = by % width;
+    if by == 0 {
+        x.to_owned()
+    } else {
+        format!("{{{x}[{}:0], {x}[{}:{}]}}", width - by - 1, width - 1, width - by)
+    }
+}
+
+/// A random simple combinational mix of two operands (text expression).
+pub fn mix(a: &str, b: &str, width: u32, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..6) {
+        0 => format!("({a} ^ {b})"),
+        1 => format!("({a} + {b})"),
+        2 => format!("({a} & {b}) | ({a} ^ {b})"),
+        3 => format!("({a} - {b})"),
+        4 => format!("({a} ^ {})", rotl(b, width, rng.gen_range(1..width))),
+        _ => format!("(({a} << 1) ^ {b})"),
+    }
+}
+
+/// Declares an always block implementing a small random FSM over `states`
+/// states, reading condition bits from `cond` (a signal name with at least
+/// `states` bits) and driving `state` (a declared reg wide enough).
+pub fn fsm(state: &str, cond: &str, states: u32, state_bits: u32, rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    s.push_str("  always @(posedge clk)\n    if (rst) ");
+    s.push_str(&format!("{state} <= {state_bits}'d0;\n    else case ({state})\n"));
+    for st in 0..states {
+        let t1 = rng.gen_range(0..states);
+        let t2 = rng.gen_range(0..states);
+        let bit = rng.gen_range(0..states.min(31));
+        s.push_str(&format!(
+            "      {state_bits}'d{st}: {state} <= {cond}[{bit}] ? {state_bits}'d{t1} : {state_bits}'d{t2};\n"
+        ));
+    }
+    s.push_str(&format!("      default: {state} <= {state_bits}'d0;\n    endcase\n"));
+    s
+}
+
+/// Number of bits needed to index `n` items.
+pub fn clog2(n: u32) -> u32 {
+    32 - (n.max(2) - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rotl_edges() {
+        assert_eq!(rotl("x", 8, 0), "x");
+        assert_eq!(rotl("x", 8, 8), "x");
+        assert_eq!(rotl("x", 8, 3), "{x[4:0], x[7:5]}");
+    }
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(8), 3);
+    }
+
+    #[test]
+    fn sbox_emits_all_arms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sbox("y", "x", 4, 4, &mut rng);
+        assert_eq!(s.matches("4'd").count() - s.matches(": y = 4'd").count(), 15 - 15 + 15);
+        assert!(s.contains("default"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Interconnect and datapath IP analogues: a crossbar switch (`conmax`), a
+//! floating-point-style datapath (`FPU`) and a MAC/DSP pipeline (`Marax`).
+
+use crate::blocks::{clog2, rotl};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An `m × n` crossbar with per-slave rotating-priority arbitration.
+pub fn crossbar(name: &str, masters: u32, slaves: u32, dw: u32, rng: &mut StdRng) -> String {
+    let d = dw - 1;
+    let mut s = String::new();
+    s.push_str(&format!("module {name}(input clk, input rst,"));
+    for m in 0..masters {
+        s.push_str(&format!(" input [{d}:0] mdat{m},"));
+    }
+    s.push_str(&format!(" input [{}:0] req, output [{d}:0] sout", masters * slaves - 1));
+    s.push_str(");\n");
+
+    for sl in 0..slaves {
+        let base = sl * masters;
+        s.push_str(&format!("  reg [{}:0] ptr{sl};\n", clog2(masters) - 1));
+        s.push_str(&format!("  reg [{}:0] grant{sl};\n", masters - 1));
+        s.push_str(&format!("  reg [{d}:0] sdat{sl};\n"));
+        // Rotate request by pointer, priority-encode, rotate grant back.
+        s.push_str(&format!("  wire [{}:0] rq{sl};\n", masters - 1));
+        s.push_str(&format!("  assign rq{sl} = req[{}:{}];\n", base + masters - 1, base));
+        s.push_str(&format!("  reg [{}:0] g{sl};\n", masters - 1));
+        // Priority arbitration per pointer value (rotating priority).
+        s.push_str(&format!("  always @(*)\n    case (ptr{sl})\n"));
+        for p in 0..masters {
+            let mut arm = String::new();
+            // casez-like chain: first requester at or after p wins.
+            let mut expr = format!("{m}'d0", m = masters);
+            for k in (0..masters).rev() {
+                let idx = (p + k) % masters;
+                expr = format!("rq{sl}[{idx}] ? {m}'d{oh} : ({expr})", m = masters, oh = 1u64 << idx);
+            }
+            arm.push_str(&format!("      {pb}'d{p}: g{sl} = {expr};\n", pb = clog2(masters)));
+            s.push_str(&arm);
+        }
+        s.push_str(&format!("      default: g{sl} = {m}'d0;\n    endcase\n", m = masters));
+        // Grant + pointer registers.
+        s.push_str(&format!(
+            "  always @(posedge clk)\n    if (rst) grant{sl} <= {m}'d0;\n    else grant{sl} <= g{sl};\n",
+            m = masters
+        ));
+        s.push_str(&format!(
+            "  always @(posedge clk)\n    if (rst) ptr{sl} <= {pb}'d0;\n    else if (g{sl} != {m}'d0) ptr{sl} <= ptr{sl} + {pb}'d1;\n",
+            pb = clog2(masters),
+            m = masters
+        ));
+        // Data mux.
+        s.push_str(&format!("  always @(posedge clk)\n    if (rst) sdat{sl} <= {dw}'d0;\n    else case (grant{sl})\n"));
+        for m in 0..masters {
+            s.push_str(&format!(
+                "      {mm}'d{oh}: sdat{sl} <= mdat{m};\n",
+                mm = masters,
+                oh = 1u64 << m
+            ));
+        }
+        s.push_str(&format!("      default: sdat{sl} <= sdat{sl};\n    endcase\n"));
+    }
+    // Checksum pipeline over the switched data: gives the fabric realistic
+    // multi-level arithmetic depth on top of the shallow arbiter logic.
+    let xor: Vec<String> = (0..slaves).map(|sl| format!("sdat{sl}")).collect();
+    s.push_str(&format!("  reg [{d}:0] csum;\n  reg [{d}:0] cacc;\n"));
+    let r1 = rng.gen_range(1..dw);
+    let r2 = rng.gen_range(1..dw);
+    s.push_str(&format!(
+        "  always @(posedge clk)\n    if (rst) csum <= {dw}'d0;\n    else csum <= ({}) + {};\n",
+        xor.join(" ^ "),
+        rotl("sdat0", dw, r1)
+    ));
+    s.push_str(&format!(
+        "  always @(posedge clk)\n    if (rst) cacc <= {dw}'d0;\n    else cacc <= cacc + (csum ^ {});\n",
+        rotl("csum", dw, r2)
+    ));
+    s.push_str("  assign sout = cacc;\n");
+    s.push_str("endmodule\n");
+    s
+}
+
+/// A floating-point-style pipeline: unpack, exponent align (variable
+/// shift), mantissa add, leading-zero count, normalize, pack — plus a
+/// mantissa multiplier path.
+pub fn fpu(name: &str, rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    let _ = rng;
+    s.push_str(&format!(
+        "module {name}(input clk, input rst, input [31:0] a, input [31:0] b, input op, output [31:0] res);\n"
+    ));
+    // Unpack (fp16-ish fields widened: 1/7/24).
+    s.push_str(
+        "  wire sa; wire sb; wire [6:0] ea; wire [6:0] eb; wire [23:0] ma; wire [23:0] mb;\n\
+         \x20 assign sa = a[31]; assign sb = b[31];\n\
+         \x20 assign ea = a[30:24]; assign eb = b[30:24];\n\
+         \x20 assign ma = {1'b1, a[23:1]}; assign mb = {1'b1, b[23:1]};\n",
+    );
+    // Stage 1: align.
+    s.push_str(
+        "  reg [6:0] exp1; reg [23:0] mbig; reg [23:0] msmall; reg sgn1; reg op1r;\n\
+         \x20 wire agtb; wire [6:0] ediff;\n\
+         \x20 assign agtb = (ea > eb) || ((ea == eb) && (ma >= mb));\n\
+         \x20 assign ediff = agtb ? (ea - eb) : (eb - ea);\n\
+         \x20 always @(posedge clk)\n\
+         \x20   if (rst) begin exp1 <= 7'd0; mbig <= 24'd0; msmall <= 24'd0; sgn1 <= 1'b0; op1r <= 1'b0; end\n\
+         \x20   else begin\n\
+         \x20     exp1 <= agtb ? ea : eb;\n\
+         \x20     mbig <= agtb ? ma : mb;\n\
+         \x20     msmall <= (agtb ? mb : ma) >> ediff[4:0];\n\
+         \x20     sgn1 <= agtb ? sa : sb;\n\
+         \x20     op1r <= op ^ sa ^ sb;\n\
+         \x20   end\n",
+    );
+    // Stage 2: add/sub.
+    s.push_str(
+        "  reg [24:0] sum2; reg [6:0] exp2; reg sgn2;\n\
+         \x20 always @(posedge clk)\n\
+         \x20   if (rst) begin sum2 <= 25'd0; exp2 <= 7'd0; sgn2 <= 1'b0; end\n\
+         \x20   else begin\n\
+         \x20     sum2 <= op1r ? ({1'b0, mbig} - {1'b0, msmall}) : ({1'b0, mbig} + {1'b0, msmall});\n\
+         \x20     exp2 <= exp1; sgn2 <= sgn1;\n\
+         \x20   end\n",
+    );
+    // Stage 3: leading-zero count (priority casez) + normalize.
+    s.push_str("  reg [4:0] lzc;\n  always @(*)\n    casez (sum2)\n");
+    for i in 0..25u32 {
+        let mut pat = String::new();
+        for _ in 0..i {
+            pat.push('0');
+        }
+        pat.push('1');
+        for _ in i + 1..25 {
+            pat.push('?');
+        }
+        s.push_str(&format!("      25'b{pat}: lzc = 5'd{i};\n"));
+    }
+    s.push_str("      default: lzc = 5'd24;\n    endcase\n");
+    s.push_str(
+        "  reg [24:0] norm3; reg [6:0] exp3; reg sgn3;\n\
+         \x20 always @(posedge clk)\n\
+         \x20   if (rst) begin norm3 <= 25'd0; exp3 <= 7'd0; sgn3 <= 1'b0; end\n\
+         \x20   else begin\n\
+         \x20     norm3 <= sum2 << lzc;\n\
+         \x20     exp3 <= exp2 - {2'd0, lzc} + 7'd1;\n\
+         \x20     sgn3 <= sgn2;\n\
+         \x20   end\n",
+    );
+    // Multiplier path (mantissa high halves).
+    s.push_str(
+        "  reg [23:0] prod1;\n\
+         \x20 always @(posedge clk)\n\
+         \x20   if (rst) prod1 <= 24'd0;\n\
+         \x20   else prod1 <= ma[23:12] * mb[23:12];\n\
+         \x20 reg [23:0] prod2;\n\
+         \x20 always @(posedge clk)\n\
+         \x20   if (rst) prod2 <= 24'd0;\n\
+         \x20   else prod2 <= prod1 + {12'd0, ma[11:0]};\n",
+    );
+    // Pack.
+    s.push_str(
+        "  assign res = {sgn3, exp3, norm3[24:1]} ^ {8'd0, prod2};\n\
+         endmodule\n",
+    );
+    s
+}
+
+/// A multiply-accumulate DSP pipeline with saturation.
+pub fn mac_dsp(name: &str, w: u32, taps: u32, rng: &mut StdRng) -> String {
+    let d = w - 1;
+    let acc_w = 2 * w + 4;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "module {name}(input clk, input rst, input [{d}:0] x, input [{d}:0] c0_in, output [{d}:0] y);\n"
+    ));
+    // Delay line.
+    for t in 0..taps {
+        s.push_str(&format!("  reg [{d}:0] z{t};\n"));
+    }
+    s.push_str("  always @(posedge clk)\n    if (rst) begin");
+    for t in 0..taps {
+        s.push_str(&format!(" z{t} <= {w}'d0;"));
+    }
+    s.push_str(" end\n    else begin z0 <= x;");
+    for t in 1..taps {
+        s.push_str(&format!(" z{t} <= z{};", t - 1));
+    }
+    s.push_str(" end\n");
+    // Coefficients evolve slowly from input (keeps them live).
+    for t in 0..taps {
+        let r = rng.gen_range(1..w);
+        s.push_str(&format!(
+            "  reg [{d}:0] c{t};\n  always @(posedge clk)\n    if (rst) c{t} <= {w}'d{init};\n    else c{t} <= c{t} ^ ({src} >> {r});\n",
+            init = rng.gen_range(1..(1u64 << (w - 1))),
+            src = if t == 0 { "c0_in".to_owned() } else { format!("c{}", t - 1) },
+        ));
+    }
+    // Products (half-width to bound area) and adder tree.
+    let h = w / 2;
+    for t in 0..taps {
+        s.push_str(&format!(
+            "  wire [{pw}:0] p{t};\n  assign p{t} = z{t}[{h1}:0] * c{t}[{h1}:0];\n",
+            pw = 2 * h - 1,
+            h1 = h - 1
+        ));
+    }
+    let sum: Vec<String> = (0..taps).map(|t| format!("{{{}'d0, p{t}}}", acc_w - 2 * h)).collect();
+    s.push_str(&format!(
+        "  reg [{aw}:0] acc;\n  always @(posedge clk)\n    if (rst) acc <= {accw}'d0;\n    else acc <= acc + {};\n",
+        sum.join(" + "),
+        aw = acc_w - 1,
+        accw = acc_w
+    ));
+    // Saturating output with rounding.
+    s.push_str(&format!(
+        "  wire [{aw}:0] rounded;\n  assign rounded = acc + {accw}'d{half};\n",
+        aw = acc_w - 1,
+        accw = acc_w,
+        half = 1u64 << (w - 1)
+    ));
+    s.push_str(&format!(
+        "  reg [{d}:0] sat;\n  always @(posedge clk)\n    if (rst) sat <= {w}'d0;\n    else sat <= (rounded[{aw}:{w}] != {hi}'d0) ? {w}'d{max} : rounded[{d}:0];\n",
+        aw = acc_w - 1,
+        hi = acc_w - w,
+        max = (1u64 << w) - 1
+    ));
+    s.push_str("  assign y = sat;\nendmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crossbar_compiles() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = crossbar("x", 4, 4, 16, &mut rng);
+        let n = rtlt_verilog::compile(&src, "x").expect("valid");
+        assert!(n.stats().reg_bits >= 4 * (16 + 4 + 2));
+    }
+
+    #[test]
+    fn fpu_compiles_with_deep_paths() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let src = fpu("f", &mut rng);
+        let n = rtlt_verilog::compile(&src, "f").expect("valid");
+        assert!(n.stats().ops > 100);
+    }
+
+    #[test]
+    fn mac_compiles_and_saturates_width() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let src = mac_dsp("m", 16, 4, &mut rng);
+        let n = rtlt_verilog::compile(&src, "m").expect("valid");
+        assert!(n.regs().iter().any(|r| r.name == "acc"));
+    }
+}

@@ -1,0 +1,148 @@
+//! ITC'99-style control-dominated cores (b17/b18/b20/b22 analogues).
+
+use crate::blocks::{fsm, mix, rotl};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A control-dominated core: `n_fsm` interacting FSMs, counters gated by
+/// FSM states, and accumulators mixing counter/datapath values.
+pub fn control_core(name: &str, n_fsm: u32, width: u32, n_counters: u32, rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "module {name}(input clk, input rst, input [31:0] din, input [15:0] ctrl, output [{w}:0] dout, output busy);\n",
+        w = width - 1
+    ));
+    for i in 0..n_fsm {
+        s.push_str(&format!("  reg [3:0] state{i};\n"));
+    }
+    for i in 0..n_counters {
+        s.push_str(&format!("  reg [{w}:0] cnt{i};\n", w = width - 1));
+    }
+    for i in 0..n_fsm {
+        s.push_str(&format!("  reg [{w}:0] acc{i};\n", w = width - 1));
+    }
+    s.push_str(&format!("  reg [{w}:0] alu;\n", w = width - 1));
+
+    // FSMs conditioned on input bits and cross-coupled on other FSM states.
+    for i in 0..n_fsm {
+        let states = rng.gen_range(5..=12).min(15);
+        s.push_str(&fsm(&format!("state{i}"), "din", states, 4, rng));
+    }
+
+    // Counters gated by FSM states.
+    for i in 0..n_counters {
+        let f = rng.gen_range(0..n_fsm);
+        let st = rng.gen_range(0..8);
+        let step = rng.gen_range(1..7);
+        s.push_str(&format!(
+            "  always @(posedge clk)\n    if (rst) cnt{i} <= {width}'d0;\n    else if (state{f} == 4'd{st}) cnt{i} <= cnt{i} + {width}'d{step};\n"
+        ));
+    }
+
+    // Accumulators mixing counters, input slices, and each other.
+    for i in 0..n_fsm {
+        let c = rng.gen_range(0..n_counters);
+        let other = (i + 1) % n_fsm;
+        let m1 = mix(&format!("acc{i}"), &format!("cnt{c}"), width, rng);
+        let m2 = mix(&m1, &format!("acc{other}"), width, rng);
+        let din_slice = format!("din[{}:0]", (width - 1).min(31));
+        let guard = rng.gen_range(0..16);
+        s.push_str(&format!(
+            "  always @(posedge clk)\n    if (rst) acc{i} <= {width}'d0;\n    else if (ctrl[{b}]) acc{i} <= {m2} ^ {din_slice};\n    else acc{i} <= {};\n",
+            rotl(&format!("acc{i}"), width, (guard % (width - 1)) + 1),
+            b = i % 16,
+        ));
+    }
+
+    // A small shared ALU (combinational) exercised by ctrl.
+    s.push_str("  always @(*)\n    case (ctrl[2:0])\n");
+    for op in 0..7 {
+        let a = format!("acc{}", op % n_fsm);
+        let b = format!("cnt{}", op as u32 % n_counters);
+        let e = match op {
+            0 => format!("{a} + {b}"),
+            1 => format!("{a} - {b}"),
+            2 => format!("{a} & {b}"),
+            3 => format!("{a} | {b}"),
+            4 => format!("{a} ^ {b}"),
+            5 => format!("{a} + ({b} << 2)"),
+            _ => format!("({a} < {b}) ? {a} : {b}"),
+        };
+        s.push_str(&format!("      3'd{op}: alu = {e};\n"));
+    }
+    s.push_str(&format!("      default: alu = {width}'d0;\n    endcase\n"));
+
+    // Outputs.
+    let xor_accs: Vec<String> = (0..n_fsm).map(|i| format!("acc{i}")).collect();
+    s.push_str(&format!("  assign dout = alu ^ {};\n", xor_accs.join(" ^ ")));
+    let states_or: Vec<String> = (0..n_fsm).map(|i| format!("(state{i} != 4'd0)")).collect();
+    s.push_str(&format!("  assign busy = {};\n", states_or.join(" | ")));
+    s.push_str("endmodule\n");
+    s
+}
+
+/// A small arithmetic-heavy core with a low sequential ratio (b20/b22
+/// analogue — the paper flags these as hard to optimize further, with large
+/// power/area overheads).
+pub fn arith_core(name: &str, width: u32, stages: u32, rng: &mut StdRng) -> String {
+    let w = width - 1;
+    let half = width / 2;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "module {name}(input clk, input rst, input [{w}:0] a, input [{w}:0] b, output [{w}:0] dout);\n"
+    ));
+    s.push_str(&format!("  wire [{}:0] prod;\n", 2 * half - 1));
+    s.push_str(&format!("  assign prod = a[{h1}:0] * b[{h1}:0];\n", h1 = half - 1));
+    for i in 0..stages {
+        s.push_str(&format!("  reg [{w}:0] st{i};\n"));
+    }
+    // Deep combinational mix feeding a couple of registers.
+    let mut expr = format!("(prod[{w}:0] ^ {{b[{h1}:0], a[{w}:{half}]}})", h1 = half - 1);
+    for _ in 0..3 {
+        let r = rng.gen_range(1..width);
+        expr = format!("({expr} + {})", rotl("a", width, r));
+    }
+    s.push_str(&format!(
+        "  always @(posedge clk)\n    if (rst) st0 <= {width}'d0;\n    else st0 <= {expr};\n"
+    ));
+    for i in 1..stages {
+        let prev = i - 1;
+        let m = mix(&format!("st{prev}"), "b", width, rng);
+        s.push_str(&format!(
+            "  always @(posedge clk)\n    if (rst) st{i} <= {width}'d0;\n    else st{i} <= {m};\n"
+        ));
+    }
+    s.push_str(&format!("  assign dout = st{};\n", stages - 1));
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn control_core_compiles() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let src = control_core("t", 3, 8, 2, &mut rng);
+        let n = rtlt_verilog::compile(&src, "t").expect("valid");
+        // FSM states + counters + accumulators (`alu` is combinational).
+        assert_eq!(n.regs().len(), 3 + 2 + 3);
+    }
+
+    #[test]
+    fn arith_core_has_low_seq_ratio() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let src = arith_core("t", 16, 2, &mut rng);
+        let n = rtlt_verilog::compile(&src, "t").expect("valid");
+        let bog = rtlt_bog::blast(&n);
+        let st = bog.stats();
+        assert!(
+            st.comb_total > 4 * st.dff,
+            "comb {} should dwarf seq {}",
+            st.comb_total,
+            st.dff
+        );
+    }
+}

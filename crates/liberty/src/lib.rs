@@ -1,0 +1,40 @@
+//! Synthetic NLDM-style standard-cell timing library.
+//!
+//! The RTL-Timer paper characterizes designs against the NanGate 45 nm PDK.
+//! That PDK (and the commercial tools reading it) is unavailable offline, so
+//! this crate provides a self-contained, NanGate45-inspired library with the
+//! same *structure* a real liberty file exposes to a timing engine:
+//!
+//! * cells with per-pin input capacitance, area, leakage and a max-load limit,
+//! * non-linear delay model ([`Nldm`]) lookup tables indexed by input slew and
+//!   output load, with bilinear interpolation and clamped extrapolation,
+//! * sequential cells with clk→Q delay, setup and hold constraints,
+//! * multiple drive strengths (X1/X2/X4) per logic function,
+//! * a lumped [`WireModel`] used by the placement-aware timer.
+//!
+//! Two libraries are built:
+//!
+//! * [`Library::pseudo_bog`] — one "pseudo cell" per Boolean-operator-graph
+//!   node type, exactly the paper's trick of treating a BOG as a *pseudo
+//!   netlist* so a conventional STA algorithm can run on RTL, and
+//! * [`Library::nangate45_like`] — the mapped-cell library used by the
+//!   synthesis simulator to produce ground-truth netlists.
+//!
+//! # Example
+//!
+//! ```
+//! use rtlt_liberty::{CellFunc, Drive, Library};
+//!
+//! let lib = Library::nangate45_like();
+//! let nand = lib.cell(CellFunc::Nand2, Drive::X1);
+//! let d = nand.delay(0.02, 4.0);
+//! assert!(d > 0.0 && d < 1.0, "plausible gate delay in ns");
+//! ```
+
+mod cell;
+mod library;
+mod nldm;
+
+pub use cell::{Cell, CellFunc, Drive, SeqTiming, Timing};
+pub use library::{Library, WireModel};
+pub use nldm::Nldm;

@@ -1,0 +1,267 @@
+//! Library construction: the pseudo-cell library for BOG timing and the
+//! NanGate45-inspired mapped library for the synthesis simulator.
+
+use crate::cell::{Cell, CellFunc, Drive, SeqTiming, Timing};
+use crate::nldm::Nldm;
+use std::collections::HashMap;
+
+/// Lumped wire parasitics used by the placement-aware timer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Resistance per unit length (ns per cap-unit per unit length).
+    pub res_per_unit: f64,
+    /// Capacitance per unit length (cap units per unit length).
+    pub cap_per_unit: f64,
+}
+
+impl WireModel {
+    /// Elmore-style lumped delay of a wire of `len` units driving `pin_cap`.
+    pub fn delay(&self, len: f64, pin_cap: f64) -> f64 {
+        let wire_cap = self.cap_per_unit * len;
+        self.res_per_unit * len * (wire_cap / 2.0 + pin_cap)
+    }
+
+    /// Total capacitance contributed by a wire of `len` units.
+    pub fn cap(&self, len: f64) -> f64 {
+        self.cap_per_unit * len
+    }
+}
+
+/// A characterized cell library.
+#[derive(Debug, Clone)]
+pub struct Library {
+    /// Library name.
+    pub name: String,
+    cells: Vec<Cell>,
+    index: HashMap<(CellFunc, Drive), usize>,
+    /// Wire parasitic model.
+    pub wire: WireModel,
+    /// Slew assumed at primary inputs and register Q pins.
+    pub default_input_slew: f64,
+}
+
+/// Per-function electrical archetype used to generate NLDM tables.
+struct Proto {
+    func: CellFunc,
+    /// Intrinsic delay at zero load/slew (ns).
+    intrinsic: f64,
+    /// Output resistance for the X1 variant (ns per cap unit).
+    resistance: f64,
+    /// Delay sensitivity to input slew (dimensionless).
+    slew_sens: f64,
+    /// X1 input pin capacitance (cap units), uniform across pins.
+    pin_cap: f64,
+    /// X1 area.
+    area: f64,
+    /// X1 leakage.
+    leakage: f64,
+}
+
+const SLEW_AXIS: [f64; 6] = [0.002, 0.010, 0.030, 0.080, 0.200, 0.500];
+const LOAD_AXIS: [f64; 6] = [0.5, 2.0, 6.0, 16.0, 40.0, 100.0];
+
+fn build_cell(p: &Proto, drive: Drive) -> Cell {
+    let k = drive.strength();
+    // Bigger drives: lower output resistance, proportionally larger input
+    // pins/area/leakage (sub-linear pin growth, as in real libraries).
+    let res = p.resistance / k;
+    let pin = p.pin_cap * (1.0 + 0.85 * (k - 1.0));
+    let intr = p.intrinsic * (1.0 + 0.06 * (k - 1.0));
+    let slew_sens = p.slew_sens;
+    let delay = Nldm::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+        intr + res * l + slew_sens * s
+    });
+    let out_slew = Nldm::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+        0.6 * intr + 2.1 * res * l + 0.12 * s
+    });
+    let seq = if p.func == CellFunc::Dff {
+        Some(SeqTiming { clk_to_q: intr, setup: 0.035, hold: 0.004 })
+    } else {
+        None
+    };
+    Cell {
+        name: format!("{}_{}", p.func, drive),
+        func: p.func,
+        drive,
+        area: p.area * (1.0 + 0.55 * (k - 1.0)),
+        leakage: p.leakage * (1.0 + 0.75 * (k - 1.0)),
+        pin_caps: vec![pin; p.func.arity()],
+        max_load: 24.0 * k,
+        timing: Timing { delay, out_slew },
+        seq,
+    }
+}
+
+impl Library {
+    fn from_protos(name: &str, protos: &[Proto], drives: &[Drive]) -> Library {
+        let mut cells = Vec::new();
+        let mut index = HashMap::new();
+        for p in protos {
+            for &d in drives {
+                index.insert((p.func, d), cells.len());
+                cells.push(build_cell(p, d));
+            }
+        }
+        Library {
+            name: name.to_owned(),
+            cells,
+            index,
+            wire: WireModel { res_per_unit: 0.00022, cap_per_unit: 0.18 },
+            default_input_slew: 0.012,
+        }
+    }
+
+    /// The pseudo-cell library: one cell per Boolean-operator-graph node
+    /// type, single drive. This is what lets the pseudo-STA treat a BOG as a
+    /// pseudo netlist (paper §3.1).
+    pub fn pseudo_bog() -> Library {
+        let protos = [
+            Proto { func: CellFunc::Buf,  intrinsic: 0.016, resistance: 0.0036, slew_sens: 0.09, pin_cap: 1.0, area: 1.07, leakage: 1.0 },
+            Proto { func: CellFunc::Inv,  intrinsic: 0.008, resistance: 0.0040, slew_sens: 0.10, pin_cap: 1.0, area: 0.80, leakage: 0.9 },
+            Proto { func: CellFunc::And2, intrinsic: 0.021, resistance: 0.0046, slew_sens: 0.11, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
+            Proto { func: CellFunc::Or2,  intrinsic: 0.024, resistance: 0.0050, slew_sens: 0.12, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
+            Proto { func: CellFunc::Xor2, intrinsic: 0.031, resistance: 0.0064, slew_sens: 0.16, pin_cap: 1.9, area: 2.13, leakage: 2.2 },
+            Proto { func: CellFunc::Mux2, intrinsic: 0.034, resistance: 0.0060, slew_sens: 0.15, pin_cap: 1.4, area: 2.40, leakage: 2.4 },
+            Proto { func: CellFunc::Dff,  intrinsic: 0.046, resistance: 0.0052, slew_sens: 0.05, pin_cap: 1.2, area: 4.52, leakage: 3.1 },
+        ];
+        Library::from_protos("pseudo_bog", &protos, &[Drive::X1])
+    }
+
+    /// The NanGate45-inspired mapped library used to build ground-truth
+    /// netlists (substitute for the paper's commercial PDK; DESIGN.md §2).
+    pub fn nangate45_like() -> Library {
+        let protos = [
+            Proto { func: CellFunc::Buf,   intrinsic: 0.016, resistance: 0.0036, slew_sens: 0.09, pin_cap: 1.0, area: 1.07, leakage: 1.0 },
+            Proto { func: CellFunc::Inv,   intrinsic: 0.008, resistance: 0.0040, slew_sens: 0.10, pin_cap: 1.0, area: 0.80, leakage: 0.9 },
+            Proto { func: CellFunc::Nand2, intrinsic: 0.012, resistance: 0.0044, slew_sens: 0.11, pin_cap: 1.0, area: 1.06, leakage: 1.1 },
+            Proto { func: CellFunc::Nor2,  intrinsic: 0.015, resistance: 0.0056, slew_sens: 0.13, pin_cap: 1.1, area: 1.06, leakage: 1.2 },
+            Proto { func: CellFunc::And2,  intrinsic: 0.020, resistance: 0.0045, slew_sens: 0.11, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
+            Proto { func: CellFunc::Or2,   intrinsic: 0.023, resistance: 0.0049, slew_sens: 0.12, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
+            Proto { func: CellFunc::Xor2,  intrinsic: 0.030, resistance: 0.0063, slew_sens: 0.16, pin_cap: 1.9, area: 2.13, leakage: 2.2 },
+            Proto { func: CellFunc::Xnor2, intrinsic: 0.030, resistance: 0.0063, slew_sens: 0.16, pin_cap: 1.9, area: 2.13, leakage: 2.2 },
+            Proto { func: CellFunc::Mux2,  intrinsic: 0.033, resistance: 0.0059, slew_sens: 0.15, pin_cap: 1.4, area: 2.40, leakage: 2.4 },
+            Proto { func: CellFunc::Nand3, intrinsic: 0.016, resistance: 0.0050, slew_sens: 0.12, pin_cap: 1.1, area: 1.33, leakage: 1.4 },
+            Proto { func: CellFunc::Nor3,  intrinsic: 0.021, resistance: 0.0068, slew_sens: 0.15, pin_cap: 1.2, area: 1.33, leakage: 1.5 },
+            Proto { func: CellFunc::Aoi21, intrinsic: 0.017, resistance: 0.0058, slew_sens: 0.13, pin_cap: 1.1, area: 1.33, leakage: 1.3 },
+            Proto { func: CellFunc::Oai21, intrinsic: 0.017, resistance: 0.0058, slew_sens: 0.13, pin_cap: 1.1, area: 1.33, leakage: 1.3 },
+            Proto { func: CellFunc::Aoi22, intrinsic: 0.021, resistance: 0.0064, slew_sens: 0.14, pin_cap: 1.2, area: 1.60, leakage: 1.5 },
+            Proto { func: CellFunc::Oai22, intrinsic: 0.021, resistance: 0.0064, slew_sens: 0.14, pin_cap: 1.2, area: 1.60, leakage: 1.5 },
+            Proto { func: CellFunc::Dff,   intrinsic: 0.045, resistance: 0.0050, slew_sens: 0.05, pin_cap: 1.2, area: 4.52, leakage: 3.1 },
+        ];
+        Library::from_protos("nangate45_like", &protos, &Drive::ALL)
+    }
+
+    /// Looks up a cell by function and drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no such cell; both built-in libraries are
+    /// complete over their advertised function sets.
+    pub fn cell(&self, func: CellFunc, drive: Drive) -> &Cell {
+        let idx = self.index.get(&(func, drive)).unwrap_or_else(|| {
+            panic!("library {} has no cell {func}_{drive}", self.name)
+        });
+        &self.cells[*idx]
+    }
+
+    /// Looks up a cell, returning `None` when absent.
+    pub fn try_cell(&self, func: CellFunc, drive: Drive) -> Option<&Cell> {
+        self.index.get(&(func, drive)).map(|&i| &self.cells[i])
+    }
+
+    /// All cells in the library.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Drive strengths available for a function, weakest first.
+    pub fn drives_for(&self, func: CellFunc) -> Vec<Drive> {
+        Drive::ALL
+            .iter()
+            .copied()
+            .filter(|&d| self.index.contains_key(&(func, d)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_library_covers_all_bog_ops() {
+        let lib = Library::pseudo_bog();
+        for f in [
+            CellFunc::Buf,
+            CellFunc::Inv,
+            CellFunc::And2,
+            CellFunc::Or2,
+            CellFunc::Xor2,
+            CellFunc::Mux2,
+            CellFunc::Dff,
+        ] {
+            assert!(lib.try_cell(f, Drive::X1).is_some(), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn mapped_library_has_three_drives() {
+        let lib = Library::nangate45_like();
+        assert_eq!(lib.drives_for(CellFunc::Nand2), vec![Drive::X1, Drive::X2, Drive::X4]);
+    }
+
+    #[test]
+    fn upsizing_reduces_delay_under_load() {
+        let lib = Library::nangate45_like();
+        let slew = 0.02;
+        let load = 20.0;
+        let d1 = lib.cell(CellFunc::Nand2, Drive::X1).delay(slew, load);
+        let d2 = lib.cell(CellFunc::Nand2, Drive::X2).delay(slew, load);
+        let d4 = lib.cell(CellFunc::Nand2, Drive::X4).delay(slew, load);
+        assert!(d1 > d2 && d2 > d4, "{d1} {d2} {d4}");
+    }
+
+    #[test]
+    fn upsizing_increases_area_and_input_cap() {
+        let lib = Library::nangate45_like();
+        let c1 = lib.cell(CellFunc::Inv, Drive::X1);
+        let c4 = lib.cell(CellFunc::Inv, Drive::X4);
+        assert!(c4.area > c1.area);
+        assert!(c4.pin_cap(0) > c1.pin_cap(0));
+    }
+
+    #[test]
+    fn xor_is_slower_than_nand() {
+        let lib = Library::nangate45_like();
+        let x = lib.cell(CellFunc::Xor2, Drive::X1).delay(0.02, 4.0);
+        let n = lib.cell(CellFunc::Nand2, Drive::X1).delay(0.02, 4.0);
+        assert!(x > n);
+    }
+
+    #[test]
+    fn dff_has_sequential_constraints() {
+        let lib = Library::nangate45_like();
+        let dff = lib.cell(CellFunc::Dff, Drive::X1);
+        let seq = dff.seq.expect("dff is sequential");
+        assert!(seq.clk_to_q > 0.0 && seq.setup > 0.0 && seq.hold >= 0.0);
+    }
+
+    #[test]
+    fn wire_model_delay_grows_superlinearly() {
+        let lib = Library::nangate45_like();
+        let d1 = lib.wire.delay(10.0, 1.0);
+        let d2 = lib.wire.delay(20.0, 1.0);
+        assert!(d2 > 2.0 * d1, "Elmore wire delay is quadratic-ish in length");
+    }
+
+    #[test]
+    fn delay_monotone_in_load_for_every_cell() {
+        for lib in [Library::pseudo_bog(), Library::nangate45_like()] {
+            for c in lib.cells() {
+                let a = c.delay(0.02, 1.0);
+                let b = c.delay(0.02, 30.0);
+                assert!(b > a, "cell {} not monotone in load", c.name);
+            }
+        }
+    }
+}

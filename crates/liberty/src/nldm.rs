@@ -1,0 +1,189 @@
+//! Non-linear delay model lookup tables.
+
+/// A 2-D lookup table indexed by (input slew, output load), as in liberty
+/// NLDM `cell_rise`/`cell_fall` groups.
+///
+/// Values between grid points are bilinearly interpolated; queries outside
+/// the characterized grid are clamped to the boundary (the conservative
+/// behaviour most STA engines default to).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nldm {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    /// Row-major `[slew][load]`.
+    values: Vec<f64>,
+}
+
+impl Nldm {
+    /// Builds a table by sampling `f(slew, load)` on the given axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or not strictly increasing.
+    pub fn from_fn(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Self {
+        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "empty NLDM axis");
+        assert!(
+            slew_axis.windows(2).all(|w| w[0] < w[1]),
+            "slew axis must be strictly increasing"
+        );
+        assert!(
+            load_axis.windows(2).all(|w| w[0] < w[1]),
+            "load axis must be strictly increasing"
+        );
+        let mut values = Vec::with_capacity(slew_axis.len() * load_axis.len());
+        for &s in &slew_axis {
+            for &l in &load_axis {
+                values.push(f(s, l));
+            }
+        }
+        Nldm { slew_axis, load_axis, values }
+    }
+
+    /// Bilinear interpolation with clamped extrapolation.
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (si, sf) = Self::locate(&self.slew_axis, slew);
+        let (li, lf) = Self::locate(&self.load_axis, load);
+        let nl = self.load_axis.len();
+        let v00 = self.values[si * nl + li];
+        let v01 = self.values[si * nl + (li + 1).min(nl - 1)];
+        let s_hi = (si + 1).min(self.slew_axis.len() - 1);
+        let v10 = self.values[s_hi * nl + li];
+        let v11 = self.values[s_hi * nl + (li + 1).min(nl - 1)];
+        let v0 = v00 + (v01 - v00) * lf;
+        let v1 = v10 + (v11 - v10) * lf;
+        v0 + (v1 - v0) * sf
+    }
+
+    /// Returns `(lower index, fraction in [0,1])`, clamped to the axis range.
+    fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+        if x <= axis[0] {
+            return (0, 0.0);
+        }
+        let last = axis.len() - 1;
+        if x >= axis[last] {
+            return (last, 0.0);
+        }
+        // axis is short (<= 8 entries): linear scan beats binary search.
+        let mut i = 0;
+        while axis[i + 1] < x {
+            i += 1;
+        }
+        let frac = (x - axis[i]) / (axis[i + 1] - axis[i]);
+        (i, frac)
+    }
+
+    /// The characterized slew axis.
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The characterized load axis.
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Nldm {
+        Nldm::from_fn(
+            vec![0.01, 0.1, 1.0],
+            vec![1.0, 10.0, 100.0],
+            |s, l| 2.0 * s + 3.0 * l,
+        )
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table();
+        assert!((t.lookup(0.01, 1.0) - (0.02 + 3.0)).abs() < 1e-12);
+        assert!((t.lookup(1.0, 100.0) - (2.0 + 300.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_bilinear_function() {
+        // f is affine in each axis, so bilinear interpolation reproduces it
+        // anywhere inside the grid.
+        let t = table();
+        for &(s, l) in &[(0.05, 5.0), (0.3, 40.0), (0.9, 99.0)] {
+            let want = 2.0 * s + 3.0 * l;
+            assert!((t.lookup(s, l) - want).abs() < 1e-9, "at ({s},{l})");
+        }
+    }
+
+    #[test]
+    fn extrapolation_clamps_to_boundary() {
+        let t = table();
+        assert_eq!(t.lookup(0.0, 0.0), t.lookup(0.01, 1.0));
+        assert_eq!(t.lookup(5.0, 1e6), t.lookup(1.0, 100.0));
+    }
+
+    #[test]
+    fn lookup_is_monotone_for_monotone_table() {
+        let t = table();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..50 {
+            let l = 1.0 + i as f64 * 2.0;
+            let v = t.lookup(0.05, l);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_axis() {
+        let _ = Nldm::from_fn(vec![0.1, 0.1], vec![1.0], |_, _| 0.0);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any in-grid query of a bilinear-generated table stays within
+            /// the envelope of the four surrounding grid values.
+            #[test]
+            fn lookup_within_corner_envelope(
+                s in 0.01f64..1.0,
+                l in 1.0f64..100.0,
+                a in 0.1f64..5.0,
+                b in 0.01f64..0.5,
+            ) {
+                let t = Nldm::from_fn(
+                    vec![0.01, 0.05, 0.2, 1.0],
+                    vec![1.0, 5.0, 25.0, 100.0],
+                    |x, y| a * y + b * x * y + x,
+                );
+                let v = t.lookup(s, l);
+                let corners = [
+                    t.lookup(0.01, 1.0),
+                    t.lookup(0.01, 100.0),
+                    t.lookup(1.0, 1.0),
+                    t.lookup(1.0, 100.0),
+                ];
+                let lo = corners.iter().cloned().fold(f64::MAX, f64::min);
+                let hi = corners.iter().cloned().fold(f64::MIN, f64::max);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+            }
+
+            /// Monotone generator ⇒ monotone interpolation along each axis.
+            #[test]
+            fn monotone_in_load(s in 0.01f64..1.0, l1 in 1.0f64..99.0, dl in 0.01f64..1.0) {
+                let t = Nldm::from_fn(
+                    vec![0.01, 0.1, 1.0],
+                    vec![1.0, 10.0, 100.0],
+                    |x, y| 0.02 * x + 0.005 * y,
+                );
+                let l2 = (l1 + dl).min(100.0);
+                prop_assert!(t.lookup(s, l2) + 1e-12 >= t.lookup(s, l1));
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! A small single-head self-attention encoder over timing-path operator
+//! sequences — the paper's "transformer for local path modeling, with an
+//! MLP to capture global features" (§3.4.1), trained under the same grouped
+//! max-loss as the other bit-wise models.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One sampled timing path as a token sequence plus global features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSample {
+    /// Operator class per position (0..n_ops).
+    pub ops: Vec<usize>,
+    /// Per-token scalar features (fixed width).
+    pub tok_feats: Vec<Vec<f64>>,
+    /// Path/design-level global features appended after pooling.
+    pub global: Vec<f64>,
+}
+
+/// Transformer hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformerParams {
+    /// Model width.
+    pub d_model: usize,
+    /// Head width of the final MLP.
+    pub d_head: usize,
+    /// Maximum sequence length (longer paths keep their *last* tokens —
+    /// the logic nearest the endpoint).
+    pub max_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Groups per Adam step.
+    pub batch_groups: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TransformerParams {
+    fn default() -> Self {
+        TransformerParams {
+            d_model: 16,
+            d_head: 32,
+            max_len: 24,
+            epochs: 40,
+            batch_groups: 16,
+            learning_rate: 2e-3,
+            seed: 17,
+        }
+    }
+}
+
+/// Parameter tensor bundle with Adam state.
+#[derive(Debug, Clone)]
+struct Param {
+    w: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    fn new(rows: usize, cols: usize, rng: &mut StdRng) -> Param {
+        let s = (2.0 / rows.max(1) as f64).sqrt();
+        Param {
+            w: Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-s..s)),
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+        }
+    }
+
+    fn step(&mut self, g: &Matrix, lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.data.len() {
+            self.m.data[i] = B1 * self.m.data[i] + (1.0 - B1) * g.data[i];
+            self.v.data[i] = B2 * self.v.data[i] + (1.0 - B2) * g.data[i] * g.data[i];
+            self.w.data[i] -= lr * (self.m.data[i] / bc1) / ((self.v.data[i] / bc2).sqrt() + EPS);
+        }
+    }
+}
+
+/// The path transformer model.
+#[derive(Debug, Clone)]
+pub struct PathTransformer {
+    n_tok: usize,
+    n_global: usize,
+    p: TransformerParams,
+    we: Param,  // n_ops × d
+    ws: Param,  // n_tok × d
+    wq: Param,  // d × d
+    wk: Param,  // d × d
+    wv: Param,  // d × d
+    w1: Param,  // d × d
+    b1: Param,  // 1 × d
+    w3: Param,  // (d+n_global) × d_head
+    b3: Param,  // 1 × d_head
+    w4: Param,  // d_head × 1
+    b4: Param,  // 1 × 1
+    step: usize,
+}
+
+/// Per-sequence forward cache.
+struct Cache {
+    e: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    a: Matrix,
+    h: Matrix,
+    f: Matrix,
+    z: Vec<f64>,
+    h3: Vec<f64>,
+    out: f64,
+    ops: Vec<usize>,
+    toks: Matrix,
+}
+
+impl PathTransformer {
+    /// Creates an untrained model.
+    pub fn new(n_ops: usize, n_tok: usize, n_global: usize, p: TransformerParams) -> PathTransformer {
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let d = p.d_model;
+        PathTransformer {
+            n_tok,
+            n_global,
+            we: Param::new(n_ops, d, &mut rng),
+            ws: Param::new(n_tok.max(1), d, &mut rng),
+            wq: Param::new(d, d, &mut rng),
+            wk: Param::new(d, d, &mut rng),
+            wv: Param::new(d, d, &mut rng),
+            w1: Param::new(d, d, &mut rng),
+            b1: Param::new(1, d, &mut rng),
+            w3: Param::new(d + n_global, p.d_head, &mut rng),
+            b3: Param::new(1, p.d_head, &mut rng),
+            w4: Param::new(p.d_head, 1, &mut rng),
+            b4: Param::new(1, 1, &mut rng),
+            p,
+            step: 0,
+        }
+    }
+
+    fn truncate<'s>(&self, s: &'s PathSample) -> (Vec<usize>, Vec<&'s [f64]>) {
+        let n = s.ops.len();
+        let start = n.saturating_sub(self.p.max_len);
+        let ops = s.ops[start..].to_vec();
+        let toks: Vec<&[f64]> = s.tok_feats[start..].iter().map(|v| v.as_slice()).collect();
+        (ops, toks)
+    }
+
+    fn forward(&self, s: &PathSample) -> Cache {
+        let d = self.p.d_model;
+        let (ops, tokrefs) = self.truncate(s);
+        let n = ops.len().max(1);
+        let ops = if ops.is_empty() { vec![0] } else { ops };
+        let toks = Matrix::from_fn(n, self.n_tok.max(1), |r, c| {
+            tokrefs.get(r).and_then(|t| t.get(c)).copied().unwrap_or(0.0)
+        });
+        // Embedding: op row of We + token feats × Ws + sinusoidal position.
+        let mut e = Matrix::zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                let mut v = self.we.w.at(ops[r], c);
+                for t in 0..self.n_tok {
+                    v += toks.at(r, t) * self.ws.w.at(t, c);
+                }
+                let pos = r as f64;
+                v += if c % 2 == 0 {
+                    (pos / 10f64.powf(c as f64 / d as f64)).sin() * 0.1
+                } else {
+                    (pos / 10f64.powf((c - 1) as f64 / d as f64)).cos() * 0.1
+                };
+                *e.at_mut(r, c) = v;
+            }
+        }
+        let q = e.matmul(&self.wq.w);
+        let k = e.matmul(&self.wk.w);
+        let v = e.matmul(&self.wv.w);
+        // Scaled dot-product attention.
+        let scale = 1.0 / (d as f64).sqrt();
+        let mut a = q.matmul_t(&k);
+        for x in a.data.iter_mut() {
+            *x *= scale;
+        }
+        for r in 0..n {
+            let row = a.row_mut(r);
+            let mx = row.iter().cloned().fold(f64::MIN, f64::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - mx).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        let h = a.matmul(&v);
+        // Position-wise ReLU dense.
+        let mut f = h.matmul(&self.w1.w);
+        for r in 0..n {
+            for c in 0..d {
+                let val = f.at(r, c) + self.b1.w.at(0, c);
+                *f.at_mut(r, c) = val.max(0.0);
+            }
+        }
+        // Mean-pool + globals.
+        let mut z = vec![0.0; d + self.n_global];
+        for c in 0..d {
+            let mut s2 = 0.0;
+            for r in 0..n {
+                s2 += f.at(r, c);
+            }
+            z[c] = s2 / n as f64;
+        }
+        for g in 0..self.n_global {
+            z[d + g] = s.global.get(g).copied().unwrap_or(0.0);
+        }
+        // Head MLP.
+        let dh = self.p.d_head;
+        let mut h3 = vec![0.0; dh];
+        for j in 0..dh {
+            let mut acc = self.b3.w.at(0, j);
+            for (i, zi) in z.iter().enumerate() {
+                acc += zi * self.w3.w.at(i, j);
+            }
+            h3[j] = acc.max(0.0);
+        }
+        let mut out = self.b4.w.at(0, 0);
+        for j in 0..dh {
+            out += h3[j] * self.w4.w.at(j, 0);
+        }
+        Cache { e, q, k, v, a, h, f, z, h3, out, ops, toks }
+    }
+
+    /// Predicts the arrival-time contribution of one path.
+    pub fn predict(&self, s: &PathSample) -> f64 {
+        self.forward(s).out
+    }
+
+    /// Trains under the grouped max-loss.
+    pub fn fit_grouped_max(
+        &mut self,
+        samples: &[PathSample],
+        groups: &[Vec<usize>],
+        targets: &[f64],
+    ) {
+        let mut rng = StdRng::seed_from_u64(self.p.seed ^ 0xbeef);
+        let gidx: Vec<usize> = (0..groups.len()).collect();
+        for _epoch in 0..self.p.epochs {
+            let mut order = gidx.clone();
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.p.batch_groups.max(1)) {
+                let mut grads = GradBundle::zeros(self);
+                let mut any = false;
+                for &g in chunk {
+                    if groups[g].is_empty() {
+                        continue;
+                    }
+                    // Forward every path; gradient through the argmax only.
+                    let mut best_row = groups[g][0];
+                    let mut best_out = f64::MIN;
+                    for &r in &groups[g] {
+                        let out = self.forward(&samples[r]).out;
+                        if out > best_out {
+                            best_out = out;
+                            best_row = r;
+                        }
+                    }
+                    let cache = self.forward(&samples[best_row]);
+                    let dl = 2.0 * (cache.out - targets[g]) / chunk.len() as f64;
+                    self.accumulate(&cache, dl, &mut grads);
+                    any = true;
+                }
+                if any {
+                    self.apply(&grads);
+                }
+            }
+        }
+    }
+
+    fn accumulate(&self, c: &Cache, dl: f64, g: &mut GradBundle) {
+        let d = self.p.d_model;
+        let dh = self.p.d_head;
+        let n = c.e.rows;
+        // Head.
+        for j in 0..dh {
+            g.w4.data[j] += dl * c.h3[j];
+        }
+        g.b4.data[0] += dl;
+        let mut dh3 = vec![0.0; dh];
+        for j in 0..dh {
+            if c.h3[j] > 0.0 {
+                dh3[j] = dl * self.w4.w.at(j, 0);
+            }
+        }
+        let mut dz = vec![0.0; d + self.n_global];
+        for j in 0..dh {
+            if dh3[j] == 0.0 {
+                continue;
+            }
+            g.b3.data[j] += dh3[j];
+            for i in 0..d + self.n_global {
+                *g.w3.at_mut(i, j) += dh3[j] * c.z[i];
+                dz[i] += dh3[j] * self.w3.w.at(i, j);
+            }
+        }
+        // Mean-pool backward into F.
+        let mut df = Matrix::zeros(n, d);
+        for r in 0..n {
+            for cc in 0..d {
+                df.data[r * d + cc] = dz[cc] / n as f64;
+            }
+        }
+        // ReLU dense backward: F = relu(H W1 + b1).
+        let mut dpre = df;
+        for r in 0..n {
+            for cc in 0..d {
+                if c.f.at(r, cc) <= 0.0 {
+                    dpre.data[r * d + cc] = 0.0;
+                }
+            }
+        }
+        for r in 0..n {
+            for cc in 0..d {
+                g.b1.data[cc] += dpre.at(r, cc);
+            }
+        }
+        let gw1 = c.h.t_matmul(&dpre);
+        for i in 0..gw1.data.len() {
+            g.w1.data[i] += gw1.data[i];
+        }
+        let dhid = dpre.matmul_t(&self.w1.w);
+        // Attention backward: H = A V.
+        let dv = c.a.t_matmul(&dhid);
+        let da = dhid.matmul_t(&c.v);
+        // Softmax backward per row, with 1/sqrt(d) scaling into scores.
+        let scale = 1.0 / (d as f64).sqrt();
+        let mut dscore = Matrix::zeros(n, n);
+        for r in 0..n {
+            let mut dot = 0.0;
+            for j in 0..n {
+                dot += da.at(r, j) * c.a.at(r, j);
+            }
+            for j in 0..n {
+                *dscore.at_mut(r, j) = c.a.at(r, j) * (da.at(r, j) - dot) * scale;
+            }
+        }
+        let dq = dscore.matmul(&c.k);
+        let dk = dscore.t_matmul(&c.q);
+        // Projection weights.
+        let gwq = c.e.t_matmul(&dq);
+        let gwk = c.e.t_matmul(&dk);
+        let gwv = c.e.t_matmul(&dv);
+        for i in 0..gwq.data.len() {
+            g.wq.data[i] += gwq.data[i];
+            g.wk.data[i] += gwk.data[i];
+            g.wv.data[i] += gwv.data[i];
+        }
+        // Embedding backward.
+        let mut de = dq.matmul_t(&self.wq.w);
+        let de_k = dk.matmul_t(&self.wk.w);
+        let de_v = dv.matmul_t(&self.wv.w);
+        for i in 0..de.data.len() {
+            de.data[i] += de_k.data[i] + de_v.data[i];
+        }
+        for r in 0..n {
+            let op = c.ops[r];
+            for cc in 0..d {
+                *g.we.at_mut(op, cc) += de.at(r, cc);
+                for t in 0..self.n_tok {
+                    *g.ws.at_mut(t, cc) += de.at(r, cc) * c.toks.at(r, t);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, g: &GradBundle) {
+        self.step += 1;
+        let lr = self.p.learning_rate;
+        let t = self.step;
+        self.we.step(&g.we, lr, t);
+        self.ws.step(&g.ws, lr, t);
+        self.wq.step(&g.wq, lr, t);
+        self.wk.step(&g.wk, lr, t);
+        self.wv.step(&g.wv, lr, t);
+        self.w1.step(&g.w1, lr, t);
+        self.b1.step(&g.b1, lr, t);
+        self.w3.step(&g.w3, lr, t);
+        self.b3.step(&g.b3, lr, t);
+        self.w4.step(&g.w4, lr, t);
+        self.b4.step(&g.b4, lr, t);
+    }
+}
+
+struct GradBundle {
+    we: Matrix,
+    ws: Matrix,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    w1: Matrix,
+    b1: Matrix,
+    w3: Matrix,
+    b3: Matrix,
+    w4: Matrix,
+    b4: Matrix,
+}
+
+impl GradBundle {
+    fn zeros(m: &PathTransformer) -> GradBundle {
+        GradBundle {
+            we: Matrix::zeros(m.we.w.rows, m.we.w.cols),
+            ws: Matrix::zeros(m.ws.w.rows, m.ws.w.cols),
+            wq: Matrix::zeros(m.wq.w.rows, m.wq.w.cols),
+            wk: Matrix::zeros(m.wk.w.rows, m.wk.w.cols),
+            wv: Matrix::zeros(m.wv.w.rows, m.wv.w.cols),
+            w1: Matrix::zeros(m.w1.w.rows, m.w1.w.cols),
+            b1: Matrix::zeros(m.b1.w.rows, m.b1.w.cols),
+            w3: Matrix::zeros(m.w3.w.rows, m.w3.w.cols),
+            b3: Matrix::zeros(m.b3.w.rows, m.b3.w.cols),
+            w4: Matrix::zeros(m.w4.w.rows, m.w4.w.cols),
+            b4: Matrix::zeros(m.b4.w.rows, m.b4.w.cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize, opkind: usize, level: f64) -> PathSample {
+        PathSample {
+            ops: vec![opkind; len],
+            tok_feats: (0..len).map(|i| vec![i as f64 / len as f64, level]).collect(),
+            global: vec![len as f64 / 10.0],
+        }
+    }
+
+    #[test]
+    fn learns_length_dependent_target() {
+        // Target = path length / 10 (also present as a global feature):
+        // the model should fit this easily.
+        let mut samples = Vec::new();
+        let mut groups = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..80 {
+            let len = 2 + (i % 12);
+            groups.push(vec![samples.len()]);
+            samples.push(sample(len, i % 3, 0.5));
+            targets.push(len as f64 / 10.0);
+        }
+        let params =
+            TransformerParams { epochs: 60, d_model: 8, d_head: 16, ..Default::default() };
+        let mut model = PathTransformer::new(4, 2, 1, params);
+        model.fit_grouped_max(&samples, &groups, &targets);
+        // Correlation between prediction and target.
+        let preds: Vec<f64> = samples.iter().map(|s| model.predict(s)).collect();
+        let n = preds.len() as f64;
+        let mp = preds.iter().sum::<f64>() / n;
+        let mt = targets.iter().sum::<f64>() / n;
+        let (mut num, mut dp, mut dt) = (0.0, 0.0, 0.0);
+        for (p, t) in preds.iter().zip(&targets) {
+            num += (p - mp) * (t - mt);
+            dp += (p - mp).powi(2);
+            dt += (t - mt).powi(2);
+        }
+        let r = num / (dp.sqrt() * dt.sqrt()).max(1e-12);
+        assert!(r > 0.8, "R={r}");
+    }
+
+    #[test]
+    fn truncation_keeps_endpoint_side() {
+        let params = TransformerParams { max_len: 4, epochs: 1, ..Default::default() };
+        let model = PathTransformer::new(4, 2, 1, params);
+        let long = sample(10, 1, 0.2);
+        let (ops, toks) = model.truncate(&long);
+        assert_eq!(ops.len(), 4);
+        assert_eq!(toks.len(), 4);
+        // Last token of the original survives.
+        assert_eq!(toks[3][0], long.tok_feats[9][0]);
+    }
+
+    #[test]
+    fn empty_path_predicts_without_panic() {
+        let model = PathTransformer::new(4, 2, 1, TransformerParams::default());
+        let empty = PathSample { ops: vec![], tok_feats: vec![], global: vec![0.0] };
+        assert!(model.predict(&empty).is_finite());
+    }
+}

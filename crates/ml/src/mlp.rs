@@ -1,0 +1,309 @@
+//! Multilayer perceptron with manual backprop and Adam.
+//!
+//! Supports plain squared-error regression and the paper's grouped
+//! max-loss: the forward pass evaluates every sampled path of an endpoint,
+//! the endpoint prediction is the max, and the gradient flows back through
+//! the argmax row only (the exact subgradient of `max`).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpParams {
+    /// Hidden layer widths (the paper uses 3 layers × 512; we default
+    /// smaller for CI-scale data).
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size (rows for regression, groups for max-loss).
+    pub batch: usize,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams { hidden: vec![64, 64, 64], learning_rate: 1e-3, epochs: 60, batch: 64, seed: 11 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    // Adam state.
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(inp: usize, out: usize, rng: &mut StdRng) -> Dense {
+        let scale = (2.0 / inp as f64).sqrt();
+        Dense {
+            w: Matrix::from_fn(inp, out, |_, _| rng.gen_range(-scale..scale)),
+            b: vec![0.0; out],
+            mw: Matrix::zeros(inp, out),
+            vw: Matrix::zeros(inp, out),
+            mb: vec![0.0; out],
+            vb: vec![0.0; out],
+        }
+    }
+
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows {
+            for c in 0..y.cols {
+                *y.at_mut(r, c) += self.b[c];
+            }
+        }
+        y
+    }
+
+    fn adam_step(&mut self, gw: &Matrix, gb: &[f64], lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.data.len() {
+            self.mw.data[i] = B1 * self.mw.data[i] + (1.0 - B1) * gw.data[i];
+            self.vw.data[i] = B2 * self.vw.data[i] + (1.0 - B2) * gw.data[i] * gw.data[i];
+            let mhat = self.mw.data[i] / bc1;
+            let vhat = self.vw.data[i] / bc2;
+            self.w.data[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * gb[i];
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * gb[i] * gb[i];
+            let mhat = self.mb[i] / bc1;
+            let vhat = self.vb[i] / bc2;
+            self.b[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+/// A fitted MLP regressor.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    n_features: usize,
+    params: MlpParams,
+    step: usize,
+}
+
+impl Mlp {
+    /// Initializes an untrained network.
+    pub fn new(n_features: usize, params: MlpParams) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut dims = vec![n_features];
+        dims.extend(&params.hidden);
+        dims.push(1);
+        let layers = dims.windows(2).map(|w| Dense::new(w[0], w[1], &mut rng)).collect();
+        Mlp { layers, n_features, params, step: 0 }
+    }
+
+    /// Forward pass caching activations for backprop.
+    fn forward_cached(&self, x: &Matrix) -> (Vec<Matrix>, Matrix) {
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&cur);
+            if li + 1 < self.layers.len() {
+                for v in z.data.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            acts.push(cur);
+            cur = z;
+        }
+        (acts, cur)
+    }
+
+    /// Backprop from per-row output gradients; applies one Adam step.
+    fn backward(&mut self, acts: &[Matrix], outputs: &Matrix, mut dout: Matrix, lr: f64) {
+        self.step += 1;
+        let t = self.step;
+        let _ = outputs;
+        for li in (0..self.layers.len()).rev() {
+            let input = &acts[li];
+            // dW = inputᵀ · dout ; db = Σ dout
+            let gw = input.t_matmul(&dout);
+            let mut gb = vec![0.0; dout.cols];
+            for r in 0..dout.rows {
+                for c in 0..dout.cols {
+                    gb[c] += dout.at(r, c);
+                }
+            }
+            // d_input = dout · Wᵀ, gated by ReLU mask of the *input* of this
+            // layer (which is the output of the previous layer).
+            let mut dinp = dout.matmul_t(&self.layers[li].w);
+            if li > 0 {
+                for i in 0..dinp.data.len() {
+                    if input.data[i] <= 0.0 {
+                        dinp.data[i] = 0.0;
+                    }
+                }
+            }
+            self.layers[li].adam_step(&gw, &gb, lr, t);
+            dout = dinp;
+        }
+    }
+
+    /// Trains with squared-error loss on per-row targets.
+    pub fn fit_regression(&mut self, rows: &[Vec<f64>], targets: &[f64]) {
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x5eed);
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let params = self.params.clone();
+        for _epoch in 0..params.epochs {
+            let mut order = idx.clone();
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(params.batch) {
+                let x = Matrix::from_fn(chunk.len(), self.n_features, |r, c| rows[chunk[r]][c]);
+                let (acts, out) = self.forward_cached(&x);
+                let mut dout = Matrix::zeros(out.rows, 1);
+                for (r, &row) in chunk.iter().enumerate() {
+                    dout.data[r] = 2.0 * (out.at(r, 0) - targets[row]) / chunk.len() as f64;
+                }
+                self.backward(&acts, &out, dout, params.learning_rate);
+            }
+        }
+    }
+
+    /// Trains with the grouped max-loss: `groups[g]` are the row indices of
+    /// the sampled paths of endpoint `g`, with one target per group.
+    pub fn fit_grouped_max(&mut self, rows: &[Vec<f64>], groups: &[Vec<usize>], targets: &[f64]) {
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xface);
+        let gidx: Vec<usize> = (0..groups.len()).collect();
+        let params = self.params.clone();
+        for _epoch in 0..params.epochs {
+            let mut order = gidx.clone();
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(params.batch.max(1)) {
+                // Flatten all rows of the chunk's groups.
+                let mut flat: Vec<usize> = Vec::new();
+                let mut spans: Vec<(usize, usize)> = Vec::new();
+                for &g in chunk {
+                    let s = flat.len();
+                    flat.extend(&groups[g]);
+                    spans.push((s, flat.len()));
+                }
+                if flat.is_empty() {
+                    continue;
+                }
+                let x = Matrix::from_fn(flat.len(), self.n_features, |r, c| rows[flat[r]][c]);
+                let (acts, out) = self.forward_cached(&x);
+                let mut dout = Matrix::zeros(out.rows, 1);
+                for (k, &g) in chunk.iter().enumerate() {
+                    let (s, e) = spans[k];
+                    if s == e {
+                        continue;
+                    }
+                    let mut arg = s;
+                    for r in s..e {
+                        if out.at(r, 0) > out.at(arg, 0) {
+                            arg = r;
+                        }
+                    }
+                    dout.data[arg] = 2.0 * (out.at(arg, 0) - targets[g]) / chunk.len() as f64;
+                }
+                self.backward(&acts, &out, dout, params.learning_rate);
+            }
+        }
+    }
+
+    /// Predicts a single row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let x = Matrix::from_fn(1, self.n_features, |_, c| row[c]);
+        let (_, out) = self.forward_cached(&x);
+        out.at(0, 0)
+    }
+
+    /// Batch prediction.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let x = Matrix::from_fn(rows.len(), self.n_features, |r, c| rows[r][c]);
+        let (_, out) = self.forward_cached(&x);
+        (0..rows.len()).map(|r| out.at(r, 0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let (mut num, mut da, mut db) = (0.0, 0.0, 0.0);
+        for (x, y) in a.iter().zip(b) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma).powi(2);
+            db += (y - mb).powi(2);
+        }
+        num / (da.sqrt() * db.sqrt()).max(1e-12)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rows: Vec<Vec<f64>> =
+            (0..400).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] + 0.5).collect();
+        let mut mlp = Mlp::new(2, MlpParams { epochs: 120, ..Default::default() });
+        mlp.fit_regression(&rows, &y);
+        let preds = mlp.predict_all(&rows);
+        assert!(pearson(&preds, &y) > 0.98, "R={}", pearson(&preds, &y));
+    }
+
+    #[test]
+    fn grouped_max_trains() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut rows = Vec::new();
+        let mut groups = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..150 {
+            let mut g = Vec::new();
+            let mut best = f64::MIN;
+            for _ in 0..3 {
+                let x = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+                let v = x[0] + 0.5 * x[1];
+                best = best.max(v);
+                g.push(rows.len());
+                rows.push(x);
+            }
+            groups.push(g);
+            targets.push(best);
+        }
+        let mut mlp = Mlp::new(2, MlpParams { epochs: 150, batch: 16, ..Default::default() });
+        mlp.fit_grouped_max(&rows, &groups, &targets);
+        let preds = mlp.predict_all(&rows);
+        let gp: Vec<f64> = groups
+            .iter()
+            .map(|g| g.iter().map(|&r| preds[r]).fold(f64::MIN, f64::max))
+            .collect();
+        assert!(pearson(&gp, &targets) > 0.85, "R={}", pearson(&gp, &targets));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64) / 50.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
+        let mut a = Mlp::new(1, MlpParams { epochs: 10, ..Default::default() });
+        let mut b = Mlp::new(1, MlpParams { epochs: 10, ..Default::default() });
+        a.fit_regression(&rows, &y);
+        b.fit_regression(&rows, &y);
+        assert_eq!(a.predict(&rows[3]), b.predict(&rows[3]));
+    }
+}

@@ -1,0 +1,86 @@
+//! Feature standardization (zero mean, unit variance).
+
+/// Per-feature standardizer fitted on training rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits on row-major data with `n_features` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or row lengths differ from `n_features`.
+    pub fn fit(rows: &[Vec<f64>], n_features: usize) -> Scaler {
+        assert!(!rows.is_empty(), "scaler needs data");
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; n_features];
+        for r in rows {
+            assert_eq!(r.len(), n_features);
+            for (m, v) in mean.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; n_features];
+        for r in rows {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(r) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-12)).collect();
+        Scaler { mean, std }
+    }
+
+    /// Transforms one row in place.
+    pub fn transform(&self, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transforms a batch of rows.
+    pub fn transform_all(&self, rows: &mut [Vec<f64>]) {
+        for r in rows {
+            self.transform(r);
+        }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 5.0 * i as f64 + 3.0]).collect();
+        let sc = Scaler::fit(&rows, 2);
+        let mut t = rows.clone();
+        sc.transform_all(&mut t);
+        for c in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.iter().map(|r| (r[c] - mean).powi(2)).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let rows = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let sc = Scaler::fit(&rows, 1);
+        let mut r = vec![7.0];
+        sc.transform(&mut r);
+        assert!(r[0].is_finite());
+    }
+}

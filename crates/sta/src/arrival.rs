@@ -1,0 +1,296 @@
+//! Arrival-time / slew propagation and slack computation.
+
+use rtlt_bog::{Bog, BogOp, Endpoint, NodeId};
+use rtlt_liberty::{Cell, CellFunc, Drive, Library};
+
+/// Timing constraints and boundary conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaConfig {
+    /// Clock period (ns).
+    pub clock_period: f64,
+    /// Arrival time at primary inputs (ns).
+    pub input_delay: f64,
+    /// Slew assumed at primary inputs (ns).
+    pub input_slew: f64,
+    /// Capacitive load on primary outputs (cap units).
+    pub output_load: f64,
+    /// Extra estimated wire capacitance per fanout (cap units) — the
+    /// RTL-stage pseudo netlist has no placement, so a constant per-fanout
+    /// estimate stands in for wire load.
+    pub wire_cap_per_fanout: f64,
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        StaConfig {
+            clock_period: 1.0,
+            input_delay: 0.0,
+            input_slew: 0.012,
+            output_load: 2.0,
+            wire_cap_per_fanout: 0.35,
+        }
+    }
+}
+
+/// Raw per-node and per-endpoint STA quantities.
+#[derive(Debug, Clone)]
+pub struct StaResult {
+    /// Arrival time at each node's output (ns).
+    pub arrival: Vec<f64>,
+    /// Output slew at each node (ns).
+    pub slew: Vec<f64>,
+    /// Capacitive load seen by each node (cap units).
+    pub load: Vec<f64>,
+    /// Cell delay used for each node's AT (ns); 0 for sources.
+    pub delay: Vec<f64>,
+    /// Arrival at each endpoint, ordered as [`Bog::endpoints`].
+    pub endpoint_at: Vec<f64>,
+    /// Slack at each endpoint (ns).
+    pub endpoint_slack: Vec<f64>,
+    /// Worst negative slack (0 if all endpoints meet timing).
+    pub wns: f64,
+    /// Total negative slack (sum of negative slacks; ≤ 0).
+    pub tns: f64,
+}
+
+/// A completed pseudo-STA run, retaining the graph/library context so paths
+/// can be traced and re-timed.
+#[derive(Debug)]
+pub struct Sta<'a> {
+    pub(crate) bog: &'a Bog,
+    pub(crate) lib: &'a Library,
+    pub(crate) cfg: StaConfig,
+    pub(crate) res: StaResult,
+}
+
+pub(crate) fn cell_for_op(lib: &Library, op: BogOp) -> Option<&Cell> {
+    let func = match op {
+        BogOp::Not => CellFunc::Inv,
+        BogOp::And2 => CellFunc::And2,
+        BogOp::Or2 => CellFunc::Or2,
+        BogOp::Xor2 => CellFunc::Xor2,
+        BogOp::Mux2 => CellFunc::Mux2,
+        BogOp::Dff => CellFunc::Dff,
+        BogOp::Input | BogOp::Const0 | BogOp::Const1 => return None,
+    };
+    Some(lib.cell(func, Drive::X1))
+}
+
+impl<'a> Sta<'a> {
+    /// Runs pseudo-STA on a BOG.
+    pub fn run(bog: &'a Bog, lib: &'a Library, cfg: StaConfig) -> Sta<'a> {
+        let n = bog.len();
+        let mut load = vec![0.0f64; n];
+
+        // Loads: every fanout pin contributes its input capacitance plus a
+        // wire estimate.
+        for id in 0..n as NodeId {
+            if let Some(cell) = cell_for_op(lib, bog.node(id).op) {
+                for (pin, &f) in bog.fanins(id).iter().enumerate() {
+                    load[f as usize] += cell.pin_cap(pin) + cfg.wire_cap_per_fanout;
+                }
+            }
+        }
+        let dff = lib.cell(CellFunc::Dff, Drive::X1);
+        for r in bog.regs() {
+            load[r.d as usize] += dff.pin_cap(0) + cfg.wire_cap_per_fanout;
+        }
+        for (_, o) in bog.outputs() {
+            load[*o as usize] += cfg.output_load;
+        }
+
+        let mut arrival = vec![0.0f64; n];
+        let mut slew = vec![cfg.input_slew; n];
+        let mut delay = vec![0.0f64; n];
+
+        for id in bog.topo_order() {
+            let node = bog.node(id);
+            match node.op {
+                BogOp::Input => {
+                    arrival[id as usize] = cfg.input_delay;
+                    slew[id as usize] = cfg.input_slew;
+                }
+                BogOp::Const0 | BogOp::Const1 => {
+                    arrival[id as usize] = 0.0;
+                    slew[id as usize] = cfg.input_slew;
+                }
+                BogOp::Dff => {
+                    let seq = dff.seq.expect("dff sequential");
+                    arrival[id as usize] = seq.clk_to_q;
+                    slew[id as usize] = dff.out_slew(cfg.input_slew, load[id as usize]);
+                }
+                _ => {
+                    let cell = cell_for_op(lib, node.op).expect("comb cell");
+                    // Worst (latest) fanin selects the arc.
+                    let mut at = 0.0;
+                    let mut in_slew = cfg.input_slew;
+                    for &f in bog.fanins(id) {
+                        if arrival[f as usize] >= at {
+                            at = arrival[f as usize];
+                            in_slew = slew[f as usize];
+                        }
+                    }
+                    let d = cell.delay(in_slew, load[id as usize]);
+                    arrival[id as usize] = at + d;
+                    slew[id as usize] = cell.out_slew(in_slew, load[id as usize]);
+                    delay[id as usize] = d;
+                }
+            }
+        }
+
+        // Endpoint arrivals and slacks.
+        let setup = dff.seq.expect("dff sequential").setup;
+        let endpoints = bog.endpoints();
+        let mut endpoint_at = Vec::with_capacity(endpoints.len());
+        let mut endpoint_slack = Vec::with_capacity(endpoints.len());
+        let mut wns = 0.0f64;
+        let mut tns = 0.0f64;
+        for ep in &endpoints {
+            let node = bog.endpoint_node(*ep);
+            let at = arrival[node as usize];
+            let margin = match ep {
+                Endpoint::Reg(_) => setup,
+                Endpoint::Output(_) => 0.0,
+            };
+            let slack = cfg.clock_period - margin - at;
+            endpoint_at.push(at);
+            endpoint_slack.push(slack);
+            if slack < 0.0 {
+                tns += slack;
+                wns = wns.min(slack);
+            }
+        }
+
+        Sta {
+            bog,
+            lib,
+            cfg,
+            res: StaResult { arrival, slew, load, delay, endpoint_at, endpoint_slack, wns, tns },
+        }
+    }
+
+    /// The raw result tables.
+    pub fn result(&self) -> &StaResult {
+        &self.res
+    }
+
+    /// The analyzed graph.
+    pub fn bog(&self) -> &Bog {
+        self.bog
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &StaConfig {
+        &self.cfg
+    }
+
+    /// Delay through `node` when driven from `fanin` (ns), using the STA
+    /// slews/loads — the per-arc delay needed when re-timing sampled paths.
+    pub fn arc_delay(&self, node: NodeId, fanin: NodeId) -> f64 {
+        match cell_for_op(self.lib, self.bog.node(node).op) {
+            Some(cell) => cell.delay(self.res.slew[fanin as usize], self.res.load[node as usize]),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlt_bog::blast;
+    use rtlt_verilog::compile;
+
+    fn sta_for(src: &str, top: &str, clock: f64) -> (Bog, StaConfig) {
+        let bog = blast(&compile(src, top).unwrap());
+        (bog, StaConfig { clock_period: clock, ..StaConfig::default() })
+    }
+
+    #[test]
+    fn deeper_logic_has_later_arrival() {
+        let lib = Library::pseudo_bog();
+        let (bog, cfg) = sta_for(
+            "module m(input clk, input [7:0] a, input [7:0] b, output [7:0] q1, output [7:0] q8);
+               reg [7:0] r1;
+               reg [7:0] r8;
+               always @(posedge clk) begin
+                 r1 <= a;
+                 r8 <= a + b;
+               end
+               assign q1 = r1;
+               assign q8 = r8;
+             endmodule",
+            "m",
+            2.0,
+        );
+        let sta = Sta::run(&bog, &lib, cfg);
+        let r1 = bog.signals().iter().position(|s| s.name == "r1").unwrap();
+        let r8 = bog.signals().iter().position(|s| s.name == "r8").unwrap();
+        // MSB of the adder arrives later than the pass-through register.
+        let at = |sig: usize, bit: usize| {
+            let reg = bog.signals()[sig].regs[bit] as usize;
+            sta.result().arrival[bog.regs()[reg].d as usize]
+        };
+        assert!(at(r8, 7) > at(r1, 7));
+        // And the adder MSB arrives later than its LSB (ripple).
+        assert!(at(r8, 7) > at(r8, 0));
+    }
+
+    #[test]
+    fn wns_tns_respond_to_clock() {
+        let lib = Library::pseudo_bog();
+        let (bog, mut cfg) = sta_for(
+            "module m(input clk, input [15:0] a, input [15:0] b, output [15:0] q);
+               reg [15:0] r;
+               always @(posedge clk) r <= a * b;
+               assign q = r;
+             endmodule",
+            "m",
+            10.0,
+        );
+        cfg.clock_period = 10.0;
+        let relaxed = Sta::run(&bog, &lib, cfg);
+        assert_eq!(relaxed.result().wns, 0.0);
+        assert_eq!(relaxed.result().tns, 0.0);
+
+        cfg.clock_period = 0.05;
+        let tight = Sta::run(&bog, &lib, cfg);
+        assert!(tight.result().wns < 0.0);
+        assert!(tight.result().tns <= tight.result().wns);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let lib = Library::pseudo_bog();
+        // One driver with large fanout vs small fanout.
+        let (bog_small, cfg) = sta_for(
+            "module m(input clk, input a, input b, output o0);
+               wire t;
+               assign t = a & b;
+               assign o0 = t;
+             endmodule",
+            "m",
+            1.0,
+        );
+        let (bog_big, _) = sta_for(
+            "module m(input clk, input a, input b,
+                      output o0, output o1, output o2, output o3,
+                      output o4, output o5, output o6, output o7);
+               wire t;
+               assign t = a & b;
+               assign o0 = t ^ a; assign o1 = t ^ b; assign o2 = t & b; assign o3 = t | b;
+               assign o4 = t ^ 1'b1; assign o5 = t & a; assign o6 = t | a; assign o7 = ~t;
+             endmodule",
+            "m",
+            1.0,
+        );
+        let s_small = Sta::run(&bog_small, &lib, cfg);
+        let s_big = Sta::run(&bog_big, &lib, cfg);
+        let and_at = |bog: &Bog, sta: &Sta| {
+            (0..bog.len() as NodeId)
+                .filter(|&i| bog.node(i).op == BogOp::And2)
+                .map(|i| sta.result().delay[i as usize])
+                .fold(0.0f64, f64::max)
+        };
+        assert!(and_at(&bog_big, &s_big) > and_at(&bog_small, &s_small));
+    }
+}

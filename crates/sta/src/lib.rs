@@ -1,0 +1,43 @@
+//! Pseudo static timing analysis over Boolean operator graphs.
+//!
+//! The paper's trick (§3.2): "Since we construct R as a pseudo netlist, we
+//! can efficiently traverse R in topological order and perform the
+//! traditional STA algorithm on it." Each BOG operator is timed as a pseudo
+//! standard cell from [`rtlt_liberty::Library::pseudo_bog`]:
+//! load = fanout pin capacitance, NLDM lookup for delay and output slew,
+//! arrival times propagated in topological order, slack/WNS/TNS computed at
+//! register-D and primary-output endpoints.
+//!
+//! Two path extraction primitives feed the register-oriented ML workflow:
+//!
+//! * [`Sta::critical_path`] — the slowest path `S*→i` into an endpoint, and
+//! * [`Sta::sample_path`] — a random backward walk `L(k)*→i`, biased toward
+//!   slower fanins, approximating the paper's random path sampling in the
+//!   endpoint's input cone.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), rtlt_verilog::VerilogError> {
+//! let netlist = rtlt_verilog::compile(
+//!     "module m(input clk, input [7:0] a, output [7:0] q);
+//!        reg [7:0] r;
+//!        always @(posedge clk) r <= r + a;
+//!        assign q = r;
+//!      endmodule", "m")?;
+//! let bog = rtlt_bog::blast(&netlist);
+//! let lib = rtlt_liberty::Library::pseudo_bog();
+//! let sta = rtlt_sta::Sta::run(&bog, &lib, rtlt_sta::StaConfig::default());
+//! let worst = sta.result().wns;
+//! assert!(worst.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+mod arrival;
+mod paths;
+mod report;
+
+pub use arrival::{Sta, StaConfig, StaResult};
+pub use paths::TimingPath;
+pub use report::EndpointReport;

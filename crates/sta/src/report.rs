@@ -1,0 +1,81 @@
+//! Human-readable endpoint timing reports.
+
+use crate::arrival::Sta;
+use rtlt_bog::Endpoint;
+use std::fmt;
+
+/// One row of an endpoint timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointReport {
+    /// Endpoint identity.
+    pub endpoint: Endpoint,
+    /// Display name (`signal[bit]` or output name).
+    pub name: String,
+    /// Arrival time (ns).
+    pub arrival: f64,
+    /// Slack (ns).
+    pub slack: f64,
+}
+
+impl<'a> Sta<'a> {
+    /// Builds the per-endpoint report, sorted worst-slack first.
+    pub fn endpoint_report(&self) -> Vec<EndpointReport> {
+        let mut rows: Vec<EndpointReport> = self
+            .bog
+            .endpoints()
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| EndpointReport {
+                endpoint: ep,
+                name: self.bog.endpoint_name(ep),
+                arrival: self.res.endpoint_at[i],
+                slack: self.res.endpoint_slack[i],
+            })
+            .collect();
+        rows.sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"));
+        rows
+    }
+}
+
+impl fmt::Display for EndpointReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<24} AT {:>8.4} ns  slack {:>8.4} ns", self.name, self.arrival, self.slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::arrival::{Sta, StaConfig};
+    use rtlt_bog::blast;
+    use rtlt_liberty::Library;
+    use rtlt_verilog::compile;
+
+    #[test]
+    fn report_sorted_by_slack() {
+        let bog = blast(
+            &compile(
+                "module m(input clk, input [7:0] a, input [7:0] b, output [7:0] q);
+                   reg [7:0] fast;
+                   reg [7:0] slow;
+                   always @(posedge clk) begin
+                     fast <= a;
+                     slow <= a * b;
+                   end
+                   assign q = fast ^ slow;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let lib = Library::pseudo_bog();
+        let sta = Sta::run(&bog, &lib, StaConfig { clock_period: 0.3, ..Default::default() });
+        let report = sta.endpoint_report();
+        for w in report.windows(2) {
+            assert!(w[0].slack <= w[1].slack);
+        }
+        // The worst row should be a bit of the multiplier register.
+        assert!(report[0].name.starts_with("slow["), "{}", report[0].name);
+        let display = report[0].to_string();
+        assert!(display.contains("slack"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Logic synthesis and physical design **simulator**.
+//!
+//! The paper labels RTL endpoints with post-synthesis arrival times from
+//! Synopsys Design Compiler + Cadence Innovus + PrimeTime on NanGate 45 nm.
+//! None of that exists offline, so this crate is the documented substitute
+//! (DESIGN.md §2): it applies the same *classes* of transformations that
+//! create the RTL↔netlist timing gap the paper's ML model must learn:
+//!
+//! 1. [`opt`] — associative tree balancing (ripple chains become log-depth
+//!    trees) over the SOG,
+//! 2. [`map`] — technology mapping onto the NanGate45-like library
+//!    (NAND/NOR/XNOR/AOI/OAI fusion), fanout buffering, load-based sizing,
+//! 3. [`place`] — recursive-bisection placement and per-net wire lengths,
+//! 4. [`timing`] — slew/load-aware STA with Elmore wire delays,
+//! 5. [`effort`] — iterative timing-driven sizing with an effort budget that
+//!    can be split across **path groups** (the `group_path` knob), and
+//! 6. [`retime`] — backward register retiming for selected critical
+//!    endpoints (the `retime` knob).
+//!
+//! Register endpoints keep their identity through the flow (except when
+//! retimed), so each BOG register bit can be labeled with its mapped-netlist
+//! arrival time — the ground truth for RTL-Timer's models.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), rtlt_verilog::VerilogError> {
+//! let netlist = rtlt_verilog::compile(
+//!     "module m(input clk, input [7:0] a, input [7:0] b, output [7:0] q);
+//!        reg [7:0] r;
+//!        always @(posedge clk) r <= r + (a ^ b);
+//!        assign q = r;
+//!      endmodule", "m")?;
+//! let bog = rtlt_bog::blast(&netlist);
+//! let lib = rtlt_liberty::Library::nangate45_like();
+//! let res = rtlt_synth::synthesize(&bog, &lib, &rtlt_synth::SynthOptions::default());
+//! assert_eq!(res.endpoint_at.len(), bog.regs().len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod effort;
+pub mod flow;
+pub mod map;
+pub mod netlist;
+pub mod opt;
+pub mod place;
+pub mod power;
+pub mod retime;
+pub mod timing;
+
+pub use flow::{synthesize, PathGroups, SynthOptions, SynthResult};
+pub use netlist::{CellId, MappedCell, MappedNetlist, MappedReg, NO_CELL};
+pub use timing::{NetTiming, PhysicalSta};

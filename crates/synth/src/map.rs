@@ -1,0 +1,345 @@
+//! Technology mapping: balanced SOG → mapped standard-cell netlist.
+//!
+//! Greedy pattern fusion rooted at inverters (NAND/NOR/XNOR, AOI/OAI 21/22,
+//! NAND3/NOR3), followed by fanout-tree buffering and load-based initial
+//! drive selection. Every cell receives a small deterministic delay derate
+//! sampled from the seed — modeling the heuristic variability of a real
+//! synthesis tool that no RTL-stage predictor can fully explain.
+
+use crate::netlist::{CellId, MappedCell, MappedNetlist, MappedReg, NO_CELL};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rtlt_bog::{Bog, BogOp, NodeId};
+use rtlt_liberty::{CellFunc, Drive, Library};
+
+/// Maximum sinks before a buffer tree is inserted.
+const FANOUT_LIMIT: usize = 10;
+
+/// Technology-maps a (balanced) SOG.
+pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
+    let fanout = bog.fanout_counts();
+    let single = |id: NodeId| fanout[id as usize] == 1;
+    let op_of = |id: NodeId| bog.node(id).op;
+
+    // Pass 1: choose fusion patterns rooted at NOT nodes; record consumed
+    // interior nodes and the pattern of each root.
+    #[derive(Clone)]
+    enum Pattern {
+        Plain,
+        Fused { func: CellFunc, pins: Vec<NodeId>, interior: Vec<NodeId> },
+    }
+    let mut pattern: Vec<Option<Pattern>> = vec![None; bog.len()];
+    let mut consumed = vec![false; bog.len()];
+
+    for id in 0..bog.len() as NodeId {
+        if op_of(id) != BogOp::Not {
+            continue;
+        }
+        let x = bog.fanins(id)[0];
+        if consumed[x as usize] || !single(x) {
+            continue;
+        }
+        let choice: Option<(CellFunc, Vec<NodeId>, Vec<NodeId>)> = match op_of(x) {
+            BogOp::And2 => {
+                let [p, q, _] = bog.node(x).fanins;
+                let p_or = op_of(p) == BogOp::Or2 && single(p) && !consumed[p as usize];
+                let q_or = op_of(q) == BogOp::Or2 && single(q) && !consumed[q as usize];
+                let p_and = op_of(p) == BogOp::And2 && single(p) && !consumed[p as usize];
+                if p_or && q_or {
+                    let [a, b2, _] = bog.node(p).fanins;
+                    let [c, d, _] = bog.node(q).fanins;
+                    Some((CellFunc::Oai22, vec![a, b2, c, d], vec![x, p, q]))
+                } else if p_or {
+                    let [a, b2, _] = bog.node(p).fanins;
+                    Some((CellFunc::Oai21, vec![a, b2, q], vec![x, p]))
+                } else if q_or {
+                    let [a, b2, _] = bog.node(q).fanins;
+                    Some((CellFunc::Oai21, vec![a, b2, p], vec![x, q]))
+                } else if p_and {
+                    let [a, b2, _] = bog.node(p).fanins;
+                    Some((CellFunc::Nand3, vec![a, b2, q], vec![x, p]))
+                } else {
+                    Some((CellFunc::Nand2, vec![p, q], vec![x]))
+                }
+            }
+            BogOp::Or2 => {
+                let [p, q, _] = bog.node(x).fanins;
+                let p_and = op_of(p) == BogOp::And2 && single(p) && !consumed[p as usize];
+                let q_and = op_of(q) == BogOp::And2 && single(q) && !consumed[q as usize];
+                let p_or = op_of(p) == BogOp::Or2 && single(p) && !consumed[p as usize];
+                if p_and && q_and {
+                    let [a, b2, _] = bog.node(p).fanins;
+                    let [c, d, _] = bog.node(q).fanins;
+                    Some((CellFunc::Aoi22, vec![a, b2, c, d], vec![x, p, q]))
+                } else if p_and {
+                    let [a, b2, _] = bog.node(p).fanins;
+                    Some((CellFunc::Aoi21, vec![a, b2, q], vec![x, p]))
+                } else if q_and {
+                    let [a, b2, _] = bog.node(q).fanins;
+                    Some((CellFunc::Aoi21, vec![a, b2, p], vec![x, q]))
+                } else if p_or {
+                    let [a, b2, _] = bog.node(p).fanins;
+                    Some((CellFunc::Nor3, vec![a, b2, q], vec![x, p]))
+                } else {
+                    Some((CellFunc::Nor2, vec![p, q], vec![x]))
+                }
+            }
+            BogOp::Xor2 => {
+                let [p, q, _] = bog.node(x).fanins;
+                Some((CellFunc::Xnor2, vec![p, q], vec![x]))
+            }
+            _ => None,
+        };
+        if let Some((func, pins, interior)) = choice {
+            for &i in &interior {
+                consumed[i as usize] = true;
+            }
+            pattern[id as usize] = Some(Pattern::Fused { func, pins, interior });
+        } else {
+            pattern[id as usize] = Some(Pattern::Plain);
+        }
+    }
+
+    // Pass 2: emit cells in topological order.
+    let mut cells: Vec<MappedCell> = Vec::with_capacity(bog.len());
+    let mut regs: Vec<MappedReg> = Vec::with_capacity(bog.regs().len());
+    let mut inputs = Vec::new();
+    let mut map: Vec<CellId> = vec![NO_CELL; bog.len()];
+
+    let new_cell = |cells: &mut Vec<MappedCell>,
+                        func: Option<CellFunc>,
+                        tie: Option<bool>,
+                        fanins: Vec<CellId>,
+                        rng: &mut StdRng| {
+        let derate = if func.is_some() { rng.gen_range(0.97..1.03) } else { 1.0 };
+        let id = cells.len() as CellId;
+        cells.push(MappedCell { func, drive: Drive::X1, fanins, x: 0.0, y: 0.0, derate, tie });
+        id
+    };
+
+    // DFF cells first (registers keep BOG identity).
+    for (ri, _r) in bog.regs().iter().enumerate() {
+        let q = new_cell(&mut cells, Some(CellFunc::Dff), None, Vec::new(), rng);
+        regs.push(MappedReg { q, d: NO_CELL, bog_reg: ri as u32 });
+        // map entry set below when the Q node is visited.
+    }
+    for (ri, r) in bog.regs().iter().enumerate() {
+        map[r.q as usize] = regs[ri].q;
+    }
+
+    for id in bog.topo_order() {
+        if map[id as usize] != NO_CELL || consumed[id as usize] {
+            continue;
+        }
+        let node = bog.node(id);
+        let cell = match node.op {
+            BogOp::Dff => continue, // pre-created
+            BogOp::Input => {
+                let name = bog
+                    .inputs()
+                    .iter()
+                    .find(|(_, n)| *n == id)
+                    .map(|(s, _)| s.clone())
+                    .unwrap_or_else(|| format!("in{id}"));
+                let c = new_cell(&mut cells, None, None, Vec::new(), rng);
+                inputs.push((name, c));
+                c
+            }
+            BogOp::Const0 => new_cell(&mut cells, None, Some(false), Vec::new(), rng),
+            BogOp::Const1 => new_cell(&mut cells, None, Some(true), Vec::new(), rng),
+            BogOp::Not => match pattern[id as usize].take() {
+                Some(Pattern::Fused { func, pins, interior }) => {
+                    let fanins: Vec<CellId> = pins.iter().map(|&p| map[p as usize]).collect();
+                    debug_assert!(fanins.iter().all(|&f| f != NO_CELL));
+                    let c = new_cell(&mut cells, Some(func), None, fanins, rng);
+                    for i in interior {
+                        map[i as usize] = c;
+                    }
+                    c
+                }
+                _ => {
+                    let a = map[bog.fanins(id)[0] as usize];
+                    new_cell(&mut cells, Some(CellFunc::Inv), None, vec![a], rng)
+                }
+            },
+            BogOp::And2 | BogOp::Or2 | BogOp::Xor2 | BogOp::Mux2 => {
+                let func = match node.op {
+                    BogOp::And2 => CellFunc::And2,
+                    BogOp::Or2 => CellFunc::Or2,
+                    BogOp::Xor2 => CellFunc::Xor2,
+                    BogOp::Mux2 => CellFunc::Mux2,
+                    _ => unreachable!(),
+                };
+                let fanins: Vec<CellId> =
+                    bog.fanins(id).iter().map(|&f| map[f as usize]).collect();
+                debug_assert!(fanins.iter().all(|&f| f != NO_CELL));
+                new_cell(&mut cells, Some(func), None, fanins, rng)
+            }
+        };
+        map[id as usize] = cell;
+    }
+
+    for (ri, r) in bog.regs().iter().enumerate() {
+        regs[ri].d = map[r.d as usize];
+        debug_assert!(regs[ri].d != NO_CELL);
+    }
+    let outputs: Vec<(String, CellId)> = bog
+        .outputs()
+        .iter()
+        .map(|(n, d)| (n.clone(), map[*d as usize]))
+        .collect();
+
+    let mut netlist = MappedNetlist { name: bog.name.clone(), cells, regs, inputs, outputs };
+    buffer_heavy_nets(&mut netlist, rng);
+    initial_sizing(&mut netlist, lib);
+    netlist
+}
+
+/// Inserts buffer trees on nets whose cell-pin sink count exceeds
+/// [`FANOUT_LIMIT`] (register D and primary-output sinks keep their direct
+/// connection — they are endpoints; their load is handled by sizing).
+fn buffer_heavy_nets(n: &mut MappedNetlist, rng: &mut StdRng) {
+    loop {
+        let fo = n.fanout_pins();
+        let mut changed = false;
+        for id in 0..n.cells.len() as CellId {
+            let pins = fo[id as usize].clone();
+            if pins.is_empty() || pins.len() <= FANOUT_LIMIT {
+                continue;
+            }
+            changed = true;
+            for chunk in pins.chunks(FANOUT_LIMIT.max(2) - 1) {
+                let derate = rng.gen_range(0.97..1.03);
+                let buf = n.cells.len() as CellId;
+                n.cells.push(MappedCell {
+                    func: Some(CellFunc::Buf),
+                    drive: Drive::X1,
+                    fanins: vec![id],
+                    x: 0.0,
+                    y: 0.0,
+                    derate,
+                    tie: None,
+                });
+                for &(sink, pin) in chunk {
+                    n.cells[sink as usize].fanins[pin] = buf;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Upgrades drive strength where static pin-cap load is heavy.
+fn initial_sizing(n: &mut MappedNetlist, lib: &Library) {
+    let loads = crate::timing::static_loads(n, lib);
+    for (id, c) in n.cells.iter_mut().enumerate() {
+        if let Some(func) = c.func {
+            let max_load = lib.cell(func, Drive::X1).max_load;
+            if loads[id] > max_load {
+                c.drive = Drive::X4;
+            } else if loads[id] > max_load * 0.55 {
+                c.drive = Drive::X2;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::balance;
+    use rand::SeedableRng;
+    use rtlt_bog::blast;
+    use rtlt_verilog::compile;
+
+    fn map_src(src: &str) -> MappedNetlist {
+        let bog = balance(&blast(&compile(src, "m").unwrap()));
+        let lib = Library::nangate45_like();
+        tech_map(&bog, &lib, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn nand_fusion_happens() {
+        let n = map_src(
+            "module m(input a, input b, output y);
+               assign y = ~(a & b);
+             endmodule",
+        );
+        let hist = n.cell_histogram();
+        assert!(hist.iter().any(|(f, c)| *f == CellFunc::Nand2 && *c == 1), "{hist:?}");
+        assert!(!hist.iter().any(|(f, _)| *f == CellFunc::Inv), "{hist:?}");
+    }
+
+    #[test]
+    fn aoi_fusion_happens() {
+        let n = map_src(
+            "module m(input a, input b, input c, output y);
+               assign y = ~((a & b) | c);
+             endmodule",
+        );
+        let hist = n.cell_histogram();
+        assert!(hist.iter().any(|(f, c)| *f == CellFunc::Aoi21 && *c >= 1), "{hist:?}");
+    }
+
+    #[test]
+    fn shared_interior_not_fused() {
+        // t = a&b feeds two consumers: cannot be folded into a NAND.
+        let n = map_src(
+            "module m(input a, input b, input c, output y1, output y2);
+               wire t;
+               assign t = a & b;
+               assign y1 = ~t;
+               assign y2 = t & c;
+             endmodule",
+        );
+        let hist = n.cell_histogram();
+        assert!(hist.iter().any(|(f, _)| *f == CellFunc::And2), "{hist:?}");
+        assert!(hist.iter().any(|(f, _)| *f == CellFunc::Inv), "{hist:?}");
+    }
+
+    #[test]
+    fn registers_preserve_bog_identity() {
+        let n = map_src(
+            "module m(input clk, input [3:0] d, output [3:0] q);
+               reg [3:0] r;
+               always @(posedge clk) r <= d;
+               assign q = r;
+             endmodule",
+        );
+        assert_eq!(n.regs.len(), 4);
+        for (i, r) in n.regs.iter().enumerate() {
+            assert_eq!(r.bog_reg as usize, i);
+            assert!(r.d != NO_CELL);
+        }
+    }
+
+    #[test]
+    fn heavy_fanout_gets_buffered() {
+        // One AND gate feeding 16 XORs exceeds the fanout limit.
+        let mut uses = String::new();
+        for i in 0..16 {
+            uses.push_str(&format!("assign o{i} = t ^ x[{i}];\n"));
+        }
+        let mut ports = String::new();
+        for i in 0..16 {
+            ports.push_str(&format!(", output o{i}"));
+        }
+        let src = format!(
+            "module m(input a, input b, input [15:0] x {ports});
+               wire t;
+               assign t = a & b;
+               {uses}
+             endmodule"
+        );
+        let n = map_src(&src);
+        let hist = n.cell_histogram();
+        assert!(hist.iter().any(|(f, c)| *f == CellFunc::Buf && *c >= 2), "{hist:?}");
+        // No net exceeds the limit afterwards.
+        let fo = n.fanout_pins();
+        for (id, pins) in fo.iter().enumerate() {
+            assert!(pins.len() <= FANOUT_LIMIT, "cell {id} drives {}", pins.len());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Logic optimization on the SOG before mapping.
+//!
+//! The headline transformation is **associative tree balancing**: bit-blasted
+//! RTL arrives with linear chains (ripple reductions, chained conditions);
+//! synthesis rebuilds maximal single-fanout same-operator trees into
+//! balanced (Huffman-by-depth) trees, collapsing O(n) depth to O(log n).
+//! This is the main source of structural divergence between the RTL-stage
+//! pseudo netlist and the final netlist — exactly the gap the paper's models
+//! must bridge.
+
+use rtlt_bog::{Bog, BogBuilder, BogOp, NodeId, NO_NODE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+fn assoc(op: BogOp) -> bool {
+    matches!(op, BogOp::And2 | BogOp::Or2 | BogOp::Xor2)
+}
+
+/// Balances associative chains, returning a functionally equivalent SOG.
+pub fn balance(bog: &Bog) -> Bog {
+    let fanout = bog.fanout_counts();
+    let levels = bog.levels();
+
+    // A node is *consumed* (folded into its parent's balanced tree) when it
+    // is an associative op with exactly one fanout of the same op.
+    let mut unique_parent: Vec<NodeId> = vec![NO_NODE; bog.len()];
+    for id in 0..bog.len() as NodeId {
+        for &f in bog.fanins(id) {
+            unique_parent[f as usize] = id;
+        }
+    }
+    let consumed = |id: NodeId| -> bool {
+        let op = bog.node(id).op;
+        if !assoc(op) || fanout[id as usize] != 1 {
+            return false;
+        }
+        let p = unique_parent[id as usize];
+        p != NO_NODE && bog.node(p).op == op
+    };
+
+    let mut b = BogBuilder::new(bog.name.clone(), bog.variant);
+    let mut qs_by_signal = Vec::with_capacity(bog.signals().len());
+    for s in bog.signals() {
+        qs_by_signal.push(b.signal(s.name.clone(), s.width, s.decl_line, s.top_level));
+    }
+    let mut map: Vec<NodeId> = vec![NO_NODE; bog.len()];
+    for r in bog.regs() {
+        map[r.q as usize] = qs_by_signal[r.signal as usize][r.bit as usize];
+    }
+
+    for id in bog.topo_order() {
+        if map[id as usize] != NO_NODE || consumed(id) {
+            continue;
+        }
+        let node = bog.node(id);
+        let f = node.fanins;
+        let new_id = match node.op {
+            BogOp::Input => {
+                let name = bog
+                    .inputs()
+                    .iter()
+                    .find(|(_, n)| *n == id)
+                    .map(|(s, _)| s.clone())
+                    .unwrap_or_else(|| format!("in{id}"));
+                b.input(name)
+            }
+            BogOp::Const0 => b.const0(),
+            BogOp::Const1 => b.const1(),
+            BogOp::Dff => unreachable!("DFFs pre-mapped"),
+            BogOp::Not => {
+                let a = map[f[0] as usize];
+                debug_assert!(a != NO_NODE);
+                b.not(a)
+            }
+            BogOp::Mux2 => {
+                let (s, t, fe) = (map[f[0] as usize], map[f[1] as usize], map[f[2] as usize]);
+                b.mux2(s, t, fe)
+            }
+            op if assoc(op) => {
+                // Collect the maximal same-op single-fanout tree's leaves.
+                let mut leaves: Vec<NodeId> = Vec::new();
+                let mut stack = vec![id];
+                while let Some(n) = stack.pop() {
+                    for &fi in bog.fanins(n) {
+                        if bog.node(fi).op == op && consumed(fi) {
+                            stack.push(fi);
+                        } else {
+                            leaves.push(fi);
+                        }
+                    }
+                }
+                // Huffman combine by (projected) depth: repeatedly join the
+                // two shallowest subtrees.
+                let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = leaves
+                    .iter()
+                    .map(|&l| {
+                        let nl = map[l as usize];
+                        debug_assert!(nl != NO_NODE, "leaf mapped before root");
+                        Reverse((levels[l as usize], nl))
+                    })
+                    .collect();
+                while heap.len() > 1 {
+                    let Reverse((l1, a)) = heap.pop().expect("len>1");
+                    let Reverse((l2, c)) = heap.pop().expect("len>1");
+                    let joined = match op {
+                        BogOp::And2 => b.and2(a, c),
+                        BogOp::Or2 => b.or2(a, c),
+                        BogOp::Xor2 => b.xor2(a, c),
+                        _ => unreachable!(),
+                    };
+                    heap.push(Reverse((l1.max(l2) + 1, joined)));
+                }
+                heap.pop().expect("nonempty tree").0 .1
+            }
+            other => unreachable!("unexpected op {other}"),
+        };
+        map[id as usize] = new_id;
+    }
+
+    for (i, r) in bog.regs().iter().enumerate() {
+        b.set_reg_d(i, map[r.d as usize]);
+    }
+    for (name, drv) in bog.outputs() {
+        b.output(name.clone(), map[*drv as usize]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlt_bog::{blast, BitSim};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rtlt_verilog::compile;
+
+    #[test]
+    fn balancing_reduces_reduction_chain_depth() {
+        let bog = blast(
+            &compile(
+                "module m(input [31:0] a, output y);
+                   assign y = &a;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let bal = balance(&bog);
+        let d0 = *bog.levels().iter().max().unwrap();
+        let d1 = *bal.levels().iter().max().unwrap();
+        assert_eq!(d0, 31, "linear AND chain");
+        assert!(d1 <= 6, "balanced depth {d1} should be ~log2(32)");
+    }
+
+    #[test]
+    fn balancing_preserves_function() {
+        let src = "module m(input clk, input [15:0] a, input [15:0] b, output [15:0] q, output r);
+                     reg [15:0] acc;
+                     always @(posedge clk) acc <= acc + (a & b);
+                     assign q = acc;
+                     assign r = ^acc | &a;
+                   endmodule";
+        let bog = blast(&compile(src, "m").unwrap());
+        let bal = balance(&bog);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s0 = BitSim::new(&bog);
+        let mut s1 = BitSim::new(&bal);
+        for _ in 0..10 {
+            let a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..65536)).collect();
+            let b: Vec<u64> = (0..64).map(|_| rng.gen_range(0..65536)).collect();
+            for s in [&mut s0, &mut s1] {
+                s.set_input_word("a", &a);
+                s.set_input_word("b", &b);
+                s.step();
+            }
+            assert_eq!(s0.output_word("q"), s1.output_word("q"));
+            assert_eq!(s0.output_word("r"), s1.output_word("r"));
+        }
+    }
+
+    #[test]
+    fn shared_nodes_are_not_consumed() {
+        // t = a&b has fanout 2 — must survive as a distinct node.
+        let bog = blast(
+            &compile(
+                "module m(input a, input b, input c, input d, output y1, output y2);
+                   wire t;
+                   assign t = a & b;
+                   assign y1 = t & c;
+                   assign y2 = t & d;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let bal = balance(&bog);
+        // Function must hold.
+        let mut s0 = BitSim::new(&bog);
+        let mut s1 = BitSim::new(&bal);
+        for v in 0..16u64 {
+            let (a, b, c, d) = (v & 1, (v >> 1) & 1, (v >> 2) & 1, (v >> 3) & 1);
+            for s in [&mut s0, &mut s1] {
+                s.set_input_word("a", &[a]);
+                s.set_input_word("b", &[b]);
+                s.set_input_word("c", &[c]);
+                s.set_input_word("d", &[d]);
+                s.settle();
+            }
+            assert_eq!(s0.output_word("y1")[0] & 1, s1.output_word("y1")[0] & 1);
+            assert_eq!(s0.output_word("y2")[0] & 1, s1.output_word("y2")[0] & 1);
+        }
+    }
+}

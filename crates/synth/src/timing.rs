@@ -1,0 +1,307 @@
+//! Slew/load-aware STA over the mapped netlist, with Elmore wire delays
+//! from placement geometry. This is the simulator's stand-in for sign-off
+//! timing (PrimeTime in the paper's flow) — endpoint arrival times computed
+//! here are the ground-truth labels for RTL-Timer's models.
+
+use crate::netlist::{CellId, MappedNetlist};
+use rtlt_liberty::{Cell, CellFunc, Drive, Library};
+
+/// Per-net/per-cell timing quantities.
+#[derive(Debug, Clone)]
+pub struct NetTiming {
+    /// Arrival time at each cell output (ns).
+    pub arrival: Vec<f64>,
+    /// Output slew at each cell (ns).
+    pub slew: Vec<f64>,
+    /// Load seen by each cell output (cap units, wire included).
+    pub load: Vec<f64>,
+}
+
+/// Completed physical STA.
+#[derive(Debug, Clone)]
+pub struct PhysicalSta {
+    /// Per-cell quantities.
+    pub nets: NetTiming,
+    /// Arrival at each register D pin (ns), ordered as `netlist.regs`.
+    pub reg_at: Vec<f64>,
+    /// Slack at each register endpoint (ns).
+    pub reg_slack: Vec<f64>,
+    /// Arrival at each primary output (ns).
+    pub output_at: Vec<f64>,
+    /// Slack at each primary output (ns).
+    pub output_slack: Vec<f64>,
+    /// Worst negative slack (0 when timing is met).
+    pub wns: f64,
+    /// Total negative slack (≤ 0).
+    pub tns: f64,
+    /// Clock period used (ns).
+    pub clock: f64,
+}
+
+impl PhysicalSta {
+    /// Worst arrival over all endpoints.
+    pub fn max_arrival(&self) -> f64 {
+        self.reg_at
+            .iter()
+            .chain(self.output_at.iter())
+            .fold(0.0f64, |m, &v| if v.is_finite() { m.max(v) } else { m })
+    }
+}
+
+fn dist(n: &MappedNetlist, a: CellId, b: CellId) -> f64 {
+    let ca = &n.cells[a as usize];
+    let cb = &n.cells[b as usize];
+    (ca.x - cb.x).abs() + (ca.y - cb.y).abs()
+}
+
+fn lib_cell<'l>(lib: &'l Library, n: &MappedNetlist, id: CellId) -> Option<&'l Cell> {
+    n.cells[id as usize].func.map(|f| lib.cell(f, n.cells[id as usize].drive))
+}
+
+/// Static (pre-placement) loads: sink pin caps only. Used by initial sizing.
+pub fn static_loads(n: &MappedNetlist, lib: &Library) -> Vec<f64> {
+    let mut load = vec![0.0f64; n.cells.len()];
+    for (id, c) in n.cells.iter().enumerate() {
+        if let Some(cell) = lib_cell(lib, n, id as CellId) {
+            for (pin, &f) in c.fanins.iter().enumerate() {
+                load[f as usize] += cell.pin_cap(pin);
+            }
+        }
+    }
+    let dff = lib.cell(CellFunc::Dff, Drive::X1);
+    for r in &n.regs {
+        load[r.d as usize] += dff.pin_cap(0);
+    }
+    for (_, o) in &n.outputs {
+        load[*o as usize] += 2.0;
+    }
+    load
+}
+
+/// Runs STA over a mapped netlist at the given clock period.
+pub fn time_netlist(n: &MappedNetlist, lib: &Library, clock: f64) -> PhysicalSta {
+    let ncells = n.cells.len();
+    let wire = lib.wire;
+    let input_slew = lib.default_input_slew;
+
+    // Loads: sink pin caps plus wire capacitance per connection.
+    let mut load = vec![0.0f64; ncells];
+    for (id, c) in n.cells.iter().enumerate() {
+        if let Some(cell) = lib_cell(lib, n, id as CellId) {
+            for (pin, &f) in c.fanins.iter().enumerate() {
+                load[f as usize] += cell.pin_cap(pin) + wire.cap(dist(n, f, id as CellId));
+            }
+        }
+    }
+    let dff = lib.cell(CellFunc::Dff, Drive::X1);
+    for r in &n.regs {
+        load[r.d as usize] += dff.pin_cap(0) + wire.cap(dist(n, r.d, r.q));
+    }
+    for (_, o) in &n.outputs {
+        load[*o as usize] += 2.0;
+    }
+
+    let mut arrival = vec![0.0f64; ncells];
+    let mut slew = vec![input_slew; ncells];
+
+    for id in n.topo_order() {
+        let c = &n.cells[id as usize];
+        match c.func {
+            None => {
+                // Boundary: primary input (AT 0) or tie cell (AT 0).
+                arrival[id as usize] = 0.0;
+                slew[id as usize] = input_slew;
+            }
+            Some(CellFunc::Dff) => {
+                let seq = dff.seq.expect("dff sequential");
+                arrival[id as usize] = seq.clk_to_q;
+                slew[id as usize] = dff.out_slew(input_slew, load[id as usize]);
+            }
+            Some(func) => {
+                let cell = lib.cell(func, c.drive);
+                let mut at = 0.0f64;
+                let mut in_slew = input_slew;
+                for &f in &c.fanins {
+                    let wd = wire.delay(dist(n, f, id as CellId), cell.pin_cap(0));
+                    let cand = arrival[f as usize] + wd;
+                    if cand >= at {
+                        at = cand;
+                        in_slew = slew[f as usize] + 0.3 * wd;
+                    }
+                }
+                let d = cell.delay(in_slew, load[id as usize]) * c.derate;
+                arrival[id as usize] = at + d;
+                slew[id as usize] = cell.out_slew(in_slew, load[id as usize]);
+            }
+        }
+    }
+
+    let setup = dff.seq.expect("dff sequential").setup;
+    let mut reg_at = Vec::with_capacity(n.regs.len());
+    let mut reg_slack = Vec::with_capacity(n.regs.len());
+    let mut wns = 0.0f64;
+    let mut tns = 0.0f64;
+    for r in &n.regs {
+        let wd = wire.delay(dist(n, r.d, r.q), dff.pin_cap(0));
+        let at = arrival[r.d as usize] + wd;
+        let slack = clock - setup - at;
+        reg_at.push(at);
+        reg_slack.push(slack);
+        if slack < 0.0 {
+            tns += slack;
+            wns = wns.min(slack);
+        }
+    }
+    let mut output_at = Vec::with_capacity(n.outputs.len());
+    let mut output_slack = Vec::with_capacity(n.outputs.len());
+    for (_, o) in &n.outputs {
+        let at = arrival[*o as usize];
+        let slack = clock - at;
+        output_at.push(at);
+        output_slack.push(slack);
+        if slack < 0.0 {
+            tns += slack;
+            wns = wns.min(slack);
+        }
+    }
+
+    PhysicalSta {
+        nets: NetTiming { arrival, slew, load },
+        reg_at,
+        reg_slack,
+        output_at,
+        output_slack,
+        wns,
+        tns,
+        clock,
+    }
+}
+
+/// Traces the critical path into register `reg_index`, returning cells from
+/// launch to capture-side driver.
+pub fn critical_cells(n: &MappedNetlist, sta: &PhysicalSta, reg_index: usize) -> Vec<CellId> {
+    let mut path = Vec::new();
+    let mut cur = n.regs[reg_index].d;
+    path.push(cur);
+    loop {
+        let c = &n.cells[cur as usize];
+        if !c.is_comb() || c.fanins.is_empty() {
+            break;
+        }
+        let worst = c
+            .fanins
+            .iter()
+            .copied()
+            .max_by(|&x, &y| {
+                sta.nets.arrival[x as usize]
+                    .partial_cmp(&sta.nets.arrival[y as usize])
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        path.push(worst);
+        cur = worst;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::tech_map;
+    use crate::opt::balance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rtlt_bog::blast;
+    use rtlt_verilog::compile;
+
+    fn netlist_for(src: &str) -> (MappedNetlist, Library) {
+        let bog = balance(&blast(&compile(src, "m").unwrap()));
+        let lib = Library::nangate45_like();
+        let n = tech_map(&bog, &lib, &mut StdRng::seed_from_u64(9));
+        (n, lib)
+    }
+
+    #[test]
+    fn arrival_monotone_along_paths() {
+        let (n, lib) = netlist_for(
+            "module m(input clk, input [7:0] a, input [7:0] b, output [7:0] q);
+               reg [7:0] r;
+               always @(posedge clk) r <= (a + b) ^ r;
+               assign q = r;
+             endmodule",
+        );
+        let sta = time_netlist(&n, &lib, 1.0);
+        for (id, c) in n.cells.iter().enumerate() {
+            for &f in &c.fanins {
+                assert!(
+                    sta.nets.arrival[id] >= sta.nets.arrival[f as usize] - 1e-9,
+                    "cell {id} earlier than fanin {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slacks_sum_to_tns() {
+        let (n, lib) = netlist_for(
+            "module m(input clk, input [15:0] a, output [15:0] q);
+               reg [15:0] r;
+               always @(posedge clk) r <= r * a;
+               assign q = r;
+             endmodule",
+        );
+        let sta = time_netlist(&n, &lib, 0.2);
+        let manual: f64 = sta
+            .reg_slack
+            .iter()
+            .chain(sta.output_slack.iter())
+            .filter(|&&s| s < 0.0)
+            .sum();
+        assert!((manual - sta.tns).abs() < 1e-9);
+        assert!(sta.wns <= 0.0);
+    }
+
+    #[test]
+    fn critical_path_is_connected_and_ends_at_reg_d() {
+        let (n, lib) = netlist_for(
+            "module m(input clk, input [7:0] a, output [7:0] q);
+               reg [7:0] r;
+               always @(posedge clk) r <= r + a;
+               assign q = r;
+             endmodule",
+        );
+        let sta = time_netlist(&n, &lib, 1.0);
+        // Worst register endpoint.
+        let (worst, _) = sta
+            .reg_slack
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let path = critical_cells(&n, &sta, worst);
+        assert_eq!(*path.last().unwrap(), n.regs[worst].d);
+        for w in path.windows(2) {
+            assert!(n.cells[w[1] as usize].fanins.contains(&w[0]));
+        }
+    }
+
+    #[test]
+    fn placement_distance_adds_delay() {
+        let (mut n, lib) = netlist_for(
+            "module m(input a, input b, output y);
+               assign y = a & b;
+             endmodule",
+        );
+        let before = time_netlist(&n, &lib, 1.0).output_at[0];
+        // Move the AND far from its fanins.
+        for c in n.cells.iter_mut() {
+            if c.is_comb() {
+                c.x = 400.0;
+                c.y = 400.0;
+            }
+        }
+        let after = time_netlist(&n, &lib, 1.0).output_at[0];
+        assert!(after > before, "{after} <= {before}");
+    }
+}

@@ -1,0 +1,375 @@
+//! Abstract syntax tree for the Verilog subset.
+
+/// A parsed source file: an ordered list of module declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A module declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Header port order (names only; directions/widths from declarations).
+    pub port_order: Vec<String>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+    /// 1-based line of the `module` keyword.
+    pub line: u32,
+}
+
+/// Signal storage class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `wire`/`reg` declaration (possibly with a range and several names).
+    NetDecl {
+        /// Storage class.
+        kind: NetKind,
+        /// `[msb:lsb]` bounds, constant expressions.
+        range: Option<(Expr, Expr)>,
+        /// Declared names.
+        names: Vec<String>,
+        /// Source line.
+        line: u32,
+    },
+    /// `input`/`output` declaration (header-style or body-style).
+    PortDecl {
+        /// Direction.
+        dir: Dir,
+        /// Declared also as `reg` (only valid for outputs).
+        reg: bool,
+        /// `[msb:lsb]` bounds.
+        range: Option<(Expr, Expr)>,
+        /// Declared names.
+        names: Vec<String>,
+        /// Source line.
+        line: u32,
+    },
+    /// `parameter` / `localparam`.
+    ParamDecl {
+        /// Parameter name.
+        name: String,
+        /// Default value (constant expression).
+        value: Expr,
+        /// `localparam` (not overridable).
+        local: bool,
+        /// Source line.
+        line: u32,
+    },
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Driven expression.
+        rhs: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `always` block.
+    Always(AlwaysBlock),
+    /// Module instantiation.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// `#(.P(expr), …)` overrides.
+        params: Vec<(String, Expr)>,
+        /// Port connections.
+        conns: Connections,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Instance port connections.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Connections {
+    /// `.port(expr)` style; `None` expression means unconnected.
+    Named(Vec<(String, Option<Expr>)>),
+    /// Positional style.
+    Ordered(Vec<Expr>),
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlwaysBlock {
+    /// Sensitivity list.
+    pub sens: Sensitivity,
+    /// Body statement.
+    pub body: Stmt,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Clock edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// Sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(*)` or `@(a or b or …)` — combinational.
+    Comb,
+    /// `@(posedge clk)` possibly with additional (reset) edges.
+    Edges(Vec<(EdgeKind, String)>),
+}
+
+/// Procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin … end`
+    Block(Vec<Stmt>),
+    /// `if (cond) … [else …]`
+    If {
+        /// Condition (truthiness = reduction OR).
+        cond: Expr,
+        /// Taken branch.
+        then_br: Box<Stmt>,
+        /// Optional else branch.
+        else_br: Option<Box<Stmt>>,
+    },
+    /// `case`/`casez`.
+    Case {
+        /// `true` for `casez` (labels may contain `z`/`?` don't-cares).
+        wildcard: bool,
+        /// Scrutinee.
+        subject: Expr,
+        /// Arms in source order (first match wins).
+        arms: Vec<CaseArm>,
+        /// `default:` body.
+        default: Option<Box<Stmt>>,
+    },
+    /// Procedural assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// `=` (blocking) vs `<=` (non-blocking).
+        blocking: bool,
+        /// Source line.
+        line: u32,
+    },
+    /// `;`
+    Empty,
+}
+
+/// One `case` arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    /// Comma-separated labels.
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Single bit `name[idx]` (constant index).
+    Bit {
+        /// Signal name.
+        name: String,
+        /// Bit index (constant expression).
+        index: Expr,
+    },
+    /// Part select `name[msb:lsb]` (constant bounds).
+    Part {
+        /// Signal name.
+        name: String,
+        /// MSB bound.
+        msb: Expr,
+        /// LSB bound.
+        lsb: Expr,
+    },
+    /// `{a, b, …}` concatenation of targets (MSB first).
+    Concat(Vec<LValue>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `!` logical negation.
+    LogNot,
+    /// `~` bitwise complement.
+    BitNot,
+    /// `-` two's complement negate.
+    Neg,
+    /// `&` reduction AND.
+    RedAnd,
+    /// `|` reduction OR.
+    RedOr,
+    /// `^` reduction XOR.
+    RedXor,
+    /// `~&` reduction NAND.
+    RedNand,
+    /// `~|` reduction NOR.
+    RedNor,
+    /// `~^` / `^~` reduction XNOR.
+    RedXnor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `~^` / `^~`
+    Xnor,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Signal or parameter reference.
+    Ident(String),
+    /// Numeric literal.
+    Number {
+        /// Explicit width, if sized.
+        width: Option<u32>,
+        /// Value.
+        value: u64,
+        /// Don't-care bits (`casez` labels only).
+        zmask: u64,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? t : f`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// `{a, b, …}` (MSB first, as written).
+    Concat(Vec<Expr>),
+    /// `{n{e}}` replication.
+    Repeat {
+        /// Replication count (constant).
+        count: Box<Expr>,
+        /// Replicated expression.
+        inner: Box<Expr>,
+    },
+    /// `name[idx]` bit select (index may be a signal → dynamic select).
+    Bit {
+        /// Signal name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `name[msb:lsb]` constant part select.
+    Part {
+        /// Signal name.
+        base: String,
+        /// MSB bound (constant).
+        msb: Box<Expr>,
+        /// LSB bound (constant).
+        lsb: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized literal.
+    pub fn num(value: u64) -> Expr {
+        Expr::Number { width: None, value, zmask: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_file_module_lookup() {
+        let m = Module { name: "m".into(), port_order: vec![], items: vec![], line: 1 };
+        let f = SourceFile { modules: vec![m] };
+        assert!(f.module("m").is_some());
+        assert!(f.module("n").is_none());
+    }
+
+    #[test]
+    fn expr_num_helper() {
+        assert_eq!(Expr::num(5), Expr::Number { width: None, value: 5, zmask: 0 });
+    }
+}

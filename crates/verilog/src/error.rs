@@ -1,0 +1,49 @@
+//! Frontend error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the Verilog frontend (lexing, parsing or elaboration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogError {
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl VerilogError {
+    /// Creates an error tied to a source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        VerilogError { line: Some(line), message: message.into() }
+    }
+
+    /// Creates an error with no specific source location.
+    pub fn general(message: impl Into<String>) -> Self {
+        VerilogError { line: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for VerilogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = VerilogError::at(7, "unexpected token");
+        assert_eq!(e.to_string(), "line 7: unexpected token");
+        let g = VerilogError::general("no top module");
+        assert_eq!(g.to_string(), "no top module");
+    }
+}

@@ -1,0 +1,458 @@
+//! Tokenizer for the Verilog subset.
+
+use crate::error::VerilogError;
+
+/// Token kind plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or escaped identifier.
+    Ident(String),
+    /// Numeric literal. `zmask` marks don't-care bits (`z`/`?` in `casez`
+    /// labels); `x` digits lex as 0 value bits.
+    Number {
+        /// Explicit size prefix (e.g. `8` in `8'hFF`).
+        width: Option<u32>,
+        /// Literal value (z/x digits contribute 0).
+        value: u64,
+        /// Bits that were written `z` or `?`.
+        zmask: u64,
+    },
+    // Keywords.
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Wire,
+    Reg,
+    Assign,
+    Always,
+    Posedge,
+    Negedge,
+    If,
+    Else,
+    Begin,
+    End,
+    Case,
+    Casez,
+    Endcase,
+    Default,
+    Parameter,
+    Localparam,
+    /// `or` (sensitivity-list separator / reserved word).
+    OrKw,
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Star,
+    Slash,
+    Percent,
+    Plus,
+    Minus,
+    Bang,
+    Tilde,
+    Amp,
+    Pipe,
+    Caret,
+    TildeAmp,
+    TildePipe,
+    TildeCaret,
+    Lt,
+    Gt,
+    /// `<=` — relational or non-blocking assign depending on context.
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    /// `=`
+    Eq,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "module" => Tok::Module,
+        "endmodule" => Tok::Endmodule,
+        "input" => Tok::Input,
+        "output" => Tok::Output,
+        "wire" => Tok::Wire,
+        "reg" => Tok::Reg,
+        "assign" => Tok::Assign,
+        "always" => Tok::Always,
+        "posedge" => Tok::Posedge,
+        "negedge" => Tok::Negedge,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "begin" => Tok::Begin,
+        "end" => Tok::End,
+        "case" => Tok::Case,
+        "casez" => Tok::Casez,
+        "endcase" => Tok::Endcase,
+        "default" => Tok::Default,
+        "parameter" => Tok::Parameter,
+        "localparam" => Tok::Localparam,
+        "or" => Tok::OrKw,
+        _ => return None,
+    })
+}
+
+/// Tokenizes Verilog source.
+///
+/// # Errors
+///
+/// Returns an error for unterminated block comments, malformed numeric
+/// literals, literals wider than 64 bits, or characters outside the subset.
+pub fn lex(src: &str) -> Result<Vec<Token>, VerilogError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($t:expr) => {
+            toks.push(Token { tok: $t, line })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(VerilogError::at(start_line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'\\' => {
+                let escaped = c == b'\\';
+                if escaped {
+                    i += 1;
+                }
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$'
+                        || (escaped && !bytes[i].is_ascii_whitespace()))
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if word.is_empty() {
+                    return Err(VerilogError::at(line, "empty escaped identifier"));
+                }
+                match keyword(word) {
+                    Some(k) if !escaped => push!(k),
+                    _ => push!(Tok::Ident(word.to_owned())),
+                }
+            }
+            b'0'..=b'9' | b'\'' => {
+                let (tok, ni) = lex_number(src, i, line)?;
+                i = ni;
+                push!(tok);
+            }
+            _ => {
+                let (tok, adv) = match c {
+                    b'(' => (Tok::LParen, 1),
+                    b')' => (Tok::RParen, 1),
+                    b'[' => (Tok::LBracket, 1),
+                    b']' => (Tok::RBracket, 1),
+                    b'{' => (Tok::LBrace, 1),
+                    b'}' => (Tok::RBrace, 1),
+                    b';' => (Tok::Semi, 1),
+                    b':' => (Tok::Colon, 1),
+                    b',' => (Tok::Comma, 1),
+                    b'.' => (Tok::Dot, 1),
+                    b'#' => (Tok::Hash, 1),
+                    b'@' => (Tok::At, 1),
+                    b'?' => (Tok::Question, 1),
+                    b'*' => (Tok::Star, 1),
+                    b'/' => (Tok::Slash, 1),
+                    b'%' => (Tok::Percent, 1),
+                    b'+' => (Tok::Plus, 1),
+                    b'-' => (Tok::Minus, 1),
+                    b'!' if bytes.get(i + 1) == Some(&b'=') => (Tok::NotEq, 2),
+                    b'!' => (Tok::Bang, 1),
+                    b'~' => match bytes.get(i + 1) {
+                        Some(&b'&') => (Tok::TildeAmp, 2),
+                        Some(&b'|') => (Tok::TildePipe, 2),
+                        Some(&b'^') => (Tok::TildeCaret, 2),
+                        _ => (Tok::Tilde, 1),
+                    },
+                    b'&' if bytes.get(i + 1) == Some(&b'&') => (Tok::AmpAmp, 2),
+                    b'&' => (Tok::Amp, 1),
+                    b'|' if bytes.get(i + 1) == Some(&b'|') => (Tok::PipePipe, 2),
+                    b'|' => (Tok::Pipe, 1),
+                    b'^' if bytes.get(i + 1) == Some(&b'~') => (Tok::TildeCaret, 2),
+                    b'^' => (Tok::Caret, 1),
+                    b'<' => match bytes.get(i + 1) {
+                        Some(&b'<') => (Tok::Shl, 2),
+                        Some(&b'=') => (Tok::Le, 2),
+                        _ => (Tok::Lt, 1),
+                    },
+                    b'>' => match bytes.get(i + 1) {
+                        Some(&b'>') => (Tok::Shr, 2),
+                        Some(&b'=') => (Tok::Ge, 2),
+                        _ => (Tok::Gt, 1),
+                    },
+                    b'=' if bytes.get(i + 1) == Some(&b'=') => (Tok::EqEq, 2),
+                    b'=' => (Tok::Eq, 1),
+                    b'`' => {
+                        // Compiler directives are not part of the subset; the
+                        // generator never emits them.
+                        return Err(VerilogError::at(line, "compiler directives (`) unsupported"));
+                    }
+                    other => {
+                        return Err(VerilogError::at(
+                            line,
+                            format!("unexpected character '{}'", other as char),
+                        ));
+                    }
+                };
+                i += adv;
+                push!(tok);
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Lexes a numeric literal starting at `i`; returns the token and the index
+/// after it.
+fn lex_number(src: &str, mut i: usize, line: u32) -> Result<(Tok, usize), VerilogError> {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut width: Option<u32> = None;
+
+    // Optional decimal size prefix.
+    if bytes[i].is_ascii_digit() {
+        let start = i;
+        while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let digits: String = src[start..i].chars().filter(|&c| c != '_').collect();
+        let val: u64 = digits
+            .parse()
+            .map_err(|_| VerilogError::at(line, "invalid decimal literal"))?;
+        if i < n && bytes[i] == b'\'' {
+            if val == 0 || val > 64 {
+                return Err(VerilogError::at(line, format!("literal width {val} out of range 1..=64")));
+            }
+            width = Some(val as u32);
+        } else {
+            // Plain decimal number: unsized (32-bit by convention).
+            return Ok((Tok::Number { width: None, value: val, zmask: 0 }, i));
+        }
+    }
+
+    // Based literal: 'b / 'o / 'd / 'h.
+    debug_assert_eq!(bytes[i], b'\'');
+    i += 1;
+    if i >= n {
+        return Err(VerilogError::at(line, "truncated based literal"));
+    }
+    let base_char = bytes[i].to_ascii_lowercase();
+    let bits_per_digit = match base_char {
+        b'b' => 1,
+        b'o' => 3,
+        b'd' => 0,
+        b'h' => 4,
+        _ => return Err(VerilogError::at(line, format!("unknown base '{}'", base_char as char))),
+    };
+    i += 1;
+    let start = i;
+    while i < n
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'?')
+    {
+        i += 1;
+    }
+    let body: Vec<u8> = src[start..i].bytes().filter(|&c| c != b'_').collect();
+    if body.is_empty() {
+        return Err(VerilogError::at(line, "based literal has no digits"));
+    }
+
+    if bits_per_digit == 0 {
+        let digits = std::str::from_utf8(&body).unwrap();
+        let value: u64 = digits
+            .parse()
+            .map_err(|_| VerilogError::at(line, "invalid decimal digits in based literal"))?;
+        if let Some(w) = width {
+            if w < 64 && value >= (1u64 << w) {
+                return Err(VerilogError::at(line, format!("value {value} does not fit in {w} bits")));
+            }
+        }
+        return Ok((Tok::Number { width, value, zmask: 0 }, i));
+    }
+
+    let mut value: u64 = 0;
+    let mut zmask: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &d in &body {
+        let (dv, dz) = match d.to_ascii_lowercase() {
+            b'0'..=b'9' if (d - b'0') < (1 << bits_per_digit).min(10) => ((d - b'0') as u64, 0u64),
+            b'a'..=b'f' if bits_per_digit == 4 => ((d.to_ascii_lowercase() - b'a' + 10) as u64, 0),
+            b'x' => (0, 0), // unknown bits lex as 0 (two-valued subset)
+            b'z' | b'?' => (0, (1 << bits_per_digit) - 1),
+            _ => {
+                return Err(VerilogError::at(
+                    line,
+                    format!("invalid digit '{}' for base", d as char),
+                ));
+            }
+        };
+        nbits += bits_per_digit as u32;
+        if nbits > 64 {
+            return Err(VerilogError::at(line, "literal wider than 64 bits"));
+        }
+        value = (value << bits_per_digit) | dv;
+        zmask = (zmask << bits_per_digit) | dz;
+    }
+    if let Some(w) = width {
+        if w < 64 {
+            let mask = (1u64 << w) - 1;
+            value &= mask;
+            zmask &= mask;
+        }
+    }
+    Ok((Tok::Number { width, value, zmask }, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("module foo endmodule"),
+            vec![Tok::Module, Tok::Ident("foo".into()), Tok::Endmodule]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let tokens = lex("// c1\n/* c2\nc3 */ x").unwrap();
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].tok, Tok::Ident("x".into()));
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn sized_hex_literal() {
+        assert_eq!(
+            toks("8'hFF"),
+            vec![Tok::Number { width: Some(8), value: 0xFF, zmask: 0 }]
+        );
+    }
+
+    #[test]
+    fn binary_with_underscores_and_z() {
+        assert_eq!(
+            toks("6'b1_0z?10"),
+            vec![Tok::Number { width: Some(6), value: 0b100010, zmask: 0b001100 }]
+        );
+    }
+
+    #[test]
+    fn plain_decimal_is_unsized() {
+        assert_eq!(toks("42"), vec![Tok::Number { width: None, value: 42, zmask: 0 }]);
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("a <= b == c != d >> e << f && g || h ~^ i"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::EqEq,
+                Tok::Ident("c".into()),
+                Tok::NotEq,
+                Tok::Ident("d".into()),
+                Tok::Shr,
+                Tok::Ident("e".into()),
+                Tok::Shl,
+                Tok::Ident("f".into()),
+                Tok::AmpAmp,
+                Tok::Ident("g".into()),
+                Tok::PipePipe,
+                Tok::Ident("h".into()),
+                Tok::TildeCaret,
+                Tok::Ident("i".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reduction_operator_tokens() {
+        assert_eq!(
+            toks("~& ~| ~^ ^~"),
+            vec![Tok::TildeAmp, Tok::TildePipe, Tok::TildeCaret, Tok::TildeCaret]
+        );
+    }
+
+    #[test]
+    fn width_overflow_rejected() {
+        assert!(lex("80'h0").is_err());
+        assert!(lex("8'd300").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn dollar_in_identifier() {
+        assert_eq!(toks("a$b"), vec![Tok::Ident("a$b".into())]);
+    }
+}

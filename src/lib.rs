@@ -1,0 +1,14 @@
+//! Meta-crate for the RTL-Timer reproduction workspace.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories. It re-exports every member crate so examples and integration
+//! tests can reach the full stack through one dependency.
+
+pub use rtl_timer;
+pub use rtlt_bog as bog;
+pub use rtlt_designgen as designgen;
+pub use rtlt_liberty as liberty;
+pub use rtlt_ml as ml;
+pub use rtlt_sta as sta;
+pub use rtlt_synth as synth;
+pub use rtlt_verilog as verilog;

@@ -1,0 +1,117 @@
+//! End-to-end integration: Verilog source → labels → trained model →
+//! prediction → annotation → optimization, across crate boundaries.
+
+use rtl_timer_repro::rtl_timer::annotate::annotate_source;
+use rtl_timer_repro::rtl_timer::optimize::{optimize_design, path_groups_from_scores};
+use rtl_timer_repro::rtl_timer::pipeline::{DesignSet, RtlTimer, TimerConfig};
+
+fn sources() -> Vec<(String, String)> {
+    let mk = |name: &str, w: u32, body: &str| {
+        (
+            name.to_owned(),
+            format!(
+                "module {name}(input clk, input rst, input [{x}:0] a, input [{x}:0] b, output [{x}:0] q);
+                   reg [{x}:0] r;
+                   reg [{x}:0] s;
+                   always @(posedge clk)
+                     if (rst) begin r <= {w}'d0; s <= {w}'d0; end
+                     else begin r <= {body}; s <= s + r; end
+                   assign q = s;
+                 endmodule",
+                x = w - 1
+            ),
+        )
+    };
+    vec![
+        mk("ia", 8, "a + b"),
+        mk("ib", 10, "(a - b) ^ s"),
+        mk("ic", 12, "(a & b) | (s >> 1)"),
+        mk("id", 9, "a + (b << 1)"),
+    ]
+}
+
+fn cfg() -> TimerConfig {
+    TimerConfig { threads: 2, ..Default::default() }
+}
+
+#[test]
+fn full_pipeline_annotates_and_optimizes() {
+    let set = DesignSet::prepare_named(&sources(), &cfg());
+    let (train, test) = set.split(&["id"]);
+    let model = RtlTimer::fit(&train, &cfg());
+    let d = test[0];
+    let pred = model.predict(d);
+
+    // Predictions must cover all endpoints/signals with finite values.
+    assert_eq!(pred.bit_pred.len(), d.labels_at.len());
+    assert!(pred.bit_pred.iter().all(|p| p.is_finite()));
+    assert_eq!(pred.signal_pred.len(), d.signals().len());
+
+    // Annotation embeds every top-level signal.
+    let annotated = annotate_source(d, &pred);
+    for s in d.signals() {
+        assert!(
+            annotated.contains(&format!("({})", s.name)),
+            "missing annotation for {}",
+            s.name
+        );
+    }
+
+    // Optimization flows run and produce plausible metrics.
+    let outcome = optimize_design(d, &pred);
+    assert!(outcome.default.area > 0.0);
+    assert!(outcome.with_pred.area > 0.0);
+    assert!(outcome.with_pred.wns <= 0.0);
+    // Grouping must partition all endpoints.
+    let pg = path_groups_from_scores(&pred.bit_pred);
+    let total: usize = pg.groups.iter().map(|g| g.len()).sum();
+    assert_eq!(total, d.labels_at.len());
+}
+
+#[test]
+fn deterministic_preparation_and_prediction() {
+    let set1 = DesignSet::prepare_named(&sources()[..2], &cfg());
+    let set2 = DesignSet::prepare_named(&sources()[..2], &cfg());
+    for (a, b) in set1.designs().iter().zip(set2.designs()) {
+        assert_eq!(a.labels_at, b.labels_at, "{} labels must be reproducible", a.name);
+        assert_eq!(a.wns, b.wns);
+        assert_eq!(a.tns, b.tns);
+    }
+    let (train1, _) = set1.split(&["ia"]);
+    let (train2, _) = set2.split(&["ia"]);
+    let m1 = RtlTimer::fit(&train1, &cfg());
+    let m2 = RtlTimer::fit(&train2, &cfg());
+    let p1 = m1.predict(set1.get("ia").unwrap());
+    let p2 = m2.predict(set2.get("ia").unwrap());
+    assert_eq!(p1.bit_pred, p2.bit_pred);
+    assert_eq!(p1.wns_pred, p2.wns_pred);
+}
+
+#[test]
+fn labels_respond_to_structure() {
+    // The register fed by a multiplier must have later ground-truth
+    // arrivals than a pass-through register in the same design.
+    let src = "module lt(input clk, input [11:0] a, input [11:0] b,
+                        output [11:0] q1, output [11:0] q2);
+                 reg [11:0] fast;
+                 reg [11:0] slow;
+                 always @(posedge clk) begin
+                   fast <= a;
+                   slow <= a * b;
+                 end
+                 assign q1 = fast;
+                 assign q2 = slow;
+               endmodule";
+    let set = DesignSet::prepare_named(&[("lt".to_owned(), src.to_owned())], &cfg());
+    let d = set.get("lt").unwrap();
+    let sig_at = |name: &str| -> f64 {
+        let sig = d.signals().iter().find(|s| s.name == name).unwrap();
+        sig.regs.iter().map(|&b| d.labels_at[b as usize]).fold(f64::MIN, f64::max)
+    };
+    assert!(
+        sig_at("slow") > sig_at("fast") + 0.05,
+        "slow {} vs fast {}",
+        sig_at("slow"),
+        sig_at("fast")
+    );
+}

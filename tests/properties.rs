@@ -1,0 +1,206 @@
+//! Workspace-level property tests: metric invariants, printer round-trips
+//! over generated expression grammars, and graph-construction invariants.
+
+use proptest::prelude::*;
+use rtl_timer_repro::rtl_timer::metrics::{covr, mape, pearson, r_squared, rank_groups};
+use rtl_timer_repro::verilog::{parse, printer};
+
+// ---------------------------------------------------------------------------
+// Metric invariants.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        a in proptest::collection::vec(-1e3f64..1e3, 4..64),
+        b in proptest::collection::vec(-1e3f64..1e3, 4..64),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let r = pearson(a, b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((r - pearson(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_scale_invariant(
+        a in proptest::collection::vec(-1e2f64..1e2, 4..32),
+        scale in 0.1f64..50.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * scale + shift).collect();
+        // Perfect linear relation with positive slope → R = 1 (unless a is
+        // constant, where R = 0 by convention).
+        let r = pearson(&a, &b);
+        prop_assert!(r > 0.999 || r == 0.0, "r = {r}");
+    }
+
+    #[test]
+    fn covr_bounds_and_perfection(
+        labels in proptest::collection::vec(0.0f64..1e3, 8..128),
+    ) {
+        let c = covr(&labels, &labels);
+        prop_assert!(c <= 100.0 + 1e-9);
+        // Self-coverage with distinct scores is exact; ties may split
+        // groups arbitrarily but stay bounded.
+        let mut sorted = labels.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.dedup();
+        let distinct = sorted.len() == labels.len();
+        if distinct {
+            prop_assert!((c - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_groups_partition(scores in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let g = rank_groups(&scores);
+        prop_assert_eq!(g.len(), scores.len());
+        prop_assert!(g.iter().all(|&x| x < 4));
+        // Group sizes follow the paper's fractions (to rounding).
+        let n = scores.len() as f64;
+        let c0 = g.iter().filter(|&&x| x == 0).count() as f64;
+        prop_assert!(c0 >= 1.0 && c0 <= (n * 0.05).ceil().max(1.0) + 1.0);
+    }
+
+    #[test]
+    fn mape_zero_for_perfect(pred in proptest::collection::vec(0.1f64..1e3, 2..64)) {
+        prop_assert!(mape(&pred, &pred) < 1e-9);
+        // R² of a perfect fit is 1 whenever the labels carry any variance
+        // (constant labels return 0 by convention).
+        let varied = pred.iter().any(|v| (v - pred[0]).abs() > 1e-9);
+        if varied {
+            prop_assert!((r_squared(&pred, &pred) - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printer round-trip over a generated expression grammar.
+// ---------------------------------------------------------------------------
+
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("c".to_owned()),
+        (1u64..200).prop_map(|v| format!("8'd{}", v.min(255))),
+        (0u32..8).prop_map(|i| format!("a[{i}]")),
+        Just("b[5:2]".to_owned()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), "[-+&|^]|==|<<|>>|<")
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+            (inner.clone()).prop_map(|e| format!("(~{e})")),
+            (inner.clone()).prop_map(|e| format!("(^{e})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| format!("({c} ? {t} : {f})")),
+            (inner.clone(), inner).prop_map(|(l, r)| format!("{{{l}, {r}}}")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → print → parse must be a fixpoint for arbitrary expressions
+    /// of the subset grammar.
+    #[test]
+    fn printer_roundtrip_random_expressions(expr in expr_strategy()) {
+        let src = format!(
+            "module p(input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y);
+               assign y = {expr};
+             endmodule"
+        );
+        let ast1 = parse(&src).expect("generated source parses");
+        let p1 = printer::print_source(&ast1);
+        let ast2 = parse(&p1).unwrap_or_else(|e| panic!("reparse: {e}\n{p1}"));
+        let p2 = printer::print_source(&ast2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Elaboration of printed source matches the original (same netlist
+    /// size and register count).
+    #[test]
+    fn printed_source_elaborates_identically(expr in expr_strategy()) {
+        let src = format!(
+            "module p(input clk, input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y);
+               reg [7:0] r;
+               always @(posedge clk) r <= {expr};
+               assign y = r;
+             endmodule"
+        );
+        let ast1 = parse(&src).expect("parses");
+        let n1 = rtl_timer_repro::verilog::elaborate(&ast1, "p").expect("elaborates");
+        let printed = printer::print_source(&ast1);
+        let ast2 = parse(&printed).expect("reparses");
+        let n2 = rtl_timer_repro::verilog::elaborate(&ast2, "p").expect("re-elaborates");
+        prop_assert_eq!(n1.regs().len(), n2.regs().len());
+        prop_assert_eq!(n1.stats().ops, n2.stats().ops);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph invariants on generated designs.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Strashing: no two structurally identical nodes in a blasted graph.
+    #[test]
+    fn no_duplicate_structural_nodes(width in 3u32..10, pick in 0usize..4) {
+        let ops = ["+", "&", "^", "|"];
+        let src = format!(
+            "module s(input [{x}:0] a, input [{x}:0] b, output [{x}:0] y, output [{x}:0] z);
+               assign y = a {op} b;
+               assign z = (a {op} b) ^ a;
+             endmodule",
+            x = width - 1,
+            op = ops[pick],
+        );
+        let bog = rtl_timer_repro::bog::blast(
+            &rtl_timer_repro::verilog::compile(&src, "s").expect("compiles"),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..bog.len() as u32 {
+            let n = bog.node(id);
+            if n.op.is_comb() {
+                prop_assert!(
+                    seen.insert((n.op, n.fanins)),
+                    "duplicate structural node {:?}",
+                    (n.op, n.fanins)
+                );
+            }
+        }
+    }
+
+    /// Variant conversions preserve endpoint count and only use allowed
+    /// operators, for arbitrary small datapaths.
+    #[test]
+    fn variant_alphabet_invariant(width in 2u32..8, seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ops = ["+", "-", "&", "|", "^"];
+        let op = ops[rng.gen_range(0..ops.len())];
+        let src = format!(
+            "module v(input clk, input [{x}:0] a, input [{x}:0] b, output [{x}:0] q);
+               reg [{x}:0] r;
+               always @(posedge clk) r <= (a {op} b) ^ (r >> 1);
+               assign q = r;
+             endmodule",
+            x = width - 1
+        );
+        let sog = rtl_timer_repro::bog::blast(
+            &rtl_timer_repro::verilog::compile(&src, "v").expect("compiles"),
+        );
+        for v in rtl_timer_repro::bog::BogVariant::ALL {
+            let g = sog.to_variant(v);
+            prop_assert_eq!(g.regs().len(), sog.regs().len());
+            for n in g.nodes() {
+                prop_assert!(v.allows(n.op));
+            }
+        }
+    }
+}
