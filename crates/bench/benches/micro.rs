@@ -44,8 +44,8 @@ fn bench_sta(c: &mut Criterion) {
 }
 
 fn bench_synth(c: &mut Criterion) {
-    let netlist = rtlt_verilog::compile(&rtlt_designgen::generate("b20").unwrap(), "b20")
-        .expect("compiles");
+    let netlist =
+        rtlt_verilog::compile(&rtlt_designgen::generate("b20").unwrap(), "b20").expect("compiles");
     let sog = blast(&netlist);
     let lib = Library::nangate45_like();
     let mut group = c.benchmark_group("synth");
@@ -66,16 +66,29 @@ fn bench_model(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("gbdt_maxloss_fit_b17", |b| {
         b.iter_batched(
-            || BitwiseCorpus { designs: vec![(&data, labels.as_slice())] },
+            || BitwiseCorpus {
+                designs: vec![(&data, labels.as_slice())],
+            },
             |corpus| BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1),
             BatchSize::SmallInput,
         )
     });
-    let corpus = BitwiseCorpus { designs: vec![(&data, labels.as_slice())] };
+    let corpus = BitwiseCorpus {
+        designs: vec![(&data, labels.as_slice())],
+    };
     let model = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1);
-    group.bench_function("gbdt_predict_b17", |b| b.iter(|| model.predict_endpoints(&data)));
+    group.bench_function("gbdt_predict_b17", |b| {
+        b.iter(|| model.predict_endpoints(&data))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_frontend, bench_bog, bench_sta, bench_synth, bench_model);
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_bog,
+    bench_sta,
+    bench_synth,
+    bench_model
+);
 criterion_main!(benches);

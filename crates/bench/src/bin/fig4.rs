@@ -9,7 +9,9 @@ use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "b18_1".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "b18_1".to_owned());
     let cfg = config();
     let src = rtlt_designgen::generate(&name).expect("catalog design");
     let netlist = rtlt_verilog::compile(&src, &name).expect("compiles");
@@ -18,7 +20,14 @@ fn main() {
 
     eprintln!("[fig4] default flow ...");
     let seed = cfg.seed ^ 0xF16;
-    let default = synthesize(&sog, &lib, &SynthOptions { seed, ..Default::default() });
+    let default = synthesize(
+        &sog,
+        &lib,
+        &SynthOptions {
+            seed,
+            ..Default::default()
+        },
+    );
     let clock = default.clock_period;
     // Ground-truth ranking drives the option experiments (the figure is
     // about the options, not the predictor).
@@ -51,8 +60,12 @@ fn main() {
         ("w. retime", &w_retime),
         ("w. retime + group", &w_both),
     ] {
-        let ats: Vec<f64> =
-            res.endpoint_at.iter().cloned().filter(|a| a.is_finite()).collect();
+        let ats: Vec<f64> = res
+            .endpoint_at
+            .iter()
+            .cloned()
+            .filter(|a| a.is_finite())
+            .collect();
         println!(
             "--- {label}: WNS {:.3} TNS {:.1} (max AT {:.3})",
             res.wns,

@@ -10,7 +10,9 @@ use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "b18_1".to_owned());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "b18_1".to_owned());
     let set = prepare_suite();
     let cfg = config();
     let (train, test) = set.split(&[target.as_str()]);
@@ -30,8 +32,12 @@ fn main() {
     }
 
     // (b) Bit-wise predictions.
-    println!("\n(b) bit-wise prediction (ensemble 'En'): R = {:.3}, MAPE = {:.1}%, COVR = {:.1}%",
-        pred.bit_r(), pred.bit_mape(), pred.bit_covr());
+    println!(
+        "\n(b) bit-wise prediction (ensemble 'En'): R = {:.3}, MAPE = {:.1}%, COVR = {:.1}%",
+        pred.bit_r(),
+        pred.bit_mape(),
+        pred.bit_covr()
+    );
     for v in 0..4 {
         println!("    variant {v} R = {:.3}", pred.variant_bit_r(v));
     }
@@ -62,9 +68,20 @@ fn main() {
     );
     println!("\n(d) arrival-time distribution before/after prediction-guided optimization");
     let base: Vec<f64> = labels.iter().cloned().filter(|a| a.is_finite()).collect();
-    let after: Vec<f64> = opt.endpoint_at.iter().cloned().filter(|a| a.is_finite()).collect();
-    println!("--- default (WNS {:.3}, TNS {:.1}):", outcome.default.wns, outcome.default.tns);
+    let after: Vec<f64> = opt
+        .endpoint_at
+        .iter()
+        .cloned()
+        .filter(|a| a.is_finite())
+        .collect();
+    println!(
+        "--- default (WNS {:.3}, TNS {:.1}):",
+        outcome.default.wns, outcome.default.tns
+    );
     println!("{}", ascii_histogram(&base, 12, 46));
-    println!("--- optimized w. pred (WNS {:.3}, TNS {:.1}):", outcome.with_pred.wns, outcome.with_pred.tns);
+    println!(
+        "--- optimized w. pred (WNS {:.3}, TNS {:.1}):",
+        outcome.with_pred.wns, outcome.with_pred.tns
+    );
     println!("{}", ascii_histogram(&after, 12, 46));
 }

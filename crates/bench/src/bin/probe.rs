@@ -34,8 +34,12 @@ fn main() {
             t.elapsed().as_millis(),
         );
         // Per-variant bit R.
-        let vr: Vec<String> =
-            (0..4).map(|v| format!("{:.3}", p.variant_bit_r(v))).collect();
-        println!("           variants SOG/AIG/AIMG/XAG R = {}", vr.join(" / "));
+        let vr: Vec<String> = (0..4)
+            .map(|v| format!("{:.3}", p.variant_bit_r(v)))
+            .collect();
+        println!(
+            "           variants SOG/AIG/AIMG/XAG R = {}",
+            vr.join(" / ")
+        );
     }
 }

@@ -22,7 +22,15 @@ fn main() {
 
     println!("\n§4.5 — runtime analysis (per design, times in ms)\n");
     let mut t = Table::new(&[
-        "design", "synth", "BOG build", "reg-proc", "infer", "BOG %", "proc %", "infer %", "opt synth %",
+        "design",
+        "synth",
+        "BOG build",
+        "reg-proc",
+        "infer",
+        "BOG %",
+        "proc %",
+        "infer %",
+        "opt synth %",
     ]);
     let lib = Library::nangate45_like();
     let pseudo = Library::pseudo_bog();
@@ -33,7 +41,14 @@ fn main() {
     for d in &test {
         // Synthesis runtime (label flow).
         let t0 = Instant::now();
-        let synth = synthesize(&d.sog, &lib, &SynthOptions { seed: d.synth_seed, ..Default::default() });
+        let synth = synthesize(
+            &d.sog,
+            &lib,
+            &SynthOptions {
+                seed: d.synth_seed,
+                ..Default::default()
+            },
+        );
         let t_synth = t0.elapsed().as_secs_f64() * 1e3;
 
         // BOG construction: the paper measures the slowest (AIG) build.

@@ -7,15 +7,24 @@ use rtlt_designgen::{catalog, Family};
 fn main() {
     let set = prepare_suite();
     println!("\nTable 3 — benchmark design information\n");
-    let mut t = Table::new(&["benchmark", "#designs", "gates (pseudo-cells)", "endpoints", "HDL"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "#designs",
+        "gates (pseudo-cells)",
+        "endpoints",
+        "HDL",
+    ]);
     for (fam, label) in [
         (Family::Itc99, "ITC'99-style"),
         (Family::OpenCores, "OpenCores-style"),
         (Family::Chipyard, "Chipyard-style"),
         (Family::VexRiscv, "VexRiscv-style"),
     ] {
-        let names: Vec<&str> =
-            catalog().iter().filter(|d| d.family == fam).map(|d| d.name).collect();
+        let names: Vec<&str> = catalog()
+            .iter()
+            .filter(|d| d.family == fam)
+            .map(|d| d.name)
+            .collect();
         let mut gates = Vec::new();
         let mut eps = Vec::new();
         for n in &names {
@@ -27,15 +36,36 @@ fn main() {
         t.row(vec![
             label.to_owned(),
             names.len().to_string(),
-            format!("{} - {}", gates.iter().min().unwrap(), gates.iter().max().unwrap()),
-            format!("{} - {}", eps.iter().min().unwrap(), eps.iter().max().unwrap()),
-            catalog().iter().find(|d| d.family == fam).unwrap().family.hdl().to_owned(),
+            format!(
+                "{} - {}",
+                gates.iter().min().unwrap(),
+                gates.iter().max().unwrap()
+            ),
+            format!(
+                "{} - {}",
+                eps.iter().min().unwrap(),
+                eps.iter().max().unwrap()
+            ),
+            catalog()
+                .iter()
+                .find(|d| d.family == fam)
+                .unwrap()
+                .family
+                .hdl()
+                .to_owned(),
         ]);
     }
     t.print();
 
     println!("\nPer-design detail:\n");
-    let mut t = Table::new(&["design", "family", "pseudo-gates", "endpoints", "max level", "clock (ns)"]);
+    let mut t = Table::new(&[
+        "design",
+        "family",
+        "pseudo-gates",
+        "endpoints",
+        "max level",
+        "clock (ns)",
+    ]);
     for spec in catalog() {
         let d = set.get(spec.name).expect("suite design");
         let s = d.sog.stats();

@@ -6,7 +6,7 @@
 use rtl_timer::baselines::{AstStyle, GnnBaseline, MasterRtlStyle, SignalDirect, SnsStyle};
 use rtl_timer::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use rtl_timer::metrics::{covr, mape, mean, pearson, r_squared};
-use rtl_timer::pipeline::{cross_validate, DesignData, RtlTimer};
+use rtl_timer::pipeline::{cross_validate, DesignData};
 use rtlt_bench::{config, f2, folds, pct, prepare_suite, Table};
 
 fn finite(pred: &[f64], label: &[f64]) -> (Vec<f64>, Vec<f64>) {
@@ -41,7 +41,12 @@ impl Acc {
     }
 
     fn row(&self, name: &str) -> Vec<String> {
-        vec![name.to_owned(), f2(mean(&self.r)), pct(mean(&self.mape)), pct(mean(&self.covr))]
+        vec![
+            name.to_owned(),
+            f2(mean(&self.r)),
+            pct(mean(&self.mape)),
+            pct(mean(&self.covr)),
+        ]
     }
 }
 
@@ -198,7 +203,10 @@ fn main() {
     let mut rtl_w = Vec::new();
     let mut rtl_t = Vec::new();
     for d in &ordered_designs {
-        let p = preds.iter().find(|p| p.design == d.name).expect("CV prediction");
+        let p = preds
+            .iter()
+            .find(|p| p.design == d.name)
+            .expect("CV prediction");
         rtl_w.push(p.wns_pred);
         rtl_t.push(p.tns_pred);
     }
@@ -210,7 +218,10 @@ fn main() {
     rows_tns.push(("MasterRTL-style", master_t));
     rows_tns.push(("RTL-Timer", rtl_t));
 
-    println!("\nTable 4 — overall design timing (cross-design, {} designs)\n", label_w.len());
+    println!(
+        "\nTable 4 — overall design timing (cross-design, {} designs)\n",
+        label_w.len()
+    );
     let mut t = Table::new(&["target", "method", "R", "R2", "MAPE %"]);
     for (name, p) in &rows_wns {
         t.row(vec![

@@ -15,20 +15,12 @@ fn main() {
     let preds = cross_validate(&set, k, &cfg);
 
     eprintln!("[table6] running optimization flows per design ...");
-    let outcomes: Vec<(OptimizationOutcome, f64, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = preds
-            .iter()
-            .map(|p| {
-                let set = &set;
-                scope.spawn(move || {
-                    let d = set.get(&p.design).expect("design");
-                    let o = optimize_design(d, p);
-                    (o, p.signal_r(), p.signal_covr_ranking())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("opt thread")).collect()
-    });
+    let outcomes: Vec<(OptimizationOutcome, f64, f64)> =
+        rtlt_runtime::par_map(cfg.threads, &preds, |p| {
+            let d = set.get(&p.design).expect("design");
+            let o = optimize_design(d, p);
+            (o, p.signal_r(), p.signal_covr_ranking())
+        });
 
     println!("\nTable 6 — optimization enabled by predictions and labels (Δ%)\n");
     let mut t = Table::new(&[
@@ -53,9 +45,11 @@ fn main() {
             f2(dr.power),
             f2(dr.area),
         ]);
-        for (i, v) in [dp.wns, dp.tns, dp.power, dp.area, dr.wns, dr.tns, dr.power, dr.area]
-            .into_iter()
-            .enumerate()
+        for (i, v) in [
+            dp.wns, dp.tns, dp.power, dp.area, dr.wns, dr.tns, dr.power, dr.area,
+        ]
+        .into_iter()
+        .enumerate()
         {
             avg1[i].push(v);
             // Avg2: designers run default+optimized concurrently and keep

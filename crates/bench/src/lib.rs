@@ -10,7 +10,9 @@ use std::time::Instant;
 
 /// Whether fast (smoke) mode is requested.
 pub fn fast() -> bool {
-    std::env::var("RTLT_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("RTLT_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Cross-validation folds: 10 as in the paper, 3 in fast mode.
@@ -24,14 +26,23 @@ pub fn folds() -> usize {
 
 /// Harness configuration (seed overridable via `RTLT_SEED`).
 pub fn config() -> TimerConfig {
-    let seed = std::env::var("RTLT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2024);
-    TimerConfig { seed, ..TimerConfig::default() }
+    let seed = std::env::var("RTLT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    TimerConfig {
+        seed,
+        ..TimerConfig::default()
+    }
 }
 
 /// Prepares the 21-design suite, printing progress timing.
 pub fn prepare_suite() -> DesignSet {
     let cfg = config();
-    eprintln!("[harness] preparing 21-design suite (threads={}) ...", cfg.threads);
+    eprintln!(
+        "[harness] preparing 21-design suite (threads={}) ...",
+        cfg.threads
+    );
     let t = Instant::now();
     let set = DesignSet::prepare_suite(&cfg);
     eprintln!("[harness] suite ready in {:.1}s", t.elapsed().as_secs_f64());
@@ -47,7 +58,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

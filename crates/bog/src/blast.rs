@@ -9,7 +9,7 @@
 
 use crate::graph::{BogBuilder, BogVariant, NodeId};
 use crate::Bog;
-use rtlt_verilog::rtlir::{Netlist, WKind, WUnaryOp, WBinaryOp};
+use rtlt_verilog::rtlir::{Netlist, WBinaryOp, WKind, WUnaryOp};
 
 /// Bit-blasts an elaborated netlist into a SOG-variant BOG.
 ///
@@ -85,7 +85,13 @@ pub fn blast(netlist: &Netlist) -> Bog {
             WKind::Concat { parts } => {
                 let mut v = Vec::with_capacity(w);
                 for p in parts {
-                    v.extend(bits[*p as usize].as_ref().expect("fanin blasted").iter().copied());
+                    v.extend(
+                        bits[*p as usize]
+                            .as_ref()
+                            .expect("fanin blasted")
+                            .iter()
+                            .copied(),
+                    );
                 }
                 v
             }
@@ -123,7 +129,11 @@ pub fn blast(netlist: &Netlist) -> Bog {
     b.finish()
 }
 
-fn chain(b: &mut BogBuilder, v: &[NodeId], f: fn(&mut BogBuilder, NodeId, NodeId) -> NodeId) -> NodeId {
+fn chain(
+    b: &mut BogBuilder,
+    v: &[NodeId],
+    f: fn(&mut BogBuilder, NodeId, NodeId) -> NodeId,
+) -> NodeId {
     let mut acc = v[0];
     for &x in &v[1..] {
         acc = f(b, acc, x);
@@ -178,9 +188,7 @@ fn blast_binary(
         WBinaryOp::Mul => {
             // Shift-add array multiplier over the (already equal) width.
             let zero = b.const0();
-            let mut acc: Vec<NodeId> = (0..w)
-                .map(|j| b.and2(av[j], bv[0]))
-                .collect();
+            let mut acc: Vec<NodeId> = (0..w).map(|j| b.and2(av[j], bv[0])).collect();
             for i in 1..w {
                 let mut carry = zero;
                 // Row i: av[j] & bv[i] added into acc starting at bit i.
@@ -212,7 +220,7 @@ fn blast_binary(
                     v
                 } else {
                     let mut v = cur[amt..].to_vec();
-                    v.extend(std::iter::repeat(zero).take(amt));
+                    v.extend(std::iter::repeat_n(zero, amt));
                     v
                 };
                 cur = (0..w).map(|i| b.mux2(sbit, shifted[i], cur[i])).collect();
@@ -248,7 +256,7 @@ fn shift_const(av: &[NodeId], w: usize, k: u64, left: bool, zero: NodeId) -> Vec
         v
     } else {
         let mut v = av[k..].to_vec();
-        v.extend(std::iter::repeat(zero).take(k));
+        v.extend(std::iter::repeat_n(zero, k));
         v
     }
 }

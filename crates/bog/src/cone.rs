@@ -53,7 +53,7 @@ pub fn input_cone(bog: &Bog, endpoint: NodeId) -> ConeInfo {
     info
 }
 
-fn cone_depth(bog: &Bog, id: NodeId, memo: &mut Vec<Option<u32>>) -> u32 {
+fn cone_depth(bog: &Bog, id: NodeId, memo: &mut [Option<u32>]) -> u32 {
     // Iterative post-order longest path to a source.
     let mut stack = vec![(id, false)];
     while let Some((n, expanded)) = stack.pop() {

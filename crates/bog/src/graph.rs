@@ -45,7 +45,10 @@ impl BogOp {
 
     /// Whether this is a combinational operator (counted as a pseudo cell).
     pub fn is_comb(self) -> bool {
-        !matches!(self, BogOp::Input | BogOp::Const0 | BogOp::Const1 | BogOp::Dff)
+        !matches!(
+            self,
+            BogOp::Input | BogOp::Const0 | BogOp::Const1 | BogOp::Dff
+        )
     }
 }
 
@@ -81,7 +84,12 @@ pub enum BogVariant {
 
 impl BogVariant {
     /// All variants in the paper's order.
-    pub const ALL: [BogVariant; 4] = [BogVariant::Sog, BogVariant::Aig, BogVariant::Aimg, BogVariant::Xag];
+    pub const ALL: [BogVariant; 4] = [
+        BogVariant::Sog,
+        BogVariant::Aig,
+        BogVariant::Aimg,
+        BogVariant::Xag,
+    ];
 
     /// Whether `op` is allowed in this variant.
     pub fn allows(self, op: BogOp) -> bool {
@@ -255,7 +263,9 @@ impl Bog {
                 fanouts[f as usize].push(id);
             }
         }
-        let mut queue: Vec<NodeId> = (0..n as NodeId).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut queue: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
@@ -281,7 +291,12 @@ impl Bog {
         for &id in &order {
             let node = &self.nodes[id as usize];
             if node.op.is_comb() {
-                let m = self.fanins(id).iter().map(|&f| level[f as usize]).max().unwrap_or(0);
+                let m = self
+                    .fanins(id)
+                    .iter()
+                    .map(|&f| level[f as usize])
+                    .max()
+                    .unwrap_or(0);
                 level[id as usize] = m + 1;
             }
         }
@@ -582,10 +597,21 @@ impl BogBuilder {
         for bit in 0..width {
             let q = self.raw(BogOp::Dff, [NO_NODE; 3]);
             reg_indices.push(self.regs.len() as u32);
-            self.regs.push(BogReg { q, d: NO_NODE, signal: sig_idx, bit });
+            self.regs.push(BogReg {
+                q,
+                d: NO_NODE,
+                signal: sig_idx,
+                bit,
+            });
             qs.push(q);
         }
-        self.signals.push(SignalInfo { name, width, regs: reg_indices, decl_line, top_level });
+        self.signals.push(SignalInfo {
+            name,
+            width,
+            regs: reg_indices,
+            decl_line,
+            top_level,
+        });
         qs
     }
 

@@ -47,6 +47,8 @@ mod variants;
 
 pub use blast::blast;
 pub use cone::{input_cone, ConeInfo};
-pub use graph::{Bog, BogBuilder, BogOp, BogReg, BogVariant, Endpoint, NodeId, SignalInfo, NO_NODE};
+pub use graph::{
+    Bog, BogBuilder, BogOp, BogReg, BogVariant, Endpoint, NodeId, SignalInfo, NO_NODE,
+};
 pub use sim::BitSim;
 pub use stats::BogStats;

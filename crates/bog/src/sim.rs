@@ -25,7 +25,10 @@ impl<'a> BitSim<'a> {
         let mut input_words: HashMap<String, Vec<(u32, NodeId)>> = HashMap::new();
         for (name, id) in bog.inputs() {
             if let Some((word, bit)) = split_bit_name(name) {
-                input_words.entry(word.to_owned()).or_default().push((bit, *id));
+                input_words
+                    .entry(word.to_owned())
+                    .or_default()
+                    .push((bit, *id));
             } else {
                 input_words.entry(name.clone()).or_default().push((0, *id));
             }
@@ -103,7 +106,12 @@ impl<'a> BitSim<'a> {
     pub fn step(&mut self) {
         self.load_state();
         self.settle();
-        let next: Vec<u64> = self.bog.regs().iter().map(|r| self.values[r.d as usize]).collect();
+        let next: Vec<u64> = self
+            .bog
+            .regs()
+            .iter()
+            .map(|r| self.values[r.d as usize])
+            .collect();
         self.reg_state = next;
         self.load_state();
         self.settle();

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn annotation_marks_sequential_signals() {
-        let cfg = TimerConfig { threads: 2, ..Default::default() };
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
         let src = "module t(input clk, input [7:0] a, output [7:0] q);
   reg [7:0] slow_acc;
   reg [7:0] fast_copy;
@@ -74,7 +77,7 @@ endmodule";
             ("t".to_owned(), src.to_owned()),
             ("u".to_owned(), src.replace("module t", "module u")),
         ];
-        let set = DesignSet::prepare_named(&sources, &cfg);
+        let set = DesignSet::prepare_named_or_panic(&sources, &cfg);
         let (train, test) = set.split(&["t"]);
         let model = RtlTimer::fit(&train, &cfg);
         let pred = model.predict(test[0]);

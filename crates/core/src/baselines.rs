@@ -19,7 +19,10 @@ use crate::design::{design_row, DesignTimingModel};
 use crate::metrics::rank_groups;
 use crate::pipeline::DesignData;
 use crate::signal::signal_labels;
-use rtlt_ml::{Gbdt, GbdtParams, Gnn, GnnGraph, GnnParams, LambdaMart, LtrParams, Mlp, MlpParams, Scaler, SquaredObjective};
+use rtlt_ml::{
+    Gbdt, GbdtParams, Gnn, GnnGraph, GnnParams, LambdaMart, LtrParams, Mlp, MlpParams, Scaler,
+    SquaredObjective,
+};
 
 // ---------------------------------------------------------------------------
 // SNS-style: histogram features → MLP → WNS.
@@ -42,7 +45,13 @@ impl SnsStyle {
         scaler.transform_all(&mut scaled);
         let mut mlp = Mlp::new(
             scaled[0].len(),
-            MlpParams { hidden: vec![24, 24], epochs: 400, batch: 8, seed, ..Default::default() },
+            MlpParams {
+                hidden: vec![24, 24],
+                epochs: 400,
+                batch: 8,
+                seed,
+                ..Default::default()
+            },
         );
         mlp.fit_regression(&scaled, &targets);
         SnsStyle { mlp, scaler }
@@ -86,7 +95,10 @@ impl AstStyle {
 
     /// Predicts `(WNS, TNS)`.
     pub fn predict(&self, d: &DesignData) -> (f64, f64) {
-        (self.wns.predict(&d.ast_feats).min(0.0), self.tns.predict(&d.ast_feats).min(0.0))
+        (
+            self.wns.predict(&d.ast_feats).min(0.0),
+            self.tns.predict(&d.ast_feats).min(0.0),
+        )
     }
 }
 
@@ -106,7 +118,10 @@ impl MasterRtlStyle {
     /// Fits on the training designs.
     pub fn fit(train: &[&DesignData], seed: u64) -> MasterRtlStyle {
         let corpus = BitwiseCorpus {
-            designs: train.iter().map(|d| (&d.variant_data[0], d.labels_at.as_slice())).collect(),
+            designs: train
+                .iter()
+                .map(|d| (&d.variant_data[0], d.labels_at.as_slice()))
+                .collect(),
         };
         let bit = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, seed);
         let mut rows = Vec::new();
@@ -115,7 +130,12 @@ impl MasterRtlStyle {
         let mut eps = Vec::new();
         for d in train {
             let bits = bit.predict_endpoints(&d.variant_data[0]);
-            rows.push(design_row(&bits, d.clock, d.setup, &d.variant_data[0].design_feats));
+            rows.push(design_row(
+                &bits,
+                d.clock,
+                d.setup,
+                &d.variant_data[0].design_feats,
+            ));
             wns_t.push(d.wns);
             tns_t.push(d.tns);
             eps.push(d.labels_at.len() as f64);
@@ -152,8 +172,9 @@ pub fn gnn_graph(d: &DesignData) -> GnnGraph {
             f
         })
         .collect();
-    let fanins: Vec<Vec<u32>> =
-        (0..bog.len() as u32).map(|i| bog.fanins(i).to_vec()).collect();
+    let fanins: Vec<Vec<u32>> = (0..bog.len() as u32)
+        .map(|i| bog.fanins(i).to_vec())
+        .collect();
     let endpoints: Vec<(usize, f64)> = bog
         .regs()
         .iter()
@@ -161,7 +182,11 @@ pub fn gnn_graph(d: &DesignData) -> GnnGraph {
         .filter(|(e, _)| d.labels_at[*e].is_finite())
         .map(|(e, r)| (r.d as usize, d.labels_at[e]))
         .collect();
-    GnnGraph { node_feats, fanins, endpoints }
+    GnnGraph {
+        node_feats,
+        fanins,
+        endpoints,
+    }
 }
 
 /// Customized-GNN bit-wise baseline.
@@ -174,7 +199,14 @@ impl GnnBaseline {
     /// Fits on the training designs.
     pub fn fit(train: &[&DesignData], seed: u64) -> GnnBaseline {
         let graphs: Vec<GnnGraph> = train.iter().map(|d| gnn_graph(d)).collect();
-        let mut gnn = Gnn::new(10, GnnParams { epochs: 12, seed, ..Default::default() });
+        let mut gnn = Gnn::new(
+            10,
+            GnnParams {
+                epochs: 12,
+                seed,
+                ..Default::default()
+            },
+        );
         gnn.fit(&graphs);
         GnnBaseline { gnn }
     }
@@ -207,8 +239,11 @@ pub fn direct_signal_rows(d: &DesignData) -> Vec<Vec<f64>> {
     d.signals()
         .iter()
         .map(|s| {
-            let ats: Vec<f64> =
-                s.regs.iter().map(|&b| sog.endpoint_sta_at[b as usize]).collect();
+            let ats: Vec<f64> = s
+                .regs
+                .iter()
+                .map(|&b| sog.endpoint_sta_at[b as usize])
+                .collect();
             let mean = ats.iter().sum::<f64>() / ats.len().max(1) as f64;
             let max = ats.iter().cloned().fold(f64::MIN, f64::max);
             let mut row = vec![max, mean, (s.width as f64).ln_1p()];
@@ -228,7 +263,9 @@ impl SignalDirect {
         for d in train {
             let drows = direct_signal_rows(d);
             let labels = signal_labels(&d.labels_at, d.signals());
-            let valid: Vec<usize> = (0..drows.len()).filter(|&i| labels[i].is_finite()).collect();
+            let valid: Vec<usize> = (0..drows.len())
+                .filter(|&i| labels[i].is_finite())
+                .collect();
             if valid.is_empty() {
                 continue;
             }
@@ -251,13 +288,19 @@ impl SignalDirect {
         ltr.gbdt.n_trees = 60;
         ltr.gbdt.seed = seed ^ 3;
         let ranking = LambdaMart::fit(&rows, &queries, &relevance, &ltr);
-        SignalDirect { regression, ranking }
+        SignalDirect {
+            regression,
+            ranking,
+        }
     }
 
     /// Predicts `(signal arrivals, ranking scores)`.
     pub fn predict(&self, d: &DesignData) -> (Vec<f64>, Vec<f64>) {
         let rows = direct_signal_rows(d);
-        (self.regression.predict_all(&rows), self.ranking.score_all(&rows))
+        (
+            self.regression.predict_all(&rows),
+            self.ranking.score_all(&rows),
+        )
     }
 }
 
@@ -285,7 +328,13 @@ mod tests {
             )
         };
         let sources = vec![mk("x0", 8), mk("x1", 10), mk("x2", 12)];
-        DesignSet::prepare_named(&sources, &TimerConfig { threads: 2, ..Default::default() })
+        DesignSet::prepare_named_or_panic(
+            &sources,
+            &TimerConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

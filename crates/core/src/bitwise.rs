@@ -7,8 +7,8 @@
 
 use crate::dataset::VariantData;
 use rtlt_ml::{
-    Gbdt, GbdtParams, GroupedMaxObjective, Mlp, MlpParams, PathSample, PathTransformer,
-    Scaler, SquaredObjective, TransformerParams,
+    Gbdt, GbdtParams, GroupedMaxObjective, Mlp, MlpParams, PathSample, PathTransformer, Scaler,
+    SquaredObjective, TransformerParams,
 };
 
 /// Model family for the bit-wise task.
@@ -29,6 +29,7 @@ pub enum BitModelKind {
 
 /// A fitted bit-wise model.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one model lives per representation; not worth boxing
 pub enum BitwiseModel {
     /// Tree-based (max-loss or crit-only).
     Tree {
@@ -59,10 +60,14 @@ pub struct BitwiseCorpus<'a> {
     pub designs: Vec<(&'a VariantData, &'a [f64])>,
 }
 
+/// Flattened corpus: `(rows, per-endpoint row groups, targets, critical
+/// row indices)`.
+type FlatCorpus = (Vec<Vec<f64>>, Vec<Vec<usize>>, Vec<f64>, Vec<usize>);
+
 impl<'a> BitwiseCorpus<'a> {
     /// Flattens rows/groups/targets across designs (skipping endpoints with
     /// non-finite labels, e.g. retimed-away registers).
-    fn flatten(&self) -> (Vec<Vec<f64>>, Vec<Vec<usize>>, Vec<f64>, Vec<usize>) {
+    fn flatten(&self) -> FlatCorpus {
         let mut rows = Vec::new();
         let mut groups = Vec::new();
         let mut targets = Vec::new();
@@ -106,13 +111,19 @@ impl BitwiseModel {
             BitModelKind::TreeMax => {
                 let obj = GroupedMaxObjective { groups, targets };
                 let model = Gbdt::fit(&rows, &obj, &bitwise_gbdt_params(seed));
-                BitwiseModel::Tree { model, crit_only: false }
+                BitwiseModel::Tree {
+                    model,
+                    crit_only: false,
+                }
             }
             BitModelKind::TreeCritOnly => {
                 let crit_feat: Vec<Vec<f64>> = crit_rows.iter().map(|&r| rows[r].clone()).collect();
                 let obj = SquaredObjective { targets };
                 let model = Gbdt::fit(&crit_feat, &obj, &bitwise_gbdt_params(seed));
-                BitwiseModel::Tree { model, crit_only: true }
+                BitwiseModel::Tree {
+                    model,
+                    crit_only: true,
+                }
             }
             BitModelKind::MlpMax | BitModelKind::MlpCritOnly => {
                 let crit_only = kind == BitModelKind::MlpCritOnly;
@@ -121,7 +132,12 @@ impl BitwiseModel {
                 scaler.transform_all(&mut scaled);
                 let mut model = Mlp::new(
                     scaled[0].len(),
-                    MlpParams { hidden: vec![64, 64, 64], epochs: 40, seed, ..Default::default() },
+                    MlpParams {
+                        hidden: vec![64, 64, 64],
+                        epochs: 40,
+                        seed,
+                        ..Default::default()
+                    },
                 );
                 if crit_only {
                     let crit_feat: Vec<Vec<f64>> =
@@ -130,15 +146,18 @@ impl BitwiseModel {
                 } else {
                     model.fit_grouped_max(&scaled, &groups, &targets);
                 }
-                BitwiseModel::Mlp { model, scaler, crit_only }
+                BitwiseModel::Mlp {
+                    model,
+                    scaler,
+                    crit_only,
+                }
             }
             BitModelKind::Transformer => {
                 // Sequence training is the costliest model; cap the corpus
                 // by endpoint striding (deterministic) to keep the ablation
                 // tractable, as one would subsample for a slow baseline.
                 const MAX_GROUPS: usize = 6000;
-                let total_groups: usize =
-                    corpus.designs.iter().map(|(d, _)| d.groups.len()).sum();
+                let total_groups: usize = corpus.designs.iter().map(|(d, _)| d.groups.len()).sum();
                 let stride = (total_groups / MAX_GROUPS).max(1);
                 let mut samples = Vec::new();
                 let mut tf_groups: Vec<Vec<usize>> = Vec::new();
@@ -167,7 +186,11 @@ impl BitwiseModel {
                     crate::features::N_OP_CLASSES,
                     crate::features::N_TOKEN_FEATURES,
                     7, // design + cone features as globals
-                    TransformerParams { epochs: 10, seed, ..Default::default() },
+                    TransformerParams {
+                        epochs: 10,
+                        seed,
+                        ..Default::default()
+                    },
                 );
                 model.fit_grouped_max(&samples, &tf_groups, &tf_targets);
                 BitwiseModel::Transformer { model }
@@ -195,7 +218,11 @@ impl BitwiseModel {
                                 .fold(f64::MIN, f64::max)
                         }
                     }
-                    BitwiseModel::Mlp { model, scaler, crit_only } => {
+                    BitwiseModel::Mlp {
+                        model,
+                        scaler,
+                        crit_only,
+                    } => {
                         let pred_row = |r: usize| {
                             let mut f = data.rows[r].features.clone();
                             scaler.transform(&mut f);
@@ -254,15 +281,20 @@ mod tests {
         let data = build_variant_data(&bog, &lib, 1.0, 3);
         // Synthetic labels: a monotone transform of the pseudo-STA arrival
         // (learnable from path features).
-        let labels: Vec<f64> =
-            data.endpoint_sta_at.iter().map(|a| 0.5 * a + 0.05 * a * a).collect();
+        let labels: Vec<f64> = data
+            .endpoint_sta_at
+            .iter()
+            .map(|a| 0.5 * a + 0.05 * a * a)
+            .collect();
         (data, labels)
     }
 
     #[test]
     fn tree_max_beats_random_on_self_fit() {
         let (data, labels) = variant_and_labels();
-        let corpus = BitwiseCorpus { designs: vec![(&data, &labels)] };
+        let corpus = BitwiseCorpus {
+            designs: vec![(&data, &labels)],
+        };
         let model = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1);
         let preds = model.predict_endpoints(&data);
         assert!(pearson(&preds, &labels) > 0.9);
@@ -271,7 +303,9 @@ mod tests {
     #[test]
     fn crit_only_uses_single_path() {
         let (data, labels) = variant_and_labels();
-        let corpus = BitwiseCorpus { designs: vec![(&data, &labels)] };
+        let corpus = BitwiseCorpus {
+            designs: vec![(&data, &labels)],
+        };
         let model = BitwiseModel::fit(BitModelKind::TreeCritOnly, &corpus, 1);
         let preds = model.predict_endpoints(&data);
         assert_eq!(preds.len(), data.groups.len());
@@ -282,7 +316,9 @@ mod tests {
     fn nan_labels_are_skipped() {
         let (data, mut labels) = variant_and_labels();
         labels[0] = f64::NAN;
-        let corpus = BitwiseCorpus { designs: vec![(&data, &labels)] };
+        let corpus = BitwiseCorpus {
+            designs: vec![(&data, &labels)],
+        };
         let model = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1);
         let preds = model.predict_endpoints(&data);
         assert!(preds.iter().all(|p| p.is_finite()));

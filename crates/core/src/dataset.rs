@@ -45,20 +45,25 @@ pub const MAX_RANDOM_PATHS: usize = 5;
 
 /// Builds the path dataset for one representation of a design.
 pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> VariantData {
-    let cfg = StaConfig { clock_period: clock, ..StaConfig::default() };
+    let cfg = StaConfig {
+        clock_period: clock,
+        ..StaConfig::default()
+    };
     let sta = Sta::run(bog, lib, cfg);
     let fanout = bog.fanout_counts();
     let n_eps = bog.regs().len();
 
     // Endpoint rank percentile by pseudo-STA arrival.
-    let ats: Vec<f64> = (0..n_eps)
-        .map(|i| sta.result().endpoint_at[i])
-        .collect();
+    let ats: Vec<f64> = (0..n_eps).map(|i| sta.result().endpoint_at[i]).collect();
     let mut order: Vec<usize> = (0..n_eps).collect();
     order.sort_by(|&a, &b| ats[a].partial_cmp(&ats[b]).expect("finite"));
     let mut rank_pct = vec![0.0f64; n_eps];
     for (rank, &i) in order.iter().enumerate() {
-        rank_pct[i] = if n_eps > 1 { rank as f64 / (n_eps - 1) as f64 } else { 0.5 };
+        rank_pct[i] = if n_eps > 1 {
+            rank as f64 / (n_eps - 1) as f64
+        } else {
+            0.5
+        };
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -91,7 +96,12 @@ pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> Va
             let ops = p.nodes.iter().map(|&n| op_class(bog.node(n).op)).collect();
             let tok_feats = token_features(&sta, &p, &fanout);
             group.push(rows.len());
-            rows.push(PathRow { features, ops, tok_feats, endpoint: e });
+            rows.push(PathRow {
+                features,
+                ops,
+                tok_feats,
+                endpoint: e,
+            });
         }
         groups.push(group);
     }
@@ -136,7 +146,10 @@ mod tests {
         let lib = Library::pseudo_bog();
         let data = build_variant_data(&bog, &lib, 1.0, 1);
         assert_eq!(data.groups.len(), bog.regs().len());
-        assert!(data.groups.iter().all(|g| !g.is_empty()), "each endpoint has >= 1 path");
+        assert!(
+            data.groups.iter().all(|g| !g.is_empty()),
+            "each endpoint has >= 1 path"
+        );
         // First row of every group is the slowest path: its arrival equals
         // the endpoint pseudo-STA arrival.
         for (e, g) in data.groups.iter().enumerate() {

@@ -99,13 +99,25 @@ impl DesignTimingModel {
         params.tree.min_child_weight = 2.0;
         params.subsample = 0.9;
         params.seed = seed;
-        let wns = Gbdt::fit(rows, &SquaredObjective { targets: wns_labels.to_vec() }, &params);
+        let wns = Gbdt::fit(
+            rows,
+            &SquaredObjective {
+                targets: wns_labels.to_vec(),
+            },
+            &params,
+        );
         let tns_per_ep: Vec<f64> = tns_labels
             .iter()
             .zip(ep_counts)
             .map(|(t, n)| t / n.max(1.0))
             .collect();
-        let tns = Gbdt::fit(rows, &SquaredObjective { targets: tns_per_ep }, &params);
+        let tns = Gbdt::fit(
+            rows,
+            &SquaredObjective {
+                targets: tns_per_ep,
+            },
+            &params,
+        );
         DesignTimingModel { wns, tns }
     }
 
@@ -147,7 +159,9 @@ mod tests {
         let mut eps = Vec::new();
         for d in 0..16 {
             let n = 50 + d * 10;
-            let at: Vec<f64> = (0..n).map(|i| 0.2 + 0.8 * (i as f64 / n as f64) + d as f64 * 0.01).collect();
+            let at: Vec<f64> = (0..n)
+                .map(|i| 0.2 + 0.8 * (i as f64 / n as f64) + d as f64 * 0.01)
+                .collect();
             let clock = 0.8;
             let row = design_row(&at, clock, 0.035, &[5.0, 8.0, 8.5, 30.0]);
             let (dw, dt) = direct_wns_tns(&at, clock, 0.035);

@@ -33,11 +33,17 @@ pub fn meta_rows(variant_preds: &[Vec<f64>], sog: &VariantData) -> Vec<Vec<f64>>
     // Rank percentile of each endpoint by SOG pseudo-STA arrival.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        sog.endpoint_sta_at[a].partial_cmp(&sog.endpoint_sta_at[b]).expect("finite")
+        sog.endpoint_sta_at[a]
+            .partial_cmp(&sog.endpoint_sta_at[b])
+            .expect("finite")
     });
     let mut rank_pct = vec![0.0; n];
     for (rank, &i) in order.iter().enumerate() {
-        rank_pct[i] = if n > 1 { rank as f64 / (n - 1) as f64 } else { 0.5 };
+        rank_pct[i] = if n > 1 {
+            rank as f64 / (n - 1) as f64
+        } else {
+            0.5
+        };
     }
     (0..n)
         .map(|e| {
@@ -45,8 +51,7 @@ pub fn meta_rows(variant_preds: &[Vec<f64>], sog: &VariantData) -> Vec<Vec<f64>>
             let mean = ps.iter().sum::<f64>() / ps.len() as f64;
             let min = ps.iter().cloned().fold(f64::MAX, f64::min);
             let max = ps.iter().cloned().fold(f64::MIN, f64::max);
-            let std =
-                (ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / ps.len() as f64).sqrt();
+            let std = (ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / ps.len() as f64).sqrt();
             let mut row = ps;
             row.push(mean);
             row.push(min);
@@ -75,8 +80,12 @@ impl EnsembleModel {
         params.learning_rate = 0.07;
         params.tree.max_depth = 6;
         params.seed = seed;
-        let obj = SquaredObjective { targets: labels.to_vec() };
-        EnsembleModel { meta: Gbdt::fit(rows, &obj, &params) }
+        let obj = SquaredObjective {
+            targets: labels.to_vec(),
+        };
+        EnsembleModel {
+            meta: Gbdt::fit(rows, &obj, &params),
+        }
     }
 
     /// Predicts ensembled endpoint arrivals.
@@ -117,7 +126,9 @@ mod tests {
         let sog = build_variant_data(&bog, &lib, 1.0, 1);
         let n = sog.endpoint_sta_at.len();
         // Fake variant predictions.
-        let preds: Vec<Vec<f64>> = (0..4).map(|k| (0..n).map(|e| e as f64 + k as f64).collect()).collect();
+        let preds: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..n).map(|e| e as f64 + k as f64).collect())
+            .collect();
         let rows = meta_rows(&preds, &sog);
         assert_eq!(rows.len(), n);
         assert!(rows.iter().all(|r| r.len() == META_FEATURE_NAMES.len()));
@@ -146,11 +157,12 @@ mod tests {
             .map(|&v| build_variant_data(&bog.to_variant(v), &lib, 1.0, 2))
             .collect();
         let n = variants[0].endpoint_sta_at.len();
-        let labels: Vec<f64> = variants[0].endpoint_sta_at.iter().map(|a| a * 0.8 + 0.1).collect();
-        let preds: Vec<Vec<f64>> = variants
+        let labels: Vec<f64> = variants[0]
+            .endpoint_sta_at
             .iter()
-            .map(|v| v.endpoint_sta_at.clone())
+            .map(|a| a * 0.8 + 0.1)
             .collect();
+        let preds: Vec<Vec<f64>> = variants.iter().map(|v| v.endpoint_sta_at.clone()).collect();
         let rows = meta_rows(&preds, &variants[0]);
         let model = EnsembleModel::fit(&rows, &labels, 1);
         let out = model.predict(&rows);

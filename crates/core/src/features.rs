@@ -6,7 +6,7 @@ use rtlt_sta::{Sta, TimingPath};
 /// Names of the per-path feature vector, in order.
 pub const PATH_FEATURE_NAMES: [&str; 23] = [
     // Design-level.
-    "rank_pct",       // endpoint's pseudo-STA AT percentile within design
+    "rank_pct", // endpoint's pseudo-STA AT percentile within design
     "log_seq_cells",
     "log_comb_cells",
     "log_total_cells",

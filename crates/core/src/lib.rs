@@ -48,4 +48,4 @@ pub mod report;
 pub mod signal;
 
 pub use metrics::{covr, mape, pearson, r_squared, rank_groups};
-pub use pipeline::{DesignData, DesignSet, RtlTimer, TimerConfig};
+pub use pipeline::{DesignData, DesignSet, PrepareError, PrepareStages, RtlTimer, TimerConfig};

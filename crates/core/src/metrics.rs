@@ -101,8 +101,7 @@ pub fn covr(pred_scores: &[f64], label_scores: &[f64]) -> f64 {
     let mut cover = 0.0;
     let mut counted = 0usize;
     for g in 0..4 {
-        let label_set: Vec<usize> =
-            (0..lg.len()).filter(|&i| lg[i] == g).collect();
+        let label_set: Vec<usize> = (0..lg.len()).filter(|&i| lg[i] == g).collect();
         if label_set.is_empty() {
             continue;
         }

@@ -70,7 +70,10 @@ pub fn path_groups_from_scores(scores: &[f64]) -> PathGroups {
     for (i, &gi) in g.iter().enumerate() {
         groups[gi].push(i as u32);
     }
-    PathGroups { groups, weights: vec![0.4, 0.3, 0.2, 0.1] }
+    PathGroups {
+        groups,
+        weights: vec![0.4, 0.3, 0.2, 0.1],
+    }
 }
 
 /// Top-5 % most critical endpoints by score (the paper's retime set).
@@ -96,7 +99,12 @@ fn run_opt_flow(d: &DesignData, scores: &[f64], lib: &Library) -> FlowMetrics {
             retime_endpoints: retime_set_from_scores(scores),
         },
     );
-    FlowMetrics { wns: res.wns, tns: res.tns, power: res.power, area: res.area }
+    FlowMetrics {
+        wns: res.wns,
+        tns: res.tns,
+        power: res.power,
+        area: res.area,
+    }
 }
 
 /// Runs default / predicted-ranking / real-ranking flows for one design.
@@ -105,7 +113,12 @@ fn run_opt_flow(d: &DesignData, scores: &[f64], lib: &Library) -> FlowMetrics {
 /// arrival times — later arrivals are more critical at a fixed clock.
 pub fn optimize_design(d: &DesignData, pred: &Prediction) -> OptimizationOutcome {
     let lib = Library::nangate45_like();
-    let default = FlowMetrics { wns: d.wns, tns: d.tns, power: d.power, area: d.area };
+    let default = FlowMetrics {
+        wns: d.wns,
+        tns: d.tns,
+        power: d.power,
+        area: d.area,
+    };
     // Ground-truth scores: NaN-labeled endpoints (none in the default label
     // flow) fall back to the prediction.
     let real_scores: Vec<f64> = d
@@ -148,8 +161,18 @@ mod tests {
 
     #[test]
     fn delta_sign_convention() {
-        let base = FlowMetrics { wns: -1.0, tns: -10.0, power: 100.0, area: 50.0 };
-        let better = FlowMetrics { wns: -0.8, tns: -7.0, power: 103.0, area: 49.0 };
+        let base = FlowMetrics {
+            wns: -1.0,
+            tns: -10.0,
+            power: 100.0,
+            area: 50.0,
+        };
+        let better = FlowMetrics {
+            wns: -0.8,
+            tns: -7.0,
+            power: 103.0,
+            area: 49.0,
+        };
         let d = better.delta_pct(&base);
         assert!((d.wns + 20.0).abs() < 1e-9, "WNS improved 20%: {}", d.wns);
         assert!((d.tns + 30.0).abs() < 1e-9);

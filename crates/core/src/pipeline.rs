@@ -1,5 +1,9 @@
-//! End-to-end pipeline: design preparation (compile → blast → label via
-//! synthesis → featurize), model fitting, prediction, cross-validation.
+//! End-to-end pipeline: design preparation as named dataflow stages
+//! ([`PrepareStages`]: compile → blast → label via synthesis → featurize),
+//! model fitting, prediction, cross-validation.
+//!
+//! All CPU parallelism (suite preparation, cross-validation folds) runs on
+//! the shared [`rtlt_runtime`] work-queue executor.
 
 use crate::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use crate::dataset::{build_variant_data, VariantData};
@@ -30,8 +34,32 @@ impl Default for TimerConfig {
             // Bounded default effort: the label flow leaves realistic
             // residual violations (Table 6 operates on these).
             synth_effort: 0.6,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
+    }
+}
+
+/// Failure to prepare one design of a set: the design's name plus the
+/// underlying frontend error.
+#[derive(Debug)]
+pub struct PrepareError {
+    /// Name of the design that failed to prepare.
+    pub design: String,
+    /// The frontend error that caused the failure.
+    pub source: VerilogError,
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.design, self.source)
+    }
+}
+
+impl std::error::Error for PrepareError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -79,42 +107,130 @@ pub struct DesignData {
     pub synth_effort: f64,
 }
 
-impl DesignData {
-    /// Compiles, labels and featurizes one design.
+/// Output of [`PrepareStages::compile`]: frontend artifacts of one design.
+#[derive(Debug)]
+pub struct CompiledDesign {
+    /// Design name (top module).
+    pub name: String,
+    /// Original Verilog source.
+    pub source: String,
+    /// AST features (ICCAD'22-style baseline input).
+    pub ast_feats: Vec<f64>,
+    /// Elaborated word-level netlist.
+    pub netlist: rtlt_verilog::rtlir::Netlist,
+}
+
+/// Output of [`PrepareStages::blast`]: the design plus its SOG.
+#[derive(Debug)]
+pub struct BlastedDesign {
+    /// Frontend artifacts.
+    pub compiled: CompiledDesign,
+    /// Bit-blasted SOG representation.
+    pub sog: Bog,
+}
+
+/// Output of [`PrepareStages::label`]: the design plus ground-truth labels
+/// from the synthesis simulator.
+#[derive(Debug)]
+pub struct LabeledDesign {
+    /// Blasted design.
+    pub blasted: BlastedDesign,
+    /// Synthesis-flow outcome (arrival labels, WNS/TNS, area, power).
+    pub synth: rtlt_synth::SynthResult,
+    /// Per-design seed used by the label flow.
+    pub synth_seed: u64,
+    /// DFF setup time (ns) of the label library.
+    pub setup: f64,
+}
+
+/// The design-preparation dataflow, split into named, individually-callable
+/// stages: `compile → blast → label → featurize`.
+///
+/// [`DesignData::prepare`] runs all four back to back; calling the stages
+/// separately lets a driver memoize, distribute, or batch each boundary
+/// independently (e.g. cache [`BlastedDesign`]s across label-effort sweeps,
+/// or ship [`LabeledDesign`]s to a remote featurizer).
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareStages<'a> {
+    cfg: &'a TimerConfig,
+}
+
+impl<'a> PrepareStages<'a> {
+    /// Stage runner bound to one pipeline configuration.
+    pub fn new(cfg: &'a TimerConfig) -> PrepareStages<'a> {
+        PrepareStages { cfg }
+    }
+
+    /// **Stage 1 — compile**: parse, extract AST features, elaborate.
     ///
     /// # Errors
     ///
     /// Propagates frontend errors (parse/elaborate failures).
-    pub fn prepare(name: &str, source: &str, cfg: &TimerConfig) -> Result<DesignData, VerilogError> {
+    pub fn compile(&self, name: &str, source: &str) -> Result<CompiledDesign, VerilogError> {
         let file = rtlt_verilog::parse(source)?;
         let ast_feats = rtlt_verilog::astfeat::extract(&file).to_vec();
         let netlist = rtlt_verilog::elaborate(&file, name)?;
-        let sog = blast(&netlist);
+        Ok(CompiledDesign {
+            name: name.to_owned(),
+            source: source.to_owned(),
+            ast_feats,
+            netlist,
+        })
+    }
 
-        // Ground truth: default synthesis flow.
+    /// **Stage 2 — blast**: lower the word-level netlist to the bit-level
+    /// SOG whose register bits are the timing endpoints.
+    pub fn blast(&self, compiled: CompiledDesign) -> BlastedDesign {
+        let sog = blast(&compiled.netlist);
+        BlastedDesign { compiled, sog }
+    }
+
+    /// **Stage 3 — label**: run the ground-truth synthesis flow against the
+    /// NanGate45-like library.
+    pub fn label(&self, blasted: BlastedDesign) -> LabeledDesign {
         let lib = Library::nangate45_like();
-        let seed = design_seed(cfg.seed, name);
+        let seed = design_seed(self.cfg.seed, &blasted.compiled.name);
         let synth = synthesize(
-            &sog,
+            &blasted.sog,
             &lib,
-            &SynthOptions { seed, effort: cfg.synth_effort, ..Default::default() },
+            &SynthOptions {
+                seed,
+                effort: self.cfg.synth_effort,
+                ..Default::default()
+            },
         );
+        let setup = lib.cell(CellFunc::Dff, Drive::X1).seq.expect("dff").setup;
+        LabeledDesign {
+            blasted,
+            synth,
+            synth_seed: seed,
+            setup,
+        }
+    }
 
-        // Featurize all four representations against the label clock.
+    /// **Stage 4 — featurize**: build the path datasets of all four BOG
+    /// variants against the label clock and assemble the [`DesignData`].
+    pub fn featurize(&self, labeled: LabeledDesign) -> DesignData {
+        let LabeledDesign {
+            blasted,
+            synth,
+            synth_seed,
+            setup,
+        } = labeled;
+        let BlastedDesign { compiled, sog } = blasted;
         let pseudo = Library::pseudo_bog();
         let variant_data: Vec<VariantData> = BogVariant::ALL
             .iter()
             .enumerate()
             .map(|(i, &v)| {
                 let g = sog.to_variant(v);
-                build_variant_data(&g, &pseudo, synth.clock_period, seed ^ (i as u64 + 1))
+                build_variant_data(&g, &pseudo, synth.clock_period, synth_seed ^ (i as u64 + 1))
             })
             .collect();
 
-        let setup = lib.cell(CellFunc::Dff, Drive::X1).seq.expect("dff").setup;
-        Ok(DesignData {
-            name: name.to_owned(),
-            source: source.to_owned(),
+        DesignData {
+            name: compiled.name,
+            source: compiled.source,
             sog,
             variant_data,
             labels_at: synth.endpoint_at,
@@ -124,10 +240,36 @@ impl DesignData {
             tns: synth.tns,
             area: synth.area,
             power: synth.power,
-            ast_feats,
-            synth_seed: seed,
-            synth_effort: cfg.synth_effort,
-        })
+            ast_feats: compiled.ast_feats,
+            synth_seed,
+            synth_effort: self.cfg.synth_effort,
+        }
+    }
+
+    /// Runs all four stages back to back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors from [`PrepareStages::compile`].
+    pub fn run(&self, name: &str, source: &str) -> Result<DesignData, VerilogError> {
+        let compiled = self.compile(name, source)?;
+        Ok(self.featurize(self.label(self.blast(compiled))))
+    }
+}
+
+impl DesignData {
+    /// Compiles, labels and featurizes one design (all four
+    /// [`PrepareStages`] back to back).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors (parse/elaborate failures).
+    pub fn prepare(
+        name: &str,
+        source: &str,
+        cfg: &TimerConfig,
+    ) -> Result<DesignData, VerilogError> {
+        PrepareStages::new(cfg).run(name, source)
     }
 
     /// RTL signals of the design.
@@ -178,39 +320,37 @@ impl DesignSet {
     /// frontend are tested together, so this indicates a bug).
     pub fn prepare_suite(cfg: &TimerConfig) -> DesignSet {
         let sources = rtlt_designgen::generate_all();
-        Self::prepare_named(&sources, cfg)
+        Self::prepare_named_or_panic(&sources, cfg)
     }
 
-    /// Prepares an arbitrary list of `(name, source)` designs in parallel.
+    /// Prepares an arbitrary list of `(name, source)` designs in parallel
+    /// (work-queue scheduled on [`TimerConfig::threads`] workers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PrepareError`] of the first failing design (first by
+    /// input order, deterministically — not by wall-clock completion).
+    pub fn prepare_named(
+        sources: &[(String, String)],
+        cfg: &TimerConfig,
+    ) -> Result<DesignSet, PrepareError> {
+        let designs = rtlt_runtime::try_par_map(cfg.threads, sources, |(name, src)| {
+            DesignData::prepare(name, src, cfg).map_err(|e| PrepareError {
+                design: name.clone(),
+                source: e,
+            })
+        })?;
+        Ok(DesignSet { designs })
+    }
+
+    /// [`DesignSet::prepare_named`], panicking on failure — for bench
+    /// binaries and tests where a frontend error is a bug.
     ///
     /// # Panics
     ///
-    /// Panics if a source fails to compile.
-    pub fn prepare_named(sources: &[(String, String)], cfg: &TimerConfig) -> DesignSet {
-        let n = sources.len();
-        let mut results: Vec<Option<DesignData>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<DesignData>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..cfg.threads.max(1).min(n.max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (name, src) = &sources[i];
-                    let d = DesignData::prepare(name, src, cfg)
-                        .unwrap_or_else(|e| panic!("{name}: {e}"));
-                    *slots[i].lock().expect("poisoned") = Some(d);
-                });
-            }
-        });
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().expect("poisoned");
-        }
-        DesignSet { designs: results.into_iter().map(|d| d.expect("prepared")).collect() }
+    /// Panics with the failing design's name if a source fails to compile.
+    pub fn prepare_named_or_panic(sources: &[(String, String)], cfg: &TimerConfig) -> DesignSet {
+        Self::prepare_named(sources, cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The prepared designs.
@@ -285,8 +425,9 @@ impl RtlTimer {
         let mut meta_label = Vec::new();
         let mut per_design_bits: Vec<Vec<f64>> = Vec::new();
         for d in train {
-            let preds: Vec<Vec<f64>> =
-                (0..4).map(|v| bitwise[v].predict_endpoints(&d.variant_data[v])).collect();
+            let preds: Vec<Vec<f64>> = (0..4)
+                .map(|v| bitwise[v].predict_endpoints(&d.variant_data[v]))
+                .collect();
             let rows = meta_rows(&preds, &d.variant_data[0]);
             for (e, row) in rows.into_iter().enumerate() {
                 if d.labels_at[e].is_finite() {
@@ -315,28 +456,50 @@ impl RtlTimer {
             let slabels = d.signal_labels();
             per_design_signal.push((srows, slabels));
 
-            design_rows_v.push(design_row(&bits, d.clock, d.setup, &d.variant_data[0].design_feats));
+            design_rows_v.push(design_row(
+                &bits,
+                d.clock,
+                d.setup,
+                &d.variant_data[0].design_feats,
+            ));
             wns_labels.push(d.wns);
             tns_labels.push(d.tns);
             ep_counts.push(d.labels_at.iter().filter(|l| l.is_finite()).count() as f64);
         }
         let signal = SignalModels::fit(&per_design_signal, cfg.seed ^ 0x5);
-        let design_timing =
-            DesignTimingModel::fit(&design_rows_v, &wns_labels, &tns_labels, &ep_counts, cfg.seed ^ 0xD);
+        let design_timing = DesignTimingModel::fit(
+            &design_rows_v,
+            &wns_labels,
+            &tns_labels,
+            &ep_counts,
+            cfg.seed ^ 0xD,
+        );
 
-        RtlTimer { bitwise, ensemble, signal, design_timing }
+        RtlTimer {
+            bitwise,
+            ensemble,
+            signal,
+            design_timing,
+        }
     }
 
-    fn ensemble_bits(bitwise: &[BitwiseModel], ensemble: &EnsembleModel, d: &DesignData) -> Vec<f64> {
-        let preds: Vec<Vec<f64>> =
-            (0..4).map(|v| bitwise[v].predict_endpoints(&d.variant_data[v])).collect();
+    fn ensemble_bits(
+        bitwise: &[BitwiseModel],
+        ensemble: &EnsembleModel,
+        d: &DesignData,
+    ) -> Vec<f64> {
+        let preds: Vec<Vec<f64>> = (0..4)
+            .map(|v| bitwise[v].predict_endpoints(&d.variant_data[v]))
+            .collect();
         let rows = meta_rows(&preds, &d.variant_data[0]);
         ensemble.predict(&rows)
     }
 
     /// Per-variant bit-wise predictions (diagnostics / Table 5).
     pub fn variant_bit_predictions(&self, d: &DesignData) -> Vec<Vec<f64>> {
-        (0..4).map(|v| self.bitwise[v].predict_endpoints(&d.variant_data[v])).collect()
+        (0..4)
+            .map(|v| self.bitwise[v].predict_endpoints(&d.variant_data[v]))
+            .collect()
     }
 
     /// Runs the full prediction stack on one (unseen) design.
@@ -480,7 +643,10 @@ impl Prediction {
 
     /// Predicted signal slack (ns): `clock − setup − predicted arrival`.
     pub fn signal_slack(&self) -> Vec<f64> {
-        self.signal_pred.iter().map(|at| self.clock - self.setup - at).collect()
+        self.signal_pred
+            .iter()
+            .map(|at| self.clock - self.setup - at)
+            .collect()
     }
 }
 
@@ -488,28 +654,16 @@ impl Prediction {
 /// as in the paper) and returns one [`Prediction`] per design.
 pub fn cross_validate(set: &DesignSet, k: usize, cfg: &TimerConfig) -> Vec<Prediction> {
     let folds = set.folds(k);
-    let mut out: Vec<Prediction> = Vec::new();
-    let results: Vec<Vec<Prediction>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = folds
-            .iter()
-            .map(|fold| {
-                let cfg = cfg.clone();
-                scope.spawn(move || {
-                    let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
-                    let (train, test) = set.split(&names);
-                    if test.is_empty() {
-                        return Vec::new();
-                    }
-                    let model = RtlTimer::fit(&train, &cfg);
-                    test.iter().map(|d| model.predict(d)).collect()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("fold thread")).collect()
+    let results: Vec<Vec<Prediction>> = rtlt_runtime::par_map(cfg.threads, &folds, |fold| {
+        let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
+        let (train, test) = set.split(&names);
+        if test.is_empty() {
+            return Vec::new();
+        }
+        let model = RtlTimer::fit(&train, cfg);
+        test.iter().map(|d| model.predict(d)).collect()
     });
-    for r in results {
-        out.extend(r);
-    }
+    let mut out: Vec<Prediction> = results.into_iter().flatten().collect();
     out.sort_by(|a, b| a.design.cmp(&b.design));
     out
 }
@@ -546,7 +700,10 @@ mod tests {
 
     #[test]
     fn prepare_builds_labels_and_features() {
-        let cfg = TimerConfig { threads: 2, ..Default::default() };
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
         let (name, src) = &tiny_sources()[0];
         let d = DesignData::prepare(name, src, &cfg).unwrap();
         assert_eq!(d.variant_data.len(), 4);
@@ -556,9 +713,54 @@ mod tests {
     }
 
     #[test]
+    fn default_config_has_workers() {
+        assert!(TimerConfig::default().threads >= 1);
+    }
+
+    #[test]
+    fn staged_preparation_matches_monolithic() {
+        let cfg = TimerConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let (name, src) = &tiny_sources()[1];
+        let stages = PrepareStages::new(&cfg);
+        let staged = stages
+            .featurize(stages.label(stages.blast(stages.compile(name, src).expect("compiles"))));
+        let monolithic = DesignData::prepare(name, src, &cfg).unwrap();
+        assert_eq!(staged.labels_at, monolithic.labels_at);
+        assert_eq!(staged.wns, monolithic.wns);
+        assert_eq!(staged.clock, monolithic.clock);
+        assert_eq!(staged.ast_feats, monolithic.ast_feats);
+        assert_eq!(staged.variant_data.len(), monolithic.variant_data.len());
+    }
+
+    #[test]
+    fn prepare_named_surfaces_failing_design_by_name() {
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let mut sources = tiny_sources();
+        sources.insert(
+            1,
+            (
+                "broken".to_owned(),
+                "module broken(input clk; endmodule".to_owned(),
+            ),
+        );
+        let err = DesignSet::prepare_named(&sources, &cfg).unwrap_err();
+        assert_eq!(err.design, "broken");
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
     fn fit_predict_round_trip() {
-        let cfg = TimerConfig { threads: 2, ..Default::default() };
-        let set = DesignSet::prepare_named(&tiny_sources(), &cfg);
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let set = DesignSet::prepare_named_or_panic(&tiny_sources(), &cfg);
         let (train, test) = set.split(&["d3"]);
         assert_eq!(train.len(), 3);
         assert_eq!(test.len(), 1);
@@ -575,8 +777,11 @@ mod tests {
 
     #[test]
     fn folds_partition_all_designs() {
-        let cfg = TimerConfig { threads: 2, ..Default::default() };
-        let set = DesignSet::prepare_named(&tiny_sources()[..2], &cfg);
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let set = DesignSet::prepare_named_or_panic(&tiny_sources()[..2], &cfg);
         let folds = set.folds(2);
         let total: usize = folds.iter().map(|f| f.len()).sum();
         assert_eq!(total, 2);

@@ -30,7 +30,12 @@ pub fn endpoint_table(pred: &Prediction, top: usize) -> String {
     order.sort_by(|&a, &b| slacks[a].partial_cmp(&slacks[b]).expect("finite"));
 
     let mut out = String::new();
-    writeln!(out, "{:<28} {:>10} {:>6} {:>12}", "signal", "pred slack", "rank", "true slack").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>10} {:>6} {:>12}",
+        "signal", "pred slack", "rank", "true slack"
+    )
+    .unwrap();
     writeln!(out, "{}", "-".repeat(60)).unwrap();
     for &i in order.iter().take(top) {
         let true_slack = if pred.signal_label[i].is_finite() {

@@ -33,7 +33,12 @@ pub fn signal_rows(
     // Signal-level rank percentile by predicted max.
     let maxes: Vec<f64> = signals
         .iter()
-        .map(|s| s.regs.iter().map(|&b| bit_pred[b as usize]).fold(f64::MIN, f64::max))
+        .map(|s| {
+            s.regs
+                .iter()
+                .map(|&b| bit_pred[b as usize])
+                .fold(f64::MIN, f64::max)
+        })
         .collect();
     let n = maxes.len();
     let mut order: Vec<usize> = (0..n).collect();
@@ -109,8 +114,9 @@ impl SignalModels {
         let mut relevance = Vec::new();
         for (drows, dlabels) in per_design {
             // Filter unlabeled signals.
-            let valid: Vec<usize> =
-                (0..drows.len()).filter(|&i| dlabels[i].is_finite()).collect();
+            let valid: Vec<usize> = (0..drows.len())
+                .filter(|&i| dlabels[i].is_finite())
+                .collect();
             if valid.is_empty() {
                 continue;
             }
@@ -144,12 +150,18 @@ impl SignalModels {
         ltr.gbdt.tree.max_depth = 4;
         ltr.gbdt.seed = seed ^ 1;
         let ranking = LambdaMart::fit(&rows, &queries, &relevance, &ltr);
-        SignalModels { regression, ranking }
+        SignalModels {
+            regression,
+            ranking,
+        }
     }
 
     /// Predicts `(signal max arrival, ranking score)` per signal row.
     pub fn predict(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
-        (self.regression.predict_all(rows), self.ranking.score_all(rows))
+        (
+            self.regression.predict_all(rows),
+            self.ranking.score_all(rows),
+        )
     }
 }
 

@@ -25,7 +25,12 @@ pub fn rotl(x: &str, width: u32, by: u32) -> String {
     if by == 0 {
         x.to_owned()
     } else {
-        format!("{{{x}[{}:0], {x}[{}:{}]}}", width - by - 1, width - 1, width - by)
+        format!(
+            "{{{x}[{}:0], {x}[{}:{}]}}",
+            width - by - 1,
+            width - 1,
+            width - by
+        )
     }
 }
 
@@ -47,7 +52,9 @@ pub fn mix(a: &str, b: &str, width: u32, rng: &mut StdRng) -> String {
 pub fn fsm(state: &str, cond: &str, states: u32, state_bits: u32, rng: &mut StdRng) -> String {
     let mut s = String::new();
     s.push_str("  always @(posedge clk)\n    if (rst) ");
-    s.push_str(&format!("{state} <= {state_bits}'d0;\n    else case ({state})\n"));
+    s.push_str(&format!(
+        "{state} <= {state_bits}'d0;\n    else case ({state})\n"
+    ));
     for st in 0..states {
         let t1 = rng.gen_range(0..states);
         let t2 = rng.gen_range(0..states);
@@ -56,7 +63,9 @@ pub fn fsm(state: &str, cond: &str, states: u32, state_bits: u32, rng: &mut StdR
             "      {state_bits}'d{st}: {state} <= {cond}[{bit}] ? {state_bits}'d{t1} : {state_bits}'d{t2};\n"
         ));
     }
-    s.push_str(&format!("      default: {state} <= {state_bits}'d0;\n    endcase\n"));
+    s.push_str(&format!(
+        "      default: {state} <= {state_bits}'d0;\n    endcase\n"
+    ));
     s
 }
 
@@ -89,7 +98,10 @@ mod tests {
     fn sbox_emits_all_arms() {
         let mut rng = StdRng::seed_from_u64(1);
         let s = sbox("y", "x", 4, 4, &mut rng);
-        assert_eq!(s.matches("4'd").count() - s.matches(": y = 4'd").count(), 15 - 15 + 15);
+        assert_eq!(
+            s.matches("4'd").count() - s.matches(": y = 4'd").count(),
+            15
+        );
         assert!(s.contains("default"));
     }
 }

@@ -12,7 +12,14 @@ use rand::Rng;
 /// * `nregs` — architectural register count (8/16);
 /// * `extra` — number of auxiliary functional-unit stages (scales size);
 /// * `has_mul` — include a half-width multiplier unit.
-pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: &mut StdRng) -> String {
+pub fn core(
+    name: &str,
+    width: u32,
+    nregs: u32,
+    extra: u32,
+    has_mul: bool,
+    rng: &mut StdRng,
+) -> String {
     let w = width - 1;
     let rbits = clog2(nregs);
     let half = width / 2;
@@ -31,8 +38,16 @@ pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: 
     ));
     s.push_str("  assign opcode = instr[3:0];\n");
     s.push_str(&format!("  assign rs1 = instr[{}:{}];\n", 4 + rbits - 1, 4));
-    s.push_str(&format!("  assign rs2 = instr[{}:{}];\n", 4 + 2 * rbits - 1, 4 + rbits));
-    s.push_str(&format!("  assign rd  = instr[{}:{}];\n", 4 + 3 * rbits - 1, 4 + 2 * rbits));
+    s.push_str(&format!(
+        "  assign rs2 = instr[{}:{}];\n",
+        4 + 2 * rbits - 1,
+        4 + rbits
+    ));
+    s.push_str(&format!(
+        "  assign rd  = instr[{}:{}];\n",
+        4 + 3 * rbits - 1,
+        4 + 2 * rbits
+    ));
     s.push_str("  assign imm = instr[31:24];\n");
 
     // Register file.
@@ -45,7 +60,10 @@ pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: 
         for i in 0..nregs - 1 {
             s.push_str(&format!("      {rbits}'d{i}: {port} = rf{i};\n"));
         }
-        s.push_str(&format!("      default: {port} = rf{};\n    endcase\n", nregs - 1));
+        s.push_str(&format!(
+            "      default: {port} = rf{};\n    endcase\n",
+            nregs - 1
+        ));
     }
 
     // Forwarding from writeback.
@@ -77,7 +95,10 @@ pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: 
         format!("alu = op1 << op2[{}:0]", shift_bits - 1),
         format!("alu = op1 >> op2[{}:0]", shift_bits - 1),
         format!("alu = (op1 < op2) ? {width}'d1 : {width}'d0"),
-        format!("alu = op1 + {{{pad}, imm}}", pad = format!("{}'d0", width - 8)),
+        format!(
+            "alu = op1 + {{{pad}, imm}}",
+            pad = format!("{}'d0", width - 8)
+        ),
         format!("alu = ~(op1 & op2)"),
     ];
     if has_mul {
@@ -86,20 +107,18 @@ pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: 
     for (i, a) in arms.iter().enumerate() {
         s.push_str(&format!("      4'd{i}: {a};\n"));
     }
-    s.push_str(&format!("      default: alu = op1;\n    endcase\n"));
+    s.push_str("      default: alu = op1;\n    endcase\n");
 
     // Branch/next-PC.
+    s.push_str("  wire take;\n  assign take = (opcode == 4'd15) && (op1 == op2);\n");
     s.push_str(&format!(
-        "  wire take;\n  assign take = (opcode == 4'd15) && (op1 == op2);\n"
-    ));
-    s.push_str(&format!(
-        "  always @(posedge clk)\n    if (rst) pc <= {width}'d0;\n    else pc <= take ? pc + {{{pad}, imm}} : pc + {width}'d4;\n",
-        pad = format!("{}'d0", width - 8)
+        "  always @(posedge clk)\n    if (rst) pc <= {width}'d0;\n    else pc <= take ? pc + {{{pw}'d0, imm}} : pc + {width}'d4;\n",
+        pw = width - 8
     ));
     s.push_str(&format!(
         "  always @(posedge clk)\n    if (rst) instr <= 32'd0;\n    else instr <= instr_in ^ {{pc[{p}:0], pc[{w}:{q}]}};\n",
         p = 31.min(w),
-        q = if w >= 31 { w - 31 } else { 0 },
+        q = w.saturating_sub(31),
     ));
 
     // Memory-ish stage + writeback pipeline registers.
@@ -120,7 +139,11 @@ pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: 
     // Auxiliary functional-unit chain (scales design size).
     for e in 0..extra {
         s.push_str(&format!("  reg [{w}:0] fu{e};\n"));
-        let src = if e == 0 { "ex_mem".to_owned() } else { format!("fu{}", e - 1) };
+        let src = if e == 0 {
+            "ex_mem".to_owned()
+        } else {
+            format!("fu{}", e - 1)
+        };
         let m = mix(&src, "io_in", width, rng);
         let rot = rotl(&src, width, rng.gen_range(1..width));
         s.push_str(&format!(
@@ -128,7 +151,11 @@ pub fn core(name: &str, width: u32, nregs: u32, extra: u32, has_mul: bool, rng: 
         ));
     }
 
-    let last_fu = if extra > 0 { format!("fu{}", extra - 1) } else { "ex_mem".to_owned() };
+    let last_fu = if extra > 0 {
+        format!("fu{}", extra - 1)
+    } else {
+        "ex_mem".to_owned()
+    };
     s.push_str(&format!("  assign io_out = wb_val ^ {last_fu};\n"));
     s.push_str("  assign pc_out = pc;\n");
     s.push_str("endmodule\n");

@@ -47,7 +47,10 @@ pub fn des_like(name: &str, rounds: u32, rng: &mut StdRng) -> String {
             "  wire [31:0] g{r};\n  assign g{r} = {{e{r}[31:16], sb{r}_3, sb{r}_2, sb{r}_1, sb{r}_0}};\n"
         ));
         s.push_str(&format!("  wire [31:0] f{r};\n"));
-        s.push_str(&format!("  assign f{r} = {};\n", rotl(&format!("g{r}"), 32, rng.gen_range(1..31))));
+        s.push_str(&format!(
+            "  assign f{r} = {};\n",
+            rotl(&format!("g{r}"), 32, rng.gen_range(1..31))
+        ));
         s.push_str(&format!(
             "  always @(posedge clk)\n    if (rst) begin l{nxt} <= 32'd0; r{nxt} <= 32'd0; end\n    else begin l{nxt} <= r{r}; r{nxt} <= l{r} ^ f{r}; end\n"
         ));

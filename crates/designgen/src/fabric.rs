@@ -13,7 +13,10 @@ pub fn crossbar(name: &str, masters: u32, slaves: u32, dw: u32, rng: &mut StdRng
     for m in 0..masters {
         s.push_str(&format!(" input [{d}:0] mdat{m},"));
     }
-    s.push_str(&format!(" input [{}:0] req, output [{d}:0] sout", masters * slaves - 1));
+    s.push_str(&format!(
+        " input [{}:0] req, output [{d}:0] sout",
+        masters * slaves - 1
+    ));
     s.push_str(");\n");
 
     for sl in 0..slaves {
@@ -23,7 +26,11 @@ pub fn crossbar(name: &str, masters: u32, slaves: u32, dw: u32, rng: &mut StdRng
         s.push_str(&format!("  reg [{d}:0] sdat{sl};\n"));
         // Rotate request by pointer, priority-encode, rotate grant back.
         s.push_str(&format!("  wire [{}:0] rq{sl};\n", masters - 1));
-        s.push_str(&format!("  assign rq{sl} = req[{}:{}];\n", base + masters - 1, base));
+        s.push_str(&format!(
+            "  assign rq{sl} = req[{}:{}];\n",
+            base + masters - 1,
+            base
+        ));
         s.push_str(&format!("  reg [{}:0] g{sl};\n", masters - 1));
         // Priority arbitration per pointer value (rotating priority).
         s.push_str(&format!("  always @(*)\n    case (ptr{sl})\n"));
@@ -33,12 +40,22 @@ pub fn crossbar(name: &str, masters: u32, slaves: u32, dw: u32, rng: &mut StdRng
             let mut expr = format!("{m}'d0", m = masters);
             for k in (0..masters).rev() {
                 let idx = (p + k) % masters;
-                expr = format!("rq{sl}[{idx}] ? {m}'d{oh} : ({expr})", m = masters, oh = 1u64 << idx);
+                expr = format!(
+                    "rq{sl}[{idx}] ? {m}'d{oh} : ({expr})",
+                    m = masters,
+                    oh = 1u64 << idx
+                );
             }
-            arm.push_str(&format!("      {pb}'d{p}: g{sl} = {expr};\n", pb = clog2(masters)));
+            arm.push_str(&format!(
+                "      {pb}'d{p}: g{sl} = {expr};\n",
+                pb = clog2(masters)
+            ));
             s.push_str(&arm);
         }
-        s.push_str(&format!("      default: g{sl} = {m}'d0;\n    endcase\n", m = masters));
+        s.push_str(&format!(
+            "      default: g{sl} = {m}'d0;\n    endcase\n",
+            m = masters
+        ));
         // Grant + pointer registers.
         s.push_str(&format!(
             "  always @(posedge clk)\n    if (rst) grant{sl} <= {m}'d0;\n    else grant{sl} <= g{sl};\n",
@@ -58,7 +75,9 @@ pub fn crossbar(name: &str, masters: u32, slaves: u32, dw: u32, rng: &mut StdRng
                 oh = 1u64 << m
             ));
         }
-        s.push_str(&format!("      default: sdat{sl} <= sdat{sl};\n    endcase\n"));
+        s.push_str(&format!(
+            "      default: sdat{sl} <= sdat{sl};\n    endcase\n"
+        ));
     }
     // Checksum pipeline over the switched data: gives the fabric realistic
     // multi-level arithmetic depth on top of the shallow arbiter logic.
@@ -204,7 +223,9 @@ pub fn mac_dsp(name: &str, w: u32, taps: u32, rng: &mut StdRng) -> String {
             h1 = h - 1
         ));
     }
-    let sum: Vec<String> = (0..taps).map(|t| format!("{{{}'d0, p{t}}}", acc_w - 2 * h)).collect();
+    let sum: Vec<String> = (0..taps)
+        .map(|t| format!("{{{}'d0, p{t}}}", acc_w - 2 * h))
+        .collect();
     s.push_str(&format!(
         "  reg [{aw}:0] acc;\n  always @(posedge clk)\n    if (rst) acc <= {accw}'d0;\n    else acc <= acc + {};\n",
         sum.join(" + "),

@@ -6,7 +6,13 @@ use rand::Rng;
 
 /// A control-dominated core: `n_fsm` interacting FSMs, counters gated by
 /// FSM states, and accumulators mixing counter/datapath values.
-pub fn control_core(name: &str, n_fsm: u32, width: u32, n_counters: u32, rng: &mut StdRng) -> String {
+pub fn control_core(
+    name: &str,
+    n_fsm: u32,
+    width: u32,
+    n_counters: u32,
+    rng: &mut StdRng,
+) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "module {name}(input clk, input rst, input [31:0] din, input [15:0] ctrl, output [{w}:0] dout, output busy);\n",
@@ -58,7 +64,7 @@ pub fn control_core(name: &str, n_fsm: u32, width: u32, n_counters: u32, rng: &m
     s.push_str("  always @(*)\n    case (ctrl[2:0])\n");
     for op in 0..7 {
         let a = format!("acc{}", op % n_fsm);
-        let b = format!("cnt{}", op as u32 % n_counters);
+        let b = format!("cnt{}", op % n_counters);
         let e = match op {
             0 => format!("{a} + {b}"),
             1 => format!("{a} - {b}"),
@@ -74,7 +80,10 @@ pub fn control_core(name: &str, n_fsm: u32, width: u32, n_counters: u32, rng: &m
 
     // Outputs.
     let xor_accs: Vec<String> = (0..n_fsm).map(|i| format!("acc{i}")).collect();
-    s.push_str(&format!("  assign dout = alu ^ {};\n", xor_accs.join(" ^ ")));
+    s.push_str(&format!(
+        "  assign dout = alu ^ {};\n",
+        xor_accs.join(" ^ ")
+    ));
     let states_or: Vec<String> = (0..n_fsm).map(|i| format!("(state{i} != 4'd0)")).collect();
     s.push_str(&format!("  assign busy = {};\n", states_or.join(" | ")));
     s.push_str("endmodule\n");
@@ -92,12 +101,18 @@ pub fn arith_core(name: &str, width: u32, stages: u32, rng: &mut StdRng) -> Stri
         "module {name}(input clk, input rst, input [{w}:0] a, input [{w}:0] b, output [{w}:0] dout);\n"
     ));
     s.push_str(&format!("  wire [{}:0] prod;\n", 2 * half - 1));
-    s.push_str(&format!("  assign prod = a[{h1}:0] * b[{h1}:0];\n", h1 = half - 1));
+    s.push_str(&format!(
+        "  assign prod = a[{h1}:0] * b[{h1}:0];\n",
+        h1 = half - 1
+    ));
     for i in 0..stages {
         s.push_str(&format!("  reg [{w}:0] st{i};\n"));
     }
     // Deep combinational mix feeding a couple of registers.
-    let mut expr = format!("(prod[{w}:0] ^ {{b[{h1}:0], a[{w}:{half}]}})", h1 = half - 1);
+    let mut expr = format!(
+        "(prod[{w}:0] ^ {{b[{h1}:0], a[{w}:{half}]}})",
+        h1 = half - 1
+    );
     for _ in 0..3 {
         let r = rng.gen_range(1..width);
         expr = format!("({expr} + {})", rotl("a", width, r));

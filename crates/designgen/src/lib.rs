@@ -67,27 +67,90 @@ pub struct DesignSpec {
 pub fn catalog() -> Vec<DesignSpec> {
     use Family::*;
     vec![
-        DesignSpec { name: "syscdes", family: OpenCores },
-        DesignSpec { name: "syscaes", family: OpenCores },
-        DesignSpec { name: "Vex_1", family: VexRiscv },
-        DesignSpec { name: "b20", family: Itc99 },
-        DesignSpec { name: "Vex_2", family: VexRiscv },
-        DesignSpec { name: "Vex_3", family: VexRiscv },
-        DesignSpec { name: "b22", family: Itc99 },
-        DesignSpec { name: "b17", family: Itc99 },
-        DesignSpec { name: "b17_1", family: Itc99 },
-        DesignSpec { name: "Rocket1", family: Chipyard },
-        DesignSpec { name: "Rocket2", family: Chipyard },
-        DesignSpec { name: "Rocket3", family: Chipyard },
-        DesignSpec { name: "conmax", family: OpenCores },
-        DesignSpec { name: "b18", family: Itc99 },
-        DesignSpec { name: "b18_1", family: Itc99 },
-        DesignSpec { name: "FPU", family: OpenCores },
-        DesignSpec { name: "Marax", family: VexRiscv },
-        DesignSpec { name: "Vex_4", family: VexRiscv },
-        DesignSpec { name: "Vex5", family: VexRiscv },
-        DesignSpec { name: "Vex6", family: VexRiscv },
-        DesignSpec { name: "Vex7", family: VexRiscv },
+        DesignSpec {
+            name: "syscdes",
+            family: OpenCores,
+        },
+        DesignSpec {
+            name: "syscaes",
+            family: OpenCores,
+        },
+        DesignSpec {
+            name: "Vex_1",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "b20",
+            family: Itc99,
+        },
+        DesignSpec {
+            name: "Vex_2",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "Vex_3",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "b22",
+            family: Itc99,
+        },
+        DesignSpec {
+            name: "b17",
+            family: Itc99,
+        },
+        DesignSpec {
+            name: "b17_1",
+            family: Itc99,
+        },
+        DesignSpec {
+            name: "Rocket1",
+            family: Chipyard,
+        },
+        DesignSpec {
+            name: "Rocket2",
+            family: Chipyard,
+        },
+        DesignSpec {
+            name: "Rocket3",
+            family: Chipyard,
+        },
+        DesignSpec {
+            name: "conmax",
+            family: OpenCores,
+        },
+        DesignSpec {
+            name: "b18",
+            family: Itc99,
+        },
+        DesignSpec {
+            name: "b18_1",
+            family: Itc99,
+        },
+        DesignSpec {
+            name: "FPU",
+            family: OpenCores,
+        },
+        DesignSpec {
+            name: "Marax",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "Vex_4",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "Vex5",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "Vex6",
+            family: VexRiscv,
+        },
+        DesignSpec {
+            name: "Vex7",
+            family: VexRiscv,
+        },
     ]
 }
 
@@ -186,7 +249,12 @@ mod tests {
                 spec.name,
                 stats.comb_total
             );
-            assert!(stats.dff >= 40, "{}: only {} endpoints", spec.name, stats.dff);
+            assert!(
+                stats.dff >= 40,
+                "{}: only {} endpoints",
+                spec.name,
+                stats.dff
+            );
         }
     }
 }

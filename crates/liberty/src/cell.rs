@@ -56,7 +56,11 @@ impl CellFunc {
             | CellFunc::Nand2
             | CellFunc::Nor2
             | CellFunc::Xnor2 => 2,
-            CellFunc::Mux2 | CellFunc::Nand3 | CellFunc::Nor3 | CellFunc::Aoi21 | CellFunc::Oai21 => 3,
+            CellFunc::Mux2
+            | CellFunc::Nand3
+            | CellFunc::Nor3
+            | CellFunc::Aoi21
+            | CellFunc::Oai21 => 3,
             CellFunc::Aoi22 | CellFunc::Oai22 => 4,
         }
     }

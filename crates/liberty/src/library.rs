@@ -75,7 +75,11 @@ fn build_cell(p: &Proto, drive: Drive) -> Cell {
         0.6 * intr + 2.1 * res * l + 0.12 * s
     });
     let seq = if p.func == CellFunc::Dff {
-        Some(SeqTiming { clk_to_q: intr, setup: 0.035, hold: 0.004 })
+        Some(SeqTiming {
+            clk_to_q: intr,
+            setup: 0.035,
+            hold: 0.004,
+        })
     } else {
         None
     };
@@ -106,7 +110,10 @@ impl Library {
             name: name.to_owned(),
             cells,
             index,
-            wire: WireModel { res_per_unit: 0.00022, cap_per_unit: 0.18 },
+            wire: WireModel {
+                res_per_unit: 0.00022,
+                cap_per_unit: 0.18,
+            },
             default_input_slew: 0.012,
         }
     }
@@ -116,13 +123,69 @@ impl Library {
     /// pseudo netlist (paper §3.1).
     pub fn pseudo_bog() -> Library {
         let protos = [
-            Proto { func: CellFunc::Buf,  intrinsic: 0.016, resistance: 0.0036, slew_sens: 0.09, pin_cap: 1.0, area: 1.07, leakage: 1.0 },
-            Proto { func: CellFunc::Inv,  intrinsic: 0.008, resistance: 0.0040, slew_sens: 0.10, pin_cap: 1.0, area: 0.80, leakage: 0.9 },
-            Proto { func: CellFunc::And2, intrinsic: 0.021, resistance: 0.0046, slew_sens: 0.11, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
-            Proto { func: CellFunc::Or2,  intrinsic: 0.024, resistance: 0.0050, slew_sens: 0.12, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
-            Proto { func: CellFunc::Xor2, intrinsic: 0.031, resistance: 0.0064, slew_sens: 0.16, pin_cap: 1.9, area: 2.13, leakage: 2.2 },
-            Proto { func: CellFunc::Mux2, intrinsic: 0.034, resistance: 0.0060, slew_sens: 0.15, pin_cap: 1.4, area: 2.40, leakage: 2.4 },
-            Proto { func: CellFunc::Dff,  intrinsic: 0.046, resistance: 0.0052, slew_sens: 0.05, pin_cap: 1.2, area: 4.52, leakage: 3.1 },
+            Proto {
+                func: CellFunc::Buf,
+                intrinsic: 0.016,
+                resistance: 0.0036,
+                slew_sens: 0.09,
+                pin_cap: 1.0,
+                area: 1.07,
+                leakage: 1.0,
+            },
+            Proto {
+                func: CellFunc::Inv,
+                intrinsic: 0.008,
+                resistance: 0.0040,
+                slew_sens: 0.10,
+                pin_cap: 1.0,
+                area: 0.80,
+                leakage: 0.9,
+            },
+            Proto {
+                func: CellFunc::And2,
+                intrinsic: 0.021,
+                resistance: 0.0046,
+                slew_sens: 0.11,
+                pin_cap: 1.0,
+                area: 1.33,
+                leakage: 1.3,
+            },
+            Proto {
+                func: CellFunc::Or2,
+                intrinsic: 0.024,
+                resistance: 0.0050,
+                slew_sens: 0.12,
+                pin_cap: 1.0,
+                area: 1.33,
+                leakage: 1.3,
+            },
+            Proto {
+                func: CellFunc::Xor2,
+                intrinsic: 0.031,
+                resistance: 0.0064,
+                slew_sens: 0.16,
+                pin_cap: 1.9,
+                area: 2.13,
+                leakage: 2.2,
+            },
+            Proto {
+                func: CellFunc::Mux2,
+                intrinsic: 0.034,
+                resistance: 0.0060,
+                slew_sens: 0.15,
+                pin_cap: 1.4,
+                area: 2.40,
+                leakage: 2.4,
+            },
+            Proto {
+                func: CellFunc::Dff,
+                intrinsic: 0.046,
+                resistance: 0.0052,
+                slew_sens: 0.05,
+                pin_cap: 1.2,
+                area: 4.52,
+                leakage: 3.1,
+            },
         ];
         Library::from_protos("pseudo_bog", &protos, &[Drive::X1])
     }
@@ -131,22 +194,150 @@ impl Library {
     /// netlists (substitute for the paper's commercial PDK; DESIGN.md §2).
     pub fn nangate45_like() -> Library {
         let protos = [
-            Proto { func: CellFunc::Buf,   intrinsic: 0.016, resistance: 0.0036, slew_sens: 0.09, pin_cap: 1.0, area: 1.07, leakage: 1.0 },
-            Proto { func: CellFunc::Inv,   intrinsic: 0.008, resistance: 0.0040, slew_sens: 0.10, pin_cap: 1.0, area: 0.80, leakage: 0.9 },
-            Proto { func: CellFunc::Nand2, intrinsic: 0.012, resistance: 0.0044, slew_sens: 0.11, pin_cap: 1.0, area: 1.06, leakage: 1.1 },
-            Proto { func: CellFunc::Nor2,  intrinsic: 0.015, resistance: 0.0056, slew_sens: 0.13, pin_cap: 1.1, area: 1.06, leakage: 1.2 },
-            Proto { func: CellFunc::And2,  intrinsic: 0.020, resistance: 0.0045, slew_sens: 0.11, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
-            Proto { func: CellFunc::Or2,   intrinsic: 0.023, resistance: 0.0049, slew_sens: 0.12, pin_cap: 1.0, area: 1.33, leakage: 1.3 },
-            Proto { func: CellFunc::Xor2,  intrinsic: 0.030, resistance: 0.0063, slew_sens: 0.16, pin_cap: 1.9, area: 2.13, leakage: 2.2 },
-            Proto { func: CellFunc::Xnor2, intrinsic: 0.030, resistance: 0.0063, slew_sens: 0.16, pin_cap: 1.9, area: 2.13, leakage: 2.2 },
-            Proto { func: CellFunc::Mux2,  intrinsic: 0.033, resistance: 0.0059, slew_sens: 0.15, pin_cap: 1.4, area: 2.40, leakage: 2.4 },
-            Proto { func: CellFunc::Nand3, intrinsic: 0.016, resistance: 0.0050, slew_sens: 0.12, pin_cap: 1.1, area: 1.33, leakage: 1.4 },
-            Proto { func: CellFunc::Nor3,  intrinsic: 0.021, resistance: 0.0068, slew_sens: 0.15, pin_cap: 1.2, area: 1.33, leakage: 1.5 },
-            Proto { func: CellFunc::Aoi21, intrinsic: 0.017, resistance: 0.0058, slew_sens: 0.13, pin_cap: 1.1, area: 1.33, leakage: 1.3 },
-            Proto { func: CellFunc::Oai21, intrinsic: 0.017, resistance: 0.0058, slew_sens: 0.13, pin_cap: 1.1, area: 1.33, leakage: 1.3 },
-            Proto { func: CellFunc::Aoi22, intrinsic: 0.021, resistance: 0.0064, slew_sens: 0.14, pin_cap: 1.2, area: 1.60, leakage: 1.5 },
-            Proto { func: CellFunc::Oai22, intrinsic: 0.021, resistance: 0.0064, slew_sens: 0.14, pin_cap: 1.2, area: 1.60, leakage: 1.5 },
-            Proto { func: CellFunc::Dff,   intrinsic: 0.045, resistance: 0.0050, slew_sens: 0.05, pin_cap: 1.2, area: 4.52, leakage: 3.1 },
+            Proto {
+                func: CellFunc::Buf,
+                intrinsic: 0.016,
+                resistance: 0.0036,
+                slew_sens: 0.09,
+                pin_cap: 1.0,
+                area: 1.07,
+                leakage: 1.0,
+            },
+            Proto {
+                func: CellFunc::Inv,
+                intrinsic: 0.008,
+                resistance: 0.0040,
+                slew_sens: 0.10,
+                pin_cap: 1.0,
+                area: 0.80,
+                leakage: 0.9,
+            },
+            Proto {
+                func: CellFunc::Nand2,
+                intrinsic: 0.012,
+                resistance: 0.0044,
+                slew_sens: 0.11,
+                pin_cap: 1.0,
+                area: 1.06,
+                leakage: 1.1,
+            },
+            Proto {
+                func: CellFunc::Nor2,
+                intrinsic: 0.015,
+                resistance: 0.0056,
+                slew_sens: 0.13,
+                pin_cap: 1.1,
+                area: 1.06,
+                leakage: 1.2,
+            },
+            Proto {
+                func: CellFunc::And2,
+                intrinsic: 0.020,
+                resistance: 0.0045,
+                slew_sens: 0.11,
+                pin_cap: 1.0,
+                area: 1.33,
+                leakage: 1.3,
+            },
+            Proto {
+                func: CellFunc::Or2,
+                intrinsic: 0.023,
+                resistance: 0.0049,
+                slew_sens: 0.12,
+                pin_cap: 1.0,
+                area: 1.33,
+                leakage: 1.3,
+            },
+            Proto {
+                func: CellFunc::Xor2,
+                intrinsic: 0.030,
+                resistance: 0.0063,
+                slew_sens: 0.16,
+                pin_cap: 1.9,
+                area: 2.13,
+                leakage: 2.2,
+            },
+            Proto {
+                func: CellFunc::Xnor2,
+                intrinsic: 0.030,
+                resistance: 0.0063,
+                slew_sens: 0.16,
+                pin_cap: 1.9,
+                area: 2.13,
+                leakage: 2.2,
+            },
+            Proto {
+                func: CellFunc::Mux2,
+                intrinsic: 0.033,
+                resistance: 0.0059,
+                slew_sens: 0.15,
+                pin_cap: 1.4,
+                area: 2.40,
+                leakage: 2.4,
+            },
+            Proto {
+                func: CellFunc::Nand3,
+                intrinsic: 0.016,
+                resistance: 0.0050,
+                slew_sens: 0.12,
+                pin_cap: 1.1,
+                area: 1.33,
+                leakage: 1.4,
+            },
+            Proto {
+                func: CellFunc::Nor3,
+                intrinsic: 0.021,
+                resistance: 0.0068,
+                slew_sens: 0.15,
+                pin_cap: 1.2,
+                area: 1.33,
+                leakage: 1.5,
+            },
+            Proto {
+                func: CellFunc::Aoi21,
+                intrinsic: 0.017,
+                resistance: 0.0058,
+                slew_sens: 0.13,
+                pin_cap: 1.1,
+                area: 1.33,
+                leakage: 1.3,
+            },
+            Proto {
+                func: CellFunc::Oai21,
+                intrinsic: 0.017,
+                resistance: 0.0058,
+                slew_sens: 0.13,
+                pin_cap: 1.1,
+                area: 1.33,
+                leakage: 1.3,
+            },
+            Proto {
+                func: CellFunc::Aoi22,
+                intrinsic: 0.021,
+                resistance: 0.0064,
+                slew_sens: 0.14,
+                pin_cap: 1.2,
+                area: 1.60,
+                leakage: 1.5,
+            },
+            Proto {
+                func: CellFunc::Oai22,
+                intrinsic: 0.021,
+                resistance: 0.0064,
+                slew_sens: 0.14,
+                pin_cap: 1.2,
+                area: 1.60,
+                leakage: 1.5,
+            },
+            Proto {
+                func: CellFunc::Dff,
+                intrinsic: 0.045,
+                resistance: 0.0050,
+                slew_sens: 0.05,
+                pin_cap: 1.2,
+                area: 4.52,
+                leakage: 3.1,
+            },
         ];
         Library::from_protos("nangate45_like", &protos, &Drive::ALL)
     }
@@ -158,9 +349,10 @@ impl Library {
     /// Panics if the library has no such cell; both built-in libraries are
     /// complete over their advertised function sets.
     pub fn cell(&self, func: CellFunc, drive: Drive) -> &Cell {
-        let idx = self.index.get(&(func, drive)).unwrap_or_else(|| {
-            panic!("library {} has no cell {func}_{drive}", self.name)
-        });
+        let idx = self
+            .index
+            .get(&(func, drive))
+            .unwrap_or_else(|| panic!("library {} has no cell {func}_{drive}", self.name));
         &self.cells[*idx]
     }
 
@@ -207,7 +399,10 @@ mod tests {
     #[test]
     fn mapped_library_has_three_drives() {
         let lib = Library::nangate45_like();
-        assert_eq!(lib.drives_for(CellFunc::Nand2), vec![Drive::X1, Drive::X2, Drive::X4]);
+        assert_eq!(
+            lib.drives_for(CellFunc::Nand2),
+            vec![Drive::X1, Drive::X2, Drive::X4]
+        );
     }
 
     #[test]
@@ -251,7 +446,10 @@ mod tests {
         let lib = Library::nangate45_like();
         let d1 = lib.wire.delay(10.0, 1.0);
         let d2 = lib.wire.delay(20.0, 1.0);
-        assert!(d2 > 2.0 * d1, "Elmore wire delay is quadratic-ish in length");
+        assert!(
+            d2 > 2.0 * d1,
+            "Elmore wire delay is quadratic-ish in length"
+        );
     }
 
     #[test]

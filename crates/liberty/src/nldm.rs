@@ -20,12 +20,11 @@ impl Nldm {
     /// # Panics
     ///
     /// Panics if either axis is empty or not strictly increasing.
-    pub fn from_fn(
-        slew_axis: Vec<f64>,
-        load_axis: Vec<f64>,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Self {
-        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "empty NLDM axis");
+    pub fn from_fn(slew_axis: Vec<f64>, load_axis: Vec<f64>, f: impl Fn(f64, f64) -> f64) -> Self {
+        assert!(
+            !slew_axis.is_empty() && !load_axis.is_empty(),
+            "empty NLDM axis"
+        );
         assert!(
             slew_axis.windows(2).all(|w| w[0] < w[1]),
             "slew axis must be strictly increasing"
@@ -40,7 +39,11 @@ impl Nldm {
                 values.push(f(s, l));
             }
         }
-        Nldm { slew_axis, load_axis, values }
+        Nldm {
+            slew_axis,
+            load_axis,
+            values,
+        }
     }
 
     /// Bilinear interpolation with clamped extrapolation.
@@ -92,11 +95,9 @@ mod tests {
     use super::*;
 
     fn table() -> Nldm {
-        Nldm::from_fn(
-            vec![0.01, 0.1, 1.0],
-            vec![1.0, 10.0, 100.0],
-            |s, l| 2.0 * s + 3.0 * l,
-        )
+        Nldm::from_fn(vec![0.01, 0.1, 1.0], vec![1.0, 10.0, 100.0], |s, l| {
+            2.0 * s + 3.0 * l
+        })
     }
 
     #[test]

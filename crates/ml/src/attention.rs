@@ -91,17 +91,17 @@ pub struct PathTransformer {
     n_tok: usize,
     n_global: usize,
     p: TransformerParams,
-    we: Param,  // n_ops × d
-    ws: Param,  // n_tok × d
-    wq: Param,  // d × d
-    wk: Param,  // d × d
-    wv: Param,  // d × d
-    w1: Param,  // d × d
-    b1: Param,  // 1 × d
-    w3: Param,  // (d+n_global) × d_head
-    b3: Param,  // 1 × d_head
-    w4: Param,  // d_head × 1
-    b4: Param,  // 1 × 1
+    we: Param, // n_ops × d
+    ws: Param, // n_tok × d
+    wq: Param, // d × d
+    wk: Param, // d × d
+    wv: Param, // d × d
+    w1: Param, // d × d
+    b1: Param, // 1 × d
+    w3: Param, // (d+n_global) × d_head
+    b3: Param, // 1 × d_head
+    w4: Param, // d_head × 1
+    b4: Param, // 1 × 1
     step: usize,
 }
 
@@ -123,7 +123,12 @@ struct Cache {
 
 impl PathTransformer {
     /// Creates an untrained model.
-    pub fn new(n_ops: usize, n_tok: usize, n_global: usize, p: TransformerParams) -> PathTransformer {
+    pub fn new(
+        n_ops: usize,
+        n_tok: usize,
+        n_global: usize,
+        p: TransformerParams,
+    ) -> PathTransformer {
         let mut rng = StdRng::seed_from_u64(p.seed);
         let d = p.d_model;
         PathTransformer {
@@ -159,7 +164,11 @@ impl PathTransformer {
         let n = ops.len().max(1);
         let ops = if ops.is_empty() { vec![0] } else { ops };
         let toks = Matrix::from_fn(n, self.n_tok.max(1), |r, c| {
-            tokrefs.get(r).and_then(|t| t.get(c)).copied().unwrap_or(0.0)
+            tokrefs
+                .get(r)
+                .and_then(|t| t.get(c))
+                .copied()
+                .unwrap_or(0.0)
         });
         // Embedding: op row of We + token feats × Ws + sinusoidal position.
         let mut e = Matrix::zeros(n, d);
@@ -234,7 +243,20 @@ impl PathTransformer {
         for j in 0..dh {
             out += h3[j] * self.w4.w.at(j, 0);
         }
-        Cache { e, q, k, v, a, h, f, z, h3, out, ops, toks }
+        Cache {
+            e,
+            q,
+            k,
+            v,
+            a,
+            h,
+            f,
+            z,
+            h3,
+            out,
+            ops,
+            toks,
+        }
     }
 
     /// Predicts the arrival-time contribution of one path.
@@ -436,7 +458,9 @@ mod tests {
     fn sample(len: usize, opkind: usize, level: f64) -> PathSample {
         PathSample {
             ops: vec![opkind; len],
-            tok_feats: (0..len).map(|i| vec![i as f64 / len as f64, level]).collect(),
+            tok_feats: (0..len)
+                .map(|i| vec![i as f64 / len as f64, level])
+                .collect(),
             global: vec![len as f64 / 10.0],
         }
     }
@@ -454,8 +478,12 @@ mod tests {
             samples.push(sample(len, i % 3, 0.5));
             targets.push(len as f64 / 10.0);
         }
-        let params =
-            TransformerParams { epochs: 60, d_model: 8, d_head: 16, ..Default::default() };
+        let params = TransformerParams {
+            epochs: 60,
+            d_model: 8,
+            d_head: 16,
+            ..Default::default()
+        };
         let mut model = PathTransformer::new(4, 2, 1, params);
         model.fit_grouped_max(&samples, &groups, &targets);
         // Correlation between prediction and target.
@@ -475,7 +503,11 @@ mod tests {
 
     #[test]
     fn truncation_keeps_endpoint_side() {
-        let params = TransformerParams { max_len: 4, epochs: 1, ..Default::default() };
+        let params = TransformerParams {
+            max_len: 4,
+            epochs: 1,
+            ..Default::default()
+        };
         let model = PathTransformer::new(4, 2, 1, params);
         let long = sample(10, 1, 0.2);
         let (ops, toks) = model.truncate(&long);
@@ -488,7 +520,11 @@ mod tests {
     #[test]
     fn empty_path_predicts_without_panic() {
         let model = PathTransformer::new(4, 2, 1, TransformerParams::default());
-        let empty = PathSample { ops: vec![], tok_feats: vec![], global: vec![0.0] };
+        let empty = PathSample {
+            ops: vec![],
+            tok_feats: vec![],
+            global: vec![0.0],
+        };
         assert!(model.predict(&empty).is_finite());
     }
 }

@@ -154,7 +154,12 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Gbdt { base, learning_rate: params.learning_rate, trees, n_features }
+        Gbdt {
+            base,
+            learning_rate: params.learning_rate,
+            trees,
+            n_features,
+        }
     }
 
     /// Predicts a single raw feature row.
@@ -217,10 +222,23 @@ mod tests {
     fn regression_learns_nonlinear_function() {
         let mut rng = StdRng::seed_from_u64(1);
         let rows: Vec<Vec<f64>> = (0..600)
-            .map(|_| vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0), rng.gen_range(0.0..1.0)])
+            .map(|_| {
+                vec![
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            })
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0] + 2.0 * (r[1] > 0.5) as i32 as f64).collect();
-        let model = Gbdt::fit(&rows, &SquaredObjective { targets: y.clone() }, &GbdtParams::default());
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * r[0] + 2.0 * (r[1] > 0.5) as i32 as f64)
+            .collect();
+        let model = Gbdt::fit(
+            &rows,
+            &SquaredObjective { targets: y.clone() },
+            &GbdtParams::default(),
+        );
         let preds = model.predict_all(&rows);
         assert!(pearson(&preds, &y) > 0.97);
     }
@@ -234,7 +252,11 @@ mod tests {
         let ytrain: Vec<f64> = train.iter().map(|r| f(r)).collect();
         let test: Vec<Vec<f64>> = (0..200).map(|_| gen_row(&mut rng)).collect();
         let ytest: Vec<f64> = test.iter().map(|r| f(r)).collect();
-        let model = Gbdt::fit(&train, &SquaredObjective { targets: ytrain }, &GbdtParams::default());
+        let model = Gbdt::fit(
+            &train,
+            &SquaredObjective { targets: ytrain },
+            &GbdtParams::default(),
+        );
         let preds = model.predict_all(&test);
         assert!(pearson(&preds, &ytest) > 0.95);
     }
@@ -261,22 +283,37 @@ mod tests {
             groups.push(g);
             targets.push(best);
         }
-        let obj = GroupedMaxObjective { groups: groups.clone(), targets: targets.clone() };
+        let obj = GroupedMaxObjective {
+            groups: groups.clone(),
+            targets: targets.clone(),
+        };
         let model = Gbdt::fit(&rows, &obj, &GbdtParams::default());
         let preds = model.predict_all(&rows);
         let group_preds: Vec<f64> = groups
             .iter()
             .map(|g| g.iter().map(|&r| preds[r]).fold(f64::MIN, f64::max))
             .collect();
-        assert!(pearson(&group_preds, &targets) > 0.9, "R={}", pearson(&group_preds, &targets));
+        assert!(
+            pearson(&group_preds, &targets) > 0.9,
+            "R={}",
+            pearson(&group_preds, &targets)
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
-        let m1 = Gbdt::fit(&rows, &SquaredObjective { targets: y.clone() }, &GbdtParams::default());
-        let m2 = Gbdt::fit(&rows, &SquaredObjective { targets: y }, &GbdtParams::default());
+        let m1 = Gbdt::fit(
+            &rows,
+            &SquaredObjective { targets: y.clone() },
+            &GbdtParams::default(),
+        );
+        let m2 = Gbdt::fit(
+            &rows,
+            &SquaredObjective { targets: y },
+            &GbdtParams::default(),
+        );
         for r in &rows {
             assert_eq!(m1.predict(r), m2.predict(r));
         }
@@ -289,7 +326,11 @@ mod tests {
             .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| 10.0 * r[1]).collect();
-        let model = Gbdt::fit(&rows, &SquaredObjective { targets: y }, &GbdtParams::default());
+        let model = Gbdt::fit(
+            &rows,
+            &SquaredObjective { targets: y },
+            &GbdtParams::default(),
+        );
         let imp = model.feature_importance();
         assert!(imp[1] > imp[0], "{imp:?}");
     }

@@ -38,7 +38,13 @@ pub struct GnnParams {
 
 impl Default for GnnParams {
     fn default() -> Self {
-        GnnParams { d: 16, layers: 2, epochs: 40, learning_rate: 2e-3, seed: 23 }
+        GnnParams {
+            d: 16,
+            layers: 2,
+            epochs: 40,
+            learning_rate: 2e-3,
+            seed: 23,
+        }
     }
 }
 
@@ -49,7 +55,10 @@ struct Adam {
 
 impl Adam {
     fn new(rows: usize, cols: usize) -> Adam {
-        Adam { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols) }
+        Adam {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+        }
     }
 
     fn step(&mut self, w: &mut Matrix, g: &Matrix, lr: f64, t: usize) {
@@ -280,17 +289,29 @@ mod tests {
     /// see k hops, so it learns a coarse correlate — matching the paper's
     /// observation that GNNs underperform on this task.
     fn chain(len: usize) -> GnnGraph {
-        let node_feats: Vec<Vec<f64>> = (0..len).map(|i| vec![1.0, (i == 0) as i32 as f64]).collect();
+        let node_feats: Vec<Vec<f64>> = (0..len)
+            .map(|i| vec![1.0, (i == 0) as i32 as f64])
+            .collect();
         let fanins: Vec<Vec<u32>> = (0..len)
             .map(|i| if i == 0 { vec![] } else { vec![i as u32 - 1] })
             .collect();
-        GnnGraph { node_feats, fanins, endpoints: vec![(len - 1, len as f64)] }
+        GnnGraph {
+            node_feats,
+            fanins,
+            endpoints: vec![(len - 1, len as f64)],
+        }
     }
 
     #[test]
     fn learns_coarse_signal() {
         let graphs: Vec<GnnGraph> = (2..14).map(chain).collect();
-        let mut gnn = Gnn::new(2, GnnParams { epochs: 200, ..Default::default() });
+        let mut gnn = Gnn::new(
+            2,
+            GnnParams {
+                epochs: 200,
+                ..Default::default()
+            },
+        );
         gnn.fit(&graphs);
         // Longer chains should get (weakly) larger predictions.
         let p3 = gnn.predict(&chain(3))[0];
@@ -312,7 +333,13 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let graphs: Vec<GnnGraph> = (2..10).map(chain).collect();
-        let mut gnn = Gnn::new(2, GnnParams { epochs: 1, ..Default::default() });
+        let mut gnn = Gnn::new(
+            2,
+            GnnParams {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let loss = |gnn: &Gnn| -> f64 {
             graphs
                 .iter()

@@ -84,8 +84,9 @@ impl Objective for LambdaObjective {
                     let gain_i = (2f64).powf(rels[i]) - 1.0;
                     let gain_j = (2f64).powf(rels[j]) - 1.0;
                     let disc = |rank: usize| ((rank + 2) as f64).log2();
-                    let delta = ((gain_i - gain_j) * (1.0 / disc(rank_of[i]) - 1.0 / disc(rank_of[j])))
-                        .abs()
+                    let delta = ((gain_i - gain_j)
+                        * (1.0 / disc(rank_of[i]) - 1.0 / disc(rank_of[j])))
+                    .abs()
                         / idcg;
                     let rho = 1.0 / (1.0 + (self.sigma * (preds[ri] - preds[rj])).exp());
                     let lambda = delta * self.sigma * rho;
@@ -122,7 +123,9 @@ impl LambdaMart {
             relevance: relevance.to_vec(),
             sigma: params.sigma,
         };
-        LambdaMart { model: Gbdt::fit(rows, &obj, &params.gbdt) }
+        LambdaMart {
+            model: Gbdt::fit(rows, &obj, &params.gbdt),
+        }
     }
 
     /// Ranking score for one row (higher = predicted more critical).

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a closure over `(row, col)`.
@@ -58,7 +62,11 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dims {}x{} × {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dims {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {

@@ -28,7 +28,13 @@ pub struct MlpParams {
 
 impl Default for MlpParams {
     fn default() -> Self {
-        MlpParams { hidden: vec![64, 64, 64], learning_rate: 1e-3, epochs: 60, batch: 64, seed: 11 }
+        MlpParams {
+            hidden: vec![64, 64, 64],
+            learning_rate: 1e-3,
+            epochs: 60,
+            batch: 64,
+            seed: 11,
+        }
     }
 }
 
@@ -105,8 +111,16 @@ impl Mlp {
         let mut dims = vec![n_features];
         dims.extend(&params.hidden);
         dims.push(1);
-        let layers = dims.windows(2).map(|w| Dense::new(w[0], w[1], &mut rng)).collect();
-        Mlp { layers, n_features, params, step: 0 }
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            n_features,
+            params,
+            step: 0,
+        }
     }
 
     /// Forward pass caching activations for backprop.
@@ -258,10 +272,17 @@ mod tests {
     #[test]
     fn learns_linear_function() {
         let mut rng = StdRng::seed_from_u64(9);
-        let rows: Vec<Vec<f64>> =
-            (0..400).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] + 0.5).collect();
-        let mut mlp = Mlp::new(2, MlpParams { epochs: 120, ..Default::default() });
+        let mut mlp = Mlp::new(
+            2,
+            MlpParams {
+                epochs: 120,
+                ..Default::default()
+            },
+        );
         mlp.fit_regression(&rows, &y);
         let preds = mlp.predict_all(&rows);
         assert!(pearson(&preds, &y) > 0.98, "R={}", pearson(&preds, &y));
@@ -286,22 +307,45 @@ mod tests {
             groups.push(g);
             targets.push(best);
         }
-        let mut mlp = Mlp::new(2, MlpParams { epochs: 150, batch: 16, ..Default::default() });
+        let mut mlp = Mlp::new(
+            2,
+            MlpParams {
+                epochs: 150,
+                batch: 16,
+                ..Default::default()
+            },
+        );
         mlp.fit_grouped_max(&rows, &groups, &targets);
         let preds = mlp.predict_all(&rows);
         let gp: Vec<f64> = groups
             .iter()
             .map(|g| g.iter().map(|&r| preds[r]).fold(f64::MIN, f64::max))
             .collect();
-        assert!(pearson(&gp, &targets) > 0.85, "R={}", pearson(&gp, &targets));
+        assert!(
+            pearson(&gp, &targets) > 0.85,
+            "R={}",
+            pearson(&gp, &targets)
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64) / 50.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
-        let mut a = Mlp::new(1, MlpParams { epochs: 10, ..Default::default() });
-        let mut b = Mlp::new(1, MlpParams { epochs: 10, ..Default::default() });
+        let mut a = Mlp::new(
+            1,
+            MlpParams {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        let mut b = Mlp::new(
+            1,
+            MlpParams {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         a.fit_regression(&rows, &y);
         b.fit_regression(&rows, &y);
         assert_eq!(a.predict(&rows[3]), b.predict(&rows[3]));

@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn standardizes_to_zero_mean_unit_var() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 5.0 * i as f64 + 3.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 5.0 * i as f64 + 3.0])
+            .collect();
         let sc = Scaler::fit(&rows, 2);
         let mut t = rows.clone();
         sc.transform_all(&mut t);

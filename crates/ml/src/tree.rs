@@ -84,7 +84,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 6, lambda: 1.0, min_child_weight: 1.0, min_gain: 1e-6 }
+        TreeParams {
+            max_depth: 6,
+            lambda: 1.0,
+            min_child_weight: 1.0,
+            min_gain: 1e-6,
+        }
     }
 }
 
@@ -163,7 +168,7 @@ impl Tree {
                     }
                     let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
                         - parent_score;
-                    if gain > params.min_gain && best.map_or(true, |(bg, _, _)| gain > bg) {
+                    if gain > params.min_gain && best.is_none_or(|(bg, _, _)| gain > bg) {
                         best = Some((gain, f, b as u16));
                     }
                 }
@@ -199,8 +204,18 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -212,8 +227,18 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, bin, left, right, .. } => {
-                    i = if codes[row * nf + feature] <= *bin { *left } else { *right };
+                Node::Split {
+                    feature,
+                    bin,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if codes[row * nf + feature] <= *bin {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -268,7 +293,11 @@ mod tests {
         let tree = Tree::fit(&binner, &codes, &grad, &hess, &idx, &TreeParams::default());
         // Predictions should correlate strongly with y.
         let preds: Vec<f64> = rows.iter().map(|r| tree.predict(r)).collect();
-        let err: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).powi(2)).sum::<f64>()
+        let err: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).powi(2))
+            .sum::<f64>()
             / rows.len() as f64;
         assert!(err < 1.0, "mse {err}");
     }
@@ -295,7 +324,10 @@ mod tests {
         let grad: Vec<f64> = y.iter().map(|v| -v).collect();
         let hess = vec![1.0; rows.len()];
         let idx: Vec<usize> = (0..rows.len()).collect();
-        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = Tree::fit(&binner, &codes, &grad, &hess, &idx, &params);
         assert!(tree.is_empty());
         // Leaf = mean of y under squared loss (lambda-shrunk).

@@ -165,7 +165,16 @@ impl<'a> Sta<'a> {
             bog,
             lib,
             cfg,
-            res: StaResult { arrival, slew, load, delay, endpoint_at, endpoint_slack, wns, tns },
+            res: StaResult {
+                arrival,
+                slew,
+                load,
+                delay,
+                endpoint_at,
+                endpoint_slack,
+                wns,
+                tns,
+            },
         }
     }
 
@@ -202,7 +211,13 @@ mod tests {
 
     fn sta_for(src: &str, top: &str, clock: f64) -> (Bog, StaConfig) {
         let bog = blast(&compile(src, top).unwrap());
-        (bog, StaConfig { clock_period: clock, ..StaConfig::default() })
+        (
+            bog,
+            StaConfig {
+                clock_period: clock,
+                ..StaConfig::default()
+            },
+        )
     }
 
     #[test]

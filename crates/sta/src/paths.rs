@@ -50,7 +50,11 @@ impl<'a> Sta<'a> {
         }
         nodes.reverse();
         let arrival = self.res.arrival[*nodes.last().expect("nonempty") as usize];
-        TimingPath { endpoint: ep, nodes, arrival }
+        TimingPath {
+            endpoint: ep,
+            nodes,
+            arrival,
+        }
     }
 
     /// Samples one random path `L(k)*→i` by a backward walk from `ep`,
@@ -71,8 +75,10 @@ impl<'a> Sta<'a> {
                 fis[0]
             } else {
                 // Weight ∝ (arrival + ε) so zero-AT sources remain pickable.
-                let weights: Vec<f64> =
-                    fis.iter().map(|&f| self.res.arrival[f as usize] + 0.01).collect();
+                let weights: Vec<f64> = fis
+                    .iter()
+                    .map(|&f| self.res.arrival[f as usize] + 0.01)
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 let mut t = rng.gen::<f64>() * total;
                 let mut pick = fis[fis.len() - 1];
@@ -91,7 +97,11 @@ impl<'a> Sta<'a> {
         }
         nodes.reverse();
         let launch = self.res.arrival[nodes[0] as usize];
-        TimingPath { endpoint: ep, nodes, arrival: launch + path_delay }
+        TimingPath {
+            endpoint: ep,
+            nodes,
+            arrival: launch + path_delay,
+        }
     }
 
     /// Samples up to `k` distinct random paths (deduplicated by node
@@ -153,7 +163,11 @@ mod tests {
         for (i, ep) in bog.endpoints().into_iter().enumerate() {
             let p = sta.critical_path(ep);
             let at = sta.result().endpoint_at[i];
-            assert!((p.arrival - at).abs() < 1e-9, "ep {i}: {} vs {at}", p.arrival);
+            assert!(
+                (p.arrival - at).abs() < 1e-9,
+                "ep {i}: {} vs {at}",
+                p.arrival
+            );
         }
     }
 

@@ -39,7 +39,11 @@ impl<'a> Sta<'a> {
 
 impl fmt::Display for EndpointReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<24} AT {:>8.4} ns  slack {:>8.4} ns", self.name, self.arrival, self.slack)
+        write!(
+            f,
+            "{:<24} AT {:>8.4} ns  slack {:>8.4} ns",
+            self.name, self.arrival, self.slack
+        )
     }
 }
 
@@ -68,7 +72,14 @@ mod tests {
             .unwrap(),
         );
         let lib = Library::pseudo_bog();
-        let sta = Sta::run(&bog, &lib, StaConfig { clock_period: 0.3, ..Default::default() });
+        let sta = Sta::run(
+            &bog,
+            &lib,
+            StaConfig {
+                clock_period: 0.3,
+                ..Default::default()
+            },
+        );
         let report = sta.endpoint_report();
         for w in report.windows(2) {
             assert!(w[0].slack <= w[1].slack);

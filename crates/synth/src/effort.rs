@@ -41,7 +41,10 @@ pub fn optimize_timing(
     groups: &[EffortGroup],
     budget: usize,
 ) -> EffortReport {
-    let mut report = EffortReport { upsizes: 0, passes: 0 };
+    let mut report = EffortReport {
+        upsizes: 0,
+        passes: 0,
+    };
     let total_weight: f64 = groups.iter().map(|g| g.weight).sum();
     if total_weight <= 0.0 || budget == 0 {
         return report;
@@ -88,7 +91,11 @@ fn optimize_group(
         .copied()
         .filter(|&e| sta.reg_slack[e] < 0.0)
         .collect();
-    eps.sort_by(|&a, &b| sta.reg_slack[a].partial_cmp(&sta.reg_slack[b]).expect("finite"));
+    eps.sort_by(|&a, &b| {
+        sta.reg_slack[a]
+            .partial_cmp(&sta.reg_slack[b])
+            .expect("finite")
+    });
     // Narrow attention: like a default tool run, only the worst few
     // endpoints of the group get effort each pass. Grouped optimization
     // covers more of the slack distribution simply by having four groups.
@@ -157,7 +164,10 @@ mod tests {
         let clock = base.max_arrival() * 0.8; // force violations
         let before = time_netlist(&n, &lib, clock);
         assert!(before.wns < 0.0);
-        let groups = [EffortGroup { endpoints: (0..n.regs.len()).collect(), weight: 1.0 }];
+        let groups = [EffortGroup {
+            endpoints: (0..n.regs.len()).collect(),
+            weight: 1.0,
+        }];
         let report = optimize_timing(&mut n, &lib, clock, &groups, 400);
         assert!(report.upsizes > 0);
         let after = time_netlist(&n, &lib, clock);
@@ -173,7 +183,10 @@ mod tests {
     fn zero_budget_changes_nothing() {
         let (mut n, lib) = setup();
         let drives: Vec<_> = n.cells.iter().map(|c| c.drive).collect();
-        let groups = [EffortGroup { endpoints: (0..n.regs.len()).collect(), weight: 1.0 }];
+        let groups = [EffortGroup {
+            endpoints: (0..n.regs.len()).collect(),
+            weight: 1.0,
+        }];
         let report = optimize_timing(&mut n, &lib, 0.1, &groups, 0);
         assert_eq!(report.upsizes, 0);
         let after: Vec<_> = n.cells.iter().map(|c| c.drive).collect();
@@ -183,7 +196,10 @@ mod tests {
     #[test]
     fn met_timing_short_circuits() {
         let (mut n, lib) = setup();
-        let groups = [EffortGroup { endpoints: (0..n.regs.len()).collect(), weight: 1.0 }];
+        let groups = [EffortGroup {
+            endpoints: (0..n.regs.len()).collect(),
+            weight: 1.0,
+        }];
         let report = optimize_timing(&mut n, &lib, 100.0, &groups, 100);
         assert_eq!(report.upsizes, 0);
         assert_eq!(report.passes, 1);

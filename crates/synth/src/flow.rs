@@ -105,7 +105,9 @@ pub fn synthesize(bog: &Bog, lib: &Library, opts: &SynthOptions) -> SynthResult 
     // designs ship with realistic residual violations (as in the paper's
     // Table 6 baselines).
     let initial = time_netlist(&netlist, lib, 1.0);
-    let clock = opts.clock_period.unwrap_or_else(|| (initial.max_arrival() * 0.80).max(0.05));
+    let clock = opts
+        .clock_period
+        .unwrap_or_else(|| (initial.max_arrival() * 0.80).max(0.05));
 
     // Optional retiming of selected endpoints (before sizing, as tools do).
     if !opts.retime_endpoints.is_empty() {
@@ -113,9 +115,7 @@ pub fn synthesize(bog: &Bog, lib: &Library, opts: &SynthOptions) -> SynthResult 
         let eps: Vec<usize> = opts
             .retime_endpoints
             .iter()
-            .filter_map(|&bog_reg| {
-                netlist.regs.iter().position(|r| r.bog_reg == bog_reg)
-            })
+            .filter_map(|&bog_reg| netlist.regs.iter().position(|r| r.bog_reg == bog_reg))
             .collect();
         let _ = retime_backward(&mut netlist, &sta, &eps);
     }
@@ -141,8 +141,10 @@ pub fn synthesize(bog: &Bog, lib: &Library, opts: &SynthOptions) -> SynthResult 
             // Registers created by retiming have no RTL identity and thus
             // no group assignment; they came from the most critical
             // endpoints, so they join the top group.
-            let grouped: std::collections::HashSet<usize> =
-                groups.iter().flat_map(|g| g.endpoints.iter().copied()).collect();
+            let grouped: std::collections::HashSet<usize> = groups
+                .iter()
+                .flat_map(|g| g.endpoints.iter().copied())
+                .collect();
             if let Some(top) = groups.first_mut() {
                 for (ri, r) in netlist.regs.iter().enumerate() {
                     if !grouped.contains(&ri) && r.d != r.q {
@@ -152,7 +154,10 @@ pub fn synthesize(bog: &Bog, lib: &Library, opts: &SynthOptions) -> SynthResult 
             }
             groups
         }
-        None => vec![EffortGroup { endpoints: (0..netlist.regs.len()).collect(), weight: 1.0 }],
+        None => vec![EffortGroup {
+            endpoints: (0..netlist.regs.len()).collect(),
+            weight: 1.0,
+        }],
     };
     let _ = optimize_timing(&mut netlist, lib, clock, &groups, budget);
 
@@ -230,7 +235,14 @@ mod tests {
         let b = synthesize(&bog, &lib, &SynthOptions::default());
         assert_eq!(a.endpoint_at, b.endpoint_at);
         assert_eq!(a.wns, b.wns);
-        let c = synthesize(&bog, &lib, &SynthOptions { seed: 99, ..Default::default() });
+        let c = synthesize(
+            &bog,
+            &lib,
+            &SynthOptions {
+                seed: 99,
+                ..Default::default()
+            },
+        );
         let differs = a
             .endpoint_at
             .iter()
@@ -274,7 +286,10 @@ mod tests {
             &bog,
             &lib,
             &SynthOptions {
-                path_groups: Some(PathGroups { groups, weights: vec![0.4, 0.3, 0.2, 0.1] }),
+                path_groups: Some(PathGroups {
+                    groups,
+                    weights: vec![0.4, 0.3, 0.2, 0.1],
+                }),
                 ..base_opts
             },
         );

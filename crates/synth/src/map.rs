@@ -26,7 +26,11 @@ pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
     #[derive(Clone)]
     enum Pattern {
         Plain,
-        Fused { func: CellFunc, pins: Vec<NodeId>, interior: Vec<NodeId> },
+        Fused {
+            func: CellFunc,
+            pins: Vec<NodeId>,
+            interior: Vec<NodeId>,
+        },
     }
     let mut pattern: Vec<Option<Pattern>> = vec![None; bog.len()];
     let mut consumed = vec![false; bog.len()];
@@ -94,7 +98,11 @@ pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
             for &i in &interior {
                 consumed[i as usize] = true;
             }
-            pattern[id as usize] = Some(Pattern::Fused { func, pins, interior });
+            pattern[id as usize] = Some(Pattern::Fused {
+                func,
+                pins,
+                interior,
+            });
         } else {
             pattern[id as usize] = Some(Pattern::Plain);
         }
@@ -107,20 +115,36 @@ pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
     let mut map: Vec<CellId> = vec![NO_CELL; bog.len()];
 
     let new_cell = |cells: &mut Vec<MappedCell>,
-                        func: Option<CellFunc>,
-                        tie: Option<bool>,
-                        fanins: Vec<CellId>,
-                        rng: &mut StdRng| {
-        let derate = if func.is_some() { rng.gen_range(0.97..1.03) } else { 1.0 };
+                    func: Option<CellFunc>,
+                    tie: Option<bool>,
+                    fanins: Vec<CellId>,
+                    rng: &mut StdRng| {
+        let derate = if func.is_some() {
+            rng.gen_range(0.97..1.03)
+        } else {
+            1.0
+        };
         let id = cells.len() as CellId;
-        cells.push(MappedCell { func, drive: Drive::X1, fanins, x: 0.0, y: 0.0, derate, tie });
+        cells.push(MappedCell {
+            func,
+            drive: Drive::X1,
+            fanins,
+            x: 0.0,
+            y: 0.0,
+            derate,
+            tie,
+        });
         id
     };
 
     // DFF cells first (registers keep BOG identity).
     for (ri, _r) in bog.regs().iter().enumerate() {
         let q = new_cell(&mut cells, Some(CellFunc::Dff), None, Vec::new(), rng);
-        regs.push(MappedReg { q, d: NO_CELL, bog_reg: ri as u32 });
+        regs.push(MappedReg {
+            q,
+            d: NO_CELL,
+            bog_reg: ri as u32,
+        });
         // map entry set below when the Q node is visited.
     }
     for (ri, r) in bog.regs().iter().enumerate() {
@@ -148,7 +172,11 @@ pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
             BogOp::Const0 => new_cell(&mut cells, None, Some(false), Vec::new(), rng),
             BogOp::Const1 => new_cell(&mut cells, None, Some(true), Vec::new(), rng),
             BogOp::Not => match pattern[id as usize].take() {
-                Some(Pattern::Fused { func, pins, interior }) => {
+                Some(Pattern::Fused {
+                    func,
+                    pins,
+                    interior,
+                }) => {
                     let fanins: Vec<CellId> = pins.iter().map(|&p| map[p as usize]).collect();
                     debug_assert!(fanins.iter().all(|&f| f != NO_CELL));
                     let c = new_cell(&mut cells, Some(func), None, fanins, rng);
@@ -170,8 +198,7 @@ pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
                     BogOp::Mux2 => CellFunc::Mux2,
                     _ => unreachable!(),
                 };
-                let fanins: Vec<CellId> =
-                    bog.fanins(id).iter().map(|&f| map[f as usize]).collect();
+                let fanins: Vec<CellId> = bog.fanins(id).iter().map(|&f| map[f as usize]).collect();
                 debug_assert!(fanins.iter().all(|&f| f != NO_CELL));
                 new_cell(&mut cells, Some(func), None, fanins, rng)
             }
@@ -189,7 +216,13 @@ pub fn tech_map(bog: &Bog, lib: &Library, rng: &mut StdRng) -> MappedNetlist {
         .map(|(n, d)| (n.clone(), map[*d as usize]))
         .collect();
 
-    let mut netlist = MappedNetlist { name: bog.name.clone(), cells, regs, inputs, outputs };
+    let mut netlist = MappedNetlist {
+        name: bog.name.clone(),
+        cells,
+        regs,
+        inputs,
+        outputs,
+    };
     buffer_heavy_nets(&mut netlist, rng);
     initial_sizing(&mut netlist, lib);
     netlist
@@ -268,7 +301,10 @@ mod tests {
              endmodule",
         );
         let hist = n.cell_histogram();
-        assert!(hist.iter().any(|(f, c)| *f == CellFunc::Nand2 && *c == 1), "{hist:?}");
+        assert!(
+            hist.iter().any(|(f, c)| *f == CellFunc::Nand2 && *c == 1),
+            "{hist:?}"
+        );
         assert!(!hist.iter().any(|(f, _)| *f == CellFunc::Inv), "{hist:?}");
     }
 
@@ -280,7 +316,10 @@ mod tests {
              endmodule",
         );
         let hist = n.cell_histogram();
-        assert!(hist.iter().any(|(f, c)| *f == CellFunc::Aoi21 && *c >= 1), "{hist:?}");
+        assert!(
+            hist.iter().any(|(f, c)| *f == CellFunc::Aoi21 && *c >= 1),
+            "{hist:?}"
+        );
     }
 
     #[test]
@@ -335,11 +374,18 @@ mod tests {
         );
         let n = map_src(&src);
         let hist = n.cell_histogram();
-        assert!(hist.iter().any(|(f, c)| *f == CellFunc::Buf && *c >= 2), "{hist:?}");
+        assert!(
+            hist.iter().any(|(f, c)| *f == CellFunc::Buf && *c >= 2),
+            "{hist:?}"
+        );
         // No net exceeds the limit afterwards.
         let fo = n.fanout_pins();
         for (id, pins) in fo.iter().enumerate() {
-            assert!(pins.len() <= FANOUT_LIMIT, "cell {id} drives {}", pins.len());
+            assert!(
+                pins.len() <= FANOUT_LIMIT,
+                "cell {id} drives {}",
+                pins.len()
+            );
         }
     }
 }

@@ -104,7 +104,10 @@ impl MappedNetlist {
                 fanouts[f as usize].push(id as CellId);
             }
         }
-        let mut queue: Vec<CellId> = (0..n).filter(|&i| indeg[i] == 0).map(|i| i as CellId).collect();
+        let mut queue: Vec<CellId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| i as CellId)
+            .collect();
         let mut head = 0;
         let mut order = Vec::with_capacity(n);
         while head < queue.len() {
@@ -163,7 +166,15 @@ mod tests {
     use rtlt_liberty::{CellFunc, Drive};
 
     fn cell(func: Option<CellFunc>, fanins: Vec<CellId>) -> MappedCell {
-        MappedCell { func, drive: Drive::X1, fanins, x: 0.0, y: 0.0, derate: 1.0, tie: None }
+        MappedCell {
+            func,
+            drive: Drive::X1,
+            fanins,
+            x: 0.0,
+            y: 0.0,
+            derate: 1.0,
+            tie: None,
+        }
     }
 
     #[test]
@@ -171,9 +182,9 @@ mod tests {
         let n = MappedNetlist {
             name: "t".into(),
             cells: vec![
-                cell(None, vec![]),                         // 0: input
-                cell(Some(CellFunc::Inv), vec![0]),         // 1
-                cell(Some(CellFunc::Nand2), vec![0, 1]),    // 2
+                cell(None, vec![]),                      // 0: input
+                cell(Some(CellFunc::Inv), vec![0]),      // 1
+                cell(Some(CellFunc::Nand2), vec![0, 1]), // 2
             ],
             regs: vec![],
             inputs: vec![("a".into(), 0)],
@@ -183,6 +194,9 @@ mod tests {
         assert_eq!(order.len(), 3);
         assert!(order.iter().position(|&c| c == 0) < order.iter().position(|&c| c == 2));
         assert_eq!(n.gate_count(), 2);
-        assert_eq!(n.cell_histogram(), vec![(CellFunc::Inv, 1), (CellFunc::Nand2, 1)]);
+        assert_eq!(
+            n.cell_histogram(),
+            vec![(CellFunc::Inv, 1), (CellFunc::Nand2, 1)]
+        );
     }
 }

@@ -129,9 +129,9 @@ pub fn balance(bog: &Bog) -> Bog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtlt_bog::{blast, BitSim};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use rtlt_bog::{blast, BitSim};
     use rtlt_verilog::compile;
 
     #[test]

@@ -85,7 +85,11 @@ fn bfs_order(cells: &[CellId], adj: &[Vec<CellId>], rng: &mut StdRng) -> Vec<Cel
             break;
         }
         // Disconnected component: pick the next unseen cell.
-        let next = cells.iter().copied().find(|c| !seen.contains(c)).expect("unseen remains");
+        let next = cells
+            .iter()
+            .copied()
+            .find(|c| !seen.contains(c))
+            .expect("unseen remains");
         seen.insert(next);
         queue.push_back(next);
     }

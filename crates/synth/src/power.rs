@@ -48,7 +48,12 @@ pub fn power_area(n: &MappedNetlist, lib: &Library) -> PowerArea {
         }
     }
     dynamic *= DYNAMIC_SCALE;
-    PowerArea { area, leakage, dynamic, total_power: leakage + dynamic }
+    PowerArea {
+        area,
+        leakage,
+        dynamic,
+        total_power: leakage + dynamic,
+    }
 }
 
 /// Static probability that each cell output is 1.

@@ -35,7 +35,11 @@ pub fn retime_backward(
 ) -> RetimeReport {
     let mut report = RetimeReport::default();
     let mut order: Vec<usize> = endpoints.to_vec();
-    order.sort_by(|&a, &b| sta.reg_slack[a].partial_cmp(&sta.reg_slack[b]).expect("finite"));
+    order.sort_by(|&a, &b| {
+        sta.reg_slack[a]
+            .partial_cmp(&sta.reg_slack[b])
+            .expect("finite")
+    });
 
     for ep in order {
         if sta.reg_slack[ep] >= 0.0 {
@@ -85,7 +89,11 @@ pub fn retime_backward(
                 derate: 1.0,
                 tie: None,
             });
-            n.regs.push(MappedReg { q, d: f, bog_reg: u32::MAX });
+            n.regs.push(MappedReg {
+                q,
+                d: f,
+                bog_reg: u32::MAX,
+            });
             seen.push((f, q));
             new_qs.push(q);
             report.regs_added += 1;

@@ -55,7 +55,9 @@ fn dist(n: &MappedNetlist, a: CellId, b: CellId) -> f64 {
 }
 
 fn lib_cell<'l>(lib: &'l Library, n: &MappedNetlist, id: CellId) -> Option<&'l Cell> {
-    n.cells[id as usize].func.map(|f| lib.cell(f, n.cells[id as usize].drive))
+    n.cells[id as usize]
+        .func
+        .map(|f| lib.cell(f, n.cells[id as usize].drive))
 }
 
 /// Static (pre-placement) loads: sink pin caps only. Used by initial sizing.
@@ -166,7 +168,11 @@ pub fn time_netlist(n: &MappedNetlist, lib: &Library, clock: f64) -> PhysicalSta
     }
 
     PhysicalSta {
-        nets: NetTiming { arrival, slew, load },
+        nets: NetTiming {
+            arrival,
+            slew,
+            load,
+        },
         reg_at,
         reg_slack,
         output_at,

@@ -352,7 +352,11 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for an unsized literal.
     pub fn num(value: u64) -> Expr {
-        Expr::Number { width: None, value, zmask: 0 }
+        Expr::Number {
+            width: None,
+            value,
+            zmask: 0,
+        }
     }
 }
 
@@ -362,7 +366,12 @@ mod tests {
 
     #[test]
     fn source_file_module_lookup() {
-        let m = Module { name: "m".into(), port_order: vec![], items: vec![], line: 1 };
+        let m = Module {
+            name: "m".into(),
+            port_order: vec![],
+            items: vec![],
+            line: 1,
+        };
         let f = SourceFile { modules: vec![m] };
         assert!(f.module("m").is_some());
         assert!(f.module("n").is_none());
@@ -370,6 +379,13 @@ mod tests {
 
     #[test]
     fn expr_num_helper() {
-        assert_eq!(Expr::num(5), Expr::Number { width: None, value: 5, zmask: 0 });
+        assert_eq!(
+            Expr::num(5),
+            Expr::Number {
+                width: None,
+                value: 5,
+                zmask: 0
+            }
+        );
     }
 }

@@ -91,7 +91,10 @@ impl AstFeatures {
 
 /// Extracts AST features from a whole source file.
 pub fn extract(file: &SourceFile) -> AstFeatures {
-    let mut f = AstFeatures { modules: file.modules.len(), ..Default::default() };
+    let mut f = AstFeatures {
+        modules: file.modules.len(),
+        ..Default::default()
+    };
     for m in &file.modules {
         module_features(m, &mut f);
     }
@@ -134,7 +137,11 @@ fn stmt_features(s: &Stmt, f: &mut AstFeatures) {
                 stmt_features(st, f);
             }
         }
-        Stmt::If { cond, then_br, else_br } => {
+        Stmt::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
             f.ifs += 1;
             f.mux_ops += 1;
             expr_features(cond, 1, f);
@@ -143,7 +150,12 @@ fn stmt_features(s: &Stmt, f: &mut AstFeatures) {
                 stmt_features(e, f);
             }
         }
-        Stmt::Case { subject, arms, default, .. } => {
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
             f.cases += 1;
             f.mux_ops += arms.len();
             expr_features(subject, 1, f);
@@ -179,16 +191,23 @@ fn expr_features(e: &Expr, depth: usize, f: &mut AstFeatures) {
         Expr::Binary { op, lhs, rhs } => {
             match op {
                 BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => f.arith_ops += 1,
-                BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
-                    f.cmp_ops += 1
-                }
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge => f.cmp_ops += 1,
                 BinaryOp::Shl | BinaryOp::Shr => f.shift_ops += 1,
                 _ => f.logic_ops += 1,
             }
             expr_features(lhs, depth + 1, f);
             expr_features(rhs, depth + 1, f);
         }
-        Expr::Ternary { cond, then_e, else_e } => {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             f.mux_ops += 1;
             expr_features(cond, depth + 1, f);
             expr_features(then_e, depth + 1, f);
@@ -238,7 +257,8 @@ mod tests {
 
     #[test]
     fn depth_tracks_nesting() {
-        let f = parse("module m(input a, output y); assign y = ((a & a) | (a ^ a)) & a; endmodule").unwrap();
+        let f = parse("module m(input a, output y); assign y = ((a & a) | (a ^ a)) & a; endmodule")
+            .unwrap();
         let feats = extract(&f);
         assert!(feats.max_expr_depth >= 3);
     }

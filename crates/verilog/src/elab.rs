@@ -39,7 +39,12 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, VerilogError> 
                 // Width determined inside elab_module; create with the
                 // declared width by pre-evaluating the decl range.
                 let w = port_width(top_mod, pname)?;
-                let id = b.new_node(WKind::Input { name: pname.clone() }, w);
+                let id = b.new_node(
+                    WKind::Input {
+                        name: pname.clone(),
+                    },
+                    w,
+                );
                 input_bindings.insert(pname.clone(), id);
                 input_ids.push(id);
             }
@@ -53,7 +58,13 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, VerilogError> 
         }
     }
 
-    let out_map = elab_module(&mut b, top_mod, String::new(), &HashMap::new(), &input_bindings)?;
+    let out_map = elab_module(
+        &mut b,
+        top_mod,
+        String::new(),
+        &HashMap::new(),
+        &input_bindings,
+    )?;
     let mut outputs = Vec::new();
     for pname in &top_mod.port_order {
         if dirs.get(pname.as_str()) == Some(&Dir::Output) {
@@ -62,7 +73,13 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, VerilogError> 
         }
     }
 
-    let mut netlist = Netlist { name: top.to_owned(), nodes: b.nodes, inputs: input_ids, outputs, regs: b.regs };
+    let mut netlist = Netlist {
+        name: top.to_owned(),
+        nodes: b.nodes,
+        inputs: input_ids,
+        outputs,
+        regs: b.regs,
+    };
     resolve(&mut netlist, &b.net_target)?;
     Ok(netlist)
 }
@@ -84,11 +101,15 @@ fn port_width(m: &Module, port: &str) -> Result<u32, VerilogError> {
     let mut params = HashMap::new();
     for item in &m.items {
         match item {
-            Item::ParamDecl { name, value, line, .. } => {
+            Item::ParamDecl {
+                name, value, line, ..
+            } => {
                 let v = const_eval(value, &params, *line)?;
                 params.insert(name.clone(), v);
             }
-            Item::PortDecl { range, names, line, .. } if names.iter().any(|n| n == port) => {
+            Item::PortDecl {
+                range, names, line, ..
+            } if names.iter().any(|n| n == port) => {
                 return range_width(range.as_ref(), &params, *line);
             }
             _ => {}
@@ -111,7 +132,10 @@ fn range_width(
                 return Err(VerilogError::at(line, "only [msb:0] ranges are supported"));
             }
             if msb >= 64 {
-                return Err(VerilogError::at(line, format!("width {} exceeds 64-bit subset limit", msb + 1)));
+                return Err(VerilogError::at(
+                    line,
+                    format!("width {} exceeds 64-bit subset limit", msb + 1),
+                ));
             }
             Ok(msb as u32 + 1)
         }
@@ -132,7 +156,7 @@ struct Builder<'a> {
 
 impl Builder<'_> {
     fn new_node(&mut self, kind: WKind, width: u32) -> WId {
-        debug_assert!(width >= 1 && width <= 64);
+        debug_assert!((1..=64).contains(&width));
         let id = self.nodes.len() as WId;
         self.nodes.push(WNode { kind, width });
         id
@@ -143,7 +167,12 @@ impl Builder<'_> {
     }
 
     fn constant(&mut self, value: u64, width: u32) -> WId {
-        self.new_node(WKind::Const { value: value & mask(width) }, width)
+        self.new_node(
+            WKind::Const {
+                value: value & mask(width),
+            },
+            width,
+        )
     }
 
     /// Zero-extends or truncates `id` to `width`.
@@ -155,24 +184,46 @@ impl Builder<'_> {
             self.new_node(WKind::Slice { a: id, lsb: 0 }, width)
         } else {
             let pad = self.constant(0, width - w);
-            self.new_node(WKind::Concat { parts: vec![id, pad] }, width)
+            self.new_node(
+                WKind::Concat {
+                    parts: vec![id, pad],
+                },
+                width,
+            )
         }
     }
 
     /// Reduction-OR truthiness.
+    #[allow(clippy::wrong_self_convention)] // builds a node; must be `&mut self`
     fn to_bool(&mut self, id: WId) -> WId {
         if self.width(id) == 1 {
             id
         } else {
-            self.new_node(WKind::Unary { op: WUnaryOp::RedOr, a: id }, 1)
+            self.new_node(
+                WKind::Unary {
+                    op: WUnaryOp::RedOr,
+                    a: id,
+                },
+                1,
+            )
         }
     }
 
     /// `{old[w-1:lsb+fw], val, old[lsb-1:0]}` — field update.
-    fn splice(&mut self, old: WId, lsb: u32, fw: u32, val: WId, line: u32) -> Result<WId, VerilogError> {
+    fn splice(
+        &mut self,
+        old: WId,
+        lsb: u32,
+        fw: u32,
+        val: WId,
+        line: u32,
+    ) -> Result<WId, VerilogError> {
         let w = self.width(old);
         if lsb + fw > w {
-            return Err(VerilogError::at(line, format!("part select [{}:{}] exceeds width {w}", lsb + fw - 1, lsb)));
+            return Err(VerilogError::at(
+                line,
+                format!("part select [{}:{}] exceeds width {w}", lsb + fw - 1, lsb),
+            ));
         }
         let val = self.coerce(val, fw);
         let mut parts = Vec::new();
@@ -182,7 +233,13 @@ impl Builder<'_> {
         }
         parts.push(val);
         if lsb + fw < w {
-            let hi = self.new_node(WKind::Slice { a: old, lsb: lsb + fw }, w - lsb - fw);
+            let hi = self.new_node(
+                WKind::Slice {
+                    a: old,
+                    lsb: lsb + fw,
+                },
+                w - lsb - fw,
+            );
             parts.push(hi);
         }
         if parts.len() == 1 {
@@ -201,7 +258,10 @@ fn const_eval(e: &Expr, params: &HashMap<String, u64>, line: u32) -> Result<u64,
     let v = match e {
         Expr::Number { value, zmask, .. } => {
             if *zmask != 0 {
-                return Err(VerilogError::at(line, "z/? digits only allowed in casez labels"));
+                return Err(VerilogError::at(
+                    line,
+                    "z/? digits only allowed in casez labels",
+                ));
             }
             *value
         }
@@ -214,7 +274,12 @@ fn const_eval(e: &Expr, params: &HashMap<String, u64>, line: u32) -> Result<u64,
                 UnaryOp::Neg => a.wrapping_neg(),
                 UnaryOp::BitNot => !a,
                 UnaryOp::LogNot => (a == 0) as u64,
-                _ => return Err(VerilogError::at(line, "reduction not allowed in constant expression")),
+                _ => {
+                    return Err(VerilogError::at(
+                        line,
+                        "reduction not allowed in constant expression",
+                    ))
+                }
             }
         }
         Expr::Binary { op, lhs, rhs } => {
@@ -252,7 +317,11 @@ fn const_eval(e: &Expr, params: &HashMap<String, u64>, line: u32) -> Result<u64,
                 BinaryOp::LogOr => (a != 0 || b != 0) as u64,
             }
         }
-        Expr::Ternary { cond, then_e, else_e } => {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             if const_eval(cond, params, line)? != 0 {
                 const_eval(then_e, params, line)?
             } else {
@@ -310,7 +379,13 @@ fn elab_module(
     // Phase A: parameters.
     let mut params = HashMap::new();
     for item in &module.items {
-        if let Item::ParamDecl { name, value, local, line } = item {
+        if let Item::ParamDecl {
+            name,
+            value,
+            local,
+            line,
+        } = item
+        {
             let v = if !*local && param_overrides.contains_key(name) {
                 param_overrides[name]
             } else {
@@ -339,21 +414,33 @@ fn elab_module(
     let mut raw: HashMap<String, RawDecl> = HashMap::new();
     for item in &module.items {
         let (names, range, is_reg, dir, line) = match item {
-            Item::NetDecl { kind, range, names, line } => {
-                (names, range.as_ref(), *kind == NetKind::Reg, None, *line)
-            }
-            Item::PortDecl { dir, reg, range, names, line } => {
-                (names, range.as_ref(), *reg, Some(*dir), *line)
-            }
+            Item::NetDecl {
+                kind,
+                range,
+                names,
+                line,
+            } => (names, range.as_ref(), *kind == NetKind::Reg, None, *line),
+            Item::PortDecl {
+                dir,
+                reg,
+                range,
+                names,
+                line,
+            } => (names, range.as_ref(), *reg, Some(*dir), *line),
             _ => continue,
         };
-        let w = range.map(|r| range_width(Some(r), &params, line)).transpose()?;
+        let w = range
+            .map(|r| range_width(Some(r), &params, line))
+            .transpose()?;
         for n in names {
             let e = raw.entry(n.clone()).or_default();
             if let Some(w) = w {
                 if let Some(prev) = e.width {
                     if prev != w {
-                        return Err(VerilogError::at(line, format!("conflicting widths for '{n}'")));
+                        return Err(VerilogError::at(
+                            line,
+                            format!("conflicting widths for '{n}'"),
+                        ));
                     }
                 }
                 e.width = Some(w);
@@ -382,7 +469,10 @@ fn elab_module(
                 blk_targets.extend(blocking);
             } else {
                 if !nonblocking.is_empty() {
-                    return Err(VerilogError::at(a.line, "non-blocking assignment in combinational always block"));
+                    return Err(VerilogError::at(
+                        a.line,
+                        "non-blocking assignment in combinational always block",
+                    ));
                 }
                 blk_targets.extend(blocking);
             }
@@ -396,7 +486,11 @@ fn elab_module(
     }
 
     // Phase D: create net placeholders, bind inputs, create registers.
-    let mut scope = Scope { prefix, params, decls: HashMap::new() };
+    let mut scope = Scope {
+        prefix,
+        params,
+        decls: HashMap::new(),
+    };
     let raw_names: Vec<String> = {
         let mut v: Vec<_> = raw.keys().cloned().collect();
         v.sort();
@@ -407,7 +501,15 @@ fn elab_module(
         let width = rd.width.unwrap_or(1);
         let full = scope.full(name);
         let node = b.new_node(WKind::Net { name: full }, width);
-        scope.decls.insert(name.clone(), Decl { width, dir: rd.dir, line: rd.line, node });
+        scope.decls.insert(
+            name.clone(),
+            Decl {
+                width,
+                dir: rd.dir,
+                line: rd.line,
+                node,
+            },
+        );
     }
     for name in &raw_names {
         let rd = &raw[name];
@@ -420,13 +522,19 @@ fn elab_module(
                 let bound = b.coerce(bound, d.width);
                 b.net_target.insert(d.node, bound);
                 if nb_targets.contains(name) || blk_targets.contains(name) {
-                    return Err(VerilogError::at(d.line, format!("assignment to input port '{name}'")));
+                    return Err(VerilogError::at(
+                        d.line,
+                        format!("assignment to input port '{name}'"),
+                    ));
                 }
             }
             _ => {
                 if nb_targets.contains(name) {
                     if !rd.is_reg {
-                        return Err(VerilogError::at(d.line, format!("sequential target '{name}' must be declared reg")));
+                        return Err(VerilogError::at(
+                            d.line,
+                            format!("sequential target '{name}' must be declared reg"),
+                        ));
                     }
                     let reg_idx = b.regs.len() as u32;
                     let q = b.new_node(WKind::RegQ { reg: reg_idx }, d.width);
@@ -464,7 +572,10 @@ fn elab_module(
                         let d = scope.decl(&name, a.line)?;
                         let q = b.net_target[&d.node];
                         let WKind::RegQ { reg } = b.nodes[q as usize].kind else {
-                            return Err(VerilogError::at(a.line, format!("'{name}' is not a register")));
+                            return Err(VerilogError::at(
+                                a.line,
+                                format!("'{name}' is not a register"),
+                            ));
                         };
                         let id = b.coerce(id, d.width);
                         b.regs[reg as usize].next = id;
@@ -474,21 +585,32 @@ fn elab_module(
                         // combinational nets.
                         let d = scope.decl(&name, a.line)?.clone();
                         let id = b.coerce(id, d.width);
-                        drivers.entry(name).or_default().push((0, d.width, id, a.line));
+                        drivers
+                            .entry(name)
+                            .or_default()
+                            .push((0, d.width, id, a.line));
                     }
                 } else {
                     for (name, id) in env.read {
                         let d = scope.decl(&name, a.line)?.clone();
                         let id = b.coerce(id, d.width);
-                        drivers.entry(name).or_default().push((0, d.width, id, a.line));
+                        drivers
+                            .entry(name)
+                            .or_default()
+                            .push((0, d.width, id, a.line));
                     }
                 }
             }
-            Item::Instance { module: child_name, name: inst, params: povr, conns, line } => {
-                let child = b
-                    .file
-                    .module(child_name)
-                    .ok_or_else(|| VerilogError::at(*line, format!("unknown module '{child_name}'")))?;
+            Item::Instance {
+                module: child_name,
+                name: inst,
+                params: povr,
+                conns,
+                line,
+            } => {
+                let child = b.file.module(child_name).ok_or_else(|| {
+                    VerilogError::at(*line, format!("unknown module '{child_name}'"))
+                })?;
                 let mut overrides = HashMap::new();
                 for (pn, pe) in povr {
                     overrides.insert(pn.clone(), const_eval(pe, &scope.params, *line)?);
@@ -557,7 +679,10 @@ fn elab_module(
     for (name, mut slices) in drivers {
         let d = scope.decl(&name, module.line)?.clone();
         if d.dir == Some(Dir::Input) {
-            return Err(VerilogError::at(d.line, format!("assignment to input port '{name}'")));
+            return Err(VerilogError::at(
+                d.line,
+                format!("assignment to input port '{name}'"),
+            ));
         }
         slices.sort_by_key(|s| s.0);
         let combined = if slices.len() == 1 && slices[0].0 == 0 && slices[0].1 == d.width {
@@ -567,16 +692,25 @@ fn elab_module(
             let mut at = 0u32;
             for (lsb, w, id, line) in &slices {
                 if *lsb < at {
-                    return Err(VerilogError::at(*line, format!("net '{name}' multiply driven at bit {lsb}")));
+                    return Err(VerilogError::at(
+                        *line,
+                        format!("net '{name}' multiply driven at bit {lsb}"),
+                    ));
                 }
                 if *lsb > at {
-                    return Err(VerilogError::at(*line, format!("net '{name}' bits [{}:{}] undriven", lsb - 1, at)));
+                    return Err(VerilogError::at(
+                        *line,
+                        format!("net '{name}' bits [{}:{}] undriven", lsb - 1, at),
+                    ));
                 }
                 parts.push(*id);
                 at += w;
             }
             if at != d.width {
-                return Err(VerilogError::at(d.line, format!("net '{name}' bits [{}:{}] undriven", d.width - 1, at)));
+                return Err(VerilogError::at(
+                    d.line,
+                    format!("net '{name}' bits [{}:{}] undriven", d.width - 1, at),
+                ));
             }
             if parts.len() == 1 {
                 parts[0]
@@ -585,7 +719,10 @@ fn elab_module(
             }
         };
         if b.net_target.contains_key(&d.node) {
-            return Err(VerilogError::at(d.line, format!("net '{name}' multiply driven")));
+            return Err(VerilogError::at(
+                d.line,
+                format!("net '{name}' multiply driven"),
+            ));
         }
         b.net_target.insert(d.node, combined);
     }
@@ -603,10 +740,15 @@ fn elab_module(
 fn expr_as_lvalue(e: &Expr, line: u32) -> Result<LValue, VerilogError> {
     match e {
         Expr::Ident(n) => Ok(LValue::Ident(n.clone())),
-        Expr::Bit { base, index } => Ok(LValue::Bit { name: base.clone(), index: (**index).clone() }),
-        Expr::Part { base, msb, lsb } => {
-            Ok(LValue::Part { name: base.clone(), msb: (**msb).clone(), lsb: (**lsb).clone() })
-        }
+        Expr::Bit { base, index } => Ok(LValue::Bit {
+            name: base.clone(),
+            index: (**index).clone(),
+        }),
+        Expr::Part { base, msb, lsb } => Ok(LValue::Part {
+            name: base.clone(),
+            msb: (**msb).clone(),
+            lsb: (**lsb).clone(),
+        }),
         Expr::Concat(parts) => {
             let mut lvs = Vec::new();
             for p in parts {
@@ -614,7 +756,10 @@ fn expr_as_lvalue(e: &Expr, line: u32) -> Result<LValue, VerilogError> {
             }
             Ok(LValue::Concat(lvs))
         }
-        _ => Err(VerilogError::at(line, "instance output must connect to a net/bit/part/concat")),
+        _ => Err(VerilogError::at(
+            line,
+            "instance output must connect to a net/bit/part/concat",
+        )),
     }
 }
 
@@ -658,7 +803,10 @@ fn assign_lvalue(
         LValue::Bit { name, index } => {
             let idx = const_eval(index, &scope.params, line)? as u32;
             let id = b.coerce(rhs, 1);
-            drivers.entry(name.clone()).or_default().push((idx, 1, id, line));
+            drivers
+                .entry(name.clone())
+                .or_default()
+                .push((idx, 1, id, line));
         }
         LValue::Part { name, msb, lsb } => {
             let m = const_eval(msb, &scope.params, line)? as u32;
@@ -668,7 +816,10 @@ fn assign_lvalue(
             }
             let w = m - l + 1;
             let id = b.coerce(rhs, w);
-            drivers.entry(name.clone()).or_default().push((l, w, id, line));
+            drivers
+                .entry(name.clone())
+                .or_default()
+                .push((l, w, id, line));
         }
         LValue::Concat(parts) => {
             // MSB-first parts; distribute rhs slices from the top down.
@@ -698,7 +849,9 @@ fn collect_targets(stmt: &Stmt, blocking: &mut HashSet<String>, nonblocking: &mu
                 collect_targets(s, blocking, nonblocking);
             }
         }
-        Stmt::If { then_br, else_br, .. } => {
+        Stmt::If {
+            then_br, else_br, ..
+        } => {
             collect_targets(then_br, blocking, nonblocking);
             if let Some(e) = else_br {
                 collect_targets(e, blocking, nonblocking);
@@ -712,7 +865,11 @@ fn collect_targets(stmt: &Stmt, blocking: &mut HashSet<String>, nonblocking: &mu
                 collect_targets(d, blocking, nonblocking);
             }
         }
-        Stmt::Assign { lhs, blocking: is_blocking, .. } => {
+        Stmt::Assign {
+            lhs,
+            blocking: is_blocking,
+            ..
+        } => {
             let set = if *is_blocking { blocking } else { nonblocking };
             collect_lvalue_names(lhs, set);
         }
@@ -748,6 +905,7 @@ struct Env {
     nb: HashMap<String, WId>,
 }
 
+#[allow(clippy::only_used_in_recursion)] // `seq` is threaded to nested blocks
 fn exec_stmt(
     b: &mut Builder,
     scope: &Scope,
@@ -764,12 +922,21 @@ fn exec_stmt(
             }
             Ok(())
         }
-        Stmt::Assign { lhs, rhs, blocking, line } => {
+        Stmt::Assign {
+            lhs,
+            rhs,
+            blocking,
+            line,
+        } => {
             let rid = lower_expr(b, scope, Some(&env.read), rhs, *line)?;
             let map_is_nb = !*blocking;
             exec_write(b, scope, lhs, rid, env, map_is_nb, *line)
         }
-        Stmt::If { cond, then_br, else_br } => {
+        Stmt::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
             let cid = lower_expr(b, scope, Some(&env.read), cond, line)?;
             let cid = b.to_bool(cid);
             let mut then_env = env.clone();
@@ -781,7 +948,12 @@ fn exec_stmt(
             *env = merge_env(b, scope, cid, &then_env, &else_env, line)?;
             Ok(())
         }
-        Stmt::Case { wildcard, subject, arms, default } => {
+        Stmt::Case {
+            wildcard,
+            subject,
+            arms,
+            default,
+        } => {
             let sid = lower_expr(b, scope, Some(&env.read), subject, line)?;
             let sw = b.width(sid);
             // Evaluate arm bodies on clones of the incoming env.
@@ -795,7 +967,14 @@ fn exec_stmt(
                     let c = case_label_match(b, scope, env, sid, sw, label, *wildcard, line)?;
                     cond = Some(match cond {
                         None => c,
-                        Some(prev) => b.new_node(WKind::Binary { op: WBinaryOp::Or, a: prev, b: c }, 1),
+                        Some(prev) => b.new_node(
+                            WKind::Binary {
+                                op: WBinaryOp::Or,
+                                a: prev,
+                                b: c,
+                            },
+                            1,
+                        ),
                     });
                 }
                 let cond = cond.ok_or_else(|| VerilogError::at(line, "case arm without labels"))?;
@@ -809,6 +988,7 @@ fn exec_stmt(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the full case-arm lowering context
 fn case_label_match(
     b: &mut Builder,
     scope: &Scope,
@@ -826,21 +1006,48 @@ fn case_label_match(
                 sid
             } else {
                 let m = b.constant(keep, sw);
-                b.new_node(WKind::Binary { op: WBinaryOp::And, a: sid, b: m }, sw)
+                b.new_node(
+                    WKind::Binary {
+                        op: WBinaryOp::And,
+                        a: sid,
+                        b: m,
+                    },
+                    sw,
+                )
             };
             let want = b.constant(value & keep, sw);
-            return Ok(b.new_node(WKind::Binary { op: WBinaryOp::Eq, a: masked, b: want }, 1));
+            return Ok(b.new_node(
+                WKind::Binary {
+                    op: WBinaryOp::Eq,
+                    a: masked,
+                    b: want,
+                },
+                1,
+            ));
         }
     }
     let lid = lower_expr(b, scope, Some(&env.read), label, line)?;
     let lid = b.coerce(lid, sw);
-    Ok(b.new_node(WKind::Binary { op: WBinaryOp::Eq, a: sid, b: lid }, 1))
+    Ok(b.new_node(
+        WKind::Binary {
+            op: WBinaryOp::Eq,
+            a: sid,
+            b: lid,
+        },
+        1,
+    ))
 }
 
 /// Current value of `name` for splicing: pending write, else the net itself
 /// (register hold / combinational self-reference, the latter caught later as
 /// a latch-inference cycle).
-fn pending_value(_b: &Builder, scope: &Scope, map: &HashMap<String, WId>, name: &str, line: u32) -> Result<WId, VerilogError> {
+fn pending_value(
+    _b: &Builder,
+    scope: &Scope,
+    map: &HashMap<String, WId>,
+    name: &str,
+    line: u32,
+) -> Result<WId, VerilogError> {
     if let Some(&v) = map.get(name) {
         return Ok(v);
     }
@@ -879,12 +1086,46 @@ fn exec_write(
                     let iid = lower_expr(b, scope, Some(&env.read), index, line)?;
                     let one = b.constant(1, w);
                     let iid_w = b.coerce(iid, w.max(6));
-                    let bitm = b.new_node(WKind::Binary { op: WBinaryOp::Shl, a: one, b: iid_w }, w);
-                    let notm = b.new_node(WKind::Unary { op: WUnaryOp::Not, a: bitm }, w);
-                    let cleared = b.new_node(WKind::Binary { op: WBinaryOp::And, a: old, b: notm }, w);
+                    let bitm = b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::Shl,
+                            a: one,
+                            b: iid_w,
+                        },
+                        w,
+                    );
+                    let notm = b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: bitm,
+                        },
+                        w,
+                    );
+                    let cleared = b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::And,
+                            a: old,
+                            b: notm,
+                        },
+                        w,
+                    );
                     let v1 = b.coerce(val, w);
-                    let shifted = b.new_node(WKind::Binary { op: WBinaryOp::Shl, a: v1, b: iid_w }, w);
-                    b.new_node(WKind::Binary { op: WBinaryOp::Or, a: cleared, b: shifted }, w)
+                    let shifted = b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::Shl,
+                            a: v1,
+                            b: iid_w,
+                        },
+                        w,
+                    );
+                    b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::Or,
+                            a: cleared,
+                            b: shifted,
+                        },
+                        w,
+                    )
                 }
             };
             if nb {
@@ -972,7 +1213,17 @@ fn merge_map(
         let w = b.width(tv).max(b.width(fv));
         let tvc = b.coerce(tv, w);
         let fvc = b.coerce(fv, w);
-        out.insert(k.clone(), b.new_node(WKind::Mux { cond, t: tvc, f: fvc }, w));
+        out.insert(
+            k.clone(),
+            b.new_node(
+                WKind::Mux {
+                    cond,
+                    t: tvc,
+                    f: fvc,
+                },
+                w,
+            ),
+        );
     }
     Ok(out)
 }
@@ -989,9 +1240,16 @@ fn lower_expr(
     line: u32,
 ) -> Result<WId, VerilogError> {
     let id = match e {
-        Expr::Number { width, value, zmask } => {
+        Expr::Number {
+            width,
+            value,
+            zmask,
+        } => {
             if *zmask != 0 {
-                return Err(VerilogError::at(line, "z/? digits only allowed in casez labels"));
+                return Err(VerilogError::at(
+                    line,
+                    "z/? digits only allowed in casez labels",
+                ));
             }
             let w = width.unwrap_or_else(|| if *value > u32::MAX as u64 { 64 } else { 32 });
             b.constant(*value, w)
@@ -1010,26 +1268,98 @@ fn lower_expr(
             let a = lower_expr(b, scope, env, operand, line)?;
             let aw = b.width(a);
             match op {
-                UnaryOp::BitNot => b.new_node(WKind::Unary { op: WUnaryOp::Not, a }, aw),
-                UnaryOp::Neg => b.new_node(WKind::Unary { op: WUnaryOp::Neg, a }, aw),
+                UnaryOp::BitNot => b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::Not,
+                        a,
+                    },
+                    aw,
+                ),
+                UnaryOp::Neg => b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::Neg,
+                        a,
+                    },
+                    aw,
+                ),
                 UnaryOp::LogNot => {
                     let t = b.to_bool(a);
-                    b.new_node(WKind::Unary { op: WUnaryOp::Not, a: t }, 1)
+                    b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: t,
+                        },
+                        1,
+                    )
                 }
-                UnaryOp::RedAnd => b.new_node(WKind::Unary { op: WUnaryOp::RedAnd, a }, 1),
-                UnaryOp::RedOr => b.new_node(WKind::Unary { op: WUnaryOp::RedOr, a }, 1),
-                UnaryOp::RedXor => b.new_node(WKind::Unary { op: WUnaryOp::RedXor, a }, 1),
+                UnaryOp::RedAnd => b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::RedAnd,
+                        a,
+                    },
+                    1,
+                ),
+                UnaryOp::RedOr => b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::RedOr,
+                        a,
+                    },
+                    1,
+                ),
+                UnaryOp::RedXor => b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::RedXor,
+                        a,
+                    },
+                    1,
+                ),
                 UnaryOp::RedNand => {
-                    let r = b.new_node(WKind::Unary { op: WUnaryOp::RedAnd, a }, 1);
-                    b.new_node(WKind::Unary { op: WUnaryOp::Not, a: r }, 1)
+                    let r = b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::RedAnd,
+                            a,
+                        },
+                        1,
+                    );
+                    b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: r,
+                        },
+                        1,
+                    )
                 }
                 UnaryOp::RedNor => {
-                    let r = b.new_node(WKind::Unary { op: WUnaryOp::RedOr, a }, 1);
-                    b.new_node(WKind::Unary { op: WUnaryOp::Not, a: r }, 1)
+                    let r = b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::RedOr,
+                            a,
+                        },
+                        1,
+                    );
+                    b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: r,
+                        },
+                        1,
+                    )
                 }
                 UnaryOp::RedXnor => {
-                    let r = b.new_node(WKind::Unary { op: WUnaryOp::RedXor, a }, 1);
-                    b.new_node(WKind::Unary { op: WUnaryOp::Not, a: r }, 1)
+                    let r = b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::RedXor,
+                            a,
+                        },
+                        1,
+                    );
+                    b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: r,
+                        },
+                        1,
+                    )
                 }
             }
         }
@@ -1038,7 +1368,11 @@ fn lower_expr(
             let b0 = lower_expr(b, scope, env, rhs, line)?;
             lower_binary(b, *op, a0, b0, line)?
         }
-        Expr::Ternary { cond, then_e, else_e } => {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             let c = lower_expr(b, scope, env, cond, line)?;
             let c = b.to_bool(c);
             let t = lower_expr(b, scope, env, then_e, line)?;
@@ -1058,7 +1392,10 @@ fn lower_expr(
                 ids.push(id);
             }
             if width > 64 {
-                return Err(VerilogError::at(line, format!("concatenation width {width} exceeds 64")));
+                return Err(VerilogError::at(
+                    line,
+                    format!("concatenation width {width} exceeds 64"),
+                ));
             }
             b.new_node(WKind::Concat { parts: ids }, width)
         }
@@ -1068,7 +1405,10 @@ fn lower_expr(
             let w = b.width(id);
             let total = c as u32 * w;
             if c == 0 || total > 64 {
-                return Err(VerilogError::at(line, format!("replication width {total} out of range")));
+                return Err(VerilogError::at(
+                    line,
+                    format!("replication width {total} out of range"),
+                ));
             }
             let ids = vec![id; c as usize];
             b.new_node(WKind::Concat { parts: ids }, total)
@@ -1079,14 +1419,24 @@ fn lower_expr(
             match const_eval(index, &scope.params, line) {
                 Ok(i) => {
                     if i as u32 >= aw {
-                        return Err(VerilogError::at(line, format!("bit index {i} out of range for '{base}'")));
+                        return Err(VerilogError::at(
+                            line,
+                            format!("bit index {i} out of range for '{base}'"),
+                        ));
                     }
                     b.new_node(WKind::Slice { a, lsb: i as u32 }, 1)
                 }
                 Err(_) => {
                     let idx = lower_expr(b, scope, env, index, line)?;
-                    let idx = b.coerce(idx, aw.max(7).min(64));
-                    let sh = b.new_node(WKind::Binary { op: WBinaryOp::Shr, a, b: idx }, aw);
+                    let idx = b.coerce(idx, aw.clamp(7, 64));
+                    let sh = b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::Shr,
+                            a,
+                            b: idx,
+                        },
+                        aw,
+                    );
                     b.new_node(WKind::Slice { a: sh, lsb: 0 }, 1)
                 }
             }
@@ -1097,7 +1447,10 @@ fn lower_expr(
             let m = const_eval(msb, &scope.params, line)? as u32;
             let l = const_eval(lsb, &scope.params, line)? as u32;
             if m < l || m >= aw {
-                return Err(VerilogError::at(line, format!("part select [{m}:{l}] invalid for '{base}' (width {aw})")));
+                return Err(VerilogError::at(
+                    line,
+                    format!("part select [{m}:{l}] invalid for '{base}' (width {aw})"),
+                ));
             }
             b.new_node(WKind::Slice { a, lsb: l }, m - l + 1)
         }
@@ -1119,11 +1472,22 @@ fn lower_base(
     }
 }
 
-fn lower_binary(b: &mut Builder, op: BinaryOp, a0: WId, b0: WId, line: u32) -> Result<WId, VerilogError> {
+fn lower_binary(
+    b: &mut Builder,
+    op: BinaryOp,
+    a0: WId,
+    b0: WId,
+    line: u32,
+) -> Result<WId, VerilogError> {
     let wa = b.width(a0);
     let wb = b.width(b0);
     let id = match op {
-        BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Xnor | BinaryOp::Add | BinaryOp::Sub => {
+        BinaryOp::And
+        | BinaryOp::Or
+        | BinaryOp::Xor
+        | BinaryOp::Xnor
+        | BinaryOp::Add
+        | BinaryOp::Sub => {
             let w = wa.max(wb);
             let a = b.coerce(a0, w);
             let bb = b.coerce(b0, w);
@@ -1137,7 +1501,13 @@ fn lower_binary(b: &mut Builder, op: BinaryOp, a0: WId, b0: WId, line: u32) -> R
             };
             let r = b.new_node(WKind::Binary { op: wop, a, b: bb }, w);
             if op == BinaryOp::Xnor {
-                b.new_node(WKind::Unary { op: WUnaryOp::Not, a: r }, w)
+                b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::Not,
+                        a: r,
+                    },
+                    w,
+                )
             } else {
                 r
             }
@@ -1146,21 +1516,45 @@ fn lower_binary(b: &mut Builder, op: BinaryOp, a0: WId, b0: WId, line: u32) -> R
             let w = (wa + wb).min(64);
             let a = b.coerce(a0, w);
             let bb = b.coerce(b0, w);
-            b.new_node(WKind::Binary { op: WBinaryOp::Mul, a, b: bb }, w)
+            b.new_node(
+                WKind::Binary {
+                    op: WBinaryOp::Mul,
+                    a,
+                    b: bb,
+                },
+                w,
+            )
         }
         BinaryOp::LogAnd | BinaryOp::LogOr => {
             let a = b.to_bool(a0);
             let bb = b.to_bool(b0);
-            let wop = if op == BinaryOp::LogAnd { WBinaryOp::And } else { WBinaryOp::Or };
+            let wop = if op == BinaryOp::LogAnd {
+                WBinaryOp::And
+            } else {
+                WBinaryOp::Or
+            };
             b.new_node(WKind::Binary { op: wop, a, b: bb }, 1)
         }
         BinaryOp::Eq | BinaryOp::Ne => {
             let w = wa.max(wb);
             let a = b.coerce(a0, w);
             let bb = b.coerce(b0, w);
-            let r = b.new_node(WKind::Binary { op: WBinaryOp::Eq, a, b: bb }, 1);
+            let r = b.new_node(
+                WKind::Binary {
+                    op: WBinaryOp::Eq,
+                    a,
+                    b: bb,
+                },
+                1,
+            );
             if op == BinaryOp::Ne {
-                b.new_node(WKind::Unary { op: WUnaryOp::Not, a: r }, 1)
+                b.new_node(
+                    WKind::Unary {
+                        op: WUnaryOp::Not,
+                        a: r,
+                    },
+                    1,
+                )
             } else {
                 r
             }
@@ -1170,23 +1564,74 @@ fn lower_binary(b: &mut Builder, op: BinaryOp, a0: WId, b0: WId, line: u32) -> R
             let a = b.coerce(a0, w);
             let bb = b.coerce(b0, w);
             match op {
-                BinaryOp::Lt => b.new_node(WKind::Binary { op: WBinaryOp::Lt, a, b: bb }, 1),
-                BinaryOp::Gt => b.new_node(WKind::Binary { op: WBinaryOp::Lt, a: bb, b: a }, 1),
+                BinaryOp::Lt => b.new_node(
+                    WKind::Binary {
+                        op: WBinaryOp::Lt,
+                        a,
+                        b: bb,
+                    },
+                    1,
+                ),
+                BinaryOp::Gt => b.new_node(
+                    WKind::Binary {
+                        op: WBinaryOp::Lt,
+                        a: bb,
+                        b: a,
+                    },
+                    1,
+                ),
                 BinaryOp::Le => {
-                    let gt = b.new_node(WKind::Binary { op: WBinaryOp::Lt, a: bb, b: a }, 1);
-                    b.new_node(WKind::Unary { op: WUnaryOp::Not, a: gt }, 1)
+                    let gt = b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::Lt,
+                            a: bb,
+                            b: a,
+                        },
+                        1,
+                    );
+                    b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: gt,
+                        },
+                        1,
+                    )
                 }
                 BinaryOp::Ge => {
-                    let lt = b.new_node(WKind::Binary { op: WBinaryOp::Lt, a, b: bb }, 1);
-                    b.new_node(WKind::Unary { op: WUnaryOp::Not, a: lt }, 1)
+                    let lt = b.new_node(
+                        WKind::Binary {
+                            op: WBinaryOp::Lt,
+                            a,
+                            b: bb,
+                        },
+                        1,
+                    );
+                    b.new_node(
+                        WKind::Unary {
+                            op: WUnaryOp::Not,
+                            a: lt,
+                        },
+                        1,
+                    )
                 }
                 _ => unreachable!(),
             }
         }
         BinaryOp::Shl | BinaryOp::Shr => {
-            let wop = if op == BinaryOp::Shl { WBinaryOp::Shl } else { WBinaryOp::Shr };
+            let wop = if op == BinaryOp::Shl {
+                WBinaryOp::Shl
+            } else {
+                WBinaryOp::Shr
+            };
             let _ = line;
-            b.new_node(WKind::Binary { op: wop, a: a0, b: b0 }, wa)
+            b.new_node(
+                WKind::Binary {
+                    op: wop,
+                    a: a0,
+                    b: b0,
+                },
+                wa,
+            )
         }
     };
     Ok(id)
@@ -1227,7 +1672,9 @@ fn resolve(netlist: &mut Netlist, net_target: &HashMap<WId, WId>) -> Result<(), 
                     match net_target.get(&cur) {
                         Some(&t) => cur = t,
                         None => {
-                            return Err(VerilogError::general(format!("net '{name}' is never driven")));
+                            return Err(VerilogError::general(format!(
+                                "net '{name}' is never driven"
+                            )));
                         }
                     }
                 }
@@ -1271,7 +1718,10 @@ fn resolve(netlist: &mut Netlist, net_target: &HashMap<WId, WId>) -> Result<(), 
                     // Canonicalize fanins in place.
                     let kind = netlist.nodes[top as usize].kind.clone();
                     let new_kind = match kind {
-                        WKind::Unary { op, a } => WKind::Unary { op, a: canon(a, &netlist.nodes, net_target, &mut canonical)? },
+                        WKind::Unary { op, a } => WKind::Unary {
+                            op,
+                            a: canon(a, &netlist.nodes, net_target, &mut canonical)?,
+                        },
                         WKind::Binary { op, a, b: bb } => WKind::Binary {
                             op,
                             a: canon(a, &netlist.nodes, net_target, &mut canonical)?,
@@ -1289,9 +1739,10 @@ fn resolve(netlist: &mut Netlist, net_target: &HashMap<WId, WId>) -> Result<(), 
                             }
                             WKind::Concat { parts: np }
                         }
-                        WKind::Slice { a, lsb } => {
-                            WKind::Slice { a: canon(a, &netlist.nodes, net_target, &mut canonical)?, lsb }
-                        }
+                        WKind::Slice { a, lsb } => WKind::Slice {
+                            a: canon(a, &netlist.nodes, net_target, &mut canonical)?,
+                            lsb,
+                        },
                         other => other,
                     };
                     netlist.nodes[top as usize].kind = new_kind;
@@ -1358,7 +1809,12 @@ fn resolve(netlist: &mut Netlist, net_target: &HashMap<WId, WId>) -> Result<(), 
         netlist.regs[i].next = c;
     }
     for i in 0..netlist.outputs.len() {
-        let c = canon(netlist.outputs[i].1, &netlist.nodes, net_target, &mut canonical)?;
+        let c = canon(
+            netlist.outputs[i].1,
+            &netlist.nodes,
+            net_target,
+            &mut canonical,
+        )?;
         netlist.outputs[i].1 = c;
     }
     Ok(())

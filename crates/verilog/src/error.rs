@@ -15,12 +15,18 @@ pub struct VerilogError {
 impl VerilogError {
     /// Creates an error tied to a source line.
     pub fn at(line: u32, message: impl Into<String>) -> Self {
-        VerilogError { line: Some(line), message: message.into() }
+        VerilogError {
+            line: Some(line),
+            message: message.into(),
+        }
     }
 
     /// Creates an error with no specific source location.
     pub fn general(message: impl Into<String>) -> Self {
-        VerilogError { line: None, message: message.into() }
+        VerilogError {
+            line: None,
+            message: message.into(),
+        }
     }
 }
 

@@ -244,7 +244,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, VerilogError> {
                     b'`' => {
                         // Compiler directives are not part of the subset; the
                         // generator never emits them.
-                        return Err(VerilogError::at(line, "compiler directives (`) unsupported"));
+                        return Err(VerilogError::at(
+                            line,
+                            "compiler directives (`) unsupported",
+                        ));
                     }
                     other => {
                         return Err(VerilogError::at(
@@ -280,12 +283,22 @@ fn lex_number(src: &str, mut i: usize, line: u32) -> Result<(Tok, usize), Verilo
             .map_err(|_| VerilogError::at(line, "invalid decimal literal"))?;
         if i < n && bytes[i] == b'\'' {
             if val == 0 || val > 64 {
-                return Err(VerilogError::at(line, format!("literal width {val} out of range 1..=64")));
+                return Err(VerilogError::at(
+                    line,
+                    format!("literal width {val} out of range 1..=64"),
+                ));
             }
             width = Some(val as u32);
         } else {
             // Plain decimal number: unsized (32-bit by convention).
-            return Ok((Tok::Number { width: None, value: val, zmask: 0 }, i));
+            return Ok((
+                Tok::Number {
+                    width: None,
+                    value: val,
+                    zmask: 0,
+                },
+                i,
+            ));
         }
     }
 
@@ -301,13 +314,16 @@ fn lex_number(src: &str, mut i: usize, line: u32) -> Result<(Tok, usize), Verilo
         b'o' => 3,
         b'd' => 0,
         b'h' => 4,
-        _ => return Err(VerilogError::at(line, format!("unknown base '{}'", base_char as char))),
+        _ => {
+            return Err(VerilogError::at(
+                line,
+                format!("unknown base '{}'", base_char as char),
+            ))
+        }
     };
     i += 1;
     let start = i;
-    while i < n
-        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'?')
-    {
+    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'?') {
         i += 1;
     }
     let body: Vec<u8> = src[start..i].bytes().filter(|&c| c != b'_').collect();
@@ -322,10 +338,20 @@ fn lex_number(src: &str, mut i: usize, line: u32) -> Result<(Tok, usize), Verilo
             .map_err(|_| VerilogError::at(line, "invalid decimal digits in based literal"))?;
         if let Some(w) = width {
             if w < 64 && value >= (1u64 << w) {
-                return Err(VerilogError::at(line, format!("value {value} does not fit in {w} bits")));
+                return Err(VerilogError::at(
+                    line,
+                    format!("value {value} does not fit in {w} bits"),
+                ));
             }
         }
-        return Ok((Tok::Number { width, value, zmask: 0 }, i));
+        return Ok((
+            Tok::Number {
+                width,
+                value,
+                zmask: 0,
+            },
+            i,
+        ));
     }
 
     let mut value: u64 = 0;
@@ -358,7 +384,14 @@ fn lex_number(src: &str, mut i: usize, line: u32) -> Result<(Tok, usize), Verilo
             zmask &= mask;
         }
     }
-    Ok((Tok::Number { width, value, zmask }, i))
+    Ok((
+        Tok::Number {
+            width,
+            value,
+            zmask,
+        },
+        i,
+    ))
 }
 
 #[cfg(test)]
@@ -389,7 +422,11 @@ mod tests {
     fn sized_hex_literal() {
         assert_eq!(
             toks("8'hFF"),
-            vec![Tok::Number { width: Some(8), value: 0xFF, zmask: 0 }]
+            vec![Tok::Number {
+                width: Some(8),
+                value: 0xFF,
+                zmask: 0
+            }]
         );
     }
 
@@ -397,13 +434,24 @@ mod tests {
     fn binary_with_underscores_and_z() {
         assert_eq!(
             toks("6'b1_0z?10"),
-            vec![Tok::Number { width: Some(6), value: 0b100010, zmask: 0b001100 }]
+            vec![Tok::Number {
+                width: Some(6),
+                value: 0b100010,
+                zmask: 0b001100
+            }]
         );
     }
 
     #[test]
     fn plain_decimal_is_unsized() {
-        assert_eq!(toks("42"), vec![Tok::Number { width: None, value: 42, zmask: 0 }]);
+        assert_eq!(
+            toks("42"),
+            vec![Tok::Number {
+                width: None,
+                value: 42,
+                zmask: 0
+            }]
+        );
     }
 
     #[test]
@@ -436,7 +484,12 @@ mod tests {
     fn reduction_operator_tokens() {
         assert_eq!(
             toks("~& ~| ~^ ^~"),
-            vec![Tok::TildeAmp, Tok::TildePipe, Tok::TildeCaret, Tok::TildeCaret]
+            vec![
+                Tok::TildeAmp,
+                Tok::TildePipe,
+                Tok::TildeCaret,
+                Tok::TildeCaret
+            ]
         );
     }
 

@@ -65,8 +65,13 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String, VerilogError> {
         match self.bump() {
-            Some(Token { tok: Tok::Ident(s), .. }) => Ok(s),
-            other => Err(self.err(format!("expected identifier, found {:?}", other.map(|t| t.tok)))),
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) => Ok(s),
+            other => Err(self.err(format!(
+                "expected identifier, found {:?}",
+                other.map(|t| t.tok)
+            ))),
         }
     }
 
@@ -98,7 +103,12 @@ impl Parser {
                 let pname = self.ident()?;
                 self.expect(Tok::Eq)?;
                 let value = self.expr()?;
-                items.push(Item::ParamDecl { name: pname, value, local, line: pline });
+                items.push(Item::ParamDecl {
+                    name: pname,
+                    value,
+                    local,
+                    line: pline,
+                });
                 if !self.eat(&Tok::Comma) {
                     break;
                 }
@@ -107,26 +117,24 @@ impl Parser {
         }
 
         // Optional port header: ANSI or plain name list.
-        if self.eat(&Tok::LParen) {
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    match self.peek() {
-                        Some(Tok::Input) | Some(Tok::Output) => {
-                            let (decl, names) = self.ansi_port_decl()?;
-                            port_order.extend(names);
-                            items.push(decl);
-                        }
-                        Some(Tok::Ident(_)) => {
-                            port_order.push(self.ident()?);
-                        }
-                        _ => return Err(self.err("expected port declaration")),
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                match self.peek() {
+                    Some(Tok::Input) | Some(Tok::Output) => {
+                        let (decl, names) = self.ansi_port_decl()?;
+                        port_order.extend(names);
+                        items.push(decl);
                     }
-                    if !self.eat(&Tok::Comma) {
-                        break;
+                    Some(Tok::Ident(_)) => {
+                        port_order.push(self.ident()?);
                     }
+                    _ => return Err(self.err("expected port declaration")),
                 }
-                self.expect(Tok::RParen)?;
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
             }
+            self.expect(Tok::RParen)?;
         }
         self.expect(Tok::Semi)?;
 
@@ -137,7 +145,12 @@ impl Parser {
             items.push(self.item()?);
         }
         self.expect(Tok::Endmodule)?;
-        Ok(Module { name, port_order, items, line })
+        Ok(Module {
+            name,
+            port_order,
+            items,
+            line,
+        })
     }
 
     /// One ANSI header port entry: `input [7:0] a` (single name; additional
@@ -157,7 +170,16 @@ impl Parser {
         }
         let range = self.opt_range()?;
         let name = self.ident()?;
-        Ok((Item::PortDecl { dir, reg, range, names: vec![name.clone()], line }, vec![name]))
+        Ok((
+            Item::PortDecl {
+                dir,
+                reg,
+                range,
+                names: vec![name.clone()],
+                line,
+            },
+            vec![name],
+        ))
     }
 
     fn opt_range(&mut self) -> Result<Option<(Expr, Expr)>, VerilogError> {
@@ -187,7 +209,13 @@ impl Parser {
                 let range = self.opt_range()?;
                 let names = self.name_list()?;
                 self.expect(Tok::Semi)?;
-                Ok(Item::PortDecl { dir, reg, range, names, line })
+                Ok(Item::PortDecl {
+                    dir,
+                    reg,
+                    range,
+                    names,
+                    line,
+                })
             }
             Some(Tok::Wire) | Some(Tok::Reg) => {
                 let kind = if matches!(self.bump().unwrap().tok, Tok::Wire) {
@@ -198,7 +226,12 @@ impl Parser {
                 let range = self.opt_range()?;
                 let names = self.name_list()?;
                 self.expect(Tok::Semi)?;
-                Ok(Item::NetDecl { kind, range, names, line })
+                Ok(Item::NetDecl {
+                    kind,
+                    range,
+                    names,
+                    line,
+                })
             }
             Some(Tok::Parameter) | Some(Tok::Localparam) => {
                 let local = matches!(self.bump().unwrap().tok, Tok::Localparam);
@@ -206,7 +239,12 @@ impl Parser {
                 self.expect(Tok::Eq)?;
                 let value = self.expr()?;
                 self.expect(Tok::Semi)?;
-                Ok(Item::ParamDecl { name, value, local, line })
+                Ok(Item::ParamDecl {
+                    name,
+                    value,
+                    local,
+                    line,
+                })
             }
             Some(Tok::Assign) => {
                 self.bump();
@@ -300,7 +338,11 @@ impl Parser {
                 self.expect(Tok::Dot)?;
                 let pname = self.ident()?;
                 self.expect(Tok::LParen)?;
-                let e = if self.peek() == Some(&Tok::RParen) { None } else { Some(self.expr()?) };
+                let e = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::RParen)?;
                 named.push((pname, e));
                 if !self.eat(&Tok::Comma) {
@@ -319,7 +361,13 @@ impl Parser {
         };
         self.expect(Tok::RParen)?;
         self.expect(Tok::Semi)?;
-        Ok(Item::Instance { module, name, params, conns, line })
+        Ok(Item::Instance {
+            module,
+            name,
+            params,
+            conns,
+            line,
+        })
     }
 
     // ---- statements -----------------------------------------------------
@@ -348,8 +396,16 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let then_br = Box::new(self.stmt()?);
-                let else_br = if self.eat(&Tok::Else) { Some(Box::new(self.stmt()?)) } else { None };
-                Ok(Stmt::If { cond, then_br, else_br })
+                let else_br = if self.eat(&Tok::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_br,
+                    else_br,
+                })
             }
             Some(Tok::Case) | Some(Tok::Casez) => {
                 let wildcard = matches!(self.bump().unwrap().tok, Tok::Casez);
@@ -376,7 +432,12 @@ impl Parser {
                     }
                 }
                 self.bump();
-                Ok(Stmt::Case { wildcard, subject, arms, default })
+                Ok(Stmt::Case {
+                    wildcard,
+                    subject,
+                    arms,
+                    default,
+                })
             }
             Some(Tok::Semi) => {
                 self.bump();
@@ -392,7 +453,12 @@ impl Parser {
                 };
                 let rhs = self.expr()?;
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Assign { lhs, rhs, blocking, line })
+                Ok(Stmt::Assign {
+                    lhs,
+                    rhs,
+                    blocking,
+                    line,
+                })
             }
         }
     }
@@ -412,7 +478,11 @@ impl Parser {
             if self.eat(&Tok::Colon) {
                 let lsb = self.expr()?;
                 self.expect(Tok::RBracket)?;
-                Ok(LValue::Part { name, msb: first, lsb })
+                Ok(LValue::Part {
+                    name,
+                    msb: first,
+                    lsb,
+                })
             } else {
                 self.expect(Tok::RBracket)?;
                 Ok(LValue::Bit { name, index: first })
@@ -474,7 +544,11 @@ impl Parser {
             }
             self.bump();
             let rhs = self.binary(level + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -499,16 +573,27 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr::Unary { op, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            });
         }
         self.primary()
     }
 
     fn primary(&mut self) -> Result<Expr, VerilogError> {
         match self.peek().cloned() {
-            Some(Tok::Number { width, value, zmask }) => {
+            Some(Tok::Number {
+                width,
+                value,
+                zmask,
+            }) => {
                 self.bump();
-                Ok(Expr::Number { width, value, zmask })
+                Ok(Expr::Number {
+                    width,
+                    value,
+                    zmask,
+                })
             }
             Some(Tok::Ident(_)) => {
                 let name = self.ident()?;
@@ -517,10 +602,17 @@ impl Parser {
                     if self.eat(&Tok::Colon) {
                         let lsb = self.expr()?;
                         self.expect(Tok::RBracket)?;
-                        Ok(Expr::Part { base: name, msb: Box::new(first), lsb: Box::new(lsb) })
+                        Ok(Expr::Part {
+                            base: name,
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                        })
                     } else {
                         self.expect(Tok::RBracket)?;
-                        Ok(Expr::Bit { base: name, index: Box::new(first) })
+                        Ok(Expr::Bit {
+                            base: name,
+                            index: Box::new(first),
+                        })
                     }
                 } else {
                     Ok(Expr::Ident(name))
@@ -541,7 +633,10 @@ impl Parser {
                     let inner = self.expr()?;
                     self.expect(Tok::RBrace)?;
                     self.expect(Tok::RBrace)?;
-                    return Ok(Expr::Repeat { count: Box::new(first), inner: Box::new(inner) });
+                    return Ok(Expr::Repeat {
+                        count: Box::new(first),
+                        inner: Box::new(inner),
+                    });
                 }
                 let mut parts = vec![first];
                 while self.eat(&Tok::Comma) {
@@ -577,7 +672,13 @@ mod tests {
         assert_eq!(m.port_order, vec!["clk", "a", "q"]);
         assert_eq!(m.items.len(), 3);
         match &m.items[2] {
-            Item::PortDecl { dir: Dir::Output, reg: true, range: Some(_), names, .. } => {
+            Item::PortDecl {
+                dir: Dir::Output,
+                reg: true,
+                range: Some(_),
+                names,
+                ..
+            } => {
                 assert_eq!(names, &vec!["q".to_string()]);
             }
             other => panic!("bad item {other:?}"),
@@ -610,10 +711,22 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let f = parse_ok("module m; wire [7:0] x; assign x = a + b * c; endmodule");
-        let Item::Assign { rhs, .. } = &f.modules[0].items[1] else { panic!() };
+        let Item::Assign { rhs, .. } = &f.modules[0].items[1] else {
+            panic!()
+        };
         match rhs {
-            Expr::Binary { op: BinaryOp::Add, rhs: r, .. } => {
-                assert!(matches!(**r, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Add,
+                rhs: r,
+                ..
+            } => {
+                assert!(matches!(
+                    **r,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("bad expr {other:?}"),
         }
@@ -622,15 +735,21 @@ mod tests {
     #[test]
     fn ternary_and_comparison() {
         let f = parse_ok("module m; wire x; assign x = a < b ? c : d; endmodule");
-        let Item::Assign { rhs, .. } = &f.modules[0].items[1] else { panic!() };
+        let Item::Assign { rhs, .. } = &f.modules[0].items[1] else {
+            panic!()
+        };
         assert!(matches!(rhs, Expr::Ternary { .. }));
     }
 
     #[test]
     fn concat_and_repeat() {
         let f = parse_ok("module m; wire [15:0] x; assign x = {a, 3'b101, {4{b}}}; endmodule");
-        let Item::Assign { rhs, .. } = &f.modules[0].items[1] else { panic!() };
-        let Expr::Concat(parts) = rhs else { panic!("not concat") };
+        let Item::Assign { rhs, .. } = &f.modules[0].items[1] else {
+            panic!()
+        };
+        let Expr::Concat(parts) = rhs else {
+            panic!("not concat")
+        };
         assert_eq!(parts.len(), 3);
         assert!(matches!(parts[2], Expr::Repeat { .. }));
     }
@@ -644,7 +763,9 @@ mod tests {
                  if (rst) q <= 1'b0; else q <= d;
              endmodule",
         );
-        let Item::Always(a) = &f.modules[0].items[1] else { panic!() };
+        let Item::Always(a) = &f.modules[0].items[1] else {
+            panic!()
+        };
         match &a.sens {
             Sensitivity::Edges(e) => assert_eq!(e.len(), 2),
             _ => panic!("expected edges"),
@@ -654,7 +775,9 @@ mod tests {
     #[test]
     fn always_comb_star() {
         let f = parse_ok("module m; reg x; always @(*) x = y & z; endmodule");
-        let Item::Always(a) = &f.modules[0].items[1] else { panic!() };
+        let Item::Always(a) = &f.modules[0].items[1] else {
+            panic!()
+        };
         assert_eq!(a.sens, Sensitivity::Comb);
     }
 
@@ -671,8 +794,18 @@ mod tests {
                  endcase
              endmodule",
         );
-        let Item::Always(a) = &f.modules[0].items[1] else { panic!() };
-        let Stmt::Case { arms, default, wildcard, .. } = &a.body else { panic!() };
+        let Item::Always(a) = &f.modules[0].items[1] else {
+            panic!()
+        };
+        let Stmt::Case {
+            arms,
+            default,
+            wildcard,
+            ..
+        } = &a.body
+        else {
+            panic!()
+        };
         assert!(!wildcard);
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[1].labels.len(), 2);
@@ -691,8 +824,12 @@ mod tests {
                  endcase
              endmodule",
         );
-        let Item::Always(a) = &f.modules[0].items[1] else { panic!() };
-        let Stmt::Case { wildcard, arms, .. } = &a.body else { panic!() };
+        let Item::Always(a) = &f.modules[0].items[1] else {
+            panic!()
+        };
+        let Stmt::Case { wildcard, arms, .. } = &a.body else {
+            panic!()
+        };
         assert!(*wildcard);
         match &arms[0].labels[0] {
             Expr::Number { zmask, .. } => assert_eq!(*zmask, 0b0111),
@@ -707,7 +844,14 @@ mod tests {
                sub #(.W(8), .D(2)) u0 (.clk(clk), .a(x), .q(y));
              endmodule",
         );
-        let Item::Instance { module, name, params, conns, .. } = &f.modules[0].items[0] else {
+        let Item::Instance {
+            module,
+            name,
+            params,
+            conns,
+            ..
+        } = &f.modules[0].items[0]
+        else {
             panic!()
         };
         assert_eq!(module, "sub");
@@ -722,7 +866,9 @@ mod tests {
     #[test]
     fn ordered_instance() {
         let f = parse_ok("module m; sub u0 (a, b, c); endmodule");
-        let Item::Instance { conns, .. } = &f.modules[0].items[0] else { panic!() };
+        let Item::Instance { conns, .. } = &f.modules[0].items[0] else {
+            panic!()
+        };
         match conns {
             Connections::Ordered(c) => assert_eq!(c.len(), 3),
             _ => panic!("expected ordered"),
@@ -758,16 +904,34 @@ mod tests {
     #[test]
     fn reduction_vs_binary_ampersand() {
         let f = parse_ok("module m; assign x = &a; assign y = a & b; endmodule");
-        let Item::Assign { rhs: r0, .. } = &f.modules[0].items[0] else { panic!() };
-        assert!(matches!(r0, Expr::Unary { op: UnaryOp::RedAnd, .. }));
-        let Item::Assign { rhs: r1, .. } = &f.modules[0].items[1] else { panic!() };
-        assert!(matches!(r1, Expr::Binary { op: BinaryOp::And, .. }));
+        let Item::Assign { rhs: r0, .. } = &f.modules[0].items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            r0,
+            Expr::Unary {
+                op: UnaryOp::RedAnd,
+                ..
+            }
+        ));
+        let Item::Assign { rhs: r1, .. } = &f.modules[0].items[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            r1,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn dynamic_bit_select() {
         let f = parse_ok("module m; assign x = v[i]; endmodule");
-        let Item::Assign { rhs, .. } = &f.modules[0].items[0] else { panic!() };
+        let Item::Assign { rhs, .. } = &f.modules[0].items[0] else {
+            panic!()
+        };
         assert!(matches!(rhs, Expr::Bit { .. }));
     }
 

@@ -20,8 +20,11 @@ pub fn print_source(file: &SourceFile) -> String {
 fn print_module(m: &Module, s: &mut String) {
     write!(s, "module {}", m.name).unwrap();
     // Parameters go in a header block.
-    let params: Vec<&Item> =
-        m.items.iter().filter(|i| matches!(i, Item::ParamDecl { local: false, .. })).collect();
+    let params: Vec<&Item> = m
+        .items
+        .iter()
+        .filter(|i| matches!(i, Item::ParamDecl { local: false, .. }))
+        .collect();
     if !params.is_empty() {
         s.push_str(" #(");
         for (i, p) in params.iter().enumerate() {
@@ -56,14 +59,22 @@ fn range_str(range: &Option<(Expr, Expr)>) -> String {
 
 fn print_item(item: &Item, s: &mut String) {
     match item {
-        Item::NetDecl { kind, range, names, .. } => {
+        Item::NetDecl {
+            kind, range, names, ..
+        } => {
             let kw = match kind {
                 NetKind::Wire => "wire",
                 NetKind::Reg => "reg",
             };
             writeln!(s, "  {kw} {}{};", range_str(range), names.join(", ")).unwrap();
         }
-        Item::PortDecl { dir, reg, range, names, .. } => {
+        Item::PortDecl {
+            dir,
+            reg,
+            range,
+            names,
+            ..
+        } => {
             let d = match dir {
                 Dir::Input => "input",
                 Dir::Output => "output",
@@ -71,7 +82,9 @@ fn print_item(item: &Item, s: &mut String) {
             let r = if *reg { "reg " } else { "" };
             writeln!(s, "  {d} {r}{}{};", range_str(range), names.join(", ")).unwrap();
         }
-        Item::ParamDecl { name, value, local, .. } => {
+        Item::ParamDecl {
+            name, value, local, ..
+        } => {
             let kw = if *local { "localparam" } else { "parameter" };
             writeln!(s, "  {kw} {name} = {};", expr_str(value)).unwrap();
         }
@@ -98,11 +111,19 @@ fn print_item(item: &Item, s: &mut String) {
             writeln!(s, "  always {sens}").unwrap();
             print_stmt(&a.body, s, 2);
         }
-        Item::Instance { module, name, params, conns, .. } => {
+        Item::Instance {
+            module,
+            name,
+            params,
+            conns,
+            ..
+        } => {
             write!(s, "  {module} ").unwrap();
             if !params.is_empty() {
-                let p: Vec<String> =
-                    params.iter().map(|(n, e)| format!(".{n}({})", expr_str(e))).collect();
+                let p: Vec<String> = params
+                    .iter()
+                    .map(|(n, e)| format!(".{n}({})", expr_str(e)))
+                    .collect();
                 write!(s, "#({}) ", p.join(", ")).unwrap();
             }
             write!(s, "{name} (").unwrap();
@@ -144,7 +165,11 @@ fn print_stmt(stmt: &Stmt, s: &mut String, depth: usize) {
             indent(s, depth);
             s.push_str("end\n");
         }
-        Stmt::If { cond, then_br, else_br } => {
+        Stmt::If {
+            cond,
+            then_br,
+            else_br,
+        } => {
             indent(s, depth);
             writeln!(s, "if ({})", expr_str(cond)).unwrap();
             print_stmt(then_br, s, depth + 1);
@@ -154,7 +179,12 @@ fn print_stmt(stmt: &Stmt, s: &mut String, depth: usize) {
                 print_stmt(e, s, depth + 1);
             }
         }
-        Stmt::Case { wildcard, subject, arms, default } => {
+        Stmt::Case {
+            wildcard,
+            subject,
+            arms,
+            default,
+        } => {
             indent(s, depth);
             let kw = if *wildcard { "casez" } else { "case" };
             writeln!(s, "{kw} ({})", expr_str(subject)).unwrap();
@@ -172,7 +202,9 @@ fn print_stmt(stmt: &Stmt, s: &mut String, depth: usize) {
             indent(s, depth);
             s.push_str("endcase\n");
         }
-        Stmt::Assign { lhs, rhs, blocking, .. } => {
+        Stmt::Assign {
+            lhs, rhs, blocking, ..
+        } => {
             indent(s, depth);
             let op = if *blocking { "=" } else { "<=" };
             writeln!(s, "{} {op} {};", lvalue_str(lhs), expr_str(rhs)).unwrap();
@@ -239,7 +271,11 @@ fn binary_str(op: BinaryOp) -> &'static str {
 pub fn expr_str(e: &Expr) -> String {
     match e {
         Expr::Ident(n) => n.clone(),
-        Expr::Number { width, value, zmask } => {
+        Expr::Number {
+            width,
+            value,
+            zmask,
+        } => {
             if *zmask != 0 {
                 // casez label: emit binary with ? for don't-care bits.
                 let w = width.unwrap_or(64);
@@ -263,8 +299,17 @@ pub fn expr_str(e: &Expr) -> String {
         Expr::Binary { op, lhs, rhs } => {
             format!("({} {} {})", expr_str(lhs), binary_str(*op), expr_str(rhs))
         }
-        Expr::Ternary { cond, then_e, else_e } => {
-            format!("({} ? {} : {})", expr_str(cond), expr_str(then_e), expr_str(else_e))
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            format!(
+                "({} ? {} : {})",
+                expr_str(cond),
+                expr_str(then_e),
+                expr_str(else_e)
+            )
         }
         Expr::Concat(parts) => {
             let p: Vec<String> = parts.iter().map(expr_str).collect();

@@ -342,7 +342,11 @@ pub struct WordSim<'a> {
 impl<'a> WordSim<'a> {
     fn new(netlist: &'a Netlist) -> Self {
         let order = netlist.topo_order();
-        let reg_state = netlist.regs.iter().map(|r| r.init & mask(r.width)).collect();
+        let reg_state = netlist
+            .regs
+            .iter()
+            .map(|r| r.init & mask(r.width))
+            .collect();
         WordSim {
             netlist,
             order,

@@ -15,10 +15,15 @@ fn main() {
     let names = ["b17", "b20", "conmax", "Marax", "Vex_2"];
     let sources: Vec<(String, String)> = names
         .iter()
-        .map(|n| ((*n).to_owned(), rtlt_designgen::generate(n).expect("catalog design")))
+        .map(|n| {
+            (
+                (*n).to_owned(),
+                rtlt_designgen::generate(n).expect("catalog design"),
+            )
+        })
         .collect();
     eprintln!("preparing {} designs (synthesis labels)...", sources.len());
-    let set = DesignSet::prepare_named(&sources, &cfg);
+    let set = DesignSet::prepare_named(&sources, &cfg).expect("designs compile");
 
     let (train, test) = set.split(&["conmax"]);
     eprintln!("training RTL-Timer on {} designs ...", train.len());

@@ -25,7 +25,11 @@ fn main() -> Result<(), verilog::VerilogError> {
 
     // 1. Frontend: parse + elaborate to a word-level netlist.
     let netlist = verilog::compile(src, "accumulator")?;
-    println!("netlist: {} registers, {} word ops", netlist.regs().len(), netlist.stats().ops);
+    println!(
+        "netlist: {} registers, {} word ops",
+        netlist.regs().len(),
+        netlist.stats().ops
+    );
 
     // 2. Bit-blast to the SOG Boolean operator graph.
     let sog = bog::blast(&netlist);
@@ -43,8 +47,19 @@ fn main() -> Result<(), verilog::VerilogError> {
 
     // 4. Pseudo-STA on the SOG as a pseudo netlist.
     let lib = liberty::Library::pseudo_bog();
-    let run = sta::Sta::run(&sog, &lib, sta::StaConfig { clock_period: 0.8, ..Default::default() });
-    println!("\npseudo-STA @ 0.8ns clock: WNS {:.3}ns TNS {:.3}ns", run.result().wns, run.result().tns);
+    let run = sta::Sta::run(
+        &sog,
+        &lib,
+        sta::StaConfig {
+            clock_period: 0.8,
+            ..Default::default()
+        },
+    );
+    println!(
+        "\npseudo-STA @ 0.8ns clock: WNS {:.3}ns TNS {:.3}ns",
+        run.result().wns,
+        run.result().tns
+    );
     println!("\nworst 8 endpoints:");
     for row in run.endpoint_report().into_iter().take(8) {
         println!("  {row}");

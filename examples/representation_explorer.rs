@@ -10,8 +10,13 @@ use rtl_timer_repro::{bog, liberty, sta, synth, verilog};
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "b17".to_owned());
     let src = rtlt_designgen::generate(&name).unwrap_or_else(|| {
-        eprintln!("unknown design '{name}', available: {:?}",
-            rtlt_designgen::catalog().iter().map(|d| d.name).collect::<Vec<_>>());
+        eprintln!(
+            "unknown design '{name}', available: {:?}",
+            rtlt_designgen::catalog()
+                .iter()
+                .map(|d| d.name)
+                .collect::<Vec<_>>()
+        );
         std::process::exit(1);
     });
     let netlist = verilog::compile(&src, &name).expect("catalog design compiles");
@@ -29,14 +34,20 @@ fn main() {
     );
 
     let pseudo = liberty::Library::pseudo_bog();
-    println!("{:<6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9}", "repr", "NOT", "AND", "OR/XOR", "MUX", "depth", "R(STA,GT)");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9}",
+        "repr", "NOT", "AND", "OR/XOR", "MUX", "depth", "R(STA,GT)"
+    );
     for v in bog::BogVariant::ALL {
         let g = sog.to_variant(v);
         let s = g.stats();
         let run = sta::Sta::run(
             &g,
             &pseudo,
-            sta::StaConfig { clock_period: res.clock_period, ..Default::default() },
+            sta::StaConfig {
+                clock_period: res.clock_period,
+                ..Default::default()
+            },
         );
         // Correlation of the raw pseudo-STA endpoint arrivals with labels.
         let n = g.regs().len();

@@ -13,10 +13,15 @@ fn main() {
     let names = ["b17", "b17_1", "b20", "Marax", "Vex_2", "FPU"];
     let sources: Vec<(String, String)> = names
         .iter()
-        .map(|n| ((*n).to_owned(), rtlt_designgen::generate(n).expect("catalog design")))
+        .map(|n| {
+            (
+                (*n).to_owned(),
+                rtlt_designgen::generate(n).expect("catalog design"),
+            )
+        })
         .collect();
     eprintln!("preparing {} designs ...", sources.len());
-    let set = DesignSet::prepare_named(&sources, &cfg);
+    let set = DesignSet::prepare_named(&sources, &cfg).expect("designs compile");
 
     let target_name = "FPU";
     let (train, test) = set.split(&[target_name]);

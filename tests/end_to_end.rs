@@ -31,12 +31,15 @@ fn sources() -> Vec<(String, String)> {
 }
 
 fn cfg() -> TimerConfig {
-    TimerConfig { threads: 2, ..Default::default() }
+    TimerConfig {
+        threads: 2,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn full_pipeline_annotates_and_optimizes() {
-    let set = DesignSet::prepare_named(&sources(), &cfg());
+    let set = DesignSet::prepare_named_or_panic(&sources(), &cfg());
     let (train, test) = set.split(&["id"]);
     let model = RtlTimer::fit(&train, &cfg());
     let d = test[0];
@@ -70,10 +73,14 @@ fn full_pipeline_annotates_and_optimizes() {
 
 #[test]
 fn deterministic_preparation_and_prediction() {
-    let set1 = DesignSet::prepare_named(&sources()[..2], &cfg());
-    let set2 = DesignSet::prepare_named(&sources()[..2], &cfg());
+    let set1 = DesignSet::prepare_named_or_panic(&sources()[..2], &cfg());
+    let set2 = DesignSet::prepare_named_or_panic(&sources()[..2], &cfg());
     for (a, b) in set1.designs().iter().zip(set2.designs()) {
-        assert_eq!(a.labels_at, b.labels_at, "{} labels must be reproducible", a.name);
+        assert_eq!(
+            a.labels_at, b.labels_at,
+            "{} labels must be reproducible",
+            a.name
+        );
         assert_eq!(a.wns, b.wns);
         assert_eq!(a.tns, b.tns);
     }
@@ -102,11 +109,14 @@ fn labels_respond_to_structure() {
                  assign q1 = fast;
                  assign q2 = slow;
                endmodule";
-    let set = DesignSet::prepare_named(&[("lt".to_owned(), src.to_owned())], &cfg());
+    let set = DesignSet::prepare_named_or_panic(&[("lt".to_owned(), src.to_owned())], &cfg());
     let d = set.get("lt").unwrap();
     let sig_at = |name: &str| -> f64 {
         let sig = d.signals().iter().find(|s| s.name == name).unwrap();
-        sig.regs.iter().map(|&b| d.labels_at[b as usize]).fold(f64::MIN, f64::max)
+        sig.regs
+            .iter()
+            .map(|&b| d.labels_at[b as usize])
+            .fold(f64::MIN, f64::max)
     };
     assert!(
         sig_at("slow") > sig_at("fast") + 0.05,

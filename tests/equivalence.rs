@@ -24,10 +24,16 @@ fn check_design(name: &str, src: &str, cycles: usize, seed: u64) {
     let mut wsim = netlist.simulator();
     let mut bsims: Vec<BitSim> = graphs.iter().map(BitSim::new).collect();
 
-    let input_names: Vec<String> =
-        netlist.inputs().iter().map(|&i| netlist.input_name(i).to_owned()).collect();
-    let input_widths: Vec<u32> =
-        netlist.inputs().iter().map(|&i| netlist.node(i).width).collect();
+    let input_names: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|&i| netlist.input_name(i).to_owned())
+        .collect();
+    let input_widths: Vec<u32> = netlist
+        .inputs()
+        .iter()
+        .map(|&i| netlist.node(i).width)
+        .collect();
     let outputs: Vec<String> = netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
 
     for _ in 0..cycles {
@@ -47,7 +53,12 @@ fn check_design(name: &str, src: &str, cycles: usize, seed: u64) {
             for (gi, b) in bsims.iter().enumerate() {
                 let got = b.output_word(o)[0]
                     & rtl_timer_repro::verilog::rtlir::mask(
-                        netlist.outputs().iter().find(|(n, _)| n == o).map(|(_, id)| netlist.node(*id).width).unwrap(),
+                        netlist
+                            .outputs()
+                            .iter()
+                            .find(|(n, _)| n == o)
+                            .map(|(_, id)| netlist.node(*id).width)
+                            .unwrap(),
                     );
                 assert_eq!(got, want, "{name}: output {o} mismatch in graph {gi}");
             }
@@ -82,7 +93,7 @@ proptest! {
         } else if op_idx == 6 {
             format!("(a << {shift}) ^ b")
         } else if op_idx == 7 {
-            format!("(a < b) ? (a + b) : (a - b)")
+            "(a < b) ? (a + b) : (a - b)".to_string()
         } else {
             format!("{{a[{h}:0], b[{m}:{h2}]}}", h = width / 2, m = width - 1, h2 = width - 1 - width / 2)
         };
