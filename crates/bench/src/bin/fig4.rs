@@ -4,24 +4,31 @@
 
 use rtl_timer::metrics::rank_groups;
 use rtl_timer::optimize::{path_groups_from_scores, retime_set_from_scores};
-use rtlt_bench::{ascii_histogram, config};
+use rtl_timer::pipeline::PrepareStages;
+use rtlt_bench::{ascii_histogram, positional_args, Bench};
 use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
 
 fn main() {
-    let name = std::env::args()
-        .nth(1)
+    let name = positional_args()
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "b18_1".to_owned());
-    let cfg = config();
+    let bench = Bench::from_env();
+    let cfg = bench.cfg.clone();
     let src = rtlt_designgen::generate(&name).expect("catalog design");
-    let netlist = rtlt_verilog::compile(&src, &name).expect("compiles");
-    let sog = rtlt_bog::blast(&netlist);
+    // Frontend artifacts come from the shared store (compile + blast
+    // namespaces), like every other bench binary.
+    let blasted = PrepareStages::new(&cfg)
+        .blasted_with(&bench.store, &name, &src)
+        .expect("compiles");
+    let sog = &blasted.sog;
     let lib = Library::nangate45_like();
 
     eprintln!("[fig4] default flow ...");
     let seed = cfg.seed ^ 0xF16;
     let default = synthesize(
-        &sog,
+        sog,
         &lib,
         &SynthOptions {
             seed,
@@ -37,7 +44,7 @@ fn main() {
 
     let run = |pg: bool, rt: bool| {
         synthesize(
-            &sog,
+            sog,
             &lib,
             &SynthOptions {
                 seed,

@@ -3,18 +3,20 @@
 //! (c) signal-wise prediction accuracy, (d) optimized arrival distribution.
 
 use rtl_timer::metrics::pearson;
-use rtl_timer::optimize::optimize_design;
+use rtl_timer::optimize::optimize_design_with;
 use rtl_timer::pipeline::RtlTimer;
-use rtlt_bench::{ascii_histogram, config, prepare_suite};
+use rtlt_bench::{ascii_histogram, positional_args, Bench};
 use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
 
 fn main() {
-    let target = std::env::args()
-        .nth(1)
+    let target = positional_args()
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "b18_1".to_owned());
-    let set = prepare_suite();
-    let cfg = config();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
+    let cfg = bench.cfg.clone();
     let (train, test) = set.split(&[target.as_str()]);
     eprintln!("[fig5] training on {} designs ...", train.len());
     let model = RtlTimer::fit(&train, &cfg);
@@ -25,10 +27,10 @@ fn main() {
 
     // (a) Raw pseudo-STA per representation vs ground truth.
     println!("(a) RTL-STA: raw pseudo-STA arrival vs post-synthesis label (R per variant)");
-    let labels: Vec<f64> = d.labels_at.clone();
+    let labels: &[f64] = &d.labels_at;
     for (v, name) in ["SOG", "AIG", "AIMG", "XAG"].iter().enumerate() {
         let at = &d.variant_data[v].endpoint_sta_at;
-        println!("    {name:<5} R = {:+.3}", pearson(at, &labels));
+        println!("    {name:<5} R = {:+.3}", pearson(at, labels));
     }
 
     // (b) Bit-wise predictions.
@@ -53,7 +55,7 @@ fn main() {
 
     // (d) Optimized arrival distribution.
     eprintln!("[fig5] optimization flows ...");
-    let outcome = optimize_design(d, &pred);
+    let outcome = optimize_design_with(d, &pred, &bench.store);
     let lib = Library::nangate45_like();
     let opt = synthesize(
         &d.sog,

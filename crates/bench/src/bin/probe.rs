@@ -2,12 +2,13 @@
 //! Not a paper table — a development aid.
 
 use rtl_timer::pipeline::RtlTimer;
-use rtlt_bench::{config, prepare_suite};
+use rtlt_bench::Bench;
 use std::time::Instant;
 
 fn main() {
-    let set = prepare_suite();
-    let cfg = config();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
+    let cfg = bench.cfg.clone();
     let test_names = ["b18_1", "Vex_3", "conmax"];
     let (train, test) = set.split(&test_names);
     eprintln!("[probe] training on {} designs ...", train.len());

@@ -4,10 +4,10 @@
 
 use rtl_timer::features::PATH_FEATURE_NAMES;
 use rtl_timer::metrics::{mean, pearson};
-use rtlt_bench::{f2, prepare_suite, Table};
+use rtlt_bench::{f2, Bench, Table};
 
 fn main() {
-    let set = prepare_suite();
+    let set = Bench::from_env().prepare_suite();
     let nf = PATH_FEATURE_NAMES.len();
     // Per design, correlation of each feature (critical-path row of each
     // endpoint) with the ground-truth arrival label.

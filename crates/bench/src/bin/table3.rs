@@ -1,11 +1,12 @@
 //! **Table 3** — benchmark design information: family, design count, size
 //! range (pseudo-gates and endpoints) and source-HDL label.
 
-use rtlt_bench::{prepare_suite, Table};
+use rtlt_bench::{Bench, Table};
 use rtlt_designgen::{catalog, Family};
 
 fn main() {
-    let set = prepare_suite();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
     println!("\nTable 3 — benchmark design information\n");
     let mut t = Table::new(&[
         "benchmark",
@@ -81,4 +82,6 @@ fn main() {
     t.print();
     println!("\nPaper scales: 6K-510K gates, 0.2K-146K endpoints (ours ~10x smaller,");
     println!("uniform family mix preserved — see DESIGN.md substitution #2).");
+
+    bench.write_report("table3", Vec::new());
 }

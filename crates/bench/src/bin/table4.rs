@@ -7,7 +7,7 @@ use rtl_timer::baselines::{AstStyle, GnnBaseline, MasterRtlStyle, SignalDirect, 
 use rtl_timer::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use rtl_timer::metrics::{covr, mape, mean, pearson, r_squared};
 use rtl_timer::pipeline::{cross_validate, DesignData};
-use rtlt_bench::{config, f2, folds, pct, prepare_suite, Table};
+use rtlt_bench::{f2, folds, pct, Bench, Table};
 
 fn finite(pred: &[f64], label: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let mut p = Vec::new();
@@ -51,8 +51,9 @@ impl Acc {
 }
 
 fn main() {
-    let set = prepare_suite();
-    let cfg = config();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
+    let cfg = bench.cfg.clone();
     let k = folds();
     eprintln!("[table4] {k}-fold cross-validation (RTL-Timer full stack) ...");
     let preds = cross_validate(&set, k, &cfg);
@@ -72,7 +73,7 @@ fn main() {
     let mut gnn_acc = Acc::default();
     let fold_names = set.folds(k);
     for fold in &fold_names {
-        let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
+        let names: Vec<&str> = fold.iter().map(|s| &**s).collect();
         let (train, test) = set.split(&names);
         if test.is_empty() {
             continue;
@@ -81,7 +82,7 @@ fn main() {
             let corpus = BitwiseCorpus {
                 designs: train
                     .iter()
-                    .map(|d| (&d.variant_data[0], d.labels_at.as_slice()))
+                    .map(|d| (&d.variant_data[0], &d.labels_at[..]))
                     .collect(),
             };
             let model = BitwiseModel::fit(*kind, &corpus, cfg.seed);
@@ -118,7 +119,7 @@ fn main() {
     let mut sig_direct_reg = Acc::default();
     let mut sig_direct_rank_covr: Vec<f64> = Vec::new();
     for fold in &fold_names {
-        let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
+        let names: Vec<&str> = fold.iter().map(|s| &**s).collect();
         let (train, test) = set.split(&names);
         if test.is_empty() {
             continue;
@@ -178,7 +179,7 @@ fn main() {
     let mut label_t = Vec::new();
     let mut ordered_designs: Vec<&DesignData> = Vec::new();
     for fold in &fold_names {
-        let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
+        let names: Vec<&str> = fold.iter().map(|s| &**s).collect();
         let (train, test) = set.split(&names);
         if test.is_empty() {
             continue;

@@ -5,11 +5,12 @@
 use rtl_timer::metrics::{covr, mean, pearson, std_dev};
 use rtl_timer::pipeline::cross_validate;
 use rtl_timer::signal::signal_labels;
-use rtlt_bench::{config, f2, folds, pct, prepare_suite, Table};
+use rtlt_bench::{f2, folds, pct, Bench, Table};
 
 fn main() {
-    let set = prepare_suite();
-    let cfg = config();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
+    let cfg = bench.cfg.clone();
     let k = folds();
     eprintln!("[table5] {k}-fold cross-validation ...");
     let preds = cross_validate(&set, k, &cfg);

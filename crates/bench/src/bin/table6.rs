@@ -3,22 +3,27 @@
 //! predicted vs ground-truth rankings, with the paper's Avg1/Avg2 rows.
 
 use rtl_timer::metrics::mean;
-use rtl_timer::optimize::{optimize_design, FlowMetrics, OptimizationOutcome};
+use rtl_timer::optimize::{optimize_design_with, FlowMetrics, OptimizationOutcome};
 use rtl_timer::pipeline::cross_validate;
-use rtlt_bench::{config, f2, folds, prepare_suite, Table};
+use rtlt_bench::{f2, folds, Bench, Table};
 
 fn main() {
-    let set = prepare_suite();
-    let cfg = config();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
+    let cfg = bench.cfg.clone();
     let k = folds();
     eprintln!("[table6] {k}-fold cross-validation for rankings ...");
     let preds = cross_validate(&set, k, &cfg);
 
     eprintln!("[table6] running optimization flows per design ...");
+    // Candidate flows share the bench store: identical candidates are
+    // deduplicated within this run, and a warm disk cache skips the
+    // synthesis entirely.
+    let store = &bench.store;
     let outcomes: Vec<(OptimizationOutcome, f64, f64)> =
         rtlt_runtime::par_map(cfg.threads, &preds, |p| {
             let d = set.get(&p.design).expect("design");
-            let o = optimize_design(d, p);
+            let o = optimize_design_with(d, p, store);
             (o, p.signal_r(), p.signal_covr_ranking())
         });
 

@@ -1,0 +1,149 @@
+//! Minimal JSON rendering for the machine-readable bench reports
+//! (`BENCH_<bin>.json`). Hand-rolled — the environment is offline, no
+//! serde — and write-only: nothing in the workspace parses JSON back,
+//! tooling outside it does.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (kept separate from `Num` to render without a decimal point).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float; non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object builder from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{v}` prints shortest-round-trip, which is valid JSON
+                    // for finite doubles.
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_object() {
+        let j = Json::obj([
+            ("bin", Json::Str("runtime".into())),
+            ("seconds", Json::Num(1.5)),
+            ("hits", Json::UInt(21)),
+            ("nested", Json::obj([("ok", Json::Bool(true))])),
+            ("list", Json::Arr(vec![Json::Int(-1), Json::Null])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"bin\": \"runtime\""));
+        assert!(s.contains("\"seconds\": 1.5"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("-1"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_and_non_finite() {
+        let j = Json::obj([
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        let s = j.render();
+        assert!(s.contains("a\\\"b\\\\c\\nd"));
+        assert!(s.contains("\"nan\": null"));
+    }
+}

@@ -1,11 +1,26 @@
 //! Shared harness for the table/figure regeneration binaries.
 //!
-//! Every binary honors two environment variables:
+//! Every binary honors:
 //!
 //! * `RTLT_FAST=1` — reduced folds/epochs for smoke runs,
-//! * `RTLT_SEED=<u64>` — override the master seed (default 2024).
+//! * `RTLT_SEED=<u64>` — override the master seed (default 2024),
+//! * `--cache-dir <DIR>` / `--cache-dir=<DIR>` / `RTLT_CACHE_DIR=<DIR>` —
+//!   root of the shared on-disk artifact store (default
+//!   `target/rtlt-cache`; `none`/`off` disables persistence).
+//!
+//! All suite preparation goes through [`Bench::prepare_suite`], which
+//! threads the shared [`Store`] through the prepare pipeline: a warm second
+//! run of any binary answers suite preparation from the `featurize`
+//! namespace instead of re-running compile → blast → label → featurize.
 
+pub mod json;
+
+use json::Json;
+use rtl_timer::cache::stage;
 use rtl_timer::pipeline::{DesignSet, TimerConfig};
+use rtlt_store::{NamespaceStats, StatsSnapshot, Store};
+use std::cell::Cell;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Whether fast (smoke) mode is requested.
@@ -36,17 +51,239 @@ pub fn config() -> TimerConfig {
     }
 }
 
-/// Prepares the 21-design suite, printing progress timing.
-pub fn prepare_suite() -> DesignSet {
-    let cfg = config();
-    eprintln!(
-        "[harness] preparing 21-design suite (threads={}) ...",
-        cfg.threads
-    );
-    let t = Instant::now();
-    let set = DesignSet::prepare_suite(&cfg);
-    eprintln!("[harness] suite ready in {:.1}s", t.elapsed().as_secs_f64());
-    set
+/// Resolves the shared cache directory: `--cache-dir` argument first, then
+/// `RTLT_CACHE_DIR`, then the `target/rtlt-cache` default. `none`, `off`
+/// and the empty string disable the disk tier.
+pub fn cache_dir() -> Option<PathBuf> {
+    fn parse(v: String) -> Option<PathBuf> {
+        match v.as_str() {
+            "" | "none" | "off" => None,
+            _ => Some(PathBuf::from(v)),
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--cache-dir" {
+            // A trailing flag with no value is a usage error, not a silent
+            // "caching off" — the difference costs a ~70 s re-preparation.
+            let Some(v) = args.next() else {
+                eprintln!("error: --cache-dir needs a value (a directory, or `none` to disable)");
+                std::process::exit(2);
+            };
+            return parse(v);
+        }
+        if let Some(v) = a.strip_prefix("--cache-dir=") {
+            return parse(v.to_owned());
+        }
+    }
+    if let Ok(v) = std::env::var("RTLT_CACHE_DIR") {
+        return parse(v);
+    }
+    Some(PathBuf::from("target/rtlt-cache"))
+}
+
+/// Positional process arguments with harness flags (`--cache-dir [DIR]`)
+/// stripped — for binaries that take a design name argument.
+pub fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--cache-dir" {
+            let _ = args.next();
+        } else if !a.starts_with("--cache-dir=") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// One bench invocation: configuration plus the shared artifact store every
+/// preparation and optimization flow goes through.
+#[derive(Debug)]
+pub struct Bench {
+    /// Harness configuration.
+    pub cfg: TimerConfig,
+    /// Shared two-tier artifact store (disk tier per [`cache_dir`]).
+    pub store: Store,
+    prep_seconds: Cell<f64>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Bench {
+    /// Builds the harness from environment variables and process arguments.
+    pub fn from_env() -> Bench {
+        let store = match cache_dir() {
+            Some(dir) => Store::on_disk(dir),
+            None => Store::in_memory(),
+        };
+        Bench {
+            cfg: config(),
+            store,
+            prep_seconds: Cell::new(f64::NAN),
+        }
+    }
+
+    /// Prepares the 21-design suite through the store, printing progress
+    /// timing and the per-stage cache outcome.
+    pub fn prepare_suite(&self) -> DesignSet {
+        match self.store.disk_dir() {
+            Some(dir) => eprintln!(
+                "[harness] preparing 21-design suite (threads={}, cache-dir={}) ...",
+                self.cfg.threads,
+                dir.display()
+            ),
+            None => eprintln!(
+                "[harness] preparing 21-design suite (threads={}, cache-dir=none) ...",
+                self.cfg.threads
+            ),
+        }
+        let t = Instant::now();
+        let set = DesignSet::prepare_suite_with(&self.cfg, &self.store);
+        let secs = t.elapsed().as_secs_f64();
+        self.prep_seconds.set(secs);
+        let agg = self.prepare_stats();
+        eprintln!(
+            "[harness] suite ready in {secs:.1}s (prepare stages: {} hits / {} lookups = {:.1}% hit rate)",
+            agg.hits(),
+            agg.lookups(),
+            agg.hit_rate_pct()
+        );
+        set
+    }
+
+    /// Wall time of the last [`Bench::prepare_suite`] (NaN before any run).
+    pub fn prep_seconds(&self) -> f64 {
+        self.prep_seconds.get()
+    }
+
+    /// Aggregate store counters over the four prepare stages.
+    pub fn prepare_stats(&self) -> NamespaceStats {
+        self.store.stats().aggregate(stage::PREPARE)
+    }
+
+    /// Prints the per-stage store counters as a table.
+    pub fn print_store_stats(&self) {
+        let snap = self.store.stats();
+        if snap.namespaces.is_empty() {
+            println!("(store untouched)");
+            return;
+        }
+        let mut t = Table::new(&[
+            "stage",
+            "mem hits",
+            "disk hits",
+            "misses",
+            "hit %",
+            "KiB written",
+            "KiB read",
+        ]);
+        for (ns, s) in &snap.namespaces {
+            t.row(vec![
+                ns.clone(),
+                s.mem_hits.to_string(),
+                s.disk_hits.to_string(),
+                s.misses.to_string(),
+                format!("{:.1}", s.hit_rate_pct()),
+                (s.bytes_written / 1024).to_string(),
+                (s.bytes_read / 1024).to_string(),
+            ]);
+        }
+        t.print();
+        println!(
+            "in-memory tier: {} KiB resident, {} evictions",
+            snap.mem_bytes / 1024,
+            snap.evictions
+        );
+    }
+
+    /// Standard report fields: configuration, suite-prep wall time and the
+    /// full per-stage store counters.
+    fn report_base(&self, bin: &str) -> Vec<(String, Json)> {
+        let snap = self.store.stats();
+        let agg = self.prepare_stats();
+        vec![
+            ("schema_version".to_owned(), Json::Int(1)),
+            ("bin".to_owned(), Json::Str(bin.to_owned())),
+            ("seed".to_owned(), Json::UInt(self.cfg.seed)),
+            ("threads".to_owned(), Json::UInt(self.cfg.threads as u64)),
+            ("fast".to_owned(), Json::Bool(fast())),
+            (
+                "suite_prep_seconds".to_owned(),
+                Json::Num(self.prep_seconds()),
+            ),
+            (
+                "prepare_hit_rate_pct".to_owned(),
+                Json::Num(agg.hit_rate_pct()),
+            ),
+            // Guards the CI warm-cache gate against passing vacuously: a
+            // suite prepared without consulting the store reports 100 %
+            // hit rate (0/0) but 0 lookups.
+            ("prepare_lookups".to_owned(), Json::UInt(agg.lookups())),
+            (
+                "cache_dir".to_owned(),
+                match self.store.disk_dir() {
+                    Some(d) => Json::Str(d.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("store".to_owned(), stats_json(&snap)),
+        ]
+    }
+
+    /// Writes `BENCH_<bin>.json` (cwd) with the standard fields plus
+    /// `extras`, and prints where it went.
+    pub fn write_report(&self, bin: &str, extras: Vec<(&'static str, Json)>) {
+        let mut fields = self.report_base(bin);
+        fields.extend(extras.into_iter().map(|(k, v)| (k.to_owned(), v)));
+        let path = format!("BENCH_{bin}.json");
+        match std::fs::write(&path, Json::Obj(fields).render()) {
+            Ok(()) => eprintln!("[harness] wrote {path}"),
+            Err(e) => eprintln!("[harness] could not write {path}: {e}"),
+        }
+    }
+}
+
+fn namespace_json(s: &NamespaceStats) -> Json {
+    Json::obj([
+        ("mem_hits", Json::UInt(s.mem_hits)),
+        ("disk_hits", Json::UInt(s.disk_hits)),
+        ("misses", Json::UInt(s.misses)),
+        ("hit_rate_pct", Json::Num(s.hit_rate_pct())),
+        ("bytes_written", Json::UInt(s.bytes_written)),
+        ("bytes_read", Json::UInt(s.bytes_read)),
+        ("corrupt_entries", Json::UInt(s.corrupt_entries)),
+    ])
+}
+
+fn stats_json(snap: &StatsSnapshot) -> Json {
+    let mut fields: Vec<(String, Json)> = snap
+        .namespaces
+        .iter()
+        .map(|(ns, s)| (ns.clone(), namespace_json(s)))
+        .collect();
+    fields.push(("evictions".to_owned(), Json::UInt(snap.evictions)));
+    fields.push(("mem_bytes".to_owned(), Json::UInt(snap.mem_bytes)));
+    Json::Obj(fields)
+}
+
+/// Median of a sample (NaN when empty); used for the micro-bench report.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
 }
 
 /// Simple fixed-width table printer.
@@ -148,5 +385,21 @@ mod tests {
         let mut t = Table::new(&["a", "bb"]);
         t.row(vec!["1".into(), "2".into()]);
         t.print();
+    }
+
+    #[test]
+    fn median_of_odd_and_even_samples() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn bench_from_env_has_store() {
+        // The default cache dir is under target/, so the store has a disk
+        // tier unless the environment disabled it.
+        let b = Bench::from_env();
+        assert!(b.store.is_enabled());
+        assert!(b.prep_seconds().is_nan());
     }
 }

@@ -39,6 +39,7 @@
 //! ```
 
 mod blast;
+mod codec;
 mod cone;
 mod graph;
 mod sim;

@@ -120,7 +120,7 @@ impl MasterRtlStyle {
         let corpus = BitwiseCorpus {
             designs: train
                 .iter()
-                .map(|d| (&d.variant_data[0], d.labels_at.as_slice()))
+                .map(|d| (&d.variant_data[0], &d.labels_at[..]))
                 .collect(),
         };
         let bit = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, seed);

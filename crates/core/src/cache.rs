@@ -1,0 +1,341 @@
+//! Content-addressed caching of the prepare pipeline.
+//!
+//! Each [`crate::pipeline::PrepareStages`] stage is a pure function of its
+//! predecessor plus the [`TimerConfig`] fields it actually reads, so stage
+//! outputs are memoizable under the chained keys built here:
+//!
+//! ```text
+//! compile   = H(name, source)                      // reads no config
+//! blast     = H(compile)                           // reads no config
+//! label     = H(blast, cfg.seed, cfg.synth_effort) // the label flow's inputs
+//! featurize = H(label)                             // derives everything else
+//! ```
+//!
+//! `cfg.threads` deliberately appears in **no** key: it changes how fast a
+//! suite prepares, never what is prepared. The [`Codec`] impls in this
+//! module (plus the ones in `rtlt-bog`/`rtlt-verilog` for the graph types)
+//! make every stage artifact storable in the `rtlt-store` disk tier, so a
+//! warm run of any bench binary skips suite preparation entirely.
+
+use crate::dataset::{PathRow, VariantData};
+use crate::optimize::FlowMetrics;
+use crate::pipeline::{BlastedDesign, CompiledDesign, DesignData, LabelOutcome, TimerConfig};
+use rtlt_bog::{Bog, BogVariant};
+use rtlt_store::{Codec, CodecError, ContentHash, Dec, Enc, KeyBuilder};
+use std::sync::Arc;
+
+/// Store namespaces, one per memoized computation. Namespacing keeps stats
+/// attributable per stage and makes the on-disk layout self-describing
+/// (`<cache-dir>/<namespace>/<key>.bin`).
+pub mod stage {
+    /// Frontend artifacts (parse + AST features + elaborate).
+    pub const COMPILE: &str = "compile";
+    /// Bit-blasted SOG.
+    pub const BLAST: &str = "blast";
+    /// Ground-truth label flow outcome.
+    pub const LABEL: &str = "label";
+    /// Fully featurized design data.
+    pub const FEATURIZE: &str = "featurize";
+    /// Table-6 optimization candidate flows.
+    pub const OPT_FLOW: &str = "optflow";
+
+    /// The four prepare stages, pipeline order (for aggregate reporting).
+    pub const PREPARE: [&str; 4] = [COMPILE, BLAST, LABEL, FEATURIZE];
+}
+
+/// Pipeline algorithm epoch, folded into every stage-key domain. The
+/// codec-level `FORMAT_VERSION` only guards the *shape* of stored bytes;
+/// this guards their *meaning*. Bump it whenever any stage's algorithm
+/// changes output for unchanged inputs (synthesis cost model, blasting
+/// rules, featurization, …) so warm caches from older builds read as
+/// misses instead of silently serving stale artifacts.
+pub const PIPELINE_EPOCH: u64 = 1;
+
+/// The chained content keys of one design's preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepareKeys {
+    /// Key of the compile-stage artifact.
+    pub compile: ContentHash,
+    /// Key of the blast-stage artifact.
+    pub blast: ContentHash,
+    /// Key of the label-stage artifact.
+    pub label: ContentHash,
+    /// Key of the featurize-stage artifact (identifies the whole
+    /// preparation — [`DesignData::prepare_key`] records it).
+    pub featurize: ContentHash,
+}
+
+impl PrepareKeys {
+    /// Derives all four stage keys from the preparation inputs. Only the
+    /// `TimerConfig` fields a stage reads participate in its key.
+    pub fn derive(name: &str, source: &str, cfg: &TimerConfig) -> PrepareKeys {
+        let compile = KeyBuilder::new("rtlt.stage.compile")
+            .u64(PIPELINE_EPOCH)
+            .str(name)
+            .str(source)
+            .finish();
+        let blast = KeyBuilder::new("rtlt.stage.blast")
+            .u64(PIPELINE_EPOCH)
+            .key(&compile)
+            .finish();
+        let label = KeyBuilder::new("rtlt.stage.label")
+            .u64(PIPELINE_EPOCH)
+            .key(&blast)
+            .u64(cfg.seed)
+            .f64(cfg.synth_effort)
+            .finish();
+        let featurize = KeyBuilder::new("rtlt.stage.featurize")
+            .u64(PIPELINE_EPOCH)
+            .key(&label)
+            .finish();
+        PrepareKeys {
+            compile,
+            blast,
+            label,
+            featurize,
+        }
+    }
+}
+
+/// Key of one optimization candidate flow: the prepared design plus the
+/// criticality scores driving `group_path`/`retime`. Clock, per-design seed
+/// and base effort are functions of the preparation, so `prepare_key`
+/// already covers them.
+pub fn opt_flow_key(prepare_key: &ContentHash, scores: &[f64]) -> ContentHash {
+    let mut b = KeyBuilder::new("rtlt.optflow")
+        .u64(PIPELINE_EPOCH)
+        .key(prepare_key);
+    let mut e = Enc::new();
+    for &s in scores {
+        e.f64(s);
+    }
+    b = b.bytes(&e.into_bytes());
+    b.finish()
+}
+
+impl Codec for CompiledDesign {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.str(&self.source);
+        self.ast_feats.encode(e);
+        self.netlist.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(CompiledDesign {
+            name: d.str()?,
+            source: d.str()?,
+            ast_feats: Vec::decode(d)?,
+            netlist: rtlt_verilog::rtlir::Netlist::decode(d)?,
+        })
+    }
+}
+
+impl Codec for BlastedDesign {
+    fn encode(&self, e: &mut Enc) {
+        self.compiled.encode(e);
+        self.sog.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(BlastedDesign {
+            compiled: CompiledDesign::decode(d)?,
+            sog: Bog::decode(d)?,
+        })
+    }
+}
+
+impl Codec for LabelOutcome {
+    fn encode(&self, e: &mut Enc) {
+        self.endpoint_at.encode(e);
+        e.f64(self.wns);
+        e.f64(self.tns);
+        e.f64(self.area);
+        e.f64(self.power);
+        e.f64(self.clock);
+        e.f64(self.setup);
+        e.u64(self.synth_seed);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(LabelOutcome {
+            endpoint_at: Vec::decode(d)?,
+            wns: d.f64()?,
+            tns: d.f64()?,
+            area: d.f64()?,
+            power: d.f64()?,
+            clock: d.f64()?,
+            setup: d.f64()?,
+            synth_seed: d.u64()?,
+        })
+    }
+}
+
+impl Codec for PathRow {
+    fn encode(&self, e: &mut Enc) {
+        self.features.encode(e);
+        self.ops.encode(e);
+        self.tok_feats.encode(e);
+        e.usize(self.endpoint);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(PathRow {
+            features: Vec::decode(d)?,
+            ops: Vec::decode(d)?,
+            tok_feats: Vec::decode(d)?,
+            endpoint: d.usize()?,
+        })
+    }
+}
+
+impl Codec for VariantData {
+    fn encode(&self, e: &mut Enc) {
+        self.variant.encode(e);
+        self.rows.encode(e);
+        self.groups.encode(e);
+        self.endpoint_sta_at.encode(e);
+        self.driving_regs.encode(e);
+        self.design_feats.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(VariantData {
+            variant: BogVariant::decode(d)?,
+            rows: Vec::decode(d)?,
+            groups: Vec::decode(d)?,
+            endpoint_sta_at: Vec::decode(d)?,
+            driving_regs: Vec::decode(d)?,
+            design_feats: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for DesignData {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.str(&self.source);
+        self.sog.encode(e);
+        self.variant_data.encode(e);
+        self.labels_at.encode(e);
+        e.f64(self.clock);
+        e.f64(self.setup);
+        e.f64(self.wns);
+        e.f64(self.tns);
+        e.f64(self.area);
+        e.f64(self.power);
+        self.ast_feats.encode(e);
+        e.u64(self.synth_seed);
+        e.f64(self.synth_effort);
+        self.prepare_key.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let name: Arc<str> = Arc::decode(d)?;
+        let source = d.str()?;
+        let sog = Bog::decode(d)?;
+        // Signal names are derivable from the SOG — recomputed instead of
+        // stored, matching what featurization builds.
+        Ok(DesignData {
+            signal_names: crate::pipeline::signal_names_of(&sog),
+            name,
+            source,
+            sog,
+            variant_data: Vec::decode(d)?,
+            labels_at: Arc::decode(d)?,
+            clock: d.f64()?,
+            setup: d.f64()?,
+            wns: d.f64()?,
+            tns: d.f64()?,
+            area: d.f64()?,
+            power: d.f64()?,
+            ast_feats: Vec::decode(d)?,
+            synth_seed: d.u64()?,
+            synth_effort: d.f64()?,
+            prepare_key: ContentHash::decode(d)?,
+        })
+    }
+}
+
+impl Codec for FlowMetrics {
+    fn encode(&self, e: &mut Enc) {
+        e.f64(self.wns);
+        e.f64(self.tns);
+        e.f64(self.power);
+        e.f64(self.area);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(FlowMetrics {
+            wns: d.f64()?,
+            tns: d.f64()?,
+            power: d.f64()?,
+            area: d.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64, effort: f64, threads: usize) -> TimerConfig {
+        TimerConfig {
+            seed,
+            synth_effort: effort,
+            threads,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_for_identical_inputs() {
+        let a = PrepareKeys::derive("m", "module m(); endmodule", &cfg(1, 0.6, 1));
+        let b = PrepareKeys::derive("m", "module m(); endmodule", &cfg(1, 0.6, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_never_enters_a_key() {
+        let a = PrepareKeys::derive("m", "src", &cfg(1, 0.6, 1));
+        let b = PrepareKeys::derive("m", "src", &cfg(1, 0.6, 64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_change_invalidates_every_stage() {
+        let a = PrepareKeys::derive("m", "src", &cfg(1, 0.6, 1));
+        let b = PrepareKeys::derive("m", "src2", &cfg(1, 0.6, 1));
+        assert_ne!(a.compile, b.compile);
+        assert_ne!(a.blast, b.blast);
+        assert_ne!(a.label, b.label);
+        assert_ne!(a.featurize, b.featurize);
+    }
+
+    #[test]
+    fn label_config_fields_invalidate_only_downstream_stages() {
+        let base = PrepareKeys::derive("m", "src", &cfg(1, 0.6, 1));
+        for other in [
+            PrepareKeys::derive("m", "src", &cfg(2, 0.6, 1)),
+            PrepareKeys::derive("m", "src", &cfg(1, 0.7, 1)),
+        ] {
+            assert_eq!(base.compile, other.compile);
+            assert_eq!(base.blast, other.blast);
+            assert_ne!(base.label, other.label);
+            assert_ne!(base.featurize, other.featurize);
+        }
+    }
+
+    #[test]
+    fn opt_flow_key_tracks_scores_and_design() {
+        let k1 = ContentHash::of_bytes(b"d1");
+        let k2 = ContentHash::of_bytes(b"d2");
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(opt_flow_key(&k1, &s), opt_flow_key(&k1, &s));
+        assert_ne!(opt_flow_key(&k1, &s), opt_flow_key(&k2, &s));
+        assert_ne!(opt_flow_key(&k1, &s), opt_flow_key(&k1, &[1.0, 2.0, 3.5]));
+    }
+
+    #[test]
+    fn flow_metrics_round_trip() {
+        let m = FlowMetrics {
+            wns: -0.25,
+            tns: -10.5,
+            power: 120.0,
+            area: 88.25,
+        };
+        assert_eq!(FlowMetrics::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod annotate;
 pub mod baselines;
 pub mod bitwise;
+pub mod cache;
 pub mod dataset;
 pub mod design;
 pub mod ensemble;
@@ -47,5 +48,6 @@ pub mod pipeline;
 pub mod report;
 pub mod signal;
 
+pub use cache::PrepareKeys;
 pub use metrics::{covr, mape, pearson, r_squared, rank_groups};
 pub use pipeline::{DesignData, DesignSet, PrepareError, PrepareStages, RtlTimer, TimerConfig};

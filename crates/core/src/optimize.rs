@@ -3,9 +3,11 @@
 //! `retime` on the top-5 % predicted-critical endpoints, compared against
 //! the same flow driven by ground-truth rankings.
 
+use crate::cache::{opt_flow_key, stage};
 use crate::metrics::{rank_groups, GROUP_BOUNDS};
 use crate::pipeline::{DesignData, Prediction};
 use rtlt_liberty::Library;
+use rtlt_store::Store;
 use rtlt_synth::{synthesize, PathGroups, SynthOptions};
 
 /// Quality metrics of one synthesis flow.
@@ -85,33 +87,51 @@ pub fn retime_set_from_scores(scores: &[f64]) -> Vec<u32> {
     order.into_iter().take(k).map(|i| i as u32).collect()
 }
 
-fn run_opt_flow(d: &DesignData, scores: &[f64], lib: &Library) -> FlowMetrics {
-    let res = synthesize(
-        &d.sog,
-        lib,
-        &SynthOptions {
-            seed: d.synth_seed,
-            clock_period: Some(d.clock),
-            // The paper reports ~45 % extra synthesis runtime for the
-            // optimization flow; we grant the same relative effort.
-            effort: d.synth_effort * 1.45,
-            path_groups: Some(path_groups_from_scores(scores)),
-            retime_endpoints: retime_set_from_scores(scores),
-        },
-    );
-    FlowMetrics {
-        wns: res.wns,
-        tns: res.tns,
-        power: res.power,
-        area: res.area,
-    }
+fn run_opt_flow(d: &DesignData, scores: &[f64], lib: &Library, store: &Store) -> FlowMetrics {
+    // A candidate flow is a pure function of the prepared design and the
+    // scores driving its options (seed, clock and base effort are functions
+    // of the preparation), so it is memoized under the design's content key
+    // — across candidates within a run via the memory tier, and across
+    // bench invocations via the disk tier.
+    let key = opt_flow_key(&d.prepare_key, scores);
+    *store.get_or_compute(stage::OPT_FLOW, key, || {
+        let res = synthesize(
+            &d.sog,
+            lib,
+            &SynthOptions {
+                seed: d.synth_seed,
+                clock_period: Some(d.clock),
+                // The paper reports ~45 % extra synthesis runtime for the
+                // optimization flow; we grant the same relative effort.
+                effort: d.synth_effort * 1.45,
+                path_groups: Some(path_groups_from_scores(scores)),
+                retime_endpoints: retime_set_from_scores(scores),
+            },
+        );
+        FlowMetrics {
+            wns: res.wns,
+            tns: res.tns,
+            power: res.power,
+            area: res.area,
+        }
+    })
 }
 
-/// Runs default / predicted-ranking / real-ranking flows for one design.
+/// [`optimize_design`] without a store (every candidate flow recomputes).
+pub fn optimize_design(d: &DesignData, pred: &Prediction) -> OptimizationOutcome {
+    optimize_design_with(d, pred, &Store::disabled())
+}
+
+/// Runs default / predicted-ranking / real-ranking flows for one design,
+/// memoizing each candidate flow in `store`.
 ///
 /// Bit-level criticality scores are the predicted (resp. ground-truth)
 /// arrival times — later arrivals are more critical at a fixed clock.
-pub fn optimize_design(d: &DesignData, pred: &Prediction) -> OptimizationOutcome {
+pub fn optimize_design_with(
+    d: &DesignData,
+    pred: &Prediction,
+    store: &Store,
+) -> OptimizationOutcome {
     let lib = Library::nangate45_like();
     let default = FlowMetrics {
         wns: d.wns,
@@ -128,10 +148,10 @@ pub fn optimize_design(d: &DesignData, pred: &Prediction) -> OptimizationOutcome
         .map(|(&l, &p)| if l.is_finite() { l } else { p })
         .collect();
     OptimizationOutcome {
-        design: d.name.clone(),
+        design: d.name.to_string(),
         default,
-        with_pred: run_opt_flow(d, &pred.bit_pred, &lib),
-        with_real: run_opt_flow(d, &real_scores, &lib),
+        with_pred: run_opt_flow(d, &pred.bit_pred, &lib, store),
+        with_real: run_opt_flow(d, &real_scores, &lib, store),
     }
 }
 

@@ -3,9 +3,15 @@
 //! model fitting, prediction, cross-validation.
 //!
 //! All CPU parallelism (suite preparation, cross-validation folds) runs on
-//! the shared [`rtlt_runtime`] work-queue executor.
+//! the shared [`rtlt_runtime`] work-queue executor, and every stage output
+//! is memoizable through the shared [`rtlt_store::Store`] handle threaded
+//! into the `*_with` entry points (see [`crate::cache`] for the key
+//! derivation). The storeless entry points delegate to the same code path
+//! with a pass-through store, so cached and uncached preparation cannot
+//! diverge.
 
 use crate::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
+use crate::cache::{stage, PrepareKeys};
 use crate::dataset::{build_variant_data, VariantData};
 use crate::design::{design_row, direct_wns_tns, DesignTimingModel};
 use crate::ensemble::{meta_rows, EnsembleModel};
@@ -13,8 +19,10 @@ use crate::metrics;
 use crate::signal::{signal_labels, signal_rows, SignalModels};
 use rtlt_bog::{blast, Bog, BogVariant, SignalInfo};
 use rtlt_liberty::{CellFunc, Drive, Library};
-use rtlt_synth::{synthesize, SynthOptions};
+use rtlt_store::{ContentHash, Store};
+use rtlt_synth::{synthesize, SynthOptions, SynthResult};
 use rtlt_verilog::VerilogError;
+use std::sync::Arc;
 
 /// Global pipeline configuration.
 #[derive(Debug, Clone)]
@@ -72,20 +80,27 @@ fn design_seed(master: u64, name: &str) -> u64 {
     h
 }
 
+/// RTL signal names of a SOG, in signal order (shared by featurization and
+/// store decoding so both construct identical [`DesignData`]s).
+pub(crate) fn signal_names_of(sog: &Bog) -> Arc<[String]> {
+    sog.signals().iter().map(|s| s.name.clone()).collect()
+}
+
 /// A fully prepared design: featurized representations plus ground-truth
 /// labels from the synthesis simulator.
 #[derive(Debug)]
 pub struct DesignData {
     /// Design name (top module).
-    pub name: String,
+    pub name: Arc<str>,
     /// Original Verilog source.
     pub source: String,
     /// SOG representation (kept for annotation/optimization/baselines).
     pub sog: Bog,
     /// Path datasets for SOG, AIG, AIMG, XAG (in [`BogVariant::ALL`] order).
     pub variant_data: Vec<VariantData>,
-    /// Ground-truth arrival time per register (bit) endpoint.
-    pub labels_at: Vec<f64>,
+    /// Ground-truth arrival time per register (bit) endpoint (shared into
+    /// each [`Prediction`] without copying).
+    pub labels_at: Arc<[f64]>,
     /// Clock period used by the label flow (ns).
     pub clock: f64,
     /// DFF setup time (ns).
@@ -105,10 +120,17 @@ pub struct DesignData {
     /// Synthesis effort used by the label flow (optimization flows scale
     /// from this).
     pub synth_effort: f64,
+    /// RTL signal names, aligned with [`DesignData::signals`] (shared into
+    /// each [`Prediction`] without copying).
+    pub signal_names: Arc<[String]>,
+    /// Content key of this preparation ([`PrepareKeys::featurize`]) —
+    /// provenance, and the base key for derived memoizations such as the
+    /// optimization candidate flows.
+    pub prepare_key: ContentHash,
 }
 
 /// Output of [`PrepareStages::compile`]: frontend artifacts of one design.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledDesign {
     /// Design name (top module).
     pub name: String,
@@ -121,7 +143,7 @@ pub struct CompiledDesign {
 }
 
 /// Output of [`PrepareStages::blast`]: the design plus its SOG.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlastedDesign {
     /// Frontend artifacts.
     pub compiled: CompiledDesign,
@@ -136,11 +158,49 @@ pub struct LabeledDesign {
     /// Blasted design.
     pub blasted: BlastedDesign,
     /// Synthesis-flow outcome (arrival labels, WNS/TNS, area, power).
-    pub synth: rtlt_synth::SynthResult,
+    pub synth: SynthResult,
     /// Per-design seed used by the label flow.
     pub synth_seed: u64,
     /// DFF setup time (ns) of the label library.
     pub setup: f64,
+}
+
+/// The slice of a label flow that featurization (and therefore the cache)
+/// actually needs — [`LabeledDesign`] minus the mapped netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelOutcome {
+    /// Ground-truth arrival time per register endpoint (ns).
+    pub endpoint_at: Vec<f64>,
+    /// Ground-truth design WNS (ns).
+    pub wns: f64,
+    /// Ground-truth design TNS (ns).
+    pub tns: f64,
+    /// Ground-truth area.
+    pub area: f64,
+    /// Ground-truth power.
+    pub power: f64,
+    /// Clock period used by the label flow (ns).
+    pub clock: f64,
+    /// DFF setup time (ns).
+    pub setup: f64,
+    /// Per-design seed used by the label flow.
+    pub synth_seed: u64,
+}
+
+impl LabelOutcome {
+    /// Extracts the cacheable slice of a full label-stage output.
+    pub fn of(labeled: &LabeledDesign) -> LabelOutcome {
+        LabelOutcome {
+            endpoint_at: labeled.synth.endpoint_at.clone(),
+            wns: labeled.synth.wns,
+            tns: labeled.synth.tns,
+            area: labeled.synth.area,
+            power: labeled.synth.power,
+            clock: labeled.synth.clock_period,
+            setup: labeled.setup,
+            synth_seed: labeled.synth_seed,
+        }
+    }
 }
 
 /// The design-preparation dataflow, split into named, individually-callable
@@ -148,8 +208,10 @@ pub struct LabeledDesign {
 ///
 /// [`DesignData::prepare`] runs all four back to back; calling the stages
 /// separately lets a driver memoize, distribute, or batch each boundary
-/// independently (e.g. cache [`BlastedDesign`]s across label-effort sweeps,
-/// or ship [`LabeledDesign`]s to a remote featurizer).
+/// independently. [`PrepareStages::run_with`] is the memoized runner: each
+/// stage computes its content key and consults the given
+/// [`rtlt_store::Store`] before running, so anything from a single stage to
+/// the whole preparation can be skipped on a warm cache.
 #[derive(Debug, Clone, Copy)]
 pub struct PrepareStages<'a> {
     cfg: &'a TimerConfig,
@@ -185,9 +247,9 @@ impl<'a> PrepareStages<'a> {
         BlastedDesign { compiled, sog }
     }
 
-    /// **Stage 3 — label**: run the ground-truth synthesis flow against the
-    /// NanGate45-like library.
-    pub fn label(&self, blasted: BlastedDesign) -> LabeledDesign {
+    /// The label synthesis flow (stage 3's body, shared by the cached and
+    /// uncached runners).
+    fn run_label_flow(&self, blasted: &BlastedDesign) -> (SynthResult, u64, f64) {
         let lib = Library::nangate45_like();
         let seed = design_seed(self.cfg.seed, &blasted.compiled.name);
         let synth = synthesize(
@@ -200,49 +262,76 @@ impl<'a> PrepareStages<'a> {
             },
         );
         let setup = lib.cell(CellFunc::Dff, Drive::X1).seq.expect("dff").setup;
+        (synth, seed, setup)
+    }
+
+    /// **Stage 3 — label**: run the ground-truth synthesis flow against the
+    /// NanGate45-like library.
+    pub fn label(&self, blasted: BlastedDesign) -> LabeledDesign {
+        let (synth, synth_seed, setup) = self.run_label_flow(&blasted);
         LabeledDesign {
             blasted,
             synth,
-            synth_seed: seed,
+            synth_seed,
             setup,
+        }
+    }
+
+    /// Stage 3 producing only the cacheable [`LabelOutcome`].
+    fn label_outcome(&self, blasted: &BlastedDesign) -> LabelOutcome {
+        let (synth, synth_seed, setup) = self.run_label_flow(blasted);
+        LabelOutcome {
+            endpoint_at: synth.endpoint_at,
+            wns: synth.wns,
+            tns: synth.tns,
+            area: synth.area,
+            power: synth.power,
+            clock: synth.clock_period,
+            setup,
+            synth_seed,
         }
     }
 
     /// **Stage 4 — featurize**: build the path datasets of all four BOG
     /// variants against the label clock and assemble the [`DesignData`].
     pub fn featurize(&self, labeled: LabeledDesign) -> DesignData {
-        let LabeledDesign {
-            blasted,
-            synth,
-            synth_seed,
-            setup,
-        } = labeled;
-        let BlastedDesign { compiled, sog } = blasted;
+        let outcome = LabelOutcome::of(&labeled);
+        self.featurize_parts(&labeled.blasted, &outcome)
+    }
+
+    /// Stage 4's body: assemble a [`DesignData`] from the blasted design
+    /// and the label outcome.
+    fn featurize_parts(&self, blasted: &BlastedDesign, label: &LabelOutcome) -> DesignData {
+        let compiled = &blasted.compiled;
+        let sog = blasted.sog.clone();
         let pseudo = Library::pseudo_bog();
         let variant_data: Vec<VariantData> = BogVariant::ALL
             .iter()
             .enumerate()
             .map(|(i, &v)| {
                 let g = sog.to_variant(v);
-                build_variant_data(&g, &pseudo, synth.clock_period, synth_seed ^ (i as u64 + 1))
+                build_variant_data(&g, &pseudo, label.clock, label.synth_seed ^ (i as u64 + 1))
             })
             .collect();
+        let keys = PrepareKeys::derive(&compiled.name, &compiled.source, self.cfg);
 
         DesignData {
-            name: compiled.name,
-            source: compiled.source,
+            name: compiled.name.as_str().into(),
+            source: compiled.source.clone(),
+            signal_names: signal_names_of(&sog),
             sog,
             variant_data,
-            labels_at: synth.endpoint_at,
-            clock: synth.clock_period,
-            setup,
-            wns: synth.wns,
-            tns: synth.tns,
-            area: synth.area,
-            power: synth.power,
-            ast_feats: compiled.ast_feats,
-            synth_seed,
+            labels_at: label.endpoint_at.as_slice().into(),
+            clock: label.clock,
+            setup: label.setup,
+            wns: label.wns,
+            tns: label.tns,
+            area: label.area,
+            power: label.power,
+            ast_feats: compiled.ast_feats.clone(),
+            synth_seed: label.synth_seed,
             synth_effort: self.cfg.synth_effort,
+            prepare_key: keys.featurize,
         }
     }
 
@@ -254,6 +343,60 @@ impl<'a> PrepareStages<'a> {
     pub fn run(&self, name: &str, source: &str) -> Result<DesignData, VerilogError> {
         let compiled = self.compile(name, source)?;
         Ok(self.featurize(self.label(self.blast(compiled))))
+    }
+
+    /// The blast-stage artifact through the store: consults the `blast`
+    /// (and, on a miss, `compile`) namespaces before computing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors from [`PrepareStages::compile`].
+    pub fn blasted_with(
+        &self,
+        store: &Store,
+        name: &str,
+        source: &str,
+    ) -> Result<Arc<BlastedDesign>, VerilogError> {
+        let keys = PrepareKeys::derive(name, source, self.cfg);
+        self.blasted_with_keys(store, &keys, name, source)
+    }
+
+    fn blasted_with_keys(
+        &self,
+        store: &Store,
+        keys: &PrepareKeys,
+        name: &str,
+        source: &str,
+    ) -> Result<Arc<BlastedDesign>, VerilogError> {
+        store.get_or_try_compute(stage::BLAST, keys.blast, || {
+            let compiled = store
+                .get_or_try_compute(stage::COMPILE, keys.compile, || self.compile(name, source))?;
+            Ok(self.blast((*compiled).clone()))
+        })
+    }
+
+    /// Runs all four stages through the store: each stage computes its key
+    /// (see [`PrepareKeys`]) and is skipped when the store already holds
+    /// its output. A fully warm cache answers from the `featurize`
+    /// namespace without even parsing the source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors from [`PrepareStages::compile`] (only
+    /// successful stage outputs are ever stored).
+    pub fn run_with(
+        &self,
+        store: &Store,
+        name: &str,
+        source: &str,
+    ) -> Result<Arc<DesignData>, VerilogError> {
+        let keys = PrepareKeys::derive(name, source, self.cfg);
+        store.get_or_try_compute(stage::FEATURIZE, keys.featurize, || {
+            let blasted = self.blasted_with_keys(store, &keys, name, source)?;
+            let label =
+                store.get_or_compute(stage::LABEL, keys.label, || self.label_outcome(&blasted));
+            Ok(self.featurize_parts(&blasted, &label))
+        })
     }
 }
 
@@ -301,14 +444,24 @@ impl DesignData {
 }
 
 /// An owned collection of prepared designs.
+///
+/// Designs are held behind `Arc` so the set, the store's in-memory tier and
+/// every in-flight prediction share one copy of each preparation.
 #[derive(Debug, Default)]
 pub struct DesignSet {
-    designs: Vec<DesignData>,
+    designs: Vec<Arc<DesignData>>,
 }
 
 impl DesignSet {
     /// Wraps prepared designs.
     pub fn new(designs: Vec<DesignData>) -> DesignSet {
+        DesignSet {
+            designs: designs.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Wraps already-shared prepared designs.
+    pub fn from_shared(designs: Vec<Arc<DesignData>>) -> DesignSet {
         DesignSet { designs }
     }
 
@@ -319,8 +472,17 @@ impl DesignSet {
     /// Panics if any generated design fails to compile (the generator and
     /// frontend are tested together, so this indicates a bug).
     pub fn prepare_suite(cfg: &TimerConfig) -> DesignSet {
+        Self::prepare_suite_with(cfg, &Store::disabled())
+    }
+
+    /// [`DesignSet::prepare_suite`] through a shared artifact store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any generated design fails to compile.
+    pub fn prepare_suite_with(cfg: &TimerConfig, store: &Store) -> DesignSet {
         let sources = rtlt_designgen::generate_all();
-        Self::prepare_named_or_panic(&sources, cfg)
+        Self::prepare_named_with(&sources, cfg, store).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Prepares an arbitrary list of `(name, source)` designs in parallel
@@ -334,8 +496,25 @@ impl DesignSet {
         sources: &[(String, String)],
         cfg: &TimerConfig,
     ) -> Result<DesignSet, PrepareError> {
+        Self::prepare_named_with(sources, cfg, &Store::disabled())
+    }
+
+    /// [`DesignSet::prepare_named`] through a shared artifact store: the
+    /// store handle is threaded into every worker, so concurrent
+    /// preparations fill (and draw from) the same two cache tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PrepareError`] of the first failing design (first by
+    /// input order, deterministically — not by wall-clock completion).
+    pub fn prepare_named_with(
+        sources: &[(String, String)],
+        cfg: &TimerConfig,
+        store: &Store,
+    ) -> Result<DesignSet, PrepareError> {
+        let stages = PrepareStages::new(cfg);
         let designs = rtlt_runtime::try_par_map(cfg.threads, sources, |(name, src)| {
-            DesignData::prepare(name, src, cfg).map_err(|e| PrepareError {
+            stages.run_with(store, name, src).map_err(|e| PrepareError {
                 design: name.clone(),
                 source: e,
             })
@@ -354,13 +533,13 @@ impl DesignSet {
     }
 
     /// The prepared designs.
-    pub fn designs(&self) -> &[DesignData] {
+    pub fn designs(&self) -> &[Arc<DesignData>] {
         &self.designs
     }
 
     /// Finds a design by name.
     pub fn get(&self, name: &str) -> Option<&DesignData> {
-        self.designs.iter().find(|d| d.name == name)
+        self.designs.iter().find(|d| &*d.name == name).map(|d| &**d)
     }
 
     /// Splits into `(train, test)` by test-design names.
@@ -368,19 +547,19 @@ impl DesignSet {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for d in &self.designs {
-            if test_names.contains(&d.name.as_str()) {
-                test.push(d);
+            if test_names.contains(&&*d.name) {
+                test.push(&**d);
             } else {
-                train.push(d);
+                train.push(&**d);
             }
         }
         (train, test)
     }
 
     /// Deterministic k-fold partition of design names (round-robin after a
-    /// stable ordering).
-    pub fn folds(&self, k: usize) -> Vec<Vec<String>> {
-        let mut names: Vec<String> = self.designs.iter().map(|d| d.name.clone()).collect();
+    /// stable ordering). Names are shared, not copied.
+    pub fn folds(&self, k: usize) -> Vec<Vec<Arc<str>>> {
+        let mut names: Vec<Arc<str>> = self.designs.iter().map(|d| d.name.clone()).collect();
         names.sort();
         let mut folds = vec![Vec::new(); k.max(1)];
         for (i, n) in names.into_iter().enumerate() {
@@ -413,7 +592,7 @@ impl RtlTimer {
                 let corpus = BitwiseCorpus {
                     designs: train
                         .iter()
-                        .map(|d| (&d.variant_data[v], d.labels_at.as_slice()))
+                        .map(|d| (&d.variant_data[v], &d.labels_at[..]))
                         .collect(),
                 };
                 BitwiseModel::fit(BitModelKind::TreeMax, &corpus, cfg.seed ^ (v as u64))
@@ -529,7 +708,7 @@ impl RtlTimer {
             signal_pred,
             signal_rank_score,
             signal_label: d.signal_labels(),
-            signal_names: d.signals().iter().map(|s| s.name.clone()).collect(),
+            signal_names: d.signal_names.clone(),
             wns_pred,
             tns_pred,
             wns_direct,
@@ -543,14 +722,17 @@ impl RtlTimer {
 }
 
 /// Prediction output for one design, bundled with labels for evaluation.
+///
+/// Label and name vectors are `Arc`-shared with the [`DesignData`] they
+/// came from — constructing a `Prediction` copies none of them.
 #[derive(Debug, Clone)]
 pub struct Prediction {
     /// Design name.
-    pub design: String,
+    pub design: Arc<str>,
     /// Ensembled bit-wise arrival predictions.
     pub bit_pred: Vec<f64>,
-    /// Ground-truth bit-wise arrivals.
-    pub bit_label: Vec<f64>,
+    /// Ground-truth bit-wise arrivals (shared with the design).
+    pub bit_label: Arc<[f64]>,
     /// Per-variant bit-wise predictions (SOG, AIG, AIMG, XAG).
     pub variant_bit_preds: Vec<Vec<f64>>,
     /// Signal-wise max-arrival regression predictions.
@@ -559,8 +741,9 @@ pub struct Prediction {
     pub signal_rank_score: Vec<f64>,
     /// Ground-truth signal max arrivals.
     pub signal_label: Vec<f64>,
-    /// Signal names (aligned with the signal vectors).
-    pub signal_names: Vec<String>,
+    /// Signal names (aligned with the signal vectors, shared with the
+    /// design).
+    pub signal_names: Arc<[String]>,
     /// Model-predicted WNS.
     pub wns_pred: f64,
     /// Model-predicted TNS.
@@ -655,7 +838,7 @@ impl Prediction {
 pub fn cross_validate(set: &DesignSet, k: usize, cfg: &TimerConfig) -> Vec<Prediction> {
     let folds = set.folds(k);
     let results: Vec<Vec<Prediction>> = rtlt_runtime::par_map(cfg.threads, &folds, |fold| {
-        let names: Vec<&str> = fold.iter().map(|s| s.as_str()).collect();
+        let names: Vec<&str> = fold.iter().map(|s| &**s).collect();
         let (train, test) = set.split(&names);
         if test.is_empty() {
             return Vec::new();
@@ -710,6 +893,7 @@ mod tests {
         assert_eq!(d.labels_at.len(), d.sog.regs().len());
         assert!(d.labels_at.iter().all(|l| l.is_finite()));
         assert!(d.clock > 0.0 && d.area > 0.0);
+        assert_eq!(d.signal_names.len(), d.signals().len());
     }
 
     #[test]
@@ -733,6 +917,53 @@ mod tests {
         assert_eq!(staged.clock, monolithic.clock);
         assert_eq!(staged.ast_feats, monolithic.ast_feats);
         assert_eq!(staged.variant_data.len(), monolithic.variant_data.len());
+        assert_eq!(staged.prepare_key, monolithic.prepare_key);
+    }
+
+    #[test]
+    fn cached_preparation_matches_uncached() {
+        let cfg = TimerConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let (name, src) = &tiny_sources()[2];
+        let store = Store::in_memory();
+        let stages = PrepareStages::new(&cfg);
+        let cached = stages.run_with(&store, name, src).expect("compiles");
+        let plain = DesignData::prepare(name, src, &cfg).unwrap();
+        assert_eq!(cached.labels_at, plain.labels_at);
+        assert_eq!(cached.wns, plain.wns);
+        assert_eq!(cached.clock, plain.clock);
+        assert_eq!(cached.prepare_key, plain.prepare_key);
+
+        // Second run answers straight from the featurize namespace.
+        let again = stages.run_with(&store, name, src).expect("compiles");
+        assert!(Arc::ptr_eq(&cached, &again));
+        let s = store.stats();
+        assert_eq!(s.namespace(stage::FEATURIZE).mem_hits, 1);
+        assert_eq!(s.namespace(stage::FEATURIZE).misses, 1);
+    }
+
+    #[test]
+    fn warm_store_prepares_suite_without_misses() {
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let sources = tiny_sources();
+        let store = Store::in_memory();
+        let cold = DesignSet::prepare_named_with(&sources, &cfg, &store).unwrap();
+        let cold_misses = store.stats().aggregate(stage::PREPARE).misses;
+        let warm = DesignSet::prepare_named_with(&sources, &cfg, &store).unwrap();
+        let s = store.stats().aggregate(stage::PREPARE);
+        assert_eq!(s.misses, cold_misses, "warm run added no misses");
+        assert_eq!(
+            store.stats().namespace(stage::FEATURIZE).mem_hits,
+            sources.len() as u64
+        );
+        for (a, b) in cold.designs().iter().zip(warm.designs()) {
+            assert!(Arc::ptr_eq(a, b), "warm run shares the cold artifacts");
+        }
     }
 
     #[test]

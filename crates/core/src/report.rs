@@ -64,12 +64,12 @@ mod tests {
         Prediction {
             design: "t".into(),
             bit_pred: vec![0.5, 0.9],
-            bit_label: vec![0.55, 0.8],
+            bit_label: vec![0.55, 0.8].into(),
             variant_bit_preds: vec![vec![0.5, 0.9]; 4],
             signal_pred: vec![0.9, 0.3, 0.6],
             signal_rank_score: vec![2.0, 0.1, 1.0],
             signal_label: vec![0.85, 0.25, f64::NAN],
-            signal_names: vec!["slow".into(), "fast".into(), "mid".into()],
+            signal_names: vec!["slow".to_owned(), "fast".to_owned(), "mid".to_owned()].into(),
             wns_pred: -0.2,
             tns_pred: -0.4,
             wns_direct: -0.15,

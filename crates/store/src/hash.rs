@@ -1,0 +1,302 @@
+//! Stable content hashing for store keys.
+//!
+//! Keys must be identical across processes and platforms (the on-disk tier
+//! is shared by every bench invocation), so we hand-roll SHA-256 — the
+//! conventional choice for content-addressed stores — instead of using
+//! `std`'s randomly-keyed `DefaultHasher`. [`KeyBuilder`] feeds
+//! length-delimited fields into the hasher so adjacent fields can never
+//! alias (`("ab", "c")` ≠ `("a", "bc")`).
+
+use crate::codec::{Codec, CodecError, Dec, Enc};
+
+/// A 256-bit content hash identifying one artifact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub [u8; 32]);
+
+impl ContentHash {
+    /// Lower-case hex rendering (64 chars) — used as the on-disk file stem.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Hashes a single byte string.
+    pub fn of_bytes(bytes: &[u8]) -> ContentHash {
+        let mut h = Sha256::new();
+        h.update(bytes);
+        ContentHash(h.finish())
+    }
+}
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({})", &self.to_hex()[..12])
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl Codec for ContentHash {
+    fn encode(&self, e: &mut Enc) {
+        e.raw(&self.0);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let b = d.raw(32)?;
+        Ok(ContentHash(b.try_into().expect("32 bytes")))
+    }
+}
+
+/// Incremental builder of a [`ContentHash`] from typed, length-delimited
+/// fields. Construct with a domain string naming the keyed stage so keys of
+/// different stages can never collide even on identical inputs.
+#[derive(Debug)]
+pub struct KeyBuilder {
+    hasher: Sha256,
+}
+
+impl KeyBuilder {
+    /// Starts a key in the given domain (e.g. `"rtlt.compile.v1"`).
+    pub fn new(domain: &str) -> KeyBuilder {
+        let mut b = KeyBuilder {
+            hasher: Sha256::new(),
+        };
+        b.field(domain.as_bytes());
+        b
+    }
+
+    fn field(&mut self, bytes: &[u8]) {
+        self.hasher.update(&(bytes.len() as u64).to_le_bytes());
+        self.hasher.update(bytes);
+    }
+
+    /// Feeds a raw byte field.
+    pub fn bytes(mut self, b: &[u8]) -> KeyBuilder {
+        self.field(b);
+        self
+    }
+
+    /// Feeds a string field.
+    pub fn str(self, s: &str) -> KeyBuilder {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feeds a `u64` field.
+    pub fn u64(self, v: u64) -> KeyBuilder {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds an `f64` field by raw bits (bit-exact; distinguishes `-0.0`).
+    pub fn f64(self, v: f64) -> KeyBuilder {
+        self.bytes(&v.to_bits().to_le_bytes())
+    }
+
+    /// Feeds another key (chains stage keys: `blast = H(compile, …)`).
+    pub fn key(self, k: &ContentHash) -> KeyBuilder {
+        self.bytes(&k.0)
+    }
+
+    /// Feeds any [`Codec`] value through its canonical encoding.
+    pub fn codec<T: Codec>(self, v: &T) -> KeyBuilder {
+        self.bytes(&v.to_bytes())
+    }
+
+    /// Finishes the key.
+    pub fn finish(self) -> ContentHash {
+        ContentHash(self.hasher.finish())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4). Straightforward scalar implementation; the store
+// hashes kilobytes of Verilog per design, so throughput is irrelevant next
+// to synthesis.
+// ---------------------------------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+#[derive(Debug)]
+struct Sha256 {
+    state: [u32; 8],
+    /// Partially filled block.
+    block: [u8; 64],
+    block_len: usize,
+    /// Total message length in bytes.
+    total: u64,
+}
+
+impl Sha256 {
+    fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            block: [0; 64],
+            block_len: 0,
+            total: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.block_len > 0 {
+            let need = 64 - self.block_len;
+            let take = need.min(data.len());
+            self.block[self.block_len..self.block_len + take].copy_from_slice(&data[..take]);
+            self.block_len += take;
+            data = &data[take..];
+            if self.block_len == 64 {
+                let block = self.block;
+                self.compress(&block);
+                self.block_len = 0;
+            }
+            if data.is_empty() {
+                // The partial block absorbed everything; writing the empty
+                // tail below would clobber block_len.
+                return;
+            }
+        }
+        while data.len() >= 64 {
+            let (head, rest) = data.split_at(64);
+            self.compress(head.try_into().expect("64 bytes"));
+            data = rest;
+        }
+        self.block[..data.len()].copy_from_slice(data);
+        self.block_len = data.len();
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, c) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(c.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.block_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.block_len, 0);
+        let mut out = [0u8; 32];
+        for (i, s) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&s.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 known-answer vectors.
+    #[test]
+    fn sha256_known_answers() {
+        assert_eq!(
+            ContentHash::of_bytes(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            ContentHash::of_bytes(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            ContentHash::of_bytes(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        // Feed in awkward chunk sizes to exercise block buffering.
+        let chunk = [b'a'; 997];
+        let mut fed = 0;
+        while fed < 1_000_000 {
+            let n = chunk.len().min(1_000_000 - fed);
+            h.update(&chunk[..n]);
+            fed += n;
+        }
+        assert_eq!(
+            ContentHash(h.finish()).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn key_builder_fields_do_not_alias() {
+        let ab_c = KeyBuilder::new("t").str("ab").str("c").finish();
+        let a_bc = KeyBuilder::new("t").str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+        // Domain separation.
+        assert_ne!(
+            KeyBuilder::new("x").str("v").finish(),
+            KeyBuilder::new("y").str("v").finish()
+        );
+        // Determinism.
+        assert_eq!(
+            KeyBuilder::new("t").u64(7).f64(1.5).finish(),
+            KeyBuilder::new("t").u64(7).f64(1.5).finish()
+        );
+    }
+
+    #[test]
+    fn content_hash_codec_and_hex() {
+        let k = ContentHash::of_bytes(b"xyz");
+        assert_eq!(k.to_hex().len(), 64);
+        let back = ContentHash::from_bytes(&k.to_bytes()).unwrap();
+        assert_eq!(back, k);
+    }
+}

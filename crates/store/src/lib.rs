@@ -1,0 +1,488 @@
+//! Content-addressed artifact store for the RTL-Timer workspace.
+//!
+//! The prepare pipeline (`compile → blast → label → featurize`) and the
+//! optimization candidate flows are all pure functions of their inputs, so
+//! their outputs are memoizable by a **content hash** of (stage inputs × the
+//! configuration fields that stage actually reads). This crate provides the
+//! store those call sites share:
+//!
+//! * [`codec`] — hand-rolled compact binary codec ([`Codec`]); the
+//!   environment is offline, no serde,
+//! * [`hash`] — stable SHA-256 [`ContentHash`] keys via [`KeyBuilder`]
+//!   (identical across processes — the disk tier outlives any one run),
+//! * [`Store`] — a thread-safe two-tier store: a byte-budgeted LRU
+//!   **in-memory** tier holding decoded `Arc<T>` artifacts, over an optional
+//!   **on-disk** tier of checksummed binary entries,
+//! * [`StatsSnapshot`] — per-namespace hit/miss/byte counters for the bench
+//!   reports.
+//!
+//! Lookups are namespaced by stage name so identical keys from different
+//! stages cannot collide and stats stay attributable. Corrupted, truncated,
+//! or version-mismatched disk entries are discarded and treated as misses —
+//! the store never fails a computation, it only skips redundant ones.
+//!
+//! Concurrency model: tiers are guarded by plain mutexes (lookups are
+//! microseconds next to the seconds-long computations being memoized). Two
+//! threads racing to compute the same key both run the computation and the
+//! second insert wins; artifacts are deterministic, so this wastes time but
+//! never changes results. The architectural point of routing every call
+//! site through this one handle is that sharding, batching, or a remote
+//! backend later land behind [`Store`] without touching call sites again.
+
+pub mod codec;
+pub mod hash;
+pub mod stats;
+
+pub use codec::{Codec, CodecError, Dec, Enc, FORMAT_VERSION};
+pub use hash::{ContentHash, KeyBuilder};
+pub use stats::{NamespaceStats, StatsSnapshot};
+
+use stats::StoreStats;
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default in-memory tier budget: 2 GiB of encoded artifact bytes.
+pub const DEFAULT_MEM_BUDGET: usize = 2 << 30;
+
+/// Magic bytes opening every on-disk entry.
+const DISK_MAGIC: [u8; 4] = *b"RTLT";
+/// Fixed disk-entry header size: magic + format version + payload length.
+const DISK_HEADER: usize = 4 + 4 + 8;
+/// Trailing FNV-1a checksum size.
+const DISK_TRAILER: usize = 8;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug)]
+struct MemEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemTier {
+    entries: HashMap<(String, ContentHash), MemEntry>,
+    total_bytes: usize,
+    tick: u64,
+}
+
+/// A thread-safe, content-addressed artifact store with an in-memory tier
+/// and an optional on-disk tier. See the crate docs for the design.
+///
+/// Shared by reference (or `Arc`) across worker threads; all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct Store {
+    enabled: bool,
+    mem: Mutex<MemTier>,
+    mem_budget: usize,
+    disk_dir: Option<PathBuf>,
+    stats: StoreStats,
+    tmp_counter: AtomicU64,
+}
+
+impl Store {
+    /// Memory-only store with the [`DEFAULT_MEM_BUDGET`].
+    pub fn in_memory() -> Store {
+        Store::with_mem_budget(DEFAULT_MEM_BUDGET)
+    }
+
+    /// Memory-only store with an explicit byte budget for the LRU tier.
+    pub fn with_mem_budget(mem_budget: usize) -> Store {
+        Store {
+            enabled: true,
+            mem: Mutex::new(MemTier::default()),
+            mem_budget,
+            disk_dir: None,
+            stats: StoreStats::default(),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Two-tier store persisting under `dir` (created lazily on first
+    /// write). Namespace names become subdirectories, so they must be
+    /// path-safe (the pipeline uses short lowercase words).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Store {
+        let mut s = Store::in_memory();
+        s.disk_dir = Some(dir.into());
+        s
+    }
+
+    /// A pass-through store: every lookup misses, nothing is retained and
+    /// no stats are recorded. Lets non-caching entry points share the
+    /// store-aware code path at zero cost.
+    pub fn disabled() -> Store {
+        let mut s = Store::with_mem_budget(0);
+        s.enabled = false;
+        s
+    }
+
+    /// Whether this store retains anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The on-disk tier root, if one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mem_bytes = self.mem.lock().expect("mem lock").total_bytes as u64;
+        self.stats.snapshot(mem_bytes)
+    }
+
+    /// Looks up `key` in `ns`, returning the artifact from the first tier
+    /// that has it (disk hits are promoted into memory).
+    pub fn get<T>(&self, ns: &str, key: ContentHash) -> Option<Arc<T>>
+    where
+        T: Codec + Send + Sync + 'static,
+    {
+        if !self.enabled {
+            return None;
+        }
+        if let Some(v) = self.mem_get::<T>(ns, key) {
+            self.stats.with_ns(ns, |s| s.mem_hits += 1);
+            return Some(v);
+        }
+        if let Some((v, payload_len)) = self.disk_get::<T>(ns, key) {
+            self.stats.with_ns(ns, |s| s.disk_hits += 1);
+            let v = Arc::new(v);
+            self.mem_put(ns, key, v.clone(), payload_len);
+            return Some(v);
+        }
+        self.stats.with_ns(ns, |s| s.misses += 1);
+        None
+    }
+
+    /// Stores `value` under `(ns, key)` in every configured tier and
+    /// returns it shared.
+    pub fn put<T>(&self, ns: &str, key: ContentHash, value: T) -> Arc<T>
+    where
+        T: Codec + Send + Sync + 'static,
+    {
+        let value = Arc::new(value);
+        if !self.enabled {
+            return value;
+        }
+        // Encode once; the same bytes size the memory tier and fill the
+        // disk tier.
+        let payload = value.to_bytes();
+        self.disk_put(ns, key, &payload);
+        self.mem_put(ns, key, value.clone(), payload.len());
+        value
+    }
+
+    /// Returns the artifact at `(ns, key)`, computing and storing it on a
+    /// miss.
+    pub fn get_or_compute<T>(
+        &self,
+        ns: &str,
+        key: ContentHash,
+        compute: impl FnOnce() -> T,
+    ) -> Arc<T>
+    where
+        T: Codec + Send + Sync + 'static,
+    {
+        let r: Result<Arc<T>, std::convert::Infallible> =
+            self.get_or_try_compute(ns, key, || Ok(compute()));
+        match r {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Fallible [`Store::get_or_compute`]: only successful computations are
+    /// stored; errors pass straight through.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns on a miss.
+    pub fn get_or_try_compute<T, E>(
+        &self,
+        ns: &str,
+        key: ContentHash,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Codec + Send + Sync + 'static,
+    {
+        if !self.enabled {
+            return compute().map(Arc::new);
+        }
+        if let Some(v) = self.get::<T>(ns, key) {
+            return Ok(v);
+        }
+        Ok(self.put(ns, key, compute()?))
+    }
+
+    // -- in-memory tier ----------------------------------------------------
+
+    fn mem_get<T: Send + Sync + 'static>(&self, ns: &str, key: ContentHash) -> Option<Arc<T>> {
+        let mut tier = self.mem.lock().expect("mem lock");
+        tier.tick += 1;
+        let tick = tier.tick;
+        let entry = tier.entries.get_mut(&(ns.to_owned(), key))?;
+        entry.last_used = tick;
+        entry.value.clone().downcast::<T>().ok()
+    }
+
+    /// `bytes` is the encoded payload length — cheap to obtain (the caller
+    /// already encoded for the disk tier or read the entry), consistent
+    /// across tiers, and proportional to resident footprint for the flat
+    /// vector-heavy artifacts the pipeline stores.
+    fn mem_put<T: Send + Sync + 'static>(
+        &self,
+        ns: &str,
+        key: ContentHash,
+        value: Arc<T>,
+        bytes: usize,
+    ) {
+        if bytes > self.mem_budget {
+            return;
+        }
+        let mut tier = self.mem.lock().expect("mem lock");
+        tier.tick += 1;
+        let tick = tier.tick;
+        if let Some(old) = tier.entries.insert(
+            (ns.to_owned(), key),
+            MemEntry {
+                value,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            tier.total_bytes -= old.bytes;
+        }
+        tier.total_bytes += bytes;
+        while tier.total_bytes > self.mem_budget {
+            let lru = tier
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match lru {
+                Some(k) => {
+                    let e = tier.entries.remove(&k).expect("lru entry");
+                    tier.total_bytes -= e.bytes;
+                    self.stats.count_eviction();
+                }
+                None => break,
+            }
+        }
+    }
+
+    // -- on-disk tier ------------------------------------------------------
+
+    fn entry_path(dir: &Path, ns: &str, key: ContentHash) -> PathBuf {
+        dir.join(ns).join(format!("{}.bin", key.to_hex()))
+    }
+
+    fn disk_get<T: Codec>(&self, ns: &str, key: ContentHash) -> Option<(T, usize)> {
+        let dir = self.disk_dir.as_deref()?;
+        let path = Self::entry_path(dir, ns, key);
+        let bytes = std::fs::read(&path).ok()?;
+        match Self::parse_entry::<T>(&bytes) {
+            Some(v) => {
+                self.stats
+                    .with_ns(ns, |s| s.bytes_read += bytes.len() as u64);
+                Some((v, bytes.len() - DISK_HEADER - DISK_TRAILER))
+            }
+            None => {
+                // Corrupted/truncated/stale entry: drop it so the slot is
+                // rewritten by the recompute. Never an error — just a miss.
+                let _ = std::fs::remove_file(&path);
+                self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
+                None
+            }
+        }
+    }
+
+    fn parse_entry<T: Codec>(bytes: &[u8]) -> Option<T> {
+        if bytes.len() < DISK_HEADER + DISK_TRAILER || bytes[..4] != DISK_MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != DISK_HEADER + len + DISK_TRAILER {
+            return None;
+        }
+        let payload = &bytes[DISK_HEADER..DISK_HEADER + len];
+        let checksum = u64::from_le_bytes(
+            bytes[DISK_HEADER + len..]
+                .try_into()
+                .expect("trailer bytes"),
+        );
+        if fnv1a(payload) != checksum {
+            return None;
+        }
+        T::from_bytes(payload).ok()
+    }
+
+    fn disk_put(&self, ns: &str, key: ContentHash, payload: &[u8]) {
+        let Some(dir) = self.disk_dir.as_deref() else {
+            return;
+        };
+        let mut bytes = Vec::with_capacity(DISK_HEADER + payload.len() + DISK_TRAILER);
+        bytes.extend_from_slice(&DISK_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let checksum = fnv1a(payload);
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        // Best-effort persistence: a full disk or permission problem must
+        // not fail the pipeline. Write-to-temp + rename keeps concurrent
+        // readers (and writers racing on the same key) atomic.
+        let ns_dir = dir.join(ns);
+        if std::fs::create_dir_all(&ns_dir).is_err() {
+            return;
+        }
+        let tmp = ns_dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.to_hex(),
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, &bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        let final_path = Self::entry_path(dir, ns, key);
+        if std::fs::rename(&tmp, &final_path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        self.stats
+            .with_ns(ns, |s| s.bytes_written += bytes.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> ContentHash {
+        KeyBuilder::new("test").u64(n).finish()
+    }
+
+    #[test]
+    fn memory_hit_after_put() {
+        let store = Store::in_memory();
+        assert!(store.get::<u64>("ns", key(1)).is_none());
+        store.put("ns", key(1), 42u64);
+        assert_eq!(*store.get::<u64>("ns", key(1)).unwrap(), 42);
+        let s = store.stats().namespace("ns");
+        assert_eq!((s.mem_hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let store = Store::in_memory();
+        store.put("a", key(1), 1u64);
+        store.put("b", key(1), 2u64);
+        assert_eq!(*store.get::<u64>("a", key(1)).unwrap(), 1);
+        assert_eq!(*store.get::<u64>("b", key(1)).unwrap(), 2);
+    }
+
+    #[test]
+    fn get_or_compute_runs_once() {
+        let store = Store::in_memory();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = store.get_or_compute("ns", key(2), || {
+                calls += 1;
+                7u64
+            });
+            assert_eq!(*v, 7);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn failed_computations_are_not_cached() {
+        let store = Store::in_memory();
+        let r: Result<Arc<u64>, &str> = store.get_or_try_compute("ns", key(3), || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        let v = store.get_or_try_compute::<u64, &str>("ns", key(3), || Ok(11));
+        assert_eq!(*v.unwrap(), 11);
+    }
+
+    #[test]
+    fn disabled_store_is_pass_through() {
+        let store = Store::disabled();
+        let mut calls = 0;
+        for _ in 0..2 {
+            store.get_or_compute("ns", key(4), || {
+                calls += 1;
+                1u64
+            });
+        }
+        assert_eq!(calls, 2);
+        assert!(store.stats().namespaces.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        // Each Vec<u64> of 8 elements encodes to 4 + 64 bytes; budget fits
+        // two entries.
+        let store = Store::with_mem_budget(150);
+        let v = |x: u64| vec![x; 8];
+        store.put("ns", key(1), v(1));
+        store.put("ns", key(2), v(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(store.get::<Vec<u64>>("ns", key(1)).is_some());
+        store.put("ns", key(3), v(3));
+        assert!(store.get::<Vec<u64>>("ns", key(2)).is_none(), "evicted");
+        assert!(store.get::<Vec<u64>>("ns", key(1)).is_some());
+        assert!(store.get::<Vec<u64>>("ns", key(3)).is_some());
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.stats().mem_bytes <= 150);
+    }
+
+    #[test]
+    fn oversized_value_skips_memory_tier() {
+        let store = Store::with_mem_budget(16);
+        store.put("ns", key(5), vec![0u64; 100]);
+        assert!(store.get::<Vec<u64>>("ns", key(5)).is_none());
+        assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn checksum_catches_corruption() {
+        let good = {
+            let mut e = Enc::new();
+            e.raw(&DISK_MAGIC);
+            e.u32(FORMAT_VERSION);
+            let payload = 99u64.to_bytes();
+            e.u64(payload.len() as u64);
+            let sum = fnv1a(&payload);
+            e.raw(&payload);
+            e.u64(sum);
+            e.into_bytes()
+        };
+        assert_eq!(Store::parse_entry::<u64>(&good), Some(99));
+        let mut flipped = good.clone();
+        flipped[DISK_HEADER] ^= 1;
+        assert_eq!(Store::parse_entry::<u64>(&flipped), None);
+        assert_eq!(Store::parse_entry::<u64>(&good[..good.len() - 1]), None);
+        let mut stale = good;
+        stale[4] ^= 0xFF; // format version
+        assert_eq!(Store::parse_entry::<u64>(&stale), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-namespace hit/miss/byte accounting for a [`crate::Store`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Counters of one namespace (one pipeline stage).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Lookups served from the in-memory tier.
+    pub mem_hits: u64,
+    /// Lookups served from the on-disk tier (and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing and had to compute.
+    pub misses: u64,
+    /// Payload bytes written to the disk tier.
+    pub bytes_written: u64,
+    /// Payload bytes read back from the disk tier.
+    pub bytes_read: u64,
+    /// Disk entries that failed verification/decoding and were discarded.
+    pub corrupt_entries: u64,
+}
+
+impl NamespaceStats {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Hit rate in percent (100 when there were no lookups — an untouched
+    /// stage is "fully skipped", which is what warm-cache checks want).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Point-in-time snapshot of a store's counters, namespace-keyed.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Per-namespace counters, sorted by namespace name.
+    pub namespaces: Vec<(String, NamespaceStats)>,
+    /// In-memory entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident in the in-memory tier.
+    pub mem_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Counters of one namespace (zeros if never touched).
+    pub fn namespace(&self, ns: &str) -> NamespaceStats {
+        self.namespaces
+            .iter()
+            .find(|(n, _)| n == ns)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Aggregate counters over a set of namespaces (zeros if none touched).
+    pub fn aggregate<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> NamespaceStats {
+        let mut total = NamespaceStats::default();
+        for ns in names {
+            let s = self.namespace(ns);
+            total.mem_hits += s.mem_hits;
+            total.disk_hits += s.disk_hits;
+            total.misses += s.misses;
+            total.bytes_written += s.bytes_written;
+            total.bytes_read += s.bytes_read;
+            total.corrupt_entries += s.corrupt_entries;
+        }
+        total
+    }
+}
+
+/// Thread-safe counter store, internal to [`crate::Store`].
+#[derive(Debug, Default)]
+pub(crate) struct StoreStats {
+    inner: Mutex<BTreeMap<String, NamespaceStats>>,
+    evictions: std::sync::atomic::AtomicU64,
+}
+
+impl StoreStats {
+    pub(crate) fn with_ns(&self, ns: &str, f: impl FnOnce(&mut NamespaceStats)) {
+        let mut map = self.inner.lock().expect("stats lock");
+        f(map.entry(ns.to_owned()).or_default());
+    }
+
+    pub(crate) fn count_eviction(&self) {
+        self.evictions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, mem_bytes: u64) -> StatsSnapshot {
+        let map = self.inner.lock().expect("stats lock");
+        StatsSnapshot {
+            namespaces: map.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            evictions: self.evictions.load(std::sync::atomic::Ordering::Relaxed),
+            mem_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_conventions() {
+        let empty = NamespaceStats::default();
+        assert_eq!(empty.hit_rate_pct(), 100.0);
+        let s = NamespaceStats {
+            mem_hits: 3,
+            disk_hits: 6,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.hits(), 9);
+        assert!((s.hit_rate_pct() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_sums_namespaces() {
+        let stats = StoreStats::default();
+        stats.with_ns("a", |s| s.misses = 2);
+        stats.with_ns("b", |s| s.mem_hits = 8);
+        let snap = stats.snapshot(0);
+        let agg = snap.aggregate(["a", "b", "untouched"]);
+        assert_eq!(agg.misses, 2);
+        assert_eq!(agg.mem_hits, 8);
+        assert!((agg.hit_rate_pct() - 80.0).abs() < 1e-12);
+    }
+}

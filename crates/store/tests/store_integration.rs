@@ -1,0 +1,253 @@
+//! Integration tests of the two-tier store: on-disk persistence across
+//! store instances (the "across processes" contract — a fresh `Store` has
+//! no memory tier to lean on), corruption fallback, and interaction with
+//! the `rtlt-runtime` executor the pipeline threads it through.
+
+use proptest::prelude::*;
+use rtlt_store::{Codec, ContentHash, Enc, KeyBuilder, Store};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch directory per test, best-effort removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rtlt-store-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn key(label: &str) -> ContentHash {
+    KeyBuilder::new("integration").str(label).finish()
+}
+
+#[test]
+fn disk_entries_survive_into_a_fresh_store_instance() {
+    let scratch = ScratchDir::new("persist");
+    let value = vec![1.5f64, f64::NAN, -0.0, 1e300];
+
+    let writer = Store::on_disk(&scratch.0);
+    writer.put("stage", key("a"), value.clone());
+
+    // A brand-new store over the same directory (≈ a second process: no
+    // shared memory tier, keys re-derived from scratch) hits on disk.
+    let reader = Store::on_disk(&scratch.0);
+    let got = reader.get::<Vec<f64>>("stage", key("a")).expect("disk hit");
+    assert_eq!(got.len(), value.len());
+    assert_eq!(got[0], 1.5);
+    assert!(got[1].is_nan());
+    assert_eq!(got[2].to_bits(), (-0.0f64).to_bits());
+    assert_eq!(got[3], 1e300);
+    let s = reader.stats().namespace("stage");
+    assert_eq!((s.disk_hits, s.mem_hits, s.misses), (1, 0, 0));
+
+    // Promotion: the second lookup is served from memory.
+    let _ = reader.get::<Vec<f64>>("stage", key("a")).expect("mem hit");
+    assert_eq!(reader.stats().namespace("stage").mem_hits, 1);
+}
+
+#[test]
+fn content_keys_are_identical_across_builders() {
+    // Same inputs, independently constructed builders (no shared state):
+    // the disk tier relies on this to be stable across processes.
+    let a = KeyBuilder::new("stage")
+        .str("design")
+        .u64(2024)
+        .f64(0.6)
+        .finish();
+    let b = KeyBuilder::new("stage")
+        .str("design")
+        .u64(2024)
+        .f64(0.6)
+        .finish();
+    assert_eq!(a, b);
+    assert_eq!(a.to_hex(), b.to_hex());
+    // And any input change moves the key.
+    assert_ne!(
+        a,
+        KeyBuilder::new("stage")
+            .str("design")
+            .u64(2025)
+            .f64(0.6)
+            .finish()
+    );
+}
+
+#[test]
+fn corrupted_disk_entry_falls_back_to_recompute() {
+    let scratch = ScratchDir::new("corrupt");
+    let store = Store::on_disk(&scratch.0);
+    store.put("ns", key("x"), 1234u64);
+
+    // Flip one payload byte in the single entry file.
+    let entry = find_entry(&scratch.0);
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() - 9; // inside the payload, before the checksum
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&entry, &bytes).unwrap();
+
+    let fresh = Store::on_disk(&scratch.0);
+    let mut computed = false;
+    let v = fresh.get_or_compute("ns", key("x"), || {
+        computed = true;
+        1234u64
+    });
+    assert!(computed, "corrupt entry must recompute");
+    assert_eq!(*v, 1234);
+    let s = fresh.stats().namespace("ns");
+    assert_eq!(s.corrupt_entries, 1);
+    assert_eq!(s.misses, 1);
+
+    // The recompute rewrote a valid entry.
+    let healed = Store::on_disk(&scratch.0);
+    assert_eq!(*healed.get::<u64>("ns", key("x")).expect("healed"), 1234);
+}
+
+#[test]
+fn truncated_disk_entry_falls_back_to_recompute() {
+    let scratch = ScratchDir::new("truncate");
+    let store = Store::on_disk(&scratch.0);
+    store.put("ns", key("t"), vec![7u64; 32]);
+
+    let entry = find_entry(&scratch.0);
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    let fresh = Store::on_disk(&scratch.0);
+    assert!(fresh.get::<Vec<u64>>("ns", key("t")).is_none());
+    assert_eq!(fresh.stats().namespace("ns").corrupt_entries, 1);
+    // The bad file was dropped so the slot can heal.
+    assert!(!entry.exists());
+}
+
+fn find_entry(root: &std::path::Path) -> PathBuf {
+    fn walk(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+        for e in std::fs::read_dir(dir).unwrap() {
+            let p = e.unwrap().path();
+            if p.is_dir() {
+                walk(&p, out);
+            } else if p.extension().is_some_and(|x| x == "bin") {
+                out.push(p);
+            }
+        }
+    }
+    let mut found = Vec::new();
+    walk(root, &mut found);
+    assert_eq!(found.len(), 1, "expected exactly one entry under {root:?}");
+    found.into_iter().next().unwrap()
+}
+
+#[test]
+fn try_par_map_stays_deterministic_with_a_shared_store() {
+    // The pipeline's contract: when several workers fail concurrently
+    // while all of them also hit a shared store handle, the surfaced error
+    // is still the lowest-indexed one, and successful artifacts written
+    // before the failure remain valid.
+    let store = Arc::new(Store::in_memory());
+    let items: Vec<usize> = (0..64).collect();
+    for round in 0..10 {
+        let computed = AtomicUsize::new(0);
+        let err = rtlt_runtime::try_par_map(8, &items, |&i| {
+            // Everyone touches the store first (mem tier contention).
+            let v = store.get_or_compute("work", key(&format!("item{i}")), || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                i as u64
+            });
+            assert_eq!(*v, i as u64);
+            // Items 11 and 43 fail on every round; 29 fails late.
+            match i {
+                11 | 43 => Err(format!("fail {i}")),
+                29 => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    Err(format!("fail {i}"))
+                }
+                _ => Ok(i),
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "fail 11", "round {round}");
+    }
+    // Artifacts memoized on earlier rounds were reused, not recomputed:
+    // ten rounds over 64 items but at most 64 misses ever.
+    let s = store.stats().namespace("work");
+    assert!(s.mem_hits > 0);
+    assert!(s.misses <= 64, "misses = {}", s.misses);
+    assert_eq!(*store.get::<u64>("work", key("item0")).unwrap(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Codec round-trip over a composite artifact shape: every value
+    /// decodes back bit-exactly from its own encoding.
+    #[test]
+    fn codec_round_trips_composite_values(
+        floats in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ints in proptest::collection::vec(0u64..u64::MAX, 0..32),
+        word in "|a|ab|design_név|u0.state\\[3\\]|àéîœ∞",
+        flag in Just(true),
+    ) {
+        let value = (
+            (word.clone(), floats.clone()),
+            (ints.clone(), vec![flag, !flag]),
+        );
+        let bytes = value.to_bytes();
+        let back = <((String, Vec<f64>), (Vec<u64>, Vec<bool>))>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.0 .0, &word);
+        prop_assert_eq!(&back.0 .1, &floats);
+        prop_assert_eq!(&back.1 .0, &ints);
+        prop_assert!(back.1.1 == vec![flag, !flag]);
+    }
+
+    /// Nested sequence round-trip (the `tok_feats`-like shape), plus the
+    /// truncation contract: any strict prefix fails to decode rather than
+    /// yielding a wrong value.
+    #[test]
+    fn codec_rejects_all_truncations(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 0..8),
+            1..12,
+        ),
+    ) {
+        let bytes = rows.to_bytes();
+        let back = Vec::<Vec<f64>>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &rows);
+        // Strict prefixes never decode to a full value.
+        let step = (bytes.len() / 16).max(1);
+        let mut cut = 0;
+        while cut < bytes.len() {
+            prop_assert!(Vec::<Vec<f64>>::from_bytes(&bytes[..cut]).is_err());
+            cut += step;
+        }
+    }
+
+    /// Distinct byte strings never collide on their content hash (a
+    /// collision within proptest's reach would mean the hash is broken).
+    #[test]
+    fn content_hashes_of_distinct_inputs_differ(
+        a in proptest::collection::vec(0u8..=255, 0..128),
+        b in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        let mut ea = Enc::new();
+        ea.raw(&a);
+        let mut eb = Enc::new();
+        eb.raw(&b);
+        let ha = ContentHash::of_bytes(&ea.into_bytes());
+        let hb = ContentHash::of_bytes(&eb.into_bytes());
+        prop_assert_eq!(a == b, ha == hb);
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod ast;
 pub mod astfeat;
+mod codec;
 mod elab;
 mod error;
 mod lexer;

@@ -10,5 +10,6 @@ pub use rtlt_designgen as designgen;
 pub use rtlt_liberty as liberty;
 pub use rtlt_ml as ml;
 pub use rtlt_sta as sta;
+pub use rtlt_store as store;
 pub use rtlt_synth as synth;
 pub use rtlt_verilog as verilog;

@@ -95,6 +95,57 @@ fn deterministic_preparation_and_prediction() {
 }
 
 #[test]
+fn design_data_round_trips_through_the_disk_store() {
+    // A preparation written by one store instance must be readable by a
+    // fresh instance over the same directory (the cross-process warm-cache
+    // path of the bench binaries), and the decoded DesignData must be
+    // bit-identical to the computed one — the byte-identical-tables
+    // guarantee rests on this.
+    use rtl_timer_repro::rtl_timer::cache::stage;
+    use rtl_timer_repro::rtl_timer::PrepareStages;
+    use rtlt_store::Store;
+
+    let dir = std::env::temp_dir().join(format!("rtlt-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = cfg();
+    let stages = PrepareStages::new(&config);
+    let (name, src) = &sources()[0];
+
+    let writer = Store::on_disk(&dir);
+    let computed = stages.run_with(&writer, name, src).expect("compiles");
+
+    let reader = Store::on_disk(&dir);
+    let decoded = stages.run_with(&reader, name, src).expect("warm hit");
+    let s = reader.stats().namespace(stage::FEATURIZE);
+    assert_eq!((s.disk_hits, s.misses), (1, 0), "served from disk");
+
+    assert_eq!(decoded.name, computed.name);
+    assert_eq!(decoded.labels_at, computed.labels_at);
+    assert_eq!(decoded.signal_names, computed.signal_names);
+    assert_eq!(decoded.sog.nodes(), computed.sog.nodes());
+    assert_eq!(decoded.sog.regs(), computed.sog.regs());
+    assert_eq!(decoded.clock.to_bits(), computed.clock.to_bits());
+    assert_eq!(decoded.wns.to_bits(), computed.wns.to_bits());
+    assert_eq!(decoded.ast_feats, computed.ast_feats);
+    assert_eq!(decoded.prepare_key, computed.prepare_key);
+    for (dv, cv) in decoded.variant_data.iter().zip(&computed.variant_data) {
+        assert_eq!(dv.variant, cv.variant);
+        assert_eq!(dv.endpoint_sta_at, cv.endpoint_sta_at);
+        assert_eq!(dv.groups, cv.groups);
+        assert_eq!(dv.design_feats, cv.design_feats);
+        assert_eq!(dv.rows.len(), cv.rows.len());
+        for (dr, cr) in dv.rows.iter().zip(&cv.rows) {
+            assert_eq!(dr.features, cr.features);
+            assert_eq!(dr.ops, cr.ops);
+            assert_eq!(dr.tok_feats, cr.tok_feats);
+            assert_eq!(dr.endpoint, cr.endpoint);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn labels_respond_to_structure() {
     // The register fed by a multiplier must have later ground-truth
     // arrivals than a pass-through register in the same design.
