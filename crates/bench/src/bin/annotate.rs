@@ -1,0 +1,187 @@
+//! **Incremental annotation demo** — the paper's early-optimization loop
+//! (§3.5.1, Fig. 3) end to end: prepare a hierarchical multi-module design,
+//! train (or reuse) a model, open an [`IncrementalAnnotator`] session, edit
+//! one lane module, and re-annotate.
+//!
+//! Asserts (and reports in `BENCH_annotate.json` under `incremental`) the
+//! architecture's contract:
+//!
+//! 1. editing one module recomputes only the featurize shards of the cones
+//!    it feeds (per-namespace store stats),
+//! 2. the warm incremental re-annotation is an order of magnitude faster
+//!    than a cold full prepare of the same edited design, and
+//! 3. the annotated output is byte-identical to a cold recompute.
+//!
+//! With `--selfcheck` the process exits non-zero when any of the structural
+//! invariants (1) or (3) fail — the CI smoke job runs exactly that.
+
+use rtl_timer::incremental::IncrementalAnnotator;
+use rtl_timer::pipeline::{DesignSet, PrepareStages, RtlTimer};
+use rtlt_bench::{json::Json, positional_args, Bench};
+use rtlt_designgen::hier;
+use rtlt_store::Store;
+use std::time::Instant;
+
+const TOP: &str = "hier_soc";
+const WIDTH: u32 = 32;
+const DEPTH: u32 = 3;
+
+fn main() {
+    let bench = Bench::from_env();
+    let cfg = bench.cfg.clone();
+    let args = positional_args();
+    let selfcheck = args.iter().any(|a| a == "--selfcheck");
+    let lanes: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--lanes="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let trainers = if rtlt_bench::fast() { 2 } else { 4 };
+
+    // Base design + a few sibling designs to train on.
+    let base = hier::soc(TOP, lanes, WIDTH, DEPTH);
+    let mut sources = vec![(TOP.to_owned(), base.clone())];
+    for i in 0..trainers {
+        let name = format!("soc_trainer{i}");
+        sources.push((name.clone(), hier::soc(&name, lanes, WIDTH, DEPTH)));
+    }
+    eprintln!(
+        "[annotate] preparing {} designs ({lanes} lanes each) ...",
+        sources.len()
+    );
+    let t = Instant::now();
+    let set = DesignSet::prepare_named_with(&sources, &cfg, &bench.store).expect("valid sources");
+    eprintln!("[annotate] prepared in {:.2}s", t.elapsed().as_secs_f64());
+    let (train, test) = set.split(&[TOP]);
+    let model = RtlTimer::fit_with(&bench.store, &train, &cfg);
+    let base_d = test[0];
+    let t = Instant::now();
+    let _ = model.predict(base_d);
+    let predict_s = t.elapsed().as_secs_f64();
+    eprintln!("[annotate] one full-design inference: {predict_s:.3}s");
+
+    // Session: pin the baseline clock, annotate the unedited source once.
+    let mut annotator = IncrementalAnnotator::new(base_d, &cfg);
+    let out0 = annotator
+        .reannotate(&base, &model, &bench.store)
+        .expect("baseline pass");
+    println!(
+        "baseline annotation @ clock {:.3}ns: {} shards, {} warm",
+        annotator.clock(),
+        out0.total_shards,
+        out0.reused_shards
+    );
+
+    // The edit: one lane's first pipeline stage changes.
+    let edited_lane = lanes / 2;
+    let edited = hier::edit_lane(&base, edited_lane).expect("lane edit");
+    let t = Instant::now();
+    let warm = annotator
+        .reannotate(&edited, &model, &bench.store)
+        .expect("incremental pass");
+    let warm_s = t.elapsed().as_secs_f64();
+    println!(
+        "edit lane{edited_lane}: dirty modules {:?}, {} / {} shards recomputed in {:.3}s",
+        warm.dirty_modules, warm.dirty_shards, warm.total_shards, warm_s
+    );
+
+    // Reference 1: a cold full prepare of the edited design (fresh store —
+    // compile, blast, label synthesis, every shard).
+    let t = Instant::now();
+    let _cold_prep = PrepareStages::new(&cfg)
+        .run_with(&Store::in_memory(), TOP, &edited)
+        .expect("cold prepare");
+    let cold_prepare_s = t.elapsed().as_secs_f64();
+    let speedup = cold_prepare_s / warm_s.max(1e-9);
+    println!(
+        "cold full prepare of the edited design: {cold_prepare_s:.3}s → incremental speedup {speedup:.1}x"
+    );
+
+    // Reference 2: the same re-annotation against a cold store must be
+    // byte-identical (incrementality changes reuse, never results).
+    let mut cold_session = IncrementalAnnotator::new(base_d, &cfg);
+    let cold = cold_session
+        .reannotate(&edited, &model, &Store::in_memory())
+        .expect("cold pass");
+    let byte_identical = cold.annotated == warm.annotated;
+    println!(
+        "cold vs warm annotation: {}",
+        if byte_identical {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    // A taste of the output.
+    println!("\nannotated head:");
+    for line in warm.annotated.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // Structural expectations. The provenance bound covers the edited
+    // lane's DEPTH pipeline signals plus the top accumulator (it reads
+    // every lane); the content keys refine that to the one cone the edit
+    // actually reached (stage 0 of the edited lane), one shard per
+    // representation.
+    let expected_bound = DEPTH as usize + 1;
+    let checks = [
+        ("baseline pass fully warm", out0.dirty_shards == 0),
+        (
+            "edit recomputes only the changed cone",
+            warm.dirty_shards == 4,
+        ),
+        (
+            "recomputation within the provenance bound",
+            warm.dirty_cone_bound.len() == expected_bound
+                && warm.dirty_shards <= 4 * warm.dirty_cone_bound.len() as u64,
+        ),
+        (
+            "dirty modules = the edited lane",
+            warm.dirty_modules == vec![hier::lane_name(edited_lane)],
+        ),
+        ("byte-identical to cold recompute", byte_identical),
+    ];
+    let mut failed = false;
+    for (what, ok) in checks {
+        println!("check: {what}: {}", if ok { "ok" } else { "FAIL" });
+        failed |= !ok;
+    }
+
+    bench.write_report(
+        "annotate",
+        vec![(
+            "incremental",
+            Json::obj([
+                ("lanes", Json::UInt(lanes as u64)),
+                ("edited_lane", Json::UInt(edited_lane as u64)),
+                ("total_shards", Json::UInt(warm.total_shards)),
+                ("dirty_shards", Json::UInt(warm.dirty_shards)),
+                ("reused_shards", Json::UInt(warm.reused_shards)),
+                (
+                    "dirty_cone_bound",
+                    Json::UInt(warm.dirty_cone_bound.len() as u64),
+                ),
+                (
+                    "dirty_modules",
+                    Json::Arr(
+                        warm.dirty_modules
+                            .iter()
+                            .map(|m| Json::Str(m.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("reannotate_seconds", Json::Num(warm_s)),
+                ("cold_prepare_seconds", Json::Num(cold_prepare_s)),
+                ("speedup", Json::Num(speedup)),
+                ("byte_identical", Json::Bool(byte_identical)),
+                ("clock_ns", Json::Num(annotator.clock())),
+            ]),
+        )],
+    );
+
+    if selfcheck && failed {
+        eprintln!("[annotate] selfcheck FAILED");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 use rtl_timer::metrics::rank_groups;
 use rtl_timer::optimize::{path_groups_from_scores, retime_set_from_scores};
 use rtl_timer::pipeline::PrepareStages;
-use rtlt_bench::{ascii_histogram, positional_args, Bench};
+use rtlt_bench::{ascii_histogram, json::Json, positional_args, Bench};
 use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
 
@@ -88,5 +88,25 @@ fn main() {
         g.iter().filter(|&&x| x == 1).count(),
         g.iter().filter(|&&x| x == 2).count(),
         g.iter().filter(|&&x| x == 3).count()
+    );
+
+    let flow = |r: &rtlt_synth::SynthResult| {
+        Json::obj([("wns", Json::Num(r.wns)), ("tns", Json::Num(r.tns))])
+    };
+    bench.write_report(
+        "fig4",
+        vec![
+            ("design", Json::Str(name.clone())),
+            ("clock_ns", Json::Num(clock)),
+            (
+                "flows",
+                Json::obj([
+                    ("default", flow(&default)),
+                    ("w_group", flow(&w_group)),
+                    ("w_retime", flow(&w_retime)),
+                    ("w_both", flow(&w_both)),
+                ]),
+            ),
+        ],
     );
 }

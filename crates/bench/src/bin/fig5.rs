@@ -5,7 +5,7 @@
 use rtl_timer::metrics::pearson;
 use rtl_timer::optimize::optimize_design_with;
 use rtl_timer::pipeline::RtlTimer;
-use rtlt_bench::{ascii_histogram, positional_args, Bench};
+use rtlt_bench::{ascii_histogram, json::Json, positional_args, Bench};
 use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
 
@@ -19,7 +19,7 @@ fn main() {
     let cfg = bench.cfg.clone();
     let (train, test) = set.split(&[target.as_str()]);
     eprintln!("[fig5] training on {} designs ...", train.len());
-    let model = RtlTimer::fit(&train, &cfg);
+    let model = RtlTimer::fit_with(&bench.store, &train, &cfg);
     let d = test[0];
     let pred = model.predict(d);
 
@@ -86,4 +86,19 @@ fn main() {
         outcome.with_pred.wns, outcome.with_pred.tns
     );
     println!("{}", ascii_histogram(&after, 12, 46));
+
+    bench.write_report(
+        "fig5",
+        vec![
+            ("design", Json::Str(target.clone())),
+            ("bit_r", Json::Num(pred.bit_r())),
+            ("bit_mape_pct", Json::Num(pred.bit_mape())),
+            ("signal_r", Json::Num(pred.signal_r())),
+            ("signal_covr_ltr_pct", Json::Num(pred.signal_covr_ranking())),
+            ("default_wns", Json::Num(outcome.default.wns)),
+            ("default_tns", Json::Num(outcome.default.tns)),
+            ("optimized_wns", Json::Num(outcome.with_pred.wns)),
+            ("optimized_tns", Json::Num(outcome.with_pred.tns)),
+        ],
+    );
 }

@@ -2,7 +2,7 @@
 //! Not a paper table — a development aid.
 
 use rtl_timer::pipeline::RtlTimer;
-use rtlt_bench::Bench;
+use rtlt_bench::{json::Json, Bench};
 use std::time::Instant;
 
 fn main() {
@@ -13,8 +13,10 @@ fn main() {
     let (train, test) = set.split(&test_names);
     eprintln!("[probe] training on {} designs ...", train.len());
     let t = Instant::now();
-    let model = RtlTimer::fit(&train, &cfg);
-    eprintln!("[probe] fit in {:.1}s", t.elapsed().as_secs_f64());
+    let model = RtlTimer::fit_with(&bench.store, &train, &cfg);
+    let fit_seconds = t.elapsed().as_secs_f64();
+    eprintln!("[probe] fit in {fit_seconds:.1}s");
+    let mut per_design = Vec::new();
     for d in test {
         let t = Instant::now();
         let p = model.predict(d);
@@ -42,5 +44,18 @@ fn main() {
             "           variants SOG/AIG/AIMG/XAG R = {}",
             vr.join(" / ")
         );
+        per_design.push(Json::obj([
+            ("design", Json::Str(d.name.to_string())),
+            ("bit_r", Json::Num(p.bit_r())),
+            ("signal_r", Json::Num(p.signal_r())),
+            ("signal_covr_ltr_pct", Json::Num(p.signal_covr_ranking())),
+        ]));
     }
+    bench.write_report(
+        "probe",
+        vec![
+            ("fit_seconds", Json::Num(fit_seconds)),
+            ("designs", Json::Arr(per_design)),
+        ],
+    );
 }

@@ -24,7 +24,7 @@ fn main() {
     let sample: Vec<&str> = vec!["b17", "b18", "Rocket1", "Vex5", "syscaes"];
     let (train, test) = set.split(&sample);
     eprintln!("[runtime] training reference model ...");
-    let model = RtlTimer::fit(&train, &cfg);
+    let model = RtlTimer::fit_with(&bench.store, &train, &cfg);
 
     println!("\n§4.5 — runtime analysis (per design, times in ms)\n");
     let mut t = Table::new(&[

@@ -4,10 +4,11 @@
 
 use rtl_timer::features::PATH_FEATURE_NAMES;
 use rtl_timer::metrics::{mean, pearson};
-use rtlt_bench::{f2, Bench, Table};
+use rtlt_bench::{f2, json::Json, Bench, Table};
 
 fn main() {
-    let set = Bench::from_env().prepare_suite();
+    let bench = Bench::from_env();
+    let set = bench.prepare_suite();
     let nf = PATH_FEATURE_NAMES.len();
     // Per design, correlation of each feature (critical-path row of each
     // endpoint) with the ground-truth arrival label.
@@ -48,4 +49,21 @@ fn main() {
     t.print();
     println!("\nPaper reference (Table 2): cone driving regs R≈0.45; path AT-on-R R≈0.43,");
     println!("levels R≈0.51, operators R≈0.56, fanout R≈0.40, load R≈0.38, slew R≈0.38.");
+
+    bench.write_report(
+        "table2",
+        vec![(
+            "feature_avg_abs_r",
+            Json::Obj(
+                (0..nf)
+                    .map(|f| {
+                        (
+                            PATH_FEATURE_NAMES[f].to_owned(),
+                            Json::Num(mean(&per_feature[f])),
+                        )
+                    })
+                    .collect(),
+            ),
+        )],
+    );
 }

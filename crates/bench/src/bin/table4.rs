@@ -6,8 +6,8 @@
 use rtl_timer::baselines::{AstStyle, GnnBaseline, MasterRtlStyle, SignalDirect, SnsStyle};
 use rtl_timer::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use rtl_timer::metrics::{covr, mape, mean, pearson, r_squared};
-use rtl_timer::pipeline::{cross_validate, DesignData};
-use rtlt_bench::{f2, folds, pct, Bench, Table};
+use rtl_timer::pipeline::{cross_validate_with, DesignData};
+use rtlt_bench::{f2, folds, json::Json, pct, Bench, Table};
 
 fn finite(pred: &[f64], label: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let mut p = Vec::new();
@@ -56,7 +56,7 @@ fn main() {
     let cfg = bench.cfg.clone();
     let k = folds();
     eprintln!("[table4] {k}-fold cross-validation (RTL-Timer full stack) ...");
-    let preds = cross_validate(&set, k, &cfg);
+    let preds = cross_validate_with(&set, k, &cfg, &bench.store);
 
     // ---- Bit-wise section (CV ablations on the SOG representation). ----
     eprintln!("[table4] bit-wise ablations ...");
@@ -245,4 +245,20 @@ fn main() {
     t.print();
     println!("paper: WNS — SNS 0.73/0.58/33, MasterRTL 0.89/0.74/15, RTL-Timer 0.91/0.86/12");
     println!("       TNS — ICCAD'22 0.65/0.32/42, MasterRTL 0.96/0.94/34, RTL-Timer 0.98/0.97/18");
+
+    let rtl_wns = &rows_wns.last().expect("RTL-Timer row").1;
+    let rtl_tns = &rows_tns.last().expect("RTL-Timer row").1;
+    bench.write_report(
+        "table4",
+        vec![
+            ("folds", Json::UInt(k as u64)),
+            ("bit_r_avg", Json::Num(mean(&bit_rtl.r))),
+            ("bit_mape_pct_avg", Json::Num(mean(&bit_rtl.mape))),
+            ("bit_covr_pct_avg", Json::Num(mean(&bit_rtl.covr))),
+            ("signal_r_avg", Json::Num(mean(&sig_reg.r))),
+            ("signal_covr_ltr_pct_avg", Json::Num(mean(&covr_ltr))),
+            ("wns_r", Json::Num(pearson(rtl_wns, &label_w))),
+            ("tns_r", Json::Num(pearson(rtl_tns, &label_t))),
+        ],
+    );
 }

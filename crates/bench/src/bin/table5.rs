@@ -3,9 +3,9 @@
 //! designs), showing the variance reduction from ensemble learning.
 
 use rtl_timer::metrics::{covr, mean, pearson, std_dev};
-use rtl_timer::pipeline::cross_validate;
+use rtl_timer::pipeline::cross_validate_with;
 use rtl_timer::signal::signal_labels;
-use rtlt_bench::{f2, folds, pct, Bench, Table};
+use rtlt_bench::{f2, folds, json::Json, pct, Bench, Table};
 
 fn main() {
     let bench = Bench::from_env();
@@ -13,7 +13,7 @@ fn main() {
     let cfg = bench.cfg.clone();
     let k = folds();
     eprintln!("[table5] {k}-fold cross-validation ...");
-    let preds = cross_validate(&set, k, &cfg);
+    let preds = cross_validate_with(&set, k, &cfg, &bench.store);
 
     let variant_names = ["SOG", "AIG", "AIMG", "XAG"];
     // Bit-wise per variant + ensemble.
@@ -60,7 +60,19 @@ fn main() {
     t.row(fmt_row("signal-wise avg COVR", &sig_covr, &mean, false));
     t.row(fmt_row("signal-wise std COVR", &sig_covr, &std_dev, false));
     t.print();
-    let _ = variant_names;
     println!("\npaper: bit-wise avg R 0.85/0.75/0.76/0.77 → ensemble 0.88 (std 0.18..0.26 → 0.08)");
     println!("       signal avg R 0.82/0.81/0.84/0.80 → 0.89; COVR 65/71/72/71 → 80");
+
+    let cols = variant_names.iter().copied().chain(["Ensemble"]);
+    bench.write_report(
+        "table5",
+        vec![(
+            "bit_r_avg",
+            Json::Obj(
+                cols.zip(&bit_r)
+                    .map(|(name, col)| (name.to_owned(), Json::Num(mean(col))))
+                    .collect(),
+            ),
+        )],
+    );
 }

@@ -4,8 +4,8 @@
 
 use rtl_timer::metrics::mean;
 use rtl_timer::optimize::{optimize_design_with, FlowMetrics, OptimizationOutcome};
-use rtl_timer::pipeline::cross_validate;
-use rtlt_bench::{f2, folds, Bench, Table};
+use rtl_timer::pipeline::cross_validate_with;
+use rtlt_bench::{f2, folds, json::Json, Bench, Table};
 
 fn main() {
     let bench = Bench::from_env();
@@ -13,7 +13,7 @@ fn main() {
     let cfg = bench.cfg.clone();
     let k = folds();
     eprintln!("[table6] {k}-fold cross-validation for rankings ...");
-    let preds = cross_validate(&set, k, &cfg);
+    let preds = cross_validate_with(&set, k, &cfg, &bench.store);
 
     eprintln!("[table6] running optimization flows per design ...");
     // Candidate flows share the bench store: identical candidates are
@@ -91,4 +91,17 @@ fn main() {
     let (dw, dt) = avg_flow(&|o| o.default);
     let (pw, pt) = avg_flow(&|o| o.with_pred);
     println!("absolute averages: default WNS {dw:.3} TNS {dt:.1} | w.pred WNS {pw:.3} TNS {pt:.1}");
+
+    bench.write_report(
+        "table6",
+        vec![
+            ("folds", Json::UInt(k as u64)),
+            ("avg1_wns_pred_delta_pct", Json::Num(mean(&avg1[0]))),
+            ("avg1_tns_pred_delta_pct", Json::Num(mean(&avg1[1]))),
+            ("avg2_wns_pred_delta_pct", Json::Num(mean(&avg2[0]))),
+            ("avg2_tns_pred_delta_pct", Json::Num(mean(&avg2[1]))),
+            ("avg2_wns_real_delta_pct", Json::Num(mean(&avg2[4]))),
+            ("avg2_tns_real_delta_pct", Json::Num(mean(&avg2[5]))),
+        ],
+    );
 }

@@ -6,12 +6,18 @@
 //! * `RTLT_SEED=<u64>` — override the master seed (default 2024),
 //! * `--cache-dir <DIR>` / `--cache-dir=<DIR>` / `RTLT_CACHE_DIR=<DIR>` —
 //!   root of the shared on-disk artifact store (default
-//!   `target/rtlt-cache`; `none`/`off` disables persistence).
+//!   `target/rtlt-cache`; `none`/`off` disables persistence),
+//! * `gc [BUDGET_BYTES]` subcommand — size-bounded LRU-by-mtime eviction of
+//!   the disk tier (budget also via `RTLT_CACHE_BUDGET_BYTES`, default
+//!   4 GiB), then exit,
+//! * `--cache-stats` — print per-namespace disk usage and exit.
 //!
 //! All suite preparation goes through [`Bench::prepare_suite`], which
 //! threads the shared [`Store`] through the prepare pipeline: a warm second
 //! run of any binary answers suite preparation from the `featurize`
 //! namespace instead of re-running compile → blast → label → featurize.
+//! Every binary writes a machine-readable `BENCH_<bin>.json` via
+//! [`Bench::write_report`].
 
 pub mod json;
 
@@ -22,6 +28,69 @@ use rtlt_store::{NamespaceStats, StatsSnapshot, Store};
 use std::cell::Cell;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Default disk-tier GC budget when neither the `gc` argument nor
+/// `RTLT_CACHE_BUDGET_BYTES` specifies one: 4 GiB.
+pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 30;
+
+/// The disk-tier GC budget: `RTLT_CACHE_BUDGET_BYTES`, else the default.
+pub fn cache_budget() -> u64 {
+    std::env::var("RTLT_CACHE_BUDGET_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CACHE_BUDGET)
+}
+
+/// Handles the cache-maintenance invocations shared by every bench binary:
+/// the `gc [BUDGET_BYTES]` subcommand and the `--cache-stats` flag. Returns
+/// `true` when a maintenance action ran (the binary should exit).
+pub fn run_maintenance(store: &Store) -> bool {
+    let args = positional_args();
+    if args.first().map(String::as_str) == Some("gc") {
+        let budget = args
+            .get(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(cache_budget);
+        let r = store.gc(budget);
+        println!(
+            "[gc] scanned {} files ({} KiB), evicted {} files ({} KiB), {} KiB remain (budget {} KiB)",
+            r.scanned_files,
+            r.scanned_bytes / 1024,
+            r.evicted_files,
+            r.evicted_bytes / 1024,
+            r.remaining_bytes / 1024,
+            budget / 1024
+        );
+        return true;
+    }
+    if std::env::args().any(|a| a == "--cache-stats") {
+        match store.disk_dir() {
+            None => println!("(no disk tier configured)"),
+            Some(dir) => {
+                println!("disk tier under {}:", dir.display());
+                let usage = store.disk_usage();
+                let mut t = Table::new(&["namespace", "entries", "KiB"]);
+                let mut total = 0u64;
+                for (ns, files, bytes) in &usage {
+                    total += bytes;
+                    t.row(vec![
+                        ns.clone(),
+                        files.to_string(),
+                        (bytes / 1024).to_string(),
+                    ]);
+                }
+                t.print();
+                println!(
+                    "total: {} KiB (gc budget {} KiB)",
+                    total / 1024,
+                    cache_budget() / 1024
+                );
+            }
+        }
+        return true;
+    }
+    false
+}
 
 /// Whether fast (smoke) mode is requested.
 pub fn fast() -> bool {
@@ -82,15 +151,16 @@ pub fn cache_dir() -> Option<PathBuf> {
     Some(PathBuf::from("target/rtlt-cache"))
 }
 
-/// Positional process arguments with harness flags (`--cache-dir [DIR]`)
-/// stripped — for binaries that take a design name argument.
+/// Positional process arguments with harness flags (`--cache-dir [DIR]`,
+/// `--cache-stats`) stripped — for binaries that take a design name
+/// argument.
 pub fn positional_args() -> Vec<String> {
     let mut out = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--cache-dir" {
             let _ = args.next();
-        } else if !a.starts_with("--cache-dir=") {
+        } else if !a.starts_with("--cache-dir=") && a != "--cache-stats" {
             out.push(a);
         }
     }
@@ -116,11 +186,17 @@ impl Default for Bench {
 
 impl Bench {
     /// Builds the harness from environment variables and process arguments.
+    /// Cache-maintenance invocations (`gc`, `--cache-stats`) are handled
+    /// here — they run against the configured store and exit, so every
+    /// bench binary supports them uniformly.
     pub fn from_env() -> Bench {
         let store = match cache_dir() {
             Some(dir) => Store::on_disk(dir),
             None => Store::in_memory(),
         };
+        if run_maintenance(&store) {
+            std::process::exit(0);
+        }
         Bench {
             cfg: config(),
             store,

@@ -4,8 +4,15 @@
 //! endpoint to all driving registers — the endpoint's *input cone* `C`. The
 //! cone's driving-register count sizes the random path sample `K_i` and is
 //! itself a model feature (Table 2).
+//!
+//! [`extract_signal_cone`] additionally materializes a signal's combined
+//! input cone as a standalone, canonically-numbered sub-graph — the unit of
+//! the sharded featurize cache: two designs (or two edits of one design)
+//! whose cone-feeding modules are unchanged extract byte-identical
+//! sub-graphs, regardless of how node ids shifted in the full design.
 
-use crate::graph::{Bog, BogOp, NodeId};
+use crate::graph::{Bog, BogBuilder, BogOp, NodeId};
+use std::collections::HashMap;
 
 /// Summary of an endpoint's combinational input cone.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -85,6 +92,123 @@ fn cone_depth(bog: &Bog, id: NodeId, memo: &mut [Option<u32>]) -> u32 {
     memo[id as usize].expect("computed")
 }
 
+/// Extracts the combined input cone of one RTL signal (all its bit
+/// endpoints) as a standalone [`Bog`] in **canonical numbering**.
+///
+/// The sub-graph is rebuilt through a fresh [`BogBuilder`] in a fixed
+/// traversal order (bit 0's D cone first, fanins in slot order), so its
+/// encoded bytes are a pure function of the cone's *structure*: node ids of
+/// the source graph never leak in. Boundary elements become local sources:
+///
+/// * driving registers turn into 1-bit self-holding DFFs named
+///   `signal[bit]` (launch timing is clk→Q, independent of D),
+/// * primary inputs and constants keep their identity.
+///
+/// The target signal's registers come first (builder regs `0..width`), so a
+/// per-endpoint computation over the sub-graph covers exactly the signal's
+/// endpoints by iterating `0..width`.
+///
+/// # Panics
+///
+/// Panics if `sig` is out of range.
+pub fn extract_signal_cone(bog: &Bog, sig: usize) -> Bog {
+    let s = &bog.signals()[sig];
+    let mut b = BogBuilder::new(bog.name.clone(), bog.variant);
+    let qs = b.signal(s.name.clone(), s.width, s.decl_line, s.top_level);
+
+    let input_names: HashMap<NodeId, &str> = bog
+        .inputs()
+        .iter()
+        .map(|(n, id)| (*id, n.as_str()))
+        .collect();
+    let reg_of_q: HashMap<NodeId, u32> = bog
+        .regs()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.q, i as u32))
+        .collect();
+
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for (bit, &ri) in s.regs.iter().enumerate() {
+        map.insert(bog.regs()[ri as usize].q, qs[bit]);
+    }
+    // Builder register slots: the target signal occupies 0..width, boundary
+    // registers follow in discovery order.
+    let mut n_regs = s.width as usize;
+    let mut boundary: Vec<(usize, NodeId)> = Vec::new(); // (builder reg, its q)
+
+    let mut translate = |b: &mut BogBuilder, root: NodeId, map: &mut HashMap<NodeId, NodeId>| {
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if map.contains_key(&n) {
+                continue;
+            }
+            let node = bog.node(n);
+            if expanded {
+                let f = node.fanins;
+                let m = |x: NodeId| map[&x];
+                let new_id = match node.op {
+                    BogOp::Not => b.not(m(f[0])),
+                    BogOp::And2 => b.and2(m(f[0]), m(f[1])),
+                    BogOp::Or2 => b.or2(m(f[0]), m(f[1])),
+                    BogOp::Xor2 => b.xor2(m(f[0]), m(f[1])),
+                    BogOp::Mux2 => b.mux2(m(f[0]), m(f[1]), m(f[2])),
+                    _ => unreachable!("sources handled on first visit"),
+                };
+                map.insert(n, new_id);
+                continue;
+            }
+            match node.op {
+                BogOp::Input => {
+                    let name = input_names.get(&n).copied().unwrap_or("in");
+                    let id = b.input(name.to_owned());
+                    map.insert(n, id);
+                }
+                BogOp::Const0 => {
+                    let id = b.const0();
+                    map.insert(n, id);
+                }
+                BogOp::Const1 => {
+                    let id = b.const1();
+                    map.insert(n, id);
+                }
+                BogOp::Dff => {
+                    // Boundary register: a 1-bit self-holding launch point
+                    // named after the original signal bit.
+                    let r = &bog.regs()[reg_of_q[&n] as usize];
+                    let src = &bog.signals()[r.signal as usize];
+                    let q =
+                        b.signal(format!("{}[{}]", src.name, r.bit), 1, src.decl_line, false)[0];
+                    boundary.push((n_regs, q));
+                    n_regs += 1;
+                    map.insert(n, q);
+                }
+                _ => {
+                    stack.push((n, true));
+                    // Reverse so fanin slot 0 is translated first.
+                    for &f in node.fanins[..node.op.arity()].iter().rev() {
+                        if !map.contains_key(&f) {
+                            stack.push((f, false));
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    for &ri in &s.regs {
+        let d = bog.regs()[ri as usize].d;
+        translate(&mut b, d, &mut map);
+    }
+    for (bit, &ri) in s.regs.iter().enumerate() {
+        b.set_reg_d(bit, map[&bog.regs()[ri as usize].d]);
+    }
+    for (reg_idx, q) in boundary {
+        b.set_reg_d(reg_idx, q);
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +246,69 @@ mod tests {
         let low_bit_reg = bog.signals()[sig_r2].regs[0] as usize;
         let low = input_cone(&bog, bog.regs()[low_bit_reg].d);
         assert!(low.size < cone.size);
+    }
+
+    #[test]
+    fn extracted_cone_preserves_cone_shape() {
+        let bog = blast(
+            &compile(
+                "module m(input clk, input [3:0] a, input [3:0] b, output [3:0] q);
+                   reg [3:0] r1;
+                   reg [3:0] r2;
+                   always @(posedge clk) begin
+                     r1 <= a ^ b;
+                     r2 <= r1 + (a & r2);
+                   end
+                   assign q = r2;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        for (sig, s) in bog.signals().iter().enumerate() {
+            let sub = extract_signal_cone(&bog, sig);
+            assert_eq!(sub.signals()[0].name, s.name);
+            assert_eq!(sub.signals()[0].width, s.width);
+            for (bit, &ri) in s.regs.iter().enumerate() {
+                let global = input_cone(&bog, bog.regs()[ri as usize].d);
+                let local = input_cone(&sub, sub.regs()[bit].d);
+                assert_eq!(global.driving_regs, local.driving_regs, "{}[{bit}]", s.name);
+                assert_eq!(global.driving_inputs, local.driving_inputs);
+                assert_eq!(global.size, local.size);
+                assert_eq!(global.depth, local.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_canonical_across_unrelated_edits() {
+        use rtlt_store::Codec;
+        let src = |extra: &str| {
+            format!(
+                "module m(input clk, input [7:0] a, input [7:0] b, output [7:0] q);
+                   reg [7:0] keep;
+                   reg [7:0] churn;
+                   always @(posedge clk) begin
+                     keep <= a + b;
+                     churn <= {extra};
+                   end
+                   assign q = keep ^ churn;
+                 endmodule"
+            )
+        };
+        let base = blast(&compile(&src("a & b"), "m").unwrap());
+        let edited = blast(&compile(&src("(a | b) + churn"), "m").unwrap());
+        let sig =
+            |bog: &Bog, name: &str| bog.signals().iter().position(|s| s.name == name).unwrap();
+        // `keep`'s cone is untouched by the edit: canonical bytes match even
+        // though global node ids shifted.
+        let a = extract_signal_cone(&base, sig(&base, "keep"));
+        let b = extract_signal_cone(&edited, sig(&edited, "keep"));
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        // `churn`'s cone did change.
+        let a = extract_signal_cone(&base, sig(&base, "churn"));
+        let b = extract_signal_cone(&edited, sig(&edited, "churn"));
+        assert_ne!(a.to_bytes(), b.to_bytes());
     }
 
     #[test]

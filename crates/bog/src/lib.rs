@@ -42,14 +42,16 @@ mod blast;
 mod codec;
 mod cone;
 mod graph;
+mod provenance;
 mod sim;
 mod stats;
 mod variants;
 
 pub use blast::blast;
-pub use cone::{input_cone, ConeInfo};
+pub use cone::{extract_signal_cone, input_cone, ConeInfo};
 pub use graph::{
     Bog, BogBuilder, BogOp, BogReg, BogVariant, Endpoint, NodeId, SignalInfo, NO_NODE,
 };
+pub use provenance::signal_provenance;
 pub use sim::BitSim;
 pub use stats::BogStats;

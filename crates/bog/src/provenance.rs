@@ -1,0 +1,114 @@
+//! Cone → module provenance.
+//!
+//! For every RTL sequential signal, computes the set of source modules its
+//! input cone was elaborated from. This is the invalidation map of the
+//! incremental pipeline: editing a module can only change the cones whose
+//! module set contains it, so everything else is reusable by key.
+//!
+//! The set is the union, over every word-level node in the signal's
+//! next-state cone (boundary registers and inputs included), of the node's
+//! scope *ancestor chain*. Descendant modules are covered transitively by
+//! the dependency-closed module keys (`rtlt_verilog::modsrc`); ancestors
+//! must be explicit because parameters flow downward through instantiation.
+
+use rtlt_verilog::rtlir::Netlist;
+use std::collections::BTreeSet;
+
+/// Module-name sets feeding each signal's input cone, aligned with the
+/// netlist's register order (which is also [`crate::blast`]'s signal
+/// order). Each set is sorted and deduplicated.
+pub fn signal_provenance(netlist: &Netlist) -> Vec<Vec<String>> {
+    let n = netlist.nodes().len();
+    // Scope → ancestor-chain module names, computed once.
+    let chains: Vec<Vec<&str>> = (0..netlist.scopes().len() as u32)
+        .map(|s| netlist.scope_module_chain(s))
+        .collect();
+
+    netlist
+        .regs()
+        .iter()
+        .map(|r| {
+            let mut modules: BTreeSet<&str> = BTreeSet::new();
+            let mut seen = vec![false; n];
+            let mut stack = vec![r.next, r.q];
+            while let Some(id) = stack.pop() {
+                if seen[id as usize] {
+                    continue;
+                }
+                seen[id as usize] = true;
+                modules.extend(chains[netlist.node_scope(id) as usize].iter().copied());
+                // Boundary registers and inputs have no fanins, so the walk
+                // stops at them after recording their scope (a boundary
+                // register's own module matters — the register could
+                // disappear — but its D cone is a different cone).
+                for f in netlist.fanins(id) {
+                    if !seen[f as usize] {
+                        stack.push(f);
+                    }
+                }
+            }
+            modules.into_iter().map(str::to_owned).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlt_verilog::compile;
+
+    const SRC: &str = "module laneA(input clk, input [3:0] a, output [3:0] y);
+               reg [3:0] ra;
+               always @(posedge clk) ra <= a + 4'd1;
+               assign y = ra;
+             endmodule
+             module laneB(input clk, input [3:0] b, output [3:0] y);
+               reg [3:0] rb;
+               always @(posedge clk) rb <= b ^ 4'd5;
+               assign y = rb;
+             endmodule
+             module top(input clk, input [3:0] a, input [3:0] b, output [3:0] q);
+               wire [3:0] ya;
+               wire [3:0] yb;
+               laneA u0 (.clk(clk), .a(a), .y(ya));
+               laneB u1 (.clk(clk), .b(b), .y(yb));
+               reg [3:0] merge;
+               always @(posedge clk) merge <= ya & yb;
+               assign q = merge;
+             endmodule";
+
+    #[test]
+    fn disjoint_lanes_have_disjoint_module_sets() {
+        let netlist = compile(SRC, "top").unwrap();
+        let prov = signal_provenance(&netlist);
+        assert_eq!(prov.len(), netlist.regs().len());
+        let of = |name: &str| {
+            let i = netlist.regs().iter().position(|r| r.name == name).unwrap();
+            prov[i].clone()
+        };
+        // Lane registers: their own module plus the top (ancestor chain —
+        // the instantiation site and parameters live there).
+        assert_eq!(of("u0.ra"), vec!["laneA".to_owned(), "top".to_owned()]);
+        assert_eq!(of("u1.rb"), vec!["laneB".to_owned(), "top".to_owned()]);
+        // The merge register reads both lanes' outputs.
+        assert_eq!(
+            of("merge"),
+            vec!["laneA".to_owned(), "laneB".to_owned(), "top".to_owned()]
+        );
+    }
+
+    #[test]
+    fn flat_design_provenance_is_the_top_module() {
+        let netlist = compile(
+            "module m(input clk, input d, output q);
+               reg r;
+               always @(posedge clk) r <= d;
+               assign q = r;
+             endmodule",
+            "m",
+        )
+        .unwrap();
+        let prov = signal_provenance(&netlist);
+        assert_eq!(prov, vec![vec!["m".to_owned()]]);
+    }
+}

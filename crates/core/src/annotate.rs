@@ -3,10 +3,23 @@
 //! Marks the technology node and predicted WNS/TNS at the top of the file,
 //! and appends `// (name) Slack@…ns rank@g…` to the declaration line of
 //! every top-level sequential signal.
+//!
+//! Annotation is **idempotent**: an already-annotated source has its header
+//! replaced in place (line count preserved, so declaration line numbers
+//! from a re-parse stay aligned) and stale per-signal comments stripped
+//! before fresh ones are appended — the edit → annotate → edit loop never
+//! accumulates duplicates. Line endings (`\n` vs `\r\n`) are preserved.
 
 use crate::metrics::rank_groups;
 use crate::pipeline::{DesignData, Prediction};
 use std::collections::HashMap;
+
+/// First header line prefix.
+const TECH_PREFIX: &str = "// Tech:";
+/// Second header line prefix.
+const WNS_PREFIX: &str = "// Predicted WNS:";
+/// Opening of a per-signal annotation comment.
+const SIGNAL_MARKER: &str = " // (";
 
 /// Produces an annotated copy of the design's Verilog source.
 pub fn annotate_source(d: &DesignData, pred: &Prediction) -> String {
@@ -28,27 +41,143 @@ pub fn annotate_source(d: &DesignData, pred: &Prediction) -> String {
         ));
     }
 
+    let header = [
+        "// Tech: NanGate45-like (synthetic)".to_owned(),
+        format!(
+            "// Predicted WNS: {:.2}ns, TNS: {:.2}ns @ clock {:.2}ns",
+            pred.wns_pred, pred.tns_pred, d.clock
+        ),
+    ];
+    annotate_text(&d.source, &per_line, &header)
+}
+
+/// Whether `s` consists *entirely* of one or more of this module's own
+/// annotation comments (`// (<name>) Slack@<value>ns rank@g<digits>`,
+/// space-separated). Anything else — including a user comment that merely
+/// resembles the opener — is not strippable.
+fn is_annotation_run(mut s: &str) -> bool {
+    loop {
+        let Some(rest) = s.strip_prefix("// (") else {
+            return false;
+        };
+        let Some(close) = rest.find(") Slack@") else {
+            return false;
+        };
+        // The name must look like a (hierarchical) signal identifier —
+        // otherwise a user comment such as `// (note) ...` followed by a
+        // real annotation would validate as one giant annotation.
+        let name = &rest[..close];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '$' | '[' | ']'))
+        {
+            return false;
+        }
+        let rest = &rest[close + ") Slack@".len()..];
+        let Some(ns) = rest.find("ns rank@g") else {
+            return false;
+        };
+        let value = &rest[..ns];
+        if value.is_empty()
+            || !value
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+        {
+            return false;
+        }
+        let rest = &rest[ns + "ns rank@g".len()..];
+        let digits = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if digits == 0 {
+            return false;
+        }
+        match rest[digits..].strip_prefix(' ') {
+            None => return rest[digits..].is_empty(),
+            Some(next) => s = next,
+        }
+    }
+}
+
+/// Trims a trailing run of per-signal annotation comments (and trailing
+/// whitespace) from one line, leaving the code — and any user comments,
+/// even ones shaped like `// (...)` — untouched.
+fn strip_signal_comment(line: &str) -> &str {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(SIGNAL_MARKER) {
+        let pos = from + rel;
+        if is_annotation_run(&line[pos + 1..]) {
+            return line[..pos].trim_end();
+        }
+        from = pos + SIGNAL_MARKER.len();
+    }
+    line.trim_end()
+}
+
+/// Whether the source opens with an annotation header.
+fn has_header(lines: &[&str]) -> bool {
+    lines.len() >= 2 && lines[0].starts_with(TECH_PREFIX) && lines[1].starts_with(WNS_PREFIX)
+}
+
+/// Removes every annotation this module produces: the two header lines (if
+/// present) and all trailing per-signal comments. Useful for diffing an
+/// annotated file against its pristine source.
+pub fn strip_annotations(source: &str) -> String {
+    let eol = line_ending(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let skip = if has_header(&lines) { 2 } else { 0 };
     let mut out = String::new();
-    out.push_str(&format!(
-        "// Tech: NanGate45-like (synthetic)\n// Predicted WNS: {:.2}ns, TNS: {:.2}ns @ clock {:.2}ns\n",
-        pred.wns_pred, pred.tns_pred, d.clock
-    ));
-    for (lineno, line) in d.source.lines().enumerate() {
-        let n = lineno as u32 + 1;
+    for line in &lines[skip..] {
+        out.push_str(strip_signal_comment(line));
+        out.push_str(eol);
+    }
+    out
+}
+
+fn line_ending(source: &str) -> &'static str {
+    if source.contains("\r\n") {
+        "\r\n"
+    } else {
+        "\n"
+    }
+}
+
+/// The text transformation behind [`annotate_source`]: replaces (or
+/// prepends) the two-line header and rewrites each annotated line.
+/// `per_line` keys are 1-based line numbers of the *input* source — when
+/// the input is already annotated, its header lines are replaced one for
+/// one, so downstream line numbers stay valid.
+fn annotate_text(
+    source: &str,
+    per_line: &HashMap<u32, Vec<String>>,
+    header: &[String; 2],
+) -> String {
+    let eol = line_ending(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let replacing = has_header(&lines);
+
+    let mut out = String::new();
+    out.push_str(&header[0]);
+    out.push_str(eol);
+    out.push_str(&header[1]);
+    out.push_str(eol);
+    for (idx, line) in lines.iter().enumerate() {
+        if replacing && idx < 2 {
+            continue;
+        }
+        let n = idx as u32 + 1;
         match per_line.get(&n) {
             Some(annos) => {
-                out.push_str(line.trim_end());
+                out.push_str(strip_signal_comment(line));
                 for a in annos {
                     out.push(' ');
                     out.push_str(a);
                 }
-                out.push('\n');
             }
-            None => {
-                out.push_str(line);
-                out.push('\n');
-            }
+            None => out.push_str(line.trim_end_matches('\r')),
         }
+        out.push_str(eol);
     }
     out
 }
@@ -58,13 +187,22 @@ mod tests {
     use super::*;
     use crate::pipeline::{DesignSet, RtlTimer, TimerConfig};
 
-    #[test]
-    fn annotation_marks_sequential_signals() {
+    fn prepared(src: &str) -> (DesignSet, RtlTimer, TimerConfig) {
         let cfg = TimerConfig {
             threads: 2,
             ..Default::default()
         };
-        let src = "module t(input clk, input [7:0] a, output [7:0] q);
+        let sources = vec![
+            ("t".to_owned(), src.to_owned()),
+            ("u".to_owned(), src.replace("module t", "module u")),
+        ];
+        let set = DesignSet::prepare_named_or_panic(&sources, &cfg);
+        let (train, _) = set.split(&["t"]);
+        let model = RtlTimer::fit(&train, &cfg);
+        (set, model, cfg)
+    }
+
+    const SRC: &str = "module t(input clk, input [7:0] a, output [7:0] q);
   reg [7:0] slow_acc;
   reg [7:0] fast_copy;
   always @(posedge clk) begin
@@ -73,20 +211,147 @@ mod tests {
   end
   assign q = slow_acc ^ fast_copy;
 endmodule";
-        let sources = vec![
-            ("t".to_owned(), src.to_owned()),
-            ("u".to_owned(), src.replace("module t", "module u")),
-        ];
-        let set = DesignSet::prepare_named_or_panic(&sources, &cfg);
-        let (train, test) = set.split(&["t"]);
-        let model = RtlTimer::fit(&train, &cfg);
-        let pred = model.predict(test[0]);
-        let annotated = annotate_source(test[0], &pred);
+
+    #[test]
+    fn annotation_marks_sequential_signals() {
+        let (set, model, _) = prepared(SRC);
+        let d = set.get("t").unwrap();
+        let pred = model.predict(d);
+        let annotated = annotate_source(d, &pred);
         assert!(annotated.contains("Predicted WNS"));
         assert!(annotated.contains("(slow_acc) Slack@"), "{annotated}");
         assert!(annotated.contains("(fast_copy) Slack@"));
         assert!(annotated.contains("rank@g"));
         // Original code is preserved.
         assert!(annotated.contains("assign q = slow_acc ^ fast_copy;"));
+    }
+
+    #[test]
+    fn multiple_declarations_on_one_line_each_get_annotated() {
+        let src = "module t(input clk, input [3:0] a, output [3:0] q);
+  reg [3:0] r1; reg [3:0] r2;
+  always @(posedge clk) begin r1 <= a; r2 <= r1 + a; end
+  assign q = r2;
+endmodule";
+        let (set, model, _) = prepared(src);
+        let d = set.get("t").unwrap();
+        let annotated = annotate_source(d, &model.predict(d));
+        let decl_line = annotated
+            .lines()
+            .find(|l| l.contains("reg [3:0] r1;"))
+            .expect("decl line present");
+        assert!(decl_line.contains("(r1) Slack@"), "{decl_line}");
+        assert!(decl_line.contains("(r2) Slack@"), "{decl_line}");
+    }
+
+    #[test]
+    fn non_top_level_signals_are_skipped() {
+        let src = "module sub(input clk, input [3:0] d, output [3:0] y);
+  reg [3:0] hidden;
+  always @(posedge clk) hidden <= d + 4'd1;
+  assign y = hidden;
+endmodule
+module t(input clk, input [3:0] a, output [3:0] q);
+  wire [3:0] w;
+  sub u0 (.clk(clk), .d(a), .y(w));
+  reg [3:0] visible;
+  always @(posedge clk) visible <= w;
+  assign q = visible;
+endmodule";
+        let (set, model, _) = prepared(src);
+        let d = set.get("t").unwrap();
+        let annotated = annotate_source(d, &model.predict(d));
+        assert!(annotated.contains("(visible) Slack@"));
+        assert!(
+            !annotated.contains("(u0.hidden)"),
+            "sub-module signals are not annotatable on the top source"
+        );
+    }
+
+    #[test]
+    fn crlf_sources_keep_their_line_endings() {
+        let src = SRC.replace('\n', "\r\n");
+        let (set, model, _) = prepared(&src);
+        let d = set.get("t").unwrap();
+        let annotated = annotate_source(d, &model.predict(d));
+        assert!(annotated.contains("(slow_acc) Slack@"));
+        // Every line — including the annotated ones — ends with \r\n.
+        assert_eq!(
+            annotated.matches('\n').count(),
+            annotated.matches("\r\n").count()
+        );
+        assert!(!annotated.contains("\r\r"));
+    }
+
+    #[test]
+    fn annotation_is_idempotent() {
+        let (set, model, cfg) = prepared(SRC);
+        let d = set.get("t").unwrap();
+        let pred = model.predict(d);
+        let once = annotate_source(d, &pred);
+
+        // Re-prepare the *annotated* source (as the editing loop does) and
+        // annotate again: the header is replaced, not stacked, and signal
+        // comments are refreshed, not duplicated.
+        let set2 = DesignSet::prepare_named_or_panic(&[("t".to_owned(), once.clone())], &cfg);
+        let d2 = set2.get("t").unwrap();
+        let pred2 = model.predict(d2);
+        let twice = annotate_source(d2, &pred2);
+        assert_eq!(once.lines().count(), twice.lines().count());
+        assert_eq!(twice.matches(TECH_PREFIX).count(), 1);
+        assert_eq!(twice.matches("(slow_acc) Slack@").count(), 1, "{twice}");
+        // And the stripped bodies agree with the pristine source.
+        let mut pristine = String::from(SRC);
+        pristine.push('\n');
+        assert_eq!(strip_annotations(&twice), pristine);
+        assert_eq!(strip_annotations(&once), pristine);
+    }
+
+    #[test]
+    fn strip_annotations_of_pristine_source_is_identity() {
+        let mut pristine = String::from(SRC);
+        pristine.push('\n');
+        assert_eq!(strip_annotations(&pristine), pristine);
+    }
+
+    #[test]
+    fn user_comments_survive_repeated_annotation() {
+        // A user comment shaped like our marker opener must never be
+        // stripped — only the appended annotation run is.
+        let src = "module t(input clk, input [3:0] a, output [3:0] q);
+  reg [3:0] r; // (gain stage) keep me
+  always @(posedge clk) r <= r + a;
+  assign q = r;
+endmodule";
+        let (set, model, cfg) = prepared(src);
+        let d = set.get("t").unwrap();
+        let once = annotate_source(d, &model.predict(d));
+        let decl = once.lines().find(|l| l.contains("reg [3:0] r;")).unwrap();
+        assert!(decl.contains("// (gain stage) keep me"), "{decl}");
+        assert!(decl.contains("// (r) Slack@"), "{decl}");
+
+        let set2 = DesignSet::prepare_named_or_panic(&[("t".to_owned(), once.clone())], &cfg);
+        let d2 = set2.get("t").unwrap();
+        let twice = annotate_source(d2, &model.predict(d2));
+        let decl = twice.lines().find(|l| l.contains("reg [3:0] r;")).unwrap();
+        assert!(decl.contains("// (gain stage) keep me"), "{decl}");
+        assert_eq!(decl.matches("Slack@").count(), 1, "{decl}");
+    }
+
+    #[test]
+    fn annotation_run_validator_is_strict() {
+        assert!(is_annotation_run("// (r) Slack@-0.10ns rank@g1"));
+        assert!(is_annotation_run(
+            "// (a) Slack@1.25ns rank@g2 // (b) Slack@-3.00ns rank@g4"
+        ));
+        assert!(!is_annotation_run("// (gain stage) keep me"));
+        assert!(!is_annotation_run(
+            "// (gain stage) keep me // (r) Slack@-0.12ns rank@g1"
+        ));
+        assert!(!is_annotation_run("// (r) Slack@oops rank@g1"));
+        assert!(!is_annotation_run("// (r) Slack@-0.10ns rank@gX"));
+        assert!(!is_annotation_run(
+            "// (r) Slack@-0.10ns rank@g1 trailing words"
+        ));
     }
 }

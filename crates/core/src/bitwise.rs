@@ -244,6 +244,34 @@ impl BitwiseModel {
     }
 }
 
+/// Persistence for the production (tree-based) model family. The MLP and
+/// transformer variants exist only for the Table-5 ablations and are never
+/// part of a fitted [`crate::pipeline::RtlTimer`]; encoding one is a logic
+/// error.
+impl rtlt_store::Codec for BitwiseModel {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        match self {
+            BitwiseModel::Tree { model, crit_only } => {
+                e.u8(0);
+                e.bool(*crit_only);
+                model.encode(e);
+            }
+            BitwiseModel::Mlp { .. } | BitwiseModel::Transformer { .. } => {
+                unreachable!("only tree-based bitwise models are persisted")
+            }
+        }
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        match d.u8()? {
+            0 => Ok(BitwiseModel::Tree {
+                crit_only: d.bool()?,
+                model: Gbdt::decode(d)?,
+            }),
+            _ => Err(rtlt_store::CodecError::new("BitwiseModel tag")),
+        }
+    }
+}
+
 fn row_to_sample(row: &crate::dataset::PathRow) -> PathSample {
     PathSample {
         ops: row.ops.clone(),

@@ -5,21 +5,35 @@
 //! outputs are memoizable under the chained keys built here:
 //!
 //! ```text
-//! compile   = H(name, source)                      // reads no config
+//! modast    = H(module text)                       // per-module parse
+//! compile   = H(module_key(top))                   // dep-closed module keys
 //! blast     = H(compile)                           // reads no config
 //! label     = H(blast, cfg.seed, cfg.synth_effort) // the label flow's inputs
 //! featurize = H(label)                             // derives everything else
+//! shard     = H(variant, clock, seed,              // per-signal featurize
+//!               cone module keys, cone content)    //   slice
+//! model     = H(sorted train prepare_keys, seed)   // fitted RtlTimer
 //! ```
+//!
+//! The design-level keys are **module-granular** since PR 3:
+//! `module_key = H(name, text, dep_module_keys)` (see
+//! [`rtlt_verilog::modsrc`]), so editing a module invalidates only the
+//! designs whose top-module dependency cone contains it, and — through the
+//! `shard` namespace — only the cones it feeds inside those designs.
 //!
 //! `cfg.threads` deliberately appears in **no** key: it changes how fast a
 //! suite prepares, never what is prepared. The [`Codec`] impls in this
-//! module (plus the ones in `rtlt-bog`/`rtlt-verilog` for the graph types)
-//! make every stage artifact storable in the `rtlt-store` disk tier, so a
-//! warm run of any bench binary skips suite preparation entirely.
+//! module (plus the ones in `rtlt-bog`/`rtlt-verilog`/`rtlt-ml` for graph
+//! and model types) make every stage artifact storable in the `rtlt-store`
+//! disk tier, so a warm run of any bench binary skips suite preparation
+//! entirely.
 
-use crate::dataset::{PathRow, VariantData};
+use crate::bitwise::BitwiseModel;
+use crate::dataset::{ConeShard, PathRow, VariantData};
 use crate::optimize::FlowMetrics;
-use crate::pipeline::{BlastedDesign, CompiledDesign, DesignData, LabelOutcome, TimerConfig};
+use crate::pipeline::{
+    BlastedDesign, CompiledDesign, DesignData, LabelOutcome, RtlTimer, TimerConfig,
+};
 use rtlt_bog::{Bog, BogVariant};
 use rtlt_store::{Codec, CodecError, ContentHash, Dec, Enc, KeyBuilder};
 use std::sync::Arc;
@@ -28,6 +42,8 @@ use std::sync::Arc;
 /// attributable per stage and makes the on-disk layout self-describing
 /// (`<cache-dir>/<namespace>/<key>.bin`).
 pub mod stage {
+    /// Per-module parse results (module AST under `H(module text)`).
+    pub const MODAST: &str = "modast";
     /// Frontend artifacts (parse + AST features + elaborate).
     pub const COMPILE: &str = "compile";
     /// Bit-blasted SOG.
@@ -36,6 +52,10 @@ pub mod stage {
     pub const LABEL: &str = "label";
     /// Fully featurized design data.
     pub const FEATURIZE: &str = "featurize";
+    /// Per-signal featurize shards (cone-granular invalidation).
+    pub const SHARD: &str = "shard";
+    /// Fitted model stacks ([`RtlTimer`]), keyed by train set × seed.
+    pub const MODEL: &str = "model";
     /// Table-6 optimization candidate flows.
     pub const OPT_FLOW: &str = "optflow";
 
@@ -49,7 +69,11 @@ pub mod stage {
 /// changes output for unchanged inputs (synthesis cost model, blasting
 /// rules, featurization, …) so warm caches from older builds read as
 /// misses instead of silently serving stale artifacts.
-pub const PIPELINE_EPOCH: u64 = 1;
+///
+/// Epoch 2: featurization moved to the sharded cone-local pipeline
+/// (per-signal pseudo-STA and sampling seeds; AST features restricted to
+/// the top module's dependency cone).
+pub const PIPELINE_EPOCH: u64 = 2;
 
 /// The chained content keys of one design's preparation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,11 +92,23 @@ pub struct PrepareKeys {
 impl PrepareKeys {
     /// Derives all four stage keys from the preparation inputs. Only the
     /// `TimerConfig` fields a stage reads participate in its key.
+    ///
+    /// The compile key is **module-granular**: it hashes the dep-closed
+    /// content key of the top module (`rtlt_verilog::modsrc::design_key`),
+    /// so source edits outside the top's dependency cone — or pure
+    /// re-ordering of unrelated modules in the file — do not invalidate
+    /// the preparation. Sources the splitter cannot handle fall back to
+    /// whole-source hashing.
     pub fn derive(name: &str, source: &str, cfg: &TimerConfig) -> PrepareKeys {
+        let design = rtlt_verilog::modsrc::design_key(source, name).unwrap_or_else(|| {
+            KeyBuilder::new("rtlt.design.flat")
+                .str(name)
+                .str(source)
+                .finish()
+        });
         let compile = KeyBuilder::new("rtlt.stage.compile")
             .u64(PIPELINE_EPOCH)
-            .str(name)
-            .str(source)
+            .key(&design)
             .finish();
         let blast = KeyBuilder::new("rtlt.stage.blast")
             .u64(PIPELINE_EPOCH)
@@ -113,12 +149,67 @@ pub fn opt_flow_key(prepare_key: &ContentHash, scores: &[f64]) -> ContentHash {
     b.finish()
 }
 
+/// Key of one per-module parse result: the module's text alone (shared
+/// across designs and across file positions — lines are cached relative and
+/// rebased on use).
+pub fn modast_key(module_text: &str) -> ContentHash {
+    KeyBuilder::new("rtlt.modast")
+        .u64(PIPELINE_EPOCH)
+        .str(module_text)
+        .finish()
+}
+
+/// Key of one featurize shard: representation × clock × sampling seed ×
+/// the canonical content of the signal's extracted cone.
+///
+/// The cone content is itself a pure function of the module set feeding
+/// the cone (the provenance map [`rtlt_bog::signal_provenance`] exposes) —
+/// editing a module can only change the cones it feeds, so the content key
+/// *refines* module-set keying: an edit invalidates exactly the cones
+/// whose logic actually changed, not every cone of every touched module.
+/// Touching one `always` block leaves the module's other cones warm.
+pub fn shard_key(
+    variant_idx: usize,
+    clock: f64,
+    seed: u64,
+    cone_content: &ContentHash,
+) -> ContentHash {
+    KeyBuilder::new("rtlt.shard")
+        .u64(PIPELINE_EPOCH)
+        .u64(variant_idx as u64)
+        .f64(clock)
+        .u64(seed)
+        .key(cone_content)
+        .finish()
+}
+
+/// Key of a fitted [`RtlTimer`]: the sorted content keys of the training
+/// preparations plus the only [`TimerConfig`] field `fit` reads (`seed` —
+/// `synth_effort` is already inside every `prepare_key`, and `threads`
+/// never keys anything).
+pub fn model_key(train: &[&DesignData], cfg: &TimerConfig) -> ContentHash {
+    let mut keys: Vec<ContentHash> = train.iter().map(|d| d.prepare_key).collect();
+    keys.sort_by_key(|k| k.to_hex());
+    let mut b = KeyBuilder::new("rtlt.model")
+        .u64(PIPELINE_EPOCH)
+        .u64(cfg.seed);
+    for k in &keys {
+        b = b.key(k);
+    }
+    b.finish()
+}
+
 impl Codec for CompiledDesign {
     fn encode(&self, e: &mut Enc) {
         e.str(&self.name);
         e.str(&self.source);
         self.ast_feats.encode(e);
         self.netlist.encode(e);
+        e.seq_len(self.module_keys.len());
+        for (name, key) in &self.module_keys {
+            e.str(name);
+            key.encode(e);
+        }
     }
     fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
         Ok(CompiledDesign {
@@ -126,6 +217,51 @@ impl Codec for CompiledDesign {
             source: d.str()?,
             ast_feats: Vec::decode(d)?,
             netlist: rtlt_verilog::rtlir::Netlist::decode(d)?,
+            module_keys: {
+                let n = d.seq_len(1)?;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push((d.str()?, ContentHash::decode(d)?));
+                }
+                out
+            },
+        })
+    }
+}
+
+impl Codec for ConeShard {
+    fn encode(&self, e: &mut Enc) {
+        self.sta_at.encode(e);
+        self.driving_regs.encode(e);
+        self.rows.encode(e);
+        self.groups.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(ConeShard {
+            sta_at: Vec::decode(d)?,
+            driving_regs: Vec::decode(d)?,
+            rows: Vec::decode(d)?,
+            groups: Vec::decode(d)?,
+        })
+    }
+}
+
+/// The fitted model stack. Only tree-based stacks exist ([`RtlTimer::fit`]
+/// always fits the GBDT family); the [`BitwiseModel`] codec rejects the
+/// ablation-only MLP/transformer variants.
+impl Codec for RtlTimer {
+    fn encode(&self, e: &mut Enc) {
+        self.bitwise.encode(e);
+        self.ensemble.encode(e);
+        self.signal.encode(e);
+        self.design_timing.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(RtlTimer {
+            bitwise: Vec::<BitwiseModel>::decode(d)?,
+            ensemble: crate::ensemble::EnsembleModel::decode(d)?,
+            signal: crate::signal::SignalModels::decode(d)?,
+            design_timing: crate::design::DesignTimingModel::decode(d)?,
         })
     }
 }
@@ -316,6 +452,40 @@ mod tests {
             assert_ne!(base.label, other.label);
             assert_ne!(base.featurize, other.featurize);
         }
+    }
+
+    #[test]
+    fn compile_key_ignores_modules_outside_the_top_cone() {
+        let base = "module leaf(input a, output y); assign y = ~a; endmodule
+module m(input clk, input a, output q);
+  wire t;
+  leaf u0 (.a(a), .y(t));
+  reg r;
+  always @(posedge clk) r <= t;
+  assign q = r;
+endmodule";
+        let with_unused =
+            format!("{base}\nmodule unused(input a, output y); assign y = a; endmodule");
+        let c = cfg(1, 0.6, 1);
+        let a = PrepareKeys::derive("m", base, &c);
+        let b = PrepareKeys::derive("m", &with_unused, &c);
+        assert_eq!(a.compile, b.compile, "unused module does not invalidate");
+        assert_eq!(a.featurize, b.featurize);
+        // Editing the instantiated leaf invalidates everything.
+        let edited = base.replace("~a", "a");
+        let e = PrepareKeys::derive("m", &edited, &c);
+        assert_ne!(a.compile, e.compile);
+    }
+
+    #[test]
+    fn shard_key_tracks_each_ingredient() {
+        let cone = ContentHash::of_bytes(b"cone");
+        let base = shard_key(0, 1.0, 7, &cone);
+        assert_eq!(base, shard_key(0, 1.0, 7, &cone));
+        assert_ne!(base, shard_key(1, 1.0, 7, &cone));
+        assert_ne!(base, shard_key(0, 1.5, 7, &cone));
+        assert_ne!(base, shard_key(0, 1.0, 8, &cone));
+        assert_ne!(base, shard_key(0, 1.0, 7, &ContentHash::of_bytes(b"other")));
     }
 
     #[test]

@@ -1,16 +1,31 @@
 //! Path-level dataset construction (the register-oriented RTL processing of
 //! paper §3.2): for every register endpoint, the slowest path plus `K`
 //! random paths from its input cone, featurized for the bit-wise models.
+//!
+//! Two construction paths exist:
+//!
+//! * [`build_variant_data`] — the monolithic original: one global pseudo-STA
+//!   over the full graph (kept for micro-benchmarks and unit tests);
+//! * [`build_all_variant_data`] — the **sharded** pipeline path: one
+//!   [`ConeShard`] per RTL signal, computed on the signal's canonically
+//!   extracted input cone ([`rtlt_bog::extract_signal_cone`]) and memoized
+//!   in the store under a module-set × cone-content key. Shards carry only
+//!   cone-local quantities; the cheap merge step splices in the
+//!   design-global features (rank percentile, cell counts). Editing one
+//!   module recomputes only the shards whose cones it feeds.
 
-use crate::features::{op_class, path_features, token_features};
+use crate::cache::{shard_key, stage};
+use crate::features::{design_features, op_class, path_features, token_features};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtlt_bog::{input_cone, Bog, BogVariant, Endpoint};
 use rtlt_liberty::Library;
 use rtlt_sta::{Sta, StaConfig};
+use rtlt_store::{ContentHash, Store};
+use std::sync::Arc;
 
 /// One featurized timing path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathRow {
     /// Table-2 feature vector ([`crate::features::PATH_FEATURE_NAMES`]).
     pub features: Vec<f64>,
@@ -116,6 +131,199 @@ pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> Va
     }
 }
 
+/// One signal's slice of a variant dataset: everything the per-endpoint
+/// processing derives from the signal's input cone alone. Global context
+/// (rank percentile, design cell counts) is deliberately absent — the merge
+/// step fills it — so a shard is reusable across any edit that leaves the
+/// cone's feeding modules unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConeShard {
+    /// Cone-local pseudo-STA arrival per endpoint (bit), LSB first.
+    pub sta_at: Vec<f64>,
+    /// Driving-register count per endpoint.
+    pub driving_regs: Vec<f64>,
+    /// Path rows; `endpoint` is the bit index within the signal, and
+    /// feature slots 0..4 (rank percentile + design features) are
+    /// placeholders overwritten at merge.
+    pub rows: Vec<PathRow>,
+    /// Row indices per endpoint (bit).
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Deterministic per-shard sampling seed: a function of the design seed,
+/// the representation, and the signal *name* (stable across edits — signal
+/// indices are not).
+pub fn shard_seed(design_seed: u64, variant_idx: usize, signal: &str) -> u64 {
+    let mut h = design_seed ^ (variant_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in signal.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds one signal's shard on its extracted cone: cone-local pseudo-STA,
+/// then the slowest + `K` random paths per bit endpoint. The extracted
+/// graph's first `n_eps` registers are the signal's bits; boundary
+/// registers beyond them are launch points only.
+pub fn build_cone_shard(
+    sub: &Bog,
+    n_eps: usize,
+    lib: &Library,
+    clock: f64,
+    seed: u64,
+) -> ConeShard {
+    let cfg = StaConfig {
+        clock_period: clock,
+        ..StaConfig::default()
+    };
+    let sta = Sta::run(sub, lib, cfg);
+    let fanout = sub.fanout_counts();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shard = ConeShard {
+        sta_at: Vec::with_capacity(n_eps),
+        driving_regs: Vec::with_capacity(n_eps),
+        rows: Vec::new(),
+        groups: Vec::with_capacity(n_eps),
+    };
+    for e in 0..n_eps {
+        let ep = Endpoint::Reg(e as u32);
+        let cone = input_cone(sub, sub.endpoint_node(ep));
+        shard.driving_regs.push(cone.driving_regs as f64);
+        shard.sta_at.push(sta.result().endpoint_at[e]);
+        let crit = sta.critical_path(ep);
+        let k = (cone.driving_regs / 3).clamp(0, MAX_RANDOM_PATHS);
+        let crit_nodes = crit.nodes.clone();
+        let mut paths = vec![crit];
+        for p in sta.sample_paths(ep, k, &mut rng) {
+            if p.nodes != crit_nodes {
+                paths.push(p);
+            }
+        }
+        let mut group = Vec::with_capacity(paths.len());
+        for p in paths {
+            // Slots 0..4 (rank percentile + design-level features) are
+            // filled at merge; the placeholder values computed here from
+            // the sub-graph are overwritten.
+            let features = path_features(&sta, sub, &p, &cone, 0.0, &fanout);
+            let ops = p.nodes.iter().map(|&n| op_class(sub.node(n).op)).collect();
+            let tok_feats = token_features(&sta, &p, &fanout);
+            group.push(shard.rows.len());
+            shard.rows.push(PathRow {
+                features,
+                ops,
+                tok_feats,
+                endpoint: e,
+            });
+        }
+        shard.groups.push(group);
+    }
+    shard
+}
+
+/// Merges per-signal shards (signal order) into a full [`VariantData`],
+/// splicing in the design-global context: endpoint rank percentiles over
+/// the merged arrivals and the variant graph's design features.
+pub fn merge_shards(
+    variant: BogVariant,
+    design_feats: Vec<f64>,
+    shards: &[Arc<ConeShard>],
+) -> VariantData {
+    let n_eps: usize = shards.iter().map(|s| s.sta_at.len()).sum();
+    let mut data = VariantData {
+        variant,
+        rows: Vec::new(),
+        groups: Vec::with_capacity(n_eps),
+        endpoint_sta_at: Vec::with_capacity(n_eps),
+        driving_regs: Vec::with_capacity(n_eps),
+        design_feats,
+    };
+    for shard in shards {
+        let row_base = data.rows.len();
+        let ep_base = data.endpoint_sta_at.len();
+        data.endpoint_sta_at.extend_from_slice(&shard.sta_at);
+        data.driving_regs.extend_from_slice(&shard.driving_regs);
+        for g in &shard.groups {
+            data.groups.push(g.iter().map(|r| r + row_base).collect());
+        }
+        for row in &shard.rows {
+            let mut row = row.clone();
+            row.endpoint += ep_base;
+            data.rows.push(row);
+        }
+    }
+
+    // Endpoint rank percentile by merged pseudo-STA arrival.
+    let mut order: Vec<usize> = (0..n_eps).collect();
+    order.sort_by(|&a, &b| {
+        data.endpoint_sta_at[a]
+            .partial_cmp(&data.endpoint_sta_at[b])
+            .expect("finite")
+    });
+    let mut rank_pct = vec![0.5f64; n_eps];
+    for (rank, &i) in order.iter().enumerate() {
+        if n_eps > 1 {
+            rank_pct[i] = rank as f64 / (n_eps - 1) as f64;
+        }
+    }
+    for row in &mut data.rows {
+        row.features[0] = rank_pct[row.endpoint];
+        row.features[1..4].copy_from_slice(&data.design_feats[0..3]);
+    }
+    data
+}
+
+/// Builds all four variants' datasets through the sharded path: one
+/// extraction per signal, one memoized [`ConeShard`] per (signal ×
+/// variant), keyed by the canonical cone content (see
+/// [`crate::cache::shard_key`]). The extraction is cheap (linear in the
+/// cone, no STA/sampling) — it is the probe that decides whether the
+/// expensive shard computation can be skipped.
+pub fn build_all_variant_data(
+    store: &Store,
+    sog: &Bog,
+    lib: &Library,
+    clock: f64,
+    design_seed: u64,
+) -> Vec<VariantData> {
+    // One canonical extraction per signal, shared by all four variants.
+    let extractions: Vec<(Bog, ContentHash)> = (0..sog.signals().len())
+        .map(|sig| {
+            let sub = rtlt_bog::extract_signal_cone(sog, sig);
+            let content = ContentHash::of_bytes(&rtlt_store::Codec::to_bytes(&sub));
+            (sub, content)
+        })
+        .collect();
+
+    BogVariant::ALL
+        .iter()
+        .enumerate()
+        .map(|(vi, &variant)| {
+            let design_feats = design_features(&sog.to_variant(variant));
+            let shards: Vec<Arc<ConeShard>> = sog
+                .signals()
+                .iter()
+                .enumerate()
+                .map(|(sig, s)| {
+                    let (sub, content) = &extractions[sig];
+                    let seed = shard_seed(design_seed, vi, &s.name);
+                    let key = shard_key(vi, clock, seed, content);
+                    store.get_or_compute(stage::SHARD, key, || {
+                        build_cone_shard(
+                            &sub.to_variant(variant),
+                            s.width as usize,
+                            lib,
+                            clock,
+                            seed,
+                        )
+                    })
+                })
+                .collect();
+            merge_shards(variant, design_feats, &shards)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +390,46 @@ mod tests {
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.features, y.features);
         }
+    }
+
+    #[test]
+    fn sharded_build_covers_all_endpoints_consistently() {
+        let bog = bog();
+        let lib = Library::pseudo_bog();
+        let store = Store::in_memory();
+        let all = build_all_variant_data(&store, &bog, &lib, 1.0, 7);
+        assert_eq!(all.len(), 4);
+        for data in &all {
+            assert_eq!(data.groups.len(), bog.regs().len());
+            assert_eq!(data.endpoint_sta_at.len(), bog.regs().len());
+            assert!(data.groups.iter().all(|g| !g.is_empty()));
+            // Critical-path row arrival equals the endpoint pseudo-STA
+            // arrival, and global slots are filled in every row.
+            for (e, g) in data.groups.iter().enumerate() {
+                assert!((data.rows[g[0]].features[7] - data.endpoint_sta_at[e]).abs() < 1e-9);
+                for &r in g {
+                    assert_eq!(data.rows[r].endpoint, e);
+                    assert_eq!(data.rows[r].features[1..4], data.design_feats[0..3]);
+                }
+            }
+        }
+        // Shards were populated: signals × 4 misses, and a second build is
+        // answered entirely from the store with identical output.
+        let misses = store.stats().namespace(stage::SHARD).misses;
+        assert_eq!(misses as usize, bog.signals().len() * 4);
+        let again = build_all_variant_data(&store, &bog, &lib, 1.0, 7);
+        assert_eq!(store.stats().namespace(stage::SHARD).misses, misses);
+        for (a, b) in all.iter().zip(&again) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.endpoint_sta_at, b.endpoint_sta_at);
+        }
+    }
+
+    #[test]
+    fn shard_seed_tracks_signal_identity_not_position() {
+        assert_eq!(shard_seed(1, 0, "a"), shard_seed(1, 0, "a"));
+        assert_ne!(shard_seed(1, 0, "a"), shard_seed(1, 0, "b"));
+        assert_ne!(shard_seed(1, 0, "a"), shard_seed(1, 1, "a"));
+        assert_ne!(shard_seed(1, 0, "a"), shard_seed(2, 0, "a"));
     }
 }

@@ -129,6 +129,19 @@ impl DesignTimingModel {
     }
 }
 
+impl rtlt_store::Codec for DesignTimingModel {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        self.wns.encode(e);
+        self.tns.encode(e);
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(DesignTimingModel {
+            wns: Gbdt::decode(d)?,
+            tns: Gbdt::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

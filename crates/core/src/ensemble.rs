@@ -100,6 +100,17 @@ impl EnsembleModel {
     }
 }
 
+impl rtlt_store::Codec for EnsembleModel {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        self.meta.encode(e);
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(EnsembleModel {
+            meta: Gbdt::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

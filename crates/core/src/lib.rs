@@ -42,6 +42,7 @@ pub mod dataset;
 pub mod design;
 pub mod ensemble;
 pub mod features;
+pub mod incremental;
 pub mod metrics;
 pub mod optimize;
 pub mod pipeline;
@@ -49,5 +50,6 @@ pub mod report;
 pub mod signal;
 
 pub use cache::PrepareKeys;
+pub use incremental::{IncrementalAnnotator, ReannotateOutcome};
 pub use metrics::{covr, mape, pearson, r_squared, rank_groups};
 pub use pipeline::{DesignData, DesignSet, PrepareError, PrepareStages, RtlTimer, TimerConfig};

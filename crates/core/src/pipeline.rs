@@ -11,17 +11,19 @@
 //! diverge.
 
 use crate::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
-use crate::cache::{stage, PrepareKeys};
-use crate::dataset::{build_variant_data, VariantData};
+use crate::cache::{modast_key, model_key, stage, PrepareKeys};
+use crate::dataset::{build_all_variant_data, VariantData};
 use crate::design::{design_row, direct_wns_tns, DesignTimingModel};
 use crate::ensemble::{meta_rows, EnsembleModel};
 use crate::metrics;
 use crate::signal::{signal_labels, signal_rows, SignalModels};
-use rtlt_bog::{blast, Bog, BogVariant, SignalInfo};
+use rtlt_bog::{blast, Bog, SignalInfo};
 use rtlt_liberty::{CellFunc, Drive, Library};
 use rtlt_store::{ContentHash, Store};
 use rtlt_synth::{synthesize, SynthOptions, SynthResult};
-use rtlt_verilog::VerilogError;
+use rtlt_verilog::ast::{Module, SourceFile};
+use rtlt_verilog::{modsrc, VerilogError};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Global pipeline configuration.
@@ -71,7 +73,7 @@ impl std::error::Error for PrepareError {
     }
 }
 
-fn design_seed(master: u64, name: &str) -> u64 {
+pub(crate) fn design_seed(master: u64, name: &str) -> u64 {
     let mut h = master ^ 0x9e3779b97f4a7c15;
     for b in name.bytes() {
         h ^= b as u64;
@@ -88,7 +90,7 @@ pub(crate) fn signal_names_of(sog: &Bog) -> Arc<[String]> {
 
 /// A fully prepared design: featurized representations plus ground-truth
 /// labels from the synthesis simulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DesignData {
     /// Design name (top module).
     pub name: Arc<str>,
@@ -136,10 +138,28 @@ pub struct CompiledDesign {
     pub name: String,
     /// Original Verilog source.
     pub source: String,
-    /// AST features (ICCAD'22-style baseline input).
+    /// AST features (ICCAD'22-style baseline input), restricted to the top
+    /// module's dependency cone — the compile artifact must be a pure
+    /// function of its module-granular key.
     pub ast_feats: Vec<f64>,
     /// Elaborated word-level netlist.
     pub netlist: rtlt_verilog::rtlir::Netlist,
+    /// Per-module text keys of the source (`H(name, text)`, sorted by
+    /// module name) — the incremental driver's dirty-module diff reads
+    /// them from here instead of re-splitting the source. Text-level on
+    /// purpose: the diff should name the module the designer actually
+    /// touched, not everything coupled to it through a closed parent key.
+    pub module_keys: Vec<(String, ContentHash)>,
+}
+
+impl CompiledDesign {
+    /// Looks up one module's text key.
+    pub fn module_key(&self, module: &str) -> Option<ContentHash> {
+        self.module_keys
+            .iter()
+            .find(|(n, _)| n == module)
+            .map(|(_, k)| *k)
+    }
 }
 
 /// Output of [`PrepareStages::blast`]: the design plus its SOG.
@@ -229,14 +249,86 @@ impl<'a> PrepareStages<'a> {
     ///
     /// Propagates frontend errors (parse/elaborate failures).
     pub fn compile(&self, name: &str, source: &str) -> Result<CompiledDesign, VerilogError> {
-        let file = rtlt_verilog::parse(source)?;
-        let ast_feats = rtlt_verilog::astfeat::extract(&file).to_vec();
+        self.compile_modular(&Store::disabled(), name, source)
+    }
+
+    /// Parses the source module by module, memoizing each module's AST in
+    /// the `modast` namespace under `H(module text)` (with lines cached
+    /// relative and rebased on use, so identical module text shares one
+    /// entry regardless of file position). Falls back to a whole-file parse
+    /// when the source cannot be split or any module fails standalone — the
+    /// fallback reproduces canonical error positions. Returns the split
+    /// module sources alongside (`None` on the fallback path) so the
+    /// caller does not re-split.
+    fn parse_modular(
+        &self,
+        store: &Store,
+        source: &str,
+    ) -> Result<(SourceFile, Option<modsrc::ModuleSources>), VerilogError> {
+        let Ok(sources) = modsrc::split_modules(source) else {
+            return Ok((rtlt_verilog::parse(source)?, None));
+        };
+        let mut modules = Vec::with_capacity(sources.modules.len());
+        for m in &sources.modules {
+            let parsed: Result<Arc<Module>, VerilogError> =
+                store.get_or_try_compute(stage::MODAST, modast_key(&m.text), || {
+                    let file = rtlt_verilog::parse(&m.text)?;
+                    let mut mods = file.modules;
+                    if mods.len() == 1 && mods[0].name == m.name {
+                        Ok(mods.pop().expect("one module"))
+                    } else {
+                        Err(VerilogError::general(
+                            "module text did not parse standalone",
+                        ))
+                    }
+                });
+            match parsed {
+                Ok(ast) => {
+                    let mut module = (*ast).clone();
+                    modsrc::shift_lines(&mut module, m.start_line - 1);
+                    modules.push(module);
+                }
+                Err(_) => return Ok((rtlt_verilog::parse(source)?, None)),
+            }
+        }
+        Ok((SourceFile { modules }, Some(sources)))
+    }
+
+    /// Stage 1 through the store: unchanged modules reuse their cached
+    /// parse; AST features are restricted to the top's dependency cone so
+    /// the artifact matches its module-granular key.
+    fn compile_modular(
+        &self,
+        store: &Store,
+        name: &str,
+        source: &str,
+    ) -> Result<CompiledDesign, VerilogError> {
+        let (file, sources) = self.parse_modular(store, source)?;
+        let cone: BTreeSet<String> = modsrc::dependency_cone(&file, name).into_iter().collect();
+        let cone_file = SourceFile {
+            modules: file
+                .modules
+                .iter()
+                .filter(|m| cone.contains(&m.name))
+                .cloned()
+                .collect(),
+        };
+        let ast_feats = rtlt_verilog::astfeat::extract(&cone_file).to_vec();
         let netlist = rtlt_verilog::elaborate(&file, name)?;
+        let module_keys = match &sources {
+            Some(sources) => sources
+                .modules
+                .iter()
+                .map(|m| (m.name.clone(), modsrc::text_key(&m.name, &m.text)))
+                .collect(),
+            None => Vec::new(),
+        };
         Ok(CompiledDesign {
             name: name.to_owned(),
             source: source.to_owned(),
             ast_feats,
             netlist,
+            module_keys,
         })
     }
 
@@ -296,24 +388,37 @@ impl<'a> PrepareStages<'a> {
     /// variants against the label clock and assemble the [`DesignData`].
     pub fn featurize(&self, labeled: LabeledDesign) -> DesignData {
         let outcome = LabelOutcome::of(&labeled);
-        self.featurize_parts(&labeled.blasted, &outcome)
+        let keys = PrepareKeys::derive(
+            &labeled.blasted.compiled.name,
+            &labeled.blasted.compiled.source,
+            self.cfg,
+        );
+        self.featurize_parts(
+            &Store::disabled(),
+            &labeled.blasted,
+            &outcome,
+            keys.featurize,
+        )
     }
 
     /// Stage 4's body: assemble a [`DesignData`] from the blasted design
-    /// and the label outcome.
-    fn featurize_parts(&self, blasted: &BlastedDesign, label: &LabelOutcome) -> DesignData {
+    /// and the label outcome. Featurization runs through the sharded path
+    /// (one memoized [`crate::dataset::ConeShard`] per signal × variant);
+    /// with a pass-through store that is simply the canonical computation.
+    /// `prepare_key` is the caller's already-derived featurize key (keys
+    /// are derived once per preparation, not re-derived per stage).
+    pub(crate) fn featurize_parts(
+        &self,
+        store: &Store,
+        blasted: &BlastedDesign,
+        label: &LabelOutcome,
+        prepare_key: ContentHash,
+    ) -> DesignData {
         let compiled = &blasted.compiled;
         let sog = blasted.sog.clone();
         let pseudo = Library::pseudo_bog();
-        let variant_data: Vec<VariantData> = BogVariant::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let g = sog.to_variant(v);
-                build_variant_data(&g, &pseudo, label.clock, label.synth_seed ^ (i as u64 + 1))
-            })
-            .collect();
-        let keys = PrepareKeys::derive(&compiled.name, &compiled.source, self.cfg);
+        let variant_data =
+            build_all_variant_data(store, &sog, &pseudo, label.clock, label.synth_seed);
 
         DesignData {
             name: compiled.name.as_str().into(),
@@ -331,7 +436,7 @@ impl<'a> PrepareStages<'a> {
             ast_feats: compiled.ast_feats.clone(),
             synth_seed: label.synth_seed,
             synth_effort: self.cfg.synth_effort,
-            prepare_key: keys.featurize,
+            prepare_key,
         }
     }
 
@@ -358,7 +463,38 @@ impl<'a> PrepareStages<'a> {
         source: &str,
     ) -> Result<Arc<BlastedDesign>, VerilogError> {
         let keys = PrepareKeys::derive(name, source, self.cfg);
-        self.blasted_with_keys(store, &keys, name, source)
+        let blasted = self.blasted_with_keys(store, &keys, name, source)?;
+        Ok(Self::blasted_with_live_source(blasted, source))
+    }
+
+    /// Rebinds a cached artifact's carried source to the text the caller
+    /// actually passed. The module-granular keys deliberately ignore
+    /// everything outside the top's dependency cone, so a cache hit can
+    /// carry an older byte-variant of the file (e.g. before an unused
+    /// module was appended); every computed field is identical by
+    /// construction — cone module texts *and positions* are in the key —
+    /// but the source must be the live one so annotation re-emits the
+    /// user's current file.
+    fn design_with_live_source(d: Arc<DesignData>, source: &str) -> Arc<DesignData> {
+        if d.source == source {
+            d
+        } else {
+            Arc::new(DesignData {
+                source: source.to_owned(),
+                ..(*d).clone()
+            })
+        }
+    }
+
+    /// [`Self::design_with_live_source`] for the blast-stage artifact.
+    fn blasted_with_live_source(b: Arc<BlastedDesign>, source: &str) -> Arc<BlastedDesign> {
+        if b.compiled.source == source {
+            b
+        } else {
+            let mut patched = (*b).clone();
+            patched.compiled.source = source.to_owned();
+            Arc::new(patched)
+        }
     }
 
     fn blasted_with_keys(
@@ -369,8 +505,9 @@ impl<'a> PrepareStages<'a> {
         source: &str,
     ) -> Result<Arc<BlastedDesign>, VerilogError> {
         store.get_or_try_compute(stage::BLAST, keys.blast, || {
-            let compiled = store
-                .get_or_try_compute(stage::COMPILE, keys.compile, || self.compile(name, source))?;
+            let compiled = store.get_or_try_compute(stage::COMPILE, keys.compile, || {
+                self.compile_modular(store, name, source)
+            })?;
             Ok(self.blast((*compiled).clone()))
         })
     }
@@ -391,12 +528,13 @@ impl<'a> PrepareStages<'a> {
         source: &str,
     ) -> Result<Arc<DesignData>, VerilogError> {
         let keys = PrepareKeys::derive(name, source, self.cfg);
-        store.get_or_try_compute(stage::FEATURIZE, keys.featurize, || {
+        let d = store.get_or_try_compute(stage::FEATURIZE, keys.featurize, || {
             let blasted = self.blasted_with_keys(store, &keys, name, source)?;
             let label =
                 store.get_or_compute(stage::LABEL, keys.label, || self.label_outcome(&blasted));
-            Ok(self.featurize_parts(&blasted, &label))
-        })
+            Ok(self.featurize_parts(store, &blasted, &label, keys.featurize))
+        })?;
+        Ok(Self::design_with_live_source(d, source))
     }
 }
 
@@ -572,10 +710,10 @@ impl DesignSet {
 /// The fitted RTL-Timer model stack.
 #[derive(Debug)]
 pub struct RtlTimer {
-    bitwise: Vec<BitwiseModel>,
-    ensemble: EnsembleModel,
-    signal: SignalModels,
-    design_timing: DesignTimingModel,
+    pub(crate) bitwise: Vec<BitwiseModel>,
+    pub(crate) ensemble: EnsembleModel,
+    pub(crate) signal: SignalModels,
+    pub(crate) design_timing: DesignTimingModel,
 }
 
 impl RtlTimer {
@@ -660,6 +798,20 @@ impl RtlTimer {
             signal,
             design_timing,
         }
+    }
+
+    /// [`RtlTimer::fit`] through the store: the fitted stack is memoized
+    /// under `H(sorted train prepare_keys, cfg.seed)` (see
+    /// [`crate::cache::model_key`]), so re-running a fold — or re-opening
+    /// an incremental annotation session — with unchanged training
+    /// preparations deserializes the GBDT ensembles instead of refitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fit_with(store: &Store, train: &[&DesignData], cfg: &TimerConfig) -> Arc<RtlTimer> {
+        let key = model_key(train, cfg);
+        store.get_or_compute(stage::MODEL, key, || Self::fit(train, cfg))
     }
 
     fn ensemble_bits(
@@ -836,6 +988,18 @@ impl Prediction {
 /// Runs k-fold cross-validation (train/test splits are disjoint by design,
 /// as in the paper) and returns one [`Prediction`] per design.
 pub fn cross_validate(set: &DesignSet, k: usize, cfg: &TimerConfig) -> Vec<Prediction> {
+    cross_validate_with(set, k, cfg, &Store::disabled())
+}
+
+/// [`cross_validate`] through a shared artifact store: every fold's fitted
+/// model is memoized (see [`RtlTimer::fit_with`]), so a warm second run of
+/// any cross-validating bench binary skips model fitting entirely.
+pub fn cross_validate_with(
+    set: &DesignSet,
+    k: usize,
+    cfg: &TimerConfig,
+    store: &Store,
+) -> Vec<Prediction> {
     let folds = set.folds(k);
     let results: Vec<Vec<Prediction>> = rtlt_runtime::par_map(cfg.threads, &folds, |fold| {
         let names: Vec<&str> = fold.iter().map(|s| &**s).collect();
@@ -843,7 +1007,7 @@ pub fn cross_validate(set: &DesignSet, k: usize, cfg: &TimerConfig) -> Vec<Predi
         if test.is_empty() {
             return Vec::new();
         }
-        let model = RtlTimer::fit(&train, cfg);
+        let model = RtlTimer::fit_with(store, &train, cfg);
         test.iter().map(|d| model.predict(d)).collect()
     });
     let mut out: Vec<Prediction> = results.into_iter().flatten().collect();
@@ -1004,6 +1168,99 @@ mod tests {
         // clearly positive.
         assert!(pred.bit_r() > 0.3, "bit R = {}", pred.bit_r());
         assert!(pred.wns_pred <= 0.0 && pred.tns_pred <= pred.wns_pred + 1e-12);
+    }
+
+    #[test]
+    fn cache_hits_carry_the_live_source() {
+        let cfg = TimerConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let src = "module leaf(input clk, input [3:0] a, output [3:0] y);
+  reg [3:0] r;
+  always @(posedge clk) r <= a + 4'd1;
+  assign y = r;
+endmodule
+module top(input clk, input [3:0] x, output [3:0] z);
+  wire [3:0] t;
+  leaf u0 (.clk(clk), .a(x), .y(t));
+  reg [3:0] out_r;
+  always @(posedge clk) out_r <= t;
+  assign z = out_r;
+endmodule";
+        let store = Store::in_memory();
+        let stages = PrepareStages::new(&cfg);
+        let a = stages.run_with(&store, "top", src).expect("compiles");
+
+        // Appending a module below the top's cone hits the same featurize
+        // key — but the returned artifact must carry the *new* source, or
+        // annotation would silently emit the old file.
+        let appended =
+            format!("{src}\nmodule unused(input a, output y);\n  assign y = a;\nendmodule\n");
+        let b = stages.run_with(&store, "top", &appended).expect("compiles");
+        assert_eq!(a.prepare_key, b.prepare_key, "cone key unchanged");
+        assert_eq!(store.stats().namespace(stage::FEATURIZE).mem_hits, 1);
+        assert_eq!(b.source, appended, "cache hit rebinds the live source");
+        assert_eq!(a.labels_at, b.labels_at);
+        let blasted = stages
+            .blasted_with(&store, "top", &appended)
+            .expect("compiles");
+        assert_eq!(blasted.compiled.source, appended);
+
+        // Moving the cone (a leading line) shifts declaration lines and
+        // must be a different preparation, not a patched hit.
+        let shifted = format!("// header\n{src}");
+        let c = stages.run_with(&store, "top", &shifted).expect("compiles");
+        assert_ne!(a.prepare_key, c.prepare_key);
+        let decl = |d: &DesignData| d.signals()[0].decl_line;
+        assert_eq!(decl(&c), decl(&a) + 1);
+    }
+
+    #[test]
+    fn fit_with_memoizes_and_round_trips_the_model_stack() {
+        use rtlt_store::Codec;
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let set = DesignSet::prepare_named_or_panic(&tiny_sources(), &cfg);
+        let (train, test) = set.split(&["d3"]);
+        let store = Store::in_memory();
+        let m1 = RtlTimer::fit_with(&store, &train, &cfg);
+        let m2 = RtlTimer::fit_with(&store, &train, &cfg);
+        assert!(Arc::ptr_eq(&m1, &m2), "second fit served from the store");
+        let s = store.stats().namespace(stage::MODEL);
+        assert_eq!((s.misses, s.mem_hits), (1, 1));
+
+        // A decoded stack predicts bit-identically (the disk-tier path).
+        let decoded = RtlTimer::from_bytes(&m1.to_bytes()).expect("model round trip");
+        let a = m1.predict(test[0]);
+        let b = decoded.predict(test[0]);
+        assert_eq!(a.bit_pred, b.bit_pred);
+        assert_eq!(a.signal_pred, b.signal_pred);
+        assert_eq!(a.signal_rank_score, b.signal_rank_score);
+        assert_eq!((a.wns_pred, a.tns_pred), (b.wns_pred, b.tns_pred));
+
+        // Different train sets / seeds key differently; order does not.
+        let (train_b, _) = set.split(&["d0"]);
+        assert_ne!(
+            crate::cache::model_key(&train, &cfg),
+            crate::cache::model_key(&train_b, &cfg)
+        );
+        let mut rev = train.clone();
+        rev.reverse();
+        assert_eq!(
+            crate::cache::model_key(&train, &cfg),
+            crate::cache::model_key(&rev, &cfg)
+        );
+        let other_seed = TimerConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        assert_ne!(
+            crate::cache::model_key(&train, &cfg),
+            crate::cache::model_key(&train, &other_seed)
+        );
     }
 
     #[test]

@@ -165,6 +165,19 @@ impl SignalModels {
     }
 }
 
+impl rtlt_store::Codec for SignalModels {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        self.regression.encode(e);
+        self.ranking.encode(e);
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(SignalModels {
+            regression: Gbdt::decode(d)?,
+            ranking: LambdaMart::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,142 @@
+//! Hierarchical multi-module demo designs for the incremental
+//! re-annotation loop.
+//!
+//! The 21-design suite is flat (one module per design); the incremental
+//! pipeline's whole point is *module-granular* invalidation, so this
+//! generator emits a design with real hierarchy: `N` lane modules with
+//! disjoint logic cones, each instantiated once by a top that merges their
+//! outputs. Editing one lane must leave every other lane's featurize
+//! shards warm — the structure the `annotate` bench binary and the CI
+//! smoke job assert on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Names one lane module of [`soc`].
+pub fn lane_name(i: usize) -> String {
+    format!("lane{i}")
+}
+
+fn lane_module(name: &str, width: u32, depth: u32, rng: &mut StdRng) -> String {
+    let w = width - 1;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "module {name}(input clk, input [{w}:0] x, output [{w}:0] y);\n"
+    ));
+    for d in 0..depth {
+        s.push_str(&format!("  reg [{w}:0] p{d};\n"));
+    }
+    // Stage 0: multiply-accumulate of the input with itself — multipliers
+    // give each lane a deep, wide cone, so featurization (the shardable
+    // cost) dominates the design's preparation.
+    let r0 = rng.gen_range(1..width);
+    let h = width / 2 - 1;
+    s.push_str(&format!(
+        "  always @(posedge clk) begin\n    p0 <= (x[{h}:0] * x[{w}:{hp}]) + {{x[{r}:0], x[{w}:{rp}]}};\n",
+        hp = h + 1,
+        r = r0 - 1,
+        rp = r0,
+    ));
+    for d in 1..depth {
+        let prev = d - 1;
+        let op = match rng.gen_range(0..4u32) {
+            0 => format!("p{prev} + (x ^ p{prev})"),
+            1 => format!("p{prev} + (p{prev}[{h}:0] * x[{w}:{hp}])", hp = h + 1),
+            2 => format!("(p{prev} & x) + (p{prev} | x)"),
+            _ => format!("p{prev} + (x[{h}:0] * p{prev}[{h}:0])"),
+        };
+        s.push_str(&format!("    p{d} <= {op};\n"));
+    }
+    s.push_str("  end\n");
+    s.push_str(&format!("  assign y = p{};\n", depth - 1));
+    s.push_str("endmodule\n");
+    s
+}
+
+/// Generates a hierarchical design: `lanes` lane modules (disjoint cones,
+/// `depth` pipeline registers each) under a `top` that xor-merges their
+/// outputs into one accumulator. Deterministic in all arguments.
+pub fn soc(top: &str, lanes: usize, width: u32, depth: u32) -> String {
+    let mut rng = StdRng::seed_from_u64(crate::seed_for(top) ^ lanes as u64);
+    let w = width - 1;
+    let mut s = String::new();
+    for i in 0..lanes {
+        s.push_str(&lane_module(&lane_name(i), width, depth, &mut rng));
+        s.push('\n');
+    }
+    s.push_str(&format!(
+        "module {top}(input clk, input [{w}:0] din, output [{w}:0] q);\n"
+    ));
+    for i in 0..lanes {
+        s.push_str(&format!("  wire [{w}:0] y{i};\n"));
+    }
+    for i in 0..lanes {
+        // Stagger the lane inputs so cones differ across lanes.
+        let rot = (i as u32) % width;
+        let input = if rot == 0 {
+            "din".to_owned()
+        } else {
+            format!("{{din[{r}:0], din[{w}:{rot}]}}", r = rot - 1)
+        };
+        s.push_str(&format!(
+            "  {} u{i} (.clk(clk), .x({input}), .y(y{i}));\n",
+            lane_name(i)
+        ));
+    }
+    s.push_str(&format!("  reg [{w}:0] acc;\n"));
+    let merged = (0..lanes)
+        .map(|i| format!("y{i}"))
+        .collect::<Vec<_>>()
+        .join(" ^ ");
+    s.push_str(&format!("  always @(posedge clk) acc <= {merged};\n"));
+    s.push_str("  assign q = acc;\nendmodule\n");
+    s
+}
+
+/// Applies a deterministic, behavior-changing edit to one lane module of a
+/// [`soc`] source: the lane's first pipeline stage gains an extra xor term.
+/// Returns `None` when the lane's stage-0 line cannot be found.
+pub fn edit_lane(source: &str, lane: usize) -> Option<String> {
+    let module_header = format!("module {}(", lane_name(lane));
+    let start = source.find(&module_header)?;
+    let end = source[start..].find("endmodule").map(|e| start + e)?;
+    let body = &source[start..end];
+    let marker = "p0 <= ";
+    let pos = start + body.find(marker)?;
+    let line_end = pos + source[pos..].find(';')?;
+    let mut out = String::with_capacity(source.len() + 16);
+    out.push_str(&source[..line_end]);
+    out.push_str(" ^ (x >> 3)");
+    out.push_str(&source[line_end..]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_compiles_and_has_per_lane_registers() {
+        let src = soc("hier_soc", 4, 12, 3);
+        let netlist = rtlt_verilog::compile(&src, "hier_soc").expect("valid subset Verilog");
+        // 4 lanes × 3 pipeline regs + the top accumulator.
+        assert_eq!(netlist.regs().len(), 4 * 3 + 1);
+        assert!(netlist.regs().iter().any(|r| r.name == "u2.p1"));
+    }
+
+    #[test]
+    fn soc_is_deterministic_and_lane_edit_changes_one_module() {
+        let a = soc("hier_soc", 4, 12, 3);
+        assert_eq!(a, soc("hier_soc", 4, 12, 3));
+        let edited = edit_lane(&a, 2).expect("lane 2 edit");
+        assert_ne!(a, edited);
+        rtlt_verilog::compile(&edited, "hier_soc").expect("edited source still compiles");
+        // Only lane2's module text differs.
+        let mods_a = rtlt_verilog::modsrc::split_modules(&a).unwrap();
+        let mods_b = rtlt_verilog::modsrc::split_modules(&edited).unwrap();
+        for (ma, mb) in mods_a.modules.iter().zip(&mods_b.modules) {
+            assert_eq!(ma.name, mb.name);
+            assert_eq!(ma.text == mb.text, ma.name != "lane2", "{}", ma.name);
+        }
+    }
+}

@@ -24,6 +24,7 @@ mod blocks;
 mod cpu;
 mod crypto;
 mod fabric;
+pub mod hier;
 mod itc;
 
 use rand::rngs::StdRng;

@@ -198,6 +198,26 @@ impl Gbdt {
     }
 }
 
+/// Inference needs only raw split thresholds (the training-time binner is
+/// deliberately not persisted), so a decoded ensemble predicts identically
+/// to the fitted one.
+impl rtlt_store::Codec for Gbdt {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        e.f64(self.base);
+        e.f64(self.learning_rate);
+        self.trees.encode(e);
+        e.usize(self.n_features);
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(Gbdt {
+            base: d.f64()?,
+            learning_rate: d.f64()?,
+            trees: Vec::decode(d)?,
+            n_features: d.usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +318,25 @@ mod tests {
             "R={}",
             pearson(&group_preds, &targets)
         );
+    }
+
+    #[test]
+    fn codec_round_trip_predicts_identically() {
+        use rtlt_store::Codec;
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 13) as f64, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[1]).collect();
+        let model = Gbdt::fit(
+            &rows,
+            &SquaredObjective { targets: y },
+            &GbdtParams::default(),
+        );
+        let back = Gbdt::from_bytes(&model.to_bytes()).expect("round trip");
+        assert_eq!(back.n_trees(), model.n_trees());
+        for r in &rows {
+            assert_eq!(back.predict(r).to_bits(), model.predict(r).to_bits());
+        }
     }
 
     #[test]

@@ -139,6 +139,17 @@ impl LambdaMart {
     }
 }
 
+impl rtlt_store::Codec for LambdaMart {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        self.model.encode(e);
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(LambdaMart {
+            model: Gbdt::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -266,6 +266,55 @@ impl Tree {
     }
 }
 
+impl rtlt_store::Codec for Node {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        match self {
+            Node::Leaf { value } => {
+                e.u8(0);
+                e.f64(*value);
+            }
+            Node::Split {
+                feature,
+                threshold,
+                bin,
+                left,
+                right,
+            } => {
+                e.u8(1);
+                e.usize(*feature);
+                e.f64(*threshold);
+                e.u32(*bin as u32);
+                e.usize(*left);
+                e.usize(*right);
+            }
+        }
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(match d.u8()? {
+            0 => Node::Leaf { value: d.f64()? },
+            1 => Node::Split {
+                feature: d.usize()?,
+                threshold: d.f64()?,
+                bin: d.u32()? as u16,
+                left: d.usize()?,
+                right: d.usize()?,
+            },
+            _ => return Err(rtlt_store::CodecError::new("tree Node tag")),
+        })
+    }
+}
+
+impl rtlt_store::Codec for Tree {
+    fn encode(&self, e: &mut rtlt_store::Enc) {
+        self.nodes.encode(e);
+    }
+    fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        Ok(Tree {
+            nodes: Vec::decode(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 /// On-disk format version. Part of every disk-entry header: entries written
 /// under a different version are treated as cache misses.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `Netlist` gained module-instance scope tables (provenance for the
+/// module-granular cache keys).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Decode failure — a truncated, corrupted, or differently-versioned byte
 /// stream. The store maps every decode failure to "recompute the artifact".

@@ -63,6 +63,21 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Outcome of a disk-tier [`Store::gc`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entry files found before eviction.
+    pub scanned_files: u64,
+    /// Total bytes found before eviction.
+    pub scanned_bytes: u64,
+    /// Files evicted (oldest mtime first).
+    pub evicted_files: u64,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+    /// Bytes remaining after eviction.
+    pub remaining_bytes: u64,
+}
+
 #[derive(Debug)]
 struct MemEntry {
     value: Arc<dyn Any + Send + Sync>,
@@ -298,6 +313,18 @@ impl Store {
             Some(v) => {
                 self.stats
                     .with_ns(ns, |s| s.bytes_read += bytes.len() as u64);
+                // Touch the entry so [`Store::gc`]'s LRU-by-mtime order
+                // reflects access recency, not just write time. Memory-tier
+                // hits never reach here, but they imply this process
+                // already promoted (and touched) the entry once.
+                let _ = std::fs::File::options()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|f| {
+                        f.set_times(
+                            std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()),
+                        )
+                    });
                 Some((v, bytes.len() - DISK_HEADER - DISK_TRAILER))
             }
             None => {
@@ -332,6 +359,93 @@ impl Store {
             return None;
         }
         T::from_bytes(payload).ok()
+    }
+
+    // -- disk-tier maintenance --------------------------------------------
+
+    /// Sizes of the disk tier by namespace: `(namespace, files, bytes)`,
+    /// sorted by namespace. Empty when no disk tier is configured.
+    pub fn disk_usage(&self) -> Vec<(String, u64, u64)> {
+        let Some(dir) = self.disk_dir.as_deref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        for ns in entries.flatten() {
+            if !ns.path().is_dir() {
+                continue;
+            }
+            let name = ns.file_name().to_string_lossy().into_owned();
+            let mut files = 0u64;
+            let mut bytes = 0u64;
+            if let Ok(items) = std::fs::read_dir(ns.path()) {
+                for f in items.flatten() {
+                    if let Ok(meta) = f.metadata() {
+                        if meta.is_file() {
+                            files += 1;
+                            bytes += meta.len();
+                        }
+                    }
+                }
+            }
+            out.push((name, files, bytes));
+        }
+        out.sort();
+        out
+    }
+
+    /// Size-bounded garbage collection of the disk tier: evicts entries in
+    /// LRU order by file modification time — every disk-tier read touches
+    /// the entry's mtime, so the order reflects access recency, not just
+    /// write time. Namespaces are collected together — the LRU order is
+    /// global, so a hot namespace survives a cold one.
+    ///
+    /// Failures to stat or remove individual files are skipped (another
+    /// process may be evicting concurrently); the report counts what this
+    /// call actually freed.
+    pub fn gc(&self, budget_bytes: u64) -> GcReport {
+        let mut report = GcReport::default();
+        let Some(dir) = self.disk_dir.as_deref() else {
+            return report;
+        };
+        // (mtime, size, path) of every entry file.
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let Ok(namespaces) = std::fs::read_dir(dir) else {
+            return report;
+        };
+        for ns in namespaces.flatten() {
+            if !ns.path().is_dir() {
+                continue;
+            }
+            if let Ok(items) = std::fs::read_dir(ns.path()) {
+                for f in items.flatten() {
+                    if let Ok(meta) = f.metadata() {
+                        if meta.is_file() {
+                            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                            entries.push((mtime, meta.len(), f.path()));
+                        }
+                    }
+                }
+            }
+        }
+        report.scanned_files = entries.len() as u64;
+        report.scanned_bytes = entries.iter().map(|(_, s, _)| s).sum();
+        let mut remaining = report.scanned_bytes;
+        entries.sort();
+        for (_, size, path) in entries {
+            if remaining <= budget_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                remaining -= size;
+                report.evicted_files += 1;
+                report.evicted_bytes += size;
+            }
+        }
+        report.remaining_bytes = remaining;
+        report
     }
 
     fn disk_put(&self, ns: &str, key: ContentHash, payload: &[u8]) {

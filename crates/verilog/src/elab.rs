@@ -8,7 +8,7 @@
 
 use crate::ast::*;
 use crate::error::VerilogError;
-use crate::rtlir::{mask, Netlist, WBinaryOp, WId, WKind, WNode, WReg, WUnaryOp};
+use crate::rtlir::{mask, Netlist, ScopeInfo, WBinaryOp, WId, WKind, WNode, WReg, WUnaryOp};
 use std::collections::{HashMap, HashSet};
 
 /// Elaborates module `top` of a parsed file into a word-level netlist.
@@ -27,6 +27,12 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, VerilogError> 
         regs: Vec::new(),
         net_target: HashMap::new(),
         file,
+        scopes: vec![ScopeInfo {
+            module: top.to_owned(),
+            parent: None,
+        }],
+        cur_scope: 0,
+        node_scope: Vec::new(),
     };
 
     // Create Input nodes for the top module's input ports.
@@ -79,6 +85,8 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, VerilogError> 
         inputs: input_ids,
         outputs,
         regs: b.regs,
+        scopes: b.scopes,
+        node_scope: b.node_scope,
     };
     resolve(&mut netlist, &b.net_target)?;
     Ok(netlist)
@@ -152,6 +160,12 @@ struct Builder<'a> {
     /// Net placeholder node → resolved driver.
     net_target: HashMap<WId, WId>,
     file: &'a SourceFile,
+    /// Module-instance scopes created so far (0 = top).
+    scopes: Vec<ScopeInfo>,
+    /// Scope the builder is currently elaborating inside.
+    cur_scope: u32,
+    /// Creating scope per node.
+    node_scope: Vec<u32>,
 }
 
 impl Builder<'_> {
@@ -159,6 +173,16 @@ impl Builder<'_> {
         debug_assert!((1..=64).contains(&width));
         let id = self.nodes.len() as WId;
         self.nodes.push(WNode { kind, width });
+        self.node_scope.push(self.cur_scope);
+        id
+    }
+
+    fn new_scope(&mut self, module: String) -> u32 {
+        let id = self.scopes.len() as u32;
+        self.scopes.push(ScopeInfo {
+            module,
+            parent: Some(self.cur_scope),
+        });
         id
     }
 
@@ -662,7 +686,10 @@ fn elab_module(
                     }
                 }
                 let child_prefix = format!("{}{}.", scope.prefix, inst);
+                let saved_scope = b.cur_scope;
+                b.cur_scope = b.new_scope(child_name.clone());
                 let out_map = elab_module(b, child, child_prefix, &overrides, &child_inputs)?;
+                b.cur_scope = saved_scope;
                 for (pname, e) in out_conns {
                     let src = *out_map
                         .get(&pname)

@@ -45,6 +45,7 @@ mod codec;
 mod elab;
 mod error;
 mod lexer;
+pub mod modsrc;
 mod parser;
 pub mod printer;
 pub mod rtlir;

@@ -155,6 +155,19 @@ pub fn mask(w: u32) -> u64 {
     }
 }
 
+/// One elaboration scope: a module instance in the flattened hierarchy.
+/// Scope 0 is the top module; every other scope points at the scope whose
+/// instantiation created it, so the ancestor chain recovers the module
+/// names a node's elaboration depended on (texts below via the dependency
+/// graph, parameters above via the instantiating parents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeInfo {
+    /// Name of the module elaborated in this scope.
+    pub module: String,
+    /// Scope that instantiated this one (`None` for the top).
+    pub parent: Option<u32>,
+}
+
 /// A flat word-level netlist.
 #[derive(Debug, Clone)]
 pub struct Netlist {
@@ -166,6 +179,10 @@ pub struct Netlist {
     /// Primary outputs: (port name, driver).
     pub(crate) outputs: Vec<(String, WId)>,
     pub(crate) regs: Vec<WReg>,
+    /// Module-instance scopes; index 0 is the top module.
+    pub(crate) scopes: Vec<ScopeInfo>,
+    /// Creating scope of each node (aligned with `nodes`).
+    pub(crate) node_scope: Vec<u32>,
 }
 
 impl Netlist {
@@ -182,6 +199,31 @@ impl Netlist {
     /// Registers — the design's RTL sequential signals.
     pub fn regs(&self) -> &[WReg] {
         &self.regs
+    }
+
+    /// Module-instance scopes of the flattened hierarchy (index 0 = top).
+    pub fn scopes(&self) -> &[ScopeInfo] {
+        &self.scopes
+    }
+
+    /// The scope that created node `id`.
+    pub fn node_scope(&self, id: WId) -> u32 {
+        self.node_scope[id as usize]
+    }
+
+    /// Module names along a scope's ancestor chain (scope's own module
+    /// first, top last). A node's elaboration is a function of these
+    /// modules' sources plus their dependency closures.
+    pub fn scope_module_chain(&self, mut scope: u32) -> Vec<&str> {
+        let mut chain = Vec::new();
+        loop {
+            let s = &self.scopes[scope as usize];
+            chain.push(s.module.as_str());
+            match s.parent {
+                Some(p) => scope = p,
+                None => return chain,
+            }
+        }
     }
 
     /// Primary inputs in port order.
