@@ -10,7 +10,7 @@
 use rtl_timer::dataset::build_variant_data;
 use rtl_timer::optimize::{path_groups_from_scores, retime_set_from_scores};
 use rtl_timer::pipeline::RtlTimer;
-use rtlt_bench::{json::Json, median, pct, Bench, Table};
+use rtlt_bench::{json::Json, median, pct, shard_spec, Bench, Table};
 use rtlt_bog::BogVariant;
 use rtlt_liberty::Library;
 use rtlt_synth::{synthesize, SynthOptions};
@@ -18,6 +18,31 @@ use std::time::Instant;
 
 fn main() {
     let bench = Bench::from_env();
+
+    // Fleet-shard mode: prepare this worker's design subset and stop —
+    // the evaluation below needs the full suite, which only exists once
+    // the shards' disk tiers are merged.
+    if let Some((index, count)) = shard_spec() {
+        let set = bench.prepare_shard(index, count);
+        println!("\nartifact store (shard preparation went through it):\n");
+        bench.print_store_stats();
+        bench.write_report(
+            "runtime",
+            vec![
+                (
+                    "shard",
+                    Json::obj([
+                        ("index", Json::UInt(index as u64)),
+                        ("count", Json::UInt(count as u64)),
+                        ("designs", Json::UInt(set.designs().len() as u64)),
+                    ]),
+                ),
+                ("suite_digest", Json::Str(set.content_digest().to_hex())),
+            ],
+        );
+        return;
+    }
+
     let set = bench.prepare_suite();
     let cfg = bench.cfg.clone();
     // Train once on everything but the measured designs.
@@ -140,18 +165,24 @@ fn main() {
 
     bench.write_report(
         "runtime",
-        vec![(
-            "micro_ms",
-            Json::obj([
-                ("synth_median", Json::Num(median(&synth_ms))),
-                ("bog_build_median", Json::Num(median(&bog_ms))),
-                ("reg_proc_median", Json::Num(median(&proc_ms))),
-                ("inference_median", Json::Num(median(&inf_ms))),
-                ("bog_pct_of_synth_avg", Json::Num(avg(&bog_pcts))),
-                ("proc_pct_of_synth_avg", Json::Num(avg(&proc_pcts))),
-                ("infer_pct_of_synth_avg", Json::Num(avg(&inf_pcts))),
-                ("opt_overhead_pct_avg", Json::Num(avg(&opt_pcts))),
-            ]),
-        )],
+        vec![
+            // Content digest of the prepared suite: cold, warm, remote-fed
+            // and shard-merged preparations must all agree (the fleet CI
+            // jobs compare this field across runs).
+            ("suite_digest", Json::Str(set.content_digest().to_hex())),
+            (
+                "micro_ms",
+                Json::obj([
+                    ("synth_median", Json::Num(median(&synth_ms))),
+                    ("bog_build_median", Json::Num(median(&bog_ms))),
+                    ("reg_proc_median", Json::Num(median(&proc_ms))),
+                    ("inference_median", Json::Num(median(&inf_ms))),
+                    ("bog_pct_of_synth_avg", Json::Num(avg(&bog_pcts))),
+                    ("proc_pct_of_synth_avg", Json::Num(avg(&proc_pcts))),
+                    ("infer_pct_of_synth_avg", Json::Num(avg(&inf_pcts))),
+                    ("opt_overhead_pct_avg", Json::Num(avg(&opt_pcts))),
+                ]),
+            ),
+        ],
     );
 }

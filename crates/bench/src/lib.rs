@@ -7,10 +7,22 @@
 //! * `--cache-dir <DIR>` / `--cache-dir=<DIR>` / `RTLT_CACHE_DIR=<DIR>` —
 //!   root of the shared on-disk artifact store (default
 //!   `target/rtlt-cache`; `none`/`off` disables persistence),
+//! * `--remote <ADDR>` / `--remote=<ADDR>` / `RTLT_STORE_REMOTE=<ADDR>` —
+//!   stack a [`RemoteTier`] speaking to a shared `rtlt-stored` server
+//!   behind the local tiers (`none`/`off` disables; an unreachable server
+//!   degrades to recompute, never an error),
+//! * `--shard <I>/<N>` / `RTLT_SHARD=<I>/<N>` — fleet-sharded suite
+//!   preparation: this invocation prepares only shard `I` of `N` (see
+//!   [`Bench::prepare_shard`]; binaries that train models run them only
+//!   unsharded),
 //! * `gc [BUDGET_BYTES]` subcommand — size-bounded LRU-by-mtime eviction of
-//!   the disk tier (budget also via `RTLT_CACHE_BUDGET_BYTES`, default
-//!   4 GiB), then exit,
-//! * `--cache-stats` — print per-namespace disk usage and exit.
+//!   the **local** disk tier (budget also via `RTLT_CACHE_BUDGET_BYTES`,
+//!   default 4 GiB), then exit,
+//! * `merge <SRC_DIR>...` subcommand — merge other cache dirs' disk tiers
+//!   into this one's (the fleet-assembly step after sharded prepares),
+//!   then exit,
+//! * `--cache-stats` — print the tier stack (including the remote
+//!   server's size, if reachable) and per-namespace disk usage, then exit.
 //!
 //! All suite preparation goes through [`Bench::prepare_suite`], which
 //! threads the shared [`Store`] through the prepare pipeline: a warm second
@@ -24,9 +36,10 @@ pub mod json;
 use json::Json;
 use rtl_timer::cache::stage;
 use rtl_timer::pipeline::{DesignSet, TimerConfig};
-use rtlt_store::{NamespaceStats, StatsSnapshot, Store};
+use rtlt_store::{NamespaceStats, RemoteTier, StatsSnapshot, Store, TierKind};
 use std::cell::Cell;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default disk-tier GC budget when neither the `gc` argument nor
@@ -42,8 +55,9 @@ pub fn cache_budget() -> u64 {
 }
 
 /// Handles the cache-maintenance invocations shared by every bench binary:
-/// the `gc [BUDGET_BYTES]` subcommand and the `--cache-stats` flag. Returns
-/// `true` when a maintenance action ran (the binary should exit).
+/// the `gc [BUDGET_BYTES]` and `merge <SRC_DIR>...` subcommands and the
+/// `--cache-stats` flag. Returns `true` when a maintenance action ran (the
+/// binary should exit).
 pub fn run_maintenance(store: &Store) -> bool {
     let args = positional_args();
     if args.first().map(String::as_str) == Some("gc") {
@@ -63,11 +77,33 @@ pub fn run_maintenance(store: &Store) -> bool {
         );
         return true;
     }
+    if args.first().map(String::as_str) == Some("merge") {
+        if args.len() < 2 {
+            eprintln!("error: merge needs at least one source cache dir");
+            std::process::exit(2);
+        }
+        if store.disk_dir().is_none() {
+            eprintln!("error: merge needs a disk tier (--cache-dir is `none`)");
+            std::process::exit(2);
+        }
+        for src in &args[1..] {
+            let r = store.merge_disk_tier(std::path::Path::new(src));
+            println!(
+                "[merge] {src}: merged {} entries ({} KiB), {} already present, {} invalid skipped",
+                r.merged_files,
+                r.merged_bytes / 1024,
+                r.skipped_existing,
+                r.invalid_entries
+            );
+        }
+        return true;
+    }
     if std::env::args().any(|a| a == "--cache-stats") {
+        print_tier_stack(store);
         match store.disk_dir() {
             None => println!("(no disk tier configured)"),
             Some(dir) => {
-                println!("disk tier under {}:", dir.display());
+                println!("\ndisk tier under {}:", dir.display());
                 let usage = store.disk_usage();
                 let mut t = Table::new(&["namespace", "entries", "KiB"]);
                 let mut total = 0u64;
@@ -90,6 +126,31 @@ pub fn run_maintenance(store: &Store) -> bool {
         return true;
     }
     false
+}
+
+/// Prints the store's tier stack in fallback order — one line per tier
+/// with its size (the remote tier's numbers come from the server's STAT
+/// answer; an unreachable server prints as such instead of failing).
+pub fn print_tier_stack(store: &Store) {
+    let tiers = store.tier_stats();
+    if tiers.is_empty() {
+        println!("tier stack: (decoded front cache only — nothing persistent)");
+        return;
+    }
+    println!("tier stack (fallback order):");
+    for t in tiers {
+        if t.reachable {
+            println!(
+                "  {:<6} {:<40} {} entries, {} KiB",
+                t.kind.label(),
+                t.detail,
+                t.entries,
+                t.bytes / 1024
+            );
+        } else {
+            println!("  {:<6} {:<40} unreachable", t.kind.label(), t.detail);
+        }
+    }
 }
 
 /// Whether fast (smoke) mode is requested.
@@ -151,16 +212,87 @@ pub fn cache_dir() -> Option<PathBuf> {
     Some(PathBuf::from("target/rtlt-cache"))
 }
 
+/// Resolves the shared artifact service address: `--remote` argument
+/// first, then `RTLT_STORE_REMOTE`. `none`, `off` and the empty string
+/// disable the remote tier (the default).
+pub fn remote_addr() -> Option<String> {
+    fn parse(v: String) -> Option<String> {
+        match v.as_str() {
+            "" | "none" | "off" => None,
+            _ => Some(v),
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--remote" {
+            let Some(v) = args.next() else {
+                eprintln!("error: --remote needs a value (host:port, or `none` to disable)");
+                std::process::exit(2);
+            };
+            return parse(v);
+        }
+        if let Some(v) = a.strip_prefix("--remote=") {
+            return parse(v.to_owned());
+        }
+    }
+    std::env::var("RTLT_STORE_REMOTE").ok().and_then(parse)
+}
+
+/// Parses a `<I>/<N>` shard spec (0-based index, total count). Any
+/// malformed or out-of-range spec is a hard usage error: a fleet worker
+/// silently falling back to an unsharded full-suite run would do N× the
+/// work into its shard's cache dir with no diagnostic.
+fn parse_shard(v: &str) -> (usize, usize) {
+    let parsed = v
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.trim().parse().ok()?, n.trim().parse().ok()?)));
+    match parsed {
+        Some((i, n)) if n > 0 && i < n => (i, n),
+        _ => {
+            eprintln!("error: shard spec must be I/N with I < N and N > 0, got {v:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves the fleet shard spec: `--shard I/N` argument first, then
+/// `RTLT_SHARD` (`none`/`off`/empty disable it). `None` means an
+/// unsharded (full-suite) run; a present-but-malformed spec exits with a
+/// usage error instead of silently running unsharded.
+pub fn shard_spec() -> Option<(usize, usize)> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shard" {
+            let Some(v) = args.next() else {
+                eprintln!("error: --shard needs a value (I/N, e.g. 0/4)");
+                std::process::exit(2);
+            };
+            return Some(parse_shard(&v));
+        }
+        if let Some(v) = a.strip_prefix("--shard=") {
+            return Some(parse_shard(v));
+        }
+    }
+    match std::env::var("RTLT_SHARD").ok().as_deref() {
+        None | Some("" | "none" | "off") => None,
+        Some(v) => Some(parse_shard(v)),
+    }
+}
+
 /// Positional process arguments with harness flags (`--cache-dir [DIR]`,
-/// `--cache-stats`) stripped — for binaries that take a design name
-/// argument.
+/// `--remote [ADDR]`, `--shard [I/N]`, `--cache-stats`) stripped — for
+/// binaries that take a design name argument.
 pub fn positional_args() -> Vec<String> {
     let mut out = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--cache-dir" {
+        if a == "--cache-dir" || a == "--remote" || a == "--shard" {
             let _ = args.next();
-        } else if !a.starts_with("--cache-dir=") && a != "--cache-stats" {
+        } else if !a.starts_with("--cache-dir=")
+            && !a.starts_with("--remote=")
+            && !a.starts_with("--shard=")
+            && a != "--cache-stats"
+        {
             out.push(a);
         }
     }
@@ -190,10 +322,16 @@ impl Bench {
     /// here — they run against the configured store and exit, so every
     /// bench binary supports them uniformly.
     pub fn from_env() -> Bench {
-        let store = match cache_dir() {
+        let mut store = match cache_dir() {
             Some(dir) => Store::on_disk(dir),
             None => Store::in_memory(),
         };
+        // The remote tier stacks *behind* the local tiers: local disk
+        // answers first, the shared server fills the gaps, and remote hits
+        // populate the local disk on the way back (read-through).
+        if let Some(addr) = remote_addr() {
+            store.push_tier(Arc::new(RemoteTier::new(addr)));
+        }
         if run_maintenance(&store) {
             std::process::exit(0);
         }
@@ -232,6 +370,35 @@ impl Bench {
         set
     }
 
+    /// Fleet-sharded preparation: prepares only shard `index` of `count`
+    /// of the benchmark suite through the store, printing the same timing
+    /// and cache-outcome summary as [`Bench::prepare_suite`]. The disk
+    /// tiers of N such runs merge (`merge` subcommand) into one cache that
+    /// is byte-identical to an unsharded cold prepare.
+    pub fn prepare_shard(&self, index: usize, count: usize) -> DesignSet {
+        eprintln!(
+            "[harness] preparing suite shard {index}/{count} (threads={}, cache-dir={}) ...",
+            self.cfg.threads,
+            match self.store.disk_dir() {
+                Some(dir) => dir.display().to_string(),
+                None => "none".to_owned(),
+            }
+        );
+        let t = Instant::now();
+        let set = DesignSet::prepare_suite_sharded(&self.cfg, &self.store, index, count);
+        let secs = t.elapsed().as_secs_f64();
+        self.prep_seconds.set(secs);
+        let agg = self.prepare_stats();
+        eprintln!(
+            "[harness] shard {index}/{count} ready: {} designs in {secs:.1}s ({} hits / {} lookups = {:.1}% hit rate)",
+            set.designs().len(),
+            agg.hits(),
+            agg.lookups(),
+            agg.hit_rate_pct()
+        );
+        set
+    }
+
     /// Wall time of the last [`Bench::prepare_suite`] (NaN before any run).
     pub fn prep_seconds(&self) -> f64 {
         self.prep_seconds.get()
@@ -242,7 +409,9 @@ impl Bench {
         self.store.stats().aggregate(stage::PREPARE)
     }
 
-    /// Prints the per-stage store counters as a table.
+    /// Prints the per-stage store counters as a table (hit rates per
+    /// namespace) plus the per-tier mem/disk/remote breakdown of where
+    /// warm data actually came from.
     pub fn print_store_stats(&self) {
         let snap = self.store.stats();
         if snap.namespaces.is_empty() {
@@ -253,6 +422,7 @@ impl Bench {
             "stage",
             "mem hits",
             "disk hits",
+            "remote hits",
             "misses",
             "hit %",
             "KiB written",
@@ -263,6 +433,7 @@ impl Bench {
                 ns.clone(),
                 s.mem_hits.to_string(),
                 s.disk_hits.to_string(),
+                s.remote_hits.to_string(),
                 s.misses.to_string(),
                 format!("{:.1}", s.hit_rate_pct()),
                 (s.bytes_written / 1024).to_string(),
@@ -270,6 +441,17 @@ impl Bench {
             ]);
         }
         t.print();
+        let hits = snap.tier_hits();
+        println!(
+            "tier breakdown: {} mem ({:.1}%), {} disk ({:.1}%), {} remote ({:.1}%) of {} hits",
+            hits.mem,
+            hits.share_pct(TierKind::Memory),
+            hits.disk,
+            hits.share_pct(TierKind::Disk),
+            hits.remote,
+            hits.share_pct(TierKind::Remote),
+            hits.total()
+        );
         println!(
             "in-memory tier: {} KiB resident, {} evictions",
             snap.mem_bytes / 1024,
@@ -300,10 +482,27 @@ impl Bench {
             // suite prepared without consulting the store reports 100 %
             // hit rate (0/0) but 0 lookups.
             ("prepare_lookups".to_owned(), Json::UInt(agg.lookups())),
+            ("prepare_hits".to_owned(), Json::UInt(agg.hits())),
+            // Per-tier provenance of the warm prepare data — the remote
+            // smoke gate asserts most of a cold-local run came from the
+            // shared server.
+            ("prepare_mem_hits".to_owned(), Json::UInt(agg.mem_hits)),
+            ("prepare_disk_hits".to_owned(), Json::UInt(agg.disk_hits)),
+            (
+                "prepare_remote_hits".to_owned(),
+                Json::UInt(agg.remote_hits),
+            ),
             (
                 "cache_dir".to_owned(),
                 match self.store.disk_dir() {
                     Some(d) => Json::Str(d.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "remote".to_owned(),
+                match remote_addr() {
+                    Some(addr) => Json::Str(addr),
                     None => Json::Null,
                 },
             ),
@@ -328,6 +527,7 @@ fn namespace_json(s: &NamespaceStats) -> Json {
     Json::obj([
         ("mem_hits", Json::UInt(s.mem_hits)),
         ("disk_hits", Json::UInt(s.disk_hits)),
+        ("remote_hits", Json::UInt(s.remote_hits)),
         ("misses", Json::UInt(s.misses)),
         ("hit_rate_pct", Json::Num(s.hit_rate_pct())),
         ("bytes_written", Json::UInt(s.bytes_written)),

@@ -19,7 +19,7 @@ use crate::metrics;
 use crate::signal::{signal_labels, signal_rows, SignalModels};
 use rtlt_bog::{blast, Bog, SignalInfo};
 use rtlt_liberty::{CellFunc, Drive, Library};
-use rtlt_store::{ContentHash, Store};
+use rtlt_store::{ContentHash, KeyBuilder, Store};
 use rtlt_synth::{synthesize, SynthOptions, SynthResult};
 use rtlt_verilog::ast::{Module, SourceFile};
 use rtlt_verilog::{modsrc, VerilogError};
@@ -581,6 +581,20 @@ impl DesignData {
     }
 }
 
+/// Deterministic shard assignment of one design name.
+///
+/// Stable across processes and platforms (content-hash based, never the
+/// randomly-keyed `DefaultHasher`), so N fleet workers given `i/N` specs
+/// partition any design list identically without coordinating: every name
+/// lands in exactly one shard for any `shard_count`. A `shard_count` of 0
+/// is treated as 1.
+pub fn shard_of(name: &str, shard_count: usize) -> usize {
+    let count = shard_count.max(1) as u64;
+    let h = KeyBuilder::new("rtlt.shard.v1").str(name).finish();
+    let x = u64::from_le_bytes(h.0[..8].try_into().expect("8 bytes"));
+    (x % count) as usize
+}
+
 /// An owned collection of prepared designs.
 ///
 /// Designs are held behind `Arc` so the set, the store's in-memory tier and
@@ -620,6 +634,48 @@ impl DesignSet {
     /// Panics if any generated design fails to compile.
     pub fn prepare_suite_with(cfg: &TimerConfig, store: &Store) -> DesignSet {
         let sources = rtlt_designgen::generate_all();
+        Self::prepare_named_with(&sources, cfg, store).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The subset of `sources` assigned to shard `shard_index` of
+    /// `shard_count` by [`shard_of`] (input order preserved). The shards
+    /// of any fixed `shard_count` partition the input: disjoint, and their
+    /// union (over all indices) is the whole list.
+    pub fn shard_sources(
+        sources: &[(String, String)],
+        shard_index: usize,
+        shard_count: usize,
+    ) -> Vec<(String, String)> {
+        sources
+            .iter()
+            .filter(|(name, _)| shard_of(name, shard_count) == shard_index)
+            .cloned()
+            .collect()
+    }
+
+    /// Fleet-sharded suite preparation: prepares only the benchmark-suite
+    /// designs assigned to shard `shard_index` of `shard_count`. N workers
+    /// running disjoint shards against disjoint cache dirs prepare the full
+    /// suite cooperatively; [`Store::merge_disk_tier`] then assembles the
+    /// single warm cache, byte-identical to an unsharded cold prepare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_index >= shard_count` (a misconfigured fleet spec
+    /// is a driver bug, not a recoverable state) or if a generated design
+    /// fails to compile.
+    pub fn prepare_suite_sharded(
+        cfg: &TimerConfig,
+        store: &Store,
+        shard_index: usize,
+        shard_count: usize,
+    ) -> DesignSet {
+        assert!(
+            shard_index < shard_count.max(1),
+            "shard index {shard_index} out of range for {shard_count} shards"
+        );
+        let sources =
+            Self::shard_sources(&rtlt_designgen::generate_all(), shard_index, shard_count);
         Self::prepare_named_with(&sources, cfg, store).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -692,6 +748,44 @@ impl DesignSet {
             }
         }
         (train, test)
+    }
+
+    /// Content digest of the prepared set: a stable hash over every
+    /// design's name, prepare key, ground-truth outputs (labels, WNS/TNS,
+    /// area, power, clock), AST features and the full featurized
+    /// `variant_data` (through its canonical codec encoding — the bulk of
+    /// what the cache tiers actually serve), order-independent (sorted by
+    /// name). The carried `source` text is deliberately excluded: cache
+    /// hits rebind it to the caller's live file, which may legitimately
+    /// differ outside the top module's dependency cone.
+    ///
+    /// Two preparations that took different routes to the same artifacts —
+    /// cold vs. warm, unsharded vs. shard-and-merge, local vs. remote tier
+    /// — digest identically iff they produced identical results; the CI
+    /// fleet jobs assert exactly that, so a tier bug serving a
+    /// wrong-but-well-formed payload shows up here.
+    pub fn content_digest(&self) -> ContentHash {
+        let mut sorted: Vec<&Arc<DesignData>> = self.designs.iter().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut kb = KeyBuilder::new("rtlt.suite.digest.v2").u64(sorted.len() as u64);
+        for d in sorted {
+            kb = kb.str(&d.name).key(&d.prepare_key);
+            kb = kb.u64(d.labels_at.len() as u64);
+            for &l in d.labels_at.iter() {
+                kb = kb.f64(l);
+            }
+            kb = kb
+                .f64(d.clock)
+                .f64(d.setup)
+                .f64(d.wns)
+                .f64(d.tns)
+                .f64(d.area)
+                .f64(d.power)
+                .codec(&d.ast_feats)
+                .codec(&d.variant_data)
+                .u64(d.signal_names.len() as u64);
+        }
+        kb.finish()
     }
 
     /// Deterministic k-fold partition of design names (round-robin after a
@@ -1261,6 +1355,53 @@ endmodule";
             crate::cache::model_key(&train, &cfg),
             crate::cache::model_key(&train, &other_seed)
         );
+    }
+
+    #[test]
+    fn shard_sources_partition_for_any_count() {
+        let sources = tiny_sources();
+        for count in 1..=6 {
+            let shards: Vec<_> = (0..count)
+                .map(|i| DesignSet::shard_sources(&sources, i, count))
+                .collect();
+            // Every design lands in exactly one shard.
+            let total: usize = shards.iter().map(|s| s.len()).sum();
+            assert_eq!(total, sources.len(), "count {count}");
+            let mut seen: Vec<&str> = shards
+                .iter()
+                .flatten()
+                .map(|(name, _)| name.as_str())
+                .collect();
+            seen.sort_unstable();
+            let mut expect: Vec<&str> = sources.iter().map(|(n, _)| n.as_str()).collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "count {count}");
+            // And the assignment is the pure function it claims to be.
+            for (i, shard) in shards.iter().enumerate() {
+                for (name, _) in shard {
+                    assert_eq!(shard_of(name, count), i);
+                }
+            }
+        }
+        // Degenerate count behaves like 1.
+        assert_eq!(shard_of("d0", 0), 0);
+    }
+
+    #[test]
+    fn content_digest_is_order_independent_and_content_sensitive() {
+        let cfg = TimerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let sources = tiny_sources();
+        let set = DesignSet::prepare_named_or_panic(&sources[..2], &cfg);
+        let mut reversed_sources = sources[..2].to_vec();
+        reversed_sources.reverse();
+        let reversed = DesignSet::prepare_named_or_panic(&reversed_sources, &cfg);
+        assert_eq!(set.content_digest(), reversed.content_digest());
+        // A different design subset digests differently.
+        let other = DesignSet::prepare_named_or_panic(&sources[..3], &cfg);
+        assert_ne!(set.content_digest(), other.content_digest());
     }
 
     #[test]

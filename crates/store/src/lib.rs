@@ -9,102 +9,99 @@
 //! * [`codec`] — hand-rolled compact binary codec ([`Codec`]); the
 //!   environment is offline, no serde,
 //! * [`hash`] — stable SHA-256 [`ContentHash`] keys via [`KeyBuilder`]
-//!   (identical across processes — the disk tier outlives any one run),
-//! * [`Store`] — a thread-safe two-tier store: a byte-budgeted LRU
-//!   **in-memory** tier holding decoded `Arc<T>` artifacts, over an optional
-//!   **on-disk** tier of checksummed binary entries,
-//! * [`StatsSnapshot`] — per-namespace hit/miss/byte counters for the bench
-//!   reports.
+//!   (identical across processes — the persistent tiers outlive any one
+//!   run),
+//! * [`entry`] — the checksummed entry envelope every byte tier exchanges,
+//! * [`tier`] — the [`StoreTier`] trait and the local tier impls: the
+//!   byte-LRU [`MemTier`] and the checksummed [`DiskTier`],
+//! * [`wire`]/[`remote`]/[`server`] — the `rtlt-stored` artifact service:
+//!   a length-prefixed binary protocol, the [`RemoteTier`] client and the
+//!   server loop, so CI fleets and developer machines share one warm cache,
+//! * [`Store`] — the handle every call site goes through: a byte-budgeted
+//!   LRU cache of **decoded** `Arc<T>` artifacts fronting a composable
+//!   stack of byte tiers (disk, then optionally remote),
+//! * [`StatsSnapshot`] — per-namespace, per-tier hit/miss/byte counters.
 //!
 //! Lookups are namespaced by stage name so identical keys from different
 //! stages cannot collide and stats stay attributable. Corrupted, truncated,
-//! or version-mismatched disk entries are discarded and treated as misses —
-//! the store never fails a computation, it only skips redundant ones.
+//! or version-mismatched entries are discarded and treated as misses — the
+//! store never fails a computation, it only skips redundant ones. The same
+//! holds one level up: an unreachable `rtlt-stored` server degrades to
+//! misses (recompute), never to errors.
+//!
+//! Tier order is fallback order: decoded front cache → each byte tier front
+//! to back. A hit in a later tier is written back into every earlier tier
+//! (read-through population), and a put lands in every tier (write-back),
+//! so one warm fleet cache fills local disks incrementally.
+//!
+//! The front cache holds *decoded* artifacts on purpose: repeated gets of
+//! the same key return the same `Arc` (the pipeline leans on that sharing),
+//! and hot-loop lookups skip re-decoding. Byte-oriented [`MemTier`]s exist
+//! for stacks that never decode — the `rtlt-stored` server fronts its disk
+//! tier with one.
 //!
 //! Concurrency model: tiers are guarded by plain mutexes (lookups are
 //! microseconds next to the seconds-long computations being memoized). Two
 //! threads racing to compute the same key both run the computation and the
 //! second insert wins; artifacts are deterministic, so this wastes time but
 //! never changes results. The architectural point of routing every call
-//! site through this one handle is that sharding, batching, or a remote
-//! backend later land behind [`Store`] without touching call sites again.
+//! site through this one handle is that new tiers — sharded fleets, a
+//! remote backend — land behind [`Store`] without touching call sites.
 
 pub mod codec;
+pub mod entry;
 pub mod hash;
+pub mod remote;
+pub mod server;
 pub mod stats;
+pub mod tier;
+pub mod wire;
 
 pub use codec::{Codec, CodecError, Dec, Enc, FORMAT_VERSION};
 pub use hash::{ContentHash, KeyBuilder};
-pub use stats::{NamespaceStats, StatsSnapshot};
+pub use remote::RemoteTier;
+pub use stats::{NamespaceStats, StatsSnapshot, TierHits};
+pub use tier::{
+    DiskTier, GcReport, MemTier, MergeReport, StoreTier, TierKind, TierLookup, TierStats,
+};
 
 use stats::StoreStats;
 use std::any::Any;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Default in-memory tier budget: 2 GiB of encoded artifact bytes.
+/// Default in-memory front-cache budget: 2 GiB of encoded artifact bytes.
 pub const DEFAULT_MEM_BUDGET: usize = 2 << 30;
 
-/// Magic bytes opening every on-disk entry.
-const DISK_MAGIC: [u8; 4] = *b"RTLT";
-/// Fixed disk-entry header size: magic + format version + payload length.
-const DISK_HEADER: usize = 4 + 4 + 8;
-/// Trailing FNV-1a checksum size.
-const DISK_TRAILER: usize = 8;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Outcome of a disk-tier [`Store::gc`] pass.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GcReport {
-    /// Entry files found before eviction.
-    pub scanned_files: u64,
-    /// Total bytes found before eviction.
-    pub scanned_bytes: u64,
-    /// Files evicted (oldest mtime first).
-    pub evicted_files: u64,
-    /// Bytes evicted.
-    pub evicted_bytes: u64,
-    /// Bytes remaining after eviction.
-    pub remaining_bytes: u64,
-}
-
 #[derive(Debug)]
-struct MemEntry {
+struct DecodedEntry {
     value: Arc<dyn Any + Send + Sync>,
     bytes: usize,
     last_used: u64,
 }
 
+/// The decoded-artifact front cache (LRU by encoded size).
 #[derive(Debug, Default)]
-struct MemTier {
-    entries: HashMap<(String, ContentHash), MemEntry>,
+struct DecodedCache {
+    entries: HashMap<(String, ContentHash), DecodedEntry>,
     total_bytes: usize,
     tick: u64,
 }
 
-/// A thread-safe, content-addressed artifact store with an in-memory tier
-/// and an optional on-disk tier. See the crate docs for the design.
+/// A thread-safe, content-addressed artifact store: a decoded front cache
+/// over a composable stack of byte tiers. See the crate docs for the
+/// design.
 ///
 /// Shared by reference (or `Arc`) across worker threads; all methods take
 /// `&self`.
 #[derive(Debug)]
 pub struct Store {
     enabled: bool,
-    mem: Mutex<MemTier>,
+    decoded: Mutex<DecodedCache>,
     mem_budget: usize,
-    disk_dir: Option<PathBuf>,
+    tiers: Vec<Arc<dyn StoreTier>>,
     stats: StoreStats,
-    tmp_counter: AtomicU64,
 }
 
 impl Store {
@@ -113,15 +110,15 @@ impl Store {
         Store::with_mem_budget(DEFAULT_MEM_BUDGET)
     }
 
-    /// Memory-only store with an explicit byte budget for the LRU tier.
+    /// Memory-only store with an explicit byte budget for the decoded
+    /// front cache.
     pub fn with_mem_budget(mem_budget: usize) -> Store {
         Store {
             enabled: true,
-            mem: Mutex::new(MemTier::default()),
+            decoded: Mutex::new(DecodedCache::default()),
             mem_budget,
-            disk_dir: None,
+            tiers: Vec::new(),
             stats: StoreStats::default(),
-            tmp_counter: AtomicU64::new(0),
         }
     }
 
@@ -130,8 +127,22 @@ impl Store {
     /// path-safe (the pipeline uses short lowercase words).
     pub fn on_disk(dir: impl Into<PathBuf>) -> Store {
         let mut s = Store::in_memory();
-        s.disk_dir = Some(dir.into());
+        s.tiers.push(Arc::new(DiskTier::new(dir)));
         s
+    }
+
+    /// Store over an explicit tier stack (fallback order, front to back).
+    /// The decoded front cache uses `mem_budget` encoded bytes.
+    pub fn with_tiers(mem_budget: usize, tiers: Vec<Arc<dyn StoreTier>>) -> Store {
+        let mut s = Store::with_mem_budget(mem_budget);
+        s.tiers = tiers;
+        s
+    }
+
+    /// Appends a tier at the back of the fallback order (e.g. a
+    /// [`RemoteTier`] behind the local disk tier).
+    pub fn push_tier(&mut self, tier: Arc<dyn StoreTier>) {
+        self.tiers.push(tier);
     }
 
     /// A pass-through store: every lookup misses, nothing is retained and
@@ -148,19 +159,30 @@ impl Store {
         self.enabled
     }
 
-    /// The on-disk tier root, if one is configured.
+    /// The byte tiers, in fallback order.
+    pub fn tiers(&self) -> &[Arc<dyn StoreTier>] {
+        &self.tiers
+    }
+
+    /// Size snapshots of every byte tier, in fallback order.
+    pub fn tier_stats(&self) -> Vec<TierStats> {
+        self.tiers.iter().map(|t| t.stats()).collect()
+    }
+
+    /// The first disk tier's root, if one is configured.
     pub fn disk_dir(&self) -> Option<&Path> {
-        self.disk_dir.as_deref()
+        self.tiers.iter().find_map(|t| t.disk_root())
     }
 
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
-        let mem_bytes = self.mem.lock().expect("mem lock").total_bytes as u64;
+        let mem_bytes = self.decoded.lock().expect("mem lock").total_bytes as u64;
         self.stats.snapshot(mem_bytes)
     }
 
     /// Looks up `key` in `ns`, returning the artifact from the first tier
-    /// that has it (disk hits are promoted into memory).
+    /// that has it. Hits in later tiers populate every earlier byte tier
+    /// (read-through) and the decoded front cache.
     pub fn get<T>(&self, ns: &str, key: ContentHash) -> Option<Arc<T>>
     where
         T: Codec + Send + Sync + 'static,
@@ -172,11 +194,37 @@ impl Store {
             self.stats.with_ns(ns, |s| s.mem_hits += 1);
             return Some(v);
         }
-        if let Some((v, payload_len)) = self.disk_get::<T>(ns, key) {
-            self.stats.with_ns(ns, |s| s.disk_hits += 1);
-            let v = Arc::new(v);
-            self.mem_put(ns, key, v.clone(), payload_len);
-            return Some(v);
+        for (i, tier) in self.tiers.iter().enumerate() {
+            match tier.get_bytes(ns, key) {
+                TierLookup::Hit(payload) => match T::from_bytes(&payload) {
+                    Ok(v) => {
+                        self.stats.with_ns(ns, |s| {
+                            s.count_tier_hit(tier.kind());
+                            s.bytes_read += payload.len() as u64;
+                        });
+                        // Read-through: earlier tiers pick the entry up so
+                        // the next lookup stops sooner (a remote hit warms
+                        // the local disk).
+                        for earlier in &self.tiers[..i] {
+                            earlier.put_bytes(ns, key, &payload);
+                        }
+                        let v = Arc::new(v);
+                        self.mem_put(ns, key, v.clone(), payload.len());
+                        return Some(v);
+                    }
+                    Err(_) => {
+                        // Envelope validated but the typed decode failed
+                        // (shape drift the version stamp missed): drop the
+                        // entry so the slot heals on recompute.
+                        tier.remove(ns, key);
+                        self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
+                    }
+                },
+                TierLookup::Corrupt => {
+                    self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
+                }
+                TierLookup::Miss => {}
+            }
         }
         self.stats.with_ns(ns, |s| s.misses += 1);
         None
@@ -192,10 +240,16 @@ impl Store {
         if !self.enabled {
             return value;
         }
-        // Encode once; the same bytes size the memory tier and fill the
-        // disk tier.
+        // Encode once; the same bytes size the front cache and fill every
+        // byte tier (write-back).
         let payload = value.to_bytes();
-        self.disk_put(ns, key, &payload);
+        if !self.tiers.is_empty() {
+            self.stats
+                .with_ns(ns, |s| s.bytes_written += payload.len() as u64);
+        }
+        for tier in &self.tiers {
+            tier.put_bytes(ns, key, &payload);
+        }
         self.mem_put(ns, key, value.clone(), payload.len());
         value
     }
@@ -243,19 +297,19 @@ impl Store {
         Ok(self.put(ns, key, compute()?))
     }
 
-    // -- in-memory tier ----------------------------------------------------
+    // -- decoded front cache -----------------------------------------------
 
     fn mem_get<T: Send + Sync + 'static>(&self, ns: &str, key: ContentHash) -> Option<Arc<T>> {
-        let mut tier = self.mem.lock().expect("mem lock");
-        tier.tick += 1;
-        let tick = tier.tick;
-        let entry = tier.entries.get_mut(&(ns.to_owned(), key))?;
+        let mut cache = self.decoded.lock().expect("mem lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        let entry = cache.entries.get_mut(&(ns.to_owned(), key))?;
         entry.last_used = tick;
         entry.value.clone().downcast::<T>().ok()
     }
 
     /// `bytes` is the encoded payload length — cheap to obtain (the caller
-    /// already encoded for the disk tier or read the entry), consistent
+    /// already encoded for the byte tiers or read the entry), consistent
     /// across tiers, and proportional to resident footprint for the flat
     /// vector-heavy artifacts the pipeline stores.
     fn mem_put<T: Send + Sync + 'static>(
@@ -268,30 +322,30 @@ impl Store {
         if bytes > self.mem_budget {
             return;
         }
-        let mut tier = self.mem.lock().expect("mem lock");
-        tier.tick += 1;
-        let tick = tier.tick;
-        if let Some(old) = tier.entries.insert(
+        let mut cache = self.decoded.lock().expect("mem lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(old) = cache.entries.insert(
             (ns.to_owned(), key),
-            MemEntry {
+            DecodedEntry {
                 value,
                 bytes,
                 last_used: tick,
             },
         ) {
-            tier.total_bytes -= old.bytes;
+            cache.total_bytes -= old.bytes;
         }
-        tier.total_bytes += bytes;
-        while tier.total_bytes > self.mem_budget {
-            let lru = tier
+        cache.total_bytes += bytes;
+        while cache.total_bytes > self.mem_budget {
+            let lru = cache
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone());
             match lru {
                 Some(k) => {
-                    let e = tier.entries.remove(&k).expect("lru entry");
-                    tier.total_bytes -= e.bytes;
+                    let e = cache.entries.remove(&k).expect("lru entry");
+                    cache.total_bytes -= e.bytes;
                     self.stats.count_eviction();
                 }
                 None => break,
@@ -299,191 +353,49 @@ impl Store {
         }
     }
 
-    // -- on-disk tier ------------------------------------------------------
-
-    fn entry_path(dir: &Path, ns: &str, key: ContentHash) -> PathBuf {
-        dir.join(ns).join(format!("{}.bin", key.to_hex()))
-    }
-
-    fn disk_get<T: Codec>(&self, ns: &str, key: ContentHash) -> Option<(T, usize)> {
-        let dir = self.disk_dir.as_deref()?;
-        let path = Self::entry_path(dir, ns, key);
-        let bytes = std::fs::read(&path).ok()?;
-        match Self::parse_entry::<T>(&bytes) {
-            Some(v) => {
-                self.stats
-                    .with_ns(ns, |s| s.bytes_read += bytes.len() as u64);
-                // Touch the entry so [`Store::gc`]'s LRU-by-mtime order
-                // reflects access recency, not just write time. Memory-tier
-                // hits never reach here, but they imply this process
-                // already promoted (and touched) the entry once.
-                let _ = std::fs::File::options()
-                    .append(true)
-                    .open(&path)
-                    .and_then(|f| {
-                        f.set_times(
-                            std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()),
-                        )
-                    });
-                Some((v, bytes.len() - DISK_HEADER - DISK_TRAILER))
-            }
-            None => {
-                // Corrupted/truncated/stale entry: drop it so the slot is
-                // rewritten by the recompute. Never an error — just a miss.
-                let _ = std::fs::remove_file(&path);
-                self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
-                None
-            }
-        }
-    }
-
-    fn parse_entry<T: Codec>(bytes: &[u8]) -> Option<T> {
-        if bytes.len() < DISK_HEADER + DISK_TRAILER || bytes[..4] != DISK_MAGIC {
-            return None;
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
-            return None;
-        }
-        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        if bytes.len() != DISK_HEADER + len + DISK_TRAILER {
-            return None;
-        }
-        let payload = &bytes[DISK_HEADER..DISK_HEADER + len];
-        let checksum = u64::from_le_bytes(
-            bytes[DISK_HEADER + len..]
-                .try_into()
-                .expect("trailer bytes"),
-        );
-        if fnv1a(payload) != checksum {
-            return None;
-        }
-        T::from_bytes(payload).ok()
-    }
-
-    // -- disk-tier maintenance --------------------------------------------
+    // -- tier maintenance --------------------------------------------------
 
     /// Sizes of the disk tier by namespace: `(namespace, files, bytes)`,
     /// sorted by namespace. Empty when no disk tier is configured.
     pub fn disk_usage(&self) -> Vec<(String, u64, u64)> {
-        let Some(dir) = self.disk_dir.as_deref() else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        let Ok(entries) = std::fs::read_dir(dir) else {
-            return Vec::new();
-        };
-        for ns in entries.flatten() {
-            if !ns.path().is_dir() {
-                continue;
-            }
-            let name = ns.file_name().to_string_lossy().into_owned();
-            let mut files = 0u64;
-            let mut bytes = 0u64;
-            if let Ok(items) = std::fs::read_dir(ns.path()) {
-                for f in items.flatten() {
-                    if let Ok(meta) = f.metadata() {
-                        if meta.is_file() {
-                            files += 1;
-                            bytes += meta.len();
-                        }
-                    }
-                }
-            }
-            out.push((name, files, bytes));
-        }
-        out.sort();
-        out
+        self.tiers
+            .iter()
+            .find_map(|t| t.disk_root().map(|d| DiskTier::new(d).usage()))
+            .unwrap_or_default()
     }
 
-    /// Size-bounded garbage collection of the disk tier: evicts entries in
-    /// LRU order by file modification time — every disk-tier read touches
-    /// the entry's mtime, so the order reflects access recency, not just
-    /// write time. Namespaces are collected together — the LRU order is
-    /// global, so a hot namespace survives a cold one.
+    /// Size-bounded garbage collection of the **local** tiers: each
+    /// non-remote byte tier evicts down to `budget_bytes` (the disk tier
+    /// in LRU order by access-refreshed mtime). Remote tiers are skipped —
+    /// one client must not evict a fleet's shared cache as a side effect;
+    /// use [`RemoteTier::gc_remote`] (or the server's own budget) for
+    /// that, deliberately.
     ///
     /// Failures to stat or remove individual files are skipped (another
     /// process may be evicting concurrently); the report counts what this
     /// call actually freed.
     pub fn gc(&self, budget_bytes: u64) -> GcReport {
         let mut report = GcReport::default();
-        let Some(dir) = self.disk_dir.as_deref() else {
-            return report;
-        };
-        // (mtime, size, path) of every entry file.
-        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
-        let Ok(namespaces) = std::fs::read_dir(dir) else {
-            return report;
-        };
-        for ns in namespaces.flatten() {
-            if !ns.path().is_dir() {
-                continue;
-            }
-            if let Ok(items) = std::fs::read_dir(ns.path()) {
-                for f in items.flatten() {
-                    if let Ok(meta) = f.metadata() {
-                        if meta.is_file() {
-                            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-                            entries.push((mtime, meta.len(), f.path()));
-                        }
-                    }
-                }
+        for tier in &self.tiers {
+            if tier.kind() != TierKind::Remote {
+                report.absorb(tier.gc(budget_bytes));
             }
         }
-        report.scanned_files = entries.len() as u64;
-        report.scanned_bytes = entries.iter().map(|(_, s, _)| s).sum();
-        let mut remaining = report.scanned_bytes;
-        entries.sort();
-        for (_, size, path) in entries {
-            if remaining <= budget_bytes {
-                break;
-            }
-            if std::fs::remove_file(&path).is_ok() {
-                remaining -= size;
-                report.evicted_files += 1;
-                report.evicted_bytes += size;
-            }
-        }
-        report.remaining_bytes = remaining;
         report
     }
 
-    fn disk_put(&self, ns: &str, key: ContentHash, payload: &[u8]) {
-        let Some(dir) = self.disk_dir.as_deref() else {
-            return;
-        };
-        let mut bytes = Vec::with_capacity(DISK_HEADER + payload.len() + DISK_TRAILER);
-        bytes.extend_from_slice(&DISK_MAGIC);
-        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        let checksum = fnv1a(payload);
-        bytes.extend_from_slice(payload);
-        bytes.extend_from_slice(&checksum.to_le_bytes());
-
-        // Best-effort persistence: a full disk or permission problem must
-        // not fail the pipeline. Write-to-temp + rename keeps concurrent
-        // readers (and writers racing on the same key) atomic.
-        let ns_dir = dir.join(ns);
-        if std::fs::create_dir_all(&ns_dir).is_err() {
-            return;
+    /// Merges every valid entry under `src_dir` (another store's disk-tier
+    /// root) into this store's disk tier — the assembly step of sharded
+    /// fleet preparation: N workers prepare disjoint design subsets into
+    /// disjoint cache dirs, then one merge builds the single warm cache.
+    /// Returns a zero report when this store has no disk tier.
+    pub fn merge_disk_tier(&self, src_dir: &Path) -> MergeReport {
+        for tier in &self.tiers {
+            if let Some(root) = tier.disk_root() {
+                return DiskTier::new(root).merge_from(src_dir);
+            }
         }
-        let tmp = ns_dir.join(format!(
-            "{}.tmp.{}.{}",
-            key.to_hex(),
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        if std::fs::write(&tmp, &bytes).is_err() {
-            let _ = std::fs::remove_file(&tmp);
-            return;
-        }
-        let final_path = Self::entry_path(dir, ns, key);
-        if std::fs::rename(&tmp, &final_path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
-            return;
-        }
-        self.stats
-            .with_ns(ns, |s| s.bytes_written += bytes.len() as u64);
+        MergeReport::default()
     }
 }
 
@@ -578,25 +490,28 @@ mod tests {
     }
 
     #[test]
-    fn checksum_catches_corruption() {
-        let good = {
-            let mut e = Enc::new();
-            e.raw(&DISK_MAGIC);
-            e.u32(FORMAT_VERSION);
-            let payload = 99u64.to_bytes();
-            e.u64(payload.len() as u64);
-            let sum = fnv1a(&payload);
-            e.raw(&payload);
-            e.u64(sum);
-            e.into_bytes()
-        };
-        assert_eq!(Store::parse_entry::<u64>(&good), Some(99));
-        let mut flipped = good.clone();
-        flipped[DISK_HEADER] ^= 1;
-        assert_eq!(Store::parse_entry::<u64>(&flipped), None);
-        assert_eq!(Store::parse_entry::<u64>(&good[..good.len() - 1]), None);
-        let mut stale = good;
-        stale[4] ^= 0xFF; // format version
-        assert_eq!(Store::parse_entry::<u64>(&stale), None);
+    fn explicit_mem_byte_tier_serves_and_counts_as_mem() {
+        // A byte MemTier in the stack: the decoded front cache has no
+        // budget, so every get re-reads (and re-decodes) tier bytes.
+        let store = Store::with_tiers(0, vec![Arc::new(MemTier::new(1 << 20))]);
+        store.put("ns", key(6), 9u64);
+        assert_eq!(*store.get::<u64>("ns", key(6)).unwrap(), 9);
+        let s = store.stats().namespace("ns");
+        assert_eq!((s.mem_hits, s.disk_hits, s.remote_hits), (1, 0, 0));
+    }
+
+    #[test]
+    fn typed_decode_failure_heals_the_tier_slot() {
+        // Store a u64, then ask the same key for a String: the payload
+        // validates at the tier envelope level but fails the typed decode,
+        // so the entry must be dropped and counted corrupt.
+        let store = Store::with_tiers(0, vec![Arc::new(MemTier::new(1 << 20))]);
+        store.put("ns", key(7), 1234u64);
+        assert!(store.get::<String>("ns", key(7)).is_none());
+        let s = store.stats().namespace("ns");
+        assert_eq!(s.corrupt_entries, 1);
+        assert_eq!(s.misses, 1);
+        // The slot healed: the u64 entry is gone too (dropped, not stale).
+        assert!(store.get::<u64>("ns", key(7)).is_none());
     }
 }

@@ -1,0 +1,185 @@
+//! [`RemoteTier`] — the client side of the `rtlt-stored` artifact service.
+//!
+//! A [`StoreTier`] over one TCP connection (lazily established, reused
+//! across requests, re-established after failures). The governing rule is
+//! **graceful degradation**: a server that is down, unreachable, slow, or
+//! speaking a different format version turns every operation into a miss
+//! or a no-op — the pipeline recomputes exactly what it would have
+//! computed cold, byte-identically, and never sees an error. After
+//! [`MAX_CONSECUTIVE_FAILURES`] the tier trips open and stops trying for
+//! the rest of the process, so a dead server costs a bounded number of
+//! connect timeouts rather than one per lookup.
+
+use crate::hash::ContentHash;
+use crate::tier::{GcReport, StoreTier, TierKind, TierLookup, TierStats};
+use crate::wire::{Frame, Request, Response, WireError};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Consecutive transport failures after which the tier stops trying.
+pub const MAX_CONSECUTIVE_FAILURES: u32 = 3;
+
+/// Default connect/read/write timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[derive(Debug, Default)]
+struct RemoteState {
+    conn: Option<TcpStream>,
+    consecutive_failures: u32,
+}
+
+/// Client tier speaking to a shared `rtlt-stored` server.
+#[derive(Debug)]
+pub struct RemoteTier {
+    addr: String,
+    timeout: Duration,
+    state: Mutex<RemoteState>,
+}
+
+impl RemoteTier {
+    /// Client of the server at `addr` (`host:port`), with the
+    /// [`DEFAULT_TIMEOUT`].
+    pub fn new(addr: impl Into<String>) -> RemoteTier {
+        RemoteTier::with_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Client with an explicit per-operation timeout.
+    pub fn with_timeout(addr: impl Into<String>, timeout: Duration) -> RemoteTier {
+        RemoteTier {
+            addr: addr.into(),
+            timeout,
+            state: Mutex::new(RemoteState::default()),
+        }
+    }
+
+    /// The configured server address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the tier has tripped open (too many consecutive failures).
+    pub fn is_down(&self) -> bool {
+        self.state
+            .lock()
+            .expect("remote state lock")
+            .consecutive_failures
+            >= MAX_CONSECUTIVE_FAILURES
+    }
+
+    fn connect(&self) -> Result<TcpStream, WireError> {
+        let mut last = WireError::Io(std::io::ErrorKind::NotFound);
+        let addrs: Vec<SocketAddr> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(WireError::from)?
+            .collect();
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.timeout))?;
+                    stream.set_write_timeout(Some(self.timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e.into(),
+            }
+        }
+        Err(last)
+    }
+
+    /// One request/response round trip. Any failure drops the cached
+    /// connection and bumps the failure counter; success resets it.
+    fn round_trip(&self, req: &Request) -> Result<Response, WireError> {
+        let mut state = self.state.lock().expect("remote state lock");
+        if state.consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+            return Err(WireError::Io(std::io::ErrorKind::ConnectionRefused));
+        }
+        let result = (|| {
+            if state.conn.is_none() {
+                state.conn = Some(self.connect()?);
+            }
+            let conn = state.conn.as_mut().expect("connection just set");
+            req.to_frame().write_to(conn)?;
+            let frame = Frame::read_from(conn)?;
+            Response::from_frame(&frame)
+        })();
+        match &result {
+            Ok(_) => state.consecutive_failures = 0,
+            Err(_) => {
+                state.conn = None;
+                state.consecutive_failures += 1;
+            }
+        }
+        result
+    }
+
+    /// Size snapshot of the *server's* tiers, if reachable.
+    pub fn stat_remote(&self) -> Option<Vec<TierStats>> {
+        match self.round_trip(&Request::Stat) {
+            Ok(Response::Stats(tiers)) => Some(tiers),
+            _ => None,
+        }
+    }
+
+    /// Asks the server to evict down to `budget_bytes`. Deliberately *not*
+    /// part of [`Store::gc`](crate::Store::gc) — evicting a fleet's shared
+    /// cache is an explicit operator action, never a local side effect.
+    pub fn gc_remote(&self, budget_bytes: u64) -> Option<GcReport> {
+        match self.round_trip(&Request::Gc { budget_bytes }) {
+            Ok(Response::Done(report)) => Some(report),
+            _ => None,
+        }
+    }
+}
+
+impl StoreTier for RemoteTier {
+    fn kind(&self) -> TierKind {
+        TierKind::Remote
+    }
+
+    fn get_bytes(&self, ns: &str, key: ContentHash) -> TierLookup {
+        match self.round_trip(&Request::Get {
+            ns: ns.to_owned(),
+            key,
+        }) {
+            Ok(Response::Hit(payload)) => TierLookup::Hit(payload),
+            // Everything else — miss, server-side failure, protocol error,
+            // dead server — degrades to a miss.
+            _ => TierLookup::Miss,
+        }
+    }
+
+    fn put_bytes(&self, ns: &str, key: ContentHash, payload: &[u8]) {
+        let _ = self.round_trip(&Request::Put {
+            ns: ns.to_owned(),
+            key,
+            payload: payload.to_vec(),
+        });
+    }
+
+    fn stats(&self) -> TierStats {
+        match self.stat_remote() {
+            Some(tiers) => TierStats {
+                kind: TierKind::Remote,
+                detail: self.addr.clone(),
+                entries: tiers.iter().map(|t| t.entries).sum(),
+                bytes: tiers.iter().map(|t| t.bytes).sum(),
+                reachable: true,
+            },
+            None => TierStats {
+                kind: TierKind::Remote,
+                detail: self.addr.clone(),
+                entries: 0,
+                bytes: 0,
+                reachable: false,
+            },
+        }
+    }
+
+    /// No local bytes to evict; remote eviction is explicit via
+    /// [`RemoteTier::gc_remote`].
+    fn gc(&self, _budget_bytes: u64) -> GcReport {
+        GcReport::default()
+    }
+}

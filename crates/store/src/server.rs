@@ -1,0 +1,240 @@
+//! The `rtlt-stored` artifact service: a shared warm cache for fleets.
+//!
+//! The server is nothing but a [`StoreTier`] stack behind the [`wire`]
+//! protocol — a byte-LRU [`MemTier`] fronting a checksummed [`DiskTier`],
+//! the exact impls the local `Store` composes. GETs walk the stack (disk
+//! hits promote into memory), PUTs land in every tier, STAT snapshots tier
+//! sizes, GC evicts down to a budget. One thread per connection; each
+//! connection handles any number of request/response round trips.
+//!
+//! Payload *content* is never inspected: the server moves opaque bytes
+//! whose integrity the entry checksums and content keys already pin down,
+//! so it needs no knowledge of the pipeline's artifact types — old and new
+//! clients can only disagree at the [`crate::FORMAT_VERSION`] stamp, which
+//! both the frame header and the client's typed decode guard.
+
+use crate::tier::{DiskTier, MemTier, StoreTier, TierLookup};
+use crate::wire::{Frame, Request, Response, WireError};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Default in-memory tier budget: 512 MiB of payload bytes.
+pub const DEFAULT_SERVER_MEM_BUDGET: usize = 512 << 20;
+
+/// Configuration of one [`ArtifactServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Root of the server's disk tier.
+    pub dir: PathBuf,
+    /// Byte budget of the in-memory tier (0 disables it).
+    pub mem_budget: usize,
+}
+
+/// The shared artifact service: a tier stack plus the request handler.
+///
+/// Transport-independent — [`ArtifactServer::handle`] maps one request to
+/// one response, so tests can drive it without sockets and
+/// [`serve`] wires it to a [`TcpListener`].
+#[derive(Debug)]
+pub struct ArtifactServer {
+    tiers: Vec<Arc<dyn StoreTier>>,
+}
+
+impl ArtifactServer {
+    /// Builds the mem-over-disk tier stack from `cfg`.
+    pub fn new(cfg: &ServerConfig) -> ArtifactServer {
+        let mut tiers: Vec<Arc<dyn StoreTier>> = Vec::new();
+        if cfg.mem_budget > 0 {
+            tiers.push(Arc::new(MemTier::new(cfg.mem_budget)));
+        }
+        tiers.push(Arc::new(DiskTier::new(cfg.dir.clone())));
+        ArtifactServer { tiers }
+    }
+
+    /// Server over an explicit tier stack (fallback order).
+    pub fn with_tiers(tiers: Vec<Arc<dyn StoreTier>>) -> ArtifactServer {
+        ArtifactServer { tiers }
+    }
+
+    /// Answers one request.
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Get { ns, key } => {
+                for (i, tier) in self.tiers.iter().enumerate() {
+                    if let TierLookup::Hit(payload) = tier.get_bytes(&ns, key) {
+                        // Promote into earlier (faster) tiers, as the
+                        // local store does.
+                        for earlier in &self.tiers[..i] {
+                            earlier.put_bytes(&ns, key, &payload);
+                        }
+                        return Response::Hit(payload);
+                    }
+                    // Corrupt entries were already dropped by the tier;
+                    // fall through like a miss.
+                }
+                Response::Miss
+            }
+            Request::Put { ns, key, payload } => {
+                for tier in &self.tiers {
+                    tier.put_bytes(&ns, key, &payload);
+                }
+                Response::Done(Default::default())
+            }
+            Request::Stat => Response::Stats(self.tiers.iter().map(|t| t.stats()).collect()),
+            Request::Gc { budget_bytes } => {
+                let mut report = crate::GcReport::default();
+                for tier in &self.tiers {
+                    report.absorb(tier.gc(budget_bytes));
+                }
+                Response::Done(report)
+            }
+        }
+    }
+
+    /// Serves one connection until the peer closes it, goes idle past
+    /// [`IDLE_TIMEOUT`], or commits a protocol error (after which the
+    /// connection is dropped — the *client* treats that as misses; the
+    /// server just moves to the next connection).
+    ///
+    /// # Errors
+    ///
+    /// The first [`WireError`] on the connection, for logging. Idle
+    /// timeouts and clean closes are `Ok`.
+    pub fn serve_connection(&self, stream: &mut TcpStream) -> Result<(), WireError> {
+        loop {
+            let frame = match Frame::read_opt(stream) {
+                Ok(None) => return Ok(()), // clean close
+                // SO_RCVTIMEO expiry between frames: the client vanished
+                // or went idle — reap the connection (and its thread)
+                // instead of blocking on it forever. A surviving client
+                // transparently reconnects on its next request.
+                Err(WireError::Io(
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut,
+                )) => return Ok(()),
+                Ok(Some(frame)) => frame,
+                Err(e) => return Err(e),
+            };
+            let response = match Request::from_frame(&frame) {
+                Ok(req) => self.handle(req),
+                Err(e) => Response::Failed(e.to_string()),
+            };
+            response.to_frame().write_to(stream)?;
+        }
+    }
+}
+
+/// Per-connection idle timeout: a client that disappears without closing
+/// (sleep, network drop) releases its server thread and socket after this
+/// long instead of leaking them for the service's lifetime.
+pub const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Accept loop: serves `listener` forever, one thread per connection.
+pub fn serve(listener: TcpListener, server: Arc<ArtifactServer>) -> ! {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, peer)) => {
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IDLE_TIMEOUT));
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    if let Err(e) = server.serve_connection(&mut stream) {
+                        eprintln!("[rtlt-stored] connection {peer}: {e}");
+                    }
+                });
+            }
+            Err(e) => eprintln!("[rtlt-stored] accept failed: {e}"),
+        }
+    }
+}
+
+/// Binds `addr` and serves an [`ArtifactServer`] on a background thread —
+/// the in-process form the integration tests (and the bin) use. Returns
+/// the bound address (useful with port 0).
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn(addr: &str, cfg: &ServerConfig) -> std::io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let server = Arc::new(ArtifactServer::new(cfg));
+    std::thread::spawn(move || serve(listener, server));
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::KeyBuilder;
+    use crate::ContentHash;
+
+    fn key(n: u64) -> ContentHash {
+        KeyBuilder::new("server-test").u64(n).finish()
+    }
+
+    #[test]
+    fn handle_round_trips_get_put_stat_gc() {
+        let server = ArtifactServer::with_tiers(vec![Arc::new(MemTier::new(1 << 20))]);
+        assert_eq!(
+            server.handle(Request::Get {
+                ns: "ns".into(),
+                key: key(1)
+            }),
+            Response::Miss
+        );
+        let put = Request::Put {
+            ns: "ns".into(),
+            key: key(1),
+            payload: vec![1, 2, 3],
+        };
+        assert!(matches!(server.handle(put), Response::Done(_)));
+        assert_eq!(
+            server.handle(Request::Get {
+                ns: "ns".into(),
+                key: key(1)
+            }),
+            Response::Hit(vec![1, 2, 3])
+        );
+        match server.handle(Request::Stat) {
+            Response::Stats(tiers) => {
+                assert_eq!(tiers.len(), 1);
+                assert_eq!(tiers[0].entries, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match server.handle(Request::Gc { budget_bytes: 0 }) {
+            Response::Done(r) => assert_eq!(r.evicted_files, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            server.handle(Request::Get {
+                ns: "ns".into(),
+                key: key(1)
+            }),
+            Response::Miss
+        );
+    }
+
+    #[test]
+    fn disk_hits_promote_into_the_mem_tier() {
+        let scratch = std::env::temp_dir().join(format!("rtlt-stored-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let mem = Arc::new(MemTier::new(1 << 20));
+        let disk = Arc::new(DiskTier::new(&scratch));
+        disk.put_bytes("ns", key(2), &[7; 10]);
+        let server = ArtifactServer::with_tiers(vec![mem.clone(), disk]);
+        assert_eq!(
+            server.handle(Request::Get {
+                ns: "ns".into(),
+                key: key(2)
+            }),
+            Response::Hit(vec![7; 10])
+        );
+        assert_eq!(mem.stats().entries, 1, "promoted");
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}

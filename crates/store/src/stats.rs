@@ -1,29 +1,33 @@
-//! Per-namespace hit/miss/byte accounting for a [`crate::Store`].
+//! Per-namespace, per-tier hit/miss/byte accounting for a [`crate::Store`].
 
+use crate::tier::TierKind;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Counters of one namespace (one pipeline stage).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct NamespaceStats {
-    /// Lookups served from the in-memory tier.
+    /// Lookups served from the in-memory level (the decoded front cache,
+    /// or a byte [`crate::MemTier`] in a custom stack).
     pub mem_hits: u64,
-    /// Lookups served from the on-disk tier (and promoted to memory).
+    /// Lookups served from the on-disk tier.
     pub disk_hits: u64,
+    /// Lookups served from the remote tier (a shared `rtlt-stored`).
+    pub remote_hits: u64,
     /// Lookups that found nothing and had to compute.
     pub misses: u64,
-    /// Payload bytes written to the disk tier.
+    /// Payload bytes written to the byte tiers.
     pub bytes_written: u64,
-    /// Payload bytes read back from the disk tier.
+    /// Payload bytes read back from the byte tiers.
     pub bytes_read: u64,
-    /// Disk entries that failed verification/decoding and were discarded.
+    /// Entries that failed verification/decoding and were discarded.
     pub corrupt_entries: u64,
 }
 
 impl NamespaceStats {
-    /// Total hits across both tiers.
+    /// Total hits across every tier.
     pub fn hits(&self) -> u64 {
-        self.mem_hits + self.disk_hits
+        self.mem_hits + self.disk_hits + self.remote_hits
     }
 
     /// Total lookups.
@@ -40,6 +44,49 @@ impl NamespaceStats {
         } else {
             100.0 * self.hits() as f64 / total as f64
         }
+    }
+
+    /// Counts one hit on the tier level it was served from.
+    pub(crate) fn count_tier_hit(&mut self, kind: TierKind) {
+        match kind {
+            TierKind::Memory => self.mem_hits += 1,
+            TierKind::Disk => self.disk_hits += 1,
+            TierKind::Remote => self.remote_hits += 1,
+        }
+    }
+}
+
+/// Hits aggregated by tier level — the "where did warm data come from"
+/// breakdown the cache reports print.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TierHits {
+    /// Hits served in memory.
+    pub mem: u64,
+    /// Hits served from disk.
+    pub disk: u64,
+    /// Hits served from the remote service.
+    pub remote: u64,
+}
+
+impl TierHits {
+    /// Total hits across the three levels.
+    pub fn total(&self) -> u64 {
+        self.mem + self.disk + self.remote
+    }
+
+    /// Percentage of all hits served by the given level (0 when there were
+    /// no hits at all).
+    pub fn share_pct(&self, kind: TierKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match kind {
+            TierKind::Memory => self.mem,
+            TierKind::Disk => self.disk,
+            TierKind::Remote => self.remote,
+        };
+        100.0 * n as f64 / total as f64
     }
 }
 
@@ -71,12 +118,24 @@ impl StatsSnapshot {
             let s = self.namespace(ns);
             total.mem_hits += s.mem_hits;
             total.disk_hits += s.disk_hits;
+            total.remote_hits += s.remote_hits;
             total.misses += s.misses;
             total.bytes_written += s.bytes_written;
             total.bytes_read += s.bytes_read;
             total.corrupt_entries += s.corrupt_entries;
         }
         total
+    }
+
+    /// Hits summed over every namespace, split by tier level.
+    pub fn tier_hits(&self) -> TierHits {
+        let mut t = TierHits::default();
+        for (_, s) in &self.namespaces {
+            t.mem += s.mem_hits;
+            t.disk += s.disk_hits;
+            t.remote += s.remote_hits;
+        }
+        t
     }
 }
 
@@ -118,7 +177,8 @@ mod tests {
         assert_eq!(empty.hit_rate_pct(), 100.0);
         let s = NamespaceStats {
             mem_hits: 3,
-            disk_hits: 6,
+            disk_hits: 4,
+            remote_hits: 2,
             misses: 1,
             ..Default::default()
         };
@@ -130,11 +190,29 @@ mod tests {
     fn aggregate_sums_namespaces() {
         let stats = StoreStats::default();
         stats.with_ns("a", |s| s.misses = 2);
-        stats.with_ns("b", |s| s.mem_hits = 8);
+        stats.with_ns("b", |s| s.mem_hits = 6);
+        stats.with_ns("b", |s| s.remote_hits = 2);
         let snap = stats.snapshot(0);
         let agg = snap.aggregate(["a", "b", "untouched"]);
         assert_eq!(agg.misses, 2);
-        assert_eq!(agg.mem_hits, 8);
+        assert_eq!(agg.mem_hits, 6);
+        assert_eq!(agg.remote_hits, 2);
         assert!((agg.hit_rate_pct() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tier_hits_breakdown() {
+        let stats = StoreStats::default();
+        stats.with_ns("a", |s| {
+            s.count_tier_hit(TierKind::Memory);
+            s.count_tier_hit(TierKind::Disk);
+            s.count_tier_hit(TierKind::Disk);
+            s.count_tier_hit(TierKind::Remote);
+        });
+        let t = stats.snapshot(0).tier_hits();
+        assert_eq!((t.mem, t.disk, t.remote), (1, 2, 1));
+        assert_eq!(t.total(), 4);
+        assert!((t.share_pct(TierKind::Disk) - 50.0).abs() < 1e-12);
+        assert_eq!(TierHits::default().share_pct(TierKind::Memory), 0.0);
     }
 }

@@ -1,0 +1,577 @@
+//! Wire protocol of the `rtlt-stored` artifact service.
+//!
+//! Length-prefixed binary frames over TCP, one request → one response,
+//! reusing the [`Enc`]/[`Dec`] codec for frame bodies and stamping every
+//! frame with the [`FORMAT_VERSION`] — a client and server of different
+//! format generations refuse each other's frames, which the client maps to
+//! "miss, recompute" (never an error).
+//!
+//! ```text
+//! frame := magic "RTLW" (4) | version u32 | op u8 | body_len u64
+//!          | body [body_len] | checksum u64 (FNV-1a of body)
+//! ```
+//!
+//! Requests: [`Request::Get`], [`Request::Put`], [`Request::Stat`],
+//! [`Request::Gc`]. Responses: [`Response::Hit`], [`Response::Miss`],
+//! [`Response::Done`], [`Response::Stats`], [`Response::Failed`].
+//!
+//! Every defense the on-disk entry format has, the wire has too: bad
+//! magic, version mismatch, oversized length headers (bounded by
+//! [`MAX_FRAME_BODY`] *before* any allocation), truncation, and checksum
+//! failures all surface as a typed [`WireError`].
+
+use crate::codec::{Dec, Enc, FORMAT_VERSION};
+use crate::entry::fnv1a;
+use crate::hash::ContentHash;
+use crate::tier::{GcReport, TierKind, TierStats};
+use crate::Codec;
+use std::io::{Read, Write};
+
+/// Magic bytes opening every wire frame (distinct from the disk entry
+/// magic so a file can never be replayed as a frame by accident).
+pub const WIRE_MAGIC: [u8; 4] = *b"RTLW";
+
+/// Upper bound on one frame's body, enforced before allocating: a corrupt
+/// or hostile length header degrades to a protocol error, not an OOM.
+pub const MAX_FRAME_BODY: u64 = 1 << 30;
+
+/// Fixed frame header size: magic + version + op + body length.
+pub const FRAME_HEADER: usize = 4 + 4 + 1 + 8;
+
+/// Request opcodes.
+pub mod op {
+    /// Fetch a payload.
+    pub const GET: u8 = 1;
+    /// Store a payload.
+    pub const PUT: u8 = 2;
+    /// Size snapshot of the server's tiers.
+    pub const STAT: u8 = 3;
+    /// Evict the server's tiers down to a budget.
+    pub const GC: u8 = 4;
+    /// Response: payload attached.
+    pub const HIT: u8 = 0x81;
+    /// Response: key not held.
+    pub const MISS: u8 = 0x82;
+    /// Response: write/gc acknowledged.
+    pub const DONE: u8 = 0x83;
+    /// Response: tier stats attached.
+    pub const STATS: u8 = 0x84;
+    /// Response: request failed server-side.
+    pub const FAILED: u8 = 0xFF;
+}
+
+/// A protocol failure. The [`crate::RemoteTier`] client maps every variant
+/// to a cache miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Underlying transport failure (connect/read/write), including
+    /// truncated frames.
+    Io(std::io::ErrorKind),
+    /// The stream did not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// Peer speaks a different [`FORMAT_VERSION`].
+    Version(u32),
+    /// Length header exceeds [`MAX_FRAME_BODY`].
+    Oversized(u64),
+    /// Body checksum mismatch.
+    Checksum,
+    /// Body did not decode as the expected request/response shape.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind) => write!(f, "wire i/o error: {kind:?}"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::Version(v) => {
+                write!(f, "peer format version {v} != ours {FORMAT_VERSION}")
+            }
+            WireError::Oversized(n) => {
+                write!(
+                    f,
+                    "frame body of {n} bytes exceeds the {MAX_FRAME_BODY} cap"
+                )
+            }
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e.kind())
+    }
+}
+
+/// One raw frame: opcode plus body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Opcode (see [`op`]).
+    pub op: u8,
+    /// Body bytes (request/response specific).
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Serializes the frame (header, body, checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(FRAME_HEADER + self.body.len() + 8);
+        bytes.extend_from_slice(&WIRE_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(self.op);
+        bytes.extend_from_slice(&(self.body.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.body);
+        bytes.extend_from_slice(&fnv1a(&self.body).to_le_bytes());
+        bytes
+    }
+
+    /// Writes the frame to a stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
+        w.write_all(&self.to_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame, validating magic, version, length bound and
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; truncation surfaces as
+    /// [`WireError::Io`]`(UnexpectedEof)`.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+        let mut header = [0u8; FRAME_HEADER];
+        r.read_exact(&mut header)?;
+        Self::parse_after_header(&header, r)
+    }
+
+    /// Like [`Frame::read_from`], but a connection closed *before any
+    /// header byte* reads as `Ok(None)` — the server's idle-connection
+    /// exit, distinct from a truncated frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Frame::read_from`].
+    pub fn read_opt<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+        let mut first = [0u8; 1];
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => return Err(e.into()),
+        }
+        let mut rest = [0u8; FRAME_HEADER - 1];
+        r.read_exact(&mut rest)?;
+        let mut header = [0u8; FRAME_HEADER];
+        header[0] = first[0];
+        header[1..].copy_from_slice(&rest);
+        Self::parse_after_header(&header, r).map(Some)
+    }
+
+    fn parse_after_header<R: Read>(
+        header: &[u8; FRAME_HEADER],
+        r: &mut R,
+    ) -> Result<Frame, WireError> {
+        if header[..4] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let op = header[8];
+        let len = u64::from_le_bytes(header[9..17].try_into().expect("8 bytes"));
+        if len > MAX_FRAME_BODY {
+            return Err(WireError::Oversized(len));
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        let mut trailer = [0u8; 8];
+        r.read_exact(&mut trailer)?;
+        if fnv1a(&body) != u64::from_le_bytes(trailer) {
+            return Err(WireError::Checksum);
+        }
+        Ok(Frame { op, body })
+    }
+}
+
+fn enc_payload(e: &mut Enc, payload: &[u8]) {
+    e.usize(payload.len());
+    e.raw(payload);
+}
+
+fn dec_payload(d: &mut Dec<'_>) -> Result<Vec<u8>, WireError> {
+    let n = d.usize().map_err(|_| WireError::Malformed("payload len"))?;
+    if n > d.remaining() {
+        return Err(WireError::Malformed("payload len"));
+    }
+    Ok(d.raw(n)
+        .map_err(|_| WireError::Malformed("payload"))?
+        .to_vec())
+}
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the payload under `(ns, key)`.
+    Get {
+        /// Stage namespace.
+        ns: String,
+        /// Content key.
+        key: ContentHash,
+    },
+    /// Store `payload` under `(ns, key)`.
+    Put {
+        /// Stage namespace.
+        ns: String,
+        /// Content key.
+        key: ContentHash,
+        /// Artifact payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Size snapshot of the server's tiers.
+    Stat,
+    /// Evict the server's tiers down to `budget_bytes`.
+    Gc {
+        /// Target size in bytes.
+        budget_bytes: u64,
+    },
+}
+
+impl Request {
+    /// Serializes into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut e = Enc::new();
+        let op = match self {
+            Request::Get { ns, key } => {
+                e.str(ns);
+                key.encode(&mut e);
+                op::GET
+            }
+            Request::Put { ns, key, payload } => {
+                e.str(ns);
+                key.encode(&mut e);
+                enc_payload(&mut e, payload);
+                op::PUT
+            }
+            Request::Stat => op::STAT,
+            Request::Gc { budget_bytes } => {
+                e.u64(*budget_bytes);
+                op::GC
+            }
+        };
+        Frame {
+            op,
+            body: e.into_bytes(),
+        }
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for unknown opcodes or bodies that do not
+    /// decode as the opcode's shape.
+    pub fn from_frame(frame: &Frame) -> Result<Request, WireError> {
+        let mut d = Dec::new(&frame.body);
+        let req = match frame.op {
+            op::GET => Request::Get {
+                ns: d.str().map_err(|_| WireError::Malformed("get ns"))?,
+                key: ContentHash::decode(&mut d).map_err(|_| WireError::Malformed("get key"))?,
+            },
+            op::PUT => Request::Put {
+                ns: d.str().map_err(|_| WireError::Malformed("put ns"))?,
+                key: ContentHash::decode(&mut d).map_err(|_| WireError::Malformed("put key"))?,
+                payload: dec_payload(&mut d)?,
+            },
+            op::STAT => Request::Stat,
+            op::GC => Request::Gc {
+                budget_bytes: d.u64().map_err(|_| WireError::Malformed("gc budget"))?,
+            },
+            _ => return Err(WireError::Malformed("request opcode")),
+        };
+        if !d.is_finished() {
+            return Err(WireError::Malformed("trailing request bytes"));
+        }
+        Ok(req)
+    }
+}
+
+/// A server→client response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The key was held; payload attached.
+    Hit(Vec<u8>),
+    /// The key was not held.
+    Miss,
+    /// Write/gc acknowledged; gc responses carry the eviction report.
+    Done(GcReport),
+    /// Tier size snapshot.
+    Stats(Vec<TierStats>),
+    /// The request failed server-side (the client treats this as a miss).
+    Failed(String),
+}
+
+fn enc_tier_kind(e: &mut Enc, kind: TierKind) {
+    e.u8(match kind {
+        TierKind::Memory => 0,
+        TierKind::Disk => 1,
+        TierKind::Remote => 2,
+    });
+}
+
+fn dec_tier_kind(d: &mut Dec<'_>) -> Result<TierKind, WireError> {
+    match d.u8().map_err(|_| WireError::Malformed("tier kind"))? {
+        0 => Ok(TierKind::Memory),
+        1 => Ok(TierKind::Disk),
+        2 => Ok(TierKind::Remote),
+        _ => Err(WireError::Malformed("tier kind tag")),
+    }
+}
+
+impl Response {
+    /// Serializes into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut e = Enc::new();
+        let op = match self {
+            Response::Hit(payload) => {
+                enc_payload(&mut e, payload);
+                op::HIT
+            }
+            Response::Miss => op::MISS,
+            Response::Done(r) => {
+                e.u64(r.scanned_files);
+                e.u64(r.scanned_bytes);
+                e.u64(r.evicted_files);
+                e.u64(r.evicted_bytes);
+                e.u64(r.remaining_bytes);
+                op::DONE
+            }
+            Response::Stats(tiers) => {
+                e.seq_len(tiers.len());
+                for t in tiers {
+                    enc_tier_kind(&mut e, t.kind);
+                    e.str(&t.detail);
+                    e.u64(t.entries);
+                    e.u64(t.bytes);
+                    e.bool(t.reachable);
+                }
+                op::STATS
+            }
+            Response::Failed(msg) => {
+                e.str(msg);
+                op::FAILED
+            }
+        };
+        Frame {
+            op,
+            body: e.into_bytes(),
+        }
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for unknown opcodes or mis-shaped bodies.
+    pub fn from_frame(frame: &Frame) -> Result<Response, WireError> {
+        let mut d = Dec::new(&frame.body);
+        let resp = match frame.op {
+            op::HIT => Response::Hit(dec_payload(&mut d)?),
+            op::MISS => Response::Miss,
+            op::DONE => {
+                let mut next = || d.u64().map_err(|_| WireError::Malformed("gc report"));
+                Response::Done(GcReport {
+                    scanned_files: next()?,
+                    scanned_bytes: next()?,
+                    evicted_files: next()?,
+                    evicted_bytes: next()?,
+                    remaining_bytes: next()?,
+                })
+            }
+            op::STATS => {
+                let n = d
+                    .seq_len(2)
+                    .map_err(|_| WireError::Malformed("stats len"))?;
+                let mut tiers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let kind = dec_tier_kind(&mut d)?;
+                    let detail = d.str().map_err(|_| WireError::Malformed("tier detail"))?;
+                    let entries = d.u64().map_err(|_| WireError::Malformed("tier entries"))?;
+                    let bytes = d.u64().map_err(|_| WireError::Malformed("tier bytes"))?;
+                    let reachable = d.bool().map_err(|_| WireError::Malformed("tier flag"))?;
+                    tiers.push(TierStats {
+                        kind,
+                        detail,
+                        entries,
+                        bytes,
+                        reachable,
+                    });
+                }
+                Response::Stats(tiers)
+            }
+            op::FAILED => {
+                Response::Failed(d.str().map_err(|_| WireError::Malformed("error message"))?)
+            }
+            _ => return Err(WireError::Malformed("response opcode")),
+        };
+        if !d.is_finished() {
+            return Err(WireError::Malformed("trailing response bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::KeyBuilder;
+
+    fn frame_round_trip(frame: &Frame) -> Frame {
+        let bytes = frame.to_bytes();
+        Frame::read_from(&mut bytes.as_slice()).expect("round trip")
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let key = KeyBuilder::new("wire").u64(1).finish();
+        for req in [
+            Request::Get {
+                ns: "featurize".into(),
+                key,
+            },
+            Request::Put {
+                ns: "blast".into(),
+                key,
+                payload: vec![0, 1, 2, 255],
+            },
+            Request::Put {
+                ns: "empty".into(),
+                key,
+                payload: Vec::new(),
+            },
+            Request::Stat,
+            Request::Gc { budget_bytes: 42 },
+        ] {
+            let frame = req.to_frame();
+            let back = Request::from_frame(&frame_round_trip(&frame)).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        for resp in [
+            Response::Hit(vec![9; 100]),
+            Response::Miss,
+            Response::Done(GcReport {
+                scanned_files: 1,
+                scanned_bytes: 2,
+                evicted_files: 3,
+                evicted_bytes: 4,
+                remaining_bytes: 5,
+            }),
+            Response::Stats(vec![TierStats {
+                kind: TierKind::Disk,
+                detail: "/tmp/x".into(),
+                entries: 7,
+                bytes: 8,
+                reachable: true,
+            }]),
+            Response::Failed("nope".into()),
+        ] {
+            let frame = resp.to_frame();
+            let back = Response::from_frame(&frame_round_trip(&frame)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn oversized_length_header_is_rejected_before_allocating() {
+        let mut bytes = Frame {
+            op: op::GET,
+            body: Vec::new(),
+        }
+        .to_bytes();
+        bytes[9..17].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::read_from(&mut bytes.as_slice()),
+            Err(WireError::Oversized(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn version_mismatch_and_bad_magic_are_rejected() {
+        let good = Frame {
+            op: op::MISS,
+            body: Vec::new(),
+        }
+        .to_bytes();
+        let mut stale = good.clone();
+        stale[4] ^= 0xFF;
+        assert!(matches!(
+            Frame::read_from(&mut stale.as_slice()),
+            Err(WireError::Version(_))
+        ));
+        let mut magicless = good;
+        magicless[0] = b'X';
+        assert_eq!(
+            Frame::read_from(&mut magicless.as_slice()),
+            Err(WireError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_are_rejected() {
+        let bytes = Request::Put {
+            ns: "ns".into(),
+            key: KeyBuilder::new("wire").u64(2).finish(),
+            payload: vec![1; 64],
+        }
+        .to_frame()
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::read_from(&mut bytes[..cut].as_ref()).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut corrupt = bytes;
+        let mid = FRAME_HEADER + 10;
+        corrupt[mid] ^= 0x40;
+        assert_eq!(
+            Frame::read_from(&mut corrupt.as_slice()),
+            Err(WireError::Checksum)
+        );
+    }
+
+    #[test]
+    fn clean_eof_reads_as_no_frame() {
+        assert_eq!(Frame::read_opt(&mut [].as_ref()).unwrap(), None);
+        // One stray byte is a truncated frame, not a clean close.
+        assert!(Frame::read_opt(&mut [b'R'].as_ref()).is_err());
+    }
+
+    #[test]
+    fn payload_length_lying_past_body_is_malformed() {
+        // Body claims a longer payload than the frame carries.
+        let mut e = Enc::new();
+        e.usize(1000);
+        e.raw(&[1, 2, 3]);
+        let frame = Frame {
+            op: op::HIT,
+            body: e.into_bytes(),
+        };
+        assert!(matches!(
+            Response::from_frame(&frame),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

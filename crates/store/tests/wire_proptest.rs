@@ -1,0 +1,126 @@
+//! Property tests of the wire frame codec: arbitrary frames round-trip
+//! bit-exactly, and the mutations a hostile or flaky network can produce —
+//! truncation, payload corruption, version skew, lying length headers —
+//! are always rejected (which the client maps to "miss, recompute").
+
+use proptest::prelude::*;
+use rtlt_store::wire::{Frame, Request, Response, WireError, FRAME_HEADER};
+use rtlt_store::{ContentHash, KeyBuilder};
+
+fn key_of(tag: u64) -> ContentHash {
+    KeyBuilder::new("wire-prop").u64(tag).finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any frame round-trips through serialize → read, bit-exactly.
+    #[test]
+    fn frames_round_trip(
+        op in 0u8..=255,
+        body in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let frame = Frame { op, body: body.clone() };
+        let bytes = frame.to_bytes();
+        let back = Frame::read_from(&mut bytes.as_slice()).expect("round trip");
+        prop_assert_eq!(back.op, op);
+        prop_assert_eq!(back.body, body);
+    }
+
+    /// GET/PUT requests round-trip through the typed layer.
+    #[test]
+    fn requests_round_trip(
+        tag in 0u64..1000,
+        ns in "compile|blast|label|featurize|shard|model",
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let get = Request::Get { ns: ns.clone(), key: key_of(tag) };
+        let back = Request::from_frame(&get.to_frame()).expect("get");
+        prop_assert_eq!(&back, &get);
+        let put = Request::Put { ns, key: key_of(tag), payload };
+        let frame_bytes = put.to_frame().to_bytes();
+        let frame = Frame::read_from(&mut frame_bytes.as_slice()).expect("frame");
+        let back = Request::from_frame(&frame).expect("put");
+        prop_assert_eq!(back, put);
+    }
+
+    /// Hit/miss responses round-trip, and every strict prefix of the frame
+    /// fails to read rather than yielding a wrong response.
+    #[test]
+    fn responses_survive_no_truncation(
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let resp = Response::Hit(payload);
+        let bytes = resp.to_frame().to_bytes();
+        let back = Response::from_frame(
+            &Frame::read_from(&mut bytes.as_slice()).expect("full frame"),
+        ).expect("decode");
+        prop_assert_eq!(&back, &resp);
+        let step = (bytes.len() / 16).max(1);
+        let mut cut = 0;
+        while cut < bytes.len() {
+            prop_assert!(Frame::read_from(&mut bytes[..cut].as_ref()).is_err());
+            cut += step;
+        }
+    }
+
+    /// Flipping any single byte of a frame is detected: the read either
+    /// fails outright or (for flips inside the opcode byte) changes `op`
+    /// without corrupting the body.
+    #[test]
+    fn single_byte_corruption_never_passes_silently(
+        body in proptest::collection::vec(0u8..=255, 1..128),
+        pos_seed in 0usize..100000,
+        flip in 1u8..=255,
+    ) {
+        let frame = Frame { op: 1, body: body.clone() };
+        let mut bytes = frame.to_bytes();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        match Frame::read_from(&mut bytes.as_slice()) {
+            // The opcode byte is the one header byte the checksum does not
+            // cover; a flip there yields a well-formed frame with a
+            // different op, which the typed request/response layer rejects.
+            Ok(read) => {
+                prop_assert_eq!(pos, 8);
+                prop_assert_eq!(read.body, body);
+                prop_assert!(read.op != 1);
+            }
+            Err(
+                WireError::BadMagic
+                | WireError::Version(_)
+                | WireError::Oversized(_)
+                | WireError::Checksum
+                | WireError::Io(_),
+            ) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+        }
+    }
+
+    /// Length headers beyond the cap are rejected before any allocation.
+    #[test]
+    fn oversized_length_headers_rejected(extra in 1u64..u64::MAX / 2) {
+        let mut bytes = Frame { op: 2, body: vec![1, 2, 3] }.to_bytes();
+        let lying = rtlt_store::wire::MAX_FRAME_BODY + extra % (u64::MAX / 2);
+        bytes[9..17].copy_from_slice(&lying.to_le_bytes());
+        prop_assert_eq!(
+            Frame::read_from(&mut bytes.as_slice()),
+            Err(WireError::Oversized(lying))
+        );
+    }
+}
+
+#[test]
+fn header_layout_is_stable() {
+    // The wire header layout is a cross-version contract: magic(4) +
+    // version(4) + op(1) + len(8).
+    assert_eq!(FRAME_HEADER, 17);
+    let bytes = Frame {
+        op: 7,
+        body: vec![1],
+    }
+    .to_bytes();
+    assert_eq!(&bytes[..4], b"RTLW");
+    assert_eq!(bytes[8], 7);
+    assert_eq!(bytes.len(), FRAME_HEADER + 1 + 8);
+}
