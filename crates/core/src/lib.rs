@@ -52,4 +52,7 @@ pub mod signal;
 pub use cache::PrepareKeys;
 pub use incremental::{IncrementalAnnotator, ReannotateOutcome};
 pub use metrics::{covr, mape, pearson, r_squared, rank_groups};
-pub use pipeline::{DesignData, DesignSet, PrepareError, PrepareStages, RtlTimer, TimerConfig};
+pub use pipeline::{
+    DesignData, DesignSet, PrepareError, PrepareStages, RtlTimer, StealConfig, StolenPrepare,
+    TimerConfig,
+};

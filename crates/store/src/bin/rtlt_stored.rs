@@ -5,7 +5,8 @@
 //! flags are required:
 //!
 //! ```text
-//! rtlt-stored [--addr HOST:PORT] [--dir DIR] [--mem-budget BYTES] [--gc-budget BYTES]
+//! rtlt-stored [--addr HOST:PORT] [--dir DIR] [--mem-budget BYTES]
+//!             [--gc-budget BYTES] [--lease-timeout SECONDS]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7878`),
@@ -14,16 +15,21 @@
 //!   `0` disables the memory tier),
 //! * `--gc-budget` — if set, evict the disk tier down to this many bytes
 //!   once at startup (steady-state eviction is driven by clients or
-//!   operators via the protocol's GC request).
+//!   operators via the protocol's GC request),
+//! * `--lease-timeout` — seconds after which a silent fleet worker's
+//!   design lease is re-queued for work stealing (default 120).
 
+use rtlt_store::plan::DEFAULT_LEASE_TIMEOUT;
 use rtlt_store::server::{self, ArtifactServer, ServerConfig, DEFAULT_ADDR};
 use rtlt_store::wire::Request;
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtlt-stored [--addr HOST:PORT] [--dir DIR] [--mem-budget BYTES] [--gc-budget BYTES]"
+        "usage: rtlt-stored [--addr HOST:PORT] [--dir DIR] [--mem-budget BYTES] \
+         [--gc-budget BYTES] [--lease-timeout SECONDS]"
     );
     std::process::exit(2);
 }
@@ -33,6 +39,7 @@ fn main() {
     let mut dir = std::path::PathBuf::from("rtlt-stored-cache");
     let mut mem_budget = server::DEFAULT_SERVER_MEM_BUDGET;
     let mut gc_budget: Option<u64> = None;
+    let mut lease_timeout = DEFAULT_LEASE_TIMEOUT;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -51,11 +58,24 @@ fn main() {
             "--gc-budget" => {
                 gc_budget = Some(value("--gc-budget").parse().unwrap_or_else(|_| usage()))
             }
+            "--lease-timeout" => {
+                lease_timeout = Duration::from_secs_f64(
+                    value("--lease-timeout")
+                        .parse()
+                        .ok()
+                        .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
 
-    let cfg = ServerConfig { dir, mem_budget };
+    let cfg = ServerConfig {
+        dir,
+        mem_budget,
+        lease_timeout,
+    };
     let server = Arc::new(ArtifactServer::new(&cfg));
     if let Some(budget) = gc_budget {
         if let rtlt_store::wire::Response::Done(r) = server.handle(Request::Gc {
@@ -76,10 +96,11 @@ fn main() {
     });
     let bound = listener.local_addr().expect("bound address");
     eprintln!(
-        "[rtlt-stored] serving {} (dir {}, mem budget {} KiB)",
+        "[rtlt-stored] serving {} (dir {}, mem budget {} KiB, lease timeout {:.1}s)",
         bound,
         cfg.dir.display(),
-        cfg.mem_budget / 1024
+        cfg.mem_budget / 1024,
+        cfg.lease_timeout.as_secs_f64()
     );
     server::serve(listener, server)
 }

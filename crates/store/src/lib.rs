@@ -51,6 +51,7 @@
 pub mod codec;
 pub mod entry;
 pub mod hash;
+pub mod plan;
 pub mod remote;
 pub mod server;
 pub mod stats;
@@ -59,6 +60,7 @@ pub mod wire;
 
 pub use codec::{Codec, CodecError, Dec, Enc, FORMAT_VERSION};
 pub use hash::{ContentHash, KeyBuilder};
+pub use plan::{LeaseGrant, PlanStats, Planner};
 pub use remote::RemoteTier;
 pub use stats::{NamespaceStats, StatsSnapshot, TierHits};
 pub use tier::{
@@ -102,6 +104,11 @@ pub struct Store {
     mem_budget: usize,
     tiers: Vec<Arc<dyn StoreTier>>,
     stats: StoreStats,
+    /// Payload bytes fetched ahead of need by [`Store::prefetch`] (one
+    /// batched remote round trip), consumed by the next [`Store::get`] of
+    /// the same key — which counts them as remote hits, because that is
+    /// where the bytes genuinely came from.
+    staged: Mutex<HashMap<(String, ContentHash), Vec<u8>>>,
 }
 
 impl Store {
@@ -119,6 +126,7 @@ impl Store {
             mem_budget,
             tiers: Vec::new(),
             stats: StoreStats::default(),
+            staged: Mutex::new(HashMap::new()),
         }
     }
 
@@ -174,6 +182,100 @@ impl Store {
         self.tiers.iter().find_map(|t| t.disk_root())
     }
 
+    /// Whether a remote tier is stacked (i.e. [`Store::prefetch`] has a
+    /// round trip to save).
+    pub fn has_remote(&self) -> bool {
+        self.tiers.iter().any(|t| t.kind() == TierKind::Remote)
+    }
+
+    /// Batched read-ahead: fetches every `(ns, key)` not already available
+    /// locally from the remote tier in **one** pipelined round trip
+    /// (`GETM`), staging the payloads for the next [`Store::get`] of each
+    /// key. Returns one flag per item: `true` = the next get will be
+    /// answered without a remote round trip (locally present, already
+    /// staged, or staged by this call).
+    ///
+    /// A no-op without a remote tier; any batch failure leaves the
+    /// affected keys unstaged, which the normal lookup path serves or
+    /// recomputes byte-identically.
+    pub fn prefetch(&self, items: &[(String, ContentHash)]) -> Vec<bool> {
+        let mut local = vec![false; items.len()];
+        if !self.enabled {
+            return local;
+        }
+        let Some(remote) = self.tiers.iter().find(|t| t.kind() == TierKind::Remote) else {
+            return local;
+        };
+        // Snapshot in-memory availability under the locks, then release
+        // them before the per-item local-tier probes: a disk `contains` is
+        // a stat() syscall per key, and holding the decoded lock across
+        // hundreds of those would stall every concurrent get. The race
+        // window is harmless — worst case a key is fetched redundantly.
+        let mut in_memory = vec![false; items.len()];
+        {
+            let decoded = self.decoded.lock().expect("mem lock");
+            let staged = self.staged.lock().expect("staged lock");
+            for (i, (ns, key)) in items.iter().enumerate() {
+                let slot = (ns.clone(), *key);
+                in_memory[i] = decoded.entries.contains_key(&slot) || staged.contains_key(&slot);
+            }
+        }
+        let mut wanted_idx = Vec::new();
+        let mut wanted = Vec::new();
+        for (i, (ns, key)) in items.iter().enumerate() {
+            if in_memory[i]
+                || self
+                    .tiers
+                    .iter()
+                    .any(|t| t.kind() != TierKind::Remote && t.contains(ns, *key))
+            {
+                local[i] = true;
+            } else {
+                wanted_idx.push(i);
+                wanted.push((ns.clone(), *key));
+            }
+        }
+        if wanted.is_empty() {
+            return local;
+        }
+        // The server caps one GETM at MAX_BATCH_KEYS; bigger work sets
+        // split into several exchanges instead of being refused (which
+        // the client would read as all-miss and silently fall back to
+        // per-key latency — the exact cost batching exists to remove).
+        for (chunk_idx, chunk) in wanted.chunks(wire::MAX_BATCH_KEYS).enumerate() {
+            let results = remote.get_bytes_batch(chunk);
+            let idx = &wanted_idx[chunk_idx * wire::MAX_BATCH_KEYS..];
+            let mut staged = self.staged.lock().expect("staged lock");
+            for ((i, slot), result) in idx.iter().zip(chunk).zip(results) {
+                if let TierLookup::Hit(payload) = result {
+                    staged.insert(slot.clone(), payload);
+                    local[*i] = true;
+                }
+            }
+        }
+        local
+    }
+
+    /// Consumes a staged prefetched payload, if one exists.
+    fn take_staged(&self, ns: &str, key: ContentHash) -> Option<Vec<u8>> {
+        self.staged
+            .lock()
+            .expect("staged lock")
+            .remove(&(ns.to_owned(), key))
+    }
+
+    /// Drops every staged prefetched payload that was never consumed.
+    /// Callers that [`Store::prefetch`] a work set call this when that
+    /// work completes: a staged key the pipeline ended up not reading
+    /// (e.g. an earlier-stage artifact short-circuited by a later-stage
+    /// hit) must not sit in memory for the store's lifetime.
+    pub fn drop_staged(&self) -> usize {
+        let mut staged = self.staged.lock().expect("staged lock");
+        let n = staged.len();
+        staged.clear();
+        n
+    }
+
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
         let mem_bytes = self.decoded.lock().expect("mem lock").total_bytes as u64;
@@ -193,6 +295,33 @@ impl Store {
         if let Some(v) = self.mem_get::<T>(ns, key) {
             self.stats.with_ns(ns, |s| s.mem_hits += 1);
             return Some(v);
+        }
+        // Staged prefetched bytes: counted as a (batched) remote hit —
+        // that is where they came from — and written through to the local
+        // tiers exactly as a direct remote hit would be.
+        if let Some(payload) = self.take_staged(ns, key) {
+            match T::from_bytes(&payload) {
+                Ok(v) => {
+                    self.stats.with_ns(ns, |s| {
+                        s.count_tier_hit(TierKind::Remote);
+                        s.batched_hits += 1;
+                        s.bytes_read += payload.len() as u64;
+                    });
+                    for tier in &self.tiers {
+                        if tier.kind() != TierKind::Remote {
+                            tier.put_bytes(ns, key, &payload);
+                        }
+                    }
+                    let v = Arc::new(v);
+                    self.mem_put(ns, key, v.clone(), payload.len());
+                    return Some(v);
+                }
+                Err(_) => {
+                    // Shape drift the version stamp missed: drop the
+                    // staged copy and walk the tiers normally.
+                    self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
+                }
+            }
         }
         for (i, tier) in self.tiers.iter().enumerate() {
             match tier.get_bytes(ns, key) {
@@ -498,6 +627,172 @@ mod tests {
         assert_eq!(*store.get::<u64>("ns", key(6)).unwrap(), 9);
         let s = store.stats().namespace("ns");
         assert_eq!((s.mem_hits, s.disk_hits, s.remote_hits), (1, 0, 0));
+    }
+
+    /// A byte tier that reports itself as remote and counts how it is
+    /// consulted — per-key vs batched — so prefetch behavior is
+    /// observable without a socket.
+    #[derive(Debug)]
+    struct FakeRemote {
+        bytes: MemTier,
+        single_gets: std::sync::atomic::AtomicU64,
+        batch_calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl FakeRemote {
+        fn new() -> FakeRemote {
+            FakeRemote {
+                bytes: MemTier::new(1 << 20),
+                single_gets: Default::default(),
+                batch_calls: Default::default(),
+            }
+        }
+    }
+
+    impl StoreTier for FakeRemote {
+        fn kind(&self) -> TierKind {
+            TierKind::Remote
+        }
+        fn get_bytes(&self, ns: &str, key: ContentHash) -> TierLookup {
+            self.single_gets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.bytes.get_bytes(ns, key)
+        }
+        fn get_bytes_batch(&self, items: &[(String, ContentHash)]) -> Vec<TierLookup> {
+            self.batch_calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            items
+                .iter()
+                .map(|(ns, key)| self.bytes.get_bytes(ns, *key))
+                .collect()
+        }
+        fn put_bytes(&self, ns: &str, key: ContentHash, payload: &[u8]) {
+            self.bytes.put_bytes(ns, key, payload);
+        }
+        fn stats(&self) -> TierStats {
+            self.bytes.stats()
+        }
+        fn gc(&self, budget_bytes: u64) -> GcReport {
+            self.bytes.gc(budget_bytes)
+        }
+    }
+
+    #[test]
+    fn prefetch_stages_one_batched_round_trip_and_counts_remote_hits() {
+        let remote = Arc::new(FakeRemote::new());
+        remote.put_bytes("ns", key(1), &41u64.to_bytes());
+        remote.put_bytes("ns", key(2), &42u64.to_bytes());
+        let mut store = Store::in_memory();
+        store.push_tier(remote.clone());
+        assert!(store.has_remote());
+
+        let items: Vec<(String, ContentHash)> =
+            (1..=3).map(|i| ("ns".to_owned(), key(i))).collect();
+        let flags = store.prefetch(&items);
+        assert_eq!(flags, vec![true, true, false], "key 3 is nowhere");
+        assert_eq!(
+            remote
+                .batch_calls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "one pipelined round trip for the whole set"
+        );
+        assert_eq!(
+            remote
+                .single_gets
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+
+        // The staged keys are served as (batched) remote hits without
+        // touching the per-key path again.
+        assert_eq!(*store.get::<u64>("ns", key(1)).unwrap(), 41);
+        assert_eq!(*store.get::<u64>("ns", key(2)).unwrap(), 42);
+        let s = store.stats().namespace("ns");
+        assert_eq!((s.remote_hits, s.batched_hits, s.misses), (2, 2, 0));
+        assert_eq!(
+            remote
+                .single_gets
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+
+        // Re-prefetching already-served keys is free: they sit in the
+        // decoded front cache, so nothing is requested.
+        let again = store.prefetch(&items[..2]);
+        assert_eq!(again, vec![true, true]);
+        assert_eq!(
+            remote
+                .batch_calls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+
+        // The unstaged key falls through to the normal per-key walk.
+        assert!(store.get::<u64>("ns", key(3)).is_none());
+        assert_eq!(store.stats().namespace("ns").misses, 1);
+    }
+
+    #[test]
+    fn prefetch_chunks_batches_past_the_wire_key_cap() {
+        let remote = Arc::new(FakeRemote::new());
+        remote.put_bytes("ns", key(0), &7u64.to_bytes());
+        remote.put_bytes("ns", key(1), &9u64.to_bytes());
+        remote.put_bytes("ns", key(wire::MAX_BATCH_KEYS as u64), &8u64.to_bytes());
+        let mut store = Store::in_memory();
+        store.push_tier(remote.clone());
+        // One key past the cap: the client must split into two exchanges
+        // rather than send one refusable oversized batch.
+        let items: Vec<(String, ContentHash)> = (0..=wire::MAX_BATCH_KEYS as u64)
+            .map(|i| ("ns".to_owned(), key(i)))
+            .collect();
+        let flags = store.prefetch(&items);
+        assert_eq!(
+            remote
+                .batch_calls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
+        assert!(flags[0] && flags[1] && flags[wire::MAX_BATCH_KEYS]);
+        assert_eq!(flags.iter().filter(|f| **f).count(), 3);
+        assert_eq!(*store.get::<u64>("ns", key(0)).unwrap(), 7);
+        assert_eq!(
+            *store
+                .get::<u64>("ns", key(wire::MAX_BATCH_KEYS as u64))
+                .unwrap(),
+            8
+        );
+        // The one-shot drain: a staged key the run never consumed
+        // (key 1) is dropped instead of living for the store's lifetime.
+        assert_eq!(store.drop_staged(), 1);
+        assert_eq!(*store.get::<u64>("ns", key(1)).unwrap(), 9, "refetches");
+    }
+
+    #[test]
+    fn prefetch_without_a_remote_tier_is_a_no_op() {
+        let store = Store::on_disk(
+            std::env::temp_dir().join(format!("rtlt-prefetch-noop-{}", std::process::id())),
+        );
+        assert!(!store.has_remote());
+        let flags = store.prefetch(&[("ns".to_owned(), key(9))]);
+        assert_eq!(flags, vec![false]);
+        assert!(store.stats().namespaces.is_empty(), "no counters touched");
+    }
+
+    #[test]
+    fn corrupt_staged_payload_heals_through_the_normal_walk() {
+        let remote = Arc::new(FakeRemote::new());
+        // Stage bytes that are not a valid u64 encoding.
+        remote.put_bytes("ns", key(4), &[1, 2, 3]);
+        let mut store = Store::in_memory();
+        store.push_tier(remote.clone());
+        assert_eq!(store.prefetch(&[("ns".to_owned(), key(4))]), vec![true]);
+        // The staged decode fails; the tier walk then re-reads the same
+        // bad bytes per-key, drops the slot, and reports a miss.
+        assert!(store.get::<u64>("ns", key(4)).is_none());
+        let s = store.stats().namespace("ns");
+        assert!(s.corrupt_entries >= 1);
+        assert_eq!(s.misses, 1);
     }
 
     #[test]

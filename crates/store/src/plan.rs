@@ -1,0 +1,540 @@
+//! Server-side shard planning: a work queue of design names that
+//! `rtlt-stored` hands out to fleet workers dynamically, so suite
+//! preparation is bounded by the slowest *artifact* rather than the
+//! slowest statically-assigned worker.
+//!
+//! The planner speaks three verbs over the wire protocol:
+//!
+//! * **PLAN** — workers submit the design list with expected prepare costs
+//!   (seeded from a prior `BENCH_runtime.json` when one exists). Planning
+//!   is an idempotent union: every worker submits the same plan, the first
+//!   one seeds the queue, later ones add nothing.
+//! * **LEASE** — a worker asks for work; the planner grants the pending
+//!   design with the **longest expected cost** (ties broken by name, so
+//!   grant order is deterministic). Before every grant it re-queues leases
+//!   whose worker has gone silent past the lease deadline — that re-queue
+//!   is the "steal": a slow or dead worker's design lands on whoever asks
+//!   next instead of gating the merge.
+//! * **DONE** (wire op `REPORT`) — the worker reports the observed prepare
+//!   time (refining the cost model for later plans on the same server) or
+//!   refuses the design (`ok = false`, e.g. a version-skewed worker that
+//!   does not know the name). Refused designs re-queue for other workers;
+//!   a design every known worker has refused is abandoned rather than
+//!   ping-ponging forever (and resurrected if a worker that never refused
+//!   it joins later).
+//!
+//! Completion is idempotent: when a stolen design is later also finished
+//! by the original (slow) worker, the second report is a no-op — artifacts
+//! are content-addressed, so double preparation wastes time but can never
+//! change bytes.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default lease deadline: a worker silent on a design for this long is
+/// presumed slow or dead and the design becomes stealable.
+pub const DEFAULT_LEASE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Point-in-time counters of one [`Planner`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Designs ever planned.
+    pub planned: u64,
+    /// Designs reported prepared.
+    pub completed: u64,
+    /// Designs refused by every known worker and dropped from the queue.
+    pub abandoned: u64,
+    /// Leases currently held (deadline not yet expired).
+    pub active_leases: u64,
+    /// Leases ever granted (≥ `completed`: re-leases count again).
+    pub leases_granted: u64,
+    /// Leases re-queued past their deadline — the "stolen" designs.
+    pub requeued: u64,
+    /// Leases a worker handed back as unservable.
+    pub refused: u64,
+    /// Distinct workers ever seen.
+    pub workers: u64,
+}
+
+impl PlanStats {
+    /// Designs neither completed nor abandoned.
+    pub fn outstanding(&self) -> u64 {
+        self.planned - self.completed - self.abandoned
+    }
+}
+
+/// Outcome of one lease request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseGrant {
+    /// Work: prepare this design, then report.
+    Granted {
+        /// The leased design name.
+        design: String,
+    },
+    /// Nothing leasable for this worker right now. `outstanding == 0`
+    /// means the plan is fully done; `> 0` means poll again — another
+    /// worker's lease may expire and re-queue.
+    Drained {
+        /// Designs neither completed nor abandoned.
+        outstanding: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    /// Content epoch of the current plan (`None` before any PLAN). A plan
+    /// arriving with a different epoch is a *new run* — completion memory
+    /// resets (observed costs survive: design names are stable across
+    /// edits and remain useful priors).
+    epoch: Option<u64>,
+    /// Designs waiting to be leased.
+    pending: Vec<String>,
+    /// Expected prepare cost per design (priors, refined by observations).
+    costs: HashMap<String, f64>,
+    /// Active leases: design → (worker, granted-at).
+    leases: HashMap<String, (String, Instant)>,
+    completed: HashSet<String>,
+    abandoned: HashSet<String>,
+    known: HashSet<String>,
+    workers: HashSet<String>,
+    /// Last time each worker spoke to the planner (lease or report) —
+    /// the recency that decides who counts toward a unanimous refusal.
+    last_seen: HashMap<String, Instant>,
+    /// `(design, worker)` pairs the worker handed back as unservable —
+    /// never re-granted to the same worker.
+    refusals: HashSet<(String, String)>,
+    leases_granted: u64,
+    requeued: u64,
+    refused: u64,
+}
+
+impl PlanInner {
+    /// Re-queues every lease whose deadline has passed.
+    fn expire(&mut self, now: Instant, timeout: Duration) {
+        let expired: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, (_, at))| now.duration_since(*at) >= timeout)
+            .map(|(design, _)| design.clone())
+            .collect();
+        for design in expired {
+            self.leases.remove(&design);
+            if !self.completed.contains(&design) && !self.abandoned.contains(&design) {
+                self.pending.push(design);
+                self.requeued += 1;
+            }
+        }
+    }
+
+    /// Returns abandoned designs this worker has *not* refused to the
+    /// queue — a worker arriving after a design was unanimously refused
+    /// by the fleet-so-far may still be able to serve it.
+    fn resurrect_for(&mut self, worker: &str) {
+        let revivable: Vec<String> = self
+            .abandoned
+            .iter()
+            .filter(|d| !self.refusals.contains(&((*d).clone(), worker.to_owned())))
+            .cloned()
+            .collect();
+        for design in revivable {
+            self.abandoned.remove(&design);
+            self.pending.push(design);
+        }
+    }
+
+    /// Drops pending designs every *active* worker has refused. A worker
+    /// counts as active when it spoke to the planner within the lease
+    /// timeout — a registered-but-dead worker must not veto abandonment
+    /// forever, or a version-skewed survivor would poll an unservable
+    /// design until the end of time. When no worker qualifies as active
+    /// (degenerate timeouts), the full known set decides, preserving the
+    /// original unanimity rule.
+    fn abandon_unservable(&mut self, now: Instant, timeout: Duration) {
+        if self.workers.is_empty() {
+            return;
+        }
+        let active: Vec<&String> = self
+            .workers
+            .iter()
+            .filter(|w| {
+                self.last_seen
+                    .get(*w)
+                    .is_some_and(|at| now.duration_since(*at) <= timeout)
+            })
+            .collect();
+        let voters: Vec<&String> = if active.is_empty() {
+            self.workers.iter().collect()
+        } else {
+            active
+        };
+        let unservable: Vec<String> = self
+            .pending
+            .iter()
+            .filter(|design| {
+                voters
+                    .iter()
+                    .all(|w| self.refusals.contains(&((*design).clone(), (*w).clone())))
+            })
+            .cloned()
+            .collect();
+        for design in unservable {
+            self.pending.retain(|d| d != &design);
+            self.abandoned.insert(design);
+        }
+    }
+
+    fn stats(&self) -> PlanStats {
+        PlanStats {
+            planned: self.known.len() as u64,
+            completed: self.completed.len() as u64,
+            abandoned: self.abandoned.len() as u64,
+            active_leases: self.leases.len() as u64,
+            leases_granted: self.leases_granted,
+            requeued: self.requeued,
+            refused: self.refused,
+            workers: self.workers.len() as u64,
+        }
+    }
+}
+
+/// The server-held work-stealing shard planner. Thread-safe; one lives
+/// inside every `ArtifactServer`.
+///
+/// No background threads: expiry is checked lazily on every lease and
+/// stats request, which is exactly when an expired lease could matter.
+#[derive(Debug)]
+pub struct Planner {
+    inner: Mutex<PlanInner>,
+    lease_timeout: Duration,
+}
+
+impl Default for Planner {
+    fn default() -> Planner {
+        Planner::new(DEFAULT_LEASE_TIMEOUT)
+    }
+}
+
+impl Planner {
+    /// Planner whose leases expire after `lease_timeout`.
+    pub fn new(lease_timeout: Duration) -> Planner {
+        Planner {
+            inner: Mutex::new(PlanInner::default()),
+            lease_timeout,
+        }
+    }
+
+    /// The configured lease deadline.
+    pub fn lease_timeout(&self) -> Duration {
+        self.lease_timeout
+    }
+
+    /// Adds every design not yet known to the queue (idempotent union
+    /// *within* one epoch). Cost priors only apply to designs this call
+    /// introduces — observed completion times from earlier work are never
+    /// overwritten by a later worker's stale priors. A `epoch` different
+    /// from the current one starts a fresh run: pending/known/completed/
+    /// lease/refusal state resets (a long-lived server must not answer a
+    /// post-edit fleet with "already done"), while observed costs are kept
+    /// as priors — design names are stable across edits. Returns how many
+    /// designs were new.
+    pub fn plan(&self, epoch: u64, designs: &[(String, f64)]) -> u64 {
+        let mut inner = self.inner.lock().expect("planner lock");
+        if inner.epoch != Some(epoch) {
+            let costs = std::mem::take(&mut inner.costs);
+            *inner = PlanInner {
+                epoch: Some(epoch),
+                costs,
+                ..PlanInner::default()
+            };
+        }
+        let mut added = 0;
+        for (name, cost) in designs {
+            if inner.known.insert(name.clone()) {
+                inner.pending.push(name.clone());
+                inner.costs.entry(name.clone()).or_insert(*cost);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Grants `worker` the pending design with the longest expected cost,
+    /// after re-queueing expired leases.
+    pub fn lease(&self, worker: &str) -> LeaseGrant {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("planner lock");
+        inner.workers.insert(worker.to_owned());
+        inner.last_seen.insert(worker.to_owned(), now);
+        inner.expire(now, self.lease_timeout);
+        inner.resurrect_for(worker);
+        inner.abandon_unservable(now, self.lease_timeout);
+        let pick = inner
+            .pending
+            .iter()
+            .filter(|d| !inner.refusals.contains(&((*d).clone(), worker.to_owned())))
+            .max_by(|a, b| {
+                let ca = inner.costs.get(*a).copied().unwrap_or(0.0);
+                let cb = inner.costs.get(*b).copied().unwrap_or(0.0);
+                ca.partial_cmp(&cb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.cmp(b))
+            })
+            .cloned();
+        match pick {
+            Some(design) => {
+                inner.pending.retain(|d| d != &design);
+                inner
+                    .leases
+                    .insert(design.clone(), (worker.to_owned(), Instant::now()));
+                inner.leases_granted += 1;
+                LeaseGrant::Granted { design }
+            }
+            None => LeaseGrant::Drained {
+                outstanding: inner.stats().outstanding(),
+            },
+        }
+    }
+
+    /// Records a worker's report on a leased design.
+    ///
+    /// `ok = true` completes the design (idempotently — a late report on a
+    /// stolen-and-finished design is a no-op) and records `seconds` as its
+    /// observed cost. `ok = false` hands the design back: it re-queues for
+    /// other workers and is never re-granted to this one.
+    pub fn complete(&self, worker: &str, design: &str, seconds: f64, ok: bool) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("planner lock");
+        inner.workers.insert(worker.to_owned());
+        inner.last_seen.insert(worker.to_owned(), now);
+        if !inner.known.contains(design) {
+            return; // version skew: a design we never planned
+        }
+        if ok {
+            inner.leases.remove(design);
+            inner.pending.retain(|d| d != design);
+            if inner.completed.insert(design.to_owned()) && seconds.is_finite() && seconds >= 0.0 {
+                inner.costs.insert(design.to_owned(), seconds);
+            }
+            return;
+        }
+        inner
+            .refusals
+            .insert((design.to_owned(), worker.to_owned()));
+        inner.refused += 1;
+        // Only release the lease if this worker actually holds it — a
+        // refusal must not yank a re-leased design from its new owner.
+        if inner
+            .leases
+            .get(design)
+            .is_some_and(|(holder, _)| holder == worker)
+        {
+            inner.leases.remove(design);
+            if !inner.completed.contains(design) && !inner.pending.iter().any(|d| d == design) {
+                inner.pending.push(design.to_owned());
+            }
+        }
+        inner.abandon_unservable(now, self.lease_timeout);
+    }
+
+    /// Current counters (expired leases are re-queued first, so
+    /// `active_leases`/`requeued` reflect the deadline).
+    pub fn stats(&self) -> PlanStats {
+        let mut inner = self.inner.lock().expect("planner lock");
+        inner.expire(Instant::now(), self.lease_timeout);
+        inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_of(p: &Planner, names: &[(&str, f64)]) {
+        let designs: Vec<(String, f64)> =
+            names.iter().map(|(n, c)| ((*n).to_owned(), *c)).collect();
+        p.plan(1, &designs);
+    }
+
+    fn granted(p: &Planner, worker: &str) -> String {
+        match p.lease(worker) {
+            LeaseGrant::Granted { design } => design,
+            other => panic!("expected a grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leases_hand_out_longest_expected_first() {
+        let p = Planner::default();
+        plan_of(&p, &[("small", 1.0), ("big", 9.0), ("mid", 4.0)]);
+        assert_eq!(granted(&p, "w1"), "big");
+        assert_eq!(granted(&p, "w1"), "mid");
+        assert_eq!(granted(&p, "w1"), "small");
+        assert_eq!(p.lease("w1"), LeaseGrant::Drained { outstanding: 3 });
+        for d in ["big", "mid", "small"] {
+            p.complete("w1", d, 0.5, true);
+        }
+        assert_eq!(p.lease("w1"), LeaseGrant::Drained { outstanding: 0 });
+        let s = p.stats();
+        assert_eq!((s.planned, s.completed, s.leases_granted), (3, 3, 3));
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn equal_costs_grant_in_deterministic_name_order() {
+        let p = Planner::default();
+        plan_of(&p, &[("a", 1.0), ("c", 1.0), ("b", 1.0)]);
+        // Ties break toward the lexicographically largest name.
+        assert_eq!(granted(&p, "w"), "c");
+        assert_eq!(granted(&p, "w"), "b");
+        assert_eq!(granted(&p, "w"), "a");
+    }
+
+    #[test]
+    fn planning_is_an_idempotent_union() {
+        let p = Planner::default();
+        assert_eq!(p.plan(1, &[("x".into(), 2.0)]), 1);
+        assert_eq!(p.plan(1, &[("x".into(), 99.0), ("y".into(), 1.0)]), 1);
+        assert_eq!(p.stats().planned, 2);
+        // x kept its first prior (2.0 > 1.0), so it still leases first.
+        assert_eq!(granted(&p, "w"), "x");
+    }
+
+    #[test]
+    fn expired_leases_are_stolen_by_the_next_asker() {
+        // A zero timeout makes every lease instantly stealable — the
+        // deterministic form of "the worker went silent past the deadline".
+        let p = Planner::new(Duration::ZERO);
+        plan_of(&p, &[("d", 5.0)]);
+        assert_eq!(granted(&p, "slow"), "d");
+        // The silent worker's lease expires; the survivor steals it.
+        assert_eq!(granted(&p, "fast"), "d");
+        p.complete("fast", "d", 1.0, true);
+        let s = p.stats();
+        assert_eq!(s.requeued, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.outstanding(), 0);
+        // The slow worker's late report is an idempotent no-op.
+        p.complete("slow", "d", 99.0, true);
+        assert_eq!(p.stats().completed, 1);
+    }
+
+    #[test]
+    fn unexpired_leases_are_not_stolen() {
+        let p = Planner::new(Duration::from_secs(3600));
+        plan_of(&p, &[("d", 5.0)]);
+        assert_eq!(granted(&p, "w1"), "d");
+        assert_eq!(p.lease("w2"), LeaseGrant::Drained { outstanding: 1 });
+        assert_eq!(p.stats().requeued, 0);
+    }
+
+    #[test]
+    fn refusals_requeue_for_others_and_abandon_when_unanimous() {
+        let p = Planner::default();
+        plan_of(&p, &[("known", 2.0), ("exotic", 9.0)]);
+        // w1 cannot serve the exotic design (version skew): it re-queues
+        // and is never re-granted to w1.
+        assert_eq!(granted(&p, "w1"), "exotic");
+        p.complete("w1", "exotic", 0.0, false);
+        assert_eq!(granted(&p, "w1"), "known");
+        // w2 can serve it.
+        assert_eq!(granted(&p, "w2"), "exotic");
+        p.complete("w2", "exotic", 1.0, true);
+        p.complete("w1", "known", 1.0, true);
+        let s = p.stats();
+        assert_eq!((s.completed, s.refused, s.abandoned), (2, 1, 0));
+
+        // A design *every* worker refuses is abandoned, not re-queued
+        // forever.
+        plan_of(&p, &[("nobody", 1.0)]);
+        assert_eq!(granted(&p, "w1"), "nobody");
+        p.complete("w1", "nobody", 0.0, false);
+        assert_eq!(granted(&p, "w2"), "nobody");
+        p.complete("w2", "nobody", 0.0, false);
+        let s = p.stats();
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(p.lease("w1"), LeaseGrant::Drained { outstanding: 0 });
+    }
+
+    #[test]
+    fn dead_registered_worker_does_not_veto_abandonment() {
+        let p = Planner::new(Duration::from_millis(50));
+        plan_of(&p, &[("known", 1.0), ("exotic", 9.0)]);
+        // w_dead registers (leases and completes a design), then vanishes.
+        assert_eq!(granted(&p, "w_dead"), "exotic");
+        p.complete("w_dead", "exotic", 1.0, true);
+        std::thread::sleep(Duration::from_millis(80));
+        // The skewed survivor cannot serve "known". With w_dead stale,
+        // the survivor's refusal is unanimous among *active* workers: the
+        // design abandons instead of keeping the survivor polling
+        // forever on outstanding = 1.
+        assert_eq!(granted(&p, "w1"), "known");
+        p.complete("w1", "known", 0.0, false);
+        let s = p.stats();
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(p.lease("w1"), LeaseGrant::Drained { outstanding: 0 });
+    }
+
+    #[test]
+    fn refusal_does_not_yank_a_stolen_lease_from_its_new_owner() {
+        let p = Planner::new(Duration::ZERO);
+        plan_of(&p, &[("d", 1.0)]);
+        assert_eq!(granted(&p, "w1"), "d");
+        assert_eq!(granted(&p, "w2"), "d"); // stolen
+                                            // w1's late refusal must not disturb w2's active lease.
+        p.complete("w1", "d", 0.0, false);
+        p.complete("w2", "d", 1.0, true);
+        assert_eq!(p.stats().completed, 1);
+    }
+
+    #[test]
+    fn a_new_epoch_resets_completion_memory_but_keeps_observed_costs() {
+        let p = Planner::default();
+        plan_of(&p, &[("a", 1.0), ("b", 2.0)]);
+        assert_eq!(granted(&p, "w"), "b");
+        p.complete("w", "b", 30.0, true);
+        assert_eq!(granted(&p, "w"), "a");
+        p.complete("w", "a", 5.0, true);
+        assert_eq!(p.lease("w"), LeaseGrant::Drained { outstanding: 0 });
+
+        // A post-edit fleet run plans the same names under a new epoch:
+        // everything re-queues — a long-lived server must not answer it
+        // with "already done".
+        assert_eq!(p.plan(2, &[("a".into(), 1.0), ("b".into(), 2.0)]), 2);
+        let s = p.stats();
+        assert_eq!((s.planned, s.completed), (2, 0));
+        assert_eq!(s.outstanding(), 2);
+        // And the *observed* costs survived the reset: b (30 s) still
+        // outranks a (5 s), both outranking their stale priors.
+        assert_eq!(granted(&p, "w"), "b");
+        assert_eq!(granted(&p, "w"), "a");
+        // Re-planning within the same epoch stays idempotent.
+        assert_eq!(p.plan(2, &[("a".into(), 1.0)]), 0);
+    }
+
+    #[test]
+    fn reports_on_unknown_designs_are_ignored() {
+        let p = Planner::default();
+        plan_of(&p, &[("d", 1.0)]);
+        p.complete("w", "never-planned", 1.0, true);
+        let s = p.stats();
+        assert_eq!((s.planned, s.completed), (1, 0));
+    }
+
+    #[test]
+    fn observed_costs_reorder_later_work() {
+        let p = Planner::default();
+        plan_of(&p, &[("a", 1.0), ("b", 2.0)]);
+        assert_eq!(granted(&p, "w"), "b");
+        p.complete("w", "b", 10.0, true);
+        assert_eq!(granted(&p, "w"), "a");
+        p.complete("w", "a", 20.0, true);
+        // A fresh plan on the same server re-queues with observed costs:
+        // a (20 s observed) now outranks b (10 s observed)… but both are
+        // already completed, so re-planning adds nothing.
+        assert_eq!(p.plan(1, &[("a".into(), 1.0), ("b".into(), 2.0)]), 0);
+        assert_eq!(p.lease("w"), LeaseGrant::Drained { outstanding: 0 });
+    }
+}

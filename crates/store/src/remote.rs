@@ -11,8 +11,9 @@
 //! connect timeouts rather than one per lookup.
 
 use crate::hash::ContentHash;
+use crate::plan::{LeaseGrant, PlanStats};
 use crate::tier::{GcReport, StoreTier, TierKind, TierLookup, TierStats};
-use crate::wire::{Frame, Request, Response, WireError};
+use crate::wire::{Frame, FrameBudget, Request, Response, WireError, MAX_CONN_INFLIGHT};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -114,10 +115,113 @@ impl RemoteTier {
         result
     }
 
+    /// One batched exchange: writes a GETM, then reads the
+    /// [`Response::BatchPart`] stream under one cumulative
+    /// [`FrameBudget`]. Parts already received survive a mid-stream
+    /// failure — the unanswered tail simply stays "miss" (partial-batch
+    /// degradation). A server too old for GETM answers `Failed`, which
+    /// reads as an empty (all-miss) batch without tripping the failure
+    /// counter: the connection is healthy, per-key GETs still work.
+    fn batch_round_trip(
+        &self,
+        items: &[(String, ContentHash)],
+        out: &mut [TierLookup],
+    ) -> Result<(), WireError> {
+        let mut state = self.state.lock().expect("remote state lock");
+        if state.consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+            return Err(WireError::Io(std::io::ErrorKind::ConnectionRefused));
+        }
+        let result = (|| {
+            if state.conn.is_none() {
+                state.conn = Some(self.connect()?);
+            }
+            let conn = state.conn.as_mut().expect("connection just set");
+            Request::GetBatch {
+                items: items.to_vec(),
+            }
+            .to_frame()
+            .write_to(conn)?;
+            let mut budget = FrameBudget::new(MAX_CONN_INFLIGHT);
+            loop {
+                let frame = Frame::read_budgeted(conn, &mut budget)?;
+                match Response::from_frame(&frame)? {
+                    Response::BatchPart { items: part, last } => {
+                        for (idx, payload) in part {
+                            if let (Some(slot), Some(p)) = (out.get_mut(idx as usize), payload) {
+                                *slot = TierLookup::Hit(p);
+                            }
+                        }
+                        if last {
+                            return Ok(());
+                        }
+                    }
+                    Response::Failed(_) => return Ok(()), // old server: all-miss
+                    _ => return Err(WireError::Malformed("unexpected batch response")),
+                }
+            }
+        })();
+        match &result {
+            Ok(_) => state.consecutive_failures = 0,
+            Err(_) => {
+                state.conn = None;
+                state.consecutive_failures += 1;
+            }
+        }
+        result
+    }
+
     /// Size snapshot of the *server's* tiers, if reachable.
     pub fn stat_remote(&self) -> Option<Vec<TierStats>> {
         match self.round_trip(&Request::Stat) {
             Ok(Response::Stats(tiers)) => Some(tiers),
+            _ => None,
+        }
+    }
+
+    /// Seeds/extends the server's work queue (idempotent union within one
+    /// content `epoch`; a new epoch starts a fresh run). Returns whether
+    /// the server acknowledged.
+    pub fn plan_remote(&self, epoch: u64, designs: &[(String, f64)]) -> bool {
+        matches!(
+            self.round_trip(&Request::Plan {
+                epoch,
+                designs: designs.to_vec(),
+            }),
+            Ok(Response::Done(_))
+        )
+    }
+
+    /// Asks the server for one design lease. `None` means the server is
+    /// unreachable or too old to plan — the caller falls back to the
+    /// static shard path.
+    pub fn lease_remote(&self, worker: &str) -> Option<LeaseGrant> {
+        match self.round_trip(&Request::Lease {
+            worker: worker.to_owned(),
+        }) {
+            Ok(Response::Leased { design }) => Some(LeaseGrant::Granted { design }),
+            Ok(Response::Drained { outstanding }) => Some(LeaseGrant::Drained { outstanding }),
+            _ => None,
+        }
+    }
+
+    /// Reports a leased design prepared (`ok = true`, with its observed
+    /// wall time) or refused. Returns whether the server acknowledged.
+    pub fn report_remote(&self, worker: &str, design: &str, seconds: f64, ok: bool) -> bool {
+        matches!(
+            self.round_trip(&Request::Report {
+                worker: worker.to_owned(),
+                design: design.to_owned(),
+                seconds,
+                ok,
+            }),
+            Ok(Response::Done(_))
+        )
+    }
+
+    /// Snapshot of the server's shard-planner counters, if reachable.
+    pub fn plan_stats_remote(&self) -> Option<PlanStats> {
+        match self.round_trip(&Request::PlanStat) {
+            Ok(Response::PlanStats(stats)) => Some(stats),
             _ => None,
         }
     }
@@ -148,6 +252,16 @@ impl StoreTier for RemoteTier {
             // dead server — degrades to a miss.
             _ => TierLookup::Miss,
         }
+    }
+
+    fn get_bytes_batch(&self, items: &[(String, ContentHash)]) -> Vec<TierLookup> {
+        let mut out = vec![TierLookup::Miss; items.len()];
+        if !items.is_empty() {
+            // Partial results survive a mid-stream failure; the rest stay
+            // misses, which the store recomputes byte-identically.
+            let _ = self.batch_round_trip(items, &mut out);
+        }
+        out
     }
 
     fn put_bytes(&self, ns: &str, key: ContentHash, payload: &[u8]) {

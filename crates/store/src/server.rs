@@ -12,12 +12,23 @@
 //! so it needs no knowledge of the pipeline's artifact types — old and new
 //! clients can only disagree at the [`crate::FORMAT_VERSION`] stamp, which
 //! both the frame header and the client's typed decode guard.
+//!
+//! Beyond bytes, the server holds the fleet's [`Planner`]: LEASE/REPORT/
+//! PLAN requests let workers draw design names from one shared
+//! work-stealing queue (see [`crate::plan`]), and GETM answers a whole
+//! key batch as a stream of bounded [`Response::BatchPart`] chunks.
 
+use crate::plan::{LeaseGrant, Planner};
 use crate::tier::{DiskTier, MemTier, StoreTier, TierLookup};
-use crate::wire::{Frame, Request, Response, WireError};
+use crate::wire::{
+    Frame, FrameBudget, Request, Response, WireError, MAX_BATCH_CHUNK, MAX_BATCH_KEYS,
+    MAX_CONN_INFLIGHT,
+};
+use crate::ContentHash;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default listen address.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
@@ -32,16 +43,23 @@ pub struct ServerConfig {
     pub dir: PathBuf,
     /// Byte budget of the in-memory tier (0 disables it).
     pub mem_budget: usize,
+    /// Deadline after which a silent worker's design lease is re-queued
+    /// (work stealing).
+    pub lease_timeout: Duration,
 }
 
-/// The shared artifact service: a tier stack plus the request handler.
+/// The shared artifact service: a tier stack, the fleet planner, and the
+/// request handler.
 ///
-/// Transport-independent — [`ArtifactServer::handle`] maps one request to
-/// one response, so tests can drive it without sockets and
-/// [`serve`] wires it to a [`TcpListener`].
+/// Transport-independent — [`ArtifactServer::handle`] maps one
+/// single-response request to its response and
+/// [`ArtifactServer::handle_batch`] maps a GETM to its chunk stream, so
+/// tests can drive both without sockets and [`serve`] wires them to a
+/// [`TcpListener`].
 #[derive(Debug)]
 pub struct ArtifactServer {
     tiers: Vec<Arc<dyn StoreTier>>,
+    planner: Planner,
 }
 
 impl ArtifactServer {
@@ -52,32 +70,70 @@ impl ArtifactServer {
             tiers.push(Arc::new(MemTier::new(cfg.mem_budget)));
         }
         tiers.push(Arc::new(DiskTier::new(cfg.dir.clone())));
-        ArtifactServer { tiers }
+        ArtifactServer {
+            tiers,
+            planner: Planner::new(cfg.lease_timeout),
+        }
     }
 
-    /// Server over an explicit tier stack (fallback order).
+    /// Server over an explicit tier stack (fallback order) with the
+    /// default lease timeout.
     pub fn with_tiers(tiers: Vec<Arc<dyn StoreTier>>) -> ArtifactServer {
-        ArtifactServer { tiers }
+        ArtifactServer {
+            tiers,
+            planner: Planner::default(),
+        }
     }
 
-    /// Answers one request.
+    /// The fleet work queue.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// One tier-stack lookup with promotion into earlier (faster) tiers,
+    /// as the local store does. Corrupt entries were already dropped by
+    /// the tier; they fall through like a miss.
+    fn lookup(&self, ns: &str, key: ContentHash) -> Option<Vec<u8>> {
+        for (i, tier) in self.tiers.iter().enumerate() {
+            if let TierLookup::Hit(payload) = tier.get_bytes(ns, key) {
+                for earlier in &self.tiers[..i] {
+                    earlier.put_bytes(ns, key, &payload);
+                }
+                return Some(payload);
+            }
+        }
+        None
+    }
+
+    /// Answers one single-response request ([`Request::GetBatch`] streams
+    /// instead — see [`ArtifactServer::handle_batch`]).
     pub fn handle(&self, req: Request) -> Response {
         match req {
-            Request::Get { ns, key } => {
-                for (i, tier) in self.tiers.iter().enumerate() {
-                    if let TierLookup::Hit(payload) = tier.get_bytes(&ns, key) {
-                        // Promote into earlier (faster) tiers, as the
-                        // local store does.
-                        for earlier in &self.tiers[..i] {
-                            earlier.put_bytes(&ns, key, &payload);
-                        }
-                        return Response::Hit(payload);
-                    }
-                    // Corrupt entries were already dropped by the tier;
-                    // fall through like a miss.
-                }
-                Response::Miss
+            Request::Get { ns, key } => match self.lookup(&ns, key) {
+                Some(payload) => Response::Hit(payload),
+                None => Response::Miss,
+            },
+            Request::GetBatch { .. } => {
+                Response::Failed("GETM is a streaming request; use handle_batch".to_owned())
             }
+            Request::Lease { worker } => match self.planner.lease(&worker) {
+                LeaseGrant::Granted { design } => Response::Leased { design },
+                LeaseGrant::Drained { outstanding } => Response::Drained { outstanding },
+            },
+            Request::Report {
+                worker,
+                design,
+                seconds,
+                ok,
+            } => {
+                self.planner.complete(&worker, &design, seconds, ok);
+                Response::Done(Default::default())
+            }
+            Request::Plan { epoch, designs } => {
+                self.planner.plan(epoch, &designs);
+                Response::Done(Default::default())
+            }
+            Request::PlanStat => Response::PlanStats(self.planner.stats()),
             Request::Put { ns, key, payload } => {
                 for tier in &self.tiers {
                     tier.put_bytes(&ns, key, &payload);
@@ -95,6 +151,96 @@ impl ArtifactServer {
         }
     }
 
+    /// Answers a [`Request::GetBatch`] as a stream of
+    /// [`Response::BatchPart`] chunks, handing each chunk to `emit` as
+    /// soon as it is full — the server never materializes more than one
+    /// chunk (plus the payload being looked up), so a near-budget batch
+    /// costs ~[`MAX_BATCH_CHUNK`] of server memory, not the whole answer.
+    ///
+    /// Two byte bounds apply: each part flushes around `chunk_bytes`, and
+    /// the *cumulative* frame-body bytes of the whole answer are capped at
+    /// [`MAX_CONN_INFLIGHT`] — hits past the cap degrade to misses (the
+    /// client recomputes them), so a batch of maximum-size payloads can
+    /// never balloon either side of the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `emit` failure (a dead peer stops the stream).
+    pub fn stream_batch<E>(
+        &self,
+        items: &[(String, ContentHash)],
+        chunk_bytes: u64,
+        mut emit: impl FnMut(Response) -> Result<(), E>,
+    ) -> Result<(), E> {
+        if items.len() > MAX_BATCH_KEYS {
+            return emit(Response::Failed(format!(
+                "batch of {} keys exceeds the {MAX_BATCH_KEYS} cap",
+                items.len()
+            )));
+        }
+        // The client reads the response stream under a cumulative
+        // MAX_CONN_INFLIGHT budget charged on full frame-body bytes, so
+        // the server must budget the same way: every item is charged a
+        // conservative framing overhead (index, flags, length prefixes,
+        // amortized part headers — actually ~20 bytes) on top of its
+        // payload, guaranteeing a stream the server emits always fits the
+        // client's budget.
+        const ITEM_OVERHEAD: u64 = 64;
+        let mut cur: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+        let mut cur_bytes = 0u64;
+        let mut budget = MAX_CONN_INFLIGHT;
+        for (i, (ns, key)) in items.iter().enumerate() {
+            // Miss markers occupy body bytes too; with at most
+            // MAX_BATCH_KEYS items this charge alone can never exhaust
+            // the budget.
+            budget = budget.saturating_sub(ITEM_OVERHEAD);
+            let payload = match self.lookup(ns, *key) {
+                Some(p) if (p.len() as u64) <= budget => {
+                    budget -= p.len() as u64;
+                    Some(p)
+                }
+                // Over-budget hits degrade to misses: the client
+                // recomputes them, byte-identically.
+                _ => None,
+            };
+            let len = payload.as_ref().map_or(0, |p| p.len() as u64);
+            if cur_bytes + len > chunk_bytes && !cur.is_empty() {
+                emit(Response::BatchPart {
+                    items: std::mem::take(&mut cur),
+                    last: false,
+                })?;
+                cur_bytes = 0;
+            }
+            cur_bytes += len;
+            cur.push((i as u64, payload));
+        }
+        emit(Response::BatchPart {
+            items: cur,
+            last: true,
+        })
+    }
+
+    /// Collecting form of [`ArtifactServer::stream_batch`] with the
+    /// production [`MAX_BATCH_CHUNK`] threshold — for tests and
+    /// transports that want the parts as a `Vec`.
+    pub fn handle_batch(&self, items: &[(String, ContentHash)]) -> Vec<Response> {
+        self.handle_batch_chunked(items, MAX_BATCH_CHUNK)
+    }
+
+    /// [`ArtifactServer::handle_batch`] with an explicit chunk threshold.
+    pub fn handle_batch_chunked(
+        &self,
+        items: &[(String, ContentHash)],
+        chunk_bytes: u64,
+    ) -> Vec<Response> {
+        let mut parts = Vec::new();
+        let _ = self.stream_batch(items, chunk_bytes, |part| {
+            parts.push(part);
+            Ok::<(), std::convert::Infallible>(())
+        });
+        parts
+    }
+
     /// Serves one connection until the peer closes it, goes idle past
     /// [`IDLE_TIMEOUT`], or commits a protocol error (after which the
     /// connection is dropped — the *client* treats that as misses; the
@@ -106,7 +252,13 @@ impl ArtifactServer {
     /// timeouts and clean closes are `Ok`.
     pub fn serve_connection(&self, stream: &mut TcpStream) -> Result<(), WireError> {
         loop {
-            let frame = match Frame::read_opt(stream) {
+            // The protocol is strictly request → response, so exactly one
+            // exchange is in flight per connection; a fresh cumulative
+            // budget per exchange is therefore the per-connection
+            // in-flight bound (and future multi-frame requests inherit
+            // it automatically).
+            let mut budget = FrameBudget::new(MAX_CONN_INFLIGHT);
+            let frame = match Frame::read_opt_budgeted(stream, &mut budget) {
                 Ok(None) => return Ok(()), // clean close
                 // SO_RCVTIMEO expiry between frames: the client vanished
                 // or went idle — reap the connection (and its thread)
@@ -118,11 +270,20 @@ impl ArtifactServer {
                 Ok(Some(frame)) => frame,
                 Err(e) => return Err(e),
             };
-            let response = match Request::from_frame(&frame) {
-                Ok(req) => self.handle(req),
-                Err(e) => Response::Failed(e.to_string()),
-            };
-            response.to_frame().write_to(stream)?;
+            match Request::from_frame(&frame) {
+                // Batch answers stream: each chunk is written as soon as
+                // it fills, so the server holds one chunk, not the whole
+                // (up to budget-sized) response.
+                Ok(Request::GetBatch { items }) => {
+                    self.stream_batch(&items, MAX_BATCH_CHUNK, |part| {
+                        part.to_frame().write_to(stream)
+                    })?;
+                }
+                Ok(req) => self.handle(req).to_frame().write_to(stream)?,
+                Err(e) => Response::Failed(e.to_string())
+                    .to_frame()
+                    .write_to(stream)?,
+            }
         }
     }
 }
@@ -217,6 +378,99 @@ mod tests {
             }),
             Response::Miss
         );
+    }
+
+    #[test]
+    fn batched_get_streams_in_bounded_chunks() {
+        let server = ArtifactServer::with_tiers(vec![Arc::new(MemTier::new(1 << 20))]);
+        for i in 0..4u64 {
+            server.handle(Request::Put {
+                ns: "ns".into(),
+                key: key(i),
+                payload: vec![i as u8; 100],
+            });
+        }
+        let items: Vec<(String, ContentHash)> = (0..6u64).map(|i| ("ns".into(), key(i))).collect();
+        // Chunk threshold of 150 bytes: 100-byte payloads flush after
+        // every hit-pair boundary, so the stream has several parts.
+        let parts = server.handle_batch_chunked(&items, 150);
+        assert!(parts.len() > 1, "chunked into {} part(s)", parts.len());
+        let mut got: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            match part {
+                Response::BatchPart { items, last } => {
+                    assert_eq!(*last, i == parts.len() - 1, "only the final part is last");
+                    got.extend(items.iter().cloned());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        got.sort_by_key(|(i, _)| *i);
+        assert_eq!(got.len(), 6);
+        for (i, payload) in &got {
+            if *i < 4 {
+                assert_eq!(payload.as_deref(), Some(&vec![*i as u8; 100][..]));
+            } else {
+                assert!(payload.is_none(), "missing keys report as misses");
+            }
+        }
+        // An over-long batch is refused outright.
+        let huge: Vec<(String, ContentHash)> = (0..=MAX_BATCH_KEYS as u64)
+            .map(|i| ("ns".into(), key(i)))
+            .collect();
+        assert!(matches!(
+            server.handle_batch(&huge).as_slice(),
+            [Response::Failed(_)]
+        ));
+        // And GETM through the single-response path is a typed failure.
+        assert!(matches!(
+            server.handle(Request::GetBatch { items }),
+            Response::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn planner_verbs_round_trip_through_handle() {
+        let server = ArtifactServer::with_tiers(vec![Arc::new(MemTier::new(1 << 20))]);
+        assert!(matches!(
+            server.handle(Request::Plan {
+                epoch: 1,
+                designs: vec![("small".into(), 1.0), ("big".into(), 7.0)],
+            }),
+            Response::Done(_)
+        ));
+        assert_eq!(
+            server.handle(Request::Lease {
+                worker: "w1".into()
+            }),
+            Response::Leased {
+                design: "big".into()
+            }
+        );
+        assert!(matches!(
+            server.handle(Request::Report {
+                worker: "w1".into(),
+                design: "big".into(),
+                seconds: 2.0,
+                ok: true,
+            }),
+            Response::Done(_)
+        ));
+        assert_eq!(
+            server.handle(Request::Lease {
+                worker: "w2".into()
+            }),
+            Response::Leased {
+                design: "small".into()
+            }
+        );
+        match server.handle(Request::PlanStat) {
+            Response::PlanStats(s) => {
+                assert_eq!((s.planned, s.completed, s.active_leases), (2, 1, 1));
+                assert_eq!(s.workers, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

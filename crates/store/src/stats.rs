@@ -14,6 +14,10 @@ pub struct NamespaceStats {
     pub disk_hits: u64,
     /// Lookups served from the remote tier (a shared `rtlt-stored`).
     pub remote_hits: u64,
+    /// The subset of `remote_hits` whose bytes arrived through a batched
+    /// prefetch (one GETM round trip for a whole key set) rather than a
+    /// per-key GET.
+    pub batched_hits: u64,
     /// Lookups that found nothing and had to compute.
     pub misses: u64,
     /// Payload bytes written to the byte tiers.
@@ -119,6 +123,7 @@ impl StatsSnapshot {
             total.mem_hits += s.mem_hits;
             total.disk_hits += s.disk_hits;
             total.remote_hits += s.remote_hits;
+            total.batched_hits += s.batched_hits;
             total.misses += s.misses;
             total.bytes_written += s.bytes_written;
             total.bytes_read += s.bytes_read;

@@ -122,6 +122,24 @@ pub trait StoreTier: Send + Sync + std::fmt::Debug {
     /// Looks up the payload stored under `(ns, key)`.
     fn get_bytes(&self, ns: &str, key: ContentHash) -> TierLookup;
 
+    /// Looks up a whole `(ns, key)` set. The default loops over
+    /// [`StoreTier::get_bytes`]; tiers with per-lookup latency (the remote
+    /// tier) override this to pipeline the batch in one round trip.
+    fn get_bytes_batch(&self, items: &[(String, ContentHash)]) -> Vec<TierLookup> {
+        items
+            .iter()
+            .map(|(ns, key)| self.get_bytes(ns, *key))
+            .collect()
+    }
+
+    /// Whether the tier currently holds `(ns, key)` — a cheap existence
+    /// probe (no payload read, no recency touch) used to decide what a
+    /// batched prefetch still needs. The default reads the payload;
+    /// local tiers override it with a constant-time check.
+    fn contains(&self, ns: &str, key: ContentHash) -> bool {
+        matches!(self.get_bytes(ns, key), TierLookup::Hit(_))
+    }
+
     /// Stores `payload` under `(ns, key)`. Best-effort: a full disk or a
     /// dead server must not fail the computation being memoized.
     fn put_bytes(&self, ns: &str, key: ContentHash, payload: &[u8]);
@@ -235,6 +253,15 @@ impl StoreTier for MemTier {
         }
         inner.total_bytes += payload.len();
         Self::evict_to(&mut inner, self.budget);
+    }
+
+    fn contains(&self, ns: &str, key: ContentHash) -> bool {
+        // No LRU touch: an existence probe must not distort recency.
+        self.inner
+            .lock()
+            .expect("mem tier lock")
+            .entries
+            .contains_key(&(ns.to_owned(), key))
     }
 
     fn remove(&self, ns: &str, key: ContentHash) {
@@ -448,6 +475,12 @@ impl StoreTier for DiskTier {
     fn put_bytes(&self, ns: &str, key: ContentHash, payload: &[u8]) {
         let bytes = encode_entry(payload);
         self.write_entry_file(ns, &format!("{}.bin", key.to_hex()), &bytes);
+    }
+
+    fn contains(&self, ns: &str, key: ContentHash) -> bool {
+        // Existence only — a later real get still validates the entry, so
+        // a corrupt file at worst costs one skipped prefetch.
+        self.entry_path(ns, key).exists()
     }
 
     fn remove(&self, ns: &str, key: ContentHash) {

@@ -11,18 +11,32 @@
 //!          | body [body_len] | checksum u64 (FNV-1a of body)
 //! ```
 //!
-//! Requests: [`Request::Get`], [`Request::Put`], [`Request::Stat`],
-//! [`Request::Gc`]. Responses: [`Response::Hit`], [`Response::Miss`],
-//! [`Response::Done`], [`Response::Stats`], [`Response::Failed`].
+//! Requests: [`Request::Get`], [`Request::Put`], [`Request::GetBatch`],
+//! [`Request::Stat`], [`Request::Gc`], plus the shard-planner verbs
+//! [`Request::Lease`], [`Request::Report`], [`Request::Plan`] and
+//! [`Request::PlanStat`]. Responses: [`Response::Hit`], [`Response::Miss`],
+//! [`Response::BatchPart`], [`Response::Done`], [`Response::Stats`],
+//! [`Response::Leased`], [`Response::Drained`], [`Response::PlanStats`],
+//! [`Response::Failed`].
+//!
+//! One request maps to one response *frame* — except [`Request::GetBatch`],
+//! which the server answers with a short stream of [`Response::BatchPart`]
+//! frames (bounded chunks, the final one flagged `last`), so a whole
+//! prepare-key set pipelines through one round trip without ever
+//! materializing an unbounded response body.
 //!
 //! Every defense the on-disk entry format has, the wire has too: bad
 //! magic, version mismatch, oversized length headers (bounded by
 //! [`MAX_FRAME_BODY`] *before* any allocation), truncation, and checksum
-//! failures all surface as a typed [`WireError`].
+//! failures all surface as a typed [`WireError`]. On top of the per-frame
+//! cap, multi-frame exchanges are bounded by a **cumulative** in-flight
+//! byte budget ([`FrameBudget`]): a batch of individually-legal frames
+//! cannot balloon past [`MAX_CONN_INFLIGHT`] on one connection.
 
 use crate::codec::{Dec, Enc, FORMAT_VERSION};
 use crate::entry::fnv1a;
 use crate::hash::ContentHash;
+use crate::plan::PlanStats;
 use crate::tier::{GcReport, TierKind, TierStats};
 use crate::Codec;
 use std::io::{Read, Write};
@@ -34,6 +48,24 @@ pub const WIRE_MAGIC: [u8; 4] = *b"RTLW";
 /// Upper bound on one frame's body, enforced before allocating: a corrupt
 /// or hostile length header degrades to a protocol error, not an OOM.
 pub const MAX_FRAME_BODY: u64 = 1 << 30;
+
+/// Cumulative in-flight byte budget of one connection. The protocol is
+/// strictly request → response, so at most one exchange is in flight per
+/// connection at a time; this bounds the *sum* of frame bodies across a
+/// multi-frame exchange (a [`Request::GetBatch`] response stream), where
+/// the per-frame [`MAX_FRAME_BODY`] cap alone would still let a batch of
+/// maximum-size frames balloon unboundedly.
+pub const MAX_CONN_INFLIGHT: u64 = 1 << 30;
+
+/// Upper bound on the number of keys in one [`Request::GetBatch`].
+pub const MAX_BATCH_KEYS: usize = 4096;
+
+/// Soft flush threshold of one [`Response::BatchPart`]: the server packs
+/// hits into a part until its payload bytes reach this, then starts the
+/// next frame — large featurize payloads stream in bounded chunks instead
+/// of one giant frame. (A single payload larger than the threshold still
+/// travels whole; the per-frame and cumulative caps bound it.)
+pub const MAX_BATCH_CHUNK: u64 = 4 << 20;
 
 /// Fixed frame header size: magic + version + op + body length.
 pub const FRAME_HEADER: usize = 4 + 4 + 1 + 8;
@@ -48,6 +80,16 @@ pub mod op {
     pub const STAT: u8 = 3;
     /// Evict the server's tiers down to a budget.
     pub const GC: u8 = 4;
+    /// Fetch a batch of payloads in one round trip.
+    pub const GETM: u8 = 5;
+    /// Lease one design name from the server-held work queue.
+    pub const LEASE: u8 = 6;
+    /// Report a leased design prepared (or refused).
+    pub const REPORT: u8 = 7;
+    /// Seed/extend the server-held work queue.
+    pub const PLAN: u8 = 8;
+    /// Snapshot of the shard planner's counters.
+    pub const PLANSTAT: u8 = 9;
     /// Response: payload attached.
     pub const HIT: u8 = 0x81;
     /// Response: key not held.
@@ -56,8 +98,48 @@ pub mod op {
     pub const DONE: u8 = 0x83;
     /// Response: tier stats attached.
     pub const STATS: u8 = 0x84;
+    /// Response: one chunk of a batched fetch.
+    pub const BATCH: u8 = 0x85;
+    /// Response: a design lease was granted.
+    pub const LEASED: u8 = 0x86;
+    /// Response: the work queue has nothing to lease right now.
+    pub const DRAINED: u8 = 0x87;
+    /// Response: planner counters attached.
+    pub const PLANSTATS: u8 = 0x88;
     /// Response: request failed server-side.
     pub const FAILED: u8 = 0xFF;
+}
+
+/// Remaining cumulative byte allowance of one connection's in-flight
+/// exchange. Each budgeted frame read charges its body length *before*
+/// allocating; a sequence of individually-legal frames that would sum past
+/// the budget is rejected at the first offending frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameBudget {
+    remaining: u64,
+}
+
+impl FrameBudget {
+    /// A fresh budget of `total` cumulative body bytes.
+    pub fn new(total: u64) -> FrameBudget {
+        FrameBudget { remaining: total }
+    }
+
+    /// Bytes still spendable.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn charge(&mut self, len: u64) -> Result<(), WireError> {
+        if len > self.remaining {
+            return Err(WireError::BudgetExceeded {
+                asked: len,
+                remaining: self.remaining,
+            });
+        }
+        self.remaining -= len;
+        Ok(())
+    }
 }
 
 /// A protocol failure. The [`crate::RemoteTier`] client maps every variant
@@ -73,6 +155,14 @@ pub enum WireError {
     Version(u32),
     /// Length header exceeds [`MAX_FRAME_BODY`].
     Oversized(u64),
+    /// A frame's body would push the exchange past its cumulative
+    /// [`FrameBudget`] — individually legal, collectively ballooning.
+    BudgetExceeded {
+        /// Body length the frame asked for.
+        asked: u64,
+        /// Budget that was left.
+        remaining: u64,
+    },
     /// Body checksum mismatch.
     Checksum,
     /// Body did not decode as the expected request/response shape.
@@ -91,6 +181,13 @@ impl std::fmt::Display for WireError {
                 write!(
                     f,
                     "frame body of {n} bytes exceeds the {MAX_FRAME_BODY} cap"
+                )
+            }
+            WireError::BudgetExceeded { asked, remaining } => {
+                write!(
+                    f,
+                    "frame body of {asked} bytes exceeds the exchange's remaining \
+                     in-flight budget of {remaining} bytes"
                 )
             }
             WireError::Checksum => write!(f, "frame checksum mismatch"),
@@ -150,7 +247,19 @@ impl Frame {
     pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
         let mut header = [0u8; FRAME_HEADER];
         r.read_exact(&mut header)?;
-        Self::parse_after_header(&header, r)
+        Self::parse_after_header(&header, r, None)
+    }
+
+    /// Like [`Frame::read_from`], but charges the body length against the
+    /// exchange's cumulative [`FrameBudget`] before allocating.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], including [`WireError::BudgetExceeded`].
+    pub fn read_budgeted<R: Read>(r: &mut R, budget: &mut FrameBudget) -> Result<Frame, WireError> {
+        let mut header = [0u8; FRAME_HEADER];
+        r.read_exact(&mut header)?;
+        Self::parse_after_header(&header, r, Some(budget))
     }
 
     /// Like [`Frame::read_from`], but a connection closed *before any
@@ -161,6 +270,26 @@ impl Frame {
     ///
     /// Same as [`Frame::read_from`].
     pub fn read_opt<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+        Self::read_opt_budgeted_impl(r, None)
+    }
+
+    /// [`Frame::read_opt`] charging the connection's cumulative
+    /// [`FrameBudget`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Frame::read_opt`], plus [`WireError::BudgetExceeded`].
+    pub fn read_opt_budgeted<R: Read>(
+        r: &mut R,
+        budget: &mut FrameBudget,
+    ) -> Result<Option<Frame>, WireError> {
+        Self::read_opt_budgeted_impl(r, Some(budget))
+    }
+
+    fn read_opt_budgeted_impl<R: Read>(
+        r: &mut R,
+        budget: Option<&mut FrameBudget>,
+    ) -> Result<Option<Frame>, WireError> {
         let mut first = [0u8; 1];
         match r.read(&mut first) {
             Ok(0) => return Ok(None),
@@ -172,12 +301,13 @@ impl Frame {
         let mut header = [0u8; FRAME_HEADER];
         header[0] = first[0];
         header[1..].copy_from_slice(&rest);
-        Self::parse_after_header(&header, r).map(Some)
+        Self::parse_after_header(&header, r, budget).map(Some)
     }
 
     fn parse_after_header<R: Read>(
         header: &[u8; FRAME_HEADER],
         r: &mut R,
+        budget: Option<&mut FrameBudget>,
     ) -> Result<Frame, WireError> {
         if header[..4] != WIRE_MAGIC {
             return Err(WireError::BadMagic);
@@ -190,6 +320,11 @@ impl Frame {
         let len = u64::from_le_bytes(header[9..17].try_into().expect("8 bytes"));
         if len > MAX_FRAME_BODY {
             return Err(WireError::Oversized(len));
+        }
+        if let Some(budget) = budget {
+            // Charged before the allocation below, for the same reason the
+            // per-frame cap is: the budget defends the reader's memory.
+            budget.charge(len)?;
         }
         let mut body = vec![0u8; len as usize];
         r.read_exact(&mut body)?;
@@ -218,7 +353,7 @@ fn dec_payload(d: &mut Dec<'_>) -> Result<Vec<u8>, WireError> {
 }
 
 /// A client→server request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Fetch the payload under `(ns, key)`.
     Get {
@@ -236,6 +371,12 @@ pub enum Request {
         /// Artifact payload bytes.
         payload: Vec<u8>,
     },
+    /// Fetch the payloads under a whole `(ns, key)` set in one round trip.
+    /// Answered by a stream of [`Response::BatchPart`] frames.
+    GetBatch {
+        /// `(namespace, key)` pairs, at most [`MAX_BATCH_KEYS`].
+        items: Vec<(String, ContentHash)>,
+    },
     /// Size snapshot of the server's tiers.
     Stat,
     /// Evict the server's tiers down to `budget_bytes`.
@@ -243,6 +384,39 @@ pub enum Request {
         /// Target size in bytes.
         budget_bytes: u64,
     },
+    /// Lease one design name from the server's work queue.
+    Lease {
+        /// Stable worker identity (lease bookkeeping + refusal memory).
+        worker: String,
+    },
+    /// Report the outcome of a leased design.
+    Report {
+        /// The reporting worker.
+        worker: String,
+        /// The leased design name.
+        design: String,
+        /// Observed prepare wall time (feeds the planner's cost model).
+        seconds: f64,
+        /// `true` = prepared; `false` = this worker cannot serve the
+        /// design (e.g. version skew) — the server re-queues it for
+        /// someone else.
+        ok: bool,
+    },
+    /// Seed/extend the server's work queue with design names and expected
+    /// prepare costs (idempotent union — every fleet worker submits the
+    /// same plan on startup). The `epoch` identifies the *content* of the
+    /// run (a hash over the designs' prepare keys): a plan with a new
+    /// epoch resets the planner's completion memory, so a long-lived
+    /// server serves run after run instead of answering every post-edit
+    /// fleet with "already done".
+    Plan {
+        /// Content epoch of this fleet run.
+        epoch: u64,
+        /// `(design name, expected cost in seconds)` pairs.
+        designs: Vec<(String, f64)>,
+    },
+    /// Snapshot of the shard planner's counters.
+    PlanStat,
 }
 
 impl Request {
@@ -261,11 +435,45 @@ impl Request {
                 enc_payload(&mut e, payload);
                 op::PUT
             }
+            Request::GetBatch { items } => {
+                e.seq_len(items.len());
+                for (ns, key) in items {
+                    e.str(ns);
+                    key.encode(&mut e);
+                }
+                op::GETM
+            }
             Request::Stat => op::STAT,
             Request::Gc { budget_bytes } => {
                 e.u64(*budget_bytes);
                 op::GC
             }
+            Request::Lease { worker } => {
+                e.str(worker);
+                op::LEASE
+            }
+            Request::Report {
+                worker,
+                design,
+                seconds,
+                ok,
+            } => {
+                e.str(worker);
+                e.str(design);
+                e.f64(*seconds);
+                e.bool(*ok);
+                op::REPORT
+            }
+            Request::Plan { epoch, designs } => {
+                e.u64(*epoch);
+                e.seq_len(designs.len());
+                for (name, cost) in designs {
+                    e.str(name);
+                    e.f64(*cost);
+                }
+                op::PLAN
+            }
+            Request::PlanStat => op::PLANSTAT,
         };
         Frame {
             op,
@@ -291,10 +499,51 @@ impl Request {
                 key: ContentHash::decode(&mut d).map_err(|_| WireError::Malformed("put key"))?,
                 payload: dec_payload(&mut d)?,
             },
+            op::GETM => {
+                let n = d
+                    .seq_len(1 + 32)
+                    .map_err(|_| WireError::Malformed("batch len"))?;
+                if n > MAX_BATCH_KEYS {
+                    return Err(WireError::Malformed("batch key count"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ns = d.str().map_err(|_| WireError::Malformed("batch ns"))?;
+                    let key = ContentHash::decode(&mut d)
+                        .map_err(|_| WireError::Malformed("batch key"))?;
+                    items.push((ns, key));
+                }
+                Request::GetBatch { items }
+            }
             op::STAT => Request::Stat,
             op::GC => Request::Gc {
                 budget_bytes: d.u64().map_err(|_| WireError::Malformed("gc budget"))?,
             },
+            op::LEASE => Request::Lease {
+                worker: d.str().map_err(|_| WireError::Malformed("lease worker"))?,
+            },
+            op::REPORT => Request::Report {
+                worker: d.str().map_err(|_| WireError::Malformed("report worker"))?,
+                design: d.str().map_err(|_| WireError::Malformed("report design"))?,
+                seconds: d
+                    .f64()
+                    .map_err(|_| WireError::Malformed("report seconds"))?,
+                ok: d.bool().map_err(|_| WireError::Malformed("report ok"))?,
+            },
+            op::PLAN => {
+                let epoch = d.u64().map_err(|_| WireError::Malformed("plan epoch"))?;
+                let n = d
+                    .seq_len(1 + 8)
+                    .map_err(|_| WireError::Malformed("plan len"))?;
+                let mut designs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = d.str().map_err(|_| WireError::Malformed("plan name"))?;
+                    let cost = d.f64().map_err(|_| WireError::Malformed("plan cost"))?;
+                    designs.push((name, cost));
+                }
+                Request::Plan { epoch, designs }
+            }
+            op::PLANSTAT => Request::PlanStat,
             _ => return Err(WireError::Malformed("request opcode")),
         };
         if !d.is_finished() {
@@ -305,16 +554,40 @@ impl Request {
 }
 
 /// A server→client response.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The key was held; payload attached.
     Hit(Vec<u8>),
     /// The key was not held.
     Miss,
+    /// One chunk of a [`Request::GetBatch`] answer: `(index, payload)`
+    /// pairs by request position (`None` = that key missed). The final
+    /// chunk of the stream is flagged `last`.
+    BatchPart {
+        /// `(request index, payload-or-miss)` pairs of this chunk.
+        items: Vec<(u64, Option<Vec<u8>>)>,
+        /// Whether this is the stream's final chunk.
+        last: bool,
+    },
     /// Write/gc acknowledged; gc responses carry the eviction report.
     Done(GcReport),
     /// Tier size snapshot.
     Stats(Vec<TierStats>),
+    /// A design lease was granted.
+    Leased {
+        /// The leased design name.
+        design: String,
+    },
+    /// Nothing leasable right now. `outstanding` counts designs neither
+    /// completed nor abandoned — `0` means the whole plan is done and the
+    /// worker can exit; `> 0` means other workers still hold leases (poll
+    /// again: an expired lease re-queues).
+    Drained {
+        /// Designs not yet completed or abandoned.
+        outstanding: u64,
+    },
+    /// Shard-planner counters.
+    PlanStats(PlanStats),
     /// The request failed server-side (the client treats this as a miss).
     Failed(String),
 }
@@ -346,6 +619,21 @@ impl Response {
                 op::HIT
             }
             Response::Miss => op::MISS,
+            Response::BatchPart { items, last } => {
+                e.bool(*last);
+                e.seq_len(items.len());
+                for (idx, payload) in items {
+                    e.u64(*idx);
+                    match payload {
+                        Some(p) => {
+                            e.bool(true);
+                            enc_payload(&mut e, p);
+                        }
+                        None => e.bool(false),
+                    }
+                }
+                op::BATCH
+            }
             Response::Done(r) => {
                 e.u64(r.scanned_files);
                 e.u64(r.scanned_bytes);
@@ -364,6 +652,25 @@ impl Response {
                     e.bool(t.reachable);
                 }
                 op::STATS
+            }
+            Response::Leased { design } => {
+                e.str(design);
+                op::LEASED
+            }
+            Response::Drained { outstanding } => {
+                e.u64(*outstanding);
+                op::DRAINED
+            }
+            Response::PlanStats(p) => {
+                e.u64(p.planned);
+                e.u64(p.completed);
+                e.u64(p.abandoned);
+                e.u64(p.active_leases);
+                e.u64(p.leases_granted);
+                e.u64(p.requeued);
+                e.u64(p.refused);
+                e.u64(p.workers);
+                op::PLANSTATS
             }
             Response::Failed(msg) => {
                 e.str(msg);
@@ -386,6 +693,24 @@ impl Response {
         let resp = match frame.op {
             op::HIT => Response::Hit(dec_payload(&mut d)?),
             op::MISS => Response::Miss,
+            op::BATCH => {
+                let last = d.bool().map_err(|_| WireError::Malformed("batch last"))?;
+                let n = d
+                    .seq_len(8 + 1)
+                    .map_err(|_| WireError::Malformed("batch part len"))?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let idx = d.u64().map_err(|_| WireError::Malformed("batch idx"))?;
+                    let hit = d.bool().map_err(|_| WireError::Malformed("batch flag"))?;
+                    let payload = if hit {
+                        Some(dec_payload(&mut d)?)
+                    } else {
+                        None
+                    };
+                    items.push((idx, payload));
+                }
+                Response::BatchPart { items, last }
+            }
             op::DONE => {
                 let mut next = || d.u64().map_err(|_| WireError::Malformed("gc report"));
                 Response::Done(GcReport {
@@ -416,6 +741,25 @@ impl Response {
                     });
                 }
                 Response::Stats(tiers)
+            }
+            op::LEASED => Response::Leased {
+                design: d.str().map_err(|_| WireError::Malformed("leased design"))?,
+            },
+            op::DRAINED => Response::Drained {
+                outstanding: d.u64().map_err(|_| WireError::Malformed("outstanding"))?,
+            },
+            op::PLANSTATS => {
+                let mut next = || d.u64().map_err(|_| WireError::Malformed("plan stats"));
+                Response::PlanStats(PlanStats {
+                    planned: next()?,
+                    completed: next()?,
+                    abandoned: next()?,
+                    active_leases: next()?,
+                    leases_granted: next()?,
+                    requeued: next()?,
+                    refused: next()?,
+                    workers: next()?,
+                })
             }
             op::FAILED => {
                 Response::Failed(d.str().map_err(|_| WireError::Malformed("error message"))?)
@@ -457,8 +801,26 @@ mod tests {
                 key,
                 payload: Vec::new(),
             },
+            Request::GetBatch {
+                items: vec![("featurize".into(), key), ("blast".into(), key)],
+            },
+            Request::GetBatch { items: Vec::new() },
             Request::Stat,
             Request::Gc { budget_bytes: 42 },
+            Request::Lease {
+                worker: "worker-a".into(),
+            },
+            Request::Report {
+                worker: "worker-a".into(),
+                design: "b17".into(),
+                seconds: 1.25,
+                ok: true,
+            },
+            Request::Plan {
+                epoch: 0xDEAD_BEEF,
+                designs: vec![("b17".into(), 3.5), ("b18".into(), 0.0)],
+            },
+            Request::PlanStat,
         ] {
             let frame = req.to_frame();
             let back = Request::from_frame(&frame_round_trip(&frame)).unwrap();
@@ -485,11 +847,91 @@ mod tests {
                 bytes: 8,
                 reachable: true,
             }]),
+            Response::BatchPart {
+                items: vec![(0, Some(vec![1, 2, 3])), (1, None), (7, Some(Vec::new()))],
+                last: false,
+            },
+            Response::BatchPart {
+                items: Vec::new(),
+                last: true,
+            },
+            Response::Leased {
+                design: "b17".into(),
+            },
+            Response::Drained { outstanding: 3 },
+            Response::PlanStats(PlanStats {
+                planned: 21,
+                completed: 20,
+                abandoned: 0,
+                active_leases: 1,
+                leases_granted: 22,
+                requeued: 1,
+                refused: 0,
+                workers: 2,
+            }),
             Response::Failed("nope".into()),
         ] {
             let frame = resp.to_frame();
             let back = Response::from_frame(&frame_round_trip(&frame)).unwrap();
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn oversized_batch_request_is_malformed() {
+        // A well-formed GETM with one key too many is rejected at decode,
+        // before any per-key work.
+        let key = KeyBuilder::new("wire").u64(9).finish();
+        let frame = Request::GetBatch {
+            items: (0..=MAX_BATCH_KEYS).map(|_| (String::new(), key)).collect(),
+        }
+        .to_frame();
+        assert_eq!(
+            Request::from_frame(&frame),
+            Err(WireError::Malformed("batch key count"))
+        );
+        // A lying length header with no body behind it fails even earlier,
+        // at the sequence-length sanity check.
+        let mut e = Enc::new();
+        e.seq_len(MAX_BATCH_KEYS + 1);
+        let lying = Frame {
+            op: op::GETM,
+            body: e.into_bytes(),
+        };
+        assert!(matches!(
+            Request::from_frame(&lying),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_budget_bounds_cumulative_bodies() {
+        // Three frames of 100 bytes each against a 250-byte budget: the
+        // third is rejected even though each frame is individually legal.
+        let frame = Frame {
+            op: op::HIT,
+            body: vec![7; 100],
+        };
+        let mut stream = Vec::new();
+        for _ in 0..3 {
+            stream.extend_from_slice(&frame.to_bytes());
+        }
+        let mut budget = FrameBudget::new(250);
+        let mut r = stream.as_slice();
+        assert!(Frame::read_budgeted(&mut r, &mut budget).is_ok());
+        assert!(Frame::read_budgeted(&mut r, &mut budget).is_ok());
+        assert_eq!(budget.remaining(), 50);
+        assert_eq!(
+            Frame::read_budgeted(&mut r, &mut budget),
+            Err(WireError::BudgetExceeded {
+                asked: 100,
+                remaining: 50,
+            })
+        );
+        // Unbudgeted reads of the same stream are unaffected.
+        let mut r2 = stream.as_slice();
+        for _ in 0..3 {
+            assert!(Frame::read_from(&mut r2).is_ok());
         }
     }
 

@@ -3,6 +3,7 @@
 //! degradation contract — a dead, vanished, or garbage-speaking server
 //! must reproduce cold-run behavior exactly, never an error.
 
+use rtlt_store::plan::LeaseGrant;
 use rtlt_store::server::{spawn, ServerConfig};
 use rtlt_store::{
     ContentHash, KeyBuilder, MemTier, RemoteTier, Store, StoreTier, TierKind, TierLookup,
@@ -42,6 +43,7 @@ fn start_server(scratch: &ScratchDir) -> String {
     let cfg = ServerConfig {
         dir: scratch.0.clone(),
         mem_budget: 1 << 20,
+        lease_timeout: rtlt_store::plan::DEFAULT_LEASE_TIMEOUT,
     };
     let addr = spawn("127.0.0.1:0", &cfg).expect("bind ephemeral port");
     addr.to_string()
@@ -88,6 +90,111 @@ fn two_stores_share_one_warm_cache_through_the_server() {
         .get::<Vec<f64>>("featurize", key("shared"))
         .is_some());
     assert_eq!(store_b2.stats().namespace("featurize").disk_hits, 1);
+}
+
+#[test]
+fn batched_get_pipelines_a_key_set_in_one_exchange() {
+    let server_dir = ScratchDir::new("batch");
+    let addr = start_server(&server_dir);
+    let remote = RemoteTier::new(&addr);
+    // Payloads above the chunk threshold would be unwieldy here; what the
+    // TCP test pins down is the multi-frame framing itself (the server
+    // always terminates with a last-flagged part) and index alignment.
+    // Tier payloads are codec encodings, so store them as such — the
+    // typed Store::get below must be able to decode what it stages.
+    use rtlt_store::Codec;
+    let encoded: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 64].to_bytes()).collect();
+    for (i, bytes) in encoded.iter().enumerate() {
+        remote.put_bytes("featurize", key(&format!("k{i}")), bytes);
+    }
+    let items: Vec<(String, ContentHash)> = (0..7u64)
+        .map(|i| ("featurize".to_owned(), key(&format!("k{i}"))))
+        .collect();
+    let results = remote.get_bytes_batch(&items);
+    assert_eq!(results.len(), 7);
+    for (i, r) in results.iter().enumerate() {
+        if i < 5 {
+            assert_eq!(r, &TierLookup::Hit(encoded[i].clone()), "index {i}");
+        } else {
+            assert_eq!(r, &TierLookup::Miss, "index {i}");
+        }
+    }
+    // An empty batch never touches the wire.
+    assert!(remote.get_bytes_batch(&[]).is_empty());
+
+    // Store-level: prefetch stages the batch; the following gets are
+    // remote (batched) hits that also warm the local disk tier.
+    let local = ScratchDir::new("batch-local");
+    let mut store = Store::on_disk(&local.0);
+    store.push_tier(Arc::new(RemoteTier::new(&addr)));
+    let flags = store.prefetch(&items[..6]);
+    assert_eq!(flags, vec![true, true, true, true, true, false]);
+    for i in 0..5u64 {
+        let got = store
+            .get::<Vec<u8>>("featurize", key(&format!("k{i}")))
+            .expect("staged payload");
+        assert_eq!(*got, vec![i as u8; 64]);
+    }
+    let s = store.stats().namespace("featurize");
+    assert_eq!((s.remote_hits, s.batched_hits), (5, 5));
+    // Read-through: the staged hits populated the local disk.
+    let store2 = Store::on_disk(&local.0);
+    assert!(store2.get::<Vec<u8>>("featurize", key("k0")).is_some());
+    assert_eq!(store2.stats().namespace("featurize").disk_hits, 1);
+}
+
+#[test]
+fn batched_get_against_a_dead_server_degrades_to_all_misses() {
+    let addr = dead_addr();
+    let remote = RemoteTier::with_timeout(&addr, Duration::from_millis(300));
+    let items: Vec<(String, ContentHash)> = (0..3u64)
+        .map(|i| ("ns".to_owned(), key(&format!("d{i}"))))
+        .collect();
+    assert_eq!(
+        remote.get_bytes_batch(&items),
+        vec![TierLookup::Miss, TierLookup::Miss, TierLookup::Miss]
+    );
+}
+
+#[test]
+fn lease_plan_report_verbs_work_over_tcp() {
+    let server_dir = ScratchDir::new("planner");
+    let addr = start_server(&server_dir);
+    let fleet = RemoteTier::new(&addr);
+    assert!(fleet.plan_remote(7, &[("alpha".to_owned(), 2.0), ("beta".to_owned(), 5.0)]));
+    assert_eq!(
+        fleet.lease_remote("w1"),
+        Some(LeaseGrant::Granted {
+            design: "beta".to_owned()
+        })
+    );
+    assert!(fleet.report_remote("w1", "beta", 4.5, true));
+    assert_eq!(
+        fleet.lease_remote("w2"),
+        Some(LeaseGrant::Granted {
+            design: "alpha".to_owned()
+        })
+    );
+    // w1 polls while w2 holds the lease: drained but outstanding.
+    assert_eq!(
+        fleet.lease_remote("w1"),
+        Some(LeaseGrant::Drained { outstanding: 1 })
+    );
+    assert!(fleet.report_remote("w2", "alpha", 1.0, true));
+    assert_eq!(
+        fleet.lease_remote("w1"),
+        Some(LeaseGrant::Drained { outstanding: 0 })
+    );
+    let stats = fleet.plan_stats_remote().expect("reachable");
+    assert_eq!((stats.planned, stats.completed, stats.workers), (2, 2, 2));
+
+    // Planner verbs against a dead server answer None/false — the caller
+    // degrades to the static path.
+    let dead = RemoteTier::with_timeout(dead_addr(), Duration::from_millis(300));
+    assert!(!dead.plan_remote(7, &[("x".to_owned(), 1.0)]));
+    assert_eq!(dead.lease_remote("w"), None);
+    assert!(!dead.report_remote("w", "x", 1.0, true));
+    assert_eq!(dead.plan_stats_remote(), None);
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! are always rejected (which the client maps to "miss, recompute").
 
 use proptest::prelude::*;
-use rtlt_store::wire::{Frame, Request, Response, WireError, FRAME_HEADER};
+use rtlt_store::wire::{Frame, FrameBudget, Request, Response, WireError, FRAME_HEADER};
 use rtlt_store::{ContentHash, KeyBuilder};
 
 fn key_of(tag: u64) -> ContentHash {
@@ -95,6 +95,79 @@ proptest! {
             ) => {}
             Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
         }
+    }
+
+    /// Batched request/response frames round-trip, misses and hits alike.
+    #[test]
+    fn batch_frames_round_trip(
+        tags in proptest::collection::vec(0u64..1000, 0..32),
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+        last_seed in 0u8..2,
+    ) {
+        let last = last_seed == 1;
+        let req = Request::GetBatch {
+            items: tags.iter().map(|t| ("featurize".to_owned(), key_of(*t))).collect(),
+        };
+        let bytes = req.to_frame().to_bytes();
+        let back = Request::from_frame(
+            &Frame::read_from(&mut bytes.as_slice()).expect("frame"),
+        ).expect("decode");
+        prop_assert_eq!(&back, &req);
+
+        let resp = Response::BatchPart {
+            items: tags
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u64, (t % 2 == 0).then(|| payload.clone())))
+                .collect(),
+            last,
+        };
+        let bytes = resp.to_frame().to_bytes();
+        let back = Response::from_frame(
+            &Frame::read_from(&mut bytes.as_slice()).expect("frame"),
+        ).expect("decode");
+        prop_assert_eq!(back, resp);
+    }
+
+    /// The cumulative in-flight budget rejects a frame sequence at exactly
+    /// the first frame whose body would push the running total past the
+    /// budget — each frame individually legal, the sum bounded. This is
+    /// the satellite defense for GETM: per-frame caps alone would let a
+    /// batch of max-size frames balloon one connection.
+    #[test]
+    fn cumulative_budget_rejects_at_the_first_overflowing_frame(
+        sizes in proptest::collection::vec(0usize..600, 1..12),
+        budget_total in 0u64..3000,
+    ) {
+        let mut stream = Vec::new();
+        for (i, n) in sizes.iter().enumerate() {
+            stream.extend_from_slice(
+                &Frame { op: 0x81, body: vec![i as u8; *n] }.to_bytes(),
+            );
+        }
+        let mut budget = FrameBudget::new(budget_total);
+        let mut r = stream.as_slice();
+        let mut spent = 0u64;
+        for (i, n) in sizes.iter().enumerate() {
+            let n = *n as u64;
+            match Frame::read_budgeted(&mut r, &mut budget) {
+                Ok(frame) => {
+                    spent += n;
+                    prop_assert!(spent <= budget_total, "frame {i} overspent");
+                    prop_assert_eq!(frame.body.len() as u64, n);
+                    prop_assert_eq!(budget.remaining(), budget_total - spent);
+                }
+                Err(WireError::BudgetExceeded { asked, remaining }) => {
+                    prop_assert_eq!(asked, n);
+                    prop_assert_eq!(remaining, budget_total - spent);
+                    prop_assert!(spent + n > budget_total, "rejected a frame that fit");
+                    return Ok(());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+            }
+        }
+        // Every frame fit: the whole stream must have been within budget.
+        prop_assert!(spent <= budget_total);
     }
 
     /// Length headers beyond the cap are rejected before any allocation.

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# CI smoke lanes, one per invocation: `ci_smoke.sh <job>`.
+#
+# Each lane drives the *release binaries* (no toolchain needed), so the CI
+# matrix runs them as independent jobs off one shared cached build. Runs
+# locally too: `cargo build --release && scripts/ci_smoke.sh fleet-steal`.
+#
+# Environment:
+#   BIN_DIR  directory holding runtime/annotate/rtlt-stored
+#            (default target/release)
+#   SMOKE_TMP scratch root (default: a fresh mktemp -d)
+set -euo pipefail
+
+job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|perf-gate>}"
+BIN_DIR="${BIN_DIR:-target/release}"
+BIN_DIR="$(cd "$BIN_DIR" && pwd)"
+SMOKE_TMP="${SMOKE_TMP:-$(mktemp -d)}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+json_num() { # json_num FILE FIELD — first numeric value of "FIELD": N
+  grep -o "\"$1\": *-\?[0-9.]*" "$2" | head -n1 | grep -o '[0-9.-]*$'
+}
+json_digest() { # json_digest FILE — the suite_digest hex
+  grep -o '"suite_digest": *"[a-f0-9]*"' "$1" | grep -o '[a-f0-9]\{64\}'
+}
+
+case "$job" in
+  # Warm-cache check: the second run must answer suite preparation from
+  # the artifact store (>= 90 % prepare-stage hits, and a non-vacuous
+  # lookup count — 0 lookups would also report 100 %). The cache dir is
+  # job-local on purpose: stage keys carry PIPELINE_EPOCH, and persisting
+  # caches across source changes could serve stale artifacts if an epoch
+  # bump is forgotten.
+  warm-cache)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/rtlt-cache"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/rtlt-cache"
+    rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
+    lookups=$(json_num prepare_lookups BENCH_runtime.json)
+    echo "warm prepare-stage hit rate: ${rate}% over ${lookups} lookups"
+    awk -v r="$rate" -v n="$lookups" 'BEGIN { exit !(r >= 90 && n >= 21) }'
+    ;;
+
+  # Incremental-annotation smoke: prepare a multi-module design, edit one
+  # module, and assert via --selfcheck that only the edited module's cones
+  # recompute and that the incremental annotation is byte-identical to a
+  # cold recompute. The bin exits non-zero if either breaks.
+  incremental-annotation)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/annotate" --selfcheck --cache-dir "$SMOKE_TMP/rtlt-cache"
+    grep -o '"speedup": *[0-9.]*' BENCH_annotate.json
+    ;;
+
+  # Disk-tier maintenance round-trip: stats, then a full eviction.
+  cache-maintenance)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/rtlt-cache"
+    "$BIN_DIR/runtime" --cache-stats --cache-dir "$SMOKE_TMP/rtlt-cache"
+    "$BIN_DIR/runtime" gc 0 --cache-dir "$SMOKE_TMP/rtlt-cache" | grep -q "KiB remain"
+    ;;
+
+  # Shared artifact service smoke: two disjoint local caches against one
+  # rtlt-stored. The first run populates the server (write-back); the
+  # second starts cold locally and must draw >= 90 % of its prepare
+  # artifacts from the remote tier — through the batched (GETM) prefetch —
+  # producing a byte-identical suite digest.
+  remote-store)
+    cd "$SMOKE_TMP"
+    "$BIN_DIR/rtlt-stored" --addr 127.0.0.1:7979 --dir "$SMOKE_TMP/stored" &
+    STORED_PID=$!
+    trap 'kill $STORED_PID 2>/dev/null || true' EXIT
+    sleep 1
+    RTLT_FAST=1 RTLT_STORE_REMOTE=127.0.0.1:7979 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/remote-a"
+    digest_a=$(json_digest BENCH_runtime.json)
+    RTLT_FAST=1 RTLT_STORE_REMOTE=127.0.0.1:7979 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/remote-b"
+    digest_b=$(json_digest BENCH_runtime.json)
+    remote=$(json_num prepare_remote_hits BENCH_runtime.json)
+    batched=$(json_num prepare_batched_hits BENCH_runtime.json)
+    lookups=$(json_num prepare_lookups BENCH_runtime.json)
+    echo "second run: ${remote}/${lookups} prepare artifacts from the remote tier (${batched} batched)"
+    awk -v r="$remote" -v b="$batched" -v n="$lookups" \
+      'BEGIN { exit !(n >= 21 && r >= 0.9 * n && b >= 1) }'
+    test "$digest_a" = "$digest_b"
+    ;;
+
+  # Static fleet sharding: two workers prepare disjoint suite shards into
+  # disjoint cache dirs, the disk tiers are merged, and a full run over
+  # the merged cache must answer warm with a suite digest byte-identical
+  # to an unsharded cold prepare.
+  sharded-prepare)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --shard 0/2 --cache-dir "$SMOKE_TMP/shard0"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --shard 1/2 --cache-dir "$SMOKE_TMP/shard1"
+    "$BIN_DIR/runtime" merge "$SMOKE_TMP/shard0" "$SMOKE_TMP/shard1" --cache-dir "$SMOKE_TMP/shard-merged"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/shard-merged"
+    digest_merged=$(json_digest BENCH_runtime.json)
+    rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
+    awk -v r="$rate" 'BEGIN { exit !(r >= 90) }'
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/shard-cold-ref"
+    digest_cold=$(json_digest BENCH_runtime.json)
+    echo "merged=$digest_merged cold=$digest_cold"
+    test "$digest_merged" = "$digest_cold"
+    ;;
+
+  # Dynamic work-stealing fleet: one rtlt-stored shard planner with a 2 s
+  # lease deadline, a handicapped worker (1 thread + an 8 s post-lease
+  # stall) and a fast worker. The fast worker must steal the stalled
+  # worker's design(s) (plan.requeued >= 1), and the merged caches must
+  # reproduce the unsharded cold digest byte-identically — dynamic
+  # assignment decides who computes, never what.
+  fleet-steal)
+    cd "$SMOKE_TMP"
+    mkdir -p fast-wd slow-wd merged-wd cold-wd
+    "$BIN_DIR/rtlt-stored" --addr 127.0.0.1:7997 --dir "$SMOKE_TMP/steal-store" --lease-timeout 2 &
+    STORED_PID=$!
+    trap 'kill $STORED_PID 2>/dev/null || true' EXIT
+    sleep 1
+    (cd slow-wd && RTLT_FAST=1 RTLT_THREADS=1 RTLT_STEAL_STALL_MS=8000 RTLT_WORKER=slow \
+      "$BIN_DIR/runtime" --steal --remote 127.0.0.1:7997 --cache-dir "$SMOKE_TMP/steal-slow") &
+    SLOW_PID=$!
+    sleep 1
+    (cd fast-wd && RTLT_FAST=1 RTLT_WORKER=fast \
+      "$BIN_DIR/runtime" --steal --remote 127.0.0.1:7997 --cache-dir "$SMOKE_TMP/steal-fast")
+    wait $SLOW_PID
+    requeued=$(json_num requeued fast-wd/BENCH_runtime.json)
+    fast_designs=$(json_num designs fast-wd/BENCH_runtime.json)
+    slow_designs=$(json_num designs slow-wd/BENCH_runtime.json)
+    completed=$(json_num completed fast-wd/BENCH_runtime.json)
+    echo "fast prepared ${fast_designs}, slow prepared ${slow_designs}, ${requeued} design(s) stolen, ${completed} completed"
+    awk -v q="$requeued" -v c="$completed" 'BEGIN { exit !(q >= 1 && c >= 21) }'
+    "$BIN_DIR/runtime" merge "$SMOKE_TMP/steal-fast" "$SMOKE_TMP/steal-slow" --cache-dir "$SMOKE_TMP/steal-merged"
+    (cd merged-wd && RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/steal-merged")
+    digest_merged=$(json_digest merged-wd/BENCH_runtime.json)
+    rate=$(json_num prepare_hit_rate_pct merged-wd/BENCH_runtime.json)
+    awk -v r="$rate" 'BEGIN { exit !(r >= 90) }'
+    (cd cold-wd && RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/steal-cold-ref")
+    digest_cold=$(json_digest cold-wd/BENCH_runtime.json)
+    echo "merged=$digest_merged cold=$digest_cold"
+    test "$digest_merged" = "$digest_cold"
+    ;;
+
+  # Perf-regression gate: cold + warm run, then diff the warm-prepare wall
+  # time and hit rate against the committed baseline; >25 % regression on
+  # either axis fails. Both values land in the job summary.
+  perf-gate)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/perf-cache"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/perf-cache"
+    fresh_secs=$(json_num suite_prep_seconds BENCH_runtime.json)
+    fresh_rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
+    base_secs=$(json_num suite_prep_seconds "$REPO_ROOT/ci/bench-baseline.json")
+    base_rate=$(json_num prepare_hit_rate_pct "$REPO_ROOT/ci/bench-baseline.json")
+    summary="perf gate: warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%)"
+    echo "$summary"
+    echo "$summary" >> "${GITHUB_STEP_SUMMARY:-/dev/null}"
+    awk -v s="$fresh_secs" -v bs="$base_secs" -v r="$fresh_rate" -v br="$base_rate" \
+      'BEGIN { exit !(s <= bs * 1.25 && r >= br * 0.75) }'
+    ;;
+
+  *)
+    echo "error: unknown smoke job '$job'" >&2
+    exit 2
+    ;;
+esac
+echo "[ci-smoke] $job OK"
