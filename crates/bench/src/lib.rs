@@ -11,6 +11,10 @@
 //!   stack a [`RemoteTier`] speaking to a shared `rtlt-stored` server
 //!   behind the local tiers (`none`/`off` disables; an unreachable server
 //!   degrades to recompute, never an error),
+//! * `RTLT_TIER_POLICY=<SPEC>` — per-namespace payload coding and decoded
+//!   front-cache quotas (e.g. `featurize=packed:mem=64m,modast=raw`; see
+//!   [`TierPolicy::parse`]). The default packs `featurize` (the warm-path
+//!   bulk) and stores the small `modast`/`compile` artifacts raw,
 //! * `--shard <I>/<N>` / `RTLT_SHARD=<I>/<N>` — fleet-sharded suite
 //!   preparation: this invocation prepares only shard `I` of `N` (see
 //!   [`Bench::prepare_shard`]; binaries that train models run them only
@@ -43,7 +47,7 @@ pub mod json;
 use json::Json;
 use rtl_timer::cache::stage;
 use rtl_timer::pipeline::{DesignSet, StealConfig, StolenPrepare, TimerConfig};
-use rtlt_store::{NamespaceStats, RemoteTier, StatsSnapshot, Store, TierKind};
+use rtlt_store::{NamespaceStats, RemoteTier, StatsSnapshot, Store, TierKind, TierPolicy};
 use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -107,25 +111,37 @@ pub fn run_maintenance(store: &Store) -> bool {
     }
     if std::env::args().any(|a| a == "--cache-stats") {
         print_tier_stack(store);
+        println!("tier policy: {}", store.tier_policy().describe());
         match store.disk_dir() {
             None => println!("(no disk tier configured)"),
             Some(dir) => {
                 println!("\ndisk tier under {}:", dir.display());
-                let usage = store.disk_usage();
-                let mut t = Table::new(&["namespace", "entries", "KiB"]);
-                let mut total = 0u64;
-                for (ns, files, bytes) in &usage {
-                    total += bytes;
+                let usage = store.disk_usage_decoded();
+                let mut t = Table::new(&[
+                    "namespace",
+                    "entries",
+                    "KiB on disk",
+                    "KiB decoded",
+                    "ratio",
+                ]);
+                let (mut total_stored, mut total_decoded) = (0u64, 0u64);
+                for (ns, files, stored, decoded) in &usage {
+                    total_stored += stored;
+                    total_decoded += decoded;
                     t.row(vec![
                         ns.clone(),
                         files.to_string(),
-                        (bytes / 1024).to_string(),
+                        (stored / 1024).to_string(),
+                        (decoded / 1024).to_string(),
+                        format!("{:.2}", ratio(*stored, *decoded)),
                     ]);
                 }
                 t.print();
                 println!(
-                    "total: {} KiB (gc budget {} KiB)",
-                    total / 1024,
+                    "total: {} KiB on disk for {} KiB decoded (ratio {:.2}, gc budget {} KiB)",
+                    total_stored / 1024,
+                    total_decoded / 1024,
+                    ratio(total_stored, total_decoded),
                     cache_budget() / 1024
                 );
             }
@@ -133,6 +149,16 @@ pub fn run_maintenance(store: &Store) -> bool {
         return true;
     }
     false
+}
+
+/// Stored-over-decoded byte ratio (1.0 when nothing is decoded — no
+/// traffic is neither a win nor a loss).
+fn ratio(stored: u64, decoded: u64) -> f64 {
+    if decoded == 0 {
+        1.0
+    } else {
+        stored as f64 / decoded as f64
+    }
 }
 
 /// Prints the store's tier stack in fallback order — one line per tier
@@ -420,6 +446,18 @@ impl Bench {
             Some(dir) => Store::on_disk(dir),
             None => Store::in_memory(),
         };
+        // Payload policy before any tier traffic: a malformed spec is a
+        // hard usage error — silently falling back to the default would
+        // make an A/B compression run measure the wrong thing.
+        if let Ok(spec) = std::env::var("RTLT_TIER_POLICY") {
+            match TierPolicy::parse(&spec) {
+                Ok(policy) => store.set_tier_policy(policy),
+                Err(e) => {
+                    eprintln!("error: RTLT_TIER_POLICY: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         // The remote tier stacks *behind* the local tiers: local disk
         // answers first, the shared server fills the gaps, and remote hits
         // populate the local disk on the way back (read-through).
@@ -574,6 +612,9 @@ impl Bench {
             "hit %",
             "KiB written",
             "KiB read",
+            "stored KiB w",
+            "stored KiB r",
+            "ratio",
         ]);
         for (ns, s) in &snap.namespaces {
             t.row(vec![
@@ -586,6 +627,9 @@ impl Bench {
                 format!("{:.1}", s.hit_rate_pct()),
                 (s.bytes_written / 1024).to_string(),
                 (s.bytes_read / 1024).to_string(),
+                (s.stored_bytes_written / 1024).to_string(),
+                (s.stored_bytes_read / 1024).to_string(),
+                format!("{:.2}", s.compression_ratio()),
             ]);
         }
         t.print();
@@ -646,6 +690,18 @@ impl Bench {
                 "prepare_batched_hits".to_owned(),
                 Json::UInt(agg.batched_hits),
             ),
+            // Frame bytes the warm path actually pulled off disk/wire for
+            // the prepare stages — the CI perf gate's bytes-read column,
+            // and the compression smoke's ≥40 %-fewer-featurize-bytes
+            // assertion reads the per-namespace variant.
+            (
+                "prepare_stored_read_bytes".to_owned(),
+                Json::UInt(agg.stored_bytes_read),
+            ),
+            (
+                "featurize_stored_read_bytes".to_owned(),
+                Json::UInt(snap.namespace("featurize").stored_bytes_read),
+            ),
             // Per-design prepare wall times (sorted by name): the cost
             // priors the next fleet run's shard planner seeds from.
             ("design_seconds".to_owned(), {
@@ -699,6 +755,11 @@ fn namespace_json(s: &NamespaceStats) -> Json {
         ("hit_rate_pct", Json::Num(s.hit_rate_pct())),
         ("bytes_written", Json::UInt(s.bytes_written)),
         ("bytes_read", Json::UInt(s.bytes_read)),
+        // Frame (compressed) bytes: what actually lands on disk and
+        // travels the wire, vs. the logical counters above.
+        ("stored_bytes_written", Json::UInt(s.stored_bytes_written)),
+        ("stored_bytes_read", Json::UInt(s.stored_bytes_read)),
+        ("compression_ratio", Json::Num(s.compression_ratio())),
         ("corrupt_entries", Json::UInt(s.corrupt_entries)),
     ])
 }

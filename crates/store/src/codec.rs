@@ -17,7 +17,13 @@ use std::sync::Arc;
 ///
 /// v2: `Netlist` gained module-instance scope tables (provenance for the
 /// module-granular cache keys).
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: tier payloads are [`crate::compress`] frames (mode-tagged, possibly
+/// compressed) rather than bare codec bytes. v2 entries are still read
+/// transparently: their payloads are lifted into raw frames on the way out
+/// of the disk tier, so a v3 process warms from a v2 cache without
+/// recomputing.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Decode failure — a truncated, corrupted, or differently-versioned byte
 /// stream. The store maps every decode failure to "recompute the artifact".

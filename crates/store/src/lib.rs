@@ -12,8 +12,14 @@
 //!   (identical across processes — the persistent tiers outlive any one
 //!   run),
 //! * [`entry`] — the checksummed entry envelope every byte tier exchanges,
+//! * [`compress`] — the std-only payload compressor: every byte tier holds
+//!   mode-tagged *frames* (delta-coded float planes, dictionary-coded LZ,
+//!   or a raw escape) and [`Store`] compresses on put / decompresses once
+//!   on get, so disk files and wire payloads shrink together,
 //! * [`tier`] — the [`StoreTier`] trait and the local tier impls: the
-//!   byte-LRU [`MemTier`] and the checksummed [`DiskTier`],
+//!   byte-LRU [`MemTier`] and the checksummed [`DiskTier`], plus the
+//!   per-namespace [`TierPolicy`] (`RTLT_TIER_POLICY`) choosing packed vs
+//!   raw payloads and an optional decoded-front-cache quota per namespace,
 //! * [`wire`]/[`remote`]/[`server`] — the `rtlt-stored` artifact service:
 //!   a length-prefixed binary protocol, the [`RemoteTier`] client and the
 //!   server loop, so CI fleets and developer machines share one warm cache,
@@ -49,6 +55,7 @@
 //! remote backend — land behind [`Store`] without touching call sites.
 
 pub mod codec;
+pub mod compress;
 pub mod entry;
 pub mod hash;
 pub mod plan;
@@ -64,7 +71,8 @@ pub use plan::{LeaseGrant, PlanStats, Planner};
 pub use remote::RemoteTier;
 pub use stats::{NamespaceStats, StatsSnapshot, TierHits};
 pub use tier::{
-    DiskTier, GcReport, MemTier, MergeReport, StoreTier, TierKind, TierLookup, TierStats,
+    DiskTier, GcReport, MemTier, MergeReport, PayloadCoding, StoreTier, TierKind, TierLookup,
+    TierPolicy, TierStats,
 };
 
 use stats::StoreStats;
@@ -83,12 +91,25 @@ struct DecodedEntry {
     last_used: u64,
 }
 
-/// The decoded-artifact front cache (LRU by encoded size).
+/// The decoded-artifact front cache (LRU by encoded size, with optional
+/// per-namespace byte quotas from the [`TierPolicy`]).
 #[derive(Debug, Default)]
 struct DecodedCache {
     entries: HashMap<(String, ContentHash), DecodedEntry>,
     total_bytes: usize,
+    ns_bytes: HashMap<String, usize>,
     tick: u64,
+}
+
+impl DecodedCache {
+    fn evict(&mut self, k: &(String, ContentHash)) {
+        if let Some(e) = self.entries.remove(k) {
+            self.total_bytes -= e.bytes;
+            if let Some(b) = self.ns_bytes.get_mut(&k.0) {
+                *b = b.saturating_sub(e.bytes);
+            }
+        }
+    }
 }
 
 /// A thread-safe, content-addressed artifact store: a decoded front cache
@@ -102,6 +123,7 @@ pub struct Store {
     enabled: bool,
     decoded: Mutex<DecodedCache>,
     mem_budget: usize,
+    policy: TierPolicy,
     tiers: Vec<Arc<dyn StoreTier>>,
     stats: StoreStats,
     /// Payload bytes fetched ahead of need by [`Store::prefetch`] (one
@@ -124,6 +146,7 @@ impl Store {
             enabled: true,
             decoded: Mutex::new(DecodedCache::default()),
             mem_budget,
+            policy: TierPolicy::default(),
             tiers: Vec::new(),
             stats: StoreStats::default(),
             staged: Mutex::new(HashMap::new()),
@@ -165,6 +188,19 @@ impl Store {
     /// Whether this store retains anything at all.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Replaces the per-namespace payload/quota policy (see
+    /// [`TierPolicy::parse`] for the `RTLT_TIER_POLICY` syntax). Affects
+    /// future puts and front-cache admissions; frames already in the tiers
+    /// stay readable either way, since every frame is self-describing.
+    pub fn set_tier_policy(&mut self, policy: TierPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active per-namespace payload/quota policy.
+    pub fn tier_policy(&self) -> &TierPolicy {
+        &self.policy
     }
 
     /// The byte tiers, in fallback order.
@@ -296,59 +332,74 @@ impl Store {
             self.stats.with_ns(ns, |s| s.mem_hits += 1);
             return Some(v);
         }
-        // Staged prefetched bytes: counted as a (batched) remote hit —
+        // Staged prefetched frames: counted as a (batched) remote hit —
         // that is where they came from — and written through to the local
         // tiers exactly as a direct remote hit would be.
-        if let Some(payload) = self.take_staged(ns, key) {
-            match T::from_bytes(&payload) {
-                Ok(v) => {
+        if let Some(frame) = self.take_staged(ns, key) {
+            let decoded =
+                compress::decompress(&frame).and_then(|p| T::from_bytes(&p).ok().map(|v| (p, v)));
+            match decoded {
+                Some((payload, v)) => {
                     self.stats.with_ns(ns, |s| {
                         s.count_tier_hit(TierKind::Remote);
                         s.batched_hits += 1;
                         s.bytes_read += payload.len() as u64;
+                        s.stored_bytes_read += frame.len() as u64;
                     });
                     for tier in &self.tiers {
                         if tier.kind() != TierKind::Remote {
-                            tier.put_bytes(ns, key, &payload);
+                            tier.put_bytes(ns, key, &frame);
                         }
                     }
                     let v = Arc::new(v);
                     self.mem_put(ns, key, v.clone(), payload.len());
                     return Some(v);
                 }
-                Err(_) => {
-                    // Shape drift the version stamp missed: drop the
-                    // staged copy and walk the tiers normally.
+                None => {
+                    // Frame damage or shape drift the version stamp missed:
+                    // drop the staged copy and walk the tiers normally.
                     self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
                 }
             }
         }
         for (i, tier) in self.tiers.iter().enumerate() {
             match tier.get_bytes(ns, key) {
-                TierLookup::Hit(payload) => match T::from_bytes(&payload) {
-                    Ok(v) => {
-                        self.stats.with_ns(ns, |s| {
-                            s.count_tier_hit(tier.kind());
-                            s.bytes_read += payload.len() as u64;
-                        });
-                        // Read-through: earlier tiers pick the entry up so
-                        // the next lookup stops sooner (a remote hit warms
-                        // the local disk).
-                        for earlier in &self.tiers[..i] {
-                            earlier.put_bytes(ns, key, &payload);
-                        }
-                        let v = Arc::new(v);
-                        self.mem_put(ns, key, v.clone(), payload.len());
-                        return Some(v);
-                    }
-                    Err(_) => {
-                        // Envelope validated but the typed decode failed
-                        // (shape drift the version stamp missed): drop the
-                        // entry so the slot heals on recompute.
+                TierLookup::Hit(frame) => {
+                    let Some(payload) = compress::decompress(&frame) else {
+                        // The entry checksum passed but the compress frame
+                        // inside is malformed (e.g. written by a corrupted
+                        // process): drop the slot so it heals on recompute.
                         tier.remove(ns, key);
                         self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
+                        continue;
+                    };
+                    match T::from_bytes(&payload) {
+                        Ok(v) => {
+                            self.stats.with_ns(ns, |s| {
+                                s.count_tier_hit(tier.kind());
+                                s.bytes_read += payload.len() as u64;
+                                s.stored_bytes_read += frame.len() as u64;
+                            });
+                            // Read-through: earlier tiers pick the entry up
+                            // so the next lookup stops sooner (a remote hit
+                            // warms the local disk). The frame travels as
+                            // is — tiers never see decoded bytes.
+                            for earlier in &self.tiers[..i] {
+                                earlier.put_bytes(ns, key, &frame);
+                            }
+                            let v = Arc::new(v);
+                            self.mem_put(ns, key, v.clone(), payload.len());
+                            return Some(v);
+                        }
+                        Err(_) => {
+                            // Envelope validated but the typed decode failed
+                            // (shape drift the version stamp missed): drop
+                            // the entry so the slot heals on recompute.
+                            tier.remove(ns, key);
+                            self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
+                        }
                     }
-                },
+                }
                 TierLookup::Corrupt => {
                     self.stats.with_ns(ns, |s| s.corrupt_entries += 1);
                 }
@@ -369,15 +420,23 @@ impl Store {
         if !self.enabled {
             return value;
         }
-        // Encode once; the same bytes size the front cache and fill every
-        // byte tier (write-back).
+        // Encode once; the logical bytes size the front cache, while the
+        // byte tiers receive one compress frame (write-back) — packed or
+        // raw per the namespace policy.
         let payload = value.to_bytes();
         if !self.tiers.is_empty() {
-            self.stats
-                .with_ns(ns, |s| s.bytes_written += payload.len() as u64);
-        }
-        for tier in &self.tiers {
-            tier.put_bytes(ns, key, &payload);
+            let frame = if self.policy.packed(ns) {
+                compress::compress(&payload)
+            } else {
+                compress::raw_frame(&payload)
+            };
+            self.stats.with_ns(ns, |s| {
+                s.bytes_written += payload.len() as u64;
+                s.stored_bytes_written += frame.len() as u64;
+            });
+            for tier in &self.tiers {
+                tier.put_bytes(ns, key, &frame);
+            }
         }
         self.mem_put(ns, key, value.clone(), payload.len());
         value
@@ -437,10 +496,10 @@ impl Store {
         entry.value.clone().downcast::<T>().ok()
     }
 
-    /// `bytes` is the encoded payload length — cheap to obtain (the caller
-    /// already encoded for the byte tiers or read the entry), consistent
-    /// across tiers, and proportional to resident footprint for the flat
-    /// vector-heavy artifacts the pipeline stores.
+    /// `bytes` is the encoded (logical) payload length — cheap to obtain
+    /// (the caller already encoded for the byte tiers or decompressed the
+    /// frame), consistent across tiers, and proportional to resident
+    /// footprint for the flat vector-heavy artifacts the pipeline stores.
     fn mem_put<T: Send + Sync + 'static>(
         &self,
         ns: &str,
@@ -449,6 +508,15 @@ impl Store {
         bytes: usize,
     ) {
         if bytes > self.mem_budget {
+            return;
+        }
+        // The namespace's decoded-cache quota (RTLT_TIER_POLICY `mem=`):
+        // oversized artifacts skip admission, and admission evicts the
+        // namespace's own LRU entries first so one bulky namespace (e.g.
+        // featurize on the compressed-disk-first policy) cannot crowd the
+        // others out of the front cache.
+        let quota = self.policy.mem_quota(ns);
+        if quota.is_some_and(|q| bytes > q) {
             return;
         }
         let mut cache = self.decoded.lock().expect("mem lock");
@@ -463,8 +531,29 @@ impl Store {
             },
         ) {
             cache.total_bytes -= old.bytes;
+            if let Some(b) = cache.ns_bytes.get_mut(ns) {
+                *b = b.saturating_sub(old.bytes);
+            }
         }
         cache.total_bytes += bytes;
+        *cache.ns_bytes.entry(ns.to_owned()).or_default() += bytes;
+        if let Some(q) = quota {
+            while cache.ns_bytes.get(ns).copied().unwrap_or(0) > q {
+                let lru = cache
+                    .entries
+                    .iter()
+                    .filter(|((n, _), _)| n == ns)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match lru {
+                    Some(k) => {
+                        cache.evict(&k);
+                        self.stats.count_eviction();
+                    }
+                    None => break,
+                }
+            }
+        }
         while cache.total_bytes > self.mem_budget {
             let lru = cache
                 .entries
@@ -473,8 +562,7 @@ impl Store {
                 .map(|(k, _)| k.clone());
             match lru {
                 Some(k) => {
-                    let e = cache.entries.remove(&k).expect("lru entry");
-                    cache.total_bytes -= e.bytes;
+                    cache.evict(&k);
                     self.stats.count_eviction();
                 }
                 None => break,
@@ -485,7 +573,8 @@ impl Store {
     // -- tier maintenance --------------------------------------------------
 
     /// Sizes of the disk tier by namespace: `(namespace, files, bytes)`,
-    /// sorted by namespace. Empty when no disk tier is configured.
+    /// sorted by namespace. `bytes` is the **on-disk** (stored, possibly
+    /// compressed) size. Empty when no disk tier is configured.
     pub fn disk_usage(&self) -> Vec<(String, u64, u64)> {
         self.tiers
             .iter()
@@ -493,9 +582,22 @@ impl Store {
             .unwrap_or_default()
     }
 
+    /// Like [`Store::disk_usage`] but also reporting decoded payload sizes:
+    /// `(namespace, files, stored_bytes, decoded_bytes)` per namespace —
+    /// the ratio of the two byte columns is the namespace's on-disk
+    /// compression ratio.
+    pub fn disk_usage_decoded(&self) -> Vec<(String, u64, u64, u64)> {
+        self.tiers
+            .iter()
+            .find_map(|t| t.disk_root().map(|d| DiskTier::new(d).usage_decoded()))
+            .unwrap_or_default()
+    }
+
     /// Size-bounded garbage collection of the **local** tiers: each
-    /// non-remote byte tier evicts down to `budget_bytes` (the disk tier
-    /// in LRU order by access-refreshed mtime). Remote tiers are skipped —
+    /// non-remote byte tier evicts down to `budget_bytes` of **on-disk
+    /// (compressed) bytes** — the budget means disk footprint, not decoded
+    /// payload size (the disk tier evicts in LRU order by access-refreshed
+    /// mtime). Remote tiers are skipped —
     /// one client must not evict a fleet's shared cache as a side effect;
     /// use [`RemoteTier::gc_remote`] (or the server's own budget) for
     /// that, deliberately.
@@ -680,8 +782,8 @@ mod tests {
     #[test]
     fn prefetch_stages_one_batched_round_trip_and_counts_remote_hits() {
         let remote = Arc::new(FakeRemote::new());
-        remote.put_bytes("ns", key(1), &41u64.to_bytes());
-        remote.put_bytes("ns", key(2), &42u64.to_bytes());
+        remote.put_bytes("ns", key(1), &compress::raw_frame(&41u64.to_bytes()));
+        remote.put_bytes("ns", key(2), &compress::raw_frame(&42u64.to_bytes()));
         let mut store = Store::in_memory();
         store.push_tier(remote.clone());
         assert!(store.has_remote());
@@ -736,9 +838,13 @@ mod tests {
     #[test]
     fn prefetch_chunks_batches_past_the_wire_key_cap() {
         let remote = Arc::new(FakeRemote::new());
-        remote.put_bytes("ns", key(0), &7u64.to_bytes());
-        remote.put_bytes("ns", key(1), &9u64.to_bytes());
-        remote.put_bytes("ns", key(wire::MAX_BATCH_KEYS as u64), &8u64.to_bytes());
+        remote.put_bytes("ns", key(0), &compress::raw_frame(&7u64.to_bytes()));
+        remote.put_bytes("ns", key(1), &compress::raw_frame(&9u64.to_bytes()));
+        remote.put_bytes(
+            "ns",
+            key(wire::MAX_BATCH_KEYS as u64),
+            &compress::raw_frame(&8u64.to_bytes()),
+        );
         let mut store = Store::in_memory();
         store.push_tier(remote.clone());
         // One key past the cap: the client must split into two exchanges
@@ -782,7 +888,7 @@ mod tests {
     #[test]
     fn corrupt_staged_payload_heals_through_the_normal_walk() {
         let remote = Arc::new(FakeRemote::new());
-        // Stage bytes that are not a valid u64 encoding.
+        // Stage bytes that are not a valid compress frame.
         remote.put_bytes("ns", key(4), &[1, 2, 3]);
         let mut store = Store::in_memory();
         store.push_tier(remote.clone());
@@ -793,6 +899,58 @@ mod tests {
         let s = store.stats().namespace("ns");
         assert!(s.corrupt_entries >= 1);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn namespace_mem_quota_bounds_the_decoded_cache() {
+        // Global budget is roomy; "feat" carries a 150-byte quota so its
+        // third entry evicts its own LRU while "other" is untouched.
+        let mut store = Store::with_mem_budget(1 << 20);
+        store.set_tier_policy(TierPolicy::parse("feat=raw:mem=150").expect("policy"));
+        let v = |x: u64| vec![x; 8]; // encodes to 4 + 64 bytes
+        store.put("other", key(9), v(9));
+        store.put("feat", key(1), v(1));
+        store.put("feat", key(2), v(2));
+        assert!(store.get::<Vec<u64>>("feat", key(1)).is_some());
+        store.put("feat", key(3), v(3));
+        assert!(
+            store.get::<Vec<u64>>("feat", key(2)).is_none(),
+            "namespace LRU victim"
+        );
+        assert!(store.get::<Vec<u64>>("feat", key(1)).is_some());
+        assert!(store.get::<Vec<u64>>("feat", key(3)).is_some());
+        assert!(
+            store.get::<Vec<u64>>("other", key(9)).is_some(),
+            "other namespaces keep their entries"
+        );
+        assert_eq!(store.stats().evictions, 1);
+        // An artifact over the namespace quota skips admission entirely.
+        store.put("feat", key(4), vec![0u64; 100]);
+        assert!(store.get::<Vec<u64>>("feat", key(4)).is_none());
+    }
+
+    #[test]
+    fn gc_budgets_on_disk_compressed_bytes() {
+        let dir = std::env::temp_dir().join(format!("rtlt-gc-compressed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::on_disk(&dir);
+        // 160 KB of zeros compress to a sliver of their decoded size.
+        store.put("featurize", key(11), vec![0u64; 20_000]);
+        let usage = store.disk_usage_decoded();
+        assert_eq!(usage.len(), 1);
+        let (files, stored, decoded) = (usage[0].1, usage[0].2, usage[0].3);
+        assert_eq!(files, 1);
+        assert!(
+            stored < decoded / 4,
+            "zeros must compress well ({stored} vs {decoded})"
+        );
+        // A budget that fits the compressed file but not the decoded bytes:
+        // gc must budget against what is actually on disk and keep it.
+        let report = store.gc(stored + 1024);
+        assert_eq!(report.evicted_files, 0, "budget measures on-disk bytes");
+        let fresh = Store::on_disk(&dir);
+        assert!(fresh.get::<Vec<u64>>("featurize", key(11)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

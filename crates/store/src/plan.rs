@@ -14,7 +14,13 @@
 //!   grant order is deterministic). Before every grant it re-queues leases
 //!   whose worker has gone silent past the lease deadline — that re-queue
 //!   is the "steal": a slow or dead worker's design lands on whoever asks
-//!   next instead of gating the merge.
+//!   next instead of gating the merge. Grants are **locality-aware**: the
+//!   planner remembers which worker last reported each design prepared
+//!   (that worker's disk tier holds the design's artifacts), and when one
+//!   of a worker's own designs is pending again — a re-plan under a new
+//!   epoch, or a re-queued steal that circled back — it is granted before
+//!   any non-local design, so warm bytes are read where they already live
+//!   instead of crossing the wire from the shared store.
 //! * **DONE** (wire op `REPORT`) — the worker reports the observed prepare
 //!   time (refining the cost model for later plans on the same server) or
 //!   refuses the design (`ok = false`, e.g. a version-skewed worker that
@@ -92,6 +98,11 @@ struct PlanInner {
     pending: Vec<String>,
     /// Expected prepare cost per design (priors, refined by observations).
     costs: HashMap<String, f64>,
+    /// Which worker last reported each design prepared — its disk tier
+    /// holds the design's artifacts, so re-granting it the same design is
+    /// the locality-preserving choice. Survives epoch resets alongside
+    /// `costs` (design names and worker caches outlive one run).
+    holders: HashMap<String, String>,
     /// Active leases: design → (worker, granted-at).
     leases: HashMap<String, (String, Instant)>,
     completed: HashSet<String>,
@@ -242,9 +253,11 @@ impl Planner {
         let mut inner = self.inner.lock().expect("planner lock");
         if inner.epoch != Some(epoch) {
             let costs = std::mem::take(&mut inner.costs);
+            let holders = std::mem::take(&mut inner.holders);
             *inner = PlanInner {
                 epoch: Some(epoch),
                 costs,
+                holders,
                 ..PlanInner::default()
             };
         }
@@ -259,8 +272,10 @@ impl Planner {
         added
     }
 
-    /// Grants `worker` the pending design with the longest expected cost,
-    /// after re-queueing expired leases.
+    /// Grants `worker` a pending design, after re-queueing expired leases.
+    /// Designs this worker prepared before (its disk tier holds their
+    /// artifacts) are preferred; within either group, longest expected
+    /// cost first with deterministic name tie-breaks.
     pub fn lease(&self, worker: &str) -> LeaseGrant {
         let now = Instant::now();
         let mut inner = self.inner.lock().expect("planner lock");
@@ -269,17 +284,23 @@ impl Planner {
         inner.expire(now, self.lease_timeout);
         inner.resurrect_for(worker);
         inner.abandon_unservable(now, self.lease_timeout);
-        let pick = inner
-            .pending
-            .iter()
-            .filter(|d| !inner.refusals.contains(&((*d).clone(), worker.to_owned())))
-            .max_by(|a, b| {
-                let ca = inner.costs.get(*a).copied().unwrap_or(0.0);
-                let cb = inner.costs.get(*b).copied().unwrap_or(0.0);
-                ca.partial_cmp(&cb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.cmp(b))
-            })
+        let by_cost = |a: &&String, b: &&String| {
+            let ca = inner.costs.get(*a).copied().unwrap_or(0.0);
+            let cb = inner.costs.get(*b).copied().unwrap_or(0.0);
+            ca.partial_cmp(&cb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        };
+        let grantable = || {
+            inner
+                .pending
+                .iter()
+                .filter(|d| !inner.refusals.contains(&((*d).clone(), worker.to_owned())))
+        };
+        let pick = grantable()
+            .filter(|d| inner.holders.get(*d).is_some_and(|h| h == worker))
+            .max_by(by_cost)
+            .or_else(|| grantable().max_by(by_cost))
             .cloned();
         match pick {
             Some(design) => {
@@ -316,6 +337,12 @@ impl Planner {
             if inner.completed.insert(design.to_owned()) && seconds.is_finite() && seconds >= 0.0 {
                 inner.costs.insert(design.to_owned(), seconds);
             }
+            // The reporter's disk tier now holds this design's artifacts;
+            // remember it so a later re-queue grants the design back to
+            // the worker with the warm cache. Late duplicate reports
+            // update this too — both caches are warm, the last reporter
+            // is the freshest.
+            inner.holders.insert(design.to_owned(), worker.to_owned());
             return;
         }
         inner
@@ -512,6 +539,34 @@ mod tests {
         assert_eq!(granted(&p, "w"), "a");
         // Re-planning within the same epoch stays idempotent.
         assert_eq!(p.plan(2, &[("a".into(), 1.0)]), 0);
+    }
+
+    #[test]
+    fn requeued_designs_prefer_the_worker_that_prepared_them() {
+        let p = Planner::default();
+        plan_of(&p, &[("pricey", 9.0), ("cheap", 1.0)]);
+        assert_eq!(granted(&p, "wa"), "pricey");
+        assert_eq!(granted(&p, "wb"), "cheap");
+        p.complete("wa", "pricey", 9.0, true);
+        p.complete("wb", "cheap", 1.0, true);
+
+        // A post-edit re-plan queues both again. wb asks first: without
+        // locality it would draw "pricey" (longest expected first), but
+        // its disk tier holds "cheap" — that is the grant. wa then gets
+        // its own "pricey" back.
+        p.plan(2, &[("pricey".into(), 9.0), ("cheap".into(), 1.0)]);
+        assert_eq!(granted(&p, "wb"), "cheap");
+        assert_eq!(granted(&p, "wa"), "pricey");
+        p.complete("wb", "cheap", 1.0, true);
+        p.complete("wa", "pricey", 9.0, true);
+
+        // A worker holding nothing still draws longest-expected-first.
+        p.plan(3, &[("pricey".into(), 9.0), ("cheap".into(), 1.0)]);
+        assert_eq!(granted(&p, "wc"), "pricey");
+        // Locality never grants a refused design back: wb refuses its own
+        // "cheap" on the re-plan, so a further lease drains instead.
+        p.complete("wb", "cheap", 0.0, false);
+        assert!(matches!(p.lease("wb"), LeaseGrant::Drained { .. }));
     }
 
     #[test]

@@ -9,11 +9,22 @@
 //! [`MAX_CONSECUTIVE_FAILURES`] the tier trips open and stops trying for
 //! the rest of the process, so a dead server costs a bounded number of
 //! connect timeouts rather than one per lookup.
+//!
+//! Payloads travel as [`crate::compress`] frames through the v2 data ops
+//! (`GET2`/`PUT2`/`GETM2`). A legacy server does not know those opcodes
+//! and answers `Failed` — a *healthy* answer that does not bump the
+//! failure counter; the client remembers the peer as legacy and falls
+//! back to the v1 ops, decompressing on the way out and lifting bare
+//! payloads into raw frames on the way in. Either way the store above
+//! sees frames, and a mixed-version fleet interoperates byte-identically.
 
+use crate::compress;
 use crate::hash::ContentHash;
 use crate::plan::{LeaseGrant, PlanStats};
 use crate::tier::{GcReport, StoreTier, TierKind, TierLookup, TierStats};
-use crate::wire::{Frame, FrameBudget, Request, Response, WireError, MAX_CONN_INFLIGHT};
+use crate::wire::{
+    Frame, FrameBudget, Request, Response, WireError, MAX_CONN_INFLIGHT, PAYLOAD_ENCODING_FRAME,
+};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -28,6 +39,10 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
 struct RemoteState {
     conn: Option<TcpStream>,
     consecutive_failures: u32,
+    /// The peer answered a v2 data opcode with `Failed` — it predates the
+    /// compressed-payload ops. Stick to the v1 ops from then on instead of
+    /// paying a doomed extra round trip per operation.
+    peer_legacy: bool,
 }
 
 /// Client tier speaking to a shared `rtlt-stored` server.
@@ -66,6 +81,17 @@ impl RemoteTier {
             .expect("remote state lock")
             .consecutive_failures
             >= MAX_CONSECUTIVE_FAILURES
+    }
+
+    /// Whether the peer has identified itself as a pre-compression server
+    /// (it answered a v2 data opcode with `Failed`), pinning this client
+    /// to the v1 ops with bare payloads.
+    pub fn peer_legacy(&self) -> bool {
+        self.state.lock().expect("remote state lock").peer_legacy
+    }
+
+    fn mark_peer_legacy(&self) {
+        self.state.lock().expect("remote state lock").peer_legacy = true;
     }
 
     fn connect(&self) -> Result<TcpStream, WireError> {
@@ -115,18 +141,21 @@ impl RemoteTier {
         result
     }
 
-    /// One batched exchange: writes a GETM, then reads the
-    /// [`Response::BatchPart`] stream under one cumulative
+    /// One batched exchange: writes `req` (a GETM or GETM2), then reads
+    /// the [`Response::BatchPart`] stream under one cumulative
     /// [`FrameBudget`]. Parts already received survive a mid-stream
     /// failure — the unanswered tail simply stays "miss" (partial-batch
-    /// degradation). A server too old for GETM answers `Failed`, which
-    /// reads as an empty (all-miss) batch without tripping the failure
-    /// counter: the connection is healthy, per-key GETs still work.
+    /// degradation). With `wrap_raw` the hit payloads are bare v1 bytes
+    /// and get lifted into raw compress frames, so callers always receive
+    /// frames. Returns `Ok(false)` when the server answered `Failed` —
+    /// it does not speak this opcode; a healthy answer that does not bump
+    /// the failure counter.
     fn batch_round_trip(
         &self,
-        items: &[(String, ContentHash)],
+        req: &Request,
+        wrap_raw: bool,
         out: &mut [TierLookup],
-    ) -> Result<(), WireError> {
+    ) -> Result<bool, WireError> {
         let mut state = self.state.lock().expect("remote state lock");
         if state.consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
             return Err(WireError::Io(std::io::ErrorKind::ConnectionRefused));
@@ -136,11 +165,7 @@ impl RemoteTier {
                 state.conn = Some(self.connect()?);
             }
             let conn = state.conn.as_mut().expect("connection just set");
-            Request::GetBatch {
-                items: items.to_vec(),
-            }
-            .to_frame()
-            .write_to(conn)?;
+            req.to_frame().write_to(conn)?;
             let mut budget = FrameBudget::new(MAX_CONN_INFLIGHT);
             loop {
                 let frame = Frame::read_budgeted(conn, &mut budget)?;
@@ -148,14 +173,18 @@ impl RemoteTier {
                     Response::BatchPart { items: part, last } => {
                         for (idx, payload) in part {
                             if let (Some(slot), Some(p)) = (out.get_mut(idx as usize), payload) {
-                                *slot = TierLookup::Hit(p);
+                                *slot = if wrap_raw {
+                                    TierLookup::Hit(compress::raw_frame(&p))
+                                } else {
+                                    TierLookup::Hit(p)
+                                };
                             }
                         }
                         if last {
-                            return Ok(());
+                            return Ok(true);
                         }
                     }
-                    Response::Failed(_) => return Ok(()), // old server: all-miss
+                    Response::Failed(_) => return Ok(false), // opcode unknown to peer
                     _ => return Err(WireError::Malformed("unexpected batch response")),
                 }
             }
@@ -243,33 +272,88 @@ impl StoreTier for RemoteTier {
     }
 
     fn get_bytes(&self, ns: &str, key: ContentHash) -> TierLookup {
+        if !self.peer_legacy() {
+            match self.round_trip(&Request::Get2 {
+                ns: ns.to_owned(),
+                key,
+                encoding: PAYLOAD_ENCODING_FRAME,
+            }) {
+                Ok(Response::Hit(frame)) => return TierLookup::Hit(frame),
+                Ok(Response::Miss) => return TierLookup::Miss,
+                // A legacy server answers Failed ("request opcode"): fall
+                // back to the v1 GET below, on this same healthy connection.
+                Ok(Response::Failed(_)) => self.mark_peer_legacy(),
+                // Everything else — protocol error, dead server — degrades
+                // to a miss.
+                _ => return TierLookup::Miss,
+            }
+        }
         match self.round_trip(&Request::Get {
             ns: ns.to_owned(),
             key,
         }) {
-            Ok(Response::Hit(payload)) => TierLookup::Hit(payload),
-            // Everything else — miss, server-side failure, protocol error,
-            // dead server — degrades to a miss.
+            // A v1 hit carries bare payload bytes; lift them into the
+            // frame space the tiers above expect.
+            Ok(Response::Hit(payload)) => TierLookup::Hit(compress::raw_frame(&payload)),
             _ => TierLookup::Miss,
         }
     }
 
     fn get_bytes_batch(&self, items: &[(String, ContentHash)]) -> Vec<TierLookup> {
         let mut out = vec![TierLookup::Miss; items.len()];
-        if !items.is_empty() {
+        if items.is_empty() {
+            return out;
+        }
+        if !self.peer_legacy() {
             // Partial results survive a mid-stream failure; the rest stay
             // misses, which the store recomputes byte-identically.
-            let _ = self.batch_round_trip(items, &mut out);
+            match self.batch_round_trip(
+                &Request::GetBatch2 {
+                    items: items.to_vec(),
+                    encoding: PAYLOAD_ENCODING_FRAME,
+                },
+                false,
+                &mut out,
+            ) {
+                Ok(true) | Err(_) => return out,
+                Ok(false) => self.mark_peer_legacy(),
+            }
         }
+        // v1 GETM against a legacy server: hits arrive bare and are lifted
+        // into raw frames. A server too old even for GETM answers Failed,
+        // which reads as an all-miss batch; per-key GETs still work.
+        let _ = self.batch_round_trip(
+            &Request::GetBatch {
+                items: items.to_vec(),
+            },
+            true,
+            &mut out,
+        );
         out
     }
 
     fn put_bytes(&self, ns: &str, key: ContentHash, payload: &[u8]) {
-        let _ = self.round_trip(&Request::Put {
-            ns: ns.to_owned(),
-            key,
-            payload: payload.to_vec(),
-        });
+        if !self.peer_legacy() {
+            match self.round_trip(&Request::Put2 {
+                ns: ns.to_owned(),
+                key,
+                encoding: PAYLOAD_ENCODING_FRAME,
+                payload: payload.to_vec(),
+            }) {
+                Ok(Response::Failed(_)) => self.mark_peer_legacy(),
+                _ => return,
+            }
+        }
+        // Legacy server: ship the decoded payload through the v1 PUT. A
+        // frame that does not decompress is dropped, never shipped as
+        // garbage (the write was best-effort anyway).
+        if let Some(decoded) = compress::decompress(payload) {
+            let _ = self.round_trip(&Request::Put {
+                ns: ns.to_owned(),
+                key,
+                payload: decoded,
+            });
+        }
     }
 
     fn stats(&self) -> TierStats {

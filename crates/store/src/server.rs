@@ -9,20 +9,25 @@
 //!
 //! Payload *content* is never inspected: the server moves opaque bytes
 //! whose integrity the entry checksums and content keys already pin down,
-//! so it needs no knowledge of the pipeline's artifact types — old and new
-//! clients can only disagree at the [`crate::FORMAT_VERSION`] stamp, which
-//! both the frame header and the client's typed decode guard.
+//! so it needs no knowledge of the pipeline's artifact types. Since format
+//! v3 the tiers hold [`crate::compress`] frames; the v2 data ops
+//! (`GET2`/`PUT2`/`GETM2`) move those frames verbatim, while the v1 ops
+//! translate at the boundary — legacy PUTs are lifted into raw frames and
+//! legacy GETs are decompressed on the way out — so mixed-version fleets
+//! share one cache byte-identically. Unknown payload encodings degrade to
+//! miss (GET) or a discarded write (PUT), never to garbage.
 //!
 //! Beyond bytes, the server holds the fleet's [`Planner`]: LEASE/REPORT/
 //! PLAN requests let workers draw design names from one shared
 //! work-stealing queue (see [`crate::plan`]), and GETM answers a whole
 //! key batch as a stream of bounded [`Response::BatchPart`] chunks.
 
+use crate::compress;
 use crate::plan::{LeaseGrant, Planner};
 use crate::tier::{DiskTier, MemTier, StoreTier, TierLookup};
 use crate::wire::{
     Frame, FrameBudget, Request, Response, WireError, MAX_BATCH_CHUNK, MAX_BATCH_KEYS,
-    MAX_CONN_INFLIGHT,
+    MAX_CONN_INFLIGHT, PAYLOAD_ENCODING_FRAME,
 };
 use crate::ContentHash;
 use std::net::{TcpListener, TcpStream};
@@ -109,11 +114,28 @@ impl ArtifactServer {
     /// instead — see [`ArtifactServer::handle_batch`]).
     pub fn handle(&self, req: Request) -> Response {
         match req {
-            Request::Get { ns, key } => match self.lookup(&ns, key) {
+            // v1 GET: the tier holds a frame; the legacy client expects
+            // bare payload bytes, so decompress at the boundary. A frame
+            // that will not decompress reads as a miss.
+            Request::Get { ns, key } => match self
+                .lookup(&ns, key)
+                .and_then(|frame| compress::decompress(&frame))
+            {
                 Some(payload) => Response::Hit(payload),
                 None => Response::Miss,
             },
-            Request::GetBatch { .. } => {
+            Request::Get2 { ns, key, encoding } => {
+                if encoding != PAYLOAD_ENCODING_FRAME {
+                    // Unknown encoding: degrade to a miss — the client
+                    // recomputes, byte-identically.
+                    return Response::Miss;
+                }
+                match self.lookup(&ns, key) {
+                    Some(frame) => Response::Hit(frame),
+                    None => Response::Miss,
+                }
+            }
+            Request::GetBatch { .. } | Request::GetBatch2 { .. } => {
                 Response::Failed("GETM is a streaming request; use handle_batch".to_owned())
             }
             Request::Lease { worker } => match self.planner.lease(&worker) {
@@ -134,9 +156,27 @@ impl ArtifactServer {
                 Response::Done(Default::default())
             }
             Request::PlanStat => Response::PlanStats(self.planner.stats()),
+            // v1 PUT carries bare payload bytes; lift them into the frame
+            // space the tiers hold.
             Request::Put { ns, key, payload } => {
+                let frame = compress::raw_frame(&payload);
                 for tier in &self.tiers {
-                    tier.put_bytes(&ns, key, &payload);
+                    tier.put_bytes(&ns, key, &frame);
+                }
+                Response::Done(Default::default())
+            }
+            Request::Put2 {
+                ns,
+                key,
+                encoding,
+                payload,
+            } => {
+                // An unknown encoding is acknowledged without storing — a
+                // lost write, never a corrupt entry.
+                if encoding == PAYLOAD_ENCODING_FRAME {
+                    for tier in &self.tiers {
+                        tier.put_bytes(&ns, key, &payload);
+                    }
                 }
                 Response::Done(Default::default())
             }
@@ -163,6 +203,11 @@ impl ArtifactServer {
     /// client recomputes them), so a batch of maximum-size payloads can
     /// never balloon either side of the connection.
     ///
+    /// With `frames` the hit payloads are emitted as the compress frames
+    /// the tiers hold (GETM2); without it each frame is decompressed at
+    /// the boundary for a legacy GETM client (an undecompressible frame
+    /// reads as a miss). The budget charges whatever actually travels.
+    ///
     /// # Errors
     ///
     /// Propagates the first `emit` failure (a dead peer stops the stream).
@@ -170,6 +215,7 @@ impl ArtifactServer {
         &self,
         items: &[(String, ContentHash)],
         chunk_bytes: u64,
+        frames: bool,
         mut emit: impl FnMut(Response) -> Result<(), E>,
     ) -> Result<(), E> {
         if items.len() > MAX_BATCH_KEYS {
@@ -194,7 +240,12 @@ impl ArtifactServer {
             // MAX_BATCH_KEYS items this charge alone can never exhaust
             // the budget.
             budget = budget.saturating_sub(ITEM_OVERHEAD);
-            let payload = match self.lookup(ns, *key) {
+            let hit = match self.lookup(ns, *key) {
+                Some(frame) if frames => Some(frame),
+                Some(frame) => compress::decompress(&frame),
+                None => None,
+            };
+            let payload = match hit {
                 Some(p) if (p.len() as u64) <= budget => {
                     budget -= p.len() as u64;
                     Some(p)
@@ -221,8 +272,8 @@ impl ArtifactServer {
     }
 
     /// Collecting form of [`ArtifactServer::stream_batch`] with the
-    /// production [`MAX_BATCH_CHUNK`] threshold — for tests and
-    /// transports that want the parts as a `Vec`.
+    /// production [`MAX_BATCH_CHUNK`] threshold and legacy (decompressed)
+    /// payloads — for tests and transports that want the parts as a `Vec`.
     pub fn handle_batch(&self, items: &[(String, ContentHash)]) -> Vec<Response> {
         self.handle_batch_chunked(items, MAX_BATCH_CHUNK)
     }
@@ -234,7 +285,7 @@ impl ArtifactServer {
         chunk_bytes: u64,
     ) -> Vec<Response> {
         let mut parts = Vec::new();
-        let _ = self.stream_batch(items, chunk_bytes, |part| {
+        let _ = self.stream_batch(items, chunk_bytes, false, |part| {
             parts.push(part);
             Ok::<(), std::convert::Infallible>(())
         });
@@ -275,9 +326,25 @@ impl ArtifactServer {
                 // it fills, so the server holds one chunk, not the whole
                 // (up to budget-sized) response.
                 Ok(Request::GetBatch { items }) => {
-                    self.stream_batch(&items, MAX_BATCH_CHUNK, |part| {
+                    self.stream_batch(&items, MAX_BATCH_CHUNK, false, |part| {
                         part.to_frame().write_to(stream)
                     })?;
+                }
+                Ok(Request::GetBatch2 { items, encoding }) => {
+                    if encoding == PAYLOAD_ENCODING_FRAME {
+                        self.stream_batch(&items, MAX_BATCH_CHUNK, true, |part| {
+                            part.to_frame().write_to(stream)
+                        })?;
+                    } else {
+                        // Unknown encoding: a well-formed all-miss stream —
+                        // the client recomputes everything.
+                        Response::BatchPart {
+                            items: Vec::new(),
+                            last: true,
+                        }
+                        .to_frame()
+                        .write_to(stream)?;
+                    }
                 }
                 Ok(req) => self.handle(req).to_frame().write_to(stream)?,
                 Err(e) => Response::Failed(e.to_string())
@@ -474,12 +541,75 @@ mod tests {
     }
 
     #[test]
+    fn v1_and_v2_ops_share_one_cache() {
+        let server = ArtifactServer::with_tiers(vec![Arc::new(MemTier::new(1 << 20))]);
+        // A v2 PUT stores the frame; a legacy GET sees the decoded bytes.
+        let payload: Vec<u8> = (0..200u16).map(|i| (i / 8) as u8).collect();
+        server.handle(Request::Put2 {
+            ns: "ns".into(),
+            key: key(1),
+            encoding: PAYLOAD_ENCODING_FRAME,
+            payload: compress::compress(&payload),
+        });
+        assert_eq!(
+            server.handle(Request::Get {
+                ns: "ns".into(),
+                key: key(1)
+            }),
+            Response::Hit(payload.clone())
+        );
+        // A legacy PUT is lifted into a raw frame; a v2 GET sees a frame
+        // that decodes to the same bytes.
+        server.handle(Request::Put {
+            ns: "ns".into(),
+            key: key(2),
+            payload: payload.clone(),
+        });
+        match server.handle(Request::Get2 {
+            ns: "ns".into(),
+            key: key(2),
+            encoding: PAYLOAD_ENCODING_FRAME,
+        }) {
+            Response::Hit(frame) => {
+                assert_eq!(compress::decompress(&frame).as_deref(), Some(&payload[..]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown encodings degrade: GET2 to a miss, PUT2 to a lost write.
+        assert_eq!(
+            server.handle(Request::Get2 {
+                ns: "ns".into(),
+                key: key(1),
+                encoding: 42,
+            }),
+            Response::Miss
+        );
+        assert!(matches!(
+            server.handle(Request::Put2 {
+                ns: "ns".into(),
+                key: key(3),
+                encoding: 42,
+                payload: compress::raw_frame(&payload),
+            }),
+            Response::Done(_)
+        ));
+        assert_eq!(
+            server.handle(Request::Get {
+                ns: "ns".into(),
+                key: key(3)
+            }),
+            Response::Miss,
+            "unknown-encoding writes are discarded, not stored as garbage"
+        );
+    }
+
+    #[test]
     fn disk_hits_promote_into_the_mem_tier() {
         let scratch = std::env::temp_dir().join(format!("rtlt-stored-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&scratch);
         let mem = Arc::new(MemTier::new(1 << 20));
         let disk = Arc::new(DiskTier::new(&scratch));
-        disk.put_bytes("ns", key(2), &[7; 10]);
+        disk.put_bytes("ns", key(2), &compress::raw_frame(&[7; 10]));
         let server = ArtifactServer::with_tiers(vec![mem.clone(), disk]);
         assert_eq!(
             server.handle(Request::Get {

@@ -20,10 +20,15 @@ pub struct NamespaceStats {
     pub batched_hits: u64,
     /// Lookups that found nothing and had to compute.
     pub misses: u64,
-    /// Payload bytes written to the byte tiers.
+    /// Decoded (logical) payload bytes written to the byte tiers.
     pub bytes_written: u64,
-    /// Payload bytes read back from the byte tiers.
+    /// Decoded (logical) payload bytes read back from the byte tiers.
     pub bytes_read: u64,
+    /// Stored (compress-frame) bytes written to the byte tiers — what
+    /// actually lands on disk and travels the wire.
+    pub stored_bytes_written: u64,
+    /// Stored (compress-frame) bytes read back from the byte tiers.
+    pub stored_bytes_read: u64,
     /// Entries that failed verification/decoding and were discarded.
     pub corrupt_entries: u64,
 }
@@ -47,6 +52,20 @@ impl NamespaceStats {
             100.0
         } else {
             100.0 * self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Stored-to-logical byte ratio of this namespace's tier traffic
+    /// (lower is better; 1.0 when nothing moved). Write-side traffic is
+    /// preferred — it reflects what this run actually produced — falling
+    /// back to read-side for warm runs that only consumed.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_written > 0 {
+            self.stored_bytes_written as f64 / self.bytes_written as f64
+        } else if self.bytes_read > 0 {
+            self.stored_bytes_read as f64 / self.bytes_read as f64
+        } else {
+            1.0
         }
     }
 
@@ -127,6 +146,8 @@ impl StatsSnapshot {
             total.misses += s.misses;
             total.bytes_written += s.bytes_written;
             total.bytes_read += s.bytes_read;
+            total.stored_bytes_written += s.stored_bytes_written;
+            total.stored_bytes_read += s.stored_bytes_read;
             total.corrupt_entries += s.corrupt_entries;
         }
         total
@@ -203,6 +224,26 @@ mod tests {
         assert_eq!(agg.mem_hits, 6);
         assert_eq!(agg.remote_hits, 2);
         assert!((agg.hit_rate_pct() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_ratio_prefers_write_traffic() {
+        let none = NamespaceStats::default();
+        assert_eq!(none.compression_ratio(), 1.0);
+        let wrote = NamespaceStats {
+            bytes_written: 1000,
+            stored_bytes_written: 250,
+            bytes_read: 10,
+            stored_bytes_read: 10,
+            ..Default::default()
+        };
+        assert!((wrote.compression_ratio() - 0.25).abs() < 1e-12);
+        let read_only = NamespaceStats {
+            bytes_read: 1000,
+            stored_bytes_read: 500,
+            ..Default::default()
+        };
+        assert!((read_only.compression_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! The composable tier stack behind [`crate::Store`].
 //!
 //! A [`StoreTier`] is one byte-oriented cache level: it stores and serves
-//! *payload* bytes under `(namespace, key)`, owning its envelope (the disk
+//! payload bytes under `(namespace, key)`, owning its envelope (the disk
 //! tier wraps payloads in the checksummed [`crate::entry`] format, the
 //! remote tier ships them as wire frames, the memory tier keeps them bare).
+//! Since format v3 the payload every tier carries is a [`crate::compress`]
+//! *frame* (mode-tagged, possibly compressed) rather than bare codec bytes;
+//! tiers stay byte-opaque — [`crate::Store`] compresses once on write and
+//! decompresses once on read, and checksums cover the compressed form.
 //! [`crate::Store`] walks its tiers front to back on a lookup, populates
 //! earlier tiers from a later hit (read-through) and writes every tier on a
 //! put (write-back), then decodes the payload once into its typed front
@@ -13,9 +17,11 @@
 //! Tier failures are never errors: a tier that cannot serve a key reports a
 //! miss ([`TierLookup::Miss`]) and the computation simply runs.
 
-use crate::entry::{decode_entry, encode_entry};
+use crate::codec::FORMAT_VERSION;
+use crate::compress;
+use crate::entry::{decode_entry_versioned, encode_entry};
 use crate::hash::ContentHash;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,6 +118,159 @@ pub struct MergeReport {
     pub skipped_existing: u64,
     /// Source files that failed entry validation and were not copied.
     pub invalid_entries: u64,
+}
+
+/// How one namespace's payloads are coded in the byte tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadCoding {
+    /// Compressed frames ([`crate::compress::compress`]): fewer bytes on
+    /// disk and over the wire, at the cost of one encode per write and one
+    /// decode per cold read.
+    Packed,
+    /// Raw frames: the payload verbatim behind the 1-byte mode tag. Right
+    /// for tiny, hot namespaces where the decode would cost more than the
+    /// bytes save.
+    Raw,
+}
+
+impl PayloadCoding {
+    /// Short lowercase label (`packed`/`raw`), matching the
+    /// `RTLT_TIER_POLICY` syntax.
+    pub fn label(self) -> &'static str {
+        match self {
+            PayloadCoding::Packed => "packed",
+            PayloadCoding::Raw => "raw",
+        }
+    }
+}
+
+/// Default decoded-front-cache quota for the bulk `featurize` namespace:
+/// big enough to keep the active design's tables decoded, small enough
+/// that 21 designs of shards do not crowd out the hot tiny namespaces.
+pub const FEATURIZE_MEM_QUOTA: usize = 64 << 20;
+
+/// Per-namespace tier policy: which namespaces get compressed payloads and
+/// which get a bounded share of the decoded front cache.
+///
+/// The default is the production shape of the prepare pipeline: bulk
+/// `featurize` tables are packed and capped to [`FEATURIZE_MEM_QUOTA`] of
+/// decoded cache (cheap to re-read from compressed disk), tiny hot
+/// `modast`/`compile` artifacts stay raw and uncapped, and every other
+/// namespace is packed with no quota. Overridable via the
+/// `RTLT_TIER_POLICY` environment knob, parsed by [`TierPolicy::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierPolicy {
+    default_coding: PayloadCoding,
+    default_quota: Option<usize>,
+    per_ns: BTreeMap<String, (PayloadCoding, Option<usize>)>,
+}
+
+impl Default for TierPolicy {
+    fn default() -> TierPolicy {
+        let mut per_ns = BTreeMap::new();
+        per_ns.insert(
+            "featurize".to_owned(),
+            (PayloadCoding::Packed, Some(FEATURIZE_MEM_QUOTA)),
+        );
+        per_ns.insert("modast".to_owned(), (PayloadCoding::Raw, None));
+        per_ns.insert("compile".to_owned(), (PayloadCoding::Raw, None));
+        TierPolicy {
+            default_coding: PayloadCoding::Packed,
+            default_quota: None,
+            per_ns,
+        }
+    }
+}
+
+impl TierPolicy {
+    /// Parses an `RTLT_TIER_POLICY` spec: comma-separated
+    /// `ns=packed|raw[:mem=BYTES]` entries applied on top of the default
+    /// policy, in order. `BYTES` takes an optional `k`/`m`/`g` suffix. The
+    /// namespace `*` sets the default coding/quota and clears every
+    /// per-namespace override accumulated so far — so `*=raw` alone means
+    /// "everything raw, everywhere".
+    pub fn parse(spec: &str) -> Result<TierPolicy, String> {
+        let mut policy = TierPolicy::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (ns, rest) = part
+                .split_once('=')
+                .ok_or_else(|| format!("'{part}': expected ns=packed|raw[:mem=BYTES]"))?;
+            let (coding_str, quota_str) = match rest.split_once(':') {
+                Some((c, q)) => (c, Some(q)),
+                None => (rest, None),
+            };
+            let coding = match coding_str {
+                "packed" => PayloadCoding::Packed,
+                "raw" => PayloadCoding::Raw,
+                other => return Err(format!("'{part}': unknown coding '{other}' (packed|raw)")),
+            };
+            let quota = match quota_str {
+                None => None,
+                Some(q) => {
+                    let v = q
+                        .strip_prefix("mem=")
+                        .ok_or_else(|| format!("'{part}': expected mem=BYTES after ':'"))?;
+                    Some(
+                        parse_byte_size(v)
+                            .ok_or_else(|| format!("'{part}': bad byte size '{v}'"))?,
+                    )
+                }
+            };
+            if ns == "*" {
+                policy.default_coding = coding;
+                policy.default_quota = quota;
+                policy.per_ns.clear();
+            } else {
+                policy.per_ns.insert(ns.to_owned(), (coding, quota));
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Whether `ns` payloads should be compressed in the byte tiers.
+    pub fn packed(&self, ns: &str) -> bool {
+        self.per_ns
+            .get(ns)
+            .map(|(c, _)| *c)
+            .unwrap_or(self.default_coding)
+            == PayloadCoding::Packed
+    }
+
+    /// The decoded-front-cache byte quota for `ns`, if it is capped.
+    pub fn mem_quota(&self, ns: &str) -> Option<usize> {
+        self.per_ns
+            .get(ns)
+            .map(|(_, q)| *q)
+            .unwrap_or(self.default_quota)
+    }
+
+    /// One-line summary for reports, in `RTLT_TIER_POLICY` syntax (the
+    /// `*` default leads, so the string re-parses to the same policy).
+    pub fn describe(&self) -> String {
+        let entry = |ns: &str, c: PayloadCoding, q: Option<usize>| match q {
+            Some(q) => format!("{ns}={}:mem={}k", c.label(), q / 1024),
+            None => format!("{ns}={}", c.label()),
+        };
+        let mut parts = vec![entry("*", self.default_coding, self.default_quota)];
+        parts.extend(self.per_ns.iter().map(|(ns, (c, q))| entry(ns, *c, *q)));
+        parts.join(",")
+    }
+}
+
+/// Parses `N`, `Nk`, `Nm`, or `Ng` (case-insensitive suffix) into bytes.
+fn parse_byte_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1usize << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok()?.checked_mul(mult)
 }
 
 /// One byte-oriented cache level of a [`crate::Store`] stack.
@@ -390,6 +549,44 @@ impl DiskTier {
         out
     }
 
+    /// Sizes by namespace with both stored (on-disk entry file) and decoded
+    /// (post-decompression payload) bytes: `(namespace, files, stored,
+    /// decoded)`, sorted. Reads every entry to peek its frame header — a
+    /// reporting path, not a hot path.
+    pub fn usage_decoded(&self) -> Vec<(String, u64, u64, u64)> {
+        let mut out = Vec::new();
+        let Ok(namespaces) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        for ns in namespaces.flatten() {
+            if !ns.path().is_dir() {
+                continue;
+            }
+            let name = ns.file_name().to_string_lossy().into_owned();
+            let (mut files, mut stored, mut decoded) = (0u64, 0u64, 0u64);
+            if let Ok(items) = std::fs::read_dir(ns.path()) {
+                for f in items.flatten() {
+                    let Ok(bytes) = std::fs::read(f.path()) else {
+                        continue;
+                    };
+                    let Some((version, payload)) = decode_entry_versioned(&bytes) else {
+                        continue;
+                    };
+                    files += 1;
+                    stored += bytes.len() as u64;
+                    decoded += if version == FORMAT_VERSION {
+                        compress::decoded_len(payload).unwrap_or(payload.len() as u64)
+                    } else {
+                        payload.len() as u64
+                    };
+                }
+            }
+            out.push((name, files, stored, decoded));
+        }
+        out.sort();
+        out
+    }
+
     /// Merges every valid entry under `src` (another disk tier's root) into
     /// this tier. Entries failing envelope validation are skipped and
     /// counted; keys already present here are skipped (content-addressed:
@@ -425,7 +622,7 @@ impl DiskTier {
                     report.invalid_entries += 1;
                     continue;
                 };
-                if decode_entry(&bytes).is_none() {
+                if decode_entry_versioned(&bytes).is_none() {
                     report.invalid_entries += 1;
                     continue;
                 }
@@ -449,8 +646,8 @@ impl StoreTier for DiskTier {
         let Ok(bytes) = std::fs::read(&path) else {
             return TierLookup::Miss;
         };
-        match decode_entry(&bytes) {
-            Some(payload) => {
+        match decode_entry_versioned(&bytes) {
+            Some((version, payload)) => {
                 // Touch the entry so gc's LRU-by-mtime order reflects
                 // access recency, not just write time.
                 let _ = std::fs::File::options()
@@ -461,7 +658,15 @@ impl StoreTier for DiskTier {
                             std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()),
                         )
                     });
-                TierLookup::Hit(payload.to_vec())
+                if version == FORMAT_VERSION {
+                    TierLookup::Hit(payload.to_vec())
+                } else {
+                    // A pre-compression (v2) entry carries bare codec bytes;
+                    // lift them into the frame space so every tier read
+                    // yields a compress frame. The file itself stays v2 on
+                    // disk until something rewrites the slot.
+                    TierLookup::Hit(compress::raw_frame(payload))
+                }
             }
             None => {
                 // Corrupted/truncated/stale entry: drop it so the slot is
@@ -589,5 +794,84 @@ mod tests {
         assert_eq!(TierKind::Memory.label(), "mem");
         assert_eq!(TierKind::Disk.label(), "disk");
         assert_eq!(TierKind::Remote.label(), "remote");
+    }
+
+    #[test]
+    fn tier_policy_defaults_and_parse() {
+        let p = TierPolicy::default();
+        assert!(p.packed("featurize"));
+        assert_eq!(p.mem_quota("featurize"), Some(FEATURIZE_MEM_QUOTA));
+        assert!(!p.packed("modast"));
+        assert!(!p.packed("compile"));
+        assert_eq!(p.mem_quota("compile"), None);
+        assert!(p.packed("blast"), "unlisted namespaces take the default");
+
+        // Overrides stack on the default policy, in order.
+        let p = TierPolicy::parse("featurize=raw,blast=packed:mem=1m").expect("parse");
+        assert!(!p.packed("featurize"));
+        assert_eq!(p.mem_quota("featurize"), None);
+        assert_eq!(p.mem_quota("blast"), Some(1 << 20));
+        assert!(!p.packed("modast"), "default overrides survive");
+
+        // `*` resets the default and clears every per-ns override.
+        let p = TierPolicy::parse("*=raw").expect("parse");
+        assert!(!p.packed("featurize"));
+        assert!(!p.packed("anything"));
+        assert_eq!(p.mem_quota("featurize"), None);
+
+        // Byte-size suffixes.
+        let p = TierPolicy::parse("shard=packed:mem=512k").expect("parse");
+        assert_eq!(p.mem_quota("shard"), Some(512 << 10));
+
+        // Malformed specs are errors, not silent defaults.
+        assert!(TierPolicy::parse("featurize").is_err());
+        assert!(TierPolicy::parse("featurize=zip").is_err());
+        assert!(TierPolicy::parse("featurize=packed:mem=ten").is_err());
+        assert!(TierPolicy::parse("featurize=packed:budget=1m").is_err());
+
+        // The description round-trips through the parser.
+        let p = TierPolicy::parse("featurize=packed:mem=2m").expect("parse");
+        assert_eq!(TierPolicy::parse(&p.describe()), Ok(p));
+    }
+
+    #[test]
+    fn disk_tier_reads_v2_entries_as_raw_frames() {
+        let dir = std::env::temp_dir().join(format!("rtlt-tier-v2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tier = DiskTier::new(&dir);
+
+        // Hand-write a v2 entry, as a pre-compression build would have.
+        let payload = b"bare v2 codec bytes".to_vec();
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&crate::entry::ENTRY_MAGIC);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v2.extend_from_slice(&payload);
+        v2.extend_from_slice(&crate::entry::fnv1a(&payload).to_le_bytes());
+        std::fs::create_dir_all(dir.join("ns")).expect("ns dir");
+        std::fs::write(dir.join("ns").join(format!("{}.bin", key(1).to_hex())), &v2)
+            .expect("write v2 entry");
+
+        // The read lifts the bare payload into a raw compress frame.
+        assert_eq!(
+            tier.get_bytes("ns", key(1)),
+            TierLookup::Hit(compress::raw_frame(&payload))
+        );
+
+        // A current-version frame round-trips verbatim, and the decoded
+        // usage report tells stored from decoded bytes for both versions.
+        let frame = compress::compress(&vec![7u8; 4096]);
+        tier.put_bytes("ns", key(2), &frame);
+        assert_eq!(tier.get_bytes("ns", key(2)), TierLookup::Hit(frame));
+        let usage = tier.usage_decoded();
+        assert_eq!(usage.len(), 1);
+        let (ns, files, stored, decoded) = &usage[0];
+        assert_eq!((ns.as_str(), *files), ("ns", 2));
+        assert_eq!(*decoded, payload.len() as u64 + 4096);
+        assert!(
+            *stored < *decoded,
+            "compressible entry should shrink: stored {stored} decoded {decoded}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

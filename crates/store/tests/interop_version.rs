@@ -1,0 +1,190 @@
+//! Mixed-version interop: a fleet upgrades one node at a time, so a new
+//! client must complete against an old server (and an old client against a
+//! new server) **byte-identically** — falling back to the v1 data ops
+//! without tripping the failure breaker — before anyone relies on the
+//! compressed v2 ops.
+
+use rtlt_store::server::{spawn, ServerConfig};
+use rtlt_store::wire::{op, Frame, Request, Response};
+use rtlt_store::{
+    compress, Codec, ContentHash, KeyBuilder, RemoteTier, Store, StoreTier, TierLookup,
+};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+fn key(label: &str) -> ContentHash {
+    KeyBuilder::new("interop").str(label).finish()
+}
+
+type LegacyState = Arc<Mutex<HashMap<(String, ContentHash), Vec<u8>>>>;
+
+/// A faithful pre-v2 `rtlt-stored`: it knows only opcodes 1..=9 and
+/// answers anything else as `Failed` (exactly what the old
+/// `serve_connection` did with an unparseable request), and its tiers hold
+/// **bare logical payloads** — no compress frames existed yet.
+fn spawn_legacy_server() -> (String, LegacyState) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let state: LegacyState = Default::default();
+    let shared = Arc::clone(&state);
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            let state = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                loop {
+                    let frame = match Frame::read_opt(&mut stream) {
+                        Ok(Some(f)) => f,
+                        _ => return,
+                    };
+                    // An old build has no v2 ops in its parser: any opcode
+                    // past PLANSTAT is "malformed request", answered as a
+                    // typed failure on the still-alive connection.
+                    let resp = if frame.op > op::PLANSTAT {
+                        Response::Failed(format!("request opcode {}", frame.op))
+                    } else {
+                        match Request::from_frame(&frame) {
+                            Ok(Request::Get { ns, key }) => {
+                                match state.lock().expect("state").get(&(ns, key)) {
+                                    Some(p) => Response::Hit(p.clone()),
+                                    None => Response::Miss,
+                                }
+                            }
+                            Ok(Request::Put { ns, key, payload }) => {
+                                state.lock().expect("state").insert((ns, key), payload);
+                                Response::Done(Default::default())
+                            }
+                            Ok(Request::GetBatch { items }) => {
+                                let map = state.lock().expect("state");
+                                Response::BatchPart {
+                                    items: items
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(i, (ns, key))| {
+                                            (i as u64, map.get(&(ns.clone(), *key)).cloned())
+                                        })
+                                        .collect(),
+                                    last: true,
+                                }
+                            }
+                            _ => Response::Failed("unsupported in this test double".into()),
+                        }
+                    };
+                    if resp.to_frame().write_to(&mut stream).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    (addr, state)
+}
+
+#[test]
+fn new_client_falls_back_against_an_old_server() {
+    let (addr, state) = spawn_legacy_server();
+    let artifact: Vec<f64> = (0..200).map(|i| i as f64 * 0.5).collect();
+
+    // A new-build store writes through to the legacy server…
+    let mut writer = Store::in_memory();
+    let remote = Arc::new(RemoteTier::new(&addr));
+    writer.push_tier(remote.clone());
+    writer.put("featurize", key("x"), artifact.clone());
+
+    // …as *logical* bytes: the PUT2 frame was refused, the client pinned
+    // the peer legacy and re-sent a v1 PUT with the decoded payload.
+    assert!(remote.peer_legacy(), "one refused v2 op pins the fallback");
+    assert!(!remote.is_down(), "a legacy peer is not a dead peer");
+    assert_eq!(
+        state
+            .lock()
+            .expect("state")
+            .get(&("featurize".into(), key("x"))),
+        Some(&artifact.to_bytes()),
+        "the old server stores exactly what an old client would have sent"
+    );
+
+    // A second new-build client reads it back byte-identically, per-key…
+    let mut reader = Store::in_memory();
+    let remote_r = Arc::new(RemoteTier::new(&addr));
+    reader.push_tier(remote_r.clone());
+    assert_eq!(
+        *reader
+            .get::<Vec<f64>>("featurize", key("x"))
+            .expect("served via v1 GET"),
+        artifact
+    );
+    // …and batched (GETM2 refused → legacy GETM, hits lifted into raw
+    // frames so the tier contract stays uniform).
+    let batch = remote_r.get_bytes_batch(&[
+        ("featurize".to_owned(), key("x")),
+        ("featurize".to_owned(), key("missing")),
+    ]);
+    assert_eq!(
+        batch[0],
+        TierLookup::Hit(compress::raw_frame(&artifact.to_bytes()))
+    );
+    assert_eq!(batch[1], TierLookup::Miss);
+    assert!(!remote_r.is_down(), "breaker never tripped by version skew");
+
+    let s = reader.stats().namespace("featurize");
+    assert_eq!((s.remote_hits, s.misses), (1, 0));
+}
+
+#[test]
+fn old_client_speaks_v1_against_a_new_server() {
+    let scratch = std::env::temp_dir().join(format!("rtlt-interop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cfg = ServerConfig {
+        dir: scratch.clone(),
+        mem_budget: 1 << 20,
+        lease_timeout: rtlt_store::plan::DEFAULT_LEASE_TIMEOUT,
+    };
+    let addr = spawn("127.0.0.1:0", &cfg).expect("bind");
+    let artifact: Vec<f64> = (0..200).map(|i| -1.0 + i as f64 * 0.25).collect();
+    let logical = artifact.to_bytes();
+
+    // An old client: hand-written v1 frames on a raw socket (the v1 wire
+    // format is unchanged — only new opcodes were added).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let exchange = |stream: &mut TcpStream, req: &Request| -> Response {
+        req.to_frame().write_to(stream).expect("write");
+        Response::from_frame(&Frame::read_from(stream).expect("read")).expect("parse")
+    };
+    assert!(matches!(
+        exchange(
+            &mut stream,
+            &Request::Put {
+                ns: "featurize".into(),
+                key: key("y"),
+                payload: logical.clone(),
+            }
+        ),
+        Response::Done(_)
+    ));
+    // The new server decompresses at the v1 boundary: the old client gets
+    // back exactly the bytes it stored, whatever the tiers hold inside.
+    assert_eq!(
+        exchange(
+            &mut stream,
+            &Request::Get {
+                ns: "featurize".into(),
+                key: key("y"),
+            }
+        ),
+        Response::Hit(logical.clone())
+    );
+
+    // And a new client sees the same artifact through the v2 ops — one
+    // cache, two protocol generations, identical bytes.
+    let mut store = Store::in_memory();
+    store.push_tier(Arc::new(RemoteTier::new(addr.to_string())));
+    assert_eq!(
+        *store
+            .get::<Vec<f64>>("featurize", key("y"))
+            .expect("v2 path"),
+        artifact
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

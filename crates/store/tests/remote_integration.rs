@@ -100,11 +100,14 @@ fn batched_get_pipelines_a_key_set_in_one_exchange() {
     // Payloads above the chunk threshold would be unwieldy here; what the
     // TCP test pins down is the multi-frame framing itself (the server
     // always terminates with a last-flagged part) and index alignment.
-    // Tier payloads are codec encodings, so store them as such — the
-    // typed Store::get below must be able to decode what it stages.
+    // Tier payloads are compress frames over codec encodings, so store
+    // them as such — the typed Store::get below must be able to decode
+    // what it stages.
     use rtlt_store::Codec;
-    let encoded: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 64].to_bytes()).collect();
-    for (i, bytes) in encoded.iter().enumerate() {
+    let framed: Vec<Vec<u8>> = (0..5u8)
+        .map(|i| rtlt_store::compress::raw_frame(&vec![i; 64].to_bytes()))
+        .collect();
+    for (i, bytes) in framed.iter().enumerate() {
         remote.put_bytes("featurize", key(&format!("k{i}")), bytes);
     }
     let items: Vec<(String, ContentHash)> = (0..7u64)
@@ -114,7 +117,7 @@ fn batched_get_pipelines_a_key_set_in_one_exchange() {
     assert_eq!(results.len(), 7);
     for (i, r) in results.iter().enumerate() {
         if i < 5 {
-            assert_eq!(r, &TierLookup::Hit(encoded[i].clone()), "index {i}");
+            assert_eq!(r, &TierLookup::Hit(framed[i].clone()), "index {i}");
         } else {
             assert_eq!(r, &TierLookup::Miss, "index {i}");
         }

@@ -154,7 +154,10 @@ fn find_entry(root: &std::path::Path) -> PathBuf {
 #[test]
 fn gc_evicts_oldest_entries_until_under_budget() {
     let scratch = ScratchDir::new("gc");
-    let store = Store::on_disk(&scratch.0);
+    let mut store = Store::on_disk(&scratch.0);
+    // Raw payloads: this test reasons about equal-sized files to pin down
+    // the LRU order, which compression would perturb.
+    store.set_tier_policy(rtlt_store::TierPolicy::parse("*=raw").expect("policy"));
     // Three entries with strictly increasing mtimes (set explicitly so the
     // test does not depend on filesystem timestamp resolution).
     for (i, label) in ["old", "mid", "new"].iter().enumerate() {

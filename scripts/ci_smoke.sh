@@ -11,7 +11,7 @@
 #   SMOKE_TMP scratch root (default: a fresh mktemp -d)
 set -euo pipefail
 
-job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|perf-gate>}"
+job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|perf-gate>}"
 BIN_DIR="${BIN_DIR:-target/release}"
 BIN_DIR="$(cd "$BIN_DIR" && pwd)"
 SMOKE_TMP="${SMOKE_TMP:-$(mktemp -d)}"
@@ -139,22 +139,49 @@ case "$job" in
     test "$digest_merged" = "$digest_cold"
     ;;
 
+  # Compression A/B: a packed (default-policy) warm pair vs a raw
+  # (RTLT_TIER_POLICY='*=raw') warm pair in disjoint caches. The warm
+  # packed run must read >= 40 % fewer featurize frame bytes off disk than
+  # the raw one, and all suite digests must be byte-identical —
+  # compression changes how artifacts rest, never what they decode to.
+  compressed-store)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/packed-cache"
+    digest_packed_cold=$(json_digest BENCH_runtime.json)
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/packed-cache"
+    digest_packed=$(json_digest BENCH_runtime.json)
+    packed=$(json_num featurize_stored_read_bytes BENCH_runtime.json)
+    rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
+    RTLT_FAST=1 RTLT_TIER_POLICY='*=raw' "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/raw-cache"
+    RTLT_FAST=1 RTLT_TIER_POLICY='*=raw' "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/raw-cache"
+    digest_raw=$(json_digest BENCH_runtime.json)
+    raw=$(json_num featurize_stored_read_bytes BENCH_runtime.json)
+    echo "warm featurize frame bytes: packed ${packed} vs raw ${raw} ($(awk -v p="$packed" -v r="$raw" 'BEGIN{if (r > 0) printf "%.1f%% saved", 100*(1-p/r); else print "n/a"}'))"
+    awk -v p="$packed" -v r="$raw" -v h="$rate" \
+      'BEGIN { exit !(r > 0 && p <= 0.6 * r && h >= 90) }'
+    test "$digest_packed_cold" = "$digest_packed"
+    test "$digest_packed" = "$digest_raw"
+    ;;
+
   # Perf-regression gate: cold + warm run, then diff the warm-prepare wall
-  # time and hit rate against the committed baseline; >25 % regression on
-  # either axis fails. Both values land in the job summary.
+  # time, hit rate and frame bytes read against the committed baseline;
+  # >25 % regression on any axis fails. All values land in the job summary.
   perf-gate)
     cd "$SMOKE_TMP"
     RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/perf-cache"
     RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/perf-cache"
     fresh_secs=$(json_num suite_prep_seconds BENCH_runtime.json)
     fresh_rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
+    fresh_bytes=$(json_num prepare_stored_read_bytes BENCH_runtime.json)
     base_secs=$(json_num suite_prep_seconds "$REPO_ROOT/ci/bench-baseline.json")
     base_rate=$(json_num prepare_hit_rate_pct "$REPO_ROOT/ci/bench-baseline.json")
-    summary="perf gate: warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%)"
+    base_bytes=$(json_num prepare_stored_read_bytes "$REPO_ROOT/ci/bench-baseline.json")
+    summary="perf gate: warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%), bytes read ${fresh_bytes} (baseline ${base_bytes}, limit $(awk -v b="$base_bytes" 'BEGIN{printf "%.0f", b*1.25}'))"
     echo "$summary"
     echo "$summary" >> "${GITHUB_STEP_SUMMARY:-/dev/null}"
     awk -v s="$fresh_secs" -v bs="$base_secs" -v r="$fresh_rate" -v br="$base_rate" \
-      'BEGIN { exit !(s <= bs * 1.25 && r >= br * 0.75) }'
+        -v y="$fresh_bytes" -v by="$base_bytes" \
+      'BEGIN { exit !(s <= bs * 1.25 && r >= br * 0.75 && y <= by * 1.25) }'
     ;;
 
   *)
