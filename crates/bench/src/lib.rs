@@ -112,6 +112,18 @@ pub fn run_maintenance(store: &Store) -> bool {
     if std::env::args().any(|a| a == "--cache-stats") {
         print_tier_stack(store);
         println!("tier policy: {}", store.tier_policy().describe());
+        if let Some(addr) = remote_addr() {
+            // Live server-side load: how many peers share the cache right
+            // now, and how many exchanges are in flight across them. A
+            // pre-gen3 or unreachable server simply has no load to report.
+            match RemoteTier::new(&addr).server_load() {
+                Some(load) => println!(
+                    "remote server {addr}: wire v{}, {} connections, {} in-flight exchanges",
+                    load.wire_version, load.connections, load.inflight
+                ),
+                None => println!("remote server {addr}: no live load info (old or unreachable)"),
+            }
+        }
         match store.disk_dir() {
             None => println!("(no disk tier configured)"),
             Some(dir) => {
@@ -615,6 +627,7 @@ impl Bench {
             "stored KiB w",
             "stored KiB r",
             "ratio",
+            "turns",
         ]);
         for (ns, s) in &snap.namespaces {
             t.row(vec![
@@ -630,6 +643,7 @@ impl Bench {
                 (s.stored_bytes_written / 1024).to_string(),
                 (s.stored_bytes_read / 1024).to_string(),
                 format!("{:.2}", s.compression_ratio()),
+                s.round_trips.to_string(),
             ]);
         }
         t.print();
@@ -649,6 +663,12 @@ impl Bench {
             snap.mem_bytes / 1024,
             snap.evictions
         );
+        if snap.remote_round_trips > 0 {
+            println!(
+                "remote wire: {} round trips total (pipelining makes this < request count)",
+                snap.remote_round_trips
+            );
+        }
     }
 
     /// Standard report fields: configuration, suite-prep wall time and the
@@ -697,6 +717,18 @@ impl Bench {
             (
                 "prepare_stored_read_bytes".to_owned(),
                 Json::UInt(agg.stored_bytes_read),
+            ),
+            // Wire turnarounds paid by the prepare-stage lookups, and the
+            // store-wide total (which also covers write-back and flush
+            // traffic) — the multiplexed-store smoke asserts the pipelined
+            // total beats the serialized one on the same workload.
+            (
+                "prepare_round_trips".to_owned(),
+                Json::UInt(agg.round_trips),
+            ),
+            (
+                "remote_round_trips".to_owned(),
+                Json::UInt(snap.remote_round_trips),
             ),
             (
                 "featurize_stored_read_bytes".to_owned(),
@@ -761,6 +793,7 @@ fn namespace_json(s: &NamespaceStats) -> Json {
         ("stored_bytes_read", Json::UInt(s.stored_bytes_read)),
         ("compression_ratio", Json::Num(s.compression_ratio())),
         ("corrupt_entries", Json::UInt(s.corrupt_entries)),
+        ("round_trips", Json::UInt(s.round_trips)),
     ])
 }
 
@@ -772,6 +805,10 @@ fn stats_json(snap: &StatsSnapshot) -> Json {
         .collect();
     fields.push(("evictions".to_owned(), Json::UInt(snap.evictions)));
     fields.push(("mem_bytes".to_owned(), Json::UInt(snap.mem_bytes)));
+    fields.push((
+        "remote_round_trips".to_owned(),
+        Json::UInt(snap.remote_round_trips),
+    ));
     Json::Obj(fields)
 }
 

@@ -790,6 +790,11 @@ impl DesignSet {
         // artifact short-circuited by a blast hit) must not outlive the
         // preparation they were staged for.
         store.drop_staged();
+        // Drain fire-and-forget remote writes: the suite's artifacts are
+        // in the server's custody before the prepare reports done, so a
+        // subsequent fleet warm run (or the round-trip counters a bench
+        // samples here) see a settled store.
+        store.flush();
         let prepared = prepared?;
         let mut designs = Vec::with_capacity(prepared.len());
         let mut seconds = Vec::with_capacity(prepared.len());

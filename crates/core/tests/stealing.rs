@@ -9,7 +9,7 @@
 
 use rtl_timer::pipeline::{prepare_stolen, steal_plan_epoch, DesignSet, StealConfig, TimerConfig};
 use rtlt_store::server::{spawn, ArtifactServer, ServerConfig};
-use rtlt_store::wire::{Frame, Request, Response};
+use rtlt_store::wire::{tag_response, untag, Frame, Request, Response};
 use rtlt_store::{RemoteTier, Store};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -251,14 +251,19 @@ fn server_lost_mid_run_falls_back_to_the_static_remainder() {
         let server = ArtifactServer::new(&server_cfg);
         let (mut stream, _) = listener.accept().expect("one connection");
         for _ in 0..2 {
+            // A current fleet server speaks tagged envelopes, so the script
+            // does too: unwrap the envelope, dispatch, tag the answers.
             let frame = Frame::read_from(&mut stream).expect("request frame");
-            let responses = match Request::from_frame(&frame) {
+            let (tag, inner) = untag(&frame).expect("gen-3 client speaks tagged");
+            let responses = match Request::from_frame(&inner) {
                 Ok(Request::GetBatch { items }) => server.handle_batch(&items),
                 Ok(req) => vec![server.handle(req)],
                 Err(e) => vec![Response::Failed(e.to_string())],
             };
             for r in responses {
-                r.to_frame().write_to(&mut stream).expect("response");
+                tag_response(tag, &r.to_frame())
+                    .write_to(&mut stream)
+                    .expect("response");
             }
         }
         // Dropping both the stream and the listener kills the "fleet".

@@ -96,8 +96,9 @@ fn main() {
     });
     let bound = listener.local_addr().expect("bound address");
     eprintln!(
-        "[rtlt-stored] serving {} (dir {}, mem budget {} KiB, lease timeout {:.1}s)",
+        "[rtlt-stored] serving {} (wire v{}, multiplexed event loop; dir {}, mem budget {} KiB, lease timeout {:.1}s)",
         bound,
+        rtlt_store::wire::WIRE_VERSION,
         cfg.dir.display(),
         cfg.mem_budget / 1024,
         cfg.lease_timeout.as_secs_f64()

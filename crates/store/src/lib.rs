@@ -279,7 +279,12 @@ impl Store {
         // the client would read as all-miss and silently fall back to
         // per-key latency — the exact cost batching exists to remove).
         for (chunk_idx, chunk) in wanted.chunks(wire::MAX_BATCH_KEYS).enumerate() {
-            let results = remote.get_bytes_batch(chunk);
+            // Wire turnarounds are charged to the chunk's first namespace —
+            // prepare batches are per-stage, so the attribution is exact in
+            // practice and approximate at worst.
+            let results = self.charge_turns(&chunk[0].0, remote.as_ref(), || {
+                remote.get_bytes_batch(chunk)
+            });
             let idx = &wanted_idx[chunk_idx * wire::MAX_BATCH_KEYS..];
             let mut staged = self.staged.lock().expect("staged lock");
             for ((i, slot), result) in idx.iter().zip(chunk).zip(results) {
@@ -315,7 +320,31 @@ impl Store {
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
         let mem_bytes = self.decoded.lock().expect("mem lock").total_bytes as u64;
-        self.stats.snapshot(mem_bytes)
+        let remote_round_trips = self.tiers.iter().map(|t| t.round_trips()).sum();
+        self.stats.snapshot(mem_bytes, remote_round_trips)
+    }
+
+    /// Blocks until every tier's buffered best-effort writes are in the
+    /// tier's custody — the pipelined remote tier drains its
+    /// fire-and-forget PUT window. Called at measurement and shutdown
+    /// boundaries (end of a suite prepare); the hot path never pays it.
+    pub fn flush(&self) {
+        for tier in &self.tiers {
+            tier.flush();
+        }
+    }
+
+    /// Runs `f` against a tier and charges any wire round trips it paid to
+    /// `ns` — tiers expose only a monotonic total, so the delta around the
+    /// call is that call's share.
+    fn charge_turns<R>(&self, ns: &str, tier: &dyn StoreTier, f: impl FnOnce() -> R) -> R {
+        let before = tier.round_trips();
+        let out = f();
+        let delta = tier.round_trips().saturating_sub(before);
+        if delta > 0 {
+            self.stats.with_ns(ns, |s| s.round_trips += delta);
+        }
+        out
     }
 
     /// Looks up `key` in `ns`, returning the artifact from the first tier
@@ -363,7 +392,7 @@ impl Store {
             }
         }
         for (i, tier) in self.tiers.iter().enumerate() {
-            match tier.get_bytes(ns, key) {
+            match self.charge_turns(ns, tier.as_ref(), || tier.get_bytes(ns, key)) {
                 TierLookup::Hit(frame) => {
                     let Some(payload) = compress::decompress(&frame) else {
                         // The entry checksum passed but the compress frame
@@ -435,7 +464,7 @@ impl Store {
                 s.stored_bytes_written += frame.len() as u64;
             });
             for tier in &self.tiers {
-                tier.put_bytes(ns, key, &frame);
+                self.charge_turns(ns, tier.as_ref(), || tier.put_bytes(ns, key, &frame));
             }
         }
         self.mem_put(ns, key, value.clone(), payload.len());

@@ -4,8 +4,21 @@
 //! protocol — a byte-LRU [`MemTier`] fronting a checksummed [`DiskTier`],
 //! the exact impls the local `Store` composes. GETs walk the stack (disk
 //! hits promote into memory), PUTs land in every tier, STAT snapshots tier
-//! sizes, GC evicts down to a budget. One thread per connection; each
-//! connection handles any number of request/response round trips.
+//! sizes, GC evicts down to a budget.
+//!
+//! Transport is a std-only, hand-rolled **nonblocking event loop**
+//! ([`serve`]): one thread owns the listener and every connection, all in
+//! nonblocking mode, and each scheduler tick accepts pending peers, then
+//! drives every connection's write buffer, read buffer and incremental
+//! [`FrameReassembler`] until the socket reports `WouldBlock`. A
+//! connection whose response backlog exceeds [`MAX_CONN_INFLIGHT`] stops
+//! being read until the peer drains it (backpressure), and a connection
+//! silent past [`IDLE_TIMEOUT`] is reaped. Because requests are consumed
+//! as fast as they arrive — not one lockstep exchange at a time — a
+//! generation-3 client can keep a window of [`op::TAGGED`] envelopes in
+//! flight on one connection; responses carry the request's tag, batch
+//! streams included. Untagged (v1/v2) peers see exactly the old
+//! serialized request→response behavior, byte-identically.
 //!
 //! Payload *content* is never inspected: the server moves opaque bytes
 //! whose integrity the entry checksums and content keys already pin down,
@@ -26,14 +39,17 @@ use crate::compress;
 use crate::plan::{LeaseGrant, Planner};
 use crate::tier::{DiskTier, MemTier, StoreTier, TierLookup};
 use crate::wire::{
-    Frame, FrameBudget, Request, Response, WireError, MAX_BATCH_CHUNK, MAX_BATCH_KEYS,
-    MAX_CONN_INFLIGHT, PAYLOAD_ENCODING_FRAME,
+    op, tag_response, untag, Frame, FrameReassembler, Request, Response, ServerLoad,
+    MAX_BATCH_CHUNK, MAX_BATCH_KEYS, MAX_CONN_INFLIGHT, PAYLOAD_ENCODING_FRAME, WIRE_VERSION,
 };
 use crate::ContentHash;
-use std::net::{TcpListener, TcpStream};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default listen address.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
@@ -65,6 +81,29 @@ pub struct ServerConfig {
 pub struct ArtifactServer {
     tiers: Vec<Arc<dyn StoreTier>>,
     planner: Planner,
+    metrics: ServerMetrics,
+}
+
+/// Live gauges of the event loop, surfaced through [`Request::Stat2`]:
+/// open connections and exchanges accepted but not yet fully flushed back
+/// to their peers. Zero outside [`serve`] (e.g. when tests drive
+/// [`ArtifactServer::handle`] directly).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    connections: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Connections currently open on the event loop.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges accepted but not yet fully flushed.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
 }
 
 impl ArtifactServer {
@@ -78,6 +117,7 @@ impl ArtifactServer {
         ArtifactServer {
             tiers,
             planner: Planner::new(cfg.lease_timeout),
+            metrics: ServerMetrics::default(),
         }
     }
 
@@ -87,12 +127,18 @@ impl ArtifactServer {
         ArtifactServer {
             tiers,
             planner: Planner::default(),
+            metrics: ServerMetrics::default(),
         }
     }
 
     /// The fleet work queue.
     pub fn planner(&self) -> &Planner {
         &self.planner
+    }
+
+    /// The event loop's live gauges.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// One tier-stack lookup with promotion into earlier (faster) tiers,
@@ -181,6 +227,12 @@ impl ArtifactServer {
                 Response::Done(Default::default())
             }
             Request::Stat => Response::Stats(self.tiers.iter().map(|t| t.stats()).collect()),
+            Request::Stat2 => Response::ServerStats(ServerLoad {
+                tiers: self.tiers.iter().map(|t| t.stats()).collect(),
+                connections: self.metrics.connections(),
+                inflight: self.metrics.inflight(),
+                wire_version: WIRE_VERSION,
+            }),
             Request::Gc { budget_bytes } => {
                 let mut report = crate::GcReport::default();
                 for tier in &self.tiers {
@@ -291,90 +343,281 @@ impl ArtifactServer {
         });
         parts
     }
-
-    /// Serves one connection until the peer closes it, goes idle past
-    /// [`IDLE_TIMEOUT`], or commits a protocol error (after which the
-    /// connection is dropped — the *client* treats that as misses; the
-    /// server just moves to the next connection).
-    ///
-    /// # Errors
-    ///
-    /// The first [`WireError`] on the connection, for logging. Idle
-    /// timeouts and clean closes are `Ok`.
-    pub fn serve_connection(&self, stream: &mut TcpStream) -> Result<(), WireError> {
-        loop {
-            // The protocol is strictly request → response, so exactly one
-            // exchange is in flight per connection; a fresh cumulative
-            // budget per exchange is therefore the per-connection
-            // in-flight bound (and future multi-frame requests inherit
-            // it automatically).
-            let mut budget = FrameBudget::new(MAX_CONN_INFLIGHT);
-            let frame = match Frame::read_opt_budgeted(stream, &mut budget) {
-                Ok(None) => return Ok(()), // clean close
-                // SO_RCVTIMEO expiry between frames: the client vanished
-                // or went idle — reap the connection (and its thread)
-                // instead of blocking on it forever. A surviving client
-                // transparently reconnects on its next request.
-                Err(WireError::Io(
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut,
-                )) => return Ok(()),
-                Ok(Some(frame)) => frame,
-                Err(e) => return Err(e),
-            };
-            match Request::from_frame(&frame) {
-                // Batch answers stream: each chunk is written as soon as
-                // it fills, so the server holds one chunk, not the whole
-                // (up to budget-sized) response.
-                Ok(Request::GetBatch { items }) => {
-                    self.stream_batch(&items, MAX_BATCH_CHUNK, false, |part| {
-                        part.to_frame().write_to(stream)
-                    })?;
-                }
-                Ok(Request::GetBatch2 { items, encoding }) => {
-                    if encoding == PAYLOAD_ENCODING_FRAME {
-                        self.stream_batch(&items, MAX_BATCH_CHUNK, true, |part| {
-                            part.to_frame().write_to(stream)
-                        })?;
-                    } else {
-                        // Unknown encoding: a well-formed all-miss stream —
-                        // the client recomputes everything.
-                        Response::BatchPart {
-                            items: Vec::new(),
-                            last: true,
-                        }
-                        .to_frame()
-                        .write_to(stream)?;
-                    }
-                }
-                Ok(req) => self.handle(req).to_frame().write_to(stream)?,
-                Err(e) => Response::Failed(e.to_string())
-                    .to_frame()
-                    .write_to(stream)?,
-            }
-        }
-    }
 }
 
 /// Per-connection idle timeout: a client that disappears without closing
-/// (sleep, network drop) releases its server thread and socket after this
-/// long instead of leaking them for the service's lifetime.
-pub const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+/// (sleep, network drop) releases its connection state and socket after
+/// this long instead of leaking them for the service's lifetime.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
-/// Accept loop: serves `listener` forever, one thread per connection.
-pub fn serve(listener: TcpListener, server: Arc<ArtifactServer>) -> ! {
-    loop {
-        match listener.accept() {
-            Ok((mut stream, peer)) => {
-                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(IDLE_TIMEOUT));
-                let server = Arc::clone(&server);
-                std::thread::spawn(move || {
-                    if let Err(e) = server.serve_connection(&mut stream) {
-                        eprintln!("[rtlt-stored] connection {peer}: {e}");
-                    }
+/// How long the event loop sleeps when a full tick made no progress —
+/// nothing accepted, read, written or parsed. Short enough that a lone
+/// serialized client pays sub-millisecond turnaround; long enough that an
+/// idle server burns no meaningful CPU.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+/// Read scratch size per tick; bigger reads just take more ticks.
+const READ_CHUNK: usize = 64 << 10;
+
+/// One nonblocking connection on the event loop: an incremental frame
+/// reassembler on the read side, a flush-as-writable byte queue on the
+/// write side, and the bookkeeping that maps queued response bytes back
+/// to in-flight exchange counts.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    rx: FrameReassembler,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Total bytes flushed to the socket over the connection's lifetime.
+    flushed: u64,
+    /// Per accepted exchange: the absolute `flushed` offset at which its
+    /// response bytes end. Popped (and the in-flight gauge decremented)
+    /// as the write side advances past it.
+    pending: VecDeque<u64>,
+    last_activity: Instant,
+    /// The peer half-closed its read side; finish flushing, then drop.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: SocketAddr) -> Conn {
+        Conn {
+            stream,
+            peer,
+            rx: FrameReassembler::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            flushed: 0,
+            pending: VecDeque::new(),
+            last_activity: Instant::now(),
+            read_closed: false,
+        }
+    }
+
+    /// Response bytes queued but not yet flushed.
+    fn backlog(&self) -> u64 {
+        (self.wbuf.len() - self.wpos) as u64
+    }
+
+    /// Queues one response frame, wrapping it in a tagged envelope when
+    /// the request arrived in one.
+    fn queue(&mut self, tag: Option<u64>, frame: &Frame) {
+        let bytes = match tag {
+            Some(t) => tag_response(t, frame).to_bytes(),
+            None => frame.to_bytes(),
+        };
+        self.wbuf.extend_from_slice(&bytes);
+    }
+
+    /// Parses and answers one request frame (tagged or bare), queuing the
+    /// response bytes. Never fails: malformed-but-framed requests are
+    /// answered as [`Response::Failed`] on the still-alive connection,
+    /// exactly as the blocking loop did.
+    fn respond(&mut self, server: &ArtifactServer, frame: Frame) {
+        server.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+        let (tag, inner) = if frame.op == op::TAGGED {
+            match untag(&frame) {
+                Ok((t, f)) => (Some(t), f),
+                Err(e) => {
+                    // The envelope itself is malformed: no tag to echo, so
+                    // answer bare — the peer's demux treats an untagged
+                    // Failed as a protocol-level refusal.
+                    self.queue(None, &Response::Failed(e.to_string()).to_frame());
+                    self.settle();
+                    return;
+                }
+            }
+        } else {
+            (None, frame)
+        };
+        match Request::from_frame(&inner) {
+            // Batch answers stream in bounded chunks; under a tagged
+            // envelope every chunk carries the request's tag, so the
+            // stream can interleave with other in-flight exchanges.
+            Ok(Request::GetBatch { items }) => {
+                let _ = server.stream_batch(&items, MAX_BATCH_CHUNK, false, |part| {
+                    self.queue(tag, &part.to_frame());
+                    Ok::<(), std::convert::Infallible>(())
                 });
             }
-            Err(e) => eprintln!("[rtlt-stored] accept failed: {e}"),
+            Ok(Request::GetBatch2 { items, encoding }) => {
+                if encoding == PAYLOAD_ENCODING_FRAME {
+                    let _ = server.stream_batch(&items, MAX_BATCH_CHUNK, true, |part| {
+                        self.queue(tag, &part.to_frame());
+                        Ok::<(), std::convert::Infallible>(())
+                    });
+                } else {
+                    // Unknown encoding: a well-formed all-miss stream —
+                    // the client recomputes everything.
+                    self.queue(
+                        tag,
+                        &Response::BatchPart {
+                            items: Vec::new(),
+                            last: true,
+                        }
+                        .to_frame(),
+                    );
+                }
+            }
+            Ok(req) => {
+                let resp = server.handle(req).to_frame();
+                self.queue(tag, &resp);
+            }
+            Err(e) => self.queue(tag, &Response::Failed(e.to_string()).to_frame()),
+        }
+        self.settle();
+    }
+
+    /// Records where the just-queued exchange's response bytes end.
+    fn settle(&mut self) {
+        self.pending.push_back(self.flushed + self.backlog());
+    }
+
+    /// Flushes queued bytes until the socket would block. Returns
+    /// `(alive, progressed)`.
+    fn flush(&mut self, server: &ArtifactServer) -> (bool, bool) {
+        let mut progressed = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return (false, progressed),
+                Ok(n) => {
+                    self.wpos += n;
+                    self.flushed += n as u64;
+                    progressed = true;
+                    self.last_activity = Instant::now();
+                    while self.pending.front().is_some_and(|end| *end <= self.flushed) {
+                        self.pending.pop_front();
+                        server.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return (false, progressed),
+            }
+        }
+        if self.wpos == self.wbuf.len() && self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        (true, progressed)
+    }
+
+    /// One scheduler tick: flush, read, parse, dispatch. Returns
+    /// `(alive, progressed)`.
+    fn tick(&mut self, server: &ArtifactServer, scratch: &mut [u8]) -> (bool, bool) {
+        let (alive, mut progressed) = self.flush(server);
+        if !alive {
+            return (false, progressed);
+        }
+        if self.read_closed {
+            // Half-closed peer: once the response backlog drains, the
+            // conversation is over.
+            return (self.backlog() > 0, progressed);
+        }
+        // Backpressure: a peer that stops reading while pumping requests
+        // cannot balloon the response backlog past the same cumulative
+        // bound the wire's FrameBudget enforces per exchange — the loop
+        // simply stops reading it until the backlog drains.
+        if self.backlog() <= MAX_CONN_INFLIGHT {
+            loop {
+                match self.stream.read(scratch) {
+                    Ok(0) => {
+                        self.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.rx.ingest(&scratch[..n]);
+                        self.last_activity = Instant::now();
+                        progressed = true;
+                        if self.backlog() + self.rx.buffered() as u64 > MAX_CONN_INFLIGHT {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return (false, progressed),
+                }
+            }
+        }
+        loop {
+            match self.rx.next_frame() {
+                Ok(Some(frame)) => {
+                    progressed = true;
+                    self.respond(server, frame);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // The stream can no longer be framed: drop the
+                    // connection, as the blocking loop did. The client
+                    // treats it as misses.
+                    eprintln!("[rtlt-stored] connection {}: {e}", self.peer);
+                    return (false, progressed);
+                }
+            }
+        }
+        if self.read_closed && self.backlog() == 0 {
+            return (false, progressed);
+        }
+        if self.last_activity.elapsed() > IDLE_TIMEOUT {
+            return (false, progressed);
+        }
+        (true, progressed)
+    }
+}
+
+/// The event loop: serves `listener` forever on the calling thread —
+/// nonblocking accept plus per-connection readiness polling driven by
+/// `WouldBlock`. See the module docs for the architecture.
+///
+/// # Panics
+///
+/// If the listener cannot be switched to nonblocking mode (a broken
+/// socket at startup — nothing can be served).
+pub fn serve(listener: TcpListener, server: Arc<ArtifactServer>) -> ! {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    loop {
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    // Nagle would add a delay to every small planner RPC
+                    // (LEASE/REPORT) and every tagged ack; the protocol
+                    // writes whole frames, so there is nothing to coalesce.
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    server.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    conns.push(Conn::new(stream, peer));
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    eprintln!("[rtlt-stored] accept failed: {e}");
+                    break;
+                }
+            }
+        }
+        conns.retain_mut(|conn| {
+            let (alive, p) = conn.tick(&server, &mut scratch);
+            progressed |= p;
+            if !alive {
+                server.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+                server
+                    .metrics
+                    .inflight
+                    .fetch_sub(conn.pending.len() as u64, Ordering::Relaxed);
+            }
+            alive
+        });
+        if !progressed {
+            std::thread::sleep(POLL_INTERVAL);
         }
     }
 }

@@ -31,6 +31,11 @@ pub struct NamespaceStats {
     pub stored_bytes_read: u64,
     /// Entries that failed verification/decoding and were discarded.
     pub corrupt_entries: u64,
+    /// Remote wire round trips (write→read turnarounds) attributed to this
+    /// namespace's tier traffic — the thing RPC pipelining removes.
+    /// Fire-and-forget writes whose acks are absorbed later land in the
+    /// store-wide [`StatsSnapshot::remote_round_trips`] but not here.
+    pub round_trips: u64,
 }
 
 impl NamespaceStats {
@@ -122,6 +127,11 @@ pub struct StatsSnapshot {
     pub evictions: u64,
     /// Bytes currently resident in the in-memory tier.
     pub mem_bytes: u64,
+    /// Total remote wire round trips across every namespace, including
+    /// turnarounds not attributable to a single namespace (flush drains,
+    /// planner RPCs issued through the same connection). Authoritative for
+    /// "how often did this run wait on the wire".
+    pub remote_round_trips: u64,
 }
 
 impl StatsSnapshot {
@@ -149,6 +159,7 @@ impl StatsSnapshot {
             total.stored_bytes_written += s.stored_bytes_written;
             total.stored_bytes_read += s.stored_bytes_read;
             total.corrupt_entries += s.corrupt_entries;
+            total.round_trips += s.round_trips;
         }
         total
     }
@@ -183,12 +194,13 @@ impl StoreStats {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, mem_bytes: u64) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self, mem_bytes: u64, remote_round_trips: u64) -> StatsSnapshot {
         let map = self.inner.lock().expect("stats lock");
         StatsSnapshot {
             namespaces: map.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             evictions: self.evictions.load(std::sync::atomic::Ordering::Relaxed),
             mem_bytes,
+            remote_round_trips,
         }
     }
 }
@@ -218,7 +230,7 @@ mod tests {
         stats.with_ns("a", |s| s.misses = 2);
         stats.with_ns("b", |s| s.mem_hits = 6);
         stats.with_ns("b", |s| s.remote_hits = 2);
-        let snap = stats.snapshot(0);
+        let snap = stats.snapshot(0, 0);
         let agg = snap.aggregate(["a", "b", "untouched"]);
         assert_eq!(agg.misses, 2);
         assert_eq!(agg.mem_hits, 6);
@@ -255,7 +267,7 @@ mod tests {
             s.count_tier_hit(TierKind::Disk);
             s.count_tier_hit(TierKind::Remote);
         });
-        let t = stats.snapshot(0).tier_hits();
+        let t = stats.snapshot(0, 0).tier_hits();
         assert_eq!((t.mem, t.disk, t.remote), (1, 2, 1));
         assert_eq!(t.total(), 4);
         assert!((t.share_pct(TierKind::Disk) - 50.0).abs() < 1e-12);

@@ -317,6 +317,19 @@ pub trait StoreTier: Send + Sync + std::fmt::Debug {
     /// tier can track recency).
     fn gc(&self, budget_bytes: u64) -> GcReport;
 
+    /// Blocks until every buffered best-effort write has been pushed to
+    /// durable custody (acknowledged by the server, for a pipelined
+    /// remote tier). Local tiers write synchronously and have nothing to
+    /// flush.
+    fn flush(&self) {}
+
+    /// Cumulative wire round trips (write→read turnarounds) this tier has
+    /// paid — nonzero only for networked tiers. Monotonic; callers sample
+    /// deltas to attribute turnarounds to operations.
+    fn round_trips(&self) -> u64 {
+        0
+    }
+
     /// The on-disk root, for tiers that persist to a local directory.
     fn disk_root(&self) -> Option<&Path> {
         None

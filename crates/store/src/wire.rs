@@ -1,22 +1,33 @@
 //! Wire protocol of the `rtlt-stored` artifact service.
 //!
-//! Length-prefixed binary frames over TCP, one request → one response,
-//! reusing the [`Enc`]/[`Dec`] codec for frame bodies and stamping every
-//! frame with the [`WIRE_VERSION`] — a client and server of different
-//! *wire* generations refuse each other's frames, which the client maps to
-//! "miss, recompute" (never an error). The wire version is deliberately
-//! decoupled from the on-disk [`FORMAT_VERSION`]: the disk format moving
-//! to compressed payloads did not change any frame shape, so old and new
-//! nodes keep exchanging frames. Payload *encoding* negotiation instead
-//! rides on the opcodes: [`Request::Get2`]/[`Request::Put2`]/
-//! [`Request::GetBatch2`] carry an encoding tag
-//! ([`PAYLOAD_ENCODING_FRAME`] = compress frames), and a peer that does
-//! not know these opcodes answers [`Response::Failed`], which the client
-//! takes as "legacy peer — fall back to the v1 ops with bare payloads".
+//! Length-prefixed binary frames over TCP, reusing the [`Enc`]/[`Dec`]
+//! codec for frame bodies and stamping every frame with the
+//! [`FRAME_VERSION`] — a client and server of different *frame* layouts
+//! refuse each other's frames, which the client maps to "miss, recompute"
+//! (never an error). The frame version is deliberately decoupled both from
+//! the on-disk [`FORMAT_VERSION`] and from the protocol generation
+//! [`WIRE_VERSION`]: neither the disk format moving to compressed payloads
+//! (generation 2) nor tagged multiplexed framing (generation 3) changed
+//! the byte layout of a frame, so old and new nodes keep exchanging
+//! frames and negotiate *capabilities* per opcode instead. A peer that
+//! does not know an opcode answers [`Response::Failed`] on the still-alive
+//! connection, which the client takes as "older peer — fall back":
+//!
+//! * generation 2 — [`Request::Get2`]/[`Request::Put2`]/
+//!   [`Request::GetBatch2`] carry an encoding tag
+//!   ([`PAYLOAD_ENCODING_FRAME`] = compress frames); refused, the client
+//!   falls back to the v1 ops with bare payloads.
+//! * generation 3 — [`op::TAGGED`] envelopes prefix a request id to any
+//!   inner op (see [`tag_request`]/[`untag`]), so one connection carries
+//!   many in-flight exchanges and responses are matched by tag, not by
+//!   order; refused, the client falls back to serialized one-at-a-time
+//!   exchanges. [`Request::Stat2`] additionally reports live server load
+//!   ([`Response::ServerStats`]).
 //!
 //! ```text
 //! frame := magic "RTLW" (4) | version u32 | op u8 | body_len u64
 //!          | body [body_len] | checksum u64 (FNV-1a of body)
+//! tagged body := tag u64 | inner op u8 | inner body
 //! ```
 //!
 //! Requests: [`Request::Get`], [`Request::Put`], [`Request::GetBatch`],
@@ -24,14 +35,16 @@
 //! [`Request::Lease`], [`Request::Report`], [`Request::Plan`] and
 //! [`Request::PlanStat`]. Responses: [`Response::Hit`], [`Response::Miss`],
 //! [`Response::BatchPart`], [`Response::Done`], [`Response::Stats`],
-//! [`Response::Leased`], [`Response::Drained`], [`Response::PlanStats`],
-//! [`Response::Failed`].
+//! [`Response::ServerStats`], [`Response::Leased`], [`Response::Drained`],
+//! [`Response::PlanStats`], [`Response::Failed`].
 //!
 //! One request maps to one response *frame* — except [`Request::GetBatch`],
 //! which the server answers with a short stream of [`Response::BatchPart`]
 //! frames (bounded chunks, the final one flagged `last`), so a whole
 //! prepare-key set pipelines through one round trip without ever
-//! materializing an unbounded response body.
+//! materializing an unbounded response body. Under a tagged envelope every
+//! part of the stream carries the request's tag, so a batch can interleave
+//! with other in-flight exchanges.
 //!
 //! Every defense the on-disk entry format has, the wire has too: bad
 //! magic, version mismatch, oversized length headers (bounded by
@@ -53,12 +66,22 @@ use std::io::{Read, Write};
 /// magic so a file can never be replayed as a frame by accident).
 pub const WIRE_MAGIC: [u8; 4] = *b"RTLW";
 
-/// Wire protocol version stamped into every frame header. Historically
-/// this was the on-disk `FORMAT_VERSION`; it is pinned at 2 (the value
-/// both sides stamped before the two diverged) so that payload-format
-/// changes do not sever the wire — encoding negotiation happens per
-/// opcode, not per frame header.
-pub const WIRE_VERSION: u32 = 2;
+/// Frame-header version stamped into every frame. Historically this was
+/// the on-disk `FORMAT_VERSION`; it is pinned at 2 (the value both sides
+/// stamped before the two diverged) so that protocol growth does not
+/// sever the wire — capability negotiation happens per opcode, not per
+/// frame header. Bumping this severs every older peer at the frame level
+/// (they error without answering), so it only moves when the frame *byte
+/// layout* changes.
+pub const FRAME_VERSION: u32 = 2;
+
+/// Protocol generation of this build: 1 = bare-payload ops, 2 =
+/// encoding-tagged data ops (`GET2`/`PUT2`/`GETM2`), 3 = tagged
+/// multiplexed framing ([`op::TAGGED`]) and server-load stats
+/// ([`Request::Stat2`]). Purely informational — generations are
+/// negotiated per opcode (see the module docs), never stamped into frame
+/// headers (that stays [`FRAME_VERSION`]).
+pub const WIRE_VERSION: u32 = 3;
 
 /// Payload-encoding tag of the v2 data opcodes: the payload bytes are a
 /// [`crate::compress`] frame (mode-tagged, possibly compressed). A server
@@ -120,6 +143,16 @@ pub mod op {
     pub const PUT2: u8 = 11;
     /// Batched fetch in a tagged encoding.
     pub const GETM2: u8 = 12;
+    /// Multiplexing envelope: `tag u64 | inner op u8 | inner body`. The
+    /// response(s) to the inner request come back wrapped in
+    /// [`TAGGED_RESP`] envelopes carrying the same tag, so one connection
+    /// holds many exchanges in flight at once. Servers older than
+    /// generation 3 answer `FAILED` ("request opcode"), which the client
+    /// takes as its cue to serialize exchanges instead.
+    pub const TAGGED: u8 = 13;
+    /// Live server-load snapshot: tier stats plus connection and
+    /// in-flight exchange gauges ([`super::Response::ServerStats`]).
+    pub const STAT2: u8 = 14;
     /// Response: payload attached.
     pub const HIT: u8 = 0x81;
     /// Response: key not held.
@@ -136,6 +169,11 @@ pub mod op {
     pub const DRAINED: u8 = 0x87;
     /// Response: planner counters attached.
     pub const PLANSTATS: u8 = 0x88;
+    /// Response envelope matching a [`TAGGED`] request: `tag u64 | inner
+    /// op u8 | inner body`.
+    pub const TAGGED_RESP: u8 = 0x89;
+    /// Response: server-load snapshot attached.
+    pub const SERVERSTATS: u8 = 0x8A;
     /// Response: request failed server-side.
     pub const FAILED: u8 = 0xFF;
 }
@@ -181,7 +219,7 @@ pub enum WireError {
     Io(std::io::ErrorKind),
     /// The stream did not start with [`WIRE_MAGIC`].
     BadMagic,
-    /// Peer speaks a different [`WIRE_VERSION`].
+    /// Peer stamps a different [`FRAME_VERSION`].
     Version(u32),
     /// Length header exceeds [`MAX_FRAME_BODY`].
     Oversized(u64),
@@ -205,7 +243,7 @@ impl std::fmt::Display for WireError {
             WireError::Io(kind) => write!(f, "wire i/o error: {kind:?}"),
             WireError::BadMagic => write!(f, "bad frame magic"),
             WireError::Version(v) => {
-                write!(f, "peer wire version {v} != ours {WIRE_VERSION}")
+                write!(f, "peer frame version {v} != ours {FRAME_VERSION}")
             }
             WireError::Oversized(n) => {
                 write!(
@@ -248,7 +286,7 @@ impl Frame {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut bytes = Vec::with_capacity(FRAME_HEADER + self.body.len() + 8);
         bytes.extend_from_slice(&WIRE_MAGIC);
-        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&FRAME_VERSION.to_le_bytes());
         bytes.push(self.op);
         bytes.extend_from_slice(&(self.body.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&self.body);
@@ -343,7 +381,7 @@ impl Frame {
             return Err(WireError::BadMagic);
         }
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if version != WIRE_VERSION {
+        if version != FRAME_VERSION {
             return Err(WireError::Version(version));
         }
         let op = header[8];
@@ -367,6 +405,137 @@ impl Frame {
     }
 }
 
+/// Wraps a request frame in a generation-3 multiplexing envelope: the
+/// returned [`op::TAGGED`] frame carries `tag`, the inner opcode and the
+/// inner body. The server answers with one or more [`op::TAGGED_RESP`]
+/// frames carrying the same tag.
+pub fn tag_request(tag: u64, inner: &Frame) -> Frame {
+    tag_with(op::TAGGED, tag, inner)
+}
+
+/// Wraps a response frame in a [`op::TAGGED_RESP`] envelope carrying
+/// `tag` — the server side of [`tag_request`].
+pub fn tag_response(tag: u64, inner: &Frame) -> Frame {
+    tag_with(op::TAGGED_RESP, tag, inner)
+}
+
+fn tag_with(envelope_op: u8, tag: u64, inner: &Frame) -> Frame {
+    let mut body = Vec::with_capacity(8 + 1 + inner.body.len());
+    body.extend_from_slice(&tag.to_le_bytes());
+    body.push(inner.op);
+    body.extend_from_slice(&inner.body);
+    Frame {
+        op: envelope_op,
+        body,
+    }
+}
+
+/// Unwraps a [`op::TAGGED`]/[`op::TAGGED_RESP`] envelope into its tag and
+/// inner frame.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when `frame` is not an envelope or its body is
+/// too short to carry a tag and an inner opcode.
+pub fn untag(frame: &Frame) -> Result<(u64, Frame), WireError> {
+    if frame.op != op::TAGGED && frame.op != op::TAGGED_RESP {
+        return Err(WireError::Malformed("not a tagged envelope"));
+    }
+    if frame.body.len() < 9 {
+        return Err(WireError::Malformed("tagged envelope too short"));
+    }
+    let tag = u64::from_le_bytes(frame.body[..8].try_into().expect("8 bytes"));
+    Ok((
+        tag,
+        Frame {
+            op: frame.body[8],
+            body: frame.body[9..].to_vec(),
+        },
+    ))
+}
+
+/// Incremental frame parser over a growing byte buffer — the nonblocking
+/// event loop's (and any buffer-driven transport's) replacement for the
+/// blocking [`Frame::read_from`]. Bytes arrive in arbitrary chunks via
+/// [`FrameReassembler::ingest`]; [`FrameReassembler::next_frame`] yields
+/// each complete frame and `Ok(None)` while a frame is still partial,
+/// applying exactly the header checks the blocking reader does (magic,
+/// version, length bound *before* the body is even buffered, checksum).
+#[derive(Debug, Default)]
+pub struct FrameReassembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameReassembler {
+    /// An empty reassembler.
+    pub fn new() -> FrameReassembler {
+        FrameReassembler::default()
+    }
+
+    /// Appends freshly-read bytes to the buffer.
+    pub fn ingest(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` was already
+        // consumed by returned frames.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > (64 << 10)) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Parses the next complete frame out of the buffer. `Ok(None)` means
+    /// "need more bytes" — a partial header or partial body is not an
+    /// error until the connection itself ends.
+    ///
+    /// # Errors
+    ///
+    /// The same header/checksum failures as [`Frame::read_from`]; the
+    /// connection that produced them should be dropped, since the stream
+    /// can no longer be framed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        // Validate the header before waiting for (or buffering) a body:
+        // a corrupt length field must fail now, not after a gigabyte of
+        // "body" accumulates.
+        if avail[..4] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        if version != FRAME_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let op = avail[8];
+        let len = u64::from_le_bytes(avail[9..17].try_into().expect("8 bytes"));
+        if len > MAX_FRAME_BODY {
+            return Err(WireError::Oversized(len));
+        }
+        let total = FRAME_HEADER + len as usize + 8;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[FRAME_HEADER..FRAME_HEADER + len as usize];
+        let trailer = &avail[FRAME_HEADER + len as usize..total];
+        if fnv1a(body) != u64::from_le_bytes(trailer.try_into().expect("8 bytes")) {
+            return Err(WireError::Checksum);
+        }
+        let frame = Frame {
+            op,
+            body: body.to_vec(),
+        };
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
 fn enc_payload(e: &mut Enc, payload: &[u8]) {
     e.usize(payload.len());
     e.raw(payload);
@@ -380,6 +549,21 @@ fn dec_payload(d: &mut Dec<'_>) -> Result<Vec<u8>, WireError> {
     Ok(d.raw(n)
         .map_err(|_| WireError::Malformed("payload"))?
         .to_vec())
+}
+
+/// Live load snapshot of an `rtlt-stored` server, answered to
+/// [`Request::Stat2`]: the tier sizes the plain STAT reports, plus the
+/// event loop's connection and in-flight gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerLoad {
+    /// Size snapshots of the server's tiers, in fallback order.
+    pub tiers: Vec<TierStats>,
+    /// Connections currently open on the event loop.
+    pub connections: u64,
+    /// Exchanges accepted but not yet fully flushed back to their peers.
+    pub inflight: u64,
+    /// Protocol generation of the server build ([`WIRE_VERSION`]).
+    pub wire_version: u32,
 }
 
 /// A client→server request.
@@ -409,6 +593,10 @@ pub enum Request {
     },
     /// Size snapshot of the server's tiers.
     Stat,
+    /// Live load snapshot ([`ServerLoad`]): tier sizes plus connection and
+    /// in-flight gauges. Servers older than generation 3 answer `Failed`;
+    /// the client reads that as "no load data", never as an error.
+    Stat2,
     /// Evict the server's tiers down to `budget_bytes`.
     Gc {
         /// Target size in bytes.
@@ -508,6 +696,7 @@ impl Request {
                 op::GETM
             }
             Request::Stat => op::STAT,
+            Request::Stat2 => op::STAT2,
             Request::Gc { budget_bytes } => {
                 e.u64(*budget_bytes);
                 op::GC
@@ -607,6 +796,7 @@ impl Request {
                 Request::GetBatch { items }
             }
             op::STAT => Request::Stat,
+            op::STAT2 => Request::Stat2,
             op::GC => Request::Gc {
                 budget_bytes: d.u64().map_err(|_| WireError::Malformed("gc budget"))?,
             },
@@ -694,6 +884,8 @@ pub enum Response {
     Done(GcReport),
     /// Tier size snapshot.
     Stats(Vec<TierStats>),
+    /// Live server-load snapshot ([`Request::Stat2`]).
+    ServerStats(ServerLoad),
     /// A design lease was granted.
     Leased {
         /// The leased design name.
@@ -730,6 +922,39 @@ fn dec_tier_kind(d: &mut Dec<'_>) -> Result<TierKind, WireError> {
     }
 }
 
+fn enc_tier_stats(e: &mut Enc, tiers: &[TierStats]) {
+    e.seq_len(tiers.len());
+    for t in tiers {
+        enc_tier_kind(e, t.kind);
+        e.str(&t.detail);
+        e.u64(t.entries);
+        e.u64(t.bytes);
+        e.bool(t.reachable);
+    }
+}
+
+fn dec_tier_stats(d: &mut Dec<'_>) -> Result<Vec<TierStats>, WireError> {
+    let n = d
+        .seq_len(2)
+        .map_err(|_| WireError::Malformed("stats len"))?;
+    let mut tiers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = dec_tier_kind(d)?;
+        let detail = d.str().map_err(|_| WireError::Malformed("tier detail"))?;
+        let entries = d.u64().map_err(|_| WireError::Malformed("tier entries"))?;
+        let bytes = d.u64().map_err(|_| WireError::Malformed("tier bytes"))?;
+        let reachable = d.bool().map_err(|_| WireError::Malformed("tier flag"))?;
+        tiers.push(TierStats {
+            kind,
+            detail,
+            entries,
+            bytes,
+            reachable,
+        });
+    }
+    Ok(tiers)
+}
+
 impl Response {
     /// Serializes into a frame.
     pub fn to_frame(&self) -> Frame {
@@ -764,15 +989,15 @@ impl Response {
                 op::DONE
             }
             Response::Stats(tiers) => {
-                e.seq_len(tiers.len());
-                for t in tiers {
-                    enc_tier_kind(&mut e, t.kind);
-                    e.str(&t.detail);
-                    e.u64(t.entries);
-                    e.u64(t.bytes);
-                    e.bool(t.reachable);
-                }
+                enc_tier_stats(&mut e, tiers);
                 op::STATS
+            }
+            Response::ServerStats(load) => {
+                enc_tier_stats(&mut e, &load.tiers);
+                e.u64(load.connections);
+                e.u64(load.inflight);
+                e.u32(load.wire_version);
+                op::SERVERSTATS
             }
             Response::Leased { design } => {
                 e.str(design);
@@ -842,27 +1067,13 @@ impl Response {
                     remaining_bytes: next()?,
                 })
             }
-            op::STATS => {
-                let n = d
-                    .seq_len(2)
-                    .map_err(|_| WireError::Malformed("stats len"))?;
-                let mut tiers = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let kind = dec_tier_kind(&mut d)?;
-                    let detail = d.str().map_err(|_| WireError::Malformed("tier detail"))?;
-                    let entries = d.u64().map_err(|_| WireError::Malformed("tier entries"))?;
-                    let bytes = d.u64().map_err(|_| WireError::Malformed("tier bytes"))?;
-                    let reachable = d.bool().map_err(|_| WireError::Malformed("tier flag"))?;
-                    tiers.push(TierStats {
-                        kind,
-                        detail,
-                        entries,
-                        bytes,
-                        reachable,
-                    });
-                }
-                Response::Stats(tiers)
-            }
+            op::STATS => Response::Stats(dec_tier_stats(&mut d)?),
+            op::SERVERSTATS => Response::ServerStats(ServerLoad {
+                tiers: dec_tier_stats(&mut d)?,
+                connections: d.u64().map_err(|_| WireError::Malformed("connections"))?,
+                inflight: d.u64().map_err(|_| WireError::Malformed("inflight"))?,
+                wire_version: d.u32().map_err(|_| WireError::Malformed("wire version"))?,
+            }),
             op::LEASED => Response::Leased {
                 design: d.str().map_err(|_| WireError::Malformed("leased design"))?,
             },
@@ -927,6 +1138,7 @@ mod tests {
             },
             Request::GetBatch { items: Vec::new() },
             Request::Stat,
+            Request::Stat2,
             Request::Gc { budget_bytes: 42 },
             Request::Lease {
                 worker: "worker-a".into(),
@@ -1007,6 +1219,18 @@ mod tests {
                 bytes: 8,
                 reachable: true,
             }]),
+            Response::ServerStats(ServerLoad {
+                tiers: vec![TierStats {
+                    kind: TierKind::Memory,
+                    detail: "mem".into(),
+                    entries: 3,
+                    bytes: 4096,
+                    reachable: true,
+                }],
+                connections: 5,
+                inflight: 2,
+                wire_version: WIRE_VERSION,
+            }),
             Response::BatchPart {
                 items: vec![(0, Some(vec![1, 2, 3])), (1, None), (7, Some(Vec::new()))],
                 last: false,
@@ -1159,6 +1383,102 @@ mod tests {
         assert_eq!(Frame::read_opt(&mut [].as_ref()).unwrap(), None);
         // One stray byte is a truncated frame, not a clean close.
         assert!(Frame::read_opt(&mut [b'R'].as_ref()).is_err());
+    }
+
+    #[test]
+    fn tagged_envelopes_round_trip_and_validate() {
+        let key = KeyBuilder::new("wire").u64(5).finish();
+        let inner = Request::Get2 {
+            ns: "featurize".into(),
+            key,
+            encoding: PAYLOAD_ENCODING_FRAME,
+        }
+        .to_frame();
+        let tagged = tag_request(0xABCD_EF01_2345_6789, &inner);
+        assert_eq!(tagged.op, op::TAGGED);
+        let (tag, back) = untag(&frame_round_trip(&tagged)).expect("untag");
+        assert_eq!(tag, 0xABCD_EF01_2345_6789);
+        assert_eq!(back, inner);
+        assert_eq!(
+            Request::from_frame(&back).unwrap(),
+            Request::from_frame(&inner).unwrap()
+        );
+
+        // Responses wrap the same way, including empty-body inner frames.
+        let resp = Response::Miss.to_frame();
+        let wrapped = tag_response(7, &resp);
+        assert_eq!(wrapped.op, op::TAGGED_RESP);
+        let (tag, back) = untag(&wrapped).expect("untag response");
+        assert_eq!((tag, back), (7, resp));
+
+        // Non-envelope and truncated envelopes are typed failures.
+        assert!(untag(&inner).is_err());
+        assert!(untag(&Frame {
+            op: op::TAGGED,
+            body: vec![0; 8],
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn reassembler_yields_frames_across_arbitrary_chunk_splits() {
+        let key = KeyBuilder::new("wire").u64(6).finish();
+        let frames = [
+            Request::Stat.to_frame(),
+            tag_request(
+                3,
+                &Request::Put {
+                    ns: "blast".into(),
+                    key,
+                    payload: vec![9; 300],
+                }
+                .to_frame(),
+            ),
+            Response::Hit(vec![1; 50]).to_frame(),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.to_bytes());
+        }
+        // Feed one byte at a time: every frame must come out whole, in
+        // order, with Ok(None) at every partial point.
+        let mut r = FrameReassembler::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            r.ingest(std::slice::from_ref(b));
+            while let Some(f) = r.next_frame().expect("clean stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn reassembler_rejects_corrupt_streams_early() {
+        // A lying length header fails at the header, before any body bytes
+        // accumulate.
+        let mut bytes = Frame {
+            op: op::GET,
+            body: Vec::new(),
+        }
+        .to_bytes();
+        bytes[9..17].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = FrameReassembler::new();
+        r.ingest(&bytes[..FRAME_HEADER]);
+        assert_eq!(r.next_frame(), Err(WireError::Oversized(u64::MAX)));
+
+        // Bad magic, stale version, flipped body byte: all typed.
+        for (mutate, want_checksum) in [(0usize, false), (4usize, false), (FRAME_HEADER, true)] {
+            let mut b = Response::Hit(vec![5; 40]).to_frame().to_bytes();
+            b[mutate] ^= 0xFF;
+            let mut r = FrameReassembler::new();
+            r.ingest(&b);
+            let err = r.next_frame().unwrap_err();
+            if want_checksum {
+                assert_eq!(err, WireError::Checksum);
+            }
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! without tripping the failure breaker — before anyone relies on the
 //! compressed v2 ops.
 
-use rtlt_store::server::{spawn, ServerConfig};
-use rtlt_store::wire::{op, Frame, Request, Response};
+use rtlt_store::server::{spawn, ArtifactServer, ServerConfig};
+use rtlt_store::wire::{op, Frame, Request, Response, MAX_BATCH_CHUNK, PAYLOAD_ENCODING_FRAME};
 use rtlt_store::{
     compress, Codec, ContentHash, KeyBuilder, RemoteTier, Store, StoreTier, TierLookup,
 };
@@ -81,6 +81,74 @@ fn spawn_legacy_server() -> (String, LegacyState) {
     (addr, state)
 }
 
+/// A faithful generation-2 `rtlt-stored`: it speaks every untagged opcode
+/// including the compressed data ops (`GET2`/`PUT2`/`GETM2`) over a real
+/// [`ArtifactServer`], but predates tagged envelopes — anything past
+/// `GETM2` is answered `Failed`, exactly what the blocking v2 loop did
+/// with an unknown opcode.
+fn spawn_v2_server(dir: std::path::PathBuf) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = Arc::new(ArtifactServer::new(&ServerConfig {
+        dir,
+        mem_budget: 1 << 20,
+        lease_timeout: rtlt_store::plan::DEFAULT_LEASE_TIMEOUT,
+    }));
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                loop {
+                    let frame = match Frame::read_opt(&mut stream) {
+                        Ok(Some(f)) => f,
+                        _ => return,
+                    };
+                    if frame.op > op::GETM2 {
+                        let failed = Response::Failed(format!("request opcode {}", frame.op));
+                        if failed.to_frame().write_to(&mut stream).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                    let ok = match Request::from_frame(&frame) {
+                        Ok(Request::GetBatch { items }) => server
+                            .stream_batch(&items, MAX_BATCH_CHUNK, false, |part| {
+                                part.to_frame().write_to(&mut stream)
+                            })
+                            .is_ok(),
+                        Ok(Request::GetBatch2 { items, encoding })
+                            if encoding == PAYLOAD_ENCODING_FRAME =>
+                        {
+                            server
+                                .stream_batch(&items, MAX_BATCH_CHUNK, true, |part| {
+                                    part.to_frame().write_to(&mut stream)
+                                })
+                                .is_ok()
+                        }
+                        Ok(Request::GetBatch2 { .. }) => Response::BatchPart {
+                            items: Vec::new(),
+                            last: true,
+                        }
+                        .to_frame()
+                        .write_to(&mut stream)
+                        .is_ok(),
+                        Ok(req) => server.handle(req).to_frame().write_to(&mut stream).is_ok(),
+                        Err(e) => Response::Failed(e.to_string())
+                            .to_frame()
+                            .write_to(&mut stream)
+                            .is_ok(),
+                    };
+                    if !ok {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
 #[test]
 fn new_client_falls_back_against_an_old_server() {
     let (addr, state) = spawn_legacy_server();
@@ -130,6 +198,61 @@ fn new_client_falls_back_against_an_old_server() {
 
     let s = reader.stats().namespace("featurize");
     assert_eq!((s.remote_hits, s.misses), (1, 0));
+}
+
+#[test]
+fn mixed_v2_v3_fleet_interoperates_byte_identically() {
+    let scratch = std::env::temp_dir().join(format!("rtlt-interop-mixed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let v3_cfg = ServerConfig {
+        dir: scratch.join("v3"),
+        mem_budget: 1 << 20,
+        lease_timeout: rtlt_store::plan::DEFAULT_LEASE_TIMEOUT,
+    };
+    let v3_addr = spawn("127.0.0.1:0", &v3_cfg).expect("bind").to_string();
+    let v2_addr = spawn_v2_server(scratch.join("v2"));
+
+    // One new-build client per server writes the same artifact. The v3
+    // peer negotiates tagged multiplexing (first contact probes); the v2
+    // peer refuses the envelope and pins serialized framing — but keeps
+    // speaking the compressed data ops, so it is *not* legacy.
+    let artifact: Vec<f64> = (0..300).map(|i| i as f64 * 0.125 - 3.0).collect();
+    let frame = compress::compress(&artifact.to_bytes());
+    let v3 = RemoteTier::new(&v3_addr);
+    let v2 = RemoteTier::new(&v2_addr);
+    for remote in [&v3, &v2] {
+        remote.put_bytes("featurize", key("mixed"), &frame);
+        remote.flush();
+    }
+    assert_eq!(v3.peer_tagged(), Some(true), "gen-3 peer multiplexes");
+    assert_eq!(v2.peer_tagged(), Some(false), "gen-2 peer serializes");
+    assert!(!v2.peer_legacy(), "a v2 peer still speaks the data ops");
+    assert!(
+        !v2.is_down(),
+        "the envelope refusal is healthy, not a failure"
+    );
+
+    // Fresh readers pull the artifact back from both generations,
+    // per-key and batched, byte-identically.
+    for addr in [&v3_addr, &v2_addr] {
+        let mut store = Store::in_memory();
+        store.push_tier(Arc::new(RemoteTier::new(addr)));
+        assert_eq!(
+            *store
+                .get::<Vec<f64>>("featurize", key("mixed"))
+                .expect("served"),
+            artifact
+        );
+        let reader = RemoteTier::new(addr);
+        let batch = reader.get_bytes_batch(&[
+            ("featurize".to_owned(), key("mixed")),
+            ("featurize".to_owned(), key("absent")),
+        ]);
+        assert_eq!(batch[0], TierLookup::Hit(frame.clone()));
+        assert_eq!(batch[1], TierLookup::Miss);
+        assert!(!reader.is_down());
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]
