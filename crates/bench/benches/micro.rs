@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rtl_timer::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
-use rtl_timer::dataset::build_variant_data;
+use rtl_timer::dataset::{build_all_variant_data_scratch, build_variant_data, FeaturizeScratch};
 use rtlt_bog::{blast, BogVariant};
 use rtlt_liberty::Library;
-use rtlt_sta::{Sta, StaConfig};
+use rtlt_sta::{LevelScratch, Sta, StaConfig};
+use rtlt_store::Store;
 use rtlt_synth::{synthesize, SynthOptions};
 
 fn src() -> String {
@@ -41,6 +42,28 @@ fn bench_sta(c: &mut Criterion) {
     c.bench_function("dataset_b17", |b| {
         b.iter(|| build_variant_data(&sog, &lib, 1.0, 7))
     });
+}
+
+fn bench_cone_kernel(c: &mut Criterion) {
+    let netlist = rtlt_verilog::compile(&src(), "b17").expect("compiles");
+    let sog = blast(&netlist);
+    let lib = Library::pseudo_bog();
+    let mut scratch = LevelScratch::new();
+    c.bench_function("levelized_sta_b17", |b| {
+        b.iter(|| Sta::run_levelized(&sog, &lib, StaConfig::default(), &mut scratch))
+    });
+    let mut group = c.benchmark_group("cone");
+    group.sample_size(10);
+    group.bench_function("cone_shard_dedup_b17", |b| {
+        b.iter_batched(
+            || (Store::in_memory(), FeaturizeScratch::new()),
+            |(store, mut scratch)| {
+                build_all_variant_data_scratch(&store, &sog, &lib, 1.0, 7, true, &mut scratch)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
 }
 
 fn bench_synth(c: &mut Criterion) {
@@ -88,6 +111,7 @@ criterion_group!(
     bench_frontend,
     bench_bog,
     bench_sta,
+    bench_cone_kernel,
     bench_synth,
     bench_model
 );

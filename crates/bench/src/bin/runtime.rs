@@ -7,7 +7,7 @@
 //! wall time, cache counters and micro-bench medians (the perf trajectory's
 //! machine-readable record; CI asserts a warm second run hits ≥ 90 %).
 
-use rtl_timer::dataset::build_variant_data;
+use rtl_timer::dataset::{build_all_variant_data_scratch, build_variant_data, FeaturizeScratch};
 use rtl_timer::optimize::{path_groups_from_scores, retime_set_from_scores};
 use rtl_timer::pipeline::RtlTimer;
 use rtlt_bench::{
@@ -15,7 +15,8 @@ use rtlt_bench::{
 };
 use rtlt_bog::BogVariant;
 use rtlt_liberty::Library;
-use rtlt_store::RemoteTier;
+use rtlt_sta::{LevelScratch, Sta, StaConfig};
+use rtlt_store::{RemoteTier, Store};
 use rtlt_synth::{synthesize, SynthOptions};
 use std::time::Instant;
 
@@ -133,6 +134,10 @@ fn main() {
     let mut bog_ms = Vec::new();
     let mut proc_ms = Vec::new();
     let mut inf_ms = Vec::new();
+    let mut lev_ms = Vec::new();
+    let mut dedup_ms = Vec::new();
+    let mut lev_scratch = LevelScratch::new();
+    let mut feat_scratch = FeaturizeScratch::new();
     for d in &test {
         // Synthesis runtime (label flow). These loops *measure* the raw
         // computations, so they bypass the store on purpose — cached
@@ -161,6 +166,35 @@ fn main() {
         let data = build_variant_data(&sog, &pseudo, synth.clock_period, d.synth_seed);
         let t_proc = t0.elapsed().as_secs_f64() * 1e3;
         let _ = data;
+
+        // Levelized SoA pseudo-STA kernel (the seed-independent half of a
+        // cone evaluation) over the whole SOG, with scratch reuse.
+        let t0 = Instant::now();
+        let _ = Sta::run_levelized(
+            &sog,
+            &pseudo,
+            StaConfig {
+                clock_period: synth.clock_period,
+                ..Default::default()
+            },
+            &mut lev_scratch,
+        );
+        lev_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        // Cold shared-cone featurize (dedup on, fresh in-memory store so
+        // nothing is served from the suite's warmed artifact cache).
+        let cold = Store::in_memory();
+        let t0 = Instant::now();
+        let _ = build_all_variant_data_scratch(
+            &cold,
+            &sog,
+            &pseudo,
+            synth.clock_period,
+            d.synth_seed,
+            true,
+            &mut feat_scratch,
+        );
+        dedup_ms.push(t0.elapsed().as_secs_f64() * 1e3);
 
         // Model inference.
         let t0 = Instant::now();
@@ -237,6 +271,8 @@ fn main() {
                     ("bog_build_median", Json::Num(median(&bog_ms))),
                     ("reg_proc_median", Json::Num(median(&proc_ms))),
                     ("inference_median", Json::Num(median(&inf_ms))),
+                    ("levelized_sta_median", Json::Num(median(&lev_ms))),
+                    ("cone_shard_dedup_median", Json::Num(median(&dedup_ms))),
                     ("bog_pct_of_synth_avg", Json::Num(avg(&bog_pcts))),
                     ("proc_pct_of_synth_avg", Json::Num(avg(&proc_pcts))),
                     ("infer_pct_of_synth_avg", Json::Num(avg(&inf_pcts))),

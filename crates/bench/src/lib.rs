@@ -436,6 +436,10 @@ pub struct Bench {
     /// Shared two-tier artifact store (disk tier per [`cache_dir`]).
     pub store: Store,
     prep_seconds: Cell<f64>,
+    /// Shared-cone dedup counters snapshotted when the last preparation
+    /// finished, so later featurize calls (e.g. the runtime analysis
+    /// loop's uncached measurements) don't leak into the report.
+    dedup_stats: Cell<Option<rtl_timer::dataset::ConeDedupStats>>,
     /// Observed per-design prepare wall times of the last preparation —
     /// written into `BENCH_<bin>.json` as `design_seconds`, where the
     /// next fleet run's planner reads them as cost priors.
@@ -483,6 +487,7 @@ impl Bench {
             cfg: config(),
             store,
             prep_seconds: Cell::new(f64::NAN),
+            dedup_stats: Cell::new(None),
             design_seconds: RefCell::new(Vec::new()),
         }
     }
@@ -508,6 +513,8 @@ impl Bench {
         *self.design_seconds.borrow_mut() = timed;
         let secs = t.elapsed().as_secs_f64();
         self.prep_seconds.set(secs);
+        self.dedup_stats
+            .set(Some(rtl_timer::dataset::cone_dedup_stats()));
         let agg = self.prepare_stats();
         eprintln!(
             "[harness] suite ready in {secs:.1}s (prepare stages: {} hits / {} lookups = {:.1}% hit rate)",
@@ -539,6 +546,8 @@ impl Bench {
         *self.design_seconds.borrow_mut() = timed;
         let secs = t.elapsed().as_secs_f64();
         self.prep_seconds.set(secs);
+        self.dedup_stats
+            .set(Some(rtl_timer::dataset::cone_dedup_stats()));
         let agg = self.prepare_stats();
         eprintln!(
             "[harness] shard {index}/{count} ready: {} designs in {secs:.1}s ({} hits / {} lookups = {:.1}% hit rate)",
@@ -577,6 +586,8 @@ impl Bench {
         let out = DesignSet::prepare_suite_stolen(&self.cfg, &self.store, fleet, &steal)?;
         let secs = t.elapsed().as_secs_f64();
         self.prep_seconds.set(secs);
+        self.dedup_stats
+            .set(Some(rtl_timer::dataset::cone_dedup_stats()));
         *self.design_seconds.borrow_mut() = out.design_seconds.clone();
         let agg = self.prepare_stats();
         eprintln!(
@@ -593,6 +604,14 @@ impl Bench {
             agg.hit_rate_pct()
         );
         Some(out)
+    }
+
+    /// Shared-cone dedup counters as of the end of the last preparation
+    /// (live counters before any preparation has run).
+    pub fn prepared_dedup_stats(&self) -> rtl_timer::dataset::ConeDedupStats {
+        self.dedup_stats
+            .get()
+            .unwrap_or_else(rtl_timer::dataset::cone_dedup_stats)
     }
 
     /// Wall time of the last [`Bench::prepare_suite`] (NaN before any run).
@@ -669,6 +688,17 @@ impl Bench {
                 snap.remote_round_trips
             );
         }
+        let dedup = self.prepared_dedup_stats();
+        if dedup.total_signals > 0 {
+            println!(
+                "cone dedup: {} unique cones / {} signals ({:.1}% shared), {} evals saved, featurize {:.2}s",
+                dedup.unique_cones,
+                dedup.total_signals,
+                100.0 * (1.0 - dedup.unique_cones as f64 / dedup.total_signals as f64),
+                dedup.saved_evals,
+                dedup.featurize_seconds,
+            );
+        }
     }
 
     /// Standard report fields: configuration, suite-prep wall time and the
@@ -676,6 +706,7 @@ impl Bench {
     fn report_base(&self, bin: &str) -> Vec<(String, Json)> {
         let snap = self.store.stats();
         let agg = self.prepare_stats();
+        let dedup = self.prepared_dedup_stats();
         vec![
             ("schema_version".to_owned(), Json::Int(1)),
             ("bin".to_owned(), Json::Str(bin.to_owned())),
@@ -733,6 +764,20 @@ impl Bench {
             (
                 "featurize_stored_read_bytes".to_owned(),
                 Json::UInt(snap.namespace("featurize").stored_bytes_read),
+            ),
+            // Shared-cone featurization: how much per-signal evaluation the
+            // structural dedup collapsed, and the wall time spent inside
+            // `build_all_variant_data` (the cold featurize kernel the CI
+            // perf gate tracks as `cold_prepare_seconds`).
+            ("unique_cones".to_owned(), Json::UInt(dedup.unique_cones)),
+            ("total_signals".to_owned(), Json::UInt(dedup.total_signals)),
+            (
+                "dedup_saved_evals".to_owned(),
+                Json::UInt(dedup.saved_evals),
+            ),
+            (
+                "cold_featurize_seconds".to_owned(),
+                Json::Num(dedup.featurize_seconds),
             ),
             // Per-design prepare wall times (sorted by name): the cost
             // priors the next fleet run's shard planner seeds from.

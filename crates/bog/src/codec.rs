@@ -4,8 +4,26 @@
 //! one sanctioned way to rebuild a graph from raw parts, and it re-checks
 //! nothing: a corrupt stream fails decoding, never constructs a graph.
 
+use crate::cone::ConeInfo;
 use crate::graph::{Bog, BogNode, BogOp, BogReg, BogVariant, SignalInfo};
 use rtlt_store::{Codec, CodecError, Dec, Enc};
+
+impl Codec for ConeInfo {
+    fn encode(&self, e: &mut Enc) {
+        e.usize(self.driving_regs);
+        e.usize(self.driving_inputs);
+        e.usize(self.size);
+        e.u32(self.depth);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(ConeInfo {
+            driving_regs: d.usize()?,
+            driving_inputs: d.usize()?,
+            size: d.usize()?,
+            depth: d.u32()?,
+        })
+    }
+}
 
 impl Codec for BogOp {
     fn encode(&self, e: &mut Enc) {

@@ -12,6 +12,7 @@
 //! sub-graphs, regardless of how node ids shifted in the full design.
 
 use crate::graph::{Bog, BogBuilder, BogOp, NodeId};
+use rtlt_store::{Codec, ContentHash, Enc};
 use std::collections::HashMap;
 
 /// Summary of an endpoint's combinational input cone.
@@ -30,17 +31,57 @@ pub struct ConeInfo {
 /// Computes the input cone of the node `endpoint` (usually a register D pin
 /// or output driver) by backward traversal.
 pub fn input_cone(bog: &Bog, endpoint: NodeId) -> ConeInfo {
+    let mut scratch = ConeScratch::new();
+    scratch.begin(bog);
+    input_cone_scratch(bog, endpoint, &mut scratch)
+}
+
+/// Reusable tables for repeated [`input_cone_scratch`] queries against one
+/// graph: a stamped visited set (O(touched) reset between endpoints) and
+/// the longest-path memo, which is endpoint-independent and therefore
+/// shared by every endpoint of the graph.
+#[derive(Debug, Default)]
+pub struct ConeScratch {
+    seen: Vec<u32>,
+    epoch: u32,
+    stack: Vec<NodeId>,
+    depth_memo: Vec<Option<u32>>,
+}
+
+impl ConeScratch {
+    /// A fresh, unbound scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebinds the scratch to `bog`. Must be called before the first
+    /// [`input_cone_scratch`] query against a graph and again whenever the
+    /// graph changes — the depth memo is only valid for one graph.
+    pub fn begin(&mut self, bog: &Bog) {
+        self.seen.clear();
+        self.seen.resize(bog.len(), 0);
+        self.epoch = 0;
+        self.stack.clear();
+        self.depth_memo.clear();
+        self.depth_memo.resize(bog.len(), None);
+    }
+}
+
+/// [`input_cone`] against caller-owned scratch tables — identical result,
+/// no per-query allocation. The scratch must have been [`ConeScratch::begin`]-bound
+/// to `bog`.
+pub fn input_cone_scratch(bog: &Bog, endpoint: NodeId, s: &mut ConeScratch) -> ConeInfo {
+    debug_assert_eq!(s.seen.len(), bog.len(), "scratch bound to another graph");
     let mut info = ConeInfo::default();
-    let mut seen = vec![false; bog.len()];
-    let mut stack = vec![endpoint];
-    let levels = None::<&[u32]>; // depth computed locally below
-    let _ = levels;
-    let mut depth_memo: Vec<Option<u32>> = vec![None; bog.len()];
-    while let Some(id) = stack.pop() {
-        if seen[id as usize] {
+    s.epoch += 1;
+    let epoch = s.epoch;
+    s.stack.clear();
+    s.stack.push(endpoint);
+    while let Some(id) = s.stack.pop() {
+        if s.seen[id as usize] == epoch {
             continue;
         }
-        seen[id as usize] = true;
+        s.seen[id as usize] = epoch;
         let node = bog.node(id);
         match node.op {
             BogOp::Dff => info.driving_regs += 1,
@@ -49,15 +90,55 @@ pub fn input_cone(bog: &Bog, endpoint: NodeId) -> ConeInfo {
             _ => {
                 info.size += 1;
                 for &f in bog.fanins(id) {
-                    if !seen[f as usize] {
-                        stack.push(f);
+                    if s.seen[f as usize] != epoch {
+                        s.stack.push(f);
                     }
                 }
             }
         }
     }
-    info.depth = cone_depth(bog, endpoint, &mut depth_memo);
+    info.depth = cone_depth(bog, endpoint, &mut s.depth_memo);
     info
+}
+
+/// **Structural** fingerprint of a canonically-extracted cone: the hash of
+/// its graph structure — operators, fanins, register wiring, port node ids,
+/// signal widths — with every name string (design, signal, input, output)
+/// and declaration line excluded.
+///
+/// [`extract_signal_cone`]'s fixed traversal makes the rebuilt node/reg
+/// arrays a pure function of structure, so two signals with isomorphic
+/// cones (bit lanes of one word, replicated generated blocks) collide here
+/// even though their full codec bytes differ in the name strings. Timing
+/// evaluation never reads a name, which is what makes the fingerprint a
+/// sound sharing key for seed-independent cone evaluations; anything
+/// name-dependent (the per-seed shard cache, provenance) must keep using
+/// the full content hash of [`Codec::to_bytes`].
+pub fn cone_fingerprint(cone: &Bog) -> ContentHash {
+    let mut e = Enc::new();
+    cone.variant.encode(&mut e);
+    e.seq_len(cone.nodes.len());
+    for n in &cone.nodes {
+        n.encode(&mut e);
+    }
+    e.seq_len(cone.inputs.len());
+    for (_, id) in &cone.inputs {
+        e.u32(*id);
+    }
+    e.seq_len(cone.outputs.len());
+    for (_, id) in &cone.outputs {
+        e.u32(*id);
+    }
+    e.seq_len(cone.regs.len());
+    for r in &cone.regs {
+        r.encode(&mut e);
+    }
+    e.seq_len(cone.signals.len());
+    for s in &cone.signals {
+        e.u32(s.width);
+        s.regs.encode(&mut e);
+    }
+    ContentHash::of_bytes(&e.into_bytes())
 }
 
 fn cone_depth(bog: &Bog, id: NodeId, memo: &mut [Option<u32>]) -> u32 {

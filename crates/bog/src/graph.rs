@@ -303,6 +303,31 @@ impl Bog {
         level
     }
 
+    /// Writes longest-path logic levels into `out` (cleared and refilled, so
+    /// one buffer serves many graphs). Uses a single id-order pass when the
+    /// graph lists every fanin before its reader — true for all
+    /// builder-produced graphs, including canonically extracted cones — and
+    /// falls back to [`Bog::levels`] otherwise. Results are identical.
+    pub fn levels_into(&self, out: &mut Vec<u32>) {
+        let n = self.nodes.len();
+        out.clear();
+        out.reserve(n);
+        for id in 0..n as NodeId {
+            let node = &self.nodes[id as usize];
+            let mut lvl = 0u32;
+            if node.op.is_comb() {
+                for &f in self.fanins(id) {
+                    if f >= id {
+                        *out = self.levels();
+                        return;
+                    }
+                    lvl = lvl.max(out[f as usize] + 1);
+                }
+            }
+            out.push(lvl);
+        }
+    }
+
     /// Fanout counts per node.
     pub fn fanout_counts(&self) -> Vec<u32> {
         let mut counts = vec![0u32; self.nodes.len()];
@@ -659,6 +684,30 @@ impl BogBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn levels_into_matches_levels() {
+        let mut b = BogBuilder::new("t", BogVariant::Sog);
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.xor2(g1, x);
+        let g3 = b.mux2(y, g2, g1);
+        let _q = b.signal("q", 1, 0, true);
+        b.set_reg_d(0, g3);
+        let bog = b.finish();
+        let mut scratch = Vec::new();
+        bog.levels_into(&mut scratch);
+        assert_eq!(scratch, bog.levels());
+        // Reuse on a second graph must fully overwrite the buffer.
+        let mut b2 = BogBuilder::new("t2", BogVariant::Sog);
+        let a = b2.input("a");
+        let _q2 = b2.signal("q", 1, 0, true);
+        b2.set_reg_d(0, a);
+        let small = b2.finish();
+        small.levels_into(&mut scratch);
+        assert_eq!(scratch, small.levels());
+    }
 
     #[test]
     fn strash_dedupes_identical_gates() {

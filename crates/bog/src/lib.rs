@@ -48,7 +48,9 @@ mod stats;
 mod variants;
 
 pub use blast::blast;
-pub use cone::{extract_signal_cone, input_cone, ConeInfo};
+pub use cone::{
+    cone_fingerprint, extract_signal_cone, input_cone, input_cone_scratch, ConeInfo, ConeScratch,
+};
 pub use graph::{
     Bog, BogBuilder, BogOp, BogReg, BogVariant, Endpoint, NodeId, SignalInfo, NO_NODE,
 };

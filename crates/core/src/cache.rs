@@ -29,7 +29,7 @@
 //! entirely.
 
 use crate::bitwise::BitwiseModel;
-use crate::dataset::{ConeShard, PathRow, VariantData};
+use crate::dataset::{ConeEval, ConeShard, PathRow, VariantData};
 use crate::optimize::FlowMetrics;
 use crate::pipeline::{
     BlastedDesign, CompiledDesign, DesignData, LabelOutcome, RtlTimer, TimerConfig,
@@ -54,6 +54,9 @@ pub mod stage {
     pub const FEATURIZE: &str = "featurize";
     /// Per-signal featurize shards (cone-granular invalidation).
     pub const SHARD: &str = "shard";
+    /// Seed-independent shared cone evaluations (levelized pseudo-STA +
+    /// critical paths), one per unique canonical cone content.
+    pub const CONESTA: &str = "conesta";
     /// Fitted model stacks ([`RtlTimer`]), keyed by train set × seed.
     pub const MODEL: &str = "model";
     /// Table-6 optimization candidate flows.
@@ -183,6 +186,21 @@ pub fn shard_key(
         .finish()
 }
 
+/// Key of one shared cone evaluation ([`crate::dataset::ConeEval`]):
+/// representation × clock × the cone's **structural** fingerprint
+/// ([`rtlt_bog::cone_fingerprint`]). Unlike [`shard_key`] there is no
+/// sampling seed (the evaluation is seed-independent by construction) and
+/// no name strings in the hashed content — so N signals with isomorphic
+/// cones, whose shard keys all differ, map to one `conesta` entry.
+pub fn conesta_key(variant_idx: usize, clock: f64, fingerprint: &ContentHash) -> ContentHash {
+    KeyBuilder::new("rtlt.conesta")
+        .u64(PIPELINE_EPOCH)
+        .u64(variant_idx as u64)
+        .f64(clock)
+        .key(fingerprint)
+        .finish()
+}
+
 /// Key of a fitted [`RtlTimer`]: the sorted content keys of the training
 /// preparations plus the only [`TimerConfig`] field `fit` reads (`seed` —
 /// `synth_effort` is already inside every `prepare_key`, and `threads`
@@ -242,6 +260,44 @@ impl Codec for ConeShard {
             driving_regs: Vec::decode(d)?,
             rows: Vec::decode(d)?,
             groups: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for ConeEval {
+    fn encode(&self, e: &mut Enc) {
+        self.sta.arrival.encode(e);
+        self.sta.slew.encode(e);
+        self.sta.load.encode(e);
+        self.sta.delay.encode(e);
+        self.sta.endpoint_at.encode(e);
+        self.sta.endpoint_slack.encode(e);
+        e.f64(self.sta.wns);
+        e.f64(self.sta.tns);
+        self.fanout.encode(e);
+        self.cones.encode(e);
+        self.crit_nodes.encode(e);
+        self.crit_rows.encode(e);
+        self.design.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let sta = rtlt_sta::StaResult {
+            arrival: Vec::decode(d)?,
+            slew: Vec::decode(d)?,
+            load: Vec::decode(d)?,
+            delay: Vec::decode(d)?,
+            endpoint_at: Vec::decode(d)?,
+            endpoint_slack: Vec::decode(d)?,
+            wns: d.f64()?,
+            tns: d.f64()?,
+        };
+        Ok(ConeEval {
+            sta: Arc::new(sta),
+            fanout: Vec::decode(d)?,
+            cones: Vec::decode(d)?,
+            crit_nodes: Vec::decode(d)?,
+            crit_rows: Vec::decode(d)?,
+            design: Vec::decode(d)?,
         })
     }
 }

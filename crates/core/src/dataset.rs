@@ -13,19 +13,35 @@
 //!   cone-local quantities; the cheap merge step splices in the
 //!   design-global features (rank percentile, cell counts). Editing one
 //!   module recomputes only the shards whose cones it feeds.
+//!
+//! The sharded path further splits each shard into a **seed-independent
+//! kernel** and a **seed-dependent replay**. Everything `build_cone_shard`
+//! derives before the RNG is ever consulted — levelized pseudo-STA tables,
+//! per-endpoint cone summaries, the critical path and its featurized row —
+//! is a pure function of the cone's canonical content, so it is computed
+//! once per *unique* cone ([`ConeEval`], memoized in the `conesta` store
+//! namespace plus an in-process once-map) and shared by every signal whose
+//! extracted cone is byte-identical (bit lanes of one word, replicated
+//! blocks). The per-signal seeded path sampling then *replays* over the
+//! shared evaluation; output bytes are identical to the legacy per-signal
+//! path (`RTLT_NO_CONE_DEDUP=1` forces the latter for verification).
 
-use crate::cache::{shard_key, stage};
+use crate::cache::{conesta_key, shard_key, stage};
 use crate::features::{design_features, op_class, path_features, token_features};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rtlt_bog::{input_cone, Bog, BogVariant, Endpoint};
+use rtlt_bog::{input_cone_scratch, Bog, BogVariant, ConeInfo, ConeScratch, Endpoint, NodeId};
 use rtlt_liberty::Library;
-use rtlt_sta::{Sta, StaConfig};
+use rtlt_sta::{LevelScratch, Sta, StaConfig, StaResult};
 use rtlt_store::{ContentHash, Store};
-use std::sync::Arc;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// One featurized timing path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PathRow {
     /// Table-2 feature vector ([`crate::features::PATH_FEATURE_NAMES`]).
     pub features: Vec<f64>,
@@ -66,6 +82,9 @@ pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> Va
     };
     let sta = Sta::run(bog, lib, cfg);
     let fanout = bog.fanout_counts();
+    let design_feats = crate::features::design_features(bog);
+    let mut cone_scratch = ConeScratch::new();
+    cone_scratch.begin(bog);
     let n_eps = bog.regs().len();
 
     // Endpoint rank percentile by pseudo-STA arrival.
@@ -88,7 +107,7 @@ pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> Va
 
     for e in 0..n_eps {
         let ep = Endpoint::Reg(e as u32);
-        let cone = input_cone(bog, bog.endpoint_node(ep));
+        let cone = input_cone_scratch(bog, bog.endpoint_node(ep), &mut cone_scratch);
         driving_regs.push(cone.driving_regs as f64);
         let mut group = Vec::new();
 
@@ -107,7 +126,7 @@ pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> Va
         }
 
         for p in paths {
-            let features = path_features(&sta, bog, &p, &cone, rank_pct[e], &fanout);
+            let features = path_features(&sta, bog, &p, &cone, rank_pct[e], &fanout, &design_feats);
             let ops = p.nodes.iter().map(|&n| op_class(bog.node(n).op)).collect();
             let tok_feats = token_features(&sta, &p, &fanout);
             group.push(rows.len());
@@ -127,7 +146,7 @@ pub fn build_variant_data(bog: &Bog, lib: &Library, clock: f64, seed: u64) -> Va
         groups,
         endpoint_sta_at: ats,
         driving_regs,
-        design_feats: crate::features::design_features(bog),
+        design_feats,
     }
 }
 
@@ -179,6 +198,9 @@ pub fn build_cone_shard(
     };
     let sta = Sta::run(sub, lib, cfg);
     let fanout = sub.fanout_counts();
+    let design = design_features(sub);
+    let mut cone_scratch = ConeScratch::new();
+    cone_scratch.begin(sub);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut shard = ConeShard {
         sta_at: Vec::with_capacity(n_eps),
@@ -188,7 +210,7 @@ pub fn build_cone_shard(
     };
     for e in 0..n_eps {
         let ep = Endpoint::Reg(e as u32);
-        let cone = input_cone(sub, sub.endpoint_node(ep));
+        let cone = input_cone_scratch(sub, sub.endpoint_node(ep), &mut cone_scratch);
         shard.driving_regs.push(cone.driving_regs as f64);
         shard.sta_at.push(sta.result().endpoint_at[e]);
         let crit = sta.critical_path(ep);
@@ -205,7 +227,7 @@ pub fn build_cone_shard(
             // Slots 0..4 (rank percentile + design-level features) are
             // filled at merge; the placeholder values computed here from
             // the sub-graph are overwritten.
-            let features = path_features(&sta, sub, &p, &cone, 0.0, &fanout);
+            let features = path_features(&sta, sub, &p, &cone, 0.0, &fanout, &design);
             let ops = p.nodes.iter().map(|&n| op_class(sub.node(n).op)).collect();
             let tok_feats = token_features(&sta, &p, &fanout);
             group.push(shard.rows.len());
@@ -221,6 +243,242 @@ pub fn build_cone_shard(
     shard
 }
 
+/// The seed-independent evaluation of one canonical cone under one
+/// representation: everything [`build_cone_shard`] derives before the RNG
+/// is ever consulted. One evaluation is shared by all signals whose
+/// extracted cones are byte-identical — within a design through the
+/// in-process once-map, across designs and runs through the `conesta`
+/// store namespace ([`crate::cache::conesta_key`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConeEval {
+    /// Pseudo-STA tables of the variant-converted cone (levelized kernel).
+    pub sta: Arc<StaResult>,
+    /// Fanout counts per node.
+    pub fanout: Vec<u32>,
+    /// Input-cone summary per endpoint (bit).
+    pub cones: Vec<ConeInfo>,
+    /// Critical-path node sequence per endpoint — the dedup filter the
+    /// replay applies to sampled paths.
+    pub crit_nodes: Vec<Vec<NodeId>>,
+    /// Featurized critical-path row per endpoint. Global slots 0..4 are
+    /// placeholders, same contract as [`ConeShard::rows`].
+    pub crit_rows: Vec<PathRow>,
+    /// Design features of the variant-converted cone — per-graph constants
+    /// that fill the placeholder slots 1..4 of every replayed row (two full
+    /// node passes each, so computed once here instead of once per row).
+    pub design: Vec<f64>,
+}
+
+/// Computes the seed-independent evaluation of a variant-converted cone:
+/// levelized pseudo-STA over `levels`-backed SoA tables, then per
+/// endpoint the input-cone summary (via the reused `cones` scratch, whose
+/// depth memo is shared across the cone's endpoints), critical path, and
+/// its featurized row. Bit-identical to what [`build_cone_shard`] derives
+/// for the same inputs.
+pub fn compute_cone_eval(
+    vbog: &Bog,
+    n_eps: usize,
+    lib: &Library,
+    clock: f64,
+    levels: &mut LevelScratch,
+    cone_scratch: &mut ConeScratch,
+) -> ConeEval {
+    let cfg = StaConfig {
+        clock_period: clock,
+        ..StaConfig::default()
+    };
+    let sta = Sta::run_levelized(vbog, lib, cfg, levels);
+    let fanout = vbog.fanout_counts();
+    let design = design_features(vbog);
+    cone_scratch.begin(vbog);
+    let mut cones = Vec::with_capacity(n_eps);
+    let mut crit_nodes = Vec::with_capacity(n_eps);
+    let mut crit_rows = Vec::with_capacity(n_eps);
+    for e in 0..n_eps {
+        let ep = Endpoint::Reg(e as u32);
+        let cone = input_cone_scratch(vbog, vbog.endpoint_node(ep), cone_scratch);
+        let crit = sta.critical_path(ep);
+        let features = path_features(&sta, vbog, &crit, &cone, 0.0, &fanout, &design);
+        let ops = crit
+            .nodes
+            .iter()
+            .map(|&n| op_class(vbog.node(n).op))
+            .collect();
+        let tok_feats = token_features(&sta, &crit, &fanout);
+        crit_rows.push(PathRow {
+            features,
+            ops,
+            tok_feats,
+            endpoint: e,
+        });
+        crit_nodes.push(crit.nodes);
+        cones.push(cone);
+    }
+    ConeEval {
+        sta: sta.result_arc(),
+        fanout,
+        cones,
+        crit_nodes,
+        crit_rows,
+        design,
+    }
+}
+
+/// Replays the seed-dependent part of [`build_cone_shard`] over a shared
+/// evaluation: re-seeds the sampler and draws the `K` random paths per
+/// endpoint against the already-computed STA tables. The RNG consumption
+/// sequence matches `build_cone_shard` exactly (all draws happen inside
+/// `sample_paths`), so the resulting shard is bit-identical.
+pub fn replay_cone_shard(
+    vbog: &Bog,
+    eval: &ConeEval,
+    n_eps: usize,
+    lib: &Library,
+    clock: f64,
+    seed: u64,
+) -> ConeShard {
+    replay_cone_shard_with(vbog, eval, n_eps, lib, clock, seed, |eval, e| {
+        eval.crit_rows[e].clone()
+    })
+}
+
+/// [`replay_cone_shard`] consuming the evaluation: critical-path rows are
+/// moved into the shard instead of deep-cloned. This is the singleton-cone
+/// fast path — an evaluation used by exactly one signal never needs its
+/// rows again.
+pub fn replay_cone_shard_owned(
+    vbog: &Bog,
+    mut eval: ConeEval,
+    n_eps: usize,
+    lib: &Library,
+    clock: f64,
+    seed: u64,
+) -> ConeShard {
+    let mut crit_rows = std::mem::take(&mut eval.crit_rows);
+    replay_cone_shard_with(vbog, &eval, n_eps, lib, clock, seed, |_, e| {
+        std::mem::take(&mut crit_rows[e])
+    })
+}
+
+fn replay_cone_shard_with(
+    vbog: &Bog,
+    eval: &ConeEval,
+    n_eps: usize,
+    lib: &Library,
+    clock: f64,
+    seed: u64,
+    mut crit_row: impl FnMut(&ConeEval, usize) -> PathRow,
+) -> ConeShard {
+    let cfg = StaConfig {
+        clock_period: clock,
+        ..StaConfig::default()
+    };
+    let sta = Sta::with_result(vbog, lib, cfg, Arc::clone(&eval.sta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shard = ConeShard {
+        sta_at: Vec::with_capacity(n_eps),
+        driving_regs: Vec::with_capacity(n_eps),
+        rows: Vec::new(),
+        groups: Vec::with_capacity(n_eps),
+    };
+    for e in 0..n_eps {
+        let ep = Endpoint::Reg(e as u32);
+        let cone = &eval.cones[e];
+        shard.driving_regs.push(cone.driving_regs as f64);
+        shard.sta_at.push(eval.sta.endpoint_at[e]);
+        let k = (cone.driving_regs / 3).clamp(0, MAX_RANDOM_PATHS);
+        let crit_nodes = &eval.crit_nodes[e];
+        let mut group = vec![shard.rows.len()];
+        shard.rows.push(crit_row(eval, e));
+        for p in sta.sample_paths(ep, k, &mut rng) {
+            if &p.nodes != crit_nodes {
+                let features = path_features(&sta, vbog, &p, cone, 0.0, &eval.fanout, &eval.design);
+                let ops = p.nodes.iter().map(|&n| op_class(vbog.node(n).op)).collect();
+                let tok_feats = token_features(&sta, &p, &eval.fanout);
+                group.push(shard.rows.len());
+                shard.rows.push(PathRow {
+                    features,
+                    ops,
+                    tok_feats,
+                    endpoint: e,
+                });
+            }
+        }
+        shard.groups.push(group);
+    }
+    shard
+}
+
+static TOTAL_SIGNALS: AtomicU64 = AtomicU64::new(0);
+static UNIQUE_CONES: AtomicU64 = AtomicU64::new(0);
+static SAVED_EVALS: AtomicU64 = AtomicU64::new(0);
+static FEATURIZE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide shared-cone featurization counters, accumulated by every
+/// [`build_all_variant_data`] call (cache-warm or cold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConeDedupStats {
+    /// Signals featurized (one canonical extraction each).
+    pub total_signals: u64,
+    /// Distinct canonical cone contents among them (per design, summed).
+    pub unique_cones: u64,
+    /// Seed-independent evaluations answered by the once-map or the
+    /// `conesta` namespace instead of being recomputed.
+    pub saved_evals: u64,
+    /// Wall time spent inside `build_all_variant_data` (seconds, summed
+    /// across threads).
+    pub featurize_seconds: f64,
+}
+
+/// Snapshot of the shared-cone dedup counters.
+pub fn cone_dedup_stats() -> ConeDedupStats {
+    ConeDedupStats {
+        total_signals: TOTAL_SIGNALS.load(Ordering::Relaxed),
+        unique_cones: UNIQUE_CONES.load(Ordering::Relaxed),
+        saved_evals: SAVED_EVALS.load(Ordering::Relaxed),
+        featurize_seconds: FEATURIZE_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+    }
+}
+
+/// Whether shared-cone evaluation is active (default). `RTLT_NO_CONE_DEDUP=1`
+/// forces the legacy per-signal evaluation path — the escape hatch for
+/// byte-identity verification and for bisecting featurize regressions.
+pub(crate) fn cone_dedup_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("RTLT_NO_CONE_DEDUP")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Worker-local scratch for the featurize hot loop: the levelized kernel's
+/// topology tables plus the per-variant merge buffers that used to be
+/// reallocated for every variant of every design. One instance per worker
+/// thread (see `rtlt_runtime::try_par_map_with`); buffers grow to the
+/// largest design seen and are reused.
+#[derive(Debug, Default)]
+pub struct FeaturizeScratch {
+    /// Levelized-kernel topology tables.
+    pub levels: LevelScratch,
+    /// Input-cone traversal scratch (stamped visited set + shared depth
+    /// memo), reset per cone graph.
+    pub cones: ConeScratch,
+    /// Endpoint permutation reused by the merge's rank sort.
+    order: Vec<usize>,
+    /// Rank-percentile table reused by the merge.
+    rank_pct: Vec<f64>,
+    /// Per-variant shard handles (cleared per variant, capacity kept).
+    shards: Vec<Arc<ConeShard>>,
+}
+
+impl FeaturizeScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Merges per-signal shards (signal order) into a full [`VariantData`],
 /// splicing in the design-global context: endpoint rank percentiles over
 /// the merged arrivals and the variant graph's design features.
@@ -228,6 +486,24 @@ pub fn merge_shards(
     variant: BogVariant,
     design_feats: Vec<f64>,
     shards: &[Arc<ConeShard>],
+) -> VariantData {
+    merge_shards_into(
+        variant,
+        design_feats,
+        shards,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`merge_shards`] with caller-owned sort/rank buffers (reused across
+/// variants and designs by [`FeaturizeScratch`]).
+fn merge_shards_into(
+    variant: BogVariant,
+    design_feats: Vec<f64>,
+    shards: &[Arc<ConeShard>],
+    order: &mut Vec<usize>,
+    rank_pct: &mut Vec<f64>,
 ) -> VariantData {
     let n_eps: usize = shards.iter().map(|s| s.sta_at.len()).sum();
     let mut data = VariantData {
@@ -254,13 +530,15 @@ pub fn merge_shards(
     }
 
     // Endpoint rank percentile by merged pseudo-STA arrival.
-    let mut order: Vec<usize> = (0..n_eps).collect();
+    order.clear();
+    order.extend(0..n_eps);
     order.sort_by(|&a, &b| {
         data.endpoint_sta_at[a]
             .partial_cmp(&data.endpoint_sta_at[b])
             .expect("finite")
     });
-    let mut rank_pct = vec![0.5f64; n_eps];
+    rank_pct.clear();
+    rank_pct.resize(n_eps, 0.5f64);
     for (rank, &i) in order.iter().enumerate() {
         if n_eps > 1 {
             rank_pct[i] = rank as f64 / (n_eps - 1) as f64;
@@ -279,6 +557,9 @@ pub fn merge_shards(
 /// [`crate::cache::shard_key`]). The extraction is cheap (linear in the
 /// cone, no STA/sampling) — it is the probe that decides whether the
 /// expensive shard computation can be skipped.
+///
+/// Allocates a fresh [`FeaturizeScratch`]; the pipeline's parallel prepare
+/// path calls [`build_all_variant_data_scratch`] with a worker-local one.
 pub fn build_all_variant_data(
     store: &Store,
     sog: &Bog,
@@ -286,42 +567,157 @@ pub fn build_all_variant_data(
     clock: f64,
     design_seed: u64,
 ) -> Vec<VariantData> {
+    build_all_variant_data_scratch(
+        store,
+        sog,
+        lib,
+        clock,
+        design_seed,
+        cone_dedup_enabled(),
+        &mut FeaturizeScratch::new(),
+    )
+}
+
+/// [`build_all_variant_data`] with an explicit scratch and dedup switch.
+/// With `dedup` set (the default path), each *unique* canonical cone gets
+/// one seed-independent [`ConeEval`] — computed via the levelized kernel,
+/// memoized in-process and in the `conesta` namespace — and every signal
+/// sharing it replays only the seeded sampling. With `dedup` unset (the
+/// `RTLT_NO_CONE_DEDUP=1` escape hatch), every signal runs the legacy
+/// monolithic [`build_cone_shard`]. Output bytes are identical either way.
+pub fn build_all_variant_data_scratch(
+    store: &Store,
+    sog: &Bog,
+    lib: &Library,
+    clock: f64,
+    design_seed: u64,
+    dedup: bool,
+    scratch: &mut FeaturizeScratch,
+) -> Vec<VariantData> {
+    let started = Instant::now();
     // One canonical extraction per signal, shared by all four variants.
-    let extractions: Vec<(Bog, ContentHash)> = (0..sog.signals().len())
+    // Two hashes per cone: the full content hash keys the per-seed shard
+    // cache (name-sensitive, unchanged from before the split), while the
+    // structural fingerprint keys the shared seed-independent evaluation
+    // (name-free, so isomorphic cones of different signals collide).
+    let extractions: Vec<(Bog, ContentHash, ContentHash)> = (0..sog.signals().len())
         .map(|sig| {
             let sub = rtlt_bog::extract_signal_cone(sog, sig);
             let content = ContentHash::of_bytes(&rtlt_store::Codec::to_bytes(&sub));
-            (sub, content)
+            let fingerprint = rtlt_bog::cone_fingerprint(&sub);
+            (sub, content, fingerprint)
         })
         .collect();
+    TOTAL_SIGNALS.fetch_add(extractions.len() as u64, Ordering::Relaxed);
+    // Fingerprint multiplicity within this design: only cones that occur
+    // more than once go through the memoized `conesta` path — see
+    // `shared_cone_eval`.
+    let mut multiplicity: HashMap<&ContentHash, u32> = HashMap::new();
+    for (_, _, fp) in &extractions {
+        *multiplicity.entry(fp).or_insert(0) += 1;
+    }
+    UNIQUE_CONES.fetch_add(multiplicity.len() as u64, Ordering::Relaxed);
 
-    BogVariant::ALL
+    let out = BogVariant::ALL
         .iter()
         .enumerate()
         .map(|(vi, &variant)| {
             let design_feats = design_features(&sog.to_variant(variant));
-            let shards: Vec<Arc<ConeShard>> = sog
-                .signals()
-                .iter()
-                .enumerate()
-                .map(|(sig, s)| {
-                    let (sub, content) = &extractions[sig];
-                    let seed = shard_seed(design_seed, vi, &s.name);
-                    let key = shard_key(vi, clock, seed, content);
-                    store.get_or_compute(stage::SHARD, key, || {
-                        build_cone_shard(
-                            &sub.to_variant(variant),
-                            s.width as usize,
-                            lib,
+            // Once-map of this design × variant: canonical content →
+            // (variant-converted cone, shared evaluation). Signals are
+            // processed sequentially here (parallelism is across designs),
+            // so no locking.
+            let mut once: HashMap<ContentHash, (Arc<Bog>, Arc<ConeEval>)> = HashMap::new();
+            scratch.shards.clear();
+            for (sig, s) in sog.signals().iter().enumerate() {
+                let (sub, content, fingerprint) = &extractions[sig];
+                let n_eps = s.width as usize;
+                let seed = shard_seed(design_seed, vi, &s.name);
+                let key = shard_key(vi, clock, seed, content);
+                let (levels, cone_scratch) = (&mut scratch.levels, &mut scratch.cones);
+                let shard = store.get_or_compute(stage::SHARD, key, || {
+                    if !dedup {
+                        return build_cone_shard(&sub.to_variant(variant), n_eps, lib, clock, seed);
+                    }
+                    if multiplicity.get(fingerprint).copied().unwrap_or(1) > 1 {
+                        let (vbog, eval) = shared_cone_eval(
+                            store,
+                            &mut once,
+                            vi,
+                            variant,
                             clock,
-                            seed,
-                        )
-                    })
-                })
-                .collect();
-            merge_shards(variant, design_feats, &shards)
+                            fingerprint,
+                            sub,
+                            n_eps,
+                            lib,
+                            levels,
+                            cone_scratch,
+                        );
+                        replay_cone_shard(&vbog, &eval, n_eps, lib, clock, seed)
+                    } else {
+                        // Singleton cone (~90 % of signals on the bundled
+                        // suites): compute and replay in place — no store
+                        // round-trip, no Arc, crit rows moved not cloned.
+                        let vbog = sub.to_variant(variant);
+                        let eval =
+                            compute_cone_eval(&vbog, n_eps, lib, clock, levels, cone_scratch);
+                        replay_cone_shard_owned(&vbog, eval, n_eps, lib, clock, seed)
+                    }
+                });
+                scratch.shards.push(shard);
+            }
+            merge_shards_into(
+                variant,
+                design_feats,
+                &scratch.shards,
+                &mut scratch.order,
+                &mut scratch.rank_pct,
+            )
         })
-        .collect()
+        .collect();
+    FEATURIZE_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// Resolves the shared evaluation of one canonical cone: the once-map
+/// first (an earlier signal of the same design × variant), then the
+/// `conesta` namespace (other designs, earlier runs), then a fresh
+/// levelized-kernel computation. Counts every resolution that skipped the
+/// computation.
+///
+/// Only called for fingerprints with multiplicity > 1 within the design —
+/// singleton cones (~90 % on the bundled suites) bypass the `conesta`
+/// round-trip entirely, since persisting their (large) STA tables costs
+/// more than the dedup would save.
+#[allow(clippy::too_many_arguments)]
+fn shared_cone_eval(
+    store: &Store,
+    once: &mut HashMap<ContentHash, (Arc<Bog>, Arc<ConeEval>)>,
+    vi: usize,
+    variant: BogVariant,
+    clock: f64,
+    fingerprint: &ContentHash,
+    sub: &Bog,
+    n_eps: usize,
+    lib: &Library,
+    levels: &mut LevelScratch,
+    cone_scratch: &mut ConeScratch,
+) -> (Arc<Bog>, Arc<ConeEval>) {
+    if let Some((vbog, eval)) = once.get(fingerprint) {
+        SAVED_EVALS.fetch_add(1, Ordering::Relaxed);
+        return (Arc::clone(vbog), Arc::clone(eval));
+    }
+    let vbog = Arc::new(sub.to_variant(variant));
+    let computed = Cell::new(false);
+    let eval = store.get_or_compute(stage::CONESTA, conesta_key(vi, clock, fingerprint), || {
+        computed.set(true);
+        compute_cone_eval(&vbog, n_eps, lib, clock, levels, cone_scratch)
+    });
+    if !computed.get() {
+        SAVED_EVALS.fetch_add(1, Ordering::Relaxed);
+    }
+    once.insert(*fingerprint, (Arc::clone(&vbog), Arc::clone(&eval)));
+    (vbog, eval)
 }
 
 #[cfg(test)]
@@ -423,6 +819,119 @@ mod tests {
             assert_eq!(a.rows, b.rows);
             assert_eq!(a.endpoint_sta_at, b.endpoint_sta_at);
         }
+    }
+
+    /// Two signals with isomorphic cones (same structure, different input
+    /// and signal names) — the dedup unit.
+    fn twin_bog() -> Bog {
+        blast(
+            &compile(
+                "module m(input clk, input [7:0] a, input [7:0] b,
+                          input [7:0] c, input [7:0] d,
+                          output [7:0] q1, output [7:0] q2);
+                   reg [7:0] r1;
+                   reg [7:0] r2;
+                   always @(posedge clk) begin
+                     r1 <= a & b;
+                     r2 <= c & d;
+                   end
+                   assign q1 = r1;
+                   assign q2 = r2;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn assert_variant_data_eq(a: &[VariantData], b: &[VariantData]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.variant, y.variant);
+            assert_eq!(x.rows, y.rows);
+            assert_eq!(x.groups, y.groups);
+            assert_eq!(x.endpoint_sta_at, y.endpoint_sta_at);
+            assert_eq!(x.driving_regs, y.driving_regs);
+            assert_eq!(x.design_feats, y.design_feats);
+        }
+    }
+
+    #[test]
+    fn dedup_and_legacy_paths_are_bit_identical() {
+        let lib = Library::pseudo_bog();
+        for bog in [bog(), twin_bog()] {
+            for clock in [1.0, 0.37] {
+                let dedup_store = Store::in_memory();
+                let legacy_store = Store::in_memory();
+                let mut scratch = FeaturizeScratch::new();
+                let deduped = build_all_variant_data_scratch(
+                    &dedup_store,
+                    &bog,
+                    &lib,
+                    clock,
+                    7,
+                    true,
+                    &mut scratch,
+                );
+                let legacy = build_all_variant_data_scratch(
+                    &legacy_store,
+                    &bog,
+                    &lib,
+                    clock,
+                    7,
+                    false,
+                    &mut scratch,
+                );
+                assert_variant_data_eq(&deduped, &legacy);
+                // The per-seed shard cache is shaped identically either way.
+                assert_eq!(
+                    dedup_store.stats().namespace(stage::SHARD).misses,
+                    legacy_store.stats().namespace(stage::SHARD).misses,
+                );
+                assert_eq!(legacy_store.stats().namespace(stage::CONESTA).misses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_cones_share_one_evaluation() {
+        let bog = twin_bog();
+        let lib = Library::pseudo_bog();
+        let store = Store::in_memory();
+        let mut scratch = FeaturizeScratch::new();
+        build_all_variant_data_scratch(&store, &bog, &lib, 1.0, 7, true, &mut scratch);
+        // r1/r2 cones are isomorphic: one conesta entry per variant serves
+        // both signals' shards.
+        let conesta = store.stats().namespace(stage::CONESTA).misses;
+        let shard = store.stats().namespace(stage::SHARD).misses;
+        assert_eq!(shard as usize, bog.signals().len() * 4);
+        assert_eq!(conesta as usize, 4, "one shared evaluation per variant");
+    }
+
+    #[test]
+    fn conesta_survives_round_trip_through_store() {
+        // A second build over the same store must not recompute conesta
+        // entries, and replaying from decoded (not in-process) evaluations
+        // must give identical bytes.
+        let bog = twin_bog();
+        let lib = Library::pseudo_bog();
+        let store = Store::in_memory();
+        let mut scratch = FeaturizeScratch::new();
+        let first = build_all_variant_data_scratch(&store, &bog, &lib, 1.0, 7, true, &mut scratch);
+        let conesta_misses = store.stats().namespace(stage::CONESTA).misses;
+        // Different seed → different shard keys → shards recompute, but the
+        // seed-independent evaluations are all served from the store.
+        let second = build_all_variant_data_scratch(&store, &bog, &lib, 1.0, 8, true, &mut scratch);
+        assert_eq!(
+            store.stats().namespace(stage::CONESTA).misses,
+            conesta_misses
+        );
+        // Same-seed legacy rebuild for the byte-identity check.
+        let legacy_store = Store::in_memory();
+        let legacy =
+            build_all_variant_data_scratch(&legacy_store, &bog, &lib, 1.0, 8, false, &mut scratch);
+        assert_variant_data_eq(&second, &legacy);
+        drop(first);
     }
 
     #[test]

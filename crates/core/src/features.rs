@@ -68,7 +68,10 @@ pub const N_OP_CLASSES: usize = 8;
 ///
 /// `rank_pct` is the endpoint's pseudo-STA arrival percentile within its
 /// design (0 = earliest, 1 = latest); `fanout` is the precomputed per-node
-/// fanout table.
+/// fanout table; `design` is [`design_features`] of `bog`, passed in
+/// because it is per-graph constant and costs two full node passes — the
+/// callers featurize many paths per graph and recomputing it per row
+/// dominated the cold featurize profile.
 pub fn path_features(
     sta: &Sta<'_>,
     bog: &Bog,
@@ -76,6 +79,7 @@ pub fn path_features(
     cone: &ConeInfo,
     rank_pct: f64,
     fanout: &[u32],
+    design: &[f64],
 ) -> Vec<f64> {
     let res = sta.result();
     let mut n_inv = 0.0;
@@ -114,7 +118,6 @@ pub fn path_features(
         slew_max = slew_max.max(sl);
     }
     let len = path.nodes.len().max(1) as f64;
-    let design = design_features(bog);
     let launch = res.arrival[path.nodes[0] as usize];
     vec![
         rank_pct,
@@ -189,7 +192,8 @@ mod tests {
         let ep = rtlt_bog::Endpoint::Reg(7);
         let path = sta.critical_path(ep);
         let cone = input_cone(&bog, bog.endpoint_node(ep));
-        let f = path_features(&sta, &bog, &path, &cone, 0.9, &fanout);
+        let design = design_features(&bog);
+        let f = path_features(&sta, &bog, &path, &cone, 0.9, &fanout, &design);
         assert_eq!(f.len(), PATH_FEATURE_NAMES.len());
         assert!(f.iter().all(|v| v.is_finite()));
         // Arrival equals endpoint AT for the critical path.

@@ -12,7 +12,7 @@
 
 use crate::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use crate::cache::{modast_key, model_key, stage, PrepareKeys};
-use crate::dataset::{build_all_variant_data, VariantData};
+use crate::dataset::{FeaturizeScratch, VariantData};
 use crate::design::{design_row, direct_wns_tns, DesignTimingModel};
 use crate::ensemble::{meta_rows, EnsembleModel};
 use crate::metrics;
@@ -415,11 +415,39 @@ impl<'a> PrepareStages<'a> {
         label: &LabelOutcome,
         prepare_key: ContentHash,
     ) -> DesignData {
+        self.featurize_parts_scratch(
+            store,
+            blasted,
+            label,
+            prepare_key,
+            &mut FeaturizeScratch::new(),
+        )
+    }
+
+    /// [`Self::featurize_parts`] with a caller-owned featurize scratch —
+    /// the parallel prepare path passes one per worker thread so the
+    /// levelized-kernel tables and merge buffers are reused across every
+    /// design a worker processes.
+    pub(crate) fn featurize_parts_scratch(
+        &self,
+        store: &Store,
+        blasted: &BlastedDesign,
+        label: &LabelOutcome,
+        prepare_key: ContentHash,
+        scratch: &mut FeaturizeScratch,
+    ) -> DesignData {
         let compiled = &blasted.compiled;
         let sog = blasted.sog.clone();
         let pseudo = Library::pseudo_bog();
-        let variant_data =
-            build_all_variant_data(store, &sog, &pseudo, label.clock, label.synth_seed);
+        let variant_data = crate::dataset::build_all_variant_data_scratch(
+            store,
+            &sog,
+            &pseudo,
+            label.clock,
+            label.synth_seed,
+            crate::dataset::cone_dedup_enabled(),
+            scratch,
+        );
 
         DesignData {
             name: compiled.name.as_str().into(),
@@ -528,12 +556,28 @@ impl<'a> PrepareStages<'a> {
         name: &str,
         source: &str,
     ) -> Result<Arc<DesignData>, VerilogError> {
+        self.run_with_scratch(store, name, source, &mut FeaturizeScratch::new())
+    }
+
+    /// [`Self::run_with`] with a caller-owned featurize scratch (reused
+    /// across the designs a prepare worker processes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors from [`PrepareStages::compile`].
+    pub fn run_with_scratch(
+        &self,
+        store: &Store,
+        name: &str,
+        source: &str,
+        scratch: &mut FeaturizeScratch,
+    ) -> Result<Arc<DesignData>, VerilogError> {
         let keys = PrepareKeys::derive(name, source, self.cfg);
         let d = store.get_or_try_compute(stage::FEATURIZE, keys.featurize, || {
             let blasted = self.blasted_with_keys(store, &keys, name, source)?;
             let label =
                 store.get_or_compute(stage::LABEL, keys.label, || self.label_outcome(&blasted));
-            Ok(self.featurize_parts(store, &blasted, &label, keys.featurize))
+            Ok(self.featurize_parts_scratch(store, &blasted, &label, keys.featurize, scratch))
         })?;
         Ok(Self::design_with_live_source(d, source))
     }
@@ -776,16 +820,21 @@ impl DesignSet {
     ) -> Result<(DesignSet, Vec<(String, f64)>), PrepareError> {
         Self::prefetch_prepare_keys(store, sources, cfg);
         let stages = PrepareStages::new(cfg);
-        let prepared = rtlt_runtime::try_par_map(cfg.threads, sources, |(name, src)| {
-            let t = Instant::now();
-            stages
-                .run_with(store, name, src)
-                .map(|d| (d, t.elapsed().as_secs_f64()))
-                .map_err(|e| PrepareError {
-                    design: name.clone(),
-                    source: e,
-                })
-        });
+        let prepared = rtlt_runtime::try_par_map_with(
+            cfg.threads,
+            sources,
+            FeaturizeScratch::new,
+            |scratch, _, (name, src)| {
+                let t = Instant::now();
+                stages
+                    .run_with_scratch(store, name, src, scratch)
+                    .map(|d| (d, t.elapsed().as_secs_f64()))
+                    .map_err(|e| PrepareError {
+                        design: name.clone(),
+                        source: e,
+                    })
+            },
+        );
         // Prefetched payloads the run never consumed (e.g. a compile
         // artifact short-circuited by a blast hit) must not outlive the
         // preparation they were staged for.

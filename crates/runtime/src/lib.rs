@@ -12,7 +12,10 @@
 //!   **lowest-indexed** failing item (deterministic regardless of thread
 //!   interleaving),
 //! * [`par_map_indexed`] / [`try_par_map_indexed`] — the same with the item
-//!   index passed to the closure (for per-index seeds and progress labels).
+//!   index passed to the closure (for per-index seeds and progress labels),
+//! * [`par_map_with`] / [`try_par_map_with`] — the same with a per-worker
+//!   state value threaded through every call a worker makes (for scratch
+//!   buffers reused across items without cross-thread sharing).
 //!
 //! Work distribution is a single shared atomic cursor: threads pull the
 //! next unclaimed index until the queue drains, so heterogeneous item costs
@@ -62,6 +65,126 @@ where
 /// Error type with no values: a `Result<_, Never>` is statically `Ok`.
 enum Never {}
 
+/// [`par_map`] with a per-worker state value: `mk_state` runs once on each
+/// worker thread, and the resulting `&mut S` is passed to every `f` call
+/// that worker makes. Use it for scratch buffers that are expensive to
+/// allocate per item but must not be shared across threads.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (after joining all workers).
+pub fn par_map_with<T, R, S, M, F>(threads: usize, items: &[T], mk_state: M, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let results = try_par_map_with(threads, items, mk_state, |s, i, item| {
+        Ok::<R, Never>(f(s, i, item))
+    });
+    match results {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// [`try_par_map_indexed`] with a per-worker state value (see
+/// [`par_map_with`]). Error selection is identical: the lowest-indexed
+/// failure wins deterministically.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed `Err` produced by `f`.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (after joining all workers).
+pub fn try_par_map_with<T, R, E, S, M, F>(
+    threads: usize,
+    items: &[T],
+    mk_state: M,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = threads.clamp(1, n);
+
+    // Fast path: one worker, one state, no coordination.
+    if workers == 1 {
+        let mut state = mk_state();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // `failed` is the hot-path flag; the Mutex is only touched when an error
+    // is actually recorded, so the infallible par_map path never contends.
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = mk_state();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Cheap early-out once any item has failed; results
+                        // of already-claimed items are simply discarded.
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match f(&mut state, i, &items[i]) {
+                            Ok(r) => *slots[i].lock().expect("slot lock") = Some(r),
+                            Err(e) => {
+                                let mut guard = error.lock().expect("error lock");
+                                if guard.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *guard = Some((i, e));
+                                }
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    if let Some((_, e)) = error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("all items completed")
+        })
+        .collect())
+}
+
 /// Fallible parallel map: returns the mapped vector, or the error produced
 /// by the **lowest-indexed** failing item.
 ///
@@ -103,72 +226,7 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Ok(Vec::new());
-    }
-    let workers = threads.clamp(1, n);
-
-    // Fast path: no coordination needed on a single worker.
-    if workers == 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    // `failed` is the hot-path flag; the Mutex is only touched when an error
-    // is actually recorded, so the infallible par_map path never contends.
-    let failed = AtomicBool::new(false);
-    let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // Cheap early-out once any item has failed; results of
-                    // already-claimed items are simply discarded.
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    match f(i, &items[i]) {
-                        Ok(r) => *slots[i].lock().expect("slot lock") = Some(r),
-                        Err(e) => {
-                            let mut guard = error.lock().expect("error lock");
-                            if guard.as_ref().is_none_or(|(j, _)| i < *j) {
-                                *guard = Some((i, e));
-                            }
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(panic) = h.join() {
-                std::panic::resume_unwind(panic);
-            }
-        }
-    });
-
-    if let Some((_, e)) = error.into_inner().expect("error lock") {
-        return Err(e);
-    }
-    Ok(slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot lock")
-                .expect("all items completed")
-        })
-        .collect())
+    try_par_map_with(threads, items, || (), |(), i, item| f(i, item))
 }
 
 #[cfg(test)]
@@ -212,6 +270,49 @@ mod tests {
         let items = vec!["a", "b", "c", "d", "e"];
         let out = par_map_indexed(3, &items, |i, s| format!("{i}:{s}"));
         assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        // Each worker's scratch starts empty and grows monotonically; the
+        // total number of mk_state calls is bounded by the worker count.
+        let states = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_with(
+            4,
+            &items,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, _, &x| {
+                scratch.push(x);
+                (x * 2, scratch.len())
+            },
+        );
+        assert_eq!(out.iter().map(|(v, _)| *v).collect::<Vec<_>>(), {
+            items.iter().map(|x| x * 2).collect::<Vec<_>>()
+        });
+        // Some worker must have processed more than one item with the same
+        // scratch (64 items, ≤ 4 states).
+        assert!(out.iter().any(|(_, len)| *len > 1));
+        assert!(states.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn try_par_map_with_single_worker_uses_one_state() {
+        let states = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10).collect();
+        let out: Result<Vec<usize>, Never> = try_par_map_with(
+            1,
+            &items,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i, &x| Ok(i + x),
+        );
+        assert_eq!(out.unwrap_or_default().len(), 10);
+        assert_eq!(states.load(Ordering::Relaxed), 1);
     }
 
     #[test]

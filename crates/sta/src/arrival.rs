@@ -2,6 +2,7 @@
 
 use rtlt_bog::{Bog, BogOp, Endpoint, NodeId};
 use rtlt_liberty::{Cell, CellFunc, Drive, Library};
+use std::sync::Arc;
 
 /// Timing constraints and boundary conditions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +34,7 @@ impl Default for StaConfig {
 }
 
 /// Raw per-node and per-endpoint STA quantities.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaResult {
     /// Arrival time at each node's output (ns).
     pub arrival: Vec<f64>,
@@ -55,12 +56,16 @@ pub struct StaResult {
 
 /// A completed pseudo-STA run, retaining the graph/library context so paths
 /// can be traced and re-timed.
+///
+/// The result tables are held behind an [`Arc`] so a shared evaluation
+/// (e.g. one cached per unique cone) can be replayed against many seeds
+/// without cloning the arrays — see [`Sta::with_result`].
 #[derive(Debug)]
 pub struct Sta<'a> {
     pub(crate) bog: &'a Bog,
     pub(crate) lib: &'a Library,
     pub(crate) cfg: StaConfig,
-    pub(crate) res: StaResult,
+    pub(crate) res: Arc<StaResult>,
 }
 
 pub(crate) fn cell_for_op(lib: &Library, op: BogOp) -> Option<&Cell> {
@@ -165,7 +170,7 @@ impl<'a> Sta<'a> {
             bog,
             lib,
             cfg,
-            res: StaResult {
+            res: Arc::new(StaResult {
                 arrival,
                 slew,
                 load,
@@ -174,13 +179,33 @@ impl<'a> Sta<'a> {
                 endpoint_slack,
                 wns,
                 tns,
-            },
+            }),
         }
+    }
+
+    /// Rehydrates an [`Sta`] from a previously computed (possibly cached and
+    /// shared) result, skipping propagation entirely. The caller must pass
+    /// the same graph/library/config the result was computed under —
+    /// path tracing reads the graph, and `arc_delay` reads the config's
+    /// slew/load tables.
+    pub fn with_result(
+        bog: &'a Bog,
+        lib: &'a Library,
+        cfg: StaConfig,
+        res: Arc<StaResult>,
+    ) -> Sta<'a> {
+        debug_assert_eq!(res.arrival.len(), bog.len());
+        Sta { bog, lib, cfg, res }
     }
 
     /// The raw result tables.
     pub fn result(&self) -> &StaResult {
         &self.res
+    }
+
+    /// The result tables behind their shared handle, for caching/replay.
+    pub fn result_arc(&self) -> Arc<StaResult> {
+        Arc::clone(&self.res)
     }
 
     /// The analyzed graph.

@@ -1,0 +1,330 @@
+//! Levelized struct-of-arrays pseudo-STA kernel.
+//!
+//! [`Sta::run`] walks the graph in topological order resolving each node's
+//! cell as it goes. For the sharded featurize path — thousands of small
+//! canonical cones per design — the per-run Kahn queue allocation and the
+//! per-node match/cell-lookup dominate. [`Sta::run_levelized`] computes the
+//! *bit-identical* [`StaResult`] from flat tables instead:
+//!
+//! * one id-order pass packs each node's op code and fanin slots into
+//!   contiguous arrays, assigns logic levels, and accumulates pin loads in
+//!   exactly the accumulation order [`Sta::run`] uses (so every f64 sum is
+//!   identical),
+//! * nodes are bucketed by level with a counting sort (stable in id order),
+//! * arrival/slew/delay propagate level-by-level over the flat arrays; every
+//!   fanin is finalized before its reader's level runs, and per-node
+//!   arithmetic is the same operation sequence as the monolithic walk, so
+//!   the results match bit-for-bit.
+//!
+//! The topology tables live in a reusable [`LevelScratch`], so a worker
+//! evaluating many cones pays no per-cone allocation churn beyond the
+//! result arrays themselves (which outlive the run as the product).
+//!
+//! Canonically renumbered cones from `extract_signal_cone` (and any
+//! builder-constructed BOG) list fanins before their readers, which is what
+//! the single id-order packing pass requires; if a graph violates that, the
+//! kernel transparently falls back to [`Sta::run`].
+
+use crate::arrival::{cell_for_op, Sta, StaConfig, StaResult};
+use rtlt_bog::{Bog, BogOp, Endpoint, NodeId};
+use rtlt_liberty::{Cell, CellFunc, Drive, Library};
+use std::sync::Arc;
+
+const CODE_INPUT: u8 = 0;
+const CODE_CONST: u8 = 1;
+const CODE_DFF: u8 = 2;
+/// Codes ≥ `CODE_COMB` index the comb cell table: Not, And2, Or2, Xor2, Mux2.
+const CODE_COMB: u8 = 3;
+
+const COMB_ARITY: [usize; 5] = [1, 2, 2, 2, 3];
+
+fn op_code(op: BogOp) -> u8 {
+    match op {
+        BogOp::Input => CODE_INPUT,
+        BogOp::Const0 | BogOp::Const1 => CODE_CONST,
+        BogOp::Dff => CODE_DFF,
+        BogOp::Not => CODE_COMB,
+        BogOp::And2 => CODE_COMB + 1,
+        BogOp::Or2 => CODE_COMB + 2,
+        BogOp::Xor2 => CODE_COMB + 3,
+        BogOp::Mux2 => CODE_COMB + 4,
+    }
+}
+
+/// Reusable topology tables for [`Sta::run_levelized`]. One instance per
+/// worker; cleared and refilled per cone, never shrunk.
+#[derive(Debug, Default)]
+pub struct LevelScratch {
+    /// Per-node op code (`CODE_*`).
+    code: Vec<u8>,
+    /// Per-node fanin slots, padded with `NO_NODE` past the arity.
+    fanins: Vec<[NodeId; 3]>,
+    /// Per-node logic level (sources at 0).
+    level: Vec<u32>,
+    /// Counting-sort bucket offsets, one per level (+1 sentinel).
+    counts: Vec<u32>,
+    /// Node ids sorted by (level, id).
+    order: Vec<NodeId>,
+}
+
+impl LevelScratch {
+    /// A fresh, empty scratch. Buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<'a> Sta<'a> {
+    /// Runs pseudo-STA via the levelized SoA kernel. Bit-identical to
+    /// [`Sta::run`] on any graph; `scratch` is reused across calls.
+    pub fn run_levelized(
+        bog: &'a Bog,
+        lib: &'a Library,
+        cfg: StaConfig,
+        scratch: &mut LevelScratch,
+    ) -> Sta<'a> {
+        let n = bog.len();
+        let comb_cells: [&Cell; 5] = [
+            cell_for_op(lib, BogOp::Not).expect("inv cell"),
+            cell_for_op(lib, BogOp::And2).expect("and cell"),
+            cell_for_op(lib, BogOp::Or2).expect("or cell"),
+            cell_for_op(lib, BogOp::Xor2).expect("xor cell"),
+            cell_for_op(lib, BogOp::Mux2).expect("mux cell"),
+        ];
+        let dff = lib.cell(CellFunc::Dff, Drive::X1);
+
+        scratch.code.clear();
+        scratch.code.reserve(n);
+        scratch.fanins.clear();
+        scratch.fanins.reserve(n);
+        scratch.level.clear();
+        scratch.level.reserve(n);
+
+        let mut load = vec![0.0f64; n];
+        let mut max_level = 0u32;
+
+        // Pass 1, in id order: pack the SoA tables, assign levels, and
+        // accumulate fanout pin loads. The load accumulation order (node id
+        // ascending, pin slot ascending) matches `Sta::run` exactly, which
+        // keeps the floating-point sums bit-identical. Level assignment
+        // needs every fanin packed before its reader; builder-produced
+        // graphs satisfy that, but fall back to the monolithic walk if not.
+        for id in 0..n as NodeId {
+            let node = bog.node(id);
+            let code = op_code(node.op);
+            let mut lvl = 0u32;
+            if code >= CODE_COMB {
+                let cell = comb_cells[(code - CODE_COMB) as usize];
+                let fis = bog.fanins(id);
+                for (pin, &f) in fis.iter().enumerate() {
+                    if f >= id {
+                        return Sta::run(bog, lib, cfg);
+                    }
+                    load[f as usize] += cell.pin_cap(pin) + cfg.wire_cap_per_fanout;
+                    lvl = lvl.max(scratch.level[f as usize] + 1);
+                }
+            }
+            max_level = max_level.max(lvl);
+            scratch.code.push(code);
+            scratch.fanins.push(node.fanins);
+            scratch.level.push(lvl);
+        }
+        for r in bog.regs() {
+            load[r.d as usize] += dff.pin_cap(0) + cfg.wire_cap_per_fanout;
+        }
+        for (_, o) in bog.outputs() {
+            load[*o as usize] += cfg.output_load;
+        }
+
+        // Counting sort by level, stable in id order.
+        let n_levels = max_level as usize + 1;
+        scratch.counts.clear();
+        scratch.counts.resize(n_levels + 1, 0);
+        for &l in &scratch.level {
+            scratch.counts[l as usize + 1] += 1;
+        }
+        for l in 0..n_levels {
+            scratch.counts[l + 1] += scratch.counts[l];
+        }
+        scratch.order.clear();
+        scratch.order.resize(n, 0);
+        {
+            let counts = &mut scratch.counts[..n_levels];
+            for id in 0..n as NodeId {
+                let l = scratch.level[id as usize] as usize;
+                scratch.order[counts[l] as usize] = id;
+                counts[l] += 1;
+            }
+        }
+
+        let mut arrival = vec![0.0f64; n];
+        let mut slew = vec![cfg.input_slew; n];
+        let mut delay = vec![0.0f64; n];
+        let seq = dff.seq.expect("dff sequential");
+
+        // Level-by-level propagation. Any order that finalizes fanins before
+        // readers yields the same per-node arithmetic as the topo walk in
+        // `Sta::run`, hence bit-identical arrays.
+        for &id in &scratch.order {
+            let i = id as usize;
+            match scratch.code[i] {
+                CODE_INPUT => {
+                    arrival[i] = cfg.input_delay;
+                    slew[i] = cfg.input_slew;
+                }
+                CODE_CONST => {
+                    arrival[i] = 0.0;
+                    slew[i] = cfg.input_slew;
+                }
+                CODE_DFF => {
+                    arrival[i] = seq.clk_to_q;
+                    slew[i] = dff.out_slew(cfg.input_slew, load[i]);
+                }
+                code => {
+                    let k = (code - CODE_COMB) as usize;
+                    let cell = comb_cells[k];
+                    let mut at = 0.0;
+                    let mut in_slew = cfg.input_slew;
+                    for &f in &scratch.fanins[i][..COMB_ARITY[k]] {
+                        if arrival[f as usize] >= at {
+                            at = arrival[f as usize];
+                            in_slew = slew[f as usize];
+                        }
+                    }
+                    let d = cell.delay(in_slew, load[i]);
+                    arrival[i] = at + d;
+                    slew[i] = cell.out_slew(in_slew, load[i]);
+                    delay[i] = d;
+                }
+            }
+        }
+
+        // Endpoint arrivals and slacks — same loop as `Sta::run`.
+        let setup = seq.setup;
+        let endpoints = bog.endpoints();
+        let mut endpoint_at = Vec::with_capacity(endpoints.len());
+        let mut endpoint_slack = Vec::with_capacity(endpoints.len());
+        let mut wns = 0.0f64;
+        let mut tns = 0.0f64;
+        for ep in &endpoints {
+            let node = bog.endpoint_node(*ep);
+            let at = arrival[node as usize];
+            let margin = match ep {
+                Endpoint::Reg(_) => setup,
+                Endpoint::Output(_) => 0.0,
+            };
+            let slack = cfg.clock_period - margin - at;
+            endpoint_at.push(at);
+            endpoint_slack.push(slack);
+            if slack < 0.0 {
+                tns += slack;
+                wns = wns.min(slack);
+            }
+        }
+
+        Sta {
+            bog,
+            lib,
+            cfg,
+            res: Arc::new(StaResult {
+                arrival,
+                slew,
+                load,
+                delay,
+                endpoint_at,
+                endpoint_slack,
+                wns,
+                tns,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlt_bog::blast;
+    use rtlt_verilog::compile;
+
+    fn assert_bit_identical(bog: &Bog, lib: &Library, cfg: StaConfig) {
+        let base = Sta::run(bog, lib, cfg);
+        let mut scratch = LevelScratch::new();
+        let fast = Sta::run_levelized(bog, lib, cfg, &mut scratch);
+        let (b, f) = (base.result(), fast.result());
+        assert_eq!(b.arrival, f.arrival);
+        assert_eq!(b.slew, f.slew);
+        assert_eq!(b.load, f.load);
+        assert_eq!(b.delay, f.delay);
+        assert_eq!(b.endpoint_at, f.endpoint_at);
+        assert_eq!(b.endpoint_slack, f.endpoint_slack);
+        assert_eq!(b.wns.to_bits(), f.wns.to_bits());
+        assert_eq!(b.tns.to_bits(), f.tns.to_bits());
+    }
+
+    #[test]
+    fn levelized_matches_monolithic_bit_for_bit() {
+        let lib = Library::pseudo_bog();
+        let srcs = [
+            "module m(input clk, input [7:0] a, input [7:0] b, output [7:0] q);
+               reg [7:0] r;
+               always @(posedge clk) r <= a + b;
+               assign q = r;
+             endmodule",
+            "module m(input clk, input [15:0] a, input [15:0] b, output [15:0] q);
+               reg [15:0] r;
+               always @(posedge clk) r <= (a * b) ^ (a + r);
+               assign q = r;
+             endmodule",
+            "module m(input clk, input s, input [3:0] a, input [3:0] b, output [3:0] q);
+               reg [3:0] r;
+               always @(posedge clk) r <= s ? (a & b) : (a | ~b);
+               assign q = r;
+             endmodule",
+        ];
+        for src in srcs {
+            let bog = blast(&compile(src, "m").unwrap());
+            for clock in [1.0, 0.05, 10.0] {
+                let cfg = StaConfig {
+                    clock_period: clock,
+                    ..StaConfig::default()
+                };
+                assert_bit_identical(&bog, &lib, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_cones_is_clean() {
+        let lib = Library::pseudo_bog();
+        let big = blast(
+            &compile(
+                "module m(input clk, input [15:0] a, output [15:0] q);
+                   reg [15:0] r;
+                   always @(posedge clk) r <= r * a;
+                   assign q = r;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let small = blast(
+            &compile(
+                "module m(input clk, input a, input b, output q);
+                   reg r;
+                   always @(posedge clk) r <= a ^ b;
+                   assign q = r;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let cfg = StaConfig::default();
+        let mut scratch = LevelScratch::new();
+        // Big first so the small run must not see stale tail state.
+        let _ = Sta::run_levelized(&big, &lib, cfg, &mut scratch);
+        let base = Sta::run(&small, &lib, cfg);
+        let fast = Sta::run_levelized(&small, &lib, cfg, &mut scratch);
+        assert_eq!(base.result().arrival, fast.result().arrival);
+        assert_eq!(base.result().endpoint_slack, fast.result().endpoint_slack);
+    }
+}

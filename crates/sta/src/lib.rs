@@ -35,9 +35,11 @@
 //! ```
 
 mod arrival;
+mod levelized;
 mod paths;
 mod report;
 
 pub use arrival::{Sta, StaConfig, StaResult};
+pub use levelized::LevelScratch;
 pub use paths::TimingPath;
 pub use report::EndpointReport;

@@ -149,6 +149,13 @@ impl PayloadCoding {
 /// that 21 designs of shards do not crowd out the hot tiny namespaces.
 pub const FEATURIZE_MEM_QUOTA: usize = 64 << 20;
 
+/// Default decoded-front-cache quota for the `conesta` namespace
+/// (seed-independent shared cone evaluations). The entries are read many
+/// times during one design's featurize (once per signal sharing the cone)
+/// but rarely after, so they get a bounded decoded-cache share rather than
+/// crowding out the hot tiny namespaces.
+pub const CONESTA_MEM_QUOTA: usize = 32 << 20;
+
 /// Per-namespace tier policy: which namespaces get compressed payloads and
 /// which get a bounded share of the decoded front cache.
 ///
@@ -174,6 +181,10 @@ impl Default for TierPolicy {
         );
         per_ns.insert("modast".to_owned(), (PayloadCoding::Raw, None));
         per_ns.insert("compile".to_owned(), (PayloadCoding::Raw, None));
+        per_ns.insert(
+            "conesta".to_owned(),
+            (PayloadCoding::Packed, Some(CONESTA_MEM_QUOTA)),
+        );
         TierPolicy {
             default_coding: PayloadCoding::Packed,
             default_quota: None,
@@ -817,6 +828,8 @@ mod tests {
         assert!(!p.packed("modast"));
         assert!(!p.packed("compile"));
         assert_eq!(p.mem_quota("compile"), None);
+        assert!(p.packed("conesta"));
+        assert_eq!(p.mem_quota("conesta"), Some(CONESTA_MEM_QUOTA));
         assert!(p.packed("blast"), "unlisted namespaces take the default");
 
         // Overrides stack on the default policy, in order.

@@ -11,7 +11,7 @@
 #   SMOKE_TMP scratch root (default: a fresh mktemp -d)
 set -euo pipefail
 
-job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|multiplexed-store|perf-gate>}"
+job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|multiplexed-store|cold-dedup|perf-gate>}"
 BIN_DIR="${BIN_DIR:-target/release}"
 BIN_DIR="$(cd "$BIN_DIR" && pwd)"
 SMOKE_TMP="${SMOKE_TMP:-$(mktemp -d)}"
@@ -205,30 +205,62 @@ case "$job" in
     test "$digest_dead" = "$digest_pipe"
     ;;
 
-  # Perf-regression gate: cold + warm run, then diff the warm-prepare wall
-  # time, hit rate and frame bytes read against the committed baseline;
-  # >25 % regression on any axis fails. All values land in the job summary.
+  # Shared-cone dedup A/B: one cold prepare with the deduplicated kernel
+  # path (default) vs one with RTLT_NO_CONE_DEDUP=1 (per-signal legacy
+  # path), in disjoint fresh caches. The suite digests must be
+  # byte-identical — dedup changes who computes an evaluation, never the
+  # bytes — the dedup run must actually share work (unique cones strictly
+  # fewer than signals, evals saved), and it must not be slower than the
+  # legacy path (10 % noise allowance on featurize wall time).
+  cold-dedup)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/dedup-cache"
+    digest_dedup=$(json_digest BENCH_runtime.json)
+    dedup_secs=$(json_num cold_featurize_seconds BENCH_runtime.json)
+    unique=$(json_num unique_cones BENCH_runtime.json)
+    total=$(json_num total_signals BENCH_runtime.json)
+    saved=$(json_num dedup_saved_evals BENCH_runtime.json)
+    RTLT_FAST=1 RTLT_NO_CONE_DEDUP=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/nodedup-cache"
+    digest_legacy=$(json_digest BENCH_runtime.json)
+    legacy_secs=$(json_num cold_featurize_seconds BENCH_runtime.json)
+    echo "cold featurize: dedup ${dedup_secs}s (${unique}/${total} unique cones, ${saved} evals saved) vs legacy ${legacy_secs}s"
+    test "$digest_dedup" = "$digest_legacy"
+    awk -v u="$unique" -v t="$total" -v s="$saved" \
+      'BEGIN { exit !(u > 0 && u < t && s > 0) }'
+    awk -v d="$dedup_secs" -v l="$legacy_secs" \
+      'BEGIN { exit !(l > 0 && d <= 1.10 * l) }'
+    ;;
+
+  # Perf-regression gate: cold + warm run, then diff the cold-prepare and
+  # warm-prepare wall times, hit rate and frame bytes read against the
+  # committed baseline; >25 % regression on any axis fails. The cold run's
+  # prepare seconds are captured before the warm run overwrites
+  # BENCH_runtime.json — that column is what guards the shared-cone
+  # featurize kernel. All values land in the job summary.
   perf-gate)
     cd "$SMOKE_TMP"
     RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/perf-cache"
+    cold_secs=$(json_num suite_prep_seconds BENCH_runtime.json)
     RTLT_FAST=1 "$BIN_DIR/runtime" --cache-dir "$SMOKE_TMP/perf-cache"
     fresh_secs=$(json_num suite_prep_seconds BENCH_runtime.json)
     fresh_rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
     fresh_bytes=$(json_num prepare_stored_read_bytes BENCH_runtime.json)
     fresh_turns=$(json_num prepare_round_trips BENCH_runtime.json)
+    base_cold=$(json_num cold_prepare_seconds "$REPO_ROOT/ci/bench-baseline.json")
     base_secs=$(json_num suite_prep_seconds "$REPO_ROOT/ci/bench-baseline.json")
     base_rate=$(json_num prepare_hit_rate_pct "$REPO_ROOT/ci/bench-baseline.json")
     base_bytes=$(json_num prepare_stored_read_bytes "$REPO_ROOT/ci/bench-baseline.json")
     base_turns=$(json_num prepare_round_trips "$REPO_ROOT/ci/bench-baseline.json")
-    summary="perf gate: warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%), bytes read ${fresh_bytes} (baseline ${base_bytes}, limit $(awk -v b="$base_bytes" 'BEGIN{printf "%.0f", b*1.25}')), round trips ${fresh_turns} (baseline ${base_turns}, limit $(awk -v b="$base_turns" 'BEGIN{printf "%.0f", b*1.25+1}'))"
+    summary="perf gate: cold prepare ${cold_secs}s (baseline ${base_cold}s, limit $(awk -v b="$base_cold" 'BEGIN{printf "%.3f", b*1.25}')s), warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%), bytes read ${fresh_bytes} (baseline ${base_bytes}, limit $(awk -v b="$base_bytes" 'BEGIN{printf "%.0f", b*1.25}')), round trips ${fresh_turns} (baseline ${base_turns}, limit $(awk -v b="$base_turns" 'BEGIN{printf "%.0f", b*1.25+1}'))"
     echo "$summary"
     echo "$summary" >> "${GITHUB_STEP_SUMMARY:-/dev/null}"
     # Round trips get +1 absolute slack on top of the 25 % margin: this
     # lane runs without a remote, so the expected value is exactly 0 and
     # a pure percentage gate would reject any future count at all.
-    awk -v s="$fresh_secs" -v bs="$base_secs" -v r="$fresh_rate" -v br="$base_rate" \
+    awk -v c="$cold_secs" -v bc="$base_cold" \
+        -v s="$fresh_secs" -v bs="$base_secs" -v r="$fresh_rate" -v br="$base_rate" \
         -v y="$fresh_bytes" -v by="$base_bytes" -v t="$fresh_turns" -v bt="$base_turns" \
-      'BEGIN { exit !(s <= bs * 1.25 && r >= br * 0.75 && y <= by * 1.25 && t <= bt * 1.25 + 1) }'
+      'BEGIN { exit !(c <= bc * 1.25 && s <= bs * 1.25 && r >= br * 0.75 && y <= by * 1.25 && t <= bt * 1.25 + 1) }'
     ;;
 
   *)
