@@ -7,6 +7,9 @@ use rtl_timer::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use rtl_timer::dataset::{build_all_variant_data_scratch, build_variant_data, FeaturizeScratch};
 use rtlt_bog::{blast, BogVariant};
 use rtlt_liberty::Library;
+use rtlt_ml::{
+    Binner, FeatureMatrix, Gbdt, GbdtParams, SquaredObjective, Tree, TreeParams, TreeScratch,
+};
 use rtlt_sta::{LevelScratch, Sta, StaConfig};
 use rtlt_store::Store;
 use rtlt_synth::{synthesize, SynthOptions};
@@ -102,6 +105,49 @@ fn bench_model(c: &mut Criterion) {
     let model = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, 1);
     group.bench_function("gbdt_predict_b17", |b| {
         b.iter(|| model.predict_endpoints(&data))
+    });
+
+    // Raw model-stack micro-kernels over the same path rows: the flat SoA
+    // batch inference kernel, and a single histogram tree grown with a
+    // reused scratch histogram (the per-round unit of GBDT training).
+    let nf = data.rows.first().map_or(1, |r| r.features.len());
+    let mut fm = FeatureMatrix::new(nf);
+    for r in &data.rows {
+        fm.push_row(&r.features);
+    }
+    let y: Vec<f64> = data
+        .rows
+        .iter()
+        .map(|r| data.endpoint_sta_at[r.endpoint])
+        .collect();
+    let gbdt = Gbdt::fit(
+        &fm,
+        &SquaredObjective { targets: y.clone() },
+        &GbdtParams::default(),
+    );
+    group.bench_function("gbdt_predict_batch_b17", |b| {
+        b.iter(|| gbdt.predict_all(&fm))
+    });
+
+    let binner = Binner::fit(&fm, 128);
+    let codes = binner.codes(&fm);
+    let grad: Vec<f64> = y.iter().map(|v| -v).collect();
+    let hess = vec![1.0; y.len()];
+    let all: Vec<usize> = (0..y.len()).collect();
+    let mut scratch = TreeScratch::for_binner(&binner);
+    group.bench_function("tree_fit_hist_b17", |b| {
+        b.iter(|| {
+            Tree::fit_with(
+                &binner,
+                &codes,
+                &grad,
+                &hess,
+                &all,
+                &TreeParams::default(),
+                &mut scratch,
+                1,
+            )
+        })
     });
     group.finish();
 }

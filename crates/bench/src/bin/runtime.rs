@@ -15,6 +15,9 @@ use rtlt_bench::{
 };
 use rtlt_bog::BogVariant;
 use rtlt_liberty::Library;
+use rtlt_ml::{
+    Binner, FeatureMatrix, Gbdt, GbdtParams, SquaredObjective, Tree, TreeParams, TreeScratch,
+};
 use rtlt_sta::{LevelScratch, Sta, StaConfig};
 use rtlt_store::{RemoteTier, Store};
 use rtlt_synth::{synthesize, SynthOptions};
@@ -136,8 +139,13 @@ fn main() {
     let mut inf_ms = Vec::new();
     let mut lev_ms = Vec::new();
     let mut dedup_ms = Vec::new();
+    let mut batch_ms = Vec::new();
+    let mut tree_ms = Vec::new();
     let mut lev_scratch = LevelScratch::new();
     let mut feat_scratch = FeaturizeScratch::new();
+    // Reference GBDT for the batch-inference micro, trained once on the
+    // first measured design's path rows (feature width is fixed).
+    let mut gbdt_ref: Option<Gbdt> = None;
     for d in &test {
         // Synthesis runtime (label flow). These loops *measure* the raw
         // computations, so they bypass the store on purpose — cached
@@ -165,7 +173,50 @@ fn main() {
         let t0 = Instant::now();
         let data = build_variant_data(&sog, &pseudo, synth.clock_period, d.synth_seed);
         let t_proc = t0.elapsed().as_secs_f64() * 1e3;
-        let _ = data;
+
+        // Model-stack micro-kernels over this design's path rows (the
+        // per-design counterparts of the gbdt_predict_batch_b17 /
+        // tree_fit_hist_b17 criterion micros): flat SoA batch inference,
+        // and one histogram tree grown with a reused scratch histogram.
+        let nf = data.rows.first().map_or(1, |r| r.features.len());
+        let mut fm = FeatureMatrix::new(nf);
+        for r in &data.rows {
+            fm.push_row(&r.features);
+        }
+        let y: Vec<f64> = data
+            .rows
+            .iter()
+            .map(|r| data.endpoint_sta_at[r.endpoint])
+            .collect();
+        let gbdt = gbdt_ref.get_or_insert_with(|| {
+            Gbdt::fit(
+                &fm,
+                &SquaredObjective { targets: y.clone() },
+                &GbdtParams::default(),
+            )
+        });
+        let t0 = Instant::now();
+        let _ = gbdt.predict_all(&fm);
+        batch_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let binner = Binner::fit(&fm, 128);
+        let codes = binner.codes(&fm);
+        let grad: Vec<f64> = y.iter().map(|v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let all: Vec<usize> = (0..y.len()).collect();
+        let mut tree_scratch = TreeScratch::for_binner(&binner);
+        let t0 = Instant::now();
+        let _ = Tree::fit_with(
+            &binner,
+            &codes,
+            &grad,
+            &hess,
+            &all,
+            &TreeParams::default(),
+            &mut tree_scratch,
+            1,
+        );
+        tree_ms.push(t0.elapsed().as_secs_f64() * 1e3);
 
         // Levelized SoA pseudo-STA kernel (the seed-independent half of a
         // cone evaluation) over the whole SOG, with scratch reuse.
@@ -273,6 +324,8 @@ fn main() {
                     ("inference_median", Json::Num(median(&inf_ms))),
                     ("levelized_sta_median", Json::Num(median(&lev_ms))),
                     ("cone_shard_dedup_median", Json::Num(median(&dedup_ms))),
+                    ("gbdt_predict_batch_median", Json::Num(median(&batch_ms))),
+                    ("tree_fit_hist_median", Json::Num(median(&tree_ms))),
                     ("bog_pct_of_synth_avg", Json::Num(avg(&bog_pcts))),
                     ("proc_pct_of_synth_avg", Json::Num(avg(&proc_pcts))),
                     ("infer_pct_of_synth_avg", Json::Num(avg(&inf_pcts))),

@@ -20,8 +20,8 @@ use crate::metrics::rank_groups;
 use crate::pipeline::DesignData;
 use crate::signal::signal_labels;
 use rtlt_ml::{
-    Gbdt, GbdtParams, Gnn, GnnGraph, GnnParams, LambdaMart, LtrParams, Mlp, MlpParams, Scaler,
-    SquaredObjective,
+    FeatureMatrix, Gbdt, GbdtParams, Gnn, GnnGraph, GnnParams, LambdaMart, LtrParams, Mlp,
+    MlpParams, Scaler, SquaredObjective,
 };
 
 // ---------------------------------------------------------------------------
@@ -40,11 +40,11 @@ impl SnsStyle {
     pub fn fit(train: &[&DesignData], seed: u64) -> SnsStyle {
         let rows: Vec<Vec<f64>> = train.iter().map(|d| d.op_histogram()).collect();
         let targets: Vec<f64> = train.iter().map(|d| d.wns).collect();
-        let scaler = Scaler::fit(&rows, rows[0].len());
-        let mut scaled = rows.clone();
+        let mut scaled = FeatureMatrix::from_rows(&rows);
+        let scaler = Scaler::fit(&scaled);
         scaler.transform_all(&mut scaled);
         let mut mlp = Mlp::new(
-            scaled[0].len(),
+            scaled.n_cols(),
             MlpParams {
                 hidden: vec![24, 24],
                 epochs: 400,
@@ -79,7 +79,10 @@ pub struct AstStyle {
 impl AstStyle {
     /// Fits on the training designs.
     pub fn fit(train: &[&DesignData], seed: u64) -> AstStyle {
-        let rows: Vec<Vec<f64>> = train.iter().map(|d| d.ast_feats.clone()).collect();
+        let rows = {
+            let per_design: Vec<Vec<f64>> = train.iter().map(|d| d.ast_feats.clone()).collect();
+            FeatureMatrix::from_rows(&per_design)
+        };
         let mut params = GbdtParams::default();
         params.n_trees = 50;
         params.tree.max_depth = 2;
@@ -124,13 +127,15 @@ impl MasterRtlStyle {
                 .collect(),
         };
         let bit = BitwiseModel::fit(BitModelKind::TreeMax, &corpus, seed);
-        let mut rows = Vec::new();
+        let mut rows = FeatureMatrix::new(crate::design::DESIGN_ROW_NAMES.len());
         let mut wns_t = Vec::new();
         let mut tns_t = Vec::new();
         let mut eps = Vec::new();
+        let mut scratch = FeatureMatrix::default();
+        let mut preds = Vec::new();
         for d in train {
-            let bits = bit.predict_endpoints(&d.variant_data[0]);
-            rows.push(design_row(
+            let bits = bit.predict_endpoints_with(&d.variant_data[0], &mut scratch, &mut preds);
+            rows.push_row(&design_row(
                 &bits,
                 d.clock,
                 d.setup,
@@ -234,36 +239,40 @@ pub struct SignalDirect {
 
 /// Signal features computable without any bit-level model: aggregates of
 /// the pseudo-STA arrivals plus design features.
-pub fn direct_signal_rows(d: &DesignData) -> Vec<Vec<f64>> {
+pub fn direct_signal_rows(d: &DesignData) -> FeatureMatrix {
     let sog = &d.variant_data[0];
-    d.signals()
-        .iter()
-        .map(|s| {
-            let ats: Vec<f64> = s
-                .regs
-                .iter()
-                .map(|&b| sog.endpoint_sta_at[b as usize])
-                .collect();
-            let mean = ats.iter().sum::<f64>() / ats.len().max(1) as f64;
-            let max = ats.iter().cloned().fold(f64::MIN, f64::max);
-            let mut row = vec![max, mean, (s.width as f64).ln_1p()];
-            row.extend(sog.design_feats.iter().copied());
-            row
-        })
-        .collect()
+    let mut out = FeatureMatrix::new(3 + sog.design_feats.len());
+    let mut row = Vec::with_capacity(out.n_cols());
+    for s in d.signals() {
+        let ats: Vec<f64> = s
+            .regs
+            .iter()
+            .map(|&b| sog.endpoint_sta_at[b as usize])
+            .collect();
+        let mean = ats.iter().sum::<f64>() / ats.len().max(1) as f64;
+        let max = ats.iter().cloned().fold(f64::MIN, f64::max);
+        row.clear();
+        row.extend([max, mean, (s.width as f64).ln_1p()]);
+        row.extend(sog.design_feats.iter().copied());
+        out.push_row(&row);
+    }
+    out
 }
 
 impl SignalDirect {
     /// Fits regression + ranking on direct signal features.
     pub fn fit(train: &[&DesignData], seed: u64) -> SignalDirect {
-        let mut rows = Vec::new();
+        let cols = train
+            .first()
+            .map_or(3, |d| 3 + d.variant_data[0].design_feats.len());
+        let mut rows = FeatureMatrix::new(cols);
         let mut targets = Vec::new();
         let mut queries = Vec::new();
         let mut relevance = Vec::new();
         for d in train {
             let drows = direct_signal_rows(d);
             let labels = signal_labels(&d.labels_at, d.signals());
-            let valid: Vec<usize> = (0..drows.len())
+            let valid: Vec<usize> = (0..drows.n_rows())
                 .filter(|&i| labels[i].is_finite())
                 .collect();
             if valid.is_empty() {
@@ -273,8 +282,8 @@ impl SignalDirect {
             let groups = rank_groups(&lv);
             let mut q = Vec::new();
             for (k, &i) in valid.iter().enumerate() {
-                q.push(rows.len());
-                rows.push(drows[i].clone());
+                q.push(rows.n_rows());
+                rows.push_row(drows.row(i));
                 targets.push(lv[k]);
                 relevance.push(3.0 - groups[k] as f64);
             }

@@ -7,8 +7,8 @@
 
 use crate::dataset::VariantData;
 use rtlt_ml::{
-    Gbdt, GbdtParams, GroupedMaxObjective, Mlp, MlpParams, PathSample, PathTransformer, Scaler,
-    SquaredObjective, TransformerParams,
+    FeatureMatrix, Gbdt, GbdtParams, GroupedMaxObjective, Mlp, MlpParams, PathSample,
+    PathTransformer, Scaler, SquaredObjective, TransformerParams,
 };
 
 /// Model family for the bit-wise task.
@@ -62,13 +62,18 @@ pub struct BitwiseCorpus<'a> {
 
 /// Flattened corpus: `(rows, per-endpoint row groups, targets, critical
 /// row indices)`.
-type FlatCorpus = (Vec<Vec<f64>>, Vec<Vec<usize>>, Vec<f64>, Vec<usize>);
+type FlatCorpus = (FeatureMatrix, Vec<Vec<usize>>, Vec<f64>, Vec<usize>);
 
 impl<'a> BitwiseCorpus<'a> {
     /// Flattens rows/groups/targets across designs (skipping endpoints with
     /// non-finite labels, e.g. retimed-away registers).
     fn flatten(&self) -> FlatCorpus {
-        let mut rows = Vec::new();
+        let nf = self
+            .designs
+            .iter()
+            .find_map(|(d, _)| d.rows.first())
+            .map_or(0, |r| r.features.len());
+        let mut rows = FeatureMatrix::new(nf);
         let mut groups = Vec::new();
         let mut targets = Vec::new();
         let mut crit_rows = Vec::new(); // first row of each group
@@ -80,8 +85,8 @@ impl<'a> BitwiseCorpus<'a> {
                 }
                 let mut g = Vec::with_capacity(group.len());
                 for &r in group {
-                    g.push(rows.len());
-                    rows.push(data.rows[r].features.clone());
+                    g.push(rows.n_rows());
+                    rows.push_row(&data.rows[r].features);
                 }
                 crit_rows.push(g[0]);
                 groups.push(g);
@@ -90,6 +95,15 @@ impl<'a> BitwiseCorpus<'a> {
         }
         (rows, groups, targets, crit_rows)
     }
+}
+
+/// Gathers a subset of `rows` (by index, in order) into a fresh matrix.
+fn gather(rows: &FeatureMatrix, idx: &[usize]) -> FeatureMatrix {
+    let mut out = FeatureMatrix::with_capacity(rows.n_cols(), idx.len());
+    for &r in idx {
+        out.push_row(rows.row(r));
+    }
+    out
 }
 
 /// Default GBDT hyper-parameters for the bit-wise task (paper: 100 trees;
@@ -117,7 +131,7 @@ impl BitwiseModel {
                 }
             }
             BitModelKind::TreeCritOnly => {
-                let crit_feat: Vec<Vec<f64>> = crit_rows.iter().map(|&r| rows[r].clone()).collect();
+                let crit_feat = gather(&rows, &crit_rows);
                 let obj = SquaredObjective { targets };
                 let model = Gbdt::fit(&crit_feat, &obj, &bitwise_gbdt_params(seed));
                 BitwiseModel::Tree {
@@ -127,11 +141,11 @@ impl BitwiseModel {
             }
             BitModelKind::MlpMax | BitModelKind::MlpCritOnly => {
                 let crit_only = kind == BitModelKind::MlpCritOnly;
-                let scaler = Scaler::fit(&rows, rows[0].len());
+                let scaler = Scaler::fit(&rows);
                 let mut scaled = rows.clone();
                 scaler.transform_all(&mut scaled);
                 let mut model = Mlp::new(
-                    scaled[0].len(),
+                    scaled.n_cols(),
                     MlpParams {
                         hidden: vec![64, 64, 64],
                         epochs: 40,
@@ -140,8 +154,7 @@ impl BitwiseModel {
                     },
                 );
                 if crit_only {
-                    let crit_feat: Vec<Vec<f64>> =
-                        crit_rows.iter().map(|&r| scaled[r].clone()).collect();
+                    let crit_feat = gather(&scaled, &crit_rows);
                     model.fit_regression(&crit_feat, &targets);
                 } else {
                     model.fit_grouped_max(&scaled, &groups, &targets);
@@ -201,44 +214,79 @@ impl BitwiseModel {
     /// Predicts per-endpoint arrival times for one design (max over its
     /// sampled paths; `CritOnly` models use the slowest path only).
     pub fn predict_endpoints(&self, data: &VariantData) -> Vec<f64> {
+        let mut scratch = FeatureMatrix::default();
+        let mut preds = Vec::new();
+        self.predict_endpoints_with(data, &mut scratch, &mut preds)
+    }
+
+    /// [`predict_endpoints`](Self::predict_endpoints) with caller-owned
+    /// scratch buffers, so per-design prediction loops reuse one feature
+    /// matrix and one prediction vector. Tree/MLP variants batch all of a
+    /// design's path rows through one kernel call (identical values and
+    /// fold order as the per-row walk).
+    pub fn predict_endpoints_with(
+        &self,
+        data: &VariantData,
+        scratch: &mut FeatureMatrix,
+        preds: &mut Vec<f64>,
+    ) -> Vec<f64> {
+        let nf = data.rows.first().map_or(0, |r| r.features.len());
+        let crit_only = match self {
+            BitwiseModel::Tree { crit_only, .. } | BitwiseModel::Mlp { crit_only, .. } => {
+                *crit_only
+            }
+            BitwiseModel::Transformer { model } => {
+                return data
+                    .groups
+                    .iter()
+                    .map(|group| {
+                        if group.is_empty() {
+                            return 0.0;
+                        }
+                        group
+                            .iter()
+                            .map(|&r| model.predict(&row_to_sample(&data.rows[r])))
+                            .fold(f64::MIN, f64::max)
+                    })
+                    .collect();
+            }
+        };
+        // Gather the rows each group reads, in group traversal order.
+        scratch.reset(nf);
+        for group in &data.groups {
+            if crit_only {
+                if let Some(&r0) = group.first() {
+                    scratch.push_row(&data.rows[r0].features);
+                }
+            } else {
+                for &r in group {
+                    scratch.push_row(&data.rows[r].features);
+                }
+            }
+        }
+        match self {
+            BitwiseModel::Tree { model, .. } => model.predict_into(scratch, preds),
+            BitwiseModel::Mlp { model, scaler, .. } => {
+                scaler.transform_all(scratch);
+                *preds = model.predict_all(scratch);
+            }
+            BitwiseModel::Transformer { .. } => unreachable!(),
+        }
+        // Reduce back to one value per group (empty groups stay 0.0).
+        let mut off = 0usize;
         data.groups
             .iter()
             .map(|group| {
                 if group.is_empty() {
                     return 0.0;
                 }
-                match self {
-                    BitwiseModel::Tree { model, crit_only } => {
-                        if *crit_only {
-                            model.predict(&data.rows[group[0]].features)
-                        } else {
-                            group
-                                .iter()
-                                .map(|&r| model.predict(&data.rows[r].features))
-                                .fold(f64::MIN, f64::max)
-                        }
-                    }
-                    BitwiseModel::Mlp {
-                        model,
-                        scaler,
-                        crit_only,
-                    } => {
-                        let pred_row = |r: usize| {
-                            let mut f = data.rows[r].features.clone();
-                            scaler.transform(&mut f);
-                            model.predict(&f)
-                        };
-                        if *crit_only {
-                            pred_row(group[0])
-                        } else {
-                            group.iter().map(|&r| pred_row(r)).fold(f64::MIN, f64::max)
-                        }
-                    }
-                    BitwiseModel::Transformer { model } => group
-                        .iter()
-                        .map(|&r| model.predict(&row_to_sample(&data.rows[r])))
-                        .fold(f64::MIN, f64::max),
-                }
+                let take = if crit_only { 1 } else { group.len() };
+                let v = preds[off..off + take]
+                    .iter()
+                    .cloned()
+                    .fold(f64::MIN, f64::max);
+                off += take;
+                v
             })
             .collect()
     }

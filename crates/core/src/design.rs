@@ -2,7 +2,7 @@
 //! from the predicted per-endpoint slacks, then refine with a tree model
 //! that also sees design-scale features.
 
-use rtlt_ml::{Gbdt, GbdtParams, SquaredObjective};
+use rtlt_ml::{FeatureMatrix, Gbdt, GbdtParams, SquaredObjective};
 
 /// Names of the design-level features.
 pub const DESIGN_ROW_NAMES: [&str; 13] = [
@@ -84,7 +84,7 @@ impl DesignTimingModel {
     /// synthesis ground truth; `ep_counts` = labeled endpoint count per
     /// design.
     pub fn fit(
-        rows: &[Vec<f64>],
+        rows: &FeatureMatrix,
         wns_labels: &[f64],
         tns_labels: &[f64],
         ep_counts: &[f64],
@@ -183,7 +183,7 @@ mod tests {
             tns.push(dt * 1.2 - 0.1);
             eps.push(n as f64);
         }
-        let model = DesignTimingModel::fit(&rows, &wns, &tns, &eps, 3);
+        let model = DesignTimingModel::fit(&FeatureMatrix::from_rows(&rows), &wns, &tns, &eps, 3);
         let mut pred_w = Vec::new();
         let mut pred_t = Vec::new();
         for (row, n) in rows.iter().zip(&eps) {

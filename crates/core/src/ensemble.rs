@@ -4,7 +4,7 @@
 //! — through a tree-based meta-model.
 
 use crate::dataset::VariantData;
-use rtlt_ml::{Gbdt, GbdtParams, SquaredObjective};
+use rtlt_ml::{FeatureMatrix, Gbdt, GbdtParams, SquaredObjective};
 
 /// Names of the ensemble meta-features.
 pub const META_FEATURE_NAMES: [&str; 15] = [
@@ -27,9 +27,17 @@ pub const META_FEATURE_NAMES: [&str; 15] = [
 
 /// Builds per-endpoint meta-feature rows from the four variant predictions
 /// (ordered SOG, AIG, AIMG, XAG) and the SOG dataset.
-pub fn meta_rows(variant_preds: &[Vec<f64>], sog: &VariantData) -> Vec<Vec<f64>> {
+pub fn meta_rows(variant_preds: &[Vec<f64>], sog: &VariantData) -> FeatureMatrix {
+    let mut out = FeatureMatrix::new(META_FEATURE_NAMES.len());
+    meta_rows_into(variant_preds, sog, &mut out);
+    out
+}
+
+/// [`meta_rows`] into a caller-owned scratch matrix (cleared first).
+pub fn meta_rows_into(variant_preds: &[Vec<f64>], sog: &VariantData, out: &mut FeatureMatrix) {
     assert_eq!(variant_preds.len(), 4, "four representations expected");
     let n = sog.endpoint_sta_at.len();
+    out.reset(META_FEATURE_NAMES.len());
     // Rank percentile of each endpoint by SOG pseudo-STA arrival.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
@@ -45,25 +53,25 @@ pub fn meta_rows(variant_preds: &[Vec<f64>], sog: &VariantData) -> Vec<Vec<f64>>
             0.5
         };
     }
-    (0..n)
-        .map(|e| {
-            let ps: Vec<f64> = variant_preds.iter().map(|v| v[e]).collect();
-            let mean = ps.iter().sum::<f64>() / ps.len() as f64;
-            let min = ps.iter().cloned().fold(f64::MAX, f64::min);
-            let max = ps.iter().cloned().fold(f64::MIN, f64::max);
-            let std = (ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / ps.len() as f64).sqrt();
-            let mut row = ps;
-            row.push(mean);
-            row.push(min);
-            row.push(max);
-            row.push(std);
-            row.push(sog.endpoint_sta_at[e]);
-            row.push(rank_pct[e]);
-            row.push(sog.driving_regs[e].ln_1p());
-            row.extend(sog.design_feats.iter().copied());
-            row
-        })
-        .collect()
+    let mut row = Vec::with_capacity(META_FEATURE_NAMES.len());
+    for e in 0..n {
+        row.clear();
+        row.extend(variant_preds.iter().map(|v| v[e]));
+        let ps = &row[..4];
+        let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+        let min = ps.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ps.iter().cloned().fold(f64::MIN, f64::max);
+        let std = (ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / ps.len() as f64).sqrt();
+        row.push(mean);
+        row.push(min);
+        row.push(max);
+        row.push(std);
+        row.push(sog.endpoint_sta_at[e]);
+        row.push(rank_pct[e]);
+        row.push(sog.driving_regs[e].ln_1p());
+        row.extend(sog.design_feats.iter().copied());
+        out.push_row(&row);
+    }
 }
 
 /// The fitted ensemble meta-model.
@@ -74,7 +82,7 @@ pub struct EnsembleModel {
 
 impl EnsembleModel {
     /// Fits on meta rows pooled over training designs.
-    pub fn fit(rows: &[Vec<f64>], labels: &[f64], seed: u64) -> EnsembleModel {
+    pub fn fit(rows: &FeatureMatrix, labels: &[f64], seed: u64) -> EnsembleModel {
         let mut params = GbdtParams::default();
         params.n_trees = 150;
         params.learning_rate = 0.07;
@@ -89,8 +97,13 @@ impl EnsembleModel {
     }
 
     /// Predicts ensembled endpoint arrivals.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+    pub fn predict(&self, rows: &FeatureMatrix) -> Vec<f64> {
         self.meta.predict_all(rows)
+    }
+
+    /// Prediction into a caller-owned buffer (cleared first).
+    pub fn predict_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        self.meta.predict_into(rows, out);
     }
 
     /// Split-count feature importance over
@@ -141,10 +154,10 @@ mod tests {
             .map(|k| (0..n).map(|e| e as f64 + k as f64).collect())
             .collect();
         let rows = meta_rows(&preds, &sog);
-        assert_eq!(rows.len(), n);
-        assert!(rows.iter().all(|r| r.len() == META_FEATURE_NAMES.len()));
+        assert_eq!(rows.n_rows(), n);
+        assert_eq!(rows.n_cols(), META_FEATURE_NAMES.len());
         // mean/min/max consistency on first endpoint.
-        let r0 = &rows[0];
+        let r0 = rows.row(0);
         assert!((r0[4] - (r0[0] + r0[1] + r0[2] + r0[3]) / 4.0).abs() < 1e-12);
         assert!(r0[5] <= r0[6]);
     }

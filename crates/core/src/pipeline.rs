@@ -14,11 +14,12 @@ use crate::bitwise::{BitModelKind, BitwiseCorpus, BitwiseModel};
 use crate::cache::{modast_key, model_key, stage, PrepareKeys};
 use crate::dataset::{FeaturizeScratch, VariantData};
 use crate::design::{design_row, direct_wns_tns, DesignTimingModel};
-use crate::ensemble::{meta_rows, EnsembleModel};
+use crate::ensemble::{meta_rows, meta_rows_into, EnsembleModel};
 use crate::metrics;
-use crate::signal::{signal_labels, signal_rows, SignalModels};
+use crate::signal::{signal_labels, signal_rows, signal_rows_into, SignalModels};
 use rtlt_bog::{blast, Bog, SignalInfo};
 use rtlt_liberty::{CellFunc, Drive, Library};
+use rtlt_ml::FeatureMatrix;
 use rtlt_store::{ContentHash, KeyBuilder, LeaseGrant, RemoteTier, Store};
 use rtlt_synth::{synthesize, SynthOptions, SynthResult};
 use rtlt_verilog::ast::{Module, SourceFile};
@@ -1198,17 +1199,24 @@ impl RtlTimer {
             .collect();
 
         // 2. Ensemble meta-model over the per-variant predictions.
-        let mut meta_feat = Vec::new();
+        let mut scratch = PredictScratch::default();
+        let mut meta_feat = FeatureMatrix::new(crate::ensemble::META_FEATURE_NAMES.len());
         let mut meta_label = Vec::new();
         let mut per_design_bits: Vec<Vec<f64>> = Vec::new();
         for d in train {
             let preds: Vec<Vec<f64>> = (0..4)
-                .map(|v| bitwise[v].predict_endpoints(&d.variant_data[v]))
+                .map(|v| {
+                    bitwise[v].predict_endpoints_with(
+                        &d.variant_data[v],
+                        &mut scratch.paths,
+                        &mut scratch.path_preds,
+                    )
+                })
                 .collect();
-            let rows = meta_rows(&preds, &d.variant_data[0]);
-            for (e, row) in rows.into_iter().enumerate() {
+            meta_rows_into(&preds, &d.variant_data[0], &mut scratch.meta);
+            for (e, row) in scratch.meta.rows().enumerate() {
                 if d.labels_at[e].is_finite() {
-                    meta_feat.push(row);
+                    meta_feat.push_row(row);
                     meta_label.push(d.labels_at[e]);
                 }
             }
@@ -1218,7 +1226,7 @@ impl RtlTimer {
 
         // 3. Signal-level models on the ensembled bit predictions.
         let mut per_design_signal = Vec::new();
-        let mut design_rows_v = Vec::new();
+        let mut design_rows_v = FeatureMatrix::new(crate::design::DESIGN_ROW_NAMES.len());
         let mut wns_labels = Vec::new();
         let mut tns_labels = Vec::new();
         let mut ep_counts = Vec::new();
@@ -1233,7 +1241,7 @@ impl RtlTimer {
             let slabels = d.signal_labels();
             per_design_signal.push((srows, slabels));
 
-            design_rows_v.push(design_row(
+            design_rows_v.push_row(&design_row(
                 &bits,
                 d.clock,
                 d.setup,
@@ -1295,17 +1303,52 @@ impl RtlTimer {
 
     /// Runs the full prediction stack on one (unseen) design.
     pub fn predict(&self, d: &DesignData) -> Prediction {
-        let variant_bit_preds = self.variant_bit_predictions(d);
-        let rows = meta_rows(&variant_bit_preds, &d.variant_data[0]);
-        let bit_pred = self.ensemble.predict(&rows);
+        let mut scratch = PredictScratch::default();
+        self.predict_with(d, &mut scratch)
+    }
 
-        let srows = signal_rows(
+    /// [`RtlTimer::predict`] with caller-owned scratch, so per-design
+    /// prediction loops (cross-validation folds, table6 what-if sweeps)
+    /// reuse one set of feature-matrix buffers instead of reallocating
+    /// them per call.
+    pub fn predict_with(&self, d: &DesignData, scratch: &mut PredictScratch) -> Prediction {
+        let trace = predict_trace_enabled();
+        let t0 = std::time::Instant::now();
+        let variant_bit_preds: Vec<Vec<f64>> = (0..4)
+            .map(|v| {
+                self.bitwise[v].predict_endpoints_with(
+                    &d.variant_data[v],
+                    &mut scratch.paths,
+                    &mut scratch.path_preds,
+                )
+            })
+            .collect();
+        let t_bit = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        meta_rows_into(&variant_bit_preds, &d.variant_data[0], &mut scratch.meta);
+        let bit_pred = self.ensemble.predict(&scratch.meta);
+        let t_ens = t0.elapsed();
+
+        let t0 = std::time::Instant::now();
+        signal_rows_into(
             &bit_pred,
             &d.variant_data[0].endpoint_sta_at,
             d.signals(),
             &d.variant_data[0].design_feats,
+            &mut scratch.signals,
         );
-        let (signal_pred, signal_rank_score) = self.signal.predict(&srows);
+        let (signal_pred, signal_rank_score) = self.signal.predict(&scratch.signals);
+        let t_sig = t0.elapsed();
+        if trace {
+            eprintln!(
+                "[predict-trace] {}: bitwise {:.2}ms ensemble {:.2}ms signal {:.2}ms (rows {})",
+                d.name,
+                t_bit.as_secs_f64() * 1e3,
+                t_ens.as_secs_f64() * 1e3,
+                t_sig.as_secs_f64() * 1e3,
+                scratch.paths.n_rows(),
+            );
+        }
 
         let drow = design_row(&bit_pred, d.clock, d.setup, &d.variant_data[0].design_feats);
         let n_eps = d.labels_at.iter().filter(|l| l.is_finite()).count() as f64;
@@ -1331,6 +1374,30 @@ impl RtlTimer {
             setup: d.setup,
         }
     }
+}
+
+/// Whether [`RtlTimer::predict_with`] prints a per-stage wall-time
+/// breakdown to stderr (`RTLT_PREDICT_TRACE=1`) — the profiling hook for
+/// bisecting inference regressions between the bitwise, ensemble and
+/// signal stages.
+fn predict_trace_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("RTLT_PREDICT_TRACE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Reusable buffers for [`RtlTimer::predict_with`]: one path-row matrix,
+/// one path-prediction vector, one meta-row matrix and one signal-row
+/// matrix, all retained across designs.
+#[derive(Debug, Default)]
+pub struct PredictScratch {
+    pub(crate) paths: FeatureMatrix,
+    pub(crate) path_preds: Vec<f64>,
+    pub(crate) meta: FeatureMatrix,
+    pub(crate) signals: FeatureMatrix,
 }
 
 /// Prediction output for one design, bundled with labels for evaluation.
@@ -1468,7 +1535,10 @@ pub fn cross_validate_with(
             return Vec::new();
         }
         let model = RtlTimer::fit_with(store, &train, cfg);
-        test.iter().map(|d| model.predict(d)).collect()
+        let mut scratch = PredictScratch::default();
+        test.iter()
+            .map(|d| model.predict_with(d, &mut scratch))
+            .collect()
     });
     let mut out: Vec<Prediction> = results.into_iter().flatten().collect();
     out.sort_by(|a, b| a.design.cmp(&b.design));

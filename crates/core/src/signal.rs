@@ -3,7 +3,7 @@
 //! arrival time and a LambdaMART ranker for the criticality ordering.
 
 use rtlt_bog::SignalInfo;
-use rtlt_ml::{Gbdt, GbdtParams, LambdaMart, LtrParams, SquaredObjective};
+use rtlt_ml::{FeatureMatrix, Gbdt, GbdtParams, LambdaMart, LtrParams, SquaredObjective};
 
 /// Names of the per-signal features.
 pub const SIGNAL_FEATURE_NAMES: [&str; 10] = [
@@ -29,7 +29,21 @@ pub fn signal_rows(
     bit_sta: &[f64],
     signals: &[SignalInfo],
     design_feats: &[f64],
-) -> Vec<Vec<f64>> {
+) -> FeatureMatrix {
+    let mut out = FeatureMatrix::new(SIGNAL_FEATURE_NAMES.len());
+    signal_rows_into(bit_pred, bit_sta, signals, design_feats, &mut out);
+    out
+}
+
+/// [`signal_rows`] into a caller-owned scratch matrix (cleared first).
+pub fn signal_rows_into(
+    bit_pred: &[f64],
+    bit_sta: &[f64],
+    signals: &[SignalInfo],
+    design_feats: &[f64],
+    out: &mut FeatureMatrix,
+) {
+    out.reset(SIGNAL_FEATURE_NAMES.len());
     // Signal-level rank percentile by predicted max.
     let maxes: Vec<f64> = signals
         .iter()
@@ -50,28 +64,26 @@ pub fn signal_rows(
         }
     }
 
-    signals
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let preds: Vec<f64> = s.regs.iter().map(|&b| bit_pred[b as usize]).collect();
-            let stas: Vec<f64> = s.regs.iter().map(|&b| bit_sta[b as usize]).collect();
-            let mean = preds.iter().sum::<f64>() / preds.len().max(1) as f64;
-            let std = (preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>()
-                / preds.len().max(1) as f64)
-                .sqrt();
-            let mut row = vec![
-                maxes[i],
-                mean,
-                std,
-                stas.iter().cloned().fold(f64::MIN, f64::max),
-                (s.width as f64).ln_1p(),
-                rank_pct[i],
-            ];
-            row.extend(design_feats.iter().copied());
-            row
-        })
-        .collect()
+    let mut row = Vec::with_capacity(SIGNAL_FEATURE_NAMES.len());
+    for (i, s) in signals.iter().enumerate() {
+        let preds: Vec<f64> = s.regs.iter().map(|&b| bit_pred[b as usize]).collect();
+        let stas: Vec<f64> = s.regs.iter().map(|&b| bit_sta[b as usize]).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len().max(1) as f64;
+        let std = (preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>()
+            / preds.len().max(1) as f64)
+            .sqrt();
+        row.clear();
+        row.extend([
+            maxes[i],
+            mean,
+            std,
+            stas.iter().cloned().fold(f64::MIN, f64::max),
+            (s.width as f64).ln_1p(),
+            rank_pct[i],
+        ]);
+        row.extend(design_feats.iter().copied());
+        out.push_row(&row);
+    }
 }
 
 /// Signal-level labels: max over the signal's bit labels. Signals whose
@@ -107,14 +119,17 @@ impl SignalModels {
     /// for each training design; each design is one LTR query. Relevance
     /// uses 8 label-rank octiles (finer than the paper's 4 reporting
     /// groups) so near-boundary pairs still carry ranking gradient.
-    pub fn fit(per_design: &[(Vec<Vec<f64>>, Vec<f64>)], seed: u64) -> SignalModels {
-        let mut rows = Vec::new();
+    pub fn fit(per_design: &[(FeatureMatrix, Vec<f64>)], seed: u64) -> SignalModels {
+        let cols = per_design
+            .first()
+            .map_or(SIGNAL_FEATURE_NAMES.len(), |(m, _)| m.n_cols());
+        let mut rows = FeatureMatrix::new(cols);
         let mut targets = Vec::new();
         let mut queries = Vec::new();
         let mut relevance = Vec::new();
         for (drows, dlabels) in per_design {
             // Filter unlabeled signals.
-            let valid: Vec<usize> = (0..drows.len())
+            let valid: Vec<usize> = (0..drows.n_rows())
                 .filter(|&i| dlabels[i].is_finite())
                 .collect();
             if valid.is_empty() {
@@ -131,8 +146,8 @@ impl SignalModels {
             }
             let mut q = Vec::with_capacity(valid.len());
             for (k, &i) in valid.iter().enumerate() {
-                q.push(rows.len());
-                rows.push(drows[i].clone());
+                q.push(rows.n_rows());
+                rows.push_row(drows.row(i));
                 targets.push(labels[k]);
                 relevance.push(octile[k]);
             }
@@ -157,11 +172,17 @@ impl SignalModels {
     }
 
     /// Predicts `(signal max arrival, ranking score)` per signal row.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    pub fn predict(&self, rows: &FeatureMatrix) -> (Vec<f64>, Vec<f64>) {
         (
             self.regression.predict_all(rows),
             self.ranking.score_all(rows),
         )
+    }
+
+    /// Prediction into caller-owned buffers (cleared first).
+    pub fn predict_into(&self, rows: &FeatureMatrix, reg: &mut Vec<f64>, rank: &mut Vec<f64>) {
+        self.regression.predict_into(rows, reg);
+        self.ranking.score_into(rows, rank);
     }
 }
 
@@ -221,11 +242,11 @@ mod tests {
         let bit_pred = [1.0, 3.0, 2.0, 2.0];
         let bit_sta = [0.5, 0.6, 0.7, 0.8];
         let rows = signal_rows(&bit_pred, &bit_sta, &signals, &[1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].len(), SIGNAL_FEATURE_NAMES.len());
-        assert_eq!(rows[0][0], 3.0); // max
-        assert_eq!(rows[0][1], 2.0); // mean
-        assert_eq!(rows[0][3], 0.6); // sta max
+        assert_eq!(rows.n_rows(), 2);
+        assert_eq!(rows.n_cols(), SIGNAL_FEATURE_NAMES.len());
+        assert_eq!(rows.row(0)[0], 3.0); // max
+        assert_eq!(rows.row(0)[1], 2.0); // mean
+        assert_eq!(rows.row(0)[3], 0.6); // sta max
     }
 
     #[test]

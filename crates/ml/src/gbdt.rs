@@ -1,6 +1,8 @@
 //! Gradient-boosted decision trees with pluggable objectives.
 
-use crate::tree::{Binner, Tree, TreeParams};
+use crate::flat::{flat_predict_enabled, FlatForest};
+use crate::matrix::FeatureMatrix;
+use crate::tree::{Binner, Tree, TreeParams, TreeScratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -20,6 +22,9 @@ pub struct GbdtParams {
     pub max_bins: usize,
     /// RNG seed for subsampling.
     pub seed: u64,
+    /// Worker threads for the per-node feature scan (split decisions are
+    /// bit-identical for any value).
+    pub threads: usize,
 }
 
 impl Default for GbdtParams {
@@ -31,6 +36,7 @@ impl Default for GbdtParams {
             subsample: 0.85,
             max_bins: 128,
             seed: 7,
+            threads: 1,
         }
     }
 }
@@ -114,6 +120,9 @@ pub struct Gbdt {
     learning_rate: f64,
     trees: Vec<Tree>,
     n_features: usize,
+    /// SoA inference kernel, derived from `trees` at fit/decode time —
+    /// never persisted (the `model` namespace bytes are unchanged).
+    flat: FlatForest,
 }
 
 impl Gbdt {
@@ -122,11 +131,11 @@ impl Gbdt {
     /// # Panics
     ///
     /// Panics if `rows` is empty.
-    pub fn fit(rows: &[Vec<f64>], objective: &dyn Objective, params: &GbdtParams) -> Gbdt {
+    pub fn fit(rows: &FeatureMatrix, objective: &dyn Objective, params: &GbdtParams) -> Gbdt {
         assert!(!rows.is_empty(), "GBDT needs data");
-        let n_features = rows[0].len();
-        let n = rows.len();
-        let binner = Binner::fit(rows, n_features, params.max_bins);
+        let n_features = rows.n_cols();
+        let n = rows.n_rows();
+        let binner = Binner::fit(rows, params.max_bins);
         let codes = binner.codes(rows);
         let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -136,6 +145,7 @@ impl Gbdt {
         let mut hess = vec![0.0; n];
         let mut trees = Vec::with_capacity(params.n_trees);
         let all: Vec<usize> = (0..n).collect();
+        let mut scratch = TreeScratch::for_binner(&binner);
 
         for _round in 0..params.n_trees {
             objective.grad_hess(&preds, &mut grad, &mut hess);
@@ -148,17 +158,28 @@ impl Gbdt {
                 s.truncate(k.max(1));
                 s
             };
-            let tree = Tree::fit(&binner, &codes, &grad, &hess, &sample, &params.tree);
+            let tree = Tree::fit_with(
+                &binner,
+                &codes,
+                &grad,
+                &hess,
+                &sample,
+                &params.tree,
+                &mut scratch,
+                params.threads.max(1),
+            );
             for i in 0..n {
                 preds[i] += params.learning_rate * tree.predict_binned(&codes, i, n_features);
             }
             trees.push(tree);
         }
+        let flat = FlatForest::from_trees(&trees, base, params.learning_rate);
         Gbdt {
             base,
             learning_rate: params.learning_rate,
             trees,
             n_features,
+            flat,
         }
     }
 
@@ -169,6 +190,9 @@ impl Gbdt {
     /// Panics if the row width differs from training.
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        if flat_predict_enabled() {
+            return self.flat.predict_row(row);
+        }
         let mut acc = self.base;
         for t in &self.trees {
             acc += self.learning_rate * t.predict(row);
@@ -176,9 +200,22 @@ impl Gbdt {
         acc
     }
 
+    /// Batch prediction into a caller-owned buffer (cleared first) via the
+    /// flat SoA kernel, or the scalar walk under `RTLT_NO_FLAT_PREDICT=1`.
+    pub fn predict_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        if flat_predict_enabled() {
+            self.flat.predict_into(rows, out);
+        } else {
+            out.clear();
+            out.extend(rows.rows().map(|r| self.predict(r)));
+        }
+    }
+
     /// Batch prediction.
-    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|r| self.predict(r)).collect()
+    pub fn predict_all(&self, rows: &FeatureMatrix) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_into(rows, &mut out);
+        out
     }
 
     /// Split counts per feature (simple importance metric).
@@ -209,11 +246,17 @@ impl rtlt_store::Codec for Gbdt {
         e.usize(self.n_features);
     }
     fn decode(d: &mut rtlt_store::Dec<'_>) -> Result<Self, rtlt_store::CodecError> {
+        let base = d.f64()?;
+        let learning_rate = d.f64()?;
+        let trees: Vec<Tree> = Vec::decode(d)?;
+        let n_features = d.usize()?;
+        let flat = FlatForest::from_trees(&trees, base, learning_rate);
         Ok(Gbdt {
-            base: d.f64()?,
-            learning_rate: d.f64()?,
-            trees: Vec::decode(d)?,
-            n_features: d.usize()?,
+            base,
+            learning_rate,
+            trees,
+            n_features,
+            flat,
         })
     }
 }
@@ -254,6 +297,7 @@ mod tests {
             .iter()
             .map(|r| r[0] * r[0] + 2.0 * (r[1] > 0.5) as i32 as f64)
             .collect();
+        let rows = FeatureMatrix::from_rows(&rows);
         let model = Gbdt::fit(
             &rows,
             &SquaredObjective { targets: y.clone() },
@@ -273,11 +317,11 @@ mod tests {
         let test: Vec<Vec<f64>> = (0..200).map(|_| gen_row(&mut rng)).collect();
         let ytest: Vec<f64> = test.iter().map(|r| f(r)).collect();
         let model = Gbdt::fit(
-            &train,
+            &FeatureMatrix::from_rows(&train),
             &SquaredObjective { targets: ytrain },
             &GbdtParams::default(),
         );
-        let preds = model.predict_all(&test);
+        let preds = model.predict_all(&FeatureMatrix::from_rows(&test));
         assert!(pearson(&preds, &ytest) > 0.95);
     }
 
@@ -307,6 +351,7 @@ mod tests {
             groups: groups.clone(),
             targets: targets.clone(),
         };
+        let rows = FeatureMatrix::from_rows(&rows);
         let model = Gbdt::fit(&rows, &obj, &GbdtParams::default());
         let preds = model.predict_all(&rows);
         let group_preds: Vec<f64> = groups
@@ -327,6 +372,7 @@ mod tests {
             .map(|i| vec![(i % 13) as f64, (i % 7) as f64])
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[1]).collect();
+        let rows = FeatureMatrix::from_rows(&rows);
         let model = Gbdt::fit(
             &rows,
             &SquaredObjective { targets: y },
@@ -334,7 +380,7 @@ mod tests {
         );
         let back = Gbdt::from_bytes(&model.to_bytes()).expect("round trip");
         assert_eq!(back.n_trees(), model.n_trees());
-        for r in &rows {
+        for r in rows.rows() {
             assert_eq!(back.predict(r).to_bits(), model.predict(r).to_bits());
         }
     }
@@ -343,6 +389,7 @@ mod tests {
     fn deterministic_given_seed() {
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let rows = FeatureMatrix::from_rows(&rows);
         let m1 = Gbdt::fit(
             &rows,
             &SquaredObjective { targets: y.clone() },
@@ -353,7 +400,7 @@ mod tests {
             &SquaredObjective { targets: y },
             &GbdtParams::default(),
         );
-        for r in &rows {
+        for r in rows.rows() {
             assert_eq!(m1.predict(r), m2.predict(r));
         }
     }
@@ -366,7 +413,7 @@ mod tests {
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| 10.0 * r[1]).collect();
         let model = Gbdt::fit(
-            &rows,
+            &FeatureMatrix::from_rows(&rows),
             &SquaredObjective { targets: y },
             &GbdtParams::default(),
         );

@@ -8,6 +8,7 @@
 //! histogram-tree booster used for regression.
 
 use crate::gbdt::{Gbdt, GbdtParams, Objective};
+use crate::matrix::FeatureMatrix;
 
 /// LambdaMART hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,7 +114,7 @@ impl LambdaMart {
     /// * `queries` — row-index sets, one per query (design);
     /// * `relevance` — per-row relevance label (higher = more critical).
     pub fn fit(
-        rows: &[Vec<f64>],
+        rows: &FeatureMatrix,
         queries: &[Vec<usize>],
         relevance: &[f64],
         params: &LtrParams,
@@ -134,8 +135,13 @@ impl LambdaMart {
     }
 
     /// Batch scores.
-    pub fn score_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+    pub fn score_all(&self, rows: &FeatureMatrix) -> Vec<f64> {
         self.model.predict_all(rows)
+    }
+
+    /// Batch scores into a caller-owned buffer (cleared first).
+    pub fn score_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        self.model.predict_into(rows, out);
     }
 }
 
@@ -176,7 +182,12 @@ mod tests {
         }
         let mut params = LtrParams::default();
         params.gbdt.n_trees = 80;
-        let model = LambdaMart::fit(&rows, &queries, &relevance, &params);
+        let model = LambdaMart::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &queries,
+            &relevance,
+            &params,
+        );
 
         // Held-out query: 20 fresh docs; check pairwise order accuracy.
         let mut correct = 0;
@@ -208,7 +219,12 @@ mod tests {
         let relevance = vec![0.0, 3.0];
         let mut params = LtrParams::default();
         params.gbdt.n_trees = 5;
-        let model = LambdaMart::fit(&rows, &queries, &relevance, &params);
+        let model = LambdaMart::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &queries,
+            &relevance,
+            &params,
+        );
         let _ = model.score(&rows[0]);
     }
 }

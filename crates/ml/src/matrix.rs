@@ -1,4 +1,115 @@
-//! Minimal dense row-major matrix used by the neural models.
+//! Minimal dense row-major matrices: [`Matrix`] for the neural models'
+//! weight/activation math and [`FeatureMatrix`] for batched feature rows.
+
+/// A growable row-major feature buffer: the batched replacement for
+/// `Vec<Vec<f64>>` across the `fit`/`predict_all` signatures.
+///
+/// Rows are appended with [`push_row`](FeatureMatrix::push_row) into one
+/// flat `f64` allocation, so a design's feature rows are built once and
+/// traversed with unit stride instead of chasing one heap allocation per
+/// row. [`clear`](FeatureMatrix::clear) retains capacity, making a single
+/// instance reusable as per-loop scratch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Empty matrix with `cols` feature columns.
+    pub fn new(cols: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// Empty matrix with capacity reserved for `rows` rows.
+    pub fn with_capacity(cols: usize, rows: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            cols,
+            data: Vec::with_capacity(cols * rows),
+        }
+    }
+
+    /// Builds from per-row `Vec`s (interop with row-oriented callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> FeatureMatrix {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut m = FeatureMatrix::with_capacity(cols, rows.len());
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != n_cols`.
+    #[inline]
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "feature width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Drops all rows, retaining the column count and capacity (scratch
+    /// reuse across designs).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Drops all rows and switches the column count (scratch reuse across
+    /// feature spaces).
+    pub fn reset(&mut self, cols: usize) {
+        self.cols = cols;
+        self.data.clear();
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.data.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The flat row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major storage (in-place transforms).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
 
 /// A dense row-major `rows × cols` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]

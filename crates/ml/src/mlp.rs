@@ -5,7 +5,7 @@
 //! the endpoint prediction is the max, and the gradient flows back through
 //! the argmax row only (the exact subgradient of `max`).
 
-use crate::matrix::Matrix;
+use crate::matrix::{FeatureMatrix, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -173,15 +173,15 @@ impl Mlp {
     }
 
     /// Trains with squared-error loss on per-row targets.
-    pub fn fit_regression(&mut self, rows: &[Vec<f64>], targets: &[f64]) {
+    pub fn fit_regression(&mut self, rows: &FeatureMatrix, targets: &[f64]) {
         let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x5eed);
-        let idx: Vec<usize> = (0..rows.len()).collect();
+        let idx: Vec<usize> = (0..rows.n_rows()).collect();
         let params = self.params.clone();
         for _epoch in 0..params.epochs {
             let mut order = idx.clone();
             order.shuffle(&mut rng);
             for chunk in order.chunks(params.batch) {
-                let x = Matrix::from_fn(chunk.len(), self.n_features, |r, c| rows[chunk[r]][c]);
+                let x = Matrix::from_fn(chunk.len(), self.n_features, |r, c| rows.row(chunk[r])[c]);
                 let (acts, out) = self.forward_cached(&x);
                 let mut dout = Matrix::zeros(out.rows, 1);
                 for (r, &row) in chunk.iter().enumerate() {
@@ -194,7 +194,12 @@ impl Mlp {
 
     /// Trains with the grouped max-loss: `groups[g]` are the row indices of
     /// the sampled paths of endpoint `g`, with one target per group.
-    pub fn fit_grouped_max(&mut self, rows: &[Vec<f64>], groups: &[Vec<usize>], targets: &[f64]) {
+    pub fn fit_grouped_max(
+        &mut self,
+        rows: &FeatureMatrix,
+        groups: &[Vec<usize>],
+        targets: &[f64],
+    ) {
         let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xface);
         let gidx: Vec<usize> = (0..groups.len()).collect();
         let params = self.params.clone();
@@ -213,7 +218,7 @@ impl Mlp {
                 if flat.is_empty() {
                     continue;
                 }
-                let x = Matrix::from_fn(flat.len(), self.n_features, |r, c| rows[flat[r]][c]);
+                let x = Matrix::from_fn(flat.len(), self.n_features, |r, c| rows.row(flat[r])[c]);
                 let (acts, out) = self.forward_cached(&x);
                 let mut dout = Matrix::zeros(out.rows, 1);
                 for (k, &g) in chunk.iter().enumerate() {
@@ -242,13 +247,14 @@ impl Mlp {
     }
 
     /// Batch prediction.
-    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+    pub fn predict_all(&self, rows: &FeatureMatrix) -> Vec<f64> {
         if rows.is_empty() {
             return Vec::new();
         }
-        let x = Matrix::from_fn(rows.len(), self.n_features, |r, c| rows[r][c]);
+        let n = rows.n_rows();
+        let x = Matrix::from_fn(n, self.n_features, |r, c| rows.row(r)[c]);
         let (_, out) = self.forward_cached(&x);
-        (0..rows.len()).map(|r| out.at(r, 0)).collect()
+        (0..n).map(|r| out.at(r, 0)).collect()
     }
 }
 
@@ -283,6 +289,7 @@ mod tests {
                 ..Default::default()
             },
         );
+        let rows = FeatureMatrix::from_rows(&rows);
         mlp.fit_regression(&rows, &y);
         let preds = mlp.predict_all(&rows);
         assert!(pearson(&preds, &y) > 0.98, "R={}", pearson(&preds, &y));
@@ -315,6 +322,7 @@ mod tests {
                 ..Default::default()
             },
         );
+        let rows = FeatureMatrix::from_rows(&rows);
         mlp.fit_grouped_max(&rows, &groups, &targets);
         let preds = mlp.predict_all(&rows);
         let gp: Vec<f64> = groups
@@ -346,8 +354,9 @@ mod tests {
                 ..Default::default()
             },
         );
+        let rows = FeatureMatrix::from_rows(&rows);
         a.fit_regression(&rows, &y);
         b.fit_regression(&rows, &y);
-        assert_eq!(a.predict(&rows[3]), b.predict(&rows[3]));
+        assert_eq!(a.predict(rows.row(3)), b.predict(rows.row(3)));
     }
 }

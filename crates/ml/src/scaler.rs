@@ -1,5 +1,7 @@
 //! Feature standardization (zero mean, unit variance).
 
+use crate::matrix::FeatureMatrix;
+
 /// Per-feature standardizer fitted on training rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scaler {
@@ -8,17 +10,17 @@ pub struct Scaler {
 }
 
 impl Scaler {
-    /// Fits on row-major data with `n_features` columns.
+    /// Fits on row-major data.
     ///
     /// # Panics
     ///
-    /// Panics if `rows` is empty or row lengths differ from `n_features`.
-    pub fn fit(rows: &[Vec<f64>], n_features: usize) -> Scaler {
+    /// Panics if `rows` is empty.
+    pub fn fit(rows: &FeatureMatrix) -> Scaler {
         assert!(!rows.is_empty(), "scaler needs data");
-        let n = rows.len() as f64;
+        let n_features = rows.n_cols();
+        let n = rows.n_rows() as f64;
         let mut mean = vec![0.0; n_features];
-        for r in rows {
-            assert_eq!(r.len(), n_features);
+        for r in rows.rows() {
             for (m, v) in mean.iter_mut().zip(r) {
                 *m += v;
             }
@@ -27,7 +29,7 @@ impl Scaler {
             *m /= n;
         }
         let mut var = vec![0.0; n_features];
-        for r in rows {
+        for r in rows.rows() {
             for ((v, m), x) in var.iter_mut().zip(&mean).zip(r) {
                 let d = x - m;
                 *v += d * d;
@@ -44,10 +46,13 @@ impl Scaler {
         }
     }
 
-    /// Transforms a batch of rows.
-    pub fn transform_all(&self, rows: &mut [Vec<f64>]) {
-        for r in rows {
-            self.transform(r);
+    /// Transforms a batch of rows in place.
+    pub fn transform_all(&self, rows: &mut FeatureMatrix) {
+        let nf = self.mean.len();
+        for row in rows.as_mut_slice().chunks_exact_mut(nf.max(1)) {
+            for ((x, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *x = (*x - m) / s;
+            }
         }
     }
 
@@ -66,12 +71,12 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![i as f64, 5.0 * i as f64 + 3.0])
             .collect();
-        let sc = Scaler::fit(&rows, 2);
-        let mut t = rows.clone();
+        let mut t = FeatureMatrix::from_rows(&rows);
+        let sc = Scaler::fit(&t);
         sc.transform_all(&mut t);
         for c in 0..2 {
-            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / t.len() as f64;
-            let var: f64 = t.iter().map(|r| (r[c] - mean).powi(2)).sum::<f64>() / t.len() as f64;
+            let mean: f64 = t.rows().map(|r| r[c]).sum::<f64>() / t.n_rows() as f64;
+            let var: f64 = t.rows().map(|r| (r[c] - mean).powi(2)).sum::<f64>() / t.n_rows() as f64;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-9);
         }
@@ -79,8 +84,8 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_blow_up() {
-        let rows = vec![vec![7.0], vec![7.0], vec![7.0]];
-        let sc = Scaler::fit(&rows, 1);
+        let rows = FeatureMatrix::from_rows(&[vec![7.0], vec![7.0], vec![7.0]]);
+        let sc = Scaler::fit(&rows);
         let mut r = vec![7.0];
         sc.transform(&mut r);
         assert!(r[0].is_finite());

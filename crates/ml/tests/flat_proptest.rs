@@ -1,0 +1,177 @@
+//! Property tests of the flat SoA inference kernel: [`FlatForest`] must
+//! predict bit-identically to the scalar `Node`-walk over adversarial
+//! feature values (signed zeros, denormals, infinities, NaNs, and values
+//! exactly equal to split thresholds), and a decoded ensemble must
+//! rebuild a flat kernel that predicts bit-identically to the fitted one.
+
+use proptest::prelude::*;
+use proptest::strategy::Union;
+use rtlt_ml::{
+    Binner, FeatureMatrix, FlatForest, Gbdt, GbdtParams, SquaredObjective, Tree, TreeParams,
+};
+use rtlt_store::Codec;
+
+/// Finite training features on a coarse grid plus a continuous band: the
+/// grid guarantees repeated values, so bin edges (= split thresholds)
+/// coincide with values the prediction rows below will also draw.
+fn training_f64() -> Union<f64> {
+    prop_oneof![
+        (-16i64..16).prop_map(|i| i as f64 * 0.25),
+        Just(0.0f64),
+        Just(-0.0f64),
+        -100.0f64..100.0,
+    ]
+}
+
+/// Prediction-side features: everything the trained grid can collide with
+/// (threshold-equal comparisons) plus the full adversarial zoo — the
+/// kernel must route each of these through the same child as the scalar
+/// walk, including NaN (`<=` is false, so NaN always falls right).
+fn adversarial_f64() -> Union<f64> {
+    prop_oneof![
+        // Grid values: exactly equal to training values, hence to split
+        // thresholds (thresholds are bin upper edges of training data).
+        (-16i64..16).prop_map(|i| i as f64 * 0.25),
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        // NaNs with arbitrary payload bits (quiet and signaling patterns).
+        (0u64..(1 << 52)).prop_map(|p| f64::from_bits(0x7FF0_0000_0000_0000 | p | 1)),
+        (0u64..(1 << 52)).prop_map(|p| f64::from_bits(0xFFF0_0000_0000_0000 | p | 1)),
+        // Denormals: exponent 0, nonzero mantissa.
+        (1u64..(1 << 52)).prop_map(f64::from_bits),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MAX),
+        Just(f64::MIN),
+        // Fully arbitrary bit patterns.
+        (0u64..=u64::MAX).prop_map(f64::from_bits),
+        -1e12f64..1e12,
+    ]
+}
+
+/// Packs a flat value list into an `n_cols`-wide matrix, dropping the
+/// ragged tail.
+fn matrix_of(vals: &[f64], n_cols: usize) -> FeatureMatrix {
+    let mut m = FeatureMatrix::new(n_cols);
+    for row in vals.chunks_exact(n_cols) {
+        m.push_row(row);
+    }
+    m
+}
+
+/// Grows a small hand-rolled boosted ensemble (squared error, unit
+/// hessians) so the raw [`Tree`]s stay accessible for the scalar
+/// reference walk.
+fn boost(train: &FeatureMatrix, base: f64, lr: f64, rounds: usize) -> Vec<Tree> {
+    let binner = Binner::fit(train, 16);
+    let codes = binner.codes(train);
+    let n = train.n_rows();
+    let nf = train.n_cols();
+    // Deterministic targets derived from the features themselves.
+    let y: Vec<f64> = train.rows().map(|r| r.iter().sum::<f64>()).collect();
+    let params = TreeParams {
+        max_depth: 4,
+        ..TreeParams::default()
+    };
+    let all: Vec<usize> = (0..n).collect();
+    let mut preds = vec![base; n];
+    let mut grad = vec![0.0; n];
+    let hess = vec![1.0; n];
+    let mut trees = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        for i in 0..n {
+            grad[i] = preds[i] - y[i];
+        }
+        let tree = Tree::fit(&binner, &codes, &grad, &hess, &all, &params);
+        for (i, p) in preds.iter_mut().enumerate() {
+            *p += lr * tree.predict_binned(&codes, i, nf);
+        }
+        trees.push(tree);
+    }
+    trees
+}
+
+/// The scalar `Node`-walk reference: base, then trees in boosting order.
+fn scalar_walk(trees: &[Tree], base: f64, lr: f64, row: &[f64]) -> f64 {
+    let mut acc = base;
+    for t in trees {
+        acc += lr * t.predict(row);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `FlatForest::predict_row` and the blocked `predict_all` agree
+    /// bit-for-bit with the scalar walk on adversarial inputs, including
+    /// rows reused verbatim from training (threshold-equal values) and
+    /// batches spanning multiple `ROW_BLOCK` windows.
+    #[test]
+    fn flat_matches_scalar_walk_bit_exactly(
+        train_vals in proptest::collection::vec(training_f64(), 24..160),
+        pred_vals in proptest::collection::vec(adversarial_f64(), 0..384),
+        n_cols in 1usize..4,
+    ) {
+        let train = matrix_of(&train_vals, n_cols);
+        let (base, lr) = (0.125, 0.3);
+        let trees = boost(&train, base, lr, 3);
+        let flat = FlatForest::from_trees(&trees, base, lr);
+        prop_assert_eq!(flat.n_trees(), trees.len());
+
+        // Adversarial rows plus every training row appended verbatim, so
+        // split comparisons hit `value == threshold` exactly.
+        let mut pm = matrix_of(&pred_vals, n_cols);
+        for r in train.rows() {
+            pm.push_row(r);
+        }
+        for row in pm.rows() {
+            let want = scalar_walk(&trees, base, lr, row);
+            prop_assert_eq!(flat.predict_row(row).to_bits(), want.to_bits());
+        }
+        let batch = flat.predict_all(&pm);
+        prop_assert_eq!(batch.len(), pm.n_rows());
+        for (i, row) in pm.rows().enumerate() {
+            let want = scalar_walk(&trees, base, lr, row);
+            prop_assert_eq!(batch[i].to_bits(), want.to_bits());
+        }
+    }
+
+    /// Decode-then-flatten round trip: a `Gbdt` rebuilt from its stored
+    /// bytes (which never contain the flat arrays) predicts bit-identically
+    /// to the fitted model, per-row and batched.
+    #[test]
+    fn decoded_model_predicts_bit_exactly(
+        train_vals in proptest::collection::vec(training_f64(), 24..120),
+        pred_vals in proptest::collection::vec(adversarial_f64(), 0..256),
+        n_cols in 1usize..4,
+        seed in 0u64..1024,
+    ) {
+        let train = matrix_of(&train_vals, n_cols);
+        let y: Vec<f64> = train.rows().map(|r| r.iter().sum::<f64>()).collect();
+        let params = GbdtParams {
+            n_trees: 8,
+            max_bins: 16,
+            seed,
+            ..GbdtParams::default()
+        };
+        let model = Gbdt::fit(&train, &SquaredObjective { targets: y }, &params);
+        let back = Gbdt::from_bytes(&model.to_bytes()).expect("decode");
+
+        let mut pm = matrix_of(&pred_vals, n_cols);
+        for r in train.rows() {
+            pm.push_row(r);
+        }
+        let want = model.predict_all(&pm);
+        let got = back.predict_all(&pm);
+        prop_assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            prop_assert_eq!(w.to_bits(), g.to_bits());
+        }
+        for (i, row) in pm.rows().enumerate() {
+            prop_assert_eq!(back.predict(row).to_bits(), want[i].to_bits());
+        }
+    }
+}

@@ -11,7 +11,7 @@
 #   SMOKE_TMP scratch root (default: a fresh mktemp -d)
 set -euo pipefail
 
-job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|multiplexed-store|cold-dedup|perf-gate>}"
+job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|multiplexed-store|cold-dedup|flat-predict|perf-gate>}"
 BIN_DIR="${BIN_DIR:-target/release}"
 BIN_DIR="$(cd "$BIN_DIR" && pwd)"
 SMOKE_TMP="${SMOKE_TMP:-$(mktemp -d)}"
@@ -231,6 +231,29 @@ case "$job" in
       'BEGIN { exit !(l > 0 && d <= 1.10 * l) }'
     ;;
 
+  # Flat-kernel A/B: the full table-6 evaluation (fit + cross-validated
+  # prediction) with the flat SoA inference kernel (default) vs
+  # RTLT_NO_FLAT_PREDICT=1 (scalar Node walk), in disjoint fresh caches.
+  # Every deterministic accuracy field must be byte-identical — the flat
+  # kernel changes how a fitted ensemble is traversed, never what it
+  # predicts.
+  flat-predict)
+    cd "$SMOKE_TMP"
+    RTLT_FAST=1 "$BIN_DIR/table6" --cache-dir "$SMOKE_TMP/flat-cache"
+    mv BENCH_table6.json table6-flat.json
+    RTLT_FAST=1 RTLT_NO_FLAT_PREDICT=1 "$BIN_DIR/table6" --cache-dir "$SMOKE_TMP/scalar-cache"
+    mv BENCH_table6.json table6-scalar.json
+    for field in folds \
+        avg1_wns_pred_delta_pct avg1_tns_pred_delta_pct \
+        avg2_wns_pred_delta_pct avg2_tns_pred_delta_pct \
+        avg2_wns_real_delta_pct avg2_tns_real_delta_pct; do
+      flat_v=$(json_num "$field" table6-flat.json)
+      scalar_v=$(json_num "$field" table6-scalar.json)
+      echo "$field: flat=$flat_v scalar=$scalar_v"
+      test "$flat_v" = "$scalar_v"
+    done
+    ;;
+
   # Perf-regression gate: cold + warm run, then diff the cold-prepare and
   # warm-prepare wall times, hit rate and frame bytes read against the
   # committed baseline; >25 % regression on any axis fails. The cold run's
@@ -246,21 +269,25 @@ case "$job" in
     fresh_rate=$(json_num prepare_hit_rate_pct BENCH_runtime.json)
     fresh_bytes=$(json_num prepare_stored_read_bytes BENCH_runtime.json)
     fresh_turns=$(json_num prepare_round_trips BENCH_runtime.json)
+    fresh_inf=$(json_num inference_median BENCH_runtime.json)
     base_cold=$(json_num cold_prepare_seconds "$REPO_ROOT/ci/bench-baseline.json")
     base_secs=$(json_num suite_prep_seconds "$REPO_ROOT/ci/bench-baseline.json")
     base_rate=$(json_num prepare_hit_rate_pct "$REPO_ROOT/ci/bench-baseline.json")
     base_bytes=$(json_num prepare_stored_read_bytes "$REPO_ROOT/ci/bench-baseline.json")
     base_turns=$(json_num prepare_round_trips "$REPO_ROOT/ci/bench-baseline.json")
-    summary="perf gate: cold prepare ${cold_secs}s (baseline ${base_cold}s, limit $(awk -v b="$base_cold" 'BEGIN{printf "%.3f", b*1.25}')s), warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%), bytes read ${fresh_bytes} (baseline ${base_bytes}, limit $(awk -v b="$base_bytes" 'BEGIN{printf "%.0f", b*1.25}')), round trips ${fresh_turns} (baseline ${base_turns}, limit $(awk -v b="$base_turns" 'BEGIN{printf "%.0f", b*1.25+1}'))"
+    base_inf=$(json_num inference_median "$REPO_ROOT/ci/bench-baseline.json")
+    summary="perf gate: cold prepare ${cold_secs}s (baseline ${base_cold}s, limit $(awk -v b="$base_cold" 'BEGIN{printf "%.3f", b*1.25}')s), warm prepare ${fresh_secs}s (baseline ${base_secs}s, limit $(awk -v b="$base_secs" 'BEGIN{printf "%.3f", b*1.25}')s), hit rate ${fresh_rate}% (baseline ${base_rate}%, floor $(awk -v b="$base_rate" 'BEGIN{printf "%.1f", b*0.75}')%), bytes read ${fresh_bytes} (baseline ${base_bytes}, limit $(awk -v b="$base_bytes" 'BEGIN{printf "%.0f", b*1.25}')), round trips ${fresh_turns} (baseline ${base_turns}, limit $(awk -v b="$base_turns" 'BEGIN{printf "%.0f", b*1.25+1}')), inference median ${fresh_inf}ms (baseline ${base_inf}ms, limit $(awk -v b="$base_inf" 'BEGIN{printf "%.3f", b*1.25}')ms)"
     echo "$summary"
     echo "$summary" >> "${GITHUB_STEP_SUMMARY:-/dev/null}"
     # Round trips get +1 absolute slack on top of the 25 % margin: this
     # lane runs without a remote, so the expected value is exactly 0 and
-    # a pure percentage gate would reject any future count at all.
+    # a pure percentage gate would reject any future count at all. The
+    # inference-median column guards the flat SoA predict kernel.
     awk -v c="$cold_secs" -v bc="$base_cold" \
         -v s="$fresh_secs" -v bs="$base_secs" -v r="$fresh_rate" -v br="$base_rate" \
         -v y="$fresh_bytes" -v by="$base_bytes" -v t="$fresh_turns" -v bt="$base_turns" \
-      'BEGIN { exit !(c <= bc * 1.25 && s <= bs * 1.25 && r >= br * 0.75 && y <= by * 1.25 && t <= bt * 1.25 + 1) }'
+        -v i="$fresh_inf" -v bi="$base_inf" \
+      'BEGIN { exit !(c <= bc * 1.25 && s <= bs * 1.25 && r >= br * 0.75 && y <= by * 1.25 && t <= bt * 1.25 + 1 && i <= bi * 1.25) }'
     ;;
 
   *)
