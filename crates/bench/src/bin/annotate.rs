@@ -14,8 +14,20 @@
 //!
 //! With `--selfcheck` the process exits non-zero when any of the structural
 //! invariants (1) or (3) fail — the CI smoke job runs exactly that.
+//!
+//! Two extra modes turn the same loop into the live annotation service
+//! (`rtlt-annotated`, see `docs/sessions.md`):
+//!
+//! - `--serve [--addr=HOST:PORT]` prepares the suite, trains the model,
+//!   and serves OPEN/EDIT/ANNOTATE sessions for the base design on one
+//!   single-threaded event loop (prints a `listening on` line when ready);
+//! - `--connect=ADDR` drives the same edit through a [`LiveAnnotator`]
+//!   session against that service, asserting byte-identity with the local
+//!   incremental loop and reporting the per-edit round trips — and
+//!   degrading to local recompute (same bytes) when the server is gone.
 
 use rtl_timer::incremental::IncrementalAnnotator;
+use rtl_timer::live::{self, LiveAnnotator, LiveService};
 use rtl_timer::pipeline::{DesignSet, PrepareStages, RtlTimer};
 use rtlt_bench::{json::Json, positional_args, Bench};
 use rtlt_designgen::hier;
@@ -31,6 +43,16 @@ fn main() {
     let cfg = bench.cfg.clone();
     let args = positional_args();
     let selfcheck = args.iter().any(|a| a == "--selfcheck");
+    let serve = args.iter().any(|a| a == "--serve");
+    let listen_addr = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--addr="))
+        .unwrap_or("127.0.0.1:7463")
+        .to_owned();
+    let connect = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--connect="))
+        .map(str::to_owned);
     let lanes: usize = args
         .iter()
         .find_map(|a| a.strip_prefix("--lanes="))
@@ -59,6 +81,29 @@ fn main() {
     let _ = model.predict(base_d);
     let predict_s = t.elapsed().as_secs_f64();
     eprintln!("[annotate] one full-design inference: {predict_s:.3}s");
+
+    if serve {
+        // Live annotation service: the suite's warm store and trained
+        // model move into the event loop; sessions open against the base
+        // design. Blocks until killed.
+        let svc = LiveService::new(
+            model,
+            bench.store,
+            &[base_d],
+            &cfg,
+            live::DEFAULT_STEP_SHARDS,
+        );
+        let listener = std::net::TcpListener::bind(&listen_addr).expect("bind live service");
+        let bound = listener.local_addr().expect("local addr");
+        println!("rtlt-annotated listening on {bound} (design {TOP}, {lanes} lanes)");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        live::serve_until(listener, svc, &stop);
+        return;
+    }
+    if let Some(addr) = connect {
+        live_connect(&bench, &model, base_d, &base, lanes, &addr, selfcheck);
+        return;
+    }
 
     // Session: pin the baseline clock, annotate the unedited source once.
     let mut annotator = IncrementalAnnotator::new(base_d, &cfg);
@@ -182,6 +227,136 @@ fn main() {
 
     if selfcheck && failed {
         eprintln!("[annotate] selfcheck FAILED");
+        std::process::exit(1);
+    }
+}
+
+/// `--connect=ADDR`: drive one scripted edit through a live session and
+/// report timing, round trips, and byte-identity with the local loop.
+///
+/// Works unchanged when the server is unreachable or refuses sessions —
+/// the [`LiveAnnotator`] degrades to local recompute, `used_remote` flips
+/// to false in the report, and the byte-identity check still holds.
+#[allow(clippy::too_many_arguments)]
+fn live_connect(
+    bench: &Bench,
+    model: &RtlTimer,
+    base_d: &rtl_timer::DesignData,
+    base: &str,
+    lanes: usize,
+    addr: &str,
+    selfcheck: bool,
+) {
+    let cfg = bench.cfg.clone();
+    let mut session = LiveAnnotator::with_remote(base_d, &cfg, addr);
+    let t = Instant::now();
+    let out0 = session
+        .reannotate(base, model, &bench.store)
+        .expect("baseline pass");
+    eprintln!(
+        "[annotate] session open + baseline annotation: {:.3}s ({})",
+        t.elapsed().as_secs_f64(),
+        if out0.remote {
+            "remote"
+        } else {
+            "local fallback"
+        }
+    );
+
+    // The scripted edit: one lane's first pipeline stage changes. Warm
+    // EDIT→ANNOTATE is what the designer's save-to-slack latency is.
+    let edited_lane = lanes / 2;
+    let edited = hier::edit_lane(base, edited_lane).expect("lane edit");
+    let t = Instant::now();
+    let warm = session
+        .reannotate(&edited, model, &bench.store)
+        .expect("edit pass");
+    let warm_s = t.elapsed().as_secs_f64();
+    println!(
+        "edit lane{edited_lane} via {}: dirty modules {:?}, {} / {} shards in {:.3}s, {} round trip(s)",
+        if warm.remote {
+            "live session"
+        } else {
+            "local fallback"
+        },
+        warm.dirty_modules,
+        warm.dirty_shards,
+        warm.total_shards,
+        warm_s,
+        warm.round_trips
+    );
+
+    // Reference 1: a cold full prepare of the edited design — the smoke
+    // lane gates warm session latency at a fraction of this.
+    let t = Instant::now();
+    let _ = PrepareStages::new(&cfg)
+        .run_with(&Store::in_memory(), TOP, &edited)
+        .expect("cold prepare");
+    let cold_prepare_s = t.elapsed().as_secs_f64();
+    let warm_over_cold = warm_s / cold_prepare_s.max(1e-9);
+    println!(
+        "cold full prepare: {cold_prepare_s:.3}s → warm session edit at {:.1}% of cold",
+        warm_over_cold * 100.0
+    );
+
+    // Reference 2: a local twin replaying both revisions — the session's
+    // output must be byte-identical to it, remote or degraded alike.
+    let mut twin = IncrementalAnnotator::new(base_d, &cfg);
+    let twin0 = twin
+        .reannotate(base, model, &bench.store)
+        .expect("twin baseline");
+    let twin1 = twin
+        .reannotate(&edited, model, &bench.store)
+        .expect("twin edit");
+    let byte_identical = out0.annotated == twin0.annotated && warm.annotated == twin1.annotated;
+
+    // Round-trip accounting: the session client charges one turnaround
+    // per edit to the store's `session` namespace, so the shared stats
+    // table below reports it alongside the artifact tiers.
+    let session_turns = bench.store.stats().namespace(live::SESSION_NS).round_trips;
+    println!(
+        "session round trips: {session_turns} total this process, {} for the timed edit",
+        warm.round_trips
+    );
+    bench.print_store_stats();
+
+    let checks = [
+        (
+            "session annotation byte-identical to local loop",
+            byte_identical,
+        ),
+        (
+            "shard accounting agrees with the local loop",
+            warm.total_shards == twin1.total_shards,
+        ),
+    ];
+    let mut failed = false;
+    for (what, ok) in checks {
+        println!("check: {what}: {}", if ok { "ok" } else { "FAIL" });
+        failed |= !ok;
+    }
+
+    bench.write_report(
+        "annotate",
+        vec![(
+            "live",
+            Json::obj([
+                ("addr", Json::Str(addr.to_owned())),
+                ("used_remote", Json::Bool(warm.remote)),
+                ("live_round_trips", Json::UInt(warm.round_trips)),
+                ("session_round_trips", Json::UInt(session_turns)),
+                ("warm_edit_seconds", Json::Num(warm_s)),
+                ("cold_prepare_seconds", Json::Num(cold_prepare_s)),
+                ("warm_over_cold", Json::Num(warm_over_cold)),
+                ("byte_identical", Json::Bool(byte_identical)),
+                ("dirty_shards", Json::UInt(warm.dirty_shards)),
+                ("total_shards", Json::UInt(warm.total_shards)),
+            ]),
+        )],
+    );
+
+    if selfcheck && failed {
+        eprintln!("[annotate] live selfcheck FAILED");
         std::process::exit(1);
     }
 }

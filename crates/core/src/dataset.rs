@@ -679,6 +679,180 @@ pub fn build_all_variant_data_scratch(
     out
 }
 
+/// A resumable [`build_all_variant_data`]: the same per-signal shard walk,
+/// sliced into bounded `step` calls so a single-threaded event loop can
+/// interleave many re-annotations without one large design starving the
+/// tick. Iteration order, cache keys, dedup behavior and merged output are
+/// identical to the one-shot path — a job stepped to completion produces
+/// byte-identical [`VariantData`] (the live annotation service's whole
+/// degrade story rests on this).
+#[derive(Debug)]
+pub struct FeaturizeJob {
+    sog: Bog,
+    clock: f64,
+    design_seed: u64,
+    dedup: bool,
+    extractions: Vec<(Bog, ContentHash, ContentHash)>,
+    multiplicity: HashMap<ContentHash, u32>,
+    scratch: FeaturizeScratch,
+    once: HashMap<ContentHash, (Arc<Bog>, Arc<ConeEval>)>,
+    vi: usize,
+    sig: usize,
+    done: Vec<VariantData>,
+}
+
+impl FeaturizeJob {
+    /// Extracts every signal cone up front (cheap, linear) and positions
+    /// the job at the first shard of the first variant.
+    pub fn new(sog: &Bog, clock: f64, design_seed: u64) -> FeaturizeJob {
+        let started = Instant::now();
+        let extractions: Vec<(Bog, ContentHash, ContentHash)> = (0..sog.signals().len())
+            .map(|sig| {
+                let sub = rtlt_bog::extract_signal_cone(sog, sig);
+                let content = ContentHash::of_bytes(&rtlt_store::Codec::to_bytes(&sub));
+                let fingerprint = rtlt_bog::cone_fingerprint(&sub);
+                (sub, content, fingerprint)
+            })
+            .collect();
+        TOTAL_SIGNALS.fetch_add(extractions.len() as u64, Ordering::Relaxed);
+        let mut multiplicity: HashMap<ContentHash, u32> = HashMap::new();
+        for (_, _, fp) in &extractions {
+            *multiplicity.entry(*fp).or_insert(0) += 1;
+        }
+        UNIQUE_CONES.fetch_add(multiplicity.len() as u64, Ordering::Relaxed);
+        let job = FeaturizeJob {
+            sog: sog.clone(),
+            clock,
+            design_seed,
+            dedup: cone_dedup_enabled(),
+            extractions,
+            multiplicity,
+            scratch: FeaturizeScratch::new(),
+            once: HashMap::new(),
+            vi: 0,
+            sig: 0,
+            done: Vec::with_capacity(BogVariant::ALL.len()),
+        };
+        FEATURIZE_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        job
+    }
+
+    /// Every `(namespace, key)` pair the job will look up, in walk order —
+    /// one [`Store::prefetch`] over these pulls all cold shards in a
+    /// single batched GETM round trip before stepping begins.
+    pub fn shard_items(&self) -> Vec<(String, ContentHash)> {
+        let mut items = Vec::with_capacity(BogVariant::ALL.len() * self.extractions.len());
+        for vi in 0..BogVariant::ALL.len() {
+            for (sig, s) in self.sog.signals().iter().enumerate() {
+                let (_, content, _) = &self.extractions[sig];
+                let seed = shard_seed(self.design_seed, vi, &s.name);
+                items.push((
+                    stage::SHARD.to_owned(),
+                    shard_key(vi, self.clock, seed, content),
+                ));
+            }
+        }
+        items
+    }
+
+    /// Total shards the job evaluates (signals × variants).
+    pub fn total_shards(&self) -> u64 {
+        (BogVariant::ALL.len() * self.extractions.len()) as u64
+    }
+
+    /// Shards not yet evaluated.
+    pub fn remaining_shards(&self) -> u64 {
+        let per_variant = self.extractions.len();
+        let done = self.vi * per_variant + self.sig.min(per_variant);
+        self.total_shards() - done as u64
+    }
+
+    /// Whether every variant has been merged.
+    pub fn is_done(&self) -> bool {
+        self.vi >= BogVariant::ALL.len()
+    }
+
+    /// Evaluates up to `max_shards` more shards (at least one), merging
+    /// each variant as its last shard lands. Returns `true` once the job
+    /// is done and [`FeaturizeJob::finish`] may be called.
+    pub fn step(&mut self, store: &Store, lib: &Library, max_shards: usize) -> bool {
+        let started = Instant::now();
+        let mut budget = max_shards.max(1);
+        let n = self.sog.signals().len();
+        while self.vi < BogVariant::ALL.len() {
+            let vi = self.vi;
+            let variant = BogVariant::ALL[vi];
+            while self.sig < n {
+                if budget == 0 {
+                    FEATURIZE_NANOS
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    return false;
+                }
+                let sig = self.sig;
+                let s = &self.sog.signals()[sig];
+                let (sub, content, fingerprint) = &self.extractions[sig];
+                let n_eps = s.width as usize;
+                let seed = shard_seed(self.design_seed, vi, &s.name);
+                let key = shard_key(vi, self.clock, seed, content);
+                let dedup = self.dedup;
+                let clock = self.clock;
+                let (levels, cone_scratch) = (&mut self.scratch.levels, &mut self.scratch.cones);
+                let once = &mut self.once;
+                let multiplicity = &self.multiplicity;
+                let shard = store.get_or_compute(stage::SHARD, key, || {
+                    if !dedup {
+                        return build_cone_shard(&sub.to_variant(variant), n_eps, lib, clock, seed);
+                    }
+                    if multiplicity.get(fingerprint).copied().unwrap_or(1) > 1 {
+                        let (vbog, eval) = shared_cone_eval(
+                            store,
+                            once,
+                            vi,
+                            variant,
+                            clock,
+                            fingerprint,
+                            sub,
+                            n_eps,
+                            lib,
+                            levels,
+                            cone_scratch,
+                        );
+                        replay_cone_shard(&vbog, &eval, n_eps, lib, clock, seed)
+                    } else {
+                        let vbog = sub.to_variant(variant);
+                        let eval =
+                            compute_cone_eval(&vbog, n_eps, lib, clock, levels, cone_scratch);
+                        replay_cone_shard_owned(&vbog, eval, n_eps, lib, clock, seed)
+                    }
+                });
+                self.scratch.shards.push(shard);
+                self.sig += 1;
+                budget -= 1;
+            }
+            let design_feats = design_features(&self.sog.to_variant(variant));
+            self.done.push(merge_shards_into(
+                variant,
+                design_feats,
+                &self.scratch.shards,
+                &mut self.scratch.order,
+                &mut self.scratch.rank_pct,
+            ));
+            self.scratch.shards.clear();
+            self.once.clear();
+            self.vi += 1;
+            self.sig = 0;
+        }
+        FEATURIZE_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// The merged variant datasets. Panics if the job is not done.
+    pub fn finish(self) -> Vec<VariantData> {
+        assert!(self.is_done(), "FeaturizeJob finished before completion");
+        self.done
+    }
+}
+
 /// Resolves the shared evaluation of one canonical cone: the once-map
 /// first (an earlier signal of the same design × variant), then the
 /// `conesta` namespace (other designs, earlier runs), then a fresh

@@ -28,8 +28,9 @@
 
 use crate::annotate::annotate_source;
 use crate::cache::{stage, PrepareKeys};
-use crate::dataset::build_all_variant_data;
+use crate::dataset::FeaturizeJob;
 use crate::pipeline::{design_seed, DesignData, Prediction, PrepareStages, RtlTimer, TimerConfig};
+use rtlt_bog::Bog;
 use rtlt_liberty::Library;
 use rtlt_store::{ContentHash, Store};
 use rtlt_verilog::VerilogError;
@@ -79,8 +80,11 @@ pub fn module_key_map(source: &str) -> BTreeMap<String, ContentHash> {
         .collect()
 }
 
-/// Driver of the edit → re-annotate loop for one design.
-#[derive(Debug)]
+/// Driver of the edit → re-annotate loop for one design. `Clone` exists
+/// for the live service: it keeps one prototype per prepared design and
+/// clones it per OPEN, so every session starts from the same pinned clock
+/// and diff base a local loop would.
+#[derive(Debug, Clone)]
 pub struct IncrementalAnnotator {
     name: String,
     cfg: TimerConfig,
@@ -107,7 +111,8 @@ impl IncrementalAnnotator {
         self.clock
     }
 
-    /// Re-annotates an edited revision of the session's design.
+    /// Re-annotates an edited revision of the session's design, running
+    /// the resumable pipeline to completion in one call.
     ///
     /// # Errors
     ///
@@ -120,6 +125,23 @@ impl IncrementalAnnotator {
         model: &RtlTimer,
         store: &Store,
     ) -> Result<ReannotateOutcome, VerilogError> {
+        let mut job = self.begin(source, store)?;
+        while !job.step(store, usize::MAX) {}
+        Ok(job.finish(model, store))
+    }
+
+    /// Starts a resumable re-annotation pass: recompile + re-blast, diff
+    /// the dirty modules, bound the invalidation through provenance, and
+    /// prefetch every cold shard in one batched round trip. The returned
+    /// [`ReannotateJob`] is then driven by bounded
+    /// [`ReannotateJob::step`] calls — the live annotation service
+    /// interleaves many of these on one event-loop tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors; session state (the module-key diff
+    /// base) is only advanced once the edit compiles.
+    pub fn begin(&mut self, source: &str, store: &Store) -> Result<ReannotateJob, VerilogError> {
         let before = store.stats().namespace(stage::SHARD);
         let stages = PrepareStages::new(&self.cfg);
         let blasted = stages.blasted_with(store, &self.name, source)?;
@@ -159,21 +181,102 @@ impl IncrementalAnnotator {
 
         // Featurize through the shard namespace against the pinned clock.
         let seed = design_seed(self.cfg.seed, &self.name);
-        let pseudo = Library::pseudo_bog();
-        let variant_data = build_all_variant_data(store, &blasted.sog, &pseudo, self.clock, seed);
-
         let keys = PrepareKeys::derive(&self.name, source, &self.cfg);
-        let sog = blasted.sog.clone();
+        let feat = FeaturizeJob::new(&blasted.sog, self.clock, seed);
+        // Pull every cold shard from the fleet cache in one batched GETM
+        // round trip (a no-op without a remote tier) — the stepped walk
+        // then runs against staged payloads instead of per-key latency.
+        store.prefetch(&feat.shard_items());
+        Ok(ReannotateJob {
+            name: self.name.clone(),
+            source: source.to_owned(),
+            clock: self.clock,
+            setup: self.setup,
+            seed,
+            synth_effort: self.cfg.synth_effort,
+            prepare_key: keys.featurize,
+            ast_feats: compiled.ast_feats.clone(),
+            sog: blasted.sog.clone(),
+            dirty_modules,
+            dirty_cone_bound,
+            lib: Library::pseudo_bog(),
+            feat,
+            misses_before: before.misses,
+            hits_before: before.hits(),
+        })
+    }
+
+    /// Advances the diff base to `source` without recomputing anything —
+    /// called when a *remote* session produced this revision's annotation,
+    /// so a later local fallback diffs against the revision the designer
+    /// actually sees, not a stale one.
+    pub fn note_revision(&mut self, source: &str) {
+        self.module_keys = module_key_map(source);
+    }
+}
+
+/// One in-flight re-annotation pass, resumable in bounded slices. Created
+/// by [`IncrementalAnnotator::begin`]; stepping to completion and calling
+/// [`ReannotateJob::finish`] produces output byte-identical to
+/// [`IncrementalAnnotator::reannotate`] (which is itself implemented over
+/// this job).
+#[derive(Debug)]
+pub struct ReannotateJob {
+    name: String,
+    source: String,
+    clock: f64,
+    setup: f64,
+    seed: u64,
+    synth_effort: f64,
+    prepare_key: ContentHash,
+    ast_feats: Vec<f64>,
+    sog: Bog,
+    dirty_modules: Vec<String>,
+    dirty_cone_bound: Vec<String>,
+    lib: Library,
+    feat: FeaturizeJob,
+    misses_before: u64,
+    hits_before: u64,
+}
+
+impl ReannotateJob {
+    /// Evaluates up to `max_shards` more cone shards. Returns `true` once
+    /// the pass is ready to [`ReannotateJob::finish`].
+    pub fn step(&mut self, store: &Store, max_shards: usize) -> bool {
+        self.feat.step(store, &self.lib, max_shards)
+    }
+
+    /// Total shards this pass evaluates (signals × variants).
+    pub fn total_shards(&self) -> u64 {
+        self.feat.total_shards()
+    }
+
+    /// Shards not yet evaluated.
+    pub fn remaining_shards(&self) -> u64 {
+        self.feat.remaining_shards()
+    }
+
+    /// Modules whose text changed since the previous pass.
+    pub fn dirty_modules(&self) -> &[String] {
+        &self.dirty_modules
+    }
+
+    /// Assembles the design data, predicts, and renders the annotated
+    /// source. Panics if the job was not stepped to completion.
+    pub fn finish(self, model: &RtlTimer, store: &Store) -> ReannotateOutcome {
+        let variant_data = self.feat.finish();
         // Pseudo labels: the SOG pseudo-STA arrivals. Ground truth does not
         // exist for an unsynthesized edit; these only feed the labeled-
         // endpoint count of the WNS/TNS head and the (unused here)
         // evaluation fields of the prediction.
         let labels_at: Arc<[f64]> = variant_data[0].endpoint_sta_at.as_slice().into();
+        let total_shards = (self.sog.signals().len() * 4) as u64;
+        let signal_names = crate::pipeline::signal_names_of(&self.sog);
         let d = DesignData {
             name: self.name.as_str().into(),
-            source: source.to_owned(),
-            signal_names: crate::pipeline::signal_names_of(&sog),
-            sog,
+            source: self.source,
+            signal_names,
+            sog: self.sog,
             variant_data,
             labels_at,
             clock: self.clock,
@@ -182,26 +285,25 @@ impl IncrementalAnnotator {
             tns: f64::NAN,
             area: f64::NAN,
             power: f64::NAN,
-            ast_feats: compiled.ast_feats.clone(),
-            synth_seed: seed,
-            synth_effort: self.cfg.synth_effort,
-            prepare_key: keys.featurize,
+            ast_feats: self.ast_feats,
+            synth_seed: self.seed,
+            synth_effort: self.synth_effort,
+            prepare_key: self.prepare_key,
         };
 
         let prediction = model.predict(&d);
         let annotated = annotate_source(&d, &prediction);
 
         let after = store.stats().namespace(stage::SHARD);
-        let total_shards = (d.sog.signals().len() * 4) as u64;
-        Ok(ReannotateOutcome {
+        ReannotateOutcome {
             annotated,
-            dirty_modules,
-            dirty_cone_bound,
-            dirty_shards: after.misses - before.misses,
-            reused_shards: after.hits() - before.hits(),
+            dirty_modules: self.dirty_modules,
+            dirty_cone_bound: self.dirty_cone_bound,
+            dirty_shards: after.misses - self.misses_before,
+            reused_shards: after.hits() - self.hits_before,
             total_shards,
             prediction,
-        })
+        }
     }
 }
 
@@ -316,6 +418,37 @@ endmodule",
             warm.annotated, cold_out.annotated,
             "incremental result is byte-identical to a cold recompute"
         );
+    }
+
+    #[test]
+    fn chunked_stepping_is_byte_identical_to_one_shot() {
+        let (mut annotator, model, store, cfg, base) = session();
+        let edited = base.replace("x + 8'd3", "x + (x << 2)");
+        let one_shot = annotator.reannotate(&edited, &model, &store).unwrap();
+
+        // The same revision through 1-shard steps on a cold twin — the
+        // slicing the live service uses to keep one slow session from
+        // starving its event-loop tick must not change a single byte.
+        let cold_store = Store::in_memory();
+        let mut twin = IncrementalAnnotator {
+            name: "hier_top".to_owned(),
+            cfg: cfg.clone(),
+            clock: annotator.clock,
+            setup: annotator.setup,
+            module_keys: BTreeMap::new(),
+        };
+        let mut job = twin.begin(&edited, &cold_store).unwrap();
+        assert_eq!(job.total_shards(), 12);
+        let mut steps = 0;
+        while !job.step(&cold_store, 1) {
+            steps += 1;
+            assert!(job.remaining_shards() > 0);
+        }
+        assert!(steps >= 11, "12 shards actually stepped one at a time");
+        let out = job.finish(&model, &cold_store);
+        assert_eq!(out.annotated, one_shot.annotated);
+        assert_eq!(out.total_shards, 12);
+        assert_eq!(out.dirty_shards, 12, "cold twin recomputes everything");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod design;
 pub mod ensemble;
 pub mod features;
 pub mod incremental;
+pub mod live;
 pub mod metrics;
 pub mod optimize;
 pub mod pipeline;
@@ -50,7 +51,8 @@ pub mod report;
 pub mod signal;
 
 pub use cache::PrepareKeys;
-pub use incremental::{IncrementalAnnotator, ReannotateOutcome};
+pub use incremental::{IncrementalAnnotator, ReannotateJob, ReannotateOutcome};
+pub use live::{LiveAnnotator, LiveOutcome, LiveService, SessionClient};
 pub use metrics::{covr, mape, pearson, r_squared, rank_groups};
 pub use pipeline::{
     DesignData, DesignSet, PrepareError, PrepareStages, RtlTimer, StealConfig, StolenPrepare,

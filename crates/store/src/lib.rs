@@ -334,6 +334,17 @@ impl Store {
         }
     }
 
+    /// Charges `turns` wire round trips to namespace `ns`'s counters.
+    /// For wire traffic the store did not broker itself — the live
+    /// annotation session client pays its EDIT→ANNOTATE turnarounds on
+    /// its own connection, and reports them here so `print_store_stats`
+    /// style tables show every round trip the run paid in one place.
+    pub fn charge_round_trips(&self, ns: &str, turns: u64) {
+        if turns > 0 {
+            self.stats.with_ns(ns, |s| s.round_trips += turns);
+        }
+    }
+
     /// Runs `f` against a tier and charges any wire round trips it paid to
     /// `ns` — tiers expose only a monotonic total, so the delta around the
     /// call is that call's share.

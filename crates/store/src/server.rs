@@ -240,6 +240,17 @@ impl ArtifactServer {
                 }
                 Response::Done(report)
             }
+            // Session verbs belong to the live annotation service. The
+            // artifact store refuses them on a live connection — the same
+            // `Failed` a pre-session server would produce for the unknown
+            // opcode — and the session client degrades to local
+            // annotation, byte-identically.
+            Request::Open { .. }
+            | Request::Edit { .. }
+            | Request::Annotate { .. }
+            | Request::Close { .. } => {
+                Response::Failed("session verbs are served by rtlt-annotated".to_owned())
+            }
         }
     }
 

@@ -112,6 +112,11 @@ pub const MAX_BATCH_KEYS: usize = 4096;
 /// travels whole; the per-frame and cumulative caps bound it.)
 pub const MAX_BATCH_CHUNK: u64 = 4 << 20;
 
+/// Upper bound on the number of line splices in one [`Request::Edit`].
+/// An editor diff never needs more than one splice per changed hunk; a
+/// frame above this is hostile or corrupt, not a big edit.
+pub const MAX_EDIT_SPLICES: usize = 4096;
+
 /// Fixed frame header size: magic + version + op + body length.
 pub const FRAME_HEADER: usize = 4 + 4 + 1 + 8;
 
@@ -153,6 +158,19 @@ pub mod op {
     /// Live server-load snapshot: tier stats plus connection and
     /// in-flight exchange gauges ([`super::Response::ServerStats`]).
     pub const STAT2: u8 = 14;
+    /// Open a live annotation session on a design the service knows.
+    /// Artifact-store servers (and any pre-session peer) answer `FAILED`
+    /// ("request opcode"), which the session client takes as its cue to
+    /// annotate locally — per-opcode capability negotiation, no header
+    /// bump, exactly like [`GET2`]/[`STAT2`].
+    pub const OPEN: u8 = 15;
+    /// Apply a line-splice diff to an open session's source mirror.
+    pub const EDIT: u8 = 16;
+    /// Re-annotate an open session's current source and return the
+    /// annotated text in one round trip.
+    pub const ANNOTATE: u8 = 17;
+    /// Close a live annotation session.
+    pub const CLOSE: u8 = 18;
     /// Response: payload attached.
     pub const HIT: u8 = 0x81;
     /// Response: key not held.
@@ -174,6 +192,10 @@ pub mod op {
     pub const TAGGED_RESP: u8 = 0x89;
     /// Response: server-load snapshot attached.
     pub const SERVERSTATS: u8 = 0x8A;
+    /// Response: session acknowledged (OPEN / EDIT / CLOSE).
+    pub const SESSION: u8 = 0x8B;
+    /// Response: annotated source attached (ANNOTATE).
+    pub const ANNOTATION: u8 = 0x8C;
     /// Response: request failed server-side.
     pub const FAILED: u8 = 0xFF;
 }
@@ -566,6 +588,40 @@ pub struct ServerLoad {
     pub wire_version: u32,
 }
 
+/// One contiguous line replacement of a [`Request::Edit`]: delete
+/// `delete` lines starting at line index `at` (0-based, lines including
+/// their terminators) and insert `insert` verbatim in their place.
+/// Splices in one edit are ordered by `at` and non-overlapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditSplice {
+    /// 0-based index of the first replaced line.
+    pub at: u64,
+    /// Number of lines deleted at `at`.
+    pub delete: u64,
+    /// Replacement text, inserted verbatim (may span many lines).
+    pub insert: String,
+}
+
+/// Body of a [`Response::Annotation`]: the re-annotated source plus the
+/// same invalidation accounting a local
+/// `IncrementalAnnotator::reannotate` reports, so remote and local passes
+/// are comparable field by field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotationReply {
+    /// The fully annotated source text.
+    pub annotated: String,
+    /// Modules whose text changed since the previous revision.
+    pub dirty_modules: Vec<String>,
+    /// Signals whose cones may overlap the dirty modules.
+    pub dirty_cone_bound: u64,
+    /// Cone shards recomputed for this pass.
+    pub dirty_shards: u64,
+    /// Cone shards served from cache.
+    pub reused_shards: u64,
+    /// Total shards the design evaluates (signals × variants).
+    pub total_shards: u64,
+}
+
 /// A client→server request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -669,6 +725,42 @@ pub enum Request {
         /// Payload encoding tag ([`PAYLOAD_ENCODING_FRAME`]).
         encoding: u8,
     },
+    /// Open a live annotation session on `design`. The service must
+    /// already hold a prepared base for the design; `source` seeds the
+    /// session's source mirror (empty = use the service's base source).
+    /// Answered by [`Response::Session`]. Peers without session support
+    /// answer `Failed` and the client annotates locally.
+    Open {
+        /// Design name, as prepared on the service.
+        design: String,
+        /// Initial source text ("" = service's base source).
+        source: String,
+    },
+    /// Apply `splices` to session `session`'s source mirror. `check` is
+    /// the FNV-1a hash of the full post-edit source; a mismatch (client
+    /// and server mirrors diverged) refuses the edit and leaves the
+    /// session's source untouched. Answered by [`Response::Session`].
+    Edit {
+        /// Session id from [`Response::Session`].
+        session: u64,
+        /// Ordered, non-overlapping line splices.
+        splices: Vec<EditSplice>,
+        /// FNV-1a of the expected post-edit source.
+        check: u64,
+    },
+    /// Re-annotate session `session`'s current source. Answered by
+    /// [`Response::Annotation`] once the (chunked, fair-scheduled)
+    /// re-annotation completes.
+    Annotate {
+        /// Session id from [`Response::Session`].
+        session: u64,
+    },
+    /// Close session `session`, dropping its server-side state.
+    /// Answered by [`Response::Session`] (final revision).
+    Close {
+        /// Session id from [`Response::Session`].
+        session: u64,
+    },
 }
 
 impl Request {
@@ -753,6 +845,34 @@ impl Request {
                     key.encode(&mut e);
                 }
                 op::GETM2
+            }
+            Request::Open { design, source } => {
+                e.str(design);
+                e.str(source);
+                op::OPEN
+            }
+            Request::Edit {
+                session,
+                splices,
+                check,
+            } => {
+                e.u64(*session);
+                e.u64(*check);
+                e.seq_len(splices.len());
+                for s in splices {
+                    e.u64(s.at);
+                    e.u64(s.delete);
+                    e.str(&s.insert);
+                }
+                op::EDIT
+            }
+            Request::Annotate { session } => {
+                e.u64(*session);
+                op::ANNOTATE
+            }
+            Request::Close { session } => {
+                e.u64(*session);
+                op::CLOSE
             }
         };
         Frame {
@@ -855,6 +975,40 @@ impl Request {
                 }
                 Request::GetBatch2 { items, encoding }
             }
+            op::OPEN => Request::Open {
+                design: d.str().map_err(|_| WireError::Malformed("open design"))?,
+                source: d.str().map_err(|_| WireError::Malformed("open source"))?,
+            },
+            op::EDIT => {
+                let session = d.u64().map_err(|_| WireError::Malformed("edit session"))?;
+                let check = d.u64().map_err(|_| WireError::Malformed("edit check"))?;
+                let n = d
+                    .seq_len(8 + 8 + 4)
+                    .map_err(|_| WireError::Malformed("edit len"))?;
+                if n > MAX_EDIT_SPLICES {
+                    return Err(WireError::Malformed("edit splice count"));
+                }
+                let mut splices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let at = d.u64().map_err(|_| WireError::Malformed("splice at"))?;
+                    let delete = d.u64().map_err(|_| WireError::Malformed("splice delete"))?;
+                    let insert = d.str().map_err(|_| WireError::Malformed("splice insert"))?;
+                    splices.push(EditSplice { at, delete, insert });
+                }
+                Request::Edit {
+                    session,
+                    splices,
+                    check,
+                }
+            }
+            op::ANNOTATE => Request::Annotate {
+                session: d
+                    .u64()
+                    .map_err(|_| WireError::Malformed("annotate session"))?,
+            },
+            op::CLOSE => Request::Close {
+                session: d.u64().map_err(|_| WireError::Malformed("close session"))?,
+            },
             _ => return Err(WireError::Malformed("request opcode")),
         };
         if !d.is_finished() {
@@ -901,6 +1055,19 @@ pub enum Response {
     },
     /// Shard-planner counters.
     PlanStats(PlanStats),
+    /// A session verb was acknowledged (OPEN / EDIT / CLOSE).
+    Session {
+        /// Session id (allocated by OPEN, echoed afterwards).
+        session: u64,
+        /// Edit revision of the session's source mirror (0 after OPEN,
+        /// bumped by every accepted EDIT).
+        revision: u64,
+        /// FNV-1a of the server's current session source — lets the
+        /// client verify both mirrors agree without re-sending the text.
+        check: u64,
+    },
+    /// The annotated source for a completed ANNOTATE.
+    Annotation(AnnotationReply),
     /// The request failed server-side (the client treats this as a miss).
     Failed(String),
 }
@@ -1018,6 +1185,28 @@ impl Response {
                 e.u64(p.workers);
                 op::PLANSTATS
             }
+            Response::Session {
+                session,
+                revision,
+                check,
+            } => {
+                e.u64(*session);
+                e.u64(*revision);
+                e.u64(*check);
+                op::SESSION
+            }
+            Response::Annotation(a) => {
+                e.str(&a.annotated);
+                e.seq_len(a.dirty_modules.len());
+                for m in &a.dirty_modules {
+                    e.str(m);
+                }
+                e.u64(a.dirty_cone_bound);
+                e.u64(a.dirty_shards);
+                e.u64(a.reused_shards);
+                e.u64(a.total_shards);
+                op::ANNOTATION
+            }
             Response::Failed(msg) => {
                 e.str(msg);
                 op::FAILED
@@ -1091,6 +1280,40 @@ impl Response {
                     requeued: next()?,
                     refused: next()?,
                     workers: next()?,
+                })
+            }
+            op::SESSION => Response::Session {
+                session: d.u64().map_err(|_| WireError::Malformed("session id"))?,
+                revision: d
+                    .u64()
+                    .map_err(|_| WireError::Malformed("session revision"))?,
+                check: d.u64().map_err(|_| WireError::Malformed("session check"))?,
+            },
+            op::ANNOTATION => {
+                let annotated = d
+                    .str()
+                    .map_err(|_| WireError::Malformed("annotation text"))?;
+                let n = d
+                    .seq_len(8)
+                    .map_err(|_| WireError::Malformed("annotation modules len"))?;
+                let mut dirty_modules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    dirty_modules.push(
+                        d.str()
+                            .map_err(|_| WireError::Malformed("annotation module"))?,
+                    );
+                }
+                let mut next = || {
+                    d.u64()
+                        .map_err(|_| WireError::Malformed("annotation counters"))
+                };
+                Response::Annotation(AnnotationReply {
+                    annotated,
+                    dirty_modules,
+                    dirty_cone_bound: next()?,
+                    dirty_shards: next()?,
+                    reused_shards: next()?,
+                    total_shards: next()?,
                 })
             }
             op::FAILED => {
@@ -1173,6 +1396,37 @@ mod tests {
                 items: Vec::new(),
                 encoding: 200,
             },
+            Request::Open {
+                design: "hier_soc".into(),
+                source: "module top; endmodule\n".into(),
+            },
+            Request::Open {
+                design: "hier_soc".into(),
+                source: String::new(),
+            },
+            Request::Edit {
+                session: 7,
+                splices: vec![
+                    EditSplice {
+                        at: 0,
+                        delete: 2,
+                        insert: "wire x;\n".into(),
+                    },
+                    EditSplice {
+                        at: 5,
+                        delete: 0,
+                        insert: String::new(),
+                    },
+                ],
+                check: 0xFEED_FACE,
+            },
+            Request::Edit {
+                session: 0,
+                splices: Vec::new(),
+                check: 0,
+            },
+            Request::Annotate { session: 9 },
+            Request::Close { session: u64::MAX },
         ] {
             let frame = req.to_frame();
             let back = Request::from_frame(&frame_round_trip(&frame)).unwrap();
@@ -1253,11 +1507,99 @@ mod tests {
                 refused: 0,
                 workers: 2,
             }),
+            Response::Session {
+                session: 3,
+                revision: 12,
+                check: 0xABCD,
+            },
+            Response::Annotation(AnnotationReply {
+                annotated: "// slack -0.1\nmodule top; endmodule\n".into(),
+                dirty_modules: vec!["lane3".into(), "lane4".into()],
+                dirty_cone_bound: 9,
+                dirty_shards: 4,
+                reused_shards: 144,
+                total_shards: 148,
+            }),
+            Response::Annotation(AnnotationReply {
+                annotated: String::new(),
+                dirty_modules: Vec::new(),
+                dirty_cone_bound: 0,
+                dirty_shards: 0,
+                reused_shards: 0,
+                total_shards: 0,
+            }),
             Response::Failed("nope".into()),
         ] {
             let frame = resp.to_frame();
             let back = Response::from_frame(&frame_round_trip(&frame)).unwrap();
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn session_frames_reject_truncation_and_splice_floods() {
+        // Every strict prefix of an EDIT body fails to decode — a cut
+        // anywhere in the splice list is a malformed frame, never a
+        // shorter edit.
+        let edit = Request::Edit {
+            session: 1,
+            splices: vec![EditSplice {
+                at: 3,
+                delete: 1,
+                insert: "assign y = x ^ (x >> 3);\n".into(),
+            }],
+            check: 42,
+        }
+        .to_frame();
+        for cut in 0..edit.body.len() {
+            let trimmed = Frame {
+                op: op::EDIT,
+                body: edit.body[..cut].to_vec(),
+            };
+            assert!(Request::from_frame(&trimmed).is_err(), "cut {cut}");
+        }
+        // Trailing bytes after a well-formed body are rejected too.
+        let mut padded = edit.body.clone();
+        padded.push(0);
+        assert_eq!(
+            Request::from_frame(&Frame {
+                op: op::EDIT,
+                body: padded,
+            }),
+            Err(WireError::Malformed("trailing request bytes"))
+        );
+        // A splice count above the cap is refused before any allocation,
+        // whether the body backs it or not.
+        let mut e = Enc::new();
+        e.u64(1);
+        e.u64(0);
+        e.seq_len(MAX_EDIT_SPLICES + 1);
+        assert!(matches!(
+            Request::from_frame(&Frame {
+                op: op::EDIT,
+                body: e.into_bytes(),
+            }),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn session_opcodes_sit_in_the_negotiable_range() {
+        // Pre-session peers (the artifact store's `serve_connection`)
+        // answer unknown opcodes with `Failed` on a live connection; the
+        // session verbs rely on that, exactly like GET2/STAT2 before
+        // them. A header version bump would instead kill the connection.
+        for req in [
+            Request::Open {
+                design: "d".into(),
+                source: String::new(),
+            },
+            Request::Annotate { session: 0 },
+        ] {
+            let frame = req.to_frame();
+            assert!(frame.op > op::STAT2, "session verbs extend the range");
+            // The frame itself reads fine under the pinned header version.
+            assert_eq!(frame_round_trip(&frame), frame);
         }
     }
 

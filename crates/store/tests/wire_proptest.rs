@@ -4,7 +4,10 @@
 //! are always rejected (which the client maps to "miss, recompute").
 
 use proptest::prelude::*;
-use rtlt_store::wire::{Frame, FrameBudget, Request, Response, WireError, FRAME_HEADER};
+use rtlt_store::wire::{
+    AnnotationReply, EditSplice, Frame, FrameBudget, Request, Response, WireError, FRAME_HEADER,
+    MAX_EDIT_SPLICES,
+};
 use rtlt_store::{ContentHash, KeyBuilder};
 
 fn key_of(tag: u64) -> ContentHash {
@@ -168,6 +171,126 @@ proptest! {
         }
         // Every frame fit: the whole stream must have been within budget.
         prop_assert!(spent <= budget_total);
+    }
+
+    /// Session requests (OPEN/EDIT/ANNOTATE/CLOSE) round-trip with
+    /// arbitrary designs, sources, and splice lists — including splices
+    /// whose inserts carry NUL bytes, multi-byte UTF-8, and newlines.
+    #[test]
+    fn session_requests_round_trip(
+        design in "alpha|beta|soc_top|lane_a0",
+        source in proptest::collection::vec(0u8..=255, 0..200)
+            .prop_map(|v| String::from_utf8_lossy(&v).into_owned()),
+        session in 0u64..u64::MAX,
+        check in 0u64..u64::MAX,
+        raw_splices in proptest::collection::vec(
+            (
+                0u64..u64::MAX,
+                0u64..u64::MAX,
+                proptest::collection::vec(0u8..=255, 0..40)
+                    .prop_map(|v| String::from_utf8_lossy(&v).into_owned()),
+            ),
+            0..16,
+        ),
+    ) {
+        let splices: Vec<EditSplice> = raw_splices
+            .into_iter()
+            .map(|(at, delete, insert)| EditSplice { at, delete, insert })
+            .collect();
+        for req in [
+            Request::Open { design, source },
+            Request::Edit { session, splices, check },
+            Request::Annotate { session },
+            Request::Close { session },
+        ] {
+            let bytes = req.to_frame().to_bytes();
+            let back = Request::from_frame(
+                &Frame::read_from(&mut bytes.as_slice()).expect("frame"),
+            ).expect("decode");
+            prop_assert_eq!(back, req);
+        }
+    }
+
+    /// Session responses round-trip, and every strict prefix of an
+    /// ANNOTATION body is refused rather than decoded to a short reply.
+    #[test]
+    fn session_responses_round_trip_and_reject_truncation(
+        session in 0u64..u64::MAX,
+        revision in 0u64..u64::MAX,
+        annotated in proptest::collection::vec(0u8..=255, 0..200)
+            .prop_map(|v| String::from_utf8_lossy(&v).into_owned()),
+        modules in proptest::collection::vec("alu|fetch|decode|lane_a|mul0", 0..8),
+        counters in proptest::collection::vec(0u64..u64::MAX, 4..5),
+    ) {
+        let opened = Response::Session { session, revision, check: counters[0] };
+        let bytes = opened.to_frame().to_bytes();
+        let back = Response::from_frame(
+            &Frame::read_from(&mut bytes.as_slice()).expect("frame"),
+        ).expect("decode");
+        prop_assert_eq!(&back, &opened);
+
+        let reply = Response::Annotation(AnnotationReply {
+            annotated,
+            dirty_modules: modules,
+            dirty_cone_bound: counters[0],
+            dirty_shards: counters[1],
+            reused_shards: counters[2],
+            total_shards: counters[3],
+        });
+        let frame = reply.to_frame();
+        let back = Response::from_frame(&frame).expect("decode");
+        prop_assert_eq!(&back, &reply);
+        let step = (frame.body.len() / 16).max(1);
+        let mut cut = 0;
+        while cut < frame.body.len() {
+            let trunc = Frame { op: frame.op, body: frame.body[..cut].to_vec() };
+            prop_assert!(
+                Response::from_frame(&trunc).is_err(),
+                "prefix of {} bytes decoded", cut
+            );
+            cut += step;
+        }
+    }
+
+    /// A lying splice count — larger than the bytes behind it or past the
+    /// protocol cap — is refused before any allocation, and flipping any
+    /// single body byte of an EDIT frame never passes the frame layer
+    /// silently (the checksum covers the whole body).
+    #[test]
+    fn edit_frames_reject_count_lies_and_corruption(
+        session in 0u64..u64::MAX,
+        inserts in proptest::collection::vec("x \\^ 1|y << 2| |wire w;", 1..8),
+        lie in 0u64..4,
+        pos_seed in 0usize..100000,
+        flip in 1u8..=255,
+    ) {
+        let splices: Vec<EditSplice> = inserts
+            .into_iter()
+            .enumerate()
+            .map(|(i, insert)| EditSplice { at: i as u64 * 10, delete: 2, insert })
+            .collect();
+        let req = Request::Edit { session, splices, check: 7 };
+        let frame = req.to_frame();
+
+        // Overwrite the splice-count word (a u32 right after the session
+        // and check words) with a count the body cannot back.
+        let mut lied = frame.clone();
+        let bogus: u32 = match lie {
+            0 => MAX_EDIT_SPLICES as u32 + 1,
+            1 => u32::MAX,
+            2 => u32::MAX / 2,
+            _ => MAX_EDIT_SPLICES as u32 + 1_000_000,
+        };
+        lied.body[16..20].copy_from_slice(&bogus.to_le_bytes());
+        prop_assert!(Request::from_frame(&lied).is_err());
+
+        let mut bytes = frame.to_bytes();
+        let pos = FRAME_HEADER + pos_seed % frame.body.len();
+        bytes[pos] ^= flip;
+        prop_assert!(matches!(
+            Frame::read_from(&mut bytes.as_slice()),
+            Err(WireError::Checksum)
+        ));
     }
 
     /// Length headers beyond the cap are rejected before any allocation.

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Doc link check: every relative markdown link in README.md and docs/*.md
+# must resolve to an existing file. Mirrors tests/docs.rs so the lint lane
+# catches broken links without building the workspace.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+failed=0
+
+for page in "$REPO_ROOT/README.md" "$REPO_ROOT"/docs/*.md; do
+  dir="$(dirname "$page")"
+  # Targets of [text](target), one per line; drop URLs and pure anchors.
+  grep -o '](\([^)]*\))' "$page" | sed 's/^](//; s/)$//; s/#.*$//' \
+    | while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in http://*|https://*) continue ;; esac
+        if [ ! -e "$dir/$target" ]; then
+          echo "broken link in ${page#"$REPO_ROOT"/}: $target"
+          # set a marker file: the while runs in a subshell
+          touch "$REPO_ROOT/.doc-links-failed"
+        fi
+      done
+done
+
+if [ -e "$REPO_ROOT/.doc-links-failed" ]; then
+  rm -f "$REPO_ROOT/.doc-links-failed"
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK"

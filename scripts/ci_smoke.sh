@@ -11,7 +11,7 @@
 #   SMOKE_TMP scratch root (default: a fresh mktemp -d)
 set -euo pipefail
 
-job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|multiplexed-store|cold-dedup|flat-predict|perf-gate>}"
+job="${1:?usage: ci_smoke.sh <warm-cache|incremental-annotation|live-annotate|cache-maintenance|remote-store|sharded-prepare|fleet-steal|compressed-store|multiplexed-store|cold-dedup|flat-predict|perf-gate>}"
 BIN_DIR="${BIN_DIR:-target/release}"
 BIN_DIR="$(cd "$BIN_DIR" && pwd)"
 SMOKE_TMP="${SMOKE_TMP:-$(mktemp -d)}"
@@ -49,6 +49,47 @@ case "$job" in
     cd "$SMOKE_TMP"
     RTLT_FAST=1 "$BIN_DIR/annotate" --selfcheck --cache-dir "$SMOKE_TMP/rtlt-cache"
     grep -o '"speedup": *[0-9.]*' BENCH_annotate.json
+    ;;
+
+  # Live annotation service smoke: start `annotate --serve`, drive one
+  # scripted edit over TCP with `annotate --connect --selfcheck`, and
+  # assert (a) the edit was actually served remotely in one round trip,
+  # (b) the warm EDIT→ANNOTATE wall time is < 25 % of a cold full
+  # prepare, and (c) byte-identity with the local loop (the selfcheck).
+  # Then kill the server and re-run the client: it must degrade to local
+  # recompute — used_remote flips false, byte-identity still holds.
+  live-annotate)
+    cd "$SMOKE_TMP"
+    mkdir -p serve-wd client-wd
+    # `exec` so $! is the server binary itself, not a wrapping subshell —
+    # the kill below must reach the process holding the socket.
+    (cd serve-wd && RTLT_FAST=1 exec "$BIN_DIR/annotate" --serve --addr=127.0.0.1:7463 \
+      --cache-dir "$SMOKE_TMP/live-cache" > serve.log 2>&1) &
+    SERVE_PID=$!
+    trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+    for _ in $(seq 1 120); do
+      grep -q "listening on" serve-wd/serve.log 2>/dev/null && break
+      kill -0 $SERVE_PID 2>/dev/null || { echo "server died during startup"; cat serve-wd/serve.log; exit 1; }
+      sleep 1
+    done
+    grep "listening on" serve-wd/serve.log
+    (cd client-wd && RTLT_FAST=1 "$BIN_DIR/annotate" --connect=127.0.0.1:7463 --selfcheck \
+      --cache-dir "$SMOKE_TMP/live-client-cache")
+    remote=$(grep -o '"used_remote": *[a-z]*' client-wd/BENCH_annotate.json | grep -o '[a-z]*$')
+    turns=$(json_num live_round_trips client-wd/BENCH_annotate.json)
+    frac=$(json_num warm_over_cold client-wd/BENCH_annotate.json)
+    echo "live edit: used_remote=${remote} round_trips=${turns} warm/cold=${frac}"
+    test "$remote" = "true"
+    awk -v f="$frac" -v t="$turns" 'BEGIN { exit !(f < 0.25 && t == 1) }'
+    kill $SERVE_PID 2>/dev/null || true
+    wait $SERVE_PID 2>/dev/null || true
+    (cd client-wd && RTLT_FAST=1 "$BIN_DIR/annotate" --connect=127.0.0.1:7463 --selfcheck \
+      --cache-dir "$SMOKE_TMP/live-client-cache")
+    remote=$(grep -o '"used_remote": *[a-z]*' client-wd/BENCH_annotate.json | grep -o '[a-z]*$')
+    identical=$(grep -o '"byte_identical": *[a-z]*' client-wd/BENCH_annotate.json | grep -o '[a-z]*$')
+    echo "dead-server rerun: used_remote=${remote} byte_identical=${identical}"
+    test "$remote" = "false"
+    test "$identical" = "true"
     ;;
 
   # Disk-tier maintenance round-trip: stats, then a full eviction.
